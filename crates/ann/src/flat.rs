@@ -1,0 +1,170 @@
+//! Exact (brute-force) index — the ground truth the approximate indexes are
+//! tested against, and fast enough in practice for the fine-grained
+//! region index sizes this workspace produces.
+
+use crate::metric::{l2_sq, Neighbor, TopK};
+use crate::VectorIndex;
+
+/// A flat index: vectors stored contiguously, searched by linear scan.
+/// Scans parallelize across threads once the corpus is large enough to
+/// amortize the spawn cost.
+#[derive(Debug, Clone, Default)]
+pub struct FlatIndex {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    pub fn new(dim: usize) -> FlatIndex {
+        assert!(dim > 0);
+        FlatIndex { dim, data: Vec::new() }
+    }
+
+    /// Build from a batch of vectors.
+    pub fn from_vectors(dim: usize, vectors: impl IntoIterator<Item = Vec<f32>>) -> FlatIndex {
+        let mut idx = FlatIndex::new(dim);
+        for v in vectors {
+            idx.add(&v);
+        }
+        idx
+    }
+
+    /// Append a vector, returning its id.
+    pub fn add(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let id = self.len();
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    pub fn vector(&self, id: usize) -> &[f32] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    fn scan_range(&self, query: &[f32], k: usize, lo: usize, hi: usize) -> Vec<Neighbor> {
+        let mut top = TopK::new(k);
+        for id in lo..hi {
+            let d = l2_sq(query, self.vector(id));
+            top.push(Neighbor::new(id, d));
+        }
+        top.into_sorted()
+    }
+}
+
+/// Work size below which a parallel scan is not worth spawning threads.
+const PARALLEL_THRESHOLD: usize = 1 << 21;
+
+impl VectorIndex for FlatIndex {
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim);
+        let n = self.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let work = n * self.dim;
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if work < PARALLEL_THRESHOLD || threads < 2 {
+            return self.scan_range(query, k, 0, n);
+        }
+        let n_chunks = threads.min(8);
+        let chunk = n.div_ceil(n_chunks);
+        let mut partials: Vec<Vec<Neighbor>> = Vec::with_capacity(n_chunks);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_chunks)
+                .map(|c| {
+                    let lo = c * chunk;
+                    let hi = ((c + 1) * chunk).min(n);
+                    s.spawn(move |_| self.scan_range(query, k, lo, hi))
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("scan worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        let mut top = TopK::new(k);
+        for p in partials {
+            for nb in p {
+                top.push(nb);
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_index() -> FlatIndex {
+        // 100 points on a line: id i at (i, 0).
+        FlatIndex::from_vectors(2, (0..100).map(|i| vec![i as f32, 0.0]))
+    }
+
+    #[test]
+    fn exact_nearest() {
+        let idx = grid_index();
+        let out = idx.search(&[42.4, 0.0], 3);
+        let ids: Vec<usize> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![42, 43, 41]);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let idx = FlatIndex::from_vectors(2, vec![vec![0.0, 0.0], vec![1.0, 0.0]]);
+        let out = idx.search(&[0.0, 0.0], 10);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = FlatIndex::new(4);
+        assert!(idx.is_empty());
+        assert!(idx.search(&[0.0; 4], 5).is_empty());
+    }
+
+    #[test]
+    fn threshold_query() {
+        let idx = grid_index();
+        let out = idx.search_within(&[10.0, 0.0], 10, 4.5);
+        // ids 8..=12 are within distance² ≤ 4 of the query.
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|n| n.dist <= 4.5));
+    }
+
+    #[test]
+    fn parallel_scan_agrees_with_serial() {
+        // Force a corpus past the parallel threshold: 70k vectors × 32 dims.
+        let dim = 32;
+        let n = 70_000;
+        let mut idx = FlatIndex::new(dim);
+        let mut state = 1u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| next()).collect();
+            idx.add(&v);
+        }
+        let query: Vec<f32> = (0..dim).map(|_| next()).collect();
+        let fast = idx.search(&query, 10);
+        let slow = idx.scan_range(&query, 10, 0, n);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mut idx = FlatIndex::new(3);
+        idx.add(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,340 @@
+//! HNSW — Hierarchical Navigable Small World graphs (Malkov & Yashunin),
+//! the graph-based ANN index used for the coarse-grained sheet index.
+
+use crate::metric::{l2_sq, Neighbor, TopK};
+use crate::VectorIndex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswParams {
+    /// Max neighbors per node on upper layers (layer 0 allows `2·m`).
+    pub m: usize,
+    /// Candidate-list width during construction.
+    pub ef_construction: usize,
+    /// Candidate-list width during search.
+    pub ef_search: usize,
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams { m: 16, ef_construction: 100, ef_search: 64, seed: 0xa5a5 }
+    }
+}
+
+/// A candidate ordered by ascending distance inside a `BinaryHeap` (which is
+/// a max-heap, hence the reversed comparison).
+#[derive(PartialEq)]
+struct MinCand(f32, usize);
+
+impl Eq for MinCand {}
+
+impl PartialOrd for MinCand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinCand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.total_cmp(&self.0)
+    }
+}
+
+/// An HNSW graph index over vectors inserted one at a time.
+pub struct HnswIndex {
+    dim: usize,
+    params: HnswParams,
+    data: Vec<f32>,
+    /// `links[layer][node]` — adjacency lists; nodes absent from a layer
+    /// have empty lists.
+    links: Vec<Vec<Vec<u32>>>,
+    /// Top layer of each node.
+    node_layer: Vec<u8>,
+    entry: Option<usize>,
+    rng: StdRng,
+    level_norm: f64,
+}
+
+impl HnswIndex {
+    pub fn new(dim: usize, params: HnswParams) -> HnswIndex {
+        assert!(dim > 0 && params.m >= 2);
+        HnswIndex {
+            dim,
+            params,
+            data: Vec::new(),
+            links: vec![Vec::new()],
+            node_layer: Vec::new(),
+            entry: None,
+            rng: StdRng::seed_from_u64(params.seed),
+            level_norm: 1.0 / (params.m as f64).ln(),
+        }
+    }
+
+    /// Build from a batch of vectors.
+    pub fn build(data: &[f32], dim: usize, params: HnswParams) -> HnswIndex {
+        let mut idx = HnswIndex::new(dim, params);
+        for v in data.chunks(dim) {
+            idx.add(v);
+        }
+        idx
+    }
+
+    pub fn vector(&self, id: usize) -> &[f32] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    fn random_level(&mut self) -> usize {
+        let u: f64 = self.rng.random_range(f64::EPSILON..1.0);
+        ((-u.ln() * self.level_norm) as usize).min(12)
+    }
+
+    fn max_degree(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    /// Greedy descent on `layer` from `start` to the locally-closest node.
+    fn greedy_closest(&self, query: &[f32], start: usize, layer: usize) -> usize {
+        let mut cur = start;
+        let mut cur_d = l2_sq(query, self.vector(cur));
+        loop {
+            let mut improved = false;
+            for &nb in &self.links[layer][cur] {
+                let d = l2_sq(query, self.vector(nb as usize));
+                if d < cur_d {
+                    cur = nb as usize;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Beam search on one layer: returns up to `ef` closest found,
+    /// ascending.
+    fn search_layer(&self, query: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<Neighbor> {
+        let mut visited = vec![false; self.len()];
+        visited[entry] = true;
+        let d0 = l2_sq(query, self.vector(entry));
+        let mut frontier = BinaryHeap::new();
+        frontier.push(MinCand(d0, entry));
+        let mut best = TopK::new(ef);
+        best.push(Neighbor::new(entry, d0));
+        while let Some(MinCand(d, node)) = frontier.pop() {
+            if d > best.worst() {
+                break;
+            }
+            for &nb in &self.links[layer][node] {
+                let nb = nb as usize;
+                if visited[nb] {
+                    continue;
+                }
+                visited[nb] = true;
+                let nd = l2_sq(query, self.vector(nb));
+                if nd < best.worst() {
+                    best.push(Neighbor::new(nb, nd));
+                    frontier.push(MinCand(nd, nb));
+                }
+            }
+        }
+        best.into_sorted()
+    }
+
+    /// Simple neighbor selection: keep the `max` closest candidates.
+    fn select_neighbors(mut cands: Vec<Neighbor>, max: usize) -> Vec<u32> {
+        cands.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+        cands.truncate(max);
+        cands.into_iter().map(|n| n.id as u32).collect()
+    }
+
+    /// Insert a vector, returning its id.
+    pub fn add(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim);
+        let id = self.len();
+        self.data.extend_from_slice(v);
+        let level = self.random_level();
+        self.node_layer.push(level as u8);
+        while self.links.len() <= level {
+            self.links.push(Vec::new());
+        }
+        for layer in self.links.iter_mut() {
+            layer.resize(id + 1, Vec::new());
+        }
+        let Some(mut cur) = self.entry else {
+            self.entry = Some(id);
+            return id;
+        };
+
+        let top = self.links.len() - 1;
+        // Descend through layers above the new node's level greedily.
+        for layer in ((level + 1)..=top).rev() {
+            if self.links[layer].len() > cur && !self.links[layer][cur].is_empty()
+                || self.node_at_layer(cur, layer)
+            {
+                cur = self.greedy_closest(v, cur, layer);
+            }
+        }
+        // Connect on each layer from min(level, old_top) down to 0.
+        let start_layer = level.min(top);
+        for layer in (0..=start_layer).rev() {
+            let found = self.search_layer(v, cur, self.params.ef_construction, layer);
+            cur = found.first().map(|n| n.id).unwrap_or(cur);
+            let max_deg = self.max_degree(layer);
+            let selected = Self::select_neighbors(found, max_deg);
+            for &nb in &selected {
+                let nb = nb as usize;
+                self.links[layer][id].push(nb as u32);
+                self.links[layer][nb].push(id as u32);
+                // Prune over-full neighbor lists.
+                if self.links[layer][nb].len() > max_deg {
+                    let nbv = self.vector(nb).to_vec();
+                    let cands: Vec<Neighbor> = self.links[layer][nb]
+                        .iter()
+                        .map(|&x| Neighbor::new(x as usize, l2_sq(&nbv, self.vector(x as usize))))
+                        .collect();
+                    self.links[layer][nb] = Self::select_neighbors(cands, max_deg);
+                }
+            }
+        }
+        // A node on a new top layer becomes the entry point.
+        if level > self.node_layer[self.entry.expect("non-empty")] as usize {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    fn node_at_layer(&self, node: usize, layer: usize) -> bool {
+        (self.node_layer[node] as usize) >= layer
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn len(&self) -> usize {
+        self.node_layer.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim);
+        let Some(mut cur) = self.entry else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let top = self.links.len() - 1;
+        for layer in (1..=top).rev() {
+            cur = self.greedy_closest(query, cur, layer);
+        }
+        let ef = self.params.ef_search.max(k);
+        let mut found = self.search_layer(query, cur, ef, 0);
+        found.truncate(k);
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        (0..n * dim).map(|_| next()).collect()
+    }
+
+    #[test]
+    fn self_query_exact() {
+        let dim = 16;
+        let data = random_data(300, dim, 1);
+        let idx = HnswIndex::build(&data, dim, HnswParams::default());
+        for q in [0usize, 50, 123, 299] {
+            let out = idx.search(&data[q * dim..(q + 1) * dim], 1);
+            assert_eq!(out[0].id, q);
+        }
+    }
+
+    #[test]
+    fn recall_vs_flat() {
+        let dim = 16;
+        let n = 2000;
+        let data = random_data(n, dim, 2);
+        let hnsw = HnswIndex::build(&data, dim, HnswParams::default());
+        let flat = FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()));
+        let queries = random_data(50, dim, 3);
+        let mut hits = 0;
+        let mut total = 0;
+        for q in queries.chunks(dim) {
+            let approx: Vec<usize> = hnsw.search(q, 10).iter().map(|n| n.id).collect();
+            let exact: Vec<usize> = flat.search(q, 10).iter().map(|n| n.id).collect();
+            total += exact.len();
+            hits += exact.iter().filter(|id| approx.contains(id)).count();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.85, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let dim = 8;
+        let data = random_data(500, dim, 4);
+        let idx = HnswIndex::build(&data, dim, HnswParams::default());
+        let out = idx.search(&random_data(1, dim, 5), 20);
+        assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist));
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn empty_and_tiny_indexes() {
+        let idx = HnswIndex::new(4, HnswParams::default());
+        assert!(idx.search(&[0.0; 4], 5).is_empty());
+        let mut idx = HnswIndex::new(2, HnswParams::default());
+        idx.add(&[1.0, 1.0]);
+        let out = idx.search(&[0.0, 0.0], 3);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 0);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let dim = 8;
+        let data = random_data(200, dim, 6);
+        let a = HnswIndex::build(&data, dim, HnswParams::default());
+        let b = HnswIndex::build(&data, dim, HnswParams::default());
+        let q = random_data(1, dim, 7);
+        assert_eq!(
+            a.search(&q, 5).iter().map(|n| n.id).collect::<Vec<_>>(),
+            b.search(&q, 5).iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn duplicate_vectors_handled() {
+        let dim = 4;
+        let mut data = Vec::new();
+        for _ in 0..50 {
+            data.extend_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        }
+        let idx = HnswIndex::build(&data, dim, HnswParams::default());
+        let out = idx.search(&[1.0, 2.0, 3.0, 4.0], 5);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|n| n.dist < 1e-9));
+    }
+}

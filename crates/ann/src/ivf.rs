@@ -1,0 +1,176 @@
+//! IVF-Flat: k-means coarse quantizer + inverted lists, the classic Faiss
+//! index layout.
+
+use crate::kmeans::{kmeans, KMeansResult};
+use crate::metric::{l2_sq, Neighbor, TopK};
+use crate::VectorIndex;
+
+/// Build parameters for [`IvfFlatIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct IvfParams {
+    /// Number of inverted lists (clusters). Defaults to `√n` when zero.
+    pub n_lists: usize,
+    /// Number of lists probed per query.
+    pub n_probe: usize,
+    pub kmeans_iters: usize,
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams { n_lists: 0, n_probe: 8, kmeans_iters: 10, seed: 0x1f2e_3d4c }
+    }
+}
+
+/// An IVF-Flat index: vectors are bucketed by nearest centroid; queries
+/// probe the `n_probe` closest buckets.
+pub struct IvfFlatIndex {
+    dim: usize,
+    n: usize,
+    params: IvfParams,
+    quantizer: KMeansResult,
+    /// `lists[c]` holds `(original_id, vector)` rows, vectors concatenated.
+    list_ids: Vec<Vec<usize>>,
+    list_data: Vec<Vec<f32>>,
+}
+
+impl IvfFlatIndex {
+    /// Build from row-major `data` (`n × dim`).
+    pub fn build(data: &[f32], dim: usize, mut params: IvfParams) -> IvfFlatIndex {
+        assert!(dim > 0);
+        assert_eq!(data.len() % dim, 0);
+        let n = data.len() / dim;
+        assert!(n > 0, "cannot build an empty IVF index");
+        if params.n_lists == 0 {
+            params.n_lists = (n as f64).sqrt().ceil() as usize;
+        }
+        params.n_lists = params.n_lists.clamp(1, n);
+        let quantizer = kmeans(data, dim, params.n_lists, params.kmeans_iters, params.seed);
+        let k = quantizer.k;
+        let mut list_ids = vec![Vec::new(); k];
+        let mut list_data = vec![Vec::new(); k];
+        for i in 0..n {
+            let c = quantizer.assignments[i];
+            list_ids[c].push(i);
+            list_data[c].extend_from_slice(&data[i * dim..(i + 1) * dim]);
+        }
+        IvfFlatIndex { dim, n, params, quantizer, list_ids, list_data }
+    }
+
+    pub fn n_lists(&self) -> usize {
+        self.quantizer.k
+    }
+}
+
+impl VectorIndex for IvfFlatIndex {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim);
+        if k == 0 {
+            return Vec::new();
+        }
+        // Rank centroids by distance, probe the closest lists.
+        let mut cd: Vec<(usize, f32)> = (0..self.quantizer.k)
+            .map(|c| (c, l2_sq(query, self.quantizer.centroid(c))))
+            .collect();
+        cd.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut top = TopK::new(k);
+        for &(c, _) in cd.iter().take(self.params.n_probe.max(1)) {
+            let ids = &self.list_ids[c];
+            let data = &self.list_data[c];
+            for (j, &id) in ids.iter().enumerate() {
+                let v = &data[j * self.dim..(j + 1) * self.dim];
+                top.push(Neighbor::new(id, l2_sq(query, v)));
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        (0..n * dim).map(|_| next()).collect()
+    }
+
+    #[test]
+    fn probing_all_lists_is_exact() {
+        let dim = 8;
+        let data = random_data(500, dim, 1);
+        let ivf = IvfFlatIndex::build(
+            &data,
+            dim,
+            IvfParams { n_lists: 10, n_probe: 10, ..Default::default() },
+        );
+        let flat = FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()));
+        for q in 0..20 {
+            let query = &data[q * dim..(q + 1) * dim];
+            let a = ivf.search(query, 5);
+            let b = flat.search(query, 5);
+            assert_eq!(
+                a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                b.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn partial_probe_recall_reasonable() {
+        let dim = 8;
+        let n = 2000;
+        let data = random_data(n, dim, 2);
+        let ivf = IvfFlatIndex::build(
+            &data,
+            dim,
+            IvfParams { n_lists: 40, n_probe: 8, ..Default::default() },
+        );
+        let flat = FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()));
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for q in 0..50 {
+            let query = &data[q * dim..(q + 1) * dim];
+            let approx: Vec<usize> = ivf.search(query, 10).iter().map(|n| n.id).collect();
+            let exact: Vec<usize> = flat.search(query, 10).iter().map(|n| n.id).collect();
+            total += exact.len();
+            hits += exact.iter().filter(|id| approx.contains(id)).count();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.6, "recall@10 {recall}");
+    }
+
+    #[test]
+    fn self_query_returns_self() {
+        let dim = 4;
+        let data = random_data(100, dim, 3);
+        let ivf = IvfFlatIndex::build(&data, dim, IvfParams::default());
+        for q in [0usize, 17, 50, 99] {
+            let query = &data[q * dim..(q + 1) * dim];
+            let out = ivf.search(query, 1);
+            assert_eq!(out[0].id, q);
+            assert!(out[0].dist < 1e-9);
+        }
+    }
+
+    #[test]
+    fn default_list_count_is_sqrt_n() {
+        let dim = 4;
+        let data = random_data(400, dim, 4);
+        let ivf = IvfFlatIndex::build(&data, dim, IvfParams::default());
+        assert_eq!(ivf.n_lists(), 20);
+    }
+}

@@ -1,0 +1,204 @@
+//! Seeded Lloyd's k-means with k-means++ initialization (the coarse
+//! quantizer behind [`crate::IvfFlatIndex`]).
+
+use crate::metric::l2_sq;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Clustering output: centroids (row-major `k × dim`) and per-point
+/// assignments.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    pub k: usize,
+    pub dim: usize,
+    pub centroids: Vec<f32>,
+    pub assignments: Vec<usize>,
+    pub inertia: f32,
+}
+
+impl KMeansResult {
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Index of the nearest centroid to `v`.
+    pub fn nearest(&self, v: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.k {
+            let d = l2_sq(v, self.centroid(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// Run k-means over `n` points of dimension `dim` stored row-major in
+/// `data`. `k` is clamped to `n`. Deterministic for a fixed seed.
+pub fn kmeans(data: &[f32], dim: usize, k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    assert!(dim > 0);
+    assert_eq!(data.len() % dim, 0);
+    let n = data.len() / dim;
+    assert!(n > 0, "cannot cluster an empty dataset");
+    let k = k.clamp(1, n);
+    let point = |i: usize| &data[i * dim..(i + 1) * dim];
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- k-means++ seeding ---
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    let first = rng.random_range(0..n);
+    centroids.extend_from_slice(point(first));
+    let mut d2: Vec<f32> = (0..n).map(|i| l2_sq(point(i), &centroids[0..dim])).collect();
+    while centroids.len() < k * dim {
+        let total: f32 = d2.iter().sum();
+        let pick = if total <= f32::EPSILON {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        let start = centroids.len();
+        centroids.extend_from_slice(point(pick));
+        let new_c = centroids[start..start + dim].to_vec();
+        for i in 0..n {
+            let d = l2_sq(point(i), &new_c);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f32::INFINITY;
+    for _ in 0..max_iters {
+        // Assign.
+        let mut new_inertia = 0.0f32;
+        let mut changed = false;
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = l2_sq(point(i), &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+            new_inertia += best_d;
+        }
+        inertia = new_inertia;
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![0.0f32; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            let p = point(i);
+            for d in 0..dim {
+                sums[c * dim + d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with a random point.
+                let i = rng.random_range(0..n);
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(point(i));
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                for d in 0..dim {
+                    centroids[c * dim + d] = sums[c * dim + d] * inv;
+                }
+            }
+        }
+    }
+    KMeansResult { k, dim, centroids, assignments, inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs() -> Vec<f32> {
+        let mut data = Vec::new();
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)];
+        let mut state = 3u64;
+        let mut jitter = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        for &(cx, cy) in &centers {
+            for _ in 0..30 {
+                data.push(cx + jitter() * 0.5);
+                data.push(cy + jitter() * 0.5);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let data = blobs();
+        let r = kmeans(&data, 2, 3, 20, 42);
+        // All points of one blob share an assignment.
+        for blob in 0..3 {
+            let first = r.assignments[blob * 30];
+            for i in 0..30 {
+                assert_eq!(r.assignments[blob * 30 + i], first, "blob {blob} split");
+            }
+        }
+        assert!(r.inertia < 60.0, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = blobs();
+        let a = kmeans(&data, 2, 3, 20, 7);
+        let b = kmeans(&data, 2, 3, 20, 7);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let data = vec![0.0, 0.0, 1.0, 1.0];
+        let r = kmeans(&data, 2, 10, 5, 1);
+        assert_eq!(r.k, 2);
+    }
+
+    #[test]
+    fn nearest_matches_assignment() {
+        let data = blobs();
+        let r = kmeans(&data, 2, 3, 20, 42);
+        for i in 0..data.len() / 2 {
+            let p = &data[i * 2..i * 2 + 2];
+            assert_eq!(r.nearest(p), r.assignments[i]);
+        }
+    }
+
+    #[test]
+    fn identical_points_are_fine() {
+        let data = vec![1.0f32; 20]; // 10 identical 2-D points
+        let r = kmeans(&data, 2, 3, 10, 9);
+        assert!(r.inertia < 1e-6);
+    }
+}

@@ -1,0 +1,50 @@
+//! `af-ann` — vector similarity search, built from scratch.
+//!
+//! The paper indexes sheet- and region-embeddings with Faiss (§4.6, Fig. 8)
+//! and credits ANN search for Auto-Formula's orders-of-magnitude latency
+//! advantage over Mondrian's graph matching. This crate supplies that
+//! substrate:
+//!
+//! * [`FlatIndex`] — exact scan (optionally parallel), ground truth;
+//! * [`HnswIndex`] — hierarchical navigable small-world graphs;
+//! * [`IvfFlatIndex`] — k-means inverted lists (IVF-Flat, the classic Faiss
+//!   layout);
+//! * [`kmeans`] — seeded Lloyd's algorithm with k-means++ initialization.
+//!
+//! All indexes measure **squared Euclidean distance**; the embeddings this
+//! workspace produces are L2-normalized, making squared-L2 ordering
+//! identical to cosine ordering.
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod kmeans;
+pub mod metric;
+
+pub use flat::FlatIndex;
+pub use hnsw::{HnswIndex, HnswParams};
+pub use ivf::{IvfFlatIndex, IvfParams};
+pub use kmeans::{kmeans, KMeansResult};
+pub use metric::{l2_sq, Neighbor};
+
+/// Common interface over the index types.
+pub trait VectorIndex: Send + Sync {
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+    /// The `k` nearest neighbors of `query`, ascending by distance.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nearest neighbors within a distance threshold (the paper's `θ`
+    /// confidence knob in step S2).
+    fn search_within(&self, query: &[f32], k: usize, max_dist: f32) -> Vec<Neighbor> {
+        let mut out = self.search(query, k);
+        out.retain(|n| n.dist <= max_dist);
+        out
+    }
+}

@@ -1,0 +1,129 @@
+//! Distance computation and neighbor records.
+
+/// A search hit: vector id plus squared-L2 distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub id: usize,
+    pub dist: f32,
+}
+
+impl Neighbor {
+    pub fn new(id: usize, dist: f32) -> Neighbor {
+        Neighbor { id, dist }
+    }
+}
+
+/// Squared Euclidean distance. On unit vectors this equals `2 − 2·cosθ`, so
+/// ranking by it matches ranking by cosine similarity.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    // Process in chunks of 4 to encourage vectorization.
+    let chunks = a.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        let d0 = a[i] - b[i];
+        let d1 = a[i + 1] - b[i + 1];
+        let d2 = a[i + 2] - b[i + 2];
+        let d3 = a[i + 3] - b[i + 3];
+        acc += d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3;
+        i += 4;
+    }
+    while i < a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+        i += 1;
+    }
+    acc
+}
+
+/// Maintain the `k` smallest neighbors seen so far (a bounded max-heap
+/// encoded as a sorted insertion buffer — for the small `k` used here this
+/// beats a real heap).
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    items: Vec<Neighbor>,
+}
+
+impl TopK {
+    pub fn new(k: usize) -> TopK {
+        TopK { k, items: Vec::with_capacity(k + 1) }
+    }
+
+    /// Current worst (largest) accepted distance, or `f32::INFINITY` while
+    /// not yet full.
+    pub fn worst(&self) -> f32 {
+        if self.items.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.items.last().map(|n| n.dist).unwrap_or(f32::INFINITY)
+        }
+    }
+
+    pub fn push(&mut self, n: Neighbor) {
+        if self.k == 0 || n.dist >= self.worst() {
+            return;
+        }
+        let pos = self.items.partition_point(|x| x.dist <= n.dist);
+        self.items.insert(pos, n);
+        self.items.truncate(self.k);
+    }
+
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        self.items
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_naive() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| (13 - i) as f32 * 0.25).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!((l2_sq(&a, &b) - naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn topk_keeps_k_smallest_sorted() {
+        let mut t = TopK::new(3);
+        for (id, d) in [(0, 5.0), (1, 1.0), (2, 3.0), (3, 0.5), (4, 4.0)] {
+            t.push(Neighbor::new(id, d));
+        }
+        let out = t.into_sorted();
+        let ids: Vec<usize> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 1, 2]);
+        assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn topk_zero_capacity() {
+        let mut t = TopK::new(0);
+        t.push(Neighbor::new(0, 1.0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn worst_tracks_threshold() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.worst(), f32::INFINITY);
+        t.push(Neighbor::new(0, 2.0));
+        assert_eq!(t.worst(), f32::INFINITY, "not yet full");
+        t.push(Neighbor::new(1, 1.0));
+        assert_eq!(t.worst(), 2.0);
+        t.push(Neighbor::new(2, 0.5));
+        assert_eq!(t.worst(), 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests on the vector indexes: exactness of the flat scan,
+//! result ordering, threshold semantics, and approximate-index recall
+//! bounds on arbitrary data.
+
+use af_ann::{FlatIndex, HnswIndex, HnswParams, IvfFlatIndex, IvfParams, VectorIndex};
+use proptest::prelude::*;
+
+fn dataset(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    };
+    (0..n * dim).map(|_| next()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flat_matches_naive_scan(
+        n in 1usize..200,
+        dim in 1usize..16,
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let data = dataset(n, dim, seed);
+        let idx = FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()));
+        let query = dataset(1, dim, seed ^ 0xFF);
+        let got = idx.search(&query, k);
+        // Naive reference.
+        let mut naive: Vec<(usize, f32)> = data
+            .chunks(dim)
+            .enumerate()
+            .map(|(i, v)| {
+                (i, v.iter().zip(&query).map(|(a, b)| (a - b) * (a - b)).sum::<f32>())
+            })
+            .collect();
+        naive.sort_by(|a, b| a.1.total_cmp(&b.1));
+        naive.truncate(k);
+        prop_assert_eq!(got.len(), naive.len());
+        for (g, (_, nd)) in got.iter().zip(&naive) {
+            // Allow distance ties to permute ids; distances must agree.
+            prop_assert!((g.dist - nd).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn results_sorted_and_within_threshold(
+        n in 1usize..120,
+        seed in 0u64..1000,
+        max_dist in 0.0f32..4.0,
+    ) {
+        let dim = 8;
+        let data = dataset(n, dim, seed);
+        let idx = FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()));
+        let query = dataset(1, dim, seed ^ 0xAB);
+        let out = idx.search_within(&query, n, max_dist);
+        prop_assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist));
+        prop_assert!(out.iter().all(|nb| nb.dist <= max_dist));
+    }
+
+    #[test]
+    fn hnsw_always_finds_exact_duplicates(
+        n in 2usize..150,
+        seed in 0u64..500,
+    ) {
+        let dim = 8;
+        let data = dataset(n, dim, seed);
+        let idx = HnswIndex::build(&data, dim, HnswParams::default());
+        // Query with an indexed vector: distance 0 must be found.
+        let probe = (seed as usize) % n;
+        let out = idx.search(&data[probe * dim..(probe + 1) * dim], 1);
+        prop_assert_eq!(out.len(), 1);
+        prop_assert!(out[0].dist < 1e-9);
+    }
+
+    #[test]
+    fn ivf_full_probe_is_exact(
+        n in 5usize..150,
+        seed in 0u64..500,
+    ) {
+        let dim = 6;
+        let data = dataset(n, dim, seed);
+        let lists = (n as f64).sqrt().ceil() as usize;
+        let ivf = IvfFlatIndex::build(
+            &data,
+            dim,
+            IvfParams { n_lists: lists, n_probe: lists, ..Default::default() },
+        );
+        let flat = FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()));
+        let query = dataset(1, dim, seed ^ 0x1234);
+        let a = ivf.search(&query, 3);
+        let b = flat.search(&query, 3);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.dist - y.dist).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Naive formula adaptation shared by the non-learned baselines: shift all
+//! relative references by the (target − source) offset, exactly what a user
+//! pasting a formula into another cell would get. No local context search —
+//! this is precisely what Auto-Formula's S3 improves upon.
+
+use af_formula::{parse_formula, Expr};
+use af_grid::{A1Ref, CellRef};
+
+/// Offset-rewrite `formula` (authored at `from`) as if pasted at `to`.
+/// Absolute (`$`) axes are preserved; a relative reference that would fall
+/// off the sheet returns `None`.
+pub fn offset_rewrite(formula: &str, from: CellRef, to: CellRef) -> Option<String> {
+    let expr = parse_formula(formula).ok()?;
+    let dr = to.row as i64 - from.row as i64;
+    let dc = to.col as i64 - from.col as i64;
+    let shifted = shift_expr(&expr, dr, dc)?;
+    Some(shifted.to_string())
+}
+
+fn shift_ref(r: &A1Ref, dr: i64, dc: i64) -> Option<A1Ref> {
+    let row = if r.abs_row { r.cell.row as i64 } else { r.cell.row as i64 + dr };
+    let col = if r.abs_col { r.cell.col as i64 } else { r.cell.col as i64 + dc };
+    if row < 0 || col < 0 {
+        return None;
+    }
+    Some(A1Ref { cell: CellRef::new(row as u32, col as u32), abs_row: r.abs_row, abs_col: r.abs_col })
+}
+
+fn shift_expr(e: &Expr, dr: i64, dc: i64) -> Option<Expr> {
+    Some(match e {
+        Expr::Number(n) => Expr::Number(*n),
+        Expr::Text(s) => Expr::Text(s.clone()),
+        Expr::Bool(b) => Expr::Bool(*b),
+        Expr::Ref(r) => Expr::Ref(shift_ref(r, dr, dc)?),
+        Expr::Range(a, b) => Expr::Range(shift_ref(a, dr, dc)?, shift_ref(b, dr, dc)?),
+        Expr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter().map(|a| shift_expr(a, dr, dc)).collect::<Option<Vec<_>>>()?,
+        ),
+        Expr::Binary(op, l, r) => Expr::Binary(
+            *op,
+            Box::new(shift_expr(l, dr, dc)?),
+            Box::new(shift_expr(r, dr, dc)?),
+        ),
+        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(shift_expr(x, dr, dc)?)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> CellRef {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn same_row_paste() {
+        let out = offset_rewrite("SUM(B3:F3)", c("G3"), c("G7")).unwrap();
+        assert_eq!(out, "SUM(B7:F7)");
+    }
+
+    #[test]
+    fn absolute_refs_pinned() {
+        let out = offset_rewrite("VLOOKUP(A2,$D$1:$E$9,2,FALSE)", c("C2"), c("C5")).unwrap();
+        assert_eq!(out, "VLOOKUP(A5,$D$1:$E$9,2,FALSE)");
+    }
+
+    #[test]
+    fn falls_off_sheet() {
+        assert!(offset_rewrite("A1+1", c("B5"), c("B1")).is_none());
+    }
+
+    #[test]
+    fn constants_untouched() {
+        let out = offset_rewrite("IF(G4>40,G4-40,0)", c("H4"), c("H9")).unwrap();
+        assert_eq!(out, "IF(G9>40,G9-40,0)");
+    }
+
+    #[test]
+    fn unparseable_is_none() {
+        assert!(offset_rewrite("NOT A FORMULA ((", c("A1"), c("B2")).is_none());
+    }
+}

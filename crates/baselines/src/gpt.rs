@@ -1,0 +1,396 @@
+//! GPT-sim: a seeded stand-in for the paper's GPT-3.5/GPT-4 comparison
+//! (§5.1, Table 4) with the full 24-variant prompt grid.
+//!
+//! What is real: the **RAG variants genuinely retrieve** the most similar
+//! reference region (bag-of-words hashing over window text, ANN-style
+//! nearest neighbor) and adapt its formula by offset-rewriting — the same
+//! mechanism that made RAG the only competitive prompt family in the
+//! paper. What is simulated: the generation noise. An LLM copies or
+//! mis-adapts retrieved formulas with variant-dependent error rates; those
+//! rates are *calibrated to the paper's measured Table 4* and documented
+//! here rather than hidden. Non-RAG variants fall back to NL-keyword
+//! guessing (they cannot see any similar sheet), reproducing their ≈0
+//! scores mechanistically.
+
+use crate::adapt::offset_rewrite;
+use crate::ssc::SpreadsheetCoderSim;
+use crate::{Baseline, BaselinePrediction, PredictionContext};
+use af_grid::{CellRef, Sheet, ViewWindow, WindowSlot, Workbook};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Example-selection strategies (3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExampleSelection {
+    ZeroShot,
+    FewShotCommon,
+    FewShotRag,
+}
+
+/// Table-region strategies (2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableRegion {
+    PreciseTable,
+    LargeSheet,
+}
+
+/// Model variants (2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GptModel {
+    Gpt35Turbo,
+    Gpt4,
+}
+
+/// One cell of the 24-variant prompt grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromptConfig {
+    pub selection: ExampleSelection,
+    pub cot: bool,
+    pub region: TableRegion,
+    pub model: GptModel,
+}
+
+impl PromptConfig {
+    /// All 24 prompt variants in Table 4's row order.
+    pub fn all() -> Vec<PromptConfig> {
+        let mut out = Vec::with_capacity(24);
+        for selection in [
+            ExampleSelection::ZeroShot,
+            ExampleSelection::FewShotCommon,
+            ExampleSelection::FewShotRag,
+        ] {
+            for cot in [true, false] {
+                for region in [TableRegion::PreciseTable, TableRegion::LargeSheet] {
+                    for model in [GptModel::Gpt35Turbo, GptModel::Gpt4] {
+                        out.push(PromptConfig { selection, cot, region, model });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            match self.selection {
+                ExampleSelection::ZeroShot => "zero-shot",
+                ExampleSelection::FewShotCommon => "few-shot-common",
+                ExampleSelection::FewShotRag => "few-shot-RAG",
+            },
+            if self.cot { "COT" } else { "noCOT" },
+            match self.region {
+                TableRegion::PreciseTable => "precise-table",
+                TableRegion::LargeSheet => "large-sheet",
+            },
+            match self.model {
+                GptModel::Gpt35Turbo => "gpt-3.5",
+                GptModel::Gpt4 => "gpt-4",
+            },
+        )
+    }
+
+    /// Probability that the "LLM" corrupts a correctly retrieved+adapted
+    /// formula (RAG variants). Calibrated against Table 4: precise-table
+    /// RAG ≈ 0.21–0.26, gpt-4 + large-sheet degrades (context overflow).
+    fn rag_corruption(&self) -> f64 {
+        let mut p = 0.45;
+        if self.model == GptModel::Gpt4 {
+            p -= 0.03;
+        }
+        if self.region == TableRegion::LargeSheet {
+            p += 0.03;
+            if self.model == GptModel::Gpt4 {
+                p += 0.22; // verbose contexts blow the 4096-token budget
+            }
+        }
+        if self.cot {
+            p += 0.02; // COT slightly hurt RAG variants in Table 4
+        }
+        p
+    }
+
+    /// Probability that a keyword-guessed simple formula survives
+    /// generation (non-RAG variants). Zero-shot GPT-3.5 ≈ 0 in Table 4.
+    fn keyword_success(&self) -> f64 {
+        match (self.selection, self.model) {
+            (ExampleSelection::ZeroShot, GptModel::Gpt35Turbo) => 0.02,
+            (ExampleSelection::ZeroShot, GptModel::Gpt4) => 0.22,
+            (ExampleSelection::FewShotCommon, GptModel::Gpt35Turbo) => 0.03,
+            (ExampleSelection::FewShotCommon, GptModel::Gpt4) => 0.20,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The GPT stand-in with its retrieval memory.
+pub struct GptSim {
+    /// `(workbook, sheet, cell, formula, bag)` per reference formula.
+    memory: Vec<RetrievalEntry>,
+    bag_dim: usize,
+}
+
+struct RetrievalEntry {
+    cell: CellRef,
+    formula: String,
+    bag: Vec<f32>,
+}
+
+const BAG_DIM: usize = 64;
+const RAG_WINDOW: ViewWindow = ViewWindow::new(24, 8);
+
+fn text_bag(sheet: &Sheet, center: CellRef, dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    for slot in RAG_WINDOW.centered(sheet, center) {
+        if let WindowSlot::Cell(_, cell) = slot {
+            let display = cell.value.display();
+            for word in display.split_whitespace() {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in word.to_lowercase().bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1_0000_0000_01b3);
+                }
+                out[(h % dim as u64) as usize] += 1.0;
+            }
+        }
+    }
+    let norm: f32 = out.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm > 1e-9 {
+        for v in out.iter_mut() {
+            *v /= norm;
+        }
+    }
+    out
+}
+
+impl GptSim {
+    /// Build the retrieval memory over the reference corpus (this is the
+    /// FAISS-over-GloVe retrieval the paper gives its RAG prompts).
+    pub fn build(workbooks: &[Workbook], reference: &[usize]) -> GptSim {
+        let mut memory = Vec::new();
+        for &wi in reference {
+            for sheet in workbooks[wi].sheets.iter() {
+                for (cell, formula) in sheet.formulas() {
+                    memory.push(RetrievalEntry {
+                        cell,
+                        formula: formula.to_string(),
+                        bag: text_bag(sheet, cell, BAG_DIM),
+                    });
+                }
+            }
+        }
+        GptSim { memory, bag_dim: BAG_DIM }
+    }
+
+    /// Deterministic per-(case, variant) RNG.
+    fn case_rng(ctx: &PredictionContext<'_>, cfg: &PromptConfig) -> StdRng {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for v in [
+            ctx.target_workbook as u64,
+            ctx.target_sheet as u64,
+            ctx.target.row as u64,
+            ctx.target.col as u64,
+            cfg.cot as u64,
+            (cfg.region == TableRegion::LargeSheet) as u64,
+            (cfg.model == GptModel::Gpt4) as u64,
+            match cfg.selection {
+                ExampleSelection::ZeroShot => 0,
+                ExampleSelection::FewShotCommon => 1,
+                ExampleSelection::FewShotRag => 2,
+            },
+        ] {
+            h ^= v.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h = h.rotate_left(17).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        }
+        StdRng::seed_from_u64(h)
+    }
+
+    /// Predict under one prompt variant.
+    pub fn predict_variant(
+        &self,
+        ctx: &PredictionContext<'_>,
+        cfg: &PromptConfig,
+    ) -> Option<BaselinePrediction> {
+        let mut rng = Self::case_rng(ctx, cfg);
+        match cfg.selection {
+            ExampleSelection::FewShotRag => {
+                if self.memory.is_empty() {
+                    return None;
+                }
+                // Real retrieval: nearest reference region by text bag.
+                let q = text_bag(ctx.masked, ctx.target, self.bag_dim);
+                let mut best: Option<(usize, f32)> = None;
+                for (i, e) in self.memory.iter().enumerate() {
+                    let sim: f32 = q.iter().zip(&e.bag).map(|(a, b)| a * b).sum();
+                    if best.map_or(true, |(_, bs)| sim > bs) {
+                        best = Some((i, sim));
+                    }
+                }
+                let (i, sim) = best?;
+                if sim < 0.3 {
+                    return None; // nothing similar in the prompt
+                }
+                let entry = &self.memory[i];
+                let adapted = offset_rewrite(&entry.formula, entry.cell, ctx.target)?;
+                // Simulated generation noise.
+                if rng.random_bool(cfg.rag_corruption()) {
+                    let corrupted = corrupt(&adapted, &mut rng)?;
+                    return Some(BaselinePrediction { formula: corrupted, confidence: sim });
+                }
+                Some(BaselinePrediction { formula: adapted, confidence: sim })
+            }
+            _ => {
+                // No similar sheet in the prompt: NL keyword guessing only.
+                let guess = SpreadsheetCoderSim.predict(ctx)?;
+                if rng.random_bool(cfg.keyword_success()) {
+                    Some(BaselinePrediction { confidence: 0.2, ..guess })
+                } else if rng.random_bool(0.5) {
+                    // Confidently wrong: plausible but mis-ranged output.
+                    let corrupted = corrupt(&guess.formula, &mut rng)?;
+                    Some(BaselinePrediction { formula: corrupted, confidence: 0.2 })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Union-of-24 (Table 4's last row / Table 5's GPT row): predictions of
+    /// every variant.
+    pub fn predict_all(&self, ctx: &PredictionContext<'_>) -> Vec<(PromptConfig, Option<BaselinePrediction>)> {
+        PromptConfig::all()
+            .into_iter()
+            .map(|cfg| {
+                let p = self.predict_variant(ctx, &cfg);
+                (cfg, p)
+            })
+            .collect()
+    }
+}
+
+impl Baseline for GptSim {
+    fn name(&self) -> &'static str {
+        "GPT"
+    }
+
+    /// The default `Baseline` entry point uses the best single variant
+    /// from Table 4 (few-shot-RAG / noCOT / precise-table / gpt-3.5).
+    fn predict(&self, ctx: &PredictionContext<'_>) -> Option<BaselinePrediction> {
+        let cfg = PromptConfig {
+            selection: ExampleSelection::FewShotRag,
+            cot: false,
+            region: TableRegion::PreciseTable,
+            model: GptModel::Gpt35Turbo,
+        };
+        self.predict_variant(ctx, &cfg)
+    }
+}
+
+/// Mutate a formula the way LLMs plausibly fumble adaptation: nudge one
+/// reference by a row, or swap a function name.
+fn corrupt(formula: &str, rng: &mut StdRng) -> Option<String> {
+    let expr = af_formula::parse_formula(formula).ok()?;
+    let (template, params) = af_formula::Template::extract(&expr);
+    if params.is_empty() {
+        return Some(format!("{formula}+0"));
+    }
+    let mut mutated = params.clone();
+    let idx = rng.random_range(0..mutated.len());
+    let bump = if rng.random_bool(0.5) { 1i64 } else { -1 };
+    mutated[idx] = mutated[idx].offset(bump, 0).unwrap_or(mutated[idx].offset(1, 0)?);
+    let out = template.instantiate(&mutated).ok()?;
+    Some(out.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_corpus::organization::{OrgSpec, Scale};
+    use af_corpus::split::{split, SplitKind};
+    use af_corpus::testcase::{masked_sheet, sample_test_cases};
+
+    #[test]
+    fn grid_has_24_variants() {
+        let all = PromptConfig::all();
+        assert_eq!(all.len(), 24);
+        let labels: std::collections::HashSet<String> =
+            all.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 24);
+    }
+
+    fn eval(selection: ExampleSelection, model: GptModel) -> (usize, usize) {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let sp = split(&corpus, SplitKind::Random, 0.1, 1);
+        let gpt = GptSim::build(&corpus.workbooks, &sp.reference);
+        let cases = sample_test_cases(&corpus, &sp, 5, 2);
+        let cfg = PromptConfig {
+            selection,
+            cot: false,
+            region: TableRegion::PreciseTable,
+            model,
+        };
+        let mut hits = 0;
+        let mut preds = 0;
+        for tc in &cases {
+            let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+            let masked = masked_sheet(sheet, tc.target);
+            let ctx = PredictionContext {
+                workbooks: &corpus.workbooks,
+                reference: &sp.reference,
+                target_workbook: tc.workbook,
+                target_sheet: tc.sheet,
+                masked: &masked,
+                target: tc.target,
+            };
+            if let Some(p) = gpt.predict_variant(&ctx, &cfg) {
+                preds += 1;
+                let gt = af_formula::parse_formula(&tc.ground_truth).unwrap().to_string();
+                if p.formula == gt {
+                    hits += 1;
+                }
+            }
+        }
+        (hits, preds)
+    }
+
+    #[test]
+    fn rag_beats_zero_shot() {
+        let (rag_hits, _) = eval(ExampleSelection::FewShotRag, GptModel::Gpt35Turbo);
+        let (zs_hits, _) = eval(ExampleSelection::ZeroShot, GptModel::Gpt35Turbo);
+        assert!(
+            rag_hits > zs_hits,
+            "RAG ({rag_hits}) must beat zero-shot ({zs_hits}) as in Table 4"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let corpus = OrgSpec::ti(Scale::Tiny).generate();
+        let sp = split(&corpus, SplitKind::Random, 0.1, 1);
+        let gpt = GptSim::build(&corpus.workbooks, &sp.reference);
+        let cases = sample_test_cases(&corpus, &sp, 3, 2);
+        let tc = &cases[0];
+        let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        let ctx = PredictionContext {
+            workbooks: &corpus.workbooks,
+            reference: &sp.reference,
+            target_workbook: tc.workbook,
+            target_sheet: tc.sheet,
+            masked: &masked,
+            target: tc.target,
+        };
+        let cfg = PromptConfig::all()[20];
+        let a = gpt.predict_variant(&ctx, &cfg).map(|p| p.formula);
+        let b = gpt.predict_variant(&ctx, &cfg).map(|p| p.formula);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruption_changes_formulas() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = corrupt("SUM(B3:F3)", &mut rng).unwrap();
+        assert_ne!(out, "SUM(B3:F3)");
+        assert!(af_formula::parse_formula(&out).is_ok(), "corrupted output still parses");
+    }
+}

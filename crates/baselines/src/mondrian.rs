@@ -1,0 +1,343 @@
+//! Mondrian (Vitagliano et al., SIGMOD'22 demo) reimplemented as a
+//! formula-prediction baseline, as the paper does (§5.1).
+//!
+//! Mondrian models a sheet as a set of rectangular *regions* (connected
+//! components of non-empty cells), compares sheets with a hand-crafted
+//! region-matching similarity, and clusters sheets agglomeratively —
+//! which is cubic in the number of sheets and cannot be ANN-indexed, the
+//! two properties behind its Table 2 timeouts and the Fig. 8 latency gap.
+
+use crate::adapt::offset_rewrite;
+use crate::{Baseline, BaselinePrediction, PredictionContext};
+use af_grid::{CellRef, FxHashMap, Sheet, Workbook};
+use std::time::{Duration, Instant};
+
+/// A rectangular region of non-empty cells.
+///
+/// Faithful to Mondrian's information diet: the original operates on
+/// layout and content *types* (it was built for CSV-era spreadsheets) and
+/// never sees styles or colors — one reason its hand-crafted similarity
+/// confuses same-layout sheets from different families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    pub min: CellRef,
+    pub max: CellRef,
+    pub n_cells: usize,
+    /// Fractions of [numeric, text, formula] cells.
+    pub profile: [f32; 3],
+}
+
+impl Region {
+    pub fn rows(&self) -> f32 {
+        (self.max.row - self.min.row + 1) as f32
+    }
+
+    pub fn cols(&self) -> f32 {
+        (self.max.col - self.min.col + 1) as f32
+    }
+}
+
+/// Detect regions: connected components (4-connectivity) of stored cells.
+pub fn detect_regions(sheet: &Sheet) -> Vec<Region> {
+    let mut visited: FxHashMap<CellRef, bool> = FxHashMap::default();
+    let mut out = Vec::new();
+    let cells: Vec<CellRef> = {
+        let mut v: Vec<CellRef> = sheet.iter().map(|(at, _)| at).collect();
+        v.sort_unstable();
+        v
+    };
+    for &start in &cells {
+        if visited.get(&start).copied().unwrap_or(false) {
+            continue;
+        }
+        // BFS flood fill.
+        let mut queue = vec![start];
+        visited.insert(start, true);
+        let mut min = start;
+        let mut max = start;
+        let mut n = 0usize;
+        let mut counts = [0usize; 3];
+        while let Some(at) = queue.pop() {
+            let cell = sheet.get(at).expect("visited only stored cells");
+            n += 1;
+            min.row = min.row.min(at.row);
+            min.col = min.col.min(at.col);
+            max.row = max.row.max(at.row);
+            max.col = max.col.max(at.col);
+            if cell.value.is_number() {
+                counts[0] += 1;
+            }
+            if cell.value.is_text() {
+                counts[1] += 1;
+            }
+            if cell.formula.is_some() {
+                counts[2] += 1;
+            }
+            for (dr, dc) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                if let Some(nb) = at.offset(dr, dc) {
+                    if sheet.get(nb).is_some() && !visited.get(&nb).copied().unwrap_or(false) {
+                        visited.insert(nb, true);
+                        queue.push(nb);
+                    }
+                }
+            }
+        }
+        let nf = n as f32;
+        out.push(Region {
+            min,
+            max,
+            n_cells: n,
+            profile: [
+                counts[0] as f32 / nf,
+                counts[1] as f32 / nf,
+                counts[2] as f32 / nf,
+            ],
+        });
+    }
+    out
+}
+
+/// Hand-crafted region dissimilarity.
+fn region_cost(a: &Region, b: &Region) -> f32 {
+    let pos = (a.min.row as f32 - b.min.row as f32).abs() / 20.0
+        + (a.min.col as f32 - b.min.col as f32).abs() / 8.0;
+    let size = ((a.rows() - b.rows()).abs() / a.rows().max(b.rows()))
+        + ((a.cols() - b.cols()).abs() / a.cols().max(b.cols()));
+    let profile: f32 =
+        a.profile.iter().zip(&b.profile).map(|(x, y)| (x - y).abs()).sum();
+    pos.min(2.0) + size + profile
+}
+
+/// Greedy node matching between two region sets; returns a dissimilarity
+/// (lower = more similar).
+pub fn sheet_distance(a: &[Region], b: &[Region]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return f32::INFINITY;
+    }
+    let mut used = vec![false; b.len()];
+    let mut total = 0.0f32;
+    for ra in a {
+        let mut best: Option<(usize, f32)> = None;
+        for (j, rb) in b.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            let c = region_cost(ra, rb);
+            if best.map_or(true, |(_, bc)| c < bc) {
+                best = Some((j, c));
+            }
+        }
+        match best {
+            Some((j, c)) => {
+                used[j] = true;
+                total += c;
+            }
+            None => total += 3.0, // unmatched penalty
+        }
+    }
+    total += 3.0 * used.iter().filter(|u| !**u).count() as f32;
+    total / a.len().max(b.len()) as f32
+}
+
+/// Built Mondrian state: region graphs for every reference sheet plus an
+/// agglomerative clustering.
+pub struct MondrianBaseline {
+    keys: Vec<(usize, usize)>,
+    graphs: Vec<Vec<Region>>,
+    /// Cluster label per reference sheet.
+    pub clusters: Vec<usize>,
+    pub build_seconds: f64,
+}
+
+/// Build failure: the clustering exceeded its wall-clock budget (the
+/// paper's `[Time Out]` cells in Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOut;
+
+impl MondrianBaseline {
+    /// Build over the reference workbooks, giving up after `budget`
+    /// (agglomerative clustering is O(n³): the budget is the honest way to
+    /// reproduce the paper's one-week timeouts at laptop scale).
+    pub fn build(
+        workbooks: &[Workbook],
+        members: &[usize],
+        budget: Duration,
+    ) -> Result<MondrianBaseline, TimedOut> {
+        let started = Instant::now();
+        let mut keys = Vec::new();
+        let mut graphs = Vec::new();
+        for &wi in members {
+            for (si, sheet) in workbooks[wi].sheets.iter().enumerate() {
+                keys.push((wi, si));
+                graphs.push(detect_regions(sheet));
+            }
+        }
+        let n = graphs.len();
+        // Pairwise distance matrix (O(n²) matchings).
+        let mut dist = vec![0.0f32; n * n];
+        for i in 0..n {
+            if started.elapsed() > budget {
+                return Err(TimedOut);
+            }
+            for j in (i + 1)..n {
+                let d = sheet_distance(&graphs[i], &graphs[j]);
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        // Agglomerative single-linkage clustering until a distance cutoff.
+        const CUTOFF: f32 = 0.8;
+        let mut clusters: Vec<usize> = (0..n).collect();
+        loop {
+            if started.elapsed() > budget {
+                return Err(TimedOut);
+            }
+            // O(n²) scan per merge, O(n) merges → O(n³).
+            let mut best: Option<(usize, usize, f32)> = None;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if clusters[i] == clusters[j] {
+                        continue;
+                    }
+                    let d = dist[i * n + j];
+                    if d < CUTOFF && best.map_or(true, |(_, _, bd)| d < bd) {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+            match best {
+                Some((i, j, _)) => {
+                    let (from, to) = (clusters[j], clusters[i]);
+                    for c in clusters.iter_mut() {
+                        if *c == from {
+                            *c = to;
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        Ok(MondrianBaseline {
+            keys,
+            graphs,
+            clusters,
+            build_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    pub fn n_sheets(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of distinct clusters.
+    pub fn n_clusters(&self) -> usize {
+        let mut labels: Vec<usize> = self.clusters.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+}
+
+impl Baseline for MondrianBaseline {
+    fn name(&self) -> &'static str {
+        "Mondrian"
+    }
+
+    fn predict(&self, ctx: &PredictionContext<'_>) -> Option<BaselinePrediction> {
+        let target_graph = detect_regions(ctx.masked);
+        // Nearest reference sheet by the hand-crafted similarity.
+        let mut best: Option<(usize, f32)> = None;
+        for (i, g) in self.graphs.iter().enumerate() {
+            let d = sheet_distance(&target_graph, g);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        let (si, d) = best?;
+        if !d.is_finite() || d > 1.2 {
+            return None; // no plausible similar sheet
+        }
+        let (wi, ssi) = self.keys[si];
+        let ref_sheet = &ctx.workbooks[wi].sheets[ssi];
+        // Formula closest to the target location, offset-rewritten (no
+        // learned alignment — Mondrian's weakness on shifted sheets).
+        let nearest = ref_sheet.formulas().min_by_key(|(at, _)| {
+            let dr = (at.row as i64 - ctx.target.row as i64).abs();
+            let dc = (at.col as i64 - ctx.target.col as i64).abs();
+            dr + 4 * dc
+        })?;
+        let formula = offset_rewrite(nearest.1, nearest.0, ctx.target)?;
+        Some(BaselinePrediction { formula, confidence: 1.0 / (1.0 + d) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_corpus::organization::{OrgSpec, Scale};
+    use af_grid::Cell;
+
+    #[test]
+    fn region_detection_finds_separate_blocks() {
+        let mut s = Sheet::new("t");
+        // Block 1: 2×2 at A1; Block 2: 1×3 at E10 (disconnected).
+        for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            s.set(CellRef::new(r, c), Cell::new(1.0));
+        }
+        for c in 4..7 {
+            s.set(CellRef::new(9, c), Cell::new("x"));
+        }
+        let regions = detect_regions(&s);
+        assert_eq!(regions.len(), 2);
+        let sizes: Vec<usize> = regions.iter().map(|r| r.n_cells).collect();
+        assert!(sizes.contains(&4) && sizes.contains(&3));
+    }
+
+    #[test]
+    fn same_family_sheets_are_close() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let mut same = None;
+        let mut cross = None;
+        'outer: for i in 0..corpus.workbooks.len() {
+            for j in i + 1..corpus.workbooks.len() {
+                if corpus.same_family(i, j) && same.is_none() {
+                    same = Some((i, j));
+                }
+                if cross.is_none()
+                    && !corpus.same_family(i, j)
+                    && corpus.provenance[i].archetype != corpus.provenance[j].archetype
+                {
+                    cross = Some((i, j));
+                }
+                if same.is_some() && cross.is_some() {
+                    break 'outer;
+                }
+            }
+        }
+        let g = |w: usize| detect_regions(&corpus.workbooks[w].sheets[0]);
+        let (si, sj) = same.unwrap();
+        let (ci, cj) = cross.unwrap();
+        assert!(sheet_distance(&g(si), &g(sj)) < sheet_distance(&g(ci), &g(cj)));
+    }
+
+    #[test]
+    fn build_and_cluster_small_corpus() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let members: Vec<usize> = (0..corpus.workbooks.len().min(14)).collect();
+        let m =
+            MondrianBaseline::build(&corpus.workbooks, &members, Duration::from_secs(30)).unwrap();
+        assert!(m.n_sheets() >= members.len());
+        assert!(m.n_clusters() < m.n_sheets(), "some sheets should cluster together");
+    }
+
+    #[test]
+    fn budget_exceeded_times_out() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let members: Vec<usize> = (0..corpus.workbooks.len()).collect();
+        let out = MondrianBaseline::build(&corpus.workbooks, &members, Duration::from_nanos(1));
+        assert_eq!(out.err(), Some(TimedOut));
+    }
+}

@@ -1,0 +1,225 @@
+//! SpreadsheetCoder-sim: formula prediction from natural-language context
+//! only (headers and row labels), the mechanism of Chen et al. (ICML'21).
+//!
+//! The original is a BERT-based model over surrounding token grids; its
+//! *information diet* is what matters for the comparison: it sees NL
+//! context but no similar sheets. This stand-in implements that diet with
+//! keyword rules + contiguous-range inference, which (like the original in
+//! the paper's tests, Table 5 / Figs. 10–11) handles short single-function
+//! aggregates and fails on multi-parameter logic.
+
+use crate::{Baseline, BaselinePrediction, PredictionContext};
+use af_grid::{CellRef, CellValue, Sheet};
+
+/// The NL-context-only baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpreadsheetCoderSim;
+
+/// Keyword → aggregate function table.
+fn keyword_function(text: &str) -> Option<&'static str> {
+    let t = text.to_lowercase();
+    // Order matters: more specific phrases first.
+    if t.contains("average") || t.contains("avg") || t.contains("mean") || t.contains("typical") {
+        Some("AVERAGE")
+    } else if t.contains("median") {
+        Some("MEDIAN")
+    } else if t.contains("max") || t.contains("peak") || t.contains("top") || t.contains("largest")
+    {
+        Some("MAX")
+    } else if t.contains("min") || t.contains("smallest") || t.contains("lowest") {
+        Some("MIN")
+    } else if t.contains("count") || t.contains("tally") || t.contains("number of") {
+        Some("COUNT")
+    } else if t.contains("total") || t.contains("sum") || t.contains("grand") || t.contains("annual")
+    {
+        Some("SUM")
+    } else {
+        None
+    }
+}
+
+/// Nearest non-empty text cell above in the same column (the header).
+fn column_header(sheet: &Sheet, at: CellRef, reach: u32) -> Option<String> {
+    for dr in 1..=reach.min(at.row + 1) {
+        let r = CellRef::new(at.row - dr.min(at.row), at.col);
+        if at.row < dr {
+            break;
+        }
+        if let CellValue::Text(s) = sheet.value(r) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// Nearest non-empty text cell to the left in the same row (the label).
+fn row_label(sheet: &Sheet, at: CellRef, reach: u32) -> Option<String> {
+    for dc in 1..=reach.min(at.col + 1) {
+        if at.col < dc {
+            break;
+        }
+        let c = CellRef::new(at.row, at.col - dc);
+        if let CellValue::Text(s) = sheet.value(c) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// Contiguous numeric run directly above the target.
+fn numeric_run_above(sheet: &Sheet, at: CellRef) -> Option<(CellRef, CellRef)> {
+    if at.row == 0 {
+        return None;
+    }
+    let mut top = at.row; // exclusive bound walking up
+    while top > 0 {
+        let probe = CellRef::new(top - 1, at.col);
+        if sheet.value(probe).as_number().is_some() {
+            top -= 1;
+        } else {
+            break;
+        }
+    }
+    if top == at.row {
+        return None;
+    }
+    Some((CellRef::new(top, at.col), CellRef::new(at.row - 1, at.col)))
+}
+
+/// Contiguous numeric run directly to the left of the target.
+fn numeric_run_left(sheet: &Sheet, at: CellRef) -> Option<(CellRef, CellRef)> {
+    if at.col == 0 {
+        return None;
+    }
+    let mut left = at.col;
+    while left > 0 {
+        let probe = CellRef::new(at.row, left - 1);
+        if sheet.value(probe).as_number().is_some() {
+            left -= 1;
+        } else {
+            break;
+        }
+    }
+    if left == at.col {
+        return None;
+    }
+    Some((CellRef::new(at.row, left), CellRef::new(at.row, at.col - 1)))
+}
+
+impl Baseline for SpreadsheetCoderSim {
+    fn name(&self) -> &'static str {
+        "SpreadsheetCoder"
+    }
+
+    fn predict(&self, ctx: &PredictionContext<'_>) -> Option<BaselinePrediction> {
+        let sheet = ctx.masked;
+        let at = ctx.target;
+        let header = column_header(sheet, at, 40);
+        let label = row_label(sheet, at, 8);
+        // The function comes from whichever context mentions an aggregate.
+        let func = label
+            .as_deref()
+            .and_then(keyword_function)
+            .or_else(|| header.as_deref().and_then(keyword_function))?;
+        // The range comes from the adjacent numeric run: a row label
+        // suggests aggregating the run to the left; otherwise the column
+        // above.
+        let label_driven = label.as_deref().and_then(keyword_function).is_some();
+        let range = if label_driven {
+            numeric_run_left(sheet, at).or_else(|| numeric_run_above(sheet, at))
+        } else {
+            numeric_run_above(sheet, at).or_else(|| numeric_run_left(sheet, at))
+        }?;
+        let formula = format!("{func}({}:{})", range.0, range.1);
+        Some(BaselinePrediction { formula, confidence: 0.5 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_grid::{Cell, Workbook};
+
+    fn ctx_on<'a>(
+        workbooks: &'a [Workbook],
+        masked: &'a Sheet,
+        target: CellRef,
+    ) -> PredictionContext<'a> {
+        PredictionContext {
+            workbooks,
+            reference: &[],
+            target_workbook: 0,
+            target_sheet: 0,
+            masked,
+            target,
+        }
+    }
+
+    fn totals_sheet() -> Sheet {
+        let mut s = Sheet::new("t");
+        s.set_a1("A1", Cell::new("Item"));
+        s.set_a1("B1", Cell::new("Amount"));
+        for r in 2..=5 {
+            s.set_a1(&format!("A{r}"), Cell::new(format!("item{r}")));
+            s.set_a1(&format!("B{r}"), Cell::new(r as f64));
+        }
+        s.set_a1("A6", Cell::new("Total"));
+        s
+    }
+
+    #[test]
+    fn total_row_yields_sum_of_column() {
+        let s = totals_sheet();
+        let wb = [Workbook::new("w")];
+        let pred = SpreadsheetCoderSim
+            .predict(&ctx_on(&wb, &s, "B6".parse().unwrap()))
+            .unwrap();
+        assert_eq!(pred.formula, "SUM(B2:B5)");
+    }
+
+    #[test]
+    fn average_keyword_yields_average() {
+        let mut s = totals_sheet();
+        s.set_a1("A6", Cell::new("Average amount"));
+        let wb = [Workbook::new("w")];
+        let pred = SpreadsheetCoderSim
+            .predict(&ctx_on(&wb, &s, "B6".parse().unwrap()))
+            .unwrap();
+        assert_eq!(pred.formula, "AVERAGE(B2:B5)");
+    }
+
+    #[test]
+    fn row_wise_total_uses_left_run() {
+        let mut s = Sheet::new("t");
+        s.set_a1("E1", Cell::new("Total"));
+        for c in ["A2", "B2", "C2", "D2"] {
+            s.set_a1(c, Cell::new(2.0));
+        }
+        let wb = [Workbook::new("w")];
+        let pred = SpreadsheetCoderSim
+            .predict(&ctx_on(&wb, &s, "E2".parse().unwrap()))
+            .unwrap();
+        assert_eq!(pred.formula, "SUM(A2:D2)");
+    }
+
+    #[test]
+    fn no_keyword_no_prediction() {
+        let mut s = totals_sheet();
+        s.set_a1("A6", Cell::new("Banana"));
+        let wb = [Workbook::new("w")];
+        assert!(SpreadsheetCoderSim.predict(&ctx_on(&wb, &s, "B6".parse().unwrap())).is_none());
+    }
+
+    #[test]
+    fn cannot_predict_complex_formulas() {
+        // The COUNTIF tally of Fig. 1 is out of reach: the label "Brown"
+        // carries no aggregate keyword.
+        let mut s = Sheet::new("t");
+        for r in 2..=8 {
+            s.set_a1(&format!("C{r}"), Cell::new("Brown"));
+        }
+        s.set_a1("C10", Cell::new("Brown"));
+        let wb = [Workbook::new("w")];
+        assert!(SpreadsheetCoderSim.predict(&ctx_on(&wb, &s, "D10".parse().unwrap())).is_none());
+    }
+}

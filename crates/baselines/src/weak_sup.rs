@@ -1,0 +1,116 @@
+//! Weak-supervision-only baseline (§5.1): sheets are "similar" iff they
+//! pass the §4.2 sheet-name hypothesis test; the predicted formula is the
+//! reference formula closest to the target cell, offset-rewritten. High
+//! precision, low recall — it is blind to similarly-*looking* sheets with
+//! different names (Fig. 3c).
+
+use crate::adapt::offset_rewrite;
+use crate::{Baseline, BaselinePrediction, PredictionContext};
+use af_corpus::weak_supervision::NameModel;
+use af_grid::Workbook;
+
+/// Weak-supervision-only predictor.
+pub struct WeakSupBaseline {
+    model: NameModel,
+    alpha: f64,
+}
+
+impl WeakSupBaseline {
+    /// Build the name-frequency model over the whole collection.
+    pub fn build(workbooks: &[Workbook], alpha: f64) -> WeakSupBaseline {
+        WeakSupBaseline { model: NameModel::build(workbooks), alpha }
+    }
+}
+
+impl Baseline for WeakSupBaseline {
+    fn name(&self) -> &'static str {
+        "Weak Supervision"
+    }
+
+    fn predict(&self, ctx: &PredictionContext<'_>) -> Option<BaselinePrediction> {
+        let target_wb = &ctx.workbooks[ctx.target_workbook];
+        // Most significant matching reference workbook.
+        let mut best: Option<(usize, f64)> = None;
+        for &wi in ctx.reference {
+            if let Some(p) = self.model.match_p_value(target_wb, &ctx.workbooks[wi]) {
+                if p <= self.alpha && best.map_or(true, |(_, bp)| p < bp) {
+                    best = Some((wi, p));
+                }
+            }
+        }
+        let (wi, p) = best?;
+        let ref_sheet = ctx.workbooks[wi].sheets.get(ctx.target_sheet)?;
+        let nearest = ref_sheet.formulas().min_by_key(|(at, _)| {
+            let dr = (at.row as i64 - ctx.target.row as i64).abs();
+            let dc = (at.col as i64 - ctx.target.col as i64).abs();
+            dr + 4 * dc
+        })?;
+        let formula = offset_rewrite(nearest.1, nearest.0, ctx.target)?;
+        Some(BaselinePrediction { formula, confidence: 1.0 - p as f32 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_corpus::organization::{OrgSpec, Scale};
+    use af_corpus::split::{split, SplitKind};
+    use af_corpus::testcase::{masked_sheet, sample_test_cases};
+
+    #[test]
+    fn predicts_on_name_matched_families_only() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let ws = WeakSupBaseline::build(&corpus.workbooks, 0.05);
+        let sp = split(&corpus, SplitKind::Random, 0.1, 1);
+        let cases = sample_test_cases(&corpus, &sp, 5, 2);
+        let mut predicted = 0;
+        let mut hits = 0;
+        for tc in &cases {
+            let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+            let masked = masked_sheet(sheet, tc.target);
+            let ctx = PredictionContext {
+                workbooks: &corpus.workbooks,
+                reference: &sp.reference,
+                target_workbook: tc.workbook,
+                target_sheet: tc.sheet,
+                masked: &masked,
+                target: tc.target,
+            };
+            if let Some(pred) = ws.predict(&ctx) {
+                predicted += 1;
+                let gt = af_formula::parse_formula(&tc.ground_truth).unwrap().to_string();
+                if pred.formula == gt {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(predicted > 0, "PGE-sim has name-matched families");
+        // Precision should be decent on fixed-shape families; recall
+        // limited by generic-named ones.
+        assert!(hits > 0, "some exact hits expected ({hits}/{predicted})");
+        assert!(predicted < cases.len(), "must not predict for every case");
+    }
+
+    #[test]
+    fn silent_on_generic_names() {
+        // A corpus of singletons with generic names gives no evidence.
+        let spec = OrgSpec { n_families: 0, n_singletons: 8, ..OrgSpec::cisco(Scale::Tiny) };
+        let corpus = spec.generate();
+        let ws = WeakSupBaseline::build(&corpus.workbooks, 0.05);
+        let sp = split(&corpus, SplitKind::Random, 0.2, 1);
+        let cases = sample_test_cases(&corpus, &sp, 3, 2);
+        for tc in &cases {
+            let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+            let masked = masked_sheet(sheet, tc.target);
+            let ctx = PredictionContext {
+                workbooks: &corpus.workbooks,
+                reference: &sp.reference,
+                target_workbook: tc.workbook,
+                target_sheet: tc.sheet,
+                masked: &masked,
+                target: tc.target,
+            };
+            assert!(ws.predict(&ctx).is_none());
+        }
+    }
+}

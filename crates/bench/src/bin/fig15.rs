@@ -1,0 +1,4 @@
+//! Regenerates fig15 (see DESIGN.md's per-experiment index).
+fn main() {
+    af_bench::experiments::fig15();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig9 (see DESIGN.md's per-experiment index).
+fn main() {
+    af_bench::experiments::fig9();
+}

@@ -1,0 +1,4 @@
+//! Regenerates run_all (see DESIGN.md's per-experiment index).
+fn main() {
+    af_bench::experiments::run_all();
+}

@@ -1,0 +1,4 @@
+//! Regenerates table1 (see DESIGN.md's per-experiment index).
+fn main() {
+    af_bench::experiments::table1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates table2 (see DESIGN.md's per-experiment index).
+fn main() {
+    af_bench::experiments::table2();
+}

@@ -1,0 +1,4 @@
+//! Regenerates table5 (see DESIGN.md's per-experiment index).
+fn main() {
+    af_bench::experiments::table5();
+}

@@ -1,0 +1,4 @@
+//! Regenerates weaksup_quality (see DESIGN.md's per-experiment index).
+fn main() {
+    af_bench::experiments::weaksup_quality();
+}

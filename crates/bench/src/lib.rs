@@ -1,0 +1,17 @@
+//! `af-bench` — the evaluation harness that regenerates every table and
+//! figure of the paper's §5 (see DESIGN.md's per-experiment index).
+//!
+//! Each experiment is a library function in [`experiments`]; the `bin/`
+//! targets are thin wrappers so `cargo run -p af-bench --bin table2`
+//! regenerates Table 2 and `--bin run_all` regenerates everything.
+//! `AF_SCALE={tiny,small,full}` scales corpus sizes.
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use metrics::{pr_curve, quality, PrPoint, Quality};
+pub use runner::{evaluate_autoformula, evaluate_baseline, CaseResult};
+pub use scenario::{EmbedderKind, Scenario, SystemSpec};

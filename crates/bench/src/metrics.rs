@@ -1,0 +1,117 @@
+//! Quality metrics (§5.1): recall = hits/n, precision = hits/predictions,
+//! F1, and PR curves swept over the confidence threshold θ.
+
+/// Precision/recall/F1 at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    pub recall: f64,
+    pub precision: f64,
+    pub f1: f64,
+    pub n: usize,
+    pub n_pred: usize,
+    pub n_hit: usize,
+}
+
+/// Compute the paper's metrics from raw counts.
+pub fn quality(n: usize, n_pred: usize, n_hit: usize) -> Quality {
+    let recall = if n == 0 { 0.0 } else { n_hit as f64 / n as f64 };
+    let precision = if n_pred == 0 { 0.0 } else { n_hit as f64 / n_pred as f64 };
+    let f1 = if recall + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    };
+    Quality { recall, precision, f1, n, n_pred, n_hit }
+}
+
+/// One PR-curve point, tagged with the θ that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    pub theta: f32,
+    pub recall: f64,
+    pub precision: f64,
+}
+
+/// Sweep the confidence threshold over per-case results.
+///
+/// `results[i] = (distance, correct)` for cases where a candidate existed
+/// (lower distance = more confident); `n` is the total number of test
+/// cases. For each candidate θ (each distinct distance), predictions are
+/// the results with `distance ≤ θ`.
+pub fn pr_curve(results: &[(f32, bool)], n: usize) -> Vec<PrPoint> {
+    let mut sorted: Vec<(f32, bool)> = results.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out = Vec::with_capacity(sorted.len().min(64) + 1);
+    let mut hits = 0usize;
+    for (i, &(dist, correct)) in sorted.iter().enumerate() {
+        if correct {
+            hits += 1;
+        }
+        let preds = i + 1;
+        // Only emit at distance boundaries (last of a tie group).
+        if i + 1 < sorted.len() && sorted[i + 1].0 == dist {
+            continue;
+        }
+        let q = quality(n, preds, hits);
+        out.push(PrPoint { theta: dist, recall: q.recall, precision: q.precision });
+    }
+    // Thin to at most 40 points for readable output.
+    if out.len() > 40 {
+        let step = out.len() as f64 / 40.0;
+        let mut thinned = Vec::with_capacity(40);
+        let mut next = 0.0f64;
+        for (i, p) in out.iter().enumerate() {
+            if i as f64 >= next || i == out.len() - 1 {
+                thinned.push(*p);
+                next += step;
+            }
+        }
+        out = thinned;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_formulas() {
+        let q = quality(100, 50, 45);
+        assert!((q.recall - 0.45).abs() < 1e-12);
+        assert!((q.precision - 0.9).abs() < 1e-12);
+        assert!((q.f1 - 2.0 * 0.45 * 0.9 / 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cases_are_safe() {
+        let q = quality(0, 0, 0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn pr_curve_monotone_recall() {
+        let results = vec![(0.1, true), (0.2, true), (0.3, false), (0.4, true), (0.5, false)];
+        let curve = pr_curve(&results, 10);
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall, "recall grows with θ");
+            assert!(w[1].theta >= w[0].theta);
+        }
+        // Tightest threshold: 1 prediction, 1 hit → precision 1.
+        assert_eq!(curve[0].precision, 1.0);
+        assert!((curve[0].recall - 0.1).abs() < 1e-12);
+        // Loosest: 5 predictions, 3 hits.
+        let last = curve.last().unwrap();
+        assert!((last.precision - 0.6).abs() < 1e-12);
+        assert!((last.recall - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_distances_merge() {
+        let results = vec![(0.5, true), (0.5, false)];
+        let curve = pr_curve(&results, 4);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].precision, 0.5);
+    }
+}

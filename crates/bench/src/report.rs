@@ -1,0 +1,61 @@
+//! Plain-text table/series printers for experiment output.
+
+/// Render a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Render a PR-curve (or any x/y series) as labelled text rows.
+pub fn print_series(title: &str, points: &[(f64, f64)], x_label: &str, y_label: &str) {
+    println!("\n-- {title} ({x_label} -> {y_label}) --");
+    for (x, y) in points {
+        println!("  {x:.4}\t{y:.4}");
+    }
+}
+
+/// Format to 2 decimals (the paper's table precision).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format to 3 decimals (Table 4's precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f2(0.456), "0.46");
+        assert_eq!(f3(0.0333), "0.033");
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        print_table("t", &["a", "bb"], &[vec!["1".into(), "2".into()]]);
+        print_series("s", &[(0.1, 0.9)], "recall", "precision");
+    }
+}

@@ -1,0 +1,183 @@
+//! Evaluation loops: run a predictor over an organization's test cases and
+//! record per-case outcomes (confidence, correctness, latency, and the
+//! metadata needed by the sensitivity figures).
+
+use crate::metrics::{quality, Quality};
+use af_baselines::{Baseline, PredictionContext};
+use af_core::index::ReferenceIndex;
+use af_core::pipeline::{AutoFormula, PipelineVariant};
+use af_corpus::organization::OrgCorpus;
+use af_corpus::split::Split;
+use af_corpus::testcase::{masked_sheet, sample_test_cases, TestCase};
+use af_formula::{classify, complexity, parse_formula, FormulaType};
+use std::time::Instant;
+
+/// Per-case outcome of an Auto-Formula run.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// S2 distance (confidence; lower = stronger). `None`: no candidate at
+    /// all (no prediction regardless of θ).
+    pub dist: Option<f32>,
+    pub correct: bool,
+    /// Rows of the target sheet (Fig. 9 buckets).
+    pub sheet_rows: u32,
+    /// Ground-truth AST node count (Fig. 10 buckets).
+    pub complexity: usize,
+    /// Ground-truth formula type (Fig. 11 buckets).
+    pub ftype: FormulaType,
+    pub latency_ms: f64,
+}
+
+/// Sample the standard test cases for an org (≤10 per sheet, §5.1).
+pub fn org_cases(corpus: &OrgCorpus, split: &Split, seed: u64) -> Vec<TestCase> {
+    let mut cases = sample_test_cases(corpus, split, 10, seed);
+    // Cap per org so full runs stay laptop-sized; deterministic order.
+    let cap: usize = std::env::var("AF_MAX_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    cases.truncate(cap);
+    cases
+}
+
+/// Run Auto-Formula over the cases (unthresholded; θ is applied later).
+pub fn evaluate_autoformula(
+    af: &AutoFormula,
+    corpus: &OrgCorpus,
+    index: &ReferenceIndex,
+    cases: &[TestCase],
+    variant: PipelineVariant,
+) -> Vec<CaseResult> {
+    let mut out = Vec::with_capacity(cases.len());
+    for tc in cases {
+        let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        let gt_expr = parse_formula(&tc.ground_truth).ok();
+        let gt_canonical = gt_expr.as_ref().map(|e| e.to_string());
+        let started = Instant::now();
+        let pred =
+            af.predict_with(index, &corpus.workbooks, &masked, tc.target, variant);
+        let latency_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let (dist, correct) = match (&pred, &gt_canonical) {
+            (Some(p), Some(gt)) => (Some(p.s2_distance), &p.formula == gt),
+            (Some(p), None) => (Some(p.s2_distance), false),
+            (None, _) => (None, false),
+        };
+        out.push(CaseResult {
+            dist,
+            correct,
+            sheet_rows: sheet.dims().0,
+            complexity: gt_expr.as_ref().map(complexity).unwrap_or(0),
+            ftype: gt_expr.as_ref().map(classify).unwrap_or(FormulaType::Other),
+            latency_ms,
+        });
+    }
+    out
+}
+
+/// Quality of Auto-Formula results at threshold θ.
+pub fn af_quality(results: &[CaseResult], theta: f32) -> Quality {
+    let n = results.len();
+    let n_pred = results.iter().filter(|r| r.dist.map_or(false, |d| d <= theta)).count();
+    let n_hit = results
+        .iter()
+        .filter(|r| r.correct && r.dist.map_or(false, |d| d <= theta))
+        .count();
+    quality(n, n_pred, n_hit)
+}
+
+/// The PR-curve inputs (distance, correct) of results with candidates.
+pub fn af_curve_points(results: &[CaseResult]) -> Vec<(f32, bool)> {
+    results.iter().filter_map(|r| r.dist.map(|d| (d, r.correct))).collect()
+}
+
+/// Per-case outcome of a baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineCase {
+    pub predicted: bool,
+    pub correct: bool,
+    pub complexity: usize,
+    pub ftype: FormulaType,
+    pub latency_ms: f64,
+}
+
+/// Run a [`Baseline`] over the cases.
+pub fn evaluate_baseline(
+    baseline: &dyn Baseline,
+    corpus: &OrgCorpus,
+    split: &Split,
+    cases: &[TestCase],
+) -> Vec<BaselineCase> {
+    let mut out = Vec::with_capacity(cases.len());
+    for tc in cases {
+        let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        let gt_expr = parse_formula(&tc.ground_truth).ok();
+        let gt_canonical = gt_expr.as_ref().map(|e| e.to_string());
+        let ctx = PredictionContext {
+            workbooks: &corpus.workbooks,
+            reference: &split.reference,
+            target_workbook: tc.workbook,
+            target_sheet: tc.sheet,
+            masked: &masked,
+            target: tc.target,
+        };
+        let started = Instant::now();
+        let pred = baseline.predict(&ctx);
+        let latency_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let correct = match (&pred, &gt_canonical) {
+            (Some(p), Some(gt)) => &p.formula == gt,
+            _ => false,
+        };
+        out.push(BaselineCase {
+            predicted: pred.is_some(),
+            correct,
+            complexity: gt_expr.as_ref().map(complexity).unwrap_or(0),
+            ftype: gt_expr.as_ref().map(classify).unwrap_or(FormulaType::Other),
+            latency_ms,
+        });
+    }
+    out
+}
+
+/// Quality of a baseline run.
+pub fn baseline_quality(results: &[BaselineCase]) -> Quality {
+    quality(
+        results.len(),
+        results.iter().filter(|r| r.predicted).count(),
+        results.iter().filter(|r| r.correct).count(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_formula::FormulaType;
+
+    fn r(dist: Option<f32>, correct: bool) -> CaseResult {
+        CaseResult {
+            dist,
+            correct,
+            sheet_rows: 10,
+            complexity: 2,
+            ftype: FormulaType::Math,
+            latency_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn af_quality_applies_theta() {
+        let results =
+            vec![r(Some(0.1), true), r(Some(0.5), true), r(Some(0.2), false), r(None, false)];
+        let q = af_quality(&results, 0.3);
+        assert_eq!(q.n, 4);
+        assert_eq!(q.n_pred, 2, "0.5 is above θ");
+        assert_eq!(q.n_hit, 1);
+    }
+
+    #[test]
+    fn curve_points_skip_no_candidates() {
+        let results = vec![r(Some(0.1), true), r(None, false)];
+        assert_eq!(af_curve_points(&results).len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+use af_core::index::IndexOptions;
+use af_core::pipeline::{AutoFormula, PipelineVariant};
+use af_core::{AutoFormulaConfig, TrainingOptions};
+use af_corpus::organization::{OrgSpec, Scale};
+use af_corpus::split::{split, SplitKind};
+use af_corpus::testcase::{masked_sheet, sample_test_cases};
+use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::sync::Arc;
+
+fn main() {
+    let corpus = OrgSpec::pge(Scale::Small).generate();
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig::default();
+    let (af, report) = AutoFormula::train(&corpus.workbooks, featurizer, cfg, TrainingOptions::default());
+    eprintln!("train report: {report:?}");
+    let sp = split(&corpus, SplitKind::Random, 0.1, 3);
+    let index = af.build_index(&corpus.workbooks, &sp.reference, IndexOptions::default());
+    eprintln!("index: {} sheets {} regions", index.n_sheets(), index.n_regions());
+    let cases = sample_test_cases(&corpus, &sp, 3, 4);
+    for tc in cases.iter().take(40) {
+        let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        let gt = af_formula::parse_formula(&tc.ground_truth).unwrap().to_string();
+        match af.predict_with(&index, &corpus.workbooks, &masked, tc.target, PipelineVariant::Full) {
+            Some(p) => {
+                let fam = corpus.provenance[tc.workbook].family;
+                let ref_fam = corpus.provenance[index.keys[0].workbook].family; // placeholder
+                let rk = p.reference_sheet;
+                eprintln!(
+                    "wb{} {} target {} fam{:?}\n  GT  : {}\n  PRED: {}  (d={:.4} ref wb{} {} reffam{:?})",
+                    tc.workbook, sheet.name(), tc.target, fam, gt, p.formula, p.s2_distance,
+                    rk.workbook, p.reference_cell, corpus.provenance[rk.workbook].family
+                );
+                let _ = ref_fam;
+            }
+            None => eprintln!("wb{} target {}: NO PREDICTION (GT {})", tc.workbook, tc.target, gt),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Configuration for the Auto-Formula models and pipeline.
+
+use af_grid::ViewWindow;
+
+/// All tunables in one place. Defaults are the laptop-scale settings
+/// documented in DESIGN.md (the paper's full-scale values in comments).
+#[derive(Debug, Clone, Copy)]
+pub struct AutoFormulaConfig {
+    /// View window (paper: 100×10; scaled default 40×8).
+    pub window: ViewWindow,
+    /// Hidden width of the shared per-cell reduction MLP.
+    pub reduce_hidden: usize,
+    /// Per-cell reduced dimensionality (paper: 16).
+    pub cell_dim: usize,
+    /// Per-cell output of the fine branch (paper: 16 → 16000-dim regions;
+    /// scaled default 8 → 2560-dim regions).
+    pub fine_cell_dim: usize,
+    /// Channels of the two conv layers in the coarse branch.
+    pub coarse_channels: (usize, usize),
+    /// Coarse embedding dimensionality (paper: 896; scaled default 64).
+    pub coarse_dim: usize,
+    /// Triplet margin `m` (FaceNet default 0.2).
+    pub margin: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training episodes (Algorithm 1's `T`).
+    pub episodes: usize,
+    /// Pairs per mini-batch.
+    pub batch_size: usize,
+    /// K similar sheets retrieved in S1.
+    pub k_sheets: usize,
+    /// Neighborhood radius `d` searched in S3.
+    pub neighborhood_d: i64,
+    /// Spatial prior for S3: candidates pay `lambda · (|Δrow| + |Δcol|)`
+    /// on top of embedding distance, breaking near-ties toward the
+    /// offset-mapped anchor (Algorithm 2 lines 24–25).
+    pub s3_anchor_lambda: f32,
+    /// Distance threshold θ on S2 (squared L2 over unit vectors, so in
+    /// [0, 4]); predictions above it are suppressed. The PR-curve knob.
+    pub theta_region: f32,
+    /// Apply sheet-level data augmentation (coarse branch)?
+    pub coarse_augmentation: bool,
+    /// Apply region-level data augmentation (fine branch)?
+    pub fine_augmentation: bool,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AutoFormulaConfig {
+    fn default() -> Self {
+        AutoFormulaConfig {
+            window: ViewWindow::new(40, 8),
+            reduce_hidden: 32,
+            cell_dim: 16,
+            fine_cell_dim: 8,
+            coarse_channels: (16, 32),
+            coarse_dim: 64,
+            margin: 0.2,
+            lr: 1e-3,
+            episodes: 160,
+            batch_size: 12,
+            k_sheets: 5,
+            neighborhood_d: 3,
+            s3_anchor_lambda: 0.03,
+            theta_region: 0.75,
+            coarse_augmentation: true,
+            fine_augmentation: true,
+            seed: 0xAF_00,
+        }
+    }
+}
+
+impl AutoFormulaConfig {
+    /// A very small configuration for unit tests.
+    pub fn test_tiny() -> Self {
+        AutoFormulaConfig {
+            window: ViewWindow::new(12, 5),
+            reduce_hidden: 16,
+            cell_dim: 8,
+            fine_cell_dim: 4,
+            coarse_channels: (8, 8),
+            coarse_dim: 16,
+            episodes: 30,
+            batch_size: 6,
+            ..Default::default()
+        }
+    }
+
+    /// Cells per window.
+    pub fn n_cells(&self) -> usize {
+        self.window.n_cells()
+    }
+
+    /// Fine region embedding dimensionality.
+    pub fn fine_dim(&self) -> usize {
+        self.n_cells() * self.fine_cell_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_dims() {
+        let c = AutoFormulaConfig::default();
+        assert_eq!(c.n_cells(), 320);
+        assert_eq!(c.fine_dim(), 2560);
+        let t = AutoFormulaConfig::test_tiny();
+        assert_eq!(t.n_cells(), 60);
+        assert_eq!(t.fine_dim(), 240);
+    }
+}

@@ -1,0 +1,99 @@
+//! Raw window featurization: turn a view window over a sheet into the
+//! stacked per-cell input features the models consume.
+
+use af_embed::CellFeaturizer;
+use af_grid::{CellRef, Sheet, ViewWindow, WindowSlot};
+
+/// Where a window is anchored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowOrigin {
+    /// Top-left corner of the sheet — represents the whole sheet (S1).
+    TopLeft,
+    /// Centered on a cell — represents the region around it (S2/S3).
+    Centered(CellRef),
+}
+
+/// Featurize a window into a flat `n_cells × feat_dim` buffer (row-major
+/// over window slots).
+pub fn raw_window(
+    featurizer: &CellFeaturizer,
+    sheet: &Sheet,
+    window: ViewWindow,
+    origin: WindowOrigin,
+) -> Vec<f32> {
+    let fd = featurizer.dim();
+    let n = window.n_cells();
+    let mut out = vec![0.0f32; n * fd];
+    let empty = featurizer.empty_cell();
+    // Invalid slots stay all-zero (featurizer.invalid_cell()).
+    let mut fill = |slots: &mut dyn Iterator<Item = WindowSlot<'_>>| {
+        for (i, slot) in slots.enumerate() {
+            let dst = &mut out[i * fd..(i + 1) * fd];
+            match slot {
+                WindowSlot::Cell(_, cell) => featurizer.cell(cell, dst),
+                WindowSlot::EmptyCell(_) => dst.copy_from_slice(&empty),
+                WindowSlot::Invalid => {}
+            }
+        }
+    };
+    match origin {
+        WindowOrigin::TopLeft => fill(&mut window.top_left(sheet)),
+        WindowOrigin::Centered(c) => fill(&mut window.centered(sheet, c)),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_embed::{FeatureMask, SbertSim};
+    use af_grid::Cell;
+    use std::sync::Arc;
+
+    fn setup() -> (CellFeaturizer, Sheet) {
+        let f = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let mut s = Sheet::new("t");
+        s.set_a1("A1", Cell::new("Header"));
+        s.set_a1("A2", Cell::new(5.0));
+        s.set_a1("B2", Cell::new(7.0));
+        (f, s)
+    }
+
+    #[test]
+    fn raw_window_has_expected_shape() {
+        let (f, s) = setup();
+        let w = ViewWindow::new(4, 3);
+        let raw = raw_window(&f, &s, w, WindowOrigin::TopLeft);
+        assert_eq!(raw.len(), 12 * f.dim());
+        // Slot 0 = A1 ("Header") must be non-zero; its validity flag set.
+        assert_eq!(raw[f.dim() - 1], 1.0);
+    }
+
+    #[test]
+    fn centered_window_marks_invalid_slots_zero() {
+        let (f, s) = setup();
+        let w = ViewWindow::new(4, 3);
+        let raw = raw_window(&f, &s, w, WindowOrigin::Centered(CellRef::new(0, 0)));
+        // First slot is out of bounds (above-left of A1) → all zeros
+        // including validity.
+        assert!(raw[..f.dim()].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn same_content_same_features() {
+        let (f, s) = setup();
+        let w = ViewWindow::new(4, 3);
+        let a = raw_window(&f, &s, w, WindowOrigin::TopLeft);
+        let b = raw_window(&f, &s, w, WindowOrigin::TopLeft);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shifted_center_changes_features() {
+        let (f, s) = setup();
+        let w = ViewWindow::new(4, 3);
+        let a = raw_window(&f, &s, w, WindowOrigin::Centered(CellRef::new(1, 0)));
+        let b = raw_window(&f, &s, w, WindowOrigin::Centered(CellRef::new(2, 0)));
+        assert_ne!(a, b);
+    }
+}

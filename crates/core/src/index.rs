@@ -1,0 +1,340 @@
+//! Offline reference indexing (§4.6): `Idx_c` — coarse sheet embeddings in
+//! an ANN index — and `Idx_f` — fine region embeddings for every formula
+//! cell in the reference corpus.
+
+use crate::embedder::{SheetEmbedder, SheetEmbedding};
+use crate::features::WindowOrigin;
+use af_ann::{FlatIndex, VectorIndex};
+use af_grid::{CellRef, Sheet, Workbook};
+use af_nn::Tensor;
+use std::time::Instant;
+
+/// Identifies a sheet in the reference workbook collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SheetKey {
+    pub workbook: usize,
+    pub sheet: usize,
+}
+
+/// A reference formula region.
+#[derive(Debug, Clone)]
+pub struct RegionEntry {
+    /// Index into [`ReferenceIndex::keys`].
+    pub sheet_idx: usize,
+    pub cell: CellRef,
+    pub formula: String,
+}
+
+/// What to precompute at build time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexOptions {
+    /// Also index fine top-left signatures per sheet (fine-only ablation).
+    pub fine_sheet_signatures: bool,
+    /// Also embed each formula region through the coarse branch
+    /// (coarse-only ablation).
+    pub coarse_regions: bool,
+}
+
+/// The built reference index.
+pub struct ReferenceIndex {
+    pub keys: Vec<SheetKey>,
+    pub embeddings: Vec<SheetEmbedding>,
+    /// Exact scan over coarse sheet embeddings. Corpus-scale sheet counts
+    /// (hundreds to tens of thousands of 64-d vectors) scan in well under a
+    /// millisecond; `af-ann`'s HNSW/IVF remain available for larger
+    /// deployments, but family-clustered embeddings (dozens of near-
+    /// duplicate clumps) degrade graph-index recall, so exact search is
+    /// the default — matching Faiss `IndexFlat`, which the paper's scale
+    /// numbers also support (Fig. 8 stays sub-second at 10K sheets).
+    coarse: FlatIndex,
+    fine_sheets: Option<af_ann::FlatIndex>,
+    pub regions: Vec<RegionEntry>,
+    region_vecs: Vec<Vec<f32>>,
+    coarse_region_vecs: Option<Vec<Vec<f32>>>,
+    regions_by_sheet: Vec<Vec<usize>>,
+    pub build_seconds: f64,
+}
+
+impl ReferenceIndex {
+    /// Embed and index the sheets of `members` (workbook indices).
+    pub fn build(
+        embedder: &SheetEmbedder<'_>,
+        workbooks: &[Workbook],
+        members: &[usize],
+        opts: IndexOptions,
+    ) -> ReferenceIndex {
+        let started = Instant::now();
+        let mut keys = Vec::new();
+        for &wi in members {
+            for si in 0..workbooks[wi].sheets.len() {
+                keys.push(SheetKey { workbook: wi, sheet: si });
+            }
+        }
+        // Parallel embedding across sheets.
+        let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+        let chunk = keys.len().div_ceil(n_threads.max(1)).max(1);
+        let mut embeddings: Vec<SheetEmbedding> = Vec::with_capacity(keys.len());
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move |_| {
+                        part.iter()
+                            .map(|k| {
+                                let sheet = &workbooks[k.workbook].sheets[k.sheet];
+                                embedder.embed_sheet(sheet, opts.fine_sheet_signatures)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                embeddings.extend(h.join().expect("embedding worker"));
+            }
+        })
+        .expect("crossbeam scope");
+
+        // Coarse sheet index.
+        let coarse_dim = embedder.cfg().coarse_dim;
+        let mut coarse = FlatIndex::new(coarse_dim);
+        for e in &embeddings {
+            coarse.add(&e.coarse);
+        }
+        let fine_sheets = opts.fine_sheet_signatures.then(|| {
+            let mut idx = af_ann::FlatIndex::new(embedder.cfg().fine_dim());
+            for e in &embeddings {
+                idx.add(e.fine_topleft.as_ref().expect("signatures requested"));
+            }
+            idx
+        });
+
+        // Region index: every formula cell.
+        let mut regions = Vec::new();
+        let mut region_vecs = Vec::new();
+        let mut coarse_region_vecs = opts.coarse_regions.then(Vec::new);
+        let mut regions_by_sheet = vec![Vec::new(); keys.len()];
+        for (si, key) in keys.iter().enumerate() {
+            let sheet = &workbooks[key.workbook].sheets[key.sheet];
+            let mut locs: Vec<(CellRef, String)> =
+                sheet.formulas().map(|(at, f)| (at, f.to_string())).collect();
+            locs.sort_by_key(|(at, _)| *at);
+            for (cell, formula) in locs {
+                let vec = embedder.fine_window(
+                    &embeddings[si],
+                    sheet,
+                    WindowOrigin::Centered(cell),
+                );
+                regions_by_sheet[si].push(regions.len());
+                regions.push(RegionEntry { sheet_idx: si, cell, formula });
+                region_vecs.push(vec);
+                if let Some(cvecs) = coarse_region_vecs.as_mut() {
+                    cvecs.push(coarse_window(embedder, sheet, cell));
+                }
+            }
+        }
+
+        ReferenceIndex {
+            keys,
+            embeddings,
+            coarse,
+            fine_sheets,
+            regions,
+            region_vecs,
+            coarse_region_vecs,
+            regions_by_sheet,
+            build_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Incrementally index one more workbook (the production path when a
+    /// user saves a new spreadsheet: no rebuild of the whole org index).
+    pub fn add_workbook(
+        &mut self,
+        embedder: &SheetEmbedder<'_>,
+        workbooks: &[Workbook],
+        workbook: usize,
+        opts: IndexOptions,
+    ) {
+        for (si, sheet) in workbooks[workbook].sheets.iter().enumerate() {
+            let sheet_idx = self.keys.len();
+            self.keys.push(SheetKey { workbook, sheet: si });
+            let emb = embedder.embed_sheet(sheet, opts.fine_sheet_signatures);
+            self.coarse.add(&emb.coarse);
+            if let (Some(idx), Some(sig)) = (self.fine_sheets.as_mut(), emb.fine_topleft.as_ref())
+            {
+                idx.add(sig);
+            }
+            self.regions_by_sheet.push(Vec::new());
+            let mut locs: Vec<(CellRef, String)> =
+                sheet.formulas().map(|(at, f)| (at, f.to_string())).collect();
+            locs.sort_by_key(|(at, _)| *at);
+            for (cell, formula) in locs {
+                let vec = embedder.fine_window(&emb, sheet, WindowOrigin::Centered(cell));
+                self.regions_by_sheet[sheet_idx].push(self.regions.len());
+                self.regions.push(RegionEntry { sheet_idx, cell, formula });
+                self.region_vecs.push(vec);
+                if let Some(cvecs) = self.coarse_region_vecs.as_mut() {
+                    cvecs.push(coarse_window(embedder, sheet, cell));
+                }
+            }
+            self.embeddings.push(emb);
+        }
+    }
+
+    pub fn n_sheets(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn n_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// S1: top-K similar sheets by coarse embedding.
+    pub fn similar_sheets(&self, coarse_query: &[f32], k: usize) -> Vec<af_ann::Neighbor> {
+        self.coarse.search(coarse_query, k)
+    }
+
+    /// S1 under the fine-only ablation: top-K by fine top-left signature.
+    pub fn similar_sheets_fine(&self, sig: &[f32], k: usize) -> Option<Vec<af_ann::Neighbor>> {
+        self.fine_sheets.as_ref().map(|idx| idx.search(sig, k))
+    }
+
+    pub fn regions_of_sheet(&self, sheet_idx: usize) -> &[usize] {
+        &self.regions_by_sheet[sheet_idx]
+    }
+
+    pub fn region_vec(&self, region_id: usize) -> &[f32] {
+        &self.region_vecs[region_id]
+    }
+
+    pub fn coarse_region_vec(&self, region_id: usize) -> Option<&[f32]> {
+        self.coarse_region_vecs.as_ref().map(|v| v[region_id].as_slice())
+    }
+}
+
+/// Coarse embedding of the window centered at a cell (uncached path; used
+/// for the coarse-only ablation).
+pub fn coarse_window(embedder: &SheetEmbedder<'_>, sheet: &Sheet, center: CellRef) -> Vec<f32> {
+    let cfg = embedder.cfg();
+    let raw = crate::features::raw_window(
+        embedder.featurizer,
+        sheet,
+        cfg.window,
+        WindowOrigin::Centered(center),
+    );
+    let n = cfg.n_cells();
+    let fd = embedder.featurizer.dim();
+    let reduced = embedder.model.reduce_cells(Tensor::new(vec![n, fd], raw));
+    embedder.model.coarse_from_reduced(reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AutoFormulaConfig;
+    use crate::model::RepresentationModel;
+    use af_corpus::organization::{OrgSpec, Scale};
+    use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+    use std::sync::Arc;
+
+    fn setup() -> (RepresentationModel, CellFeaturizer, af_corpus::OrgCorpus) {
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = AutoFormulaConfig::test_tiny();
+        let model = RepresentationModel::new(featurizer.dim(), cfg);
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        (model, featurizer, corpus)
+    }
+
+    #[test]
+    fn build_indexes_all_member_sheets_and_formulas() {
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..6.min(corpus.workbooks.len())).collect();
+        let idx = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        let expected_sheets: usize = members.iter().map(|&w| corpus.workbooks[w].n_sheets()).sum();
+        assert_eq!(idx.n_sheets(), expected_sheets);
+        let expected_regions: usize =
+            members.iter().map(|&w| corpus.workbooks[w].formula_count()).sum();
+        assert_eq!(idx.n_regions(), expected_regions);
+        assert!(idx.build_seconds >= 0.0);
+    }
+
+    #[test]
+    fn self_query_returns_self_sheet() {
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..5).collect();
+        let idx = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        let emb = embedder.embed_sheet(&corpus.workbooks[2].sheets[0], false);
+        let hits = idx.similar_sheets(&emb.coarse, 1);
+        let key = idx.keys[hits[0].id];
+        // The same sheet was indexed; its distance must be ~0.
+        assert_eq!(key.workbook, 2);
+        assert!(hits[0].dist < 1e-6);
+    }
+
+    #[test]
+    fn optional_structures_built_on_request() {
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..3).collect();
+        let idx = ReferenceIndex::build(
+            &embedder,
+            &corpus.workbooks,
+            &members,
+            IndexOptions { fine_sheet_signatures: true, coarse_regions: true },
+        );
+        let emb = embedder.embed_sheet(&corpus.workbooks[0].sheets[0], true);
+        assert!(idx.similar_sheets_fine(emb.fine_topleft.as_ref().unwrap(), 2).is_some());
+        assert!(idx.coarse_region_vec(0).is_some());
+        let plain = ReferenceIndex::build(
+            &embedder,
+            &corpus.workbooks,
+            &members,
+            IndexOptions::default(),
+        );
+        assert!(plain.coarse_region_vec(0).is_none());
+    }
+
+    #[test]
+    fn incremental_add_matches_full_build() {
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..5).collect();
+        let full = ReferenceIndex::build(
+            &embedder,
+            &corpus.workbooks,
+            &members,
+            IndexOptions::default(),
+        );
+        let mut incremental = ReferenceIndex::build(
+            &embedder,
+            &corpus.workbooks,
+            &members[..3],
+            IndexOptions::default(),
+        );
+        incremental.add_workbook(&embedder, &corpus.workbooks, 3, IndexOptions::default());
+        incremental.add_workbook(&embedder, &corpus.workbooks, 4, IndexOptions::default());
+        assert_eq!(incremental.n_sheets(), full.n_sheets());
+        assert_eq!(incremental.n_regions(), full.n_regions());
+        // Queries agree.
+        let emb = embedder.embed_sheet(&corpus.workbooks[4].sheets[0], false);
+        let a: Vec<usize> = full.similar_sheets(&emb.coarse, 3).iter().map(|n| n.id).collect();
+        let b: Vec<usize> =
+            incremental.similar_sheets(&emb.coarse, 3).iter().map(|n| n.id).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regions_grouped_by_sheet() {
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..4).collect();
+        let idx = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        for si in 0..idx.n_sheets() {
+            for &rid in idx.regions_of_sheet(si) {
+                assert_eq!(idx.regions[rid].sheet_idx, si);
+            }
+        }
+    }
+}

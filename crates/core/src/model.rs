@@ -1,0 +1,357 @@
+//! The two-branch representation model (Fig. 4).
+//!
+//! Input (per-cell features) → shared dimension-reduction MLP → either
+//! * the **coarse branch** `M_c`: a translation-insensitive CNN that
+//!   deliberately "blurs" cell boundaries, for fuzzy similar-sheet search;
+//!   or
+//! * the **fine branch** `M_f`: per-cell fully-connected layers that
+//!   *preserve* cell boundaries, for precise similar-region search
+//!   (shifting a region by one row must change the embedding — Example 3).
+//!
+//! Both branches end in L2 normalization (§4.4.4).
+
+use crate::config::AutoFormulaConfig;
+use af_nn::layers::{Conv2d, GlobalAvgPool, L2Normalize, Layer, Linear, MaxPool2d, Relu, Sequential};
+use af_nn::serialize::{load_params, save_params, SnapshotError};
+use af_nn::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Reinterpret `[B·n_cells, C]` per-cell features as an image
+/// `[B, C, H, W]` for the CNN (pure permutation; no parameters).
+struct CellsToImage {
+    h: usize,
+    w: usize,
+    c: usize,
+}
+
+impl CellsToImage {
+    fn permute(&self, x: &Tensor) -> Tensor {
+        let n = self.h * self.w;
+        let b = x.shape[0] / n;
+        let mut out = Tensor::zeros(vec![b, self.c, self.h, self.w]);
+        for bi in 0..b {
+            for s in 0..n {
+                let src = &x.data[(bi * n + s) * self.c..(bi * n + s + 1) * self.c];
+                let (i, j) = (s / self.w, s % self.w);
+                for (ch, &v) in src.iter().enumerate() {
+                    out.data[((bi * self.c + ch) * self.h + i) * self.w + j] = v;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for CellsToImage {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        self.permute(&x)
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        // Inverse permutation.
+        let (b, c, h, w) = (grad.shape[0], grad.shape[1], grad.shape[2], grad.shape[3]);
+        let n = h * w;
+        let mut out = Tensor::zeros(vec![b * n, c]);
+        for bi in 0..b {
+            for ch in 0..c {
+                for i in 0..h {
+                    for j in 0..w {
+                        let s = i * w + j;
+                        out.data[(bi * n + s) * c + ch] =
+                            grad.data[((bi * c + ch) * h + i) * w + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn infer(&self, x: Tensor) -> Tensor {
+        self.permute(&x)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+}
+
+/// The trained representation model: shared reduction + two branch heads.
+pub struct RepresentationModel {
+    pub feat_dim: usize,
+    pub cfg: AutoFormulaConfig,
+    /// Shared per-cell reduction MLP: `feat_dim → hidden → cell_dim`.
+    pub reduce: Sequential,
+    /// Fine branch per-cell head: `cell_dim → cell_dim → fine_cell_dim`
+    /// (stacking + L2 happen in `fine_forward`).
+    pub fine_head: Sequential,
+    fine_norm: L2Normalize,
+    /// Coarse branch: CellsToImage → Conv → ReLU → Pool → Conv → ReLU →
+    /// GAP → Linear → L2.
+    pub coarse_head: Sequential,
+}
+
+impl RepresentationModel {
+    pub fn new(feat_dim: usize, cfg: AutoFormulaConfig) -> RepresentationModel {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut reduce = Sequential::new();
+        reduce.push(Linear::new(&mut rng, feat_dim, cfg.reduce_hidden));
+        reduce.push(Relu::new());
+        reduce.push(Linear::new(&mut rng, cfg.reduce_hidden, cfg.cell_dim));
+
+        let mut fine_head = Sequential::new();
+        fine_head.push(Linear::new(&mut rng, cfg.cell_dim, cfg.cell_dim));
+        fine_head.push(Relu::new());
+        fine_head.push(Linear::new(&mut rng, cfg.cell_dim, cfg.fine_cell_dim));
+
+        let (c1, c2) = cfg.coarse_channels;
+        let mut coarse_head = Sequential::new();
+        coarse_head.push(CellsToImage {
+            h: cfg.window.rows as usize,
+            w: cfg.window.cols as usize,
+            c: cfg.cell_dim,
+        });
+        coarse_head.push(Conv2d::new(&mut rng, cfg.cell_dim, c1, 3));
+        coarse_head.push(Relu::new());
+        coarse_head.push(MaxPool2d::new(2));
+        coarse_head.push(Conv2d::new(&mut rng, c1, c2, 3));
+        coarse_head.push(Relu::new());
+        coarse_head.push(GlobalAvgPool::new());
+        coarse_head.push(Linear::new(&mut rng, c2, cfg.coarse_dim));
+        coarse_head.push(L2Normalize::new());
+
+        RepresentationModel {
+            feat_dim,
+            cfg,
+            reduce,
+            fine_head,
+            fine_norm: L2Normalize::new(),
+            coarse_head,
+        }
+    }
+
+    // ------------------------------------------------------ training mode
+
+    /// Training forward through the coarse branch.
+    /// `raw`: `[B, n_cells·feat_dim]` → `[B, coarse_dim]`.
+    pub fn coarse_forward(&mut self, raw: Tensor) -> Tensor {
+        let b = raw.batch();
+        let n = self.cfg.n_cells();
+        let cells = raw.reshape(vec![b * n, self.feat_dim]);
+        let reduced = self.reduce.forward(cells);
+        self.coarse_head.forward(reduced)
+    }
+
+    /// Backward pass matching [`Self::coarse_forward`].
+    pub fn coarse_backward(&mut self, grad: Tensor) {
+        let g = self.coarse_head.backward(grad);
+        self.reduce.backward(g);
+    }
+
+    /// Training forward through the fine branch.
+    /// `raw`: `[B, n_cells·feat_dim]` → `[B, n_cells·fine_cell_dim]`
+    /// (L2-normalized region embeddings).
+    pub fn fine_forward(&mut self, raw: Tensor) -> Tensor {
+        let b = raw.batch();
+        let n = self.cfg.n_cells();
+        let cells = raw.reshape(vec![b * n, self.feat_dim]);
+        let reduced = self.reduce.forward(cells);
+        let per_cell = self.fine_head.forward(reduced);
+        // [B·n, f] and [B, n·f] share the same row-major layout.
+        let stacked = per_cell.reshape(vec![b, n * self.cfg.fine_cell_dim]);
+        self.fine_norm.forward(stacked)
+    }
+
+    /// Backward pass matching [`Self::fine_forward`].
+    pub fn fine_backward(&mut self, grad: Tensor) {
+        let b = grad.batch();
+        let n = self.cfg.n_cells();
+        let g = self.fine_norm.backward(grad);
+        let g = g.reshape(vec![b * n, self.cfg.fine_cell_dim]);
+        let g = self.fine_head.backward(g);
+        self.reduce.backward(g);
+    }
+
+    // ----------------------------------------------------- inference mode
+
+    /// Reduce a batch of per-cell raw features (inference, shareable).
+    pub fn reduce_cells(&self, raw: Tensor) -> Tensor {
+        self.reduce.infer(raw)
+    }
+
+    /// Per-cell fine vectors from reduced features (NOT normalized; the
+    /// region embedding normalizes after stacking).
+    pub fn fine_cells(&self, reduced: Tensor) -> Tensor {
+        self.fine_head.infer(reduced)
+    }
+
+    /// Coarse sheet embedding from the reduced top-left window
+    /// (`[n_cells, cell_dim]` → `[coarse_dim]`).
+    pub fn coarse_from_reduced(&self, reduced: Tensor) -> Vec<f32> {
+        let out = self.coarse_head.infer(reduced);
+        out.data
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&mut self) {
+        self.reduce.zero_grad();
+        self.fine_head.zero_grad();
+        self.coarse_head.zero_grad();
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.reduce.param_count() + self.fine_head.param_count() + self.coarse_head.param_count()
+    }
+
+    // --------------------------------------------------------- snapshots
+
+    /// Serialize all weights.
+    pub fn to_bytes(&mut self) -> Bytes {
+        let parts = [
+            save_params(&mut self.reduce),
+            save_params(&mut self.fine_head),
+            save_params(&mut self.coarse_head),
+        ];
+        let mut buf = BytesMut::new();
+        buf.put_u32(parts.len() as u32);
+        for p in &parts {
+            buf.put_u64(p.len() as u64);
+            buf.put_slice(p);
+        }
+        buf.freeze()
+    }
+
+    /// Restore weights into a model of identical architecture.
+    pub fn load_bytes(&mut self, mut data: Bytes) -> Result<(), SnapshotError> {
+        if data.remaining() < 4 {
+            return Err(SnapshotError::Truncated);
+        }
+        let n = data.get_u32();
+        if n != 3 {
+            return Err(SnapshotError::BlockCountMismatch { expected: 3, got: n as usize });
+        }
+        for target in [&mut self.reduce, &mut self.fine_head, &mut self.coarse_head] {
+            if data.remaining() < 8 {
+                return Err(SnapshotError::Truncated);
+            }
+            let len = data.get_u64() as usize;
+            if data.remaining() < len {
+                return Err(SnapshotError::Truncated);
+            }
+            let part = data.split_to(len);
+            load_params(target, part)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    fn tiny_model() -> (RepresentationModel, usize) {
+        let cfg = AutoFormulaConfig::test_tiny();
+        let feat_dim = 20;
+        (RepresentationModel::new(feat_dim, cfg), feat_dim)
+    }
+
+    fn random_raw(rng: &mut StdRng, b: usize, n: usize, fd: usize) -> Tensor {
+        Tensor::new(
+            vec![b, n * fd],
+            (0..b * n * fd).map(|_| rng.random_range(-0.5..0.5f32)).collect(),
+        )
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (mut m, fd) = tiny_model();
+        let n = m.cfg.n_cells();
+        let mut rng = StdRng::seed_from_u64(1);
+        let raw = random_raw(&mut rng, 3, n, fd);
+        let coarse = m.coarse_forward(raw.clone());
+        assert_eq!(coarse.shape, vec![3, m.cfg.coarse_dim]);
+        m.coarse_backward(Tensor::zeros(coarse.shape.clone()));
+        let fine = m.fine_forward(raw);
+        assert_eq!(fine.shape, vec![3, m.cfg.fine_dim()]);
+        m.fine_backward(Tensor::zeros(fine.shape.clone()));
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let (mut m, fd) = tiny_model();
+        let n = m.cfg.n_cells();
+        let mut rng = StdRng::seed_from_u64(2);
+        let raw = random_raw(&mut rng, 2, n, fd);
+        let coarse = m.coarse_forward(raw.clone());
+        for b in 0..2 {
+            let norm: f32 = coarse.row(b).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "coarse norm {norm}");
+        }
+        m.coarse_backward(Tensor::zeros(coarse.shape.clone()));
+        let fine = m.fine_forward(raw);
+        for b in 0..2 {
+            let norm: f32 = fine.row(b).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "fine norm {norm}");
+        }
+    }
+
+    #[test]
+    fn fine_embedding_distinguishes_row_shift() {
+        // The defining property of the fine branch (Example 3): the same
+        // content shifted by one row must produce a different embedding.
+        let (m, fd) = tiny_model();
+        let n = m.cfg.n_cells();
+        let w = m.cfg.window.cols as usize;
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = random_raw(&mut rng, 1, n, fd);
+        // Shift content down one row.
+        let mut shifted = Tensor::zeros(base.shape.clone());
+        shifted.data[w * fd..n * fd].copy_from_slice(&base.data[..(n - w) * fd]);
+        let mut m = m;
+        let e1 = m.fine_forward(base);
+        m.fine_backward(Tensor::zeros(e1.shape.clone()));
+        let e2 = m.fine_forward(shifted);
+        let d: f32 = e1.data.iter().zip(&e2.data).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(d > 1e-3, "shifted region should differ (d={d})");
+    }
+
+    #[test]
+    fn infer_matches_training_forward() {
+        let (mut m, fd) = tiny_model();
+        let n = m.cfg.n_cells();
+        let mut rng = StdRng::seed_from_u64(4);
+        let raw = random_raw(&mut rng, 1, n, fd);
+        // Inference path: reduce → coarse head.
+        let cells = raw.clone().reshape(vec![n, fd]);
+        let reduced = m.reduce_cells(cells);
+        let via_infer = m.coarse_from_reduced(reduced);
+        let via_train = m.coarse_forward(raw);
+        for (a, b) in via_infer.iter().zip(&via_train.data) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        m.coarse_backward(Tensor::zeros(via_train.shape.clone()));
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let (mut a, fd) = tiny_model();
+        let cfg = a.cfg;
+        let mut b = RepresentationModel::new(fd, AutoFormulaConfig { seed: 999, ..cfg });
+        let n = cfg.n_cells();
+        let mut rng = StdRng::seed_from_u64(5);
+        let raw = random_raw(&mut rng, 1, n, fd);
+        let ea = a.coarse_forward(raw.clone());
+        a.coarse_backward(Tensor::zeros(ea.shape.clone()));
+        let snap = a.to_bytes();
+        b.load_bytes(snap).unwrap();
+        let eb = b.coarse_forward(raw);
+        assert_eq!(ea.data, eb.data);
+    }
+
+    #[test]
+    fn param_count_positive() {
+        let (m, _) = tiny_model();
+        assert!(m.param_count() > 1000);
+    }
+}

@@ -1,0 +1,350 @@
+//! The online prediction pipeline (Algorithm 2): S1 similar-sheets → S2
+//! reference-formula → S3 parameter-cells → instantiated formula.
+
+use crate::config::AutoFormulaConfig;
+use crate::embedder::SheetEmbedder;
+use crate::features::WindowOrigin;
+use crate::index::{coarse_window, IndexOptions, ReferenceIndex, SheetKey};
+use crate::model::RepresentationModel;
+use crate::training::{train_model, TrainReport, TrainingOptions};
+use af_ann::l2_sq;
+use af_embed::CellFeaturizer;
+use af_formula::{parse_formula, Template};
+use af_grid::{CellRef, Sheet, Workbook};
+
+/// Pipeline ablation variants (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineVariant {
+    /// Coarse model for S1, fine model for S2/S3 (the full system).
+    Full,
+    /// Coarse model everywhere: S1 as usual; S2 compares *coarse* region
+    /// embeddings (translation-blurred); S3 degrades to pure offset
+    /// mapping because coarse embeddings cannot localize cells.
+    CoarseOnly,
+    /// Fine model everywhere: S1 uses fine top-left signatures (shift-
+    /// sensitive and 40× larger vectors); S2/S3 as usual.
+    FineOnly,
+}
+
+/// A predicted formula with its provenance and confidence.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Canonical formula text (no leading `=`).
+    pub formula: String,
+    /// S2 distance of the chosen reference region (squared L2 on unit
+    /// vectors, lower = more confident). This is the θ knob of the PR
+    /// curves.
+    pub s2_distance: f32,
+    pub reference_sheet: SheetKey,
+    pub reference_cell: CellRef,
+    /// Signature of the adapted template, e.g. `COUNTIF(_:_,_)`.
+    pub template_signature: String,
+}
+
+/// The Auto-Formula system: a trained representation model plus featurizer.
+pub struct AutoFormula {
+    pub model: RepresentationModel,
+    pub featurizer: CellFeaturizer,
+}
+
+impl AutoFormula {
+    /// Offline training on a spreadsheet universe (the 160K-crawl
+    /// stand-in). Happens once; the model transfers to unseen orgs.
+    pub fn train(
+        universe: &[Workbook],
+        featurizer: CellFeaturizer,
+        cfg: AutoFormulaConfig,
+        opts: TrainingOptions,
+    ) -> (AutoFormula, TrainReport) {
+        let (model, report) = train_model(universe, &featurizer, cfg, opts);
+        (AutoFormula { model, featurizer }, report)
+    }
+
+    /// Wrap an existing model (e.g. loaded from a snapshot).
+    pub fn from_model(model: RepresentationModel, featurizer: CellFeaturizer) -> AutoFormula {
+        AutoFormula { model, featurizer }
+    }
+
+    pub fn cfg(&self) -> &AutoFormulaConfig {
+        &self.model.cfg
+    }
+
+    pub fn embedder(&self) -> SheetEmbedder<'_> {
+        SheetEmbedder::new(&self.model, &self.featurizer)
+    }
+
+    /// Build the reference index over `members` of a workbook collection.
+    pub fn build_index(
+        &self,
+        workbooks: &[Workbook],
+        members: &[usize],
+        opts: IndexOptions,
+    ) -> ReferenceIndex {
+        ReferenceIndex::build(&self.embedder(), workbooks, members, opts)
+    }
+
+    /// Predict with the confidence threshold applied (the production
+    /// entry point).
+    pub fn predict(
+        &self,
+        index: &ReferenceIndex,
+        workbooks: &[Workbook],
+        sheet: &Sheet,
+        target: CellRef,
+    ) -> Option<Prediction> {
+        self.predict_with(index, workbooks, sheet, target, PipelineVariant::Full)
+            .filter(|p| p.s2_distance <= self.cfg().theta_region)
+    }
+
+    /// Predict without thresholding (the evaluation harness sweeps θ over
+    /// `s2_distance` afterwards to draw PR curves).
+    pub fn predict_with(
+        &self,
+        index: &ReferenceIndex,
+        workbooks: &[Workbook],
+        sheet: &Sheet,
+        target: CellRef,
+        variant: PipelineVariant,
+    ) -> Option<Prediction> {
+        let cfg = self.cfg();
+        let embedder = self.embedder();
+        let emb = embedder.embed_sheet(sheet, variant == PipelineVariant::FineOnly);
+
+        // ---- S1: similar sheets ----
+        let candidates = match variant {
+            PipelineVariant::FineOnly => {
+                let sig = emb.fine_topleft.as_ref().expect("signature computed");
+                index
+                    .similar_sheets_fine(sig, cfg.k_sheets)
+                    .unwrap_or_else(|| index.similar_sheets(&emb.coarse, cfg.k_sheets))
+            }
+            _ => index.similar_sheets(&emb.coarse, cfg.k_sheets),
+        };
+        if candidates.is_empty() {
+            return None;
+        }
+
+        // ---- S2: reference formula by similar region ----
+        let target_fine = embedder.fine_window(&emb, sheet, WindowOrigin::Centered(target));
+        let target_coarse_region = (variant == PipelineVariant::CoarseOnly)
+            .then(|| coarse_window(&embedder, sheet, target));
+        let mut ranked: Vec<(usize, f32)> = Vec::new();
+        for cand in &candidates {
+            for &rid in index.regions_of_sheet(cand.id) {
+                let d = match (variant, index.coarse_region_vec(rid)) {
+                    (PipelineVariant::CoarseOnly, Some(cv)) => {
+                        l2_sq(target_coarse_region.as_ref().expect("computed"), cv)
+                    }
+                    _ => l2_sq(&target_fine, index.region_vec(rid)),
+                };
+                ranked.push((rid, d));
+            }
+        }
+        if ranked.is_empty() {
+            return None;
+        }
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        // ---- S3: adapt the best parseable reference formula ----
+        for &(rid, dist) in ranked.iter().take(8) {
+            let entry = &index.regions[rid];
+            let Ok(expr) = parse_formula(&entry.formula) else { continue };
+            let (template, ref_params) = Template::extract(&expr);
+            let key = index.keys[entry.sheet_idx];
+            let ref_sheet = &workbooks[key.workbook].sheets[key.sheet];
+            let ref_emb = &index.embeddings[entry.sheet_idx];
+
+            let mut mapped: Vec<CellRef> = Vec::with_capacity(ref_params.len());
+            let mut ok = true;
+            for &cr in &ref_params {
+                let m = match variant {
+                    PipelineVariant::CoarseOnly => offset_map(cr, entry.cell, target),
+                    _ => {
+                        let ref_vec = embedder.fine_window(
+                            ref_emb,
+                            ref_sheet,
+                            WindowOrigin::Centered(cr),
+                        );
+                        search_parameter(
+                            &embedder, &emb, sheet, &ref_vec, cr, entry.cell, target,
+                            cfg.neighborhood_d, cfg.s3_anchor_lambda,
+                        )
+                    }
+                };
+                match m {
+                    Some(c) => mapped.push(c),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let Ok(adapted) = template.instantiate(&mapped) else { continue };
+            return Some(Prediction {
+                formula: adapted.to_string(),
+                s2_distance: dist,
+                reference_sheet: key,
+                reference_cell: entry.cell,
+                template_signature: template.signature(),
+            });
+        }
+        None
+    }
+}
+
+/// The naive offset mapping (Algorithm 2 lines 24–25):
+/// `target + (ref_param − ref_formula_cell)`.
+fn offset_map(ref_param: CellRef, ref_formula: CellRef, target: CellRef) -> Option<CellRef> {
+    let dr = ref_param.row as i64 - ref_formula.row as i64;
+    let dc = ref_param.col as i64 - ref_formula.col as i64;
+    target.offset(dr, dc)
+}
+
+/// S3 local search: score the `(2d+1)²` cells around the offset-mapped
+/// location by fine-region similarity to the reference parameter's region,
+/// and return the best (Algorithm 2 lines 26–32).
+#[allow(clippy::too_many_arguments)]
+fn search_parameter(
+    embedder: &SheetEmbedder<'_>,
+    target_emb: &crate::embedder::SheetEmbedding,
+    target_sheet: &Sheet,
+    ref_vec: &[f32],
+    ref_param: CellRef,
+    ref_formula: CellRef,
+    target: CellRef,
+    d: i64,
+    anchor_lambda: f32,
+) -> Option<CellRef> {
+    let anchor = offset_map(ref_param, ref_formula, target).or_else(|| {
+        // Clip into the sheet when the offset runs off the top/left.
+        let dr = ref_param.row as i64 - ref_formula.row as i64;
+        let dc = ref_param.col as i64 - ref_formula.col as i64;
+        Some(CellRef::new(
+            (target.row as i64 + dr).max(0) as u32,
+            (target.col as i64 + dc).max(0) as u32,
+        ))
+    })?;
+    let mut best: Option<(CellRef, f32)> = None;
+    for dr in -d..=d {
+        for dc in -d..=d {
+            let Some(cand) = anchor.offset(dr, dc) else { continue };
+            let v = embedder.fine_window(target_emb, target_sheet, WindowOrigin::Centered(cand));
+            let dist = l2_sq(ref_vec, &v) + anchor_lambda * (dr.abs() + dc.abs()) as f32;
+            if best.map_or(true, |(_, bd)| dist < bd) {
+                best = Some((cand, dist));
+            }
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_corpus::organization::{OrgSpec, Scale};
+    use af_corpus::split::{split, SplitKind};
+    use af_corpus::testcase::{masked_sheet, sample_test_cases};
+    use af_embed::{FeatureMask, SbertSim};
+    use std::sync::Arc;
+
+    fn trained_system(corpus: &af_corpus::OrgCorpus) -> AutoFormula {
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = AutoFormulaConfig {
+            episodes: 40,
+            ..AutoFormulaConfig::test_tiny()
+        };
+        let (af, _) = AutoFormula::train(
+            &corpus.workbooks,
+            featurizer,
+            cfg,
+            TrainingOptions::default(),
+        );
+        af
+    }
+
+    #[test]
+    fn end_to_end_prediction_on_easy_corpus() {
+        // PGE-sim: deep families. Even a lightly-trained tiny model should
+        // recover a decent fraction of formulas exactly.
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let af = trained_system(&corpus);
+        let sp = split(&corpus, SplitKind::Random, 0.1, 3);
+        let index = af.build_index(&corpus.workbooks, &sp.reference, IndexOptions::default());
+        let cases = sample_test_cases(&corpus, &sp, 3, 4);
+        assert!(!cases.is_empty());
+        let mut hits = 0usize;
+        let mut predictions = 0usize;
+        for tc in cases.iter().take(30) {
+            let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+            let masked = masked_sheet(sheet, tc.target);
+            if let Some(pred) = af.predict_with(
+                &index,
+                &corpus.workbooks,
+                &masked,
+                tc.target,
+                PipelineVariant::Full,
+            ) {
+                predictions += 1;
+                let gt = parse_formula(&tc.ground_truth).unwrap().to_string();
+                if pred.formula == gt {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(predictions > 0, "pipeline must produce predictions");
+        assert!(
+            hits * 3 >= predictions,
+            "at least a third of predictions should be exact on PGE-sim ({hits}/{predictions})"
+        );
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = AutoFormulaConfig::test_tiny();
+        let af = AutoFormula::from_model(
+            RepresentationModel::new(featurizer.dim(), cfg),
+            featurizer,
+        );
+        let index = af.build_index(&corpus.workbooks, &[], IndexOptions::default());
+        let sheet = &corpus.workbooks[0].sheets[0];
+        let target: CellRef = "D5".parse().unwrap();
+        assert!(af
+            .predict_with(&index, &corpus.workbooks, sheet, target, PipelineVariant::Full)
+            .is_none());
+    }
+
+    #[test]
+    fn offset_mapping_reproduces_paper_example() {
+        // Reference: formula at D354 with params C6, C350, C354; target at
+        // D41. Offsets: C6 is 348 rows above D354 → would go negative, so
+        // S3's anchor clips; here test the plain in-bounds case C354→C41.
+        let target: CellRef = "D41".parse().unwrap();
+        let ref_formula: CellRef = "D354".parse().unwrap();
+        let c354: CellRef = "C354".parse().unwrap();
+        assert_eq!(offset_map(c354, ref_formula, target), Some("C41".parse().unwrap()));
+    }
+
+    #[test]
+    fn thresholded_predict_suppresses_low_confidence() {
+        let corpus = OrgSpec::cisco(Scale::Tiny).generate();
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = AutoFormulaConfig { theta_region: 0.0, ..AutoFormulaConfig::test_tiny() };
+        let af = AutoFormula::from_model(
+            RepresentationModel::new(featurizer.dim(), cfg),
+            featurizer,
+        );
+        let members: Vec<usize> = (1..corpus.workbooks.len().min(6)).collect();
+        let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+        // With θ = 0 every prediction on a *different* sheet is suppressed
+        // (distance can only be 0 for an identical region).
+        let sheet = &corpus.workbooks[0].sheets[0];
+        let target = sheet.formulas().next().map(|(at, _)| at).unwrap();
+        let masked = masked_sheet(sheet, target);
+        assert!(af.predict(&index, &corpus.workbooks, &masked, target).is_none());
+    }
+}

@@ -1,0 +1,448 @@
+//! Offline training (Algorithm 1): weak supervision → augmentation →
+//! semi-hard triplet learning over both branches.
+
+use crate::config::AutoFormulaConfig;
+use crate::features::{raw_window, WindowOrigin};
+use crate::model::RepresentationModel;
+use af_corpus::augment::{augment_region, augment_sheet};
+use af_corpus::weak_supervision::{region_pairs, sheet_pairs, NameModel, RegionPair, SheetId};
+use af_embed::CellFeaturizer;
+use af_grid::{CellRef, Sheet, Workbook};
+use af_nn::optim::{Adam, Optimizer};
+use af_nn::tensor::l2_sq;
+use af_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Weak-supervision and sampling knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingOptions {
+    /// Hypothesis-test significance (paper: 0.05).
+    pub alpha: f64,
+    /// Cap on sheet pairs drawn from one name-sequence group.
+    pub max_pairs_per_group: usize,
+    /// Cap on coarse (sheet-level) training pairs.
+    pub max_coarse_pairs: usize,
+    /// Cap on fine (region-level) training pairs.
+    pub max_region_pairs: usize,
+    /// Probability of training a fine triple against the *shifted-region*
+    /// hard negative (when available) instead of an in-batch negative.
+    pub shifted_negative_rate: f64,
+    /// Fraction of region pairs that get augmented (§4.3: 20%).
+    pub region_augment_rate: f64,
+}
+
+impl Default for TrainingOptions {
+    fn default() -> Self {
+        TrainingOptions {
+            alpha: 0.05,
+            max_pairs_per_group: 6,
+            max_coarse_pairs: 240,
+            max_region_pairs: 480,
+            shifted_negative_rate: 0.6,
+            region_augment_rate: 0.2,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    pub coarse_pairs: usize,
+    pub fine_pairs: usize,
+    pub episodes: usize,
+    pub first_coarse_loss: f32,
+    pub final_coarse_loss: f32,
+    pub first_fine_loss: f32,
+    pub final_fine_loss: f32,
+    pub seconds: f64,
+}
+
+struct CoarseDesc {
+    a: SheetId,
+    b: SheetId,
+    /// Weak-supervision group: pairs in the same group are presumed
+    /// similar, so they must never serve as each other's negatives.
+    group: u64,
+    aug_seed: Option<u64>,
+}
+
+struct FineDesc {
+    a: (SheetId, CellRef),
+    b: (SheetId, CellRef),
+    /// Region identity: (weak-supervision group, anchor location). Regions
+    /// sharing both are the same formula slot across instances (true
+    /// positives); same group at a *different* location is a legitimate
+    /// hard negative.
+    identity: u64,
+    shifted_neg: Option<(SheetId, CellRef)>,
+    aug_seed: Option<u64>,
+}
+
+/// Train both representation models on a workbook universe (the paper's
+/// 160K-crawl stand-in).
+pub fn train_model(
+    workbooks: &[Workbook],
+    featurizer: &CellFeaturizer,
+    cfg: AutoFormulaConfig,
+    opts: TrainingOptions,
+) -> (RepresentationModel, TrainReport) {
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7ea1);
+
+    // ---- Weak supervision (§4.2) ----
+    let name_model = NameModel::build(workbooks);
+    let pairs = sheet_pairs(workbooks, &name_model, opts.alpha, opts.max_pairs_per_group, cfg.seed);
+    let (region_pos, region_neg) =
+        region_pairs(workbooks, &pairs, opts.max_region_pairs * 2, cfg.seed ^ 1);
+
+    // Attach each positive region's shifted hard negative (same anchor).
+    let neg_by_anchor: HashMap<(SheetId, CellRef), (SheetId, CellRef)> =
+        region_neg.iter().map(|rp| (rp.a, rp.b)).collect();
+
+    let mut coarse_descs: Vec<CoarseDesc> = pairs
+        .positives
+        .iter()
+        .zip(&pairs.groups)
+        .take(opts.max_coarse_pairs)
+        .map(|(&(a, b), &g)| CoarseDesc {
+            a,
+            b,
+            group: g as u64,
+            aug_seed: cfg.coarse_augmentation.then(|| rng.random::<u64>()),
+        })
+        .collect();
+    // Ensure both orders appear (anchors from both sides).
+    if coarse_descs.len() < opts.max_coarse_pairs {
+        let extra: Vec<CoarseDesc> = pairs
+            .positives
+            .iter()
+            .zip(&pairs.groups)
+            .take(opts.max_coarse_pairs - coarse_descs.len())
+            .map(|(&(a, b), &g)| CoarseDesc {
+                a: b,
+                b: a,
+                group: g as u64,
+                aug_seed: cfg.coarse_augmentation.then(|| rng.random::<u64>()),
+            })
+            .collect();
+        coarse_descs.extend(extra);
+    }
+
+    let fine_descs: Vec<FineDesc> = region_pos
+        .iter()
+        .take(opts.max_region_pairs)
+        .map(|rp: &RegionPair| FineDesc {
+            a: rp.a,
+            b: rp.b,
+            identity: region_identity(rp.group, rp.a.1),
+            shifted_neg: neg_by_anchor.get(&rp.a).copied(),
+            aug_seed: (cfg.fine_augmentation && rng.random_bool(opts.region_augment_rate))
+                .then(|| rng.random::<u64>()),
+        })
+        .collect();
+
+    let mut model = RepresentationModel::new(featurizer.dim(), cfg);
+    let mut report = TrainReport {
+        coarse_pairs: coarse_descs.len(),
+        fine_pairs: fine_descs.len(),
+        episodes: 0,
+        first_coarse_loss: 0.0,
+        final_coarse_loss: 0.0,
+        first_fine_loss: 0.0,
+        final_fine_loss: 0.0,
+        seconds: 0.0,
+    };
+    if coarse_descs.is_empty() || fine_descs.is_empty() {
+        // Degenerate corpus (all singletons): return the initialized model.
+        report.seconds = started.elapsed().as_secs_f64();
+        return (model, report);
+    }
+
+    let mut adam_reduce = Adam::new(cfg.lr);
+    let mut adam_coarse = Adam::new(cfg.lr);
+    let mut adam_fine = Adam::new(cfg.lr);
+
+    let sheet_of = |id: SheetId| -> &Sheet { &workbooks[id.workbook].sheets[id.sheet] };
+    let featurize_sheet = |id: SheetId, aug_seed: Option<u64>| -> Vec<f32> {
+        match aug_seed {
+            Some(seed) => {
+                let mut arng = StdRng::seed_from_u64(seed);
+                let p = arng.random_range(0.0..0.10);
+                let s = augment_sheet(sheet_of(id), p, &mut arng);
+                raw_window(featurizer, &s, cfg.window, WindowOrigin::TopLeft)
+            }
+            None => raw_window(featurizer, sheet_of(id), cfg.window, WindowOrigin::TopLeft),
+        }
+    };
+    let featurize_region = |loc: (SheetId, CellRef), aug_seed: Option<u64>| -> Vec<f32> {
+        match aug_seed {
+            Some(seed) => {
+                let mut arng = StdRng::seed_from_u64(seed);
+                let p = arng.random_range(0.0..0.10);
+                let reach = cfg.window.rows / 2;
+                let (s, c) = augment_region(sheet_of(loc.0), loc.1, p, reach, &mut arng);
+                raw_window(featurizer, &s, cfg.window, WindowOrigin::Centered(c))
+            }
+            None => raw_window(
+                featurizer,
+                sheet_of(loc.0),
+                cfg.window,
+                WindowOrigin::Centered(loc.1),
+            ),
+        }
+    };
+
+    // ---- Episodes (Algorithm 1) ----
+    let row_dim = cfg.n_cells() * featurizer.dim();
+    for ep in 0..cfg.episodes {
+        // ---------------- coarse step ----------------
+        let bsz = cfg.batch_size.min(coarse_descs.len());
+        let mut idxs: Vec<usize> =
+            (0..bsz).map(|_| rng.random_range(0..coarse_descs.len())).collect();
+        idxs.dedup();
+        let b = idxs.len();
+        let mut batch = Tensor::zeros(vec![2 * b, row_dim]);
+        for (i, &di) in idxs.iter().enumerate() {
+            let d = &coarse_descs[di];
+            batch.row_mut(i).copy_from_slice(&featurize_sheet(d.a, None));
+            batch
+                .row_mut(b + i)
+                .copy_from_slice(&featurize_sheet(d.b, d.aug_seed));
+        }
+        let ids: Vec<u64> = idxs.iter().map(|&di| coarse_descs[di].group).collect();
+        let emb = model.coarse_forward(batch);
+        let shifted = vec![None; b];
+        let loss_c =
+            triplet_step_with_explicit_negatives(&emb, b, &ids, &shifted, cfg.margin, |grad| {
+                model.coarse_backward(grad);
+            });
+        adam_coarse.step(&mut model.coarse_head);
+        adam_reduce.step(&mut model.reduce);
+
+        // ---------------- fine step ----------------
+        let bsz = cfg.batch_size.min(fine_descs.len());
+        let mut idxs: Vec<usize> =
+            (0..bsz).map(|_| rng.random_range(0..fine_descs.len())).collect();
+        idxs.dedup();
+        let b = idxs.len();
+        // Rows: [anchors | positives | shifted-negatives (subset)].
+        let mut shifted_rows: Vec<Option<usize>> = vec![None; b];
+        let mut n_shift = 0usize;
+        for (i, &di) in idxs.iter().enumerate() {
+            if fine_descs[di].shifted_neg.is_some()
+                && rng.random_bool(opts.shifted_negative_rate)
+            {
+                shifted_rows[i] = Some(2 * b + n_shift);
+                n_shift += 1;
+            }
+        }
+        let mut batch = Tensor::zeros(vec![2 * b + n_shift, row_dim]);
+        for (i, &di) in idxs.iter().enumerate() {
+            let d = &fine_descs[di];
+            batch.row_mut(i).copy_from_slice(&featurize_region(d.a, None));
+            batch
+                .row_mut(b + i)
+                .copy_from_slice(&featurize_region(d.b, d.aug_seed));
+            if let Some(row) = shifted_rows[i] {
+                let neg = d.shifted_neg.expect("row allocated only when present");
+                batch.row_mut(row).copy_from_slice(&featurize_region(neg, None));
+            }
+        }
+        let ids: Vec<u64> = idxs.iter().map(|&di| fine_descs[di].identity).collect();
+        let emb = model.fine_forward(batch);
+        let loss_f =
+            triplet_step_with_explicit_negatives(&emb, b, &ids, &shifted_rows, cfg.margin, |g| {
+                model.fine_backward(g);
+            });
+        adam_fine.step(&mut model.fine_head);
+        adam_reduce.step(&mut model.reduce);
+
+        if ep == 0 {
+            report.first_coarse_loss = loss_c;
+            report.first_fine_loss = loss_f;
+        }
+        report.final_coarse_loss = loss_c;
+        report.final_fine_loss = loss_f;
+        report.episodes = ep + 1;
+    }
+    report.seconds = started.elapsed().as_secs_f64();
+    (model, report)
+}
+
+/// Stable identity for a region class: (group, anchor location).
+fn region_identity(group: usize, loc: CellRef) -> u64 {
+    (group as u64) << 32 ^ ((loc.row as u64) << 16) ^ loc.col as u64
+}
+
+/// Triplet step where pair `i` may carry an explicit negative row
+/// (`shifted_rows[i]`); otherwise a semi-hard negative is mined among the
+/// positives of the other pairs *with a different identity* (same-identity
+/// rows are presumed-similar and never valid negatives).
+fn triplet_step_with_explicit_negatives(
+    emb: &Tensor,
+    b: usize,
+    identities: &[u64],
+    shifted_rows: &[Option<usize>],
+    margin: f32,
+    backward: impl FnOnce(Tensor),
+) -> f32 {
+    let dim = emb.features();
+    let mut grad = Tensor::zeros(emb.shape.clone());
+    let mut total_loss = 0.0f32;
+    let mut active = 0usize;
+    for i in 0..b {
+        let a = emb.row(i);
+        let p = emb.row(b + i);
+        // Pick the negative row.
+        let neg_row = match shifted_rows[i] {
+            Some(r) => r,
+            None => {
+                // Semi-hard among other pairs' positives, skipping rows
+                // that share this pair's identity.
+                let dp = l2_sq(a, p);
+                let mut best: Option<(usize, f32)> = None;
+                let mut hardest: Option<(usize, f32)> = None;
+                for j in 0..b {
+                    if j == i || identities[j] == identities[i] {
+                        continue;
+                    }
+                    let dn = l2_sq(a, emb.row(b + j));
+                    let loss = dp - dn + margin;
+                    if loss > 0.0 && loss < margin && best.map_or(true, |(_, l)| loss > l) {
+                        best = Some((b + j, loss));
+                    }
+                    if hardest.map_or(true, |(_, d)| dn < d) {
+                        hardest = Some((b + j, dn));
+                    }
+                }
+                match best.or(hardest) {
+                    Some((r, _)) => r,
+                    // No cross-identity candidate in this batch: skip the
+                    // pair rather than poison training.
+                    None => continue,
+                }
+            }
+        };
+        let n = emb.row(neg_row);
+        let loss = l2_sq(a, p) - l2_sq(a, n) + margin;
+        if loss <= 0.0 {
+            continue;
+        }
+        total_loss += loss;
+        active += 1;
+        for k in 0..dim {
+            let (av, pv, nv) = (a[k], p[k], n[k]);
+            grad.data[i * dim + k] += 2.0 * (nv - pv);
+            grad.data[(b + i) * dim + k] += 2.0 * (pv - av);
+            grad.data[neg_row * dim + k] += 2.0 * (av - nv);
+        }
+    }
+    let scale = 1.0 / b.max(1) as f32;
+    for g in grad.data.iter_mut() {
+        *g *= scale;
+    }
+    backward(grad);
+    if active == 0 {
+        0.0
+    } else {
+        total_loss / b as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_corpus::organization::{OrgSpec, Scale};
+    use af_embed::{FeatureMask, SbertSim};
+    use std::sync::Arc;
+
+    fn quick_cfg() -> AutoFormulaConfig {
+        AutoFormulaConfig { episodes: 25, ..AutoFormulaConfig::test_tiny() }
+    }
+
+    #[test]
+    fn training_reduces_triplet_loss() {
+        let corpus = OrgSpec::web_crawl(Scale::Tiny).generate();
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let (model, report) = train_model(
+            &corpus.workbooks,
+            &featurizer,
+            quick_cfg(),
+            TrainingOptions::default(),
+        );
+        assert!(report.coarse_pairs > 0, "need coarse pairs");
+        assert!(report.fine_pairs > 0, "need fine pairs");
+        assert_eq!(report.episodes, 25);
+        assert!(model.param_count() > 0);
+        // Loss should not blow up; usually it shrinks. Accept a loose bound
+        // (single seeds can be noisy on tiny configs).
+        assert!(
+            report.final_coarse_loss <= report.first_coarse_loss * 1.5 + 0.05,
+            "coarse loss exploded: {} -> {}",
+            report.first_coarse_loss,
+            report.final_coarse_loss
+        );
+        assert!(report.final_fine_loss.is_finite());
+    }
+
+    #[test]
+    fn trained_model_separates_similar_sheets() {
+        use crate::embedder::SheetEmbedder;
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = quick_cfg();
+        let (model, _) = train_model(
+            &corpus.workbooks,
+            &featurizer,
+            cfg,
+            TrainingOptions::default(),
+        );
+        let embedder = SheetEmbedder::new(&model, &featurizer);
+        // Find a same-family pair and a cross-family pair.
+        let mut same = None;
+        let mut cross = None;
+        'outer: for i in 0..corpus.workbooks.len() {
+            for j in i + 1..corpus.workbooks.len() {
+                if corpus.same_family(i, j) && same.is_none() {
+                    same = Some((i, j));
+                }
+                if !corpus.same_family(i, j)
+                    && cross.is_none()
+                    && corpus.provenance[i].archetype != corpus.provenance[j].archetype
+                {
+                    cross = Some((i, j));
+                }
+                if same.is_some() && cross.is_some() {
+                    break 'outer;
+                }
+            }
+        }
+        let (si, sj) = same.expect("same-family pair exists");
+        let (ci, cj) = cross.expect("cross pair exists");
+        let e = |w: usize| embedder.embed_sheet(&corpus.workbooks[w].sheets[0], false).coarse;
+        let d_same = l2_sq(&e(si), &e(sj));
+        let d_cross = l2_sq(&e(ci), &e(cj));
+        assert!(
+            d_same < d_cross,
+            "same-family sheets should embed closer ({d_same} vs {d_cross})"
+        );
+    }
+
+    #[test]
+    fn degenerate_corpus_returns_untrained_model() {
+        // All singletons: weak supervision finds nothing.
+        let spec = OrgSpec {
+            n_families: 0,
+            n_singletons: 6,
+            ..OrgSpec::cisco(Scale::Tiny)
+        };
+        let corpus = spec.generate();
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let (_, report) =
+            train_model(&corpus.workbooks, &featurizer, quick_cfg(), TrainingOptions::default());
+        assert_eq!(report.episodes, 0);
+    }
+}

@@ -1,0 +1,888 @@
+//! Sheet archetypes: twelve realistic table layouts with genuine formula
+//! logic (per-row computed columns, summary aggregates, conditional flags,
+//! lookups, string builders, date math).
+//!
+//! Archetypes cover all five formula-type buckets of Fig. 11 and the full
+//! complexity spectrum of Fig. 10 — from `SUM(B3:B20)` to nested
+//! `IF(IF(...))` grading logic and `VLOOKUP` with absolute references.
+
+use crate::family::Palette;
+use crate::vocab::*;
+use af_grid::{BorderFlags, Cell, CellRef, CellStyle, Sheet};
+use af_grid::value::date_to_serial;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::ops::RangeInclusive;
+
+/// The twelve archetypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    SalesReport,
+    SurveyTally,
+    FinancialStatement,
+    Inventory,
+    Timesheet,
+    GradeBook,
+    EnergyUsage,
+    NetworkInventory,
+    ChipSpec,
+    BudgetPlan,
+    ProjectTracker,
+    LookupSheet,
+}
+
+/// Build context: the family-level constants an instance is rendered with.
+pub struct BuildCtx<'a> {
+    pub palette: &'a Palette,
+    pub sheet_name: String,
+    /// Number of data rows for this instance.
+    pub n_rows: u32,
+    pub title: &'a str,
+    /// Family seed: layout choices must depend only on this (plus
+    /// `n_rows`), never on the instance RNG, so instances share formula
+    /// logic.
+    pub variant: u64,
+}
+
+impl Archetype {
+    pub const ALL: [Archetype; 12] = [
+        Archetype::SalesReport,
+        Archetype::SurveyTally,
+        Archetype::FinancialStatement,
+        Archetype::Inventory,
+        Archetype::Timesheet,
+        Archetype::GradeBook,
+        Archetype::EnergyUsage,
+        Archetype::NetworkInventory,
+        Archetype::ChipSpec,
+        Archetype::BudgetPlan,
+        Archetype::ProjectTracker,
+        Archetype::LookupSheet,
+    ];
+
+    /// Archetypes whose formulas are predominantly string transformations —
+    /// the paper observes these are "more ad-hoc in nature and more
+    /// difficult to learn from similar sheets" (Fig. 11).
+    pub fn is_string_heavy(self) -> bool {
+        matches!(self, Archetype::NetworkInventory | Archetype::ProjectTracker)
+    }
+
+    pub fn slug(self) -> &'static str {
+        match self {
+            Archetype::SalesReport => "sales",
+            Archetype::SurveyTally => "survey",
+            Archetype::FinancialStatement => "finstmt",
+            Archetype::Inventory => "inventory",
+            Archetype::Timesheet => "timesheet",
+            Archetype::GradeBook => "grades",
+            Archetype::EnergyUsage => "energy",
+            Archetype::NetworkInventory => "netinv",
+            Archetype::ChipSpec => "chipspec",
+            Archetype::BudgetPlan => "budget",
+            Archetype::ProjectTracker => "projects",
+            Archetype::LookupSheet => "lookup",
+        }
+    }
+
+    pub fn sheet_stem(self) -> &'static str {
+        match self {
+            Archetype::SalesReport => "SalesByRegion",
+            Archetype::SurveyTally => "SurveyResults",
+            Archetype::FinancialStatement => "IncomeStmt",
+            Archetype::Inventory => "StockCount",
+            Archetype::Timesheet => "WeeklyHours",
+            Archetype::GradeBook => "ClassRoster",
+            Archetype::EnergyUsage => "UsageLog",
+            Archetype::NetworkInventory => "DeviceList",
+            Archetype::ChipSpec => "PartSpecs",
+            Archetype::BudgetPlan => "BudgetLines",
+            Archetype::ProjectTracker => "TaskBoard",
+            Archetype::LookupSheet => "OrderPricing",
+        }
+    }
+
+    pub fn title_noun(self) -> &'static str {
+        match self {
+            Archetype::SalesReport => "Sales Report",
+            Archetype::SurveyTally => "Survey Tally",
+            Archetype::FinancialStatement => "Income Statement",
+            Archetype::Inventory => "Inventory Count",
+            Archetype::Timesheet => "Timesheet",
+            Archetype::GradeBook => "Grade Book",
+            Archetype::EnergyUsage => "Energy Usage",
+            Archetype::NetworkInventory => "Network Inventory",
+            Archetype::ChipSpec => "Part Specifications",
+            Archetype::BudgetPlan => "Budget Plan",
+            Archetype::ProjectTracker => "Project Tracker",
+            Archetype::LookupSheet => "Order Pricing",
+        }
+    }
+
+    /// Range of plausible data-row counts.
+    pub fn row_range(self) -> RangeInclusive<u32> {
+        match self {
+            Archetype::FinancialStatement => 10..=10,
+            Archetype::EnergyUsage => 12..=12,
+            Archetype::SurveyTally => 15..=60,
+            Archetype::Timesheet => 6..=25,
+            Archetype::GradeBook => 10..=35,
+            _ => 8..=45,
+        }
+    }
+
+    pub fn default_rows(self) -> u32 {
+        *self.row_range().start()
+    }
+
+    /// Build one instance sheet. Formula cells are placed with their source
+    /// text; the caller runs `af_formula::recalculate` to fill values.
+    pub fn build(self, ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+        match self {
+            Archetype::SalesReport => build_sales(ctx, rng),
+            Archetype::SurveyTally => build_survey(ctx, rng),
+            Archetype::FinancialStatement => build_finstmt(ctx, rng),
+            Archetype::Inventory => build_inventory(ctx, rng),
+            Archetype::Timesheet => build_timesheet(ctx, rng),
+            Archetype::GradeBook => build_gradebook(ctx, rng),
+            Archetype::EnergyUsage => build_energy(ctx, rng),
+            Archetype::NetworkInventory => build_netinv(ctx, rng),
+            Archetype::ChipSpec => build_chipspec(ctx, rng),
+            Archetype::BudgetPlan => build_budget(ctx, rng),
+            Archetype::ProjectTracker => build_projects(ctx, rng),
+            Archetype::LookupSheet => build_lookup(ctx, rng),
+        }
+    }
+}
+
+// ------------------------------------------------------------ helpers
+
+fn at(row: u32, col: u32) -> CellRef {
+    CellRef::new(row, col)
+}
+
+/// A1 name of a (0-based) position, e.g. `a1name(2, 1)` = `"B3"`.
+fn a1name(row: u32, col: u32) -> String {
+    at(row, col).to_string()
+}
+
+fn title_cell(text: &str, p: &Palette) -> Cell {
+    Cell::styled(
+        text,
+        CellStyle {
+            bold: true,
+            font_size: 14.0,
+            font_color: p.header_fill,
+            ..Default::default()
+        },
+    )
+}
+
+fn header_cell(text: &str, p: &Palette) -> Cell {
+    Cell::styled(
+        text,
+        CellStyle::header(p.header_fill).with_font_color(p.header_font),
+    )
+}
+
+fn label_cell(text: &str) -> Cell {
+    Cell::new(text)
+}
+
+fn total_label(text: &str, p: &Palette) -> Cell {
+    Cell::styled(
+        text,
+        CellStyle {
+            bold: true,
+            fill: p.total_fill,
+            borders: BorderFlags(BorderFlags::TOP),
+            ..Default::default()
+        },
+    )
+}
+
+fn formula_cell(src: String, p: &Palette) -> Cell {
+    Cell::styled(0.0, CellStyle { fill: p.accent_fill, ..Default::default() }).with_formula(src)
+}
+
+/// Plain (un-filled) per-row formula cell.
+fn row_formula(src: String) -> Cell {
+    Cell::new(0.0).with_formula(src)
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    (rng.random_range(lo..hi) * 100.0).round() / 100.0
+}
+
+/// Layout constants shared by most archetypes: title at row 0, headers at
+/// row 1, data rows [2, 2+n).
+const HEADER_ROW: u32 = 1;
+const DATA_START: u32 = 2;
+
+fn put_title_and_headers(s: &mut Sheet, ctx: &BuildCtx, headers: &[&str]) {
+    s.set(at(0, 0), title_cell(ctx.title, ctx.palette));
+    for (c, h) in headers.iter().enumerate() {
+        s.set(at(HEADER_ROW, c as u32), header_cell(h, ctx.palette));
+    }
+}
+
+// ------------------------------------------------------------ builders
+
+/// Region | Units | Unit Price | Revenue(=B*C) …+ totals block.
+fn build_sales(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Region", "Units", "Unit Price", "Revenue"]);
+    let n = ctx.n_rows;
+    let end = DATA_START + n - 1;
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(at(r, 0), label_cell(pick(rng, REGIONS)));
+        s.set(at(r, 1), Cell::new(rng.random_range(5..500) as f64));
+        s.set(at(r, 2), Cell::new(money(rng, 3.0, 120.0)));
+        // Family-specific revenue logic (plain, rounded, or discounted).
+        let revenue = match ctx.variant % 3 {
+            0 => format!("{}*{}", a1name(r, 1), a1name(r, 2)),
+            1 => format!("ROUND({}*{},2)", a1name(r, 1), a1name(r, 2)),
+            _ => format!("{}*{}*0.95", a1name(r, 1), a1name(r, 2)),
+        };
+        s.set(at(r, 3), row_formula(revenue));
+    }
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Total", ctx.palette));
+    s.set(
+        at(t, 1),
+        formula_cell(format!("SUM({}:{})", a1name(DATA_START, 1), a1name(end, 1)), ctx.palette),
+    );
+    s.set(
+        at(t, 3),
+        formula_cell(format!("SUM({}:{})", a1name(DATA_START, 3), a1name(end, 3)), ctx.palette),
+    );
+    // Family variant decides the second aggregate.
+    let avg_fn = if ctx.variant % 2 == 0 { "AVERAGE" } else { "MEDIAN" };
+    s.set(at(t + 1, 0), total_label("Typical price", ctx.palette));
+    s.set(
+        at(t + 1, 2),
+        formula_cell(
+            format!("{avg_fn}({}:{})", a1name(DATA_START, 2), a1name(end, 2)),
+            ctx.palette,
+        ),
+    );
+    s
+}
+
+/// The paper's Fig. 1 shape: a column of choices, then a tally block of
+/// `COUNTIF(range, label_cell)` rows below the data.
+fn build_survey(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["#", "Respondent", "Choice", "Count"]);
+    let n = ctx.n_rows;
+    let end = DATA_START + n - 1;
+    // Family-fixed set of distinct choices (so tally labels align across
+    // instances).
+    let k = 3 + (ctx.variant % 3) as usize; // 3..=5 choices
+    let mut choices: Vec<&str> = Vec::with_capacity(k);
+    let mut idx = ctx.variant as usize;
+    while choices.len() < k {
+        let cand = SURNAMES[idx % SURNAMES.len()];
+        if !choices.contains(&cand) {
+            choices.push(cand);
+        }
+        idx += 7;
+    }
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(at(r, 0), Cell::new((i + 1) as f64));
+        s.set(at(r, 1), label_cell(pick(rng, FIRST_NAMES)));
+        s.set(at(r, 2), label_cell(choices[rng.random_range(0..k)]));
+    }
+    // Tally block: one row per choice, like D41 = COUNTIF(C7:C37, C41).
+    let tally_start = end + 2;
+    s.set(at(tally_start - 1, 2), total_label("Tally", ctx.palette));
+    for (j, choice) in choices.iter().enumerate() {
+        let r = tally_start + j as u32;
+        s.set(at(r, 2), label_cell(choice));
+        s.set(
+            at(r, 3),
+            formula_cell(
+                format!(
+                    "COUNTIF({}:{},{})",
+                    a1name(DATA_START, 2),
+                    a1name(end, 2),
+                    a1name(r, 2)
+                ),
+                ctx.palette,
+            ),
+        );
+    }
+    s
+}
+
+/// Line items × quarters; FY column sums the row; margin rows divide.
+fn build_finstmt(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Line Item", "Q1", "Q2", "Q3", "Q4", "FY"]);
+    let n = ctx.n_rows.min(LINE_ITEMS.len() as u32);
+    let end = DATA_START + n - 1;
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(at(r, 0), label_cell(LINE_ITEMS[i as usize]));
+        for c in 1..=4u32 {
+            s.set(at(r, c), Cell::new(money(rng, 50.0, 900.0)));
+        }
+        let fy = match ctx.variant % 2 {
+            0 => format!("SUM({}:{})", a1name(r, 1), a1name(r, 4)),
+            _ => format!(
+                "{}+{}+{}+{}",
+                a1name(r, 1),
+                a1name(r, 2),
+                a1name(r, 3),
+                a1name(r, 4)
+            ),
+        };
+        s.set(at(r, 5), row_formula(fy));
+    }
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Total", ctx.palette));
+    for c in 1..=5u32 {
+        s.set(
+            at(t, c),
+            formula_cell(format!("SUM({}:{})", a1name(DATA_START, c), a1name(end, c)), ctx.palette),
+        );
+    }
+    // Margin row: first line item over total, per quarter.
+    s.set(at(t + 1, 0), total_label("Rev share Q1", ctx.palette));
+    s.set(
+        at(t + 1, 1),
+        formula_cell(
+            format!("ROUND({}/{},2)", a1name(DATA_START, 1), a1name(t, 1)),
+            ctx.palette,
+        ),
+    );
+    s
+}
+
+/// Item | SKU | Qty | Reorder level | Status(=IF) + COUNTIF of reorders.
+fn build_inventory(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Item", "SKU", "Qty", "Reorder At", "Status"]);
+    let n = ctx.n_rows;
+    let end = DATA_START + n - 1;
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(at(r, 0), label_cell(pick(rng, PRODUCTS)));
+        s.set(at(r, 1), Cell::new(format!("SKU-{:05}", rng.random_range(0..100000))));
+        s.set(at(r, 2), Cell::new(rng.random_range(0..250) as f64));
+        s.set(at(r, 3), Cell::new(rng.random_range(10..60) as f64));
+        let low_word = ["REORDER", "LOW", "ORDER NOW"][(ctx.variant % 3) as usize];
+        s.set(
+            at(r, 4),
+            row_formula(format!(
+                "IF({}<{},\"{low_word}\",\"OK\")",
+                a1name(r, 2),
+                a1name(r, 3)
+            )),
+        );
+    }
+    let low_word = ["REORDER", "LOW", "ORDER NOW"][(ctx.variant % 3) as usize];
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Units on hand", ctx.palette));
+    s.set(
+        at(t, 2),
+        formula_cell(format!("SUM({}:{})", a1name(DATA_START, 2), a1name(end, 2)), ctx.palette),
+    );
+    s.set(at(t + 1, 0), total_label("Items to reorder", ctx.palette));
+    s.set(
+        at(t + 1, 2),
+        formula_cell(
+            format!("COUNTIF({}:{},\"{low_word}\")", a1name(DATA_START, 4), a1name(end, 4)),
+            ctx.palette,
+        ),
+    );
+    s
+}
+
+/// Employee | Mon..Fri | Total(=SUM) | Overtime(=IF) + column totals.
+fn build_timesheet(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(
+        &mut s,
+        ctx,
+        &["Employee", "Mon", "Tue", "Wed", "Thu", "Fri", "Total", "Overtime"],
+    );
+    let n = ctx.n_rows;
+    let end = DATA_START + n - 1;
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(
+            at(r, 0),
+            label_cell(&format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, SURNAMES))),
+        );
+        for c in 1..=5u32 {
+            s.set(at(r, c), Cell::new(rng.random_range(4..11) as f64));
+        }
+        s.set(at(r, 6), row_formula(format!("SUM({}:{})", a1name(r, 1), a1name(r, 5))));
+        let ot = 35 + (ctx.variant % 3) * 5; // family-specific OT threshold
+        s.set(
+            at(r, 7),
+            row_formula(format!("IF({s6}>{ot},{s6}-{ot},0)", s6 = a1name(r, 6))),
+        );
+    }
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Team total", ctx.palette));
+    for c in [6u32, 7] {
+        s.set(
+            at(t, c),
+            formula_cell(format!("SUM({}:{})", a1name(DATA_START, c), a1name(end, c)), ctx.palette),
+        );
+    }
+    s
+}
+
+/// Student | HW1..3 | Exam | Score(weighted) | Grade (nested IF).
+fn build_gradebook(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Student", "HW1", "HW2", "HW3", "Exam", "Score", "Grade"]);
+    let n = ctx.n_rows;
+    let end = DATA_START + n - 1;
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(
+            at(r, 0),
+            label_cell(&format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, SURNAMES))),
+        );
+        for c in 1..=4u32 {
+            s.set(at(r, c), Cell::new(rng.random_range(40..101) as f64));
+        }
+        let (w_hw, w_exam) = match ctx.variant % 3 {
+            0 => ("0.15", "0.55"),
+            1 => ("0.1", "0.7"),
+            _ => ("0.2", "0.4"),
+        };
+        s.set(
+            at(r, 5),
+            row_formula(format!(
+                "ROUND({w_hw}*{}+{w_hw}*{}+{w_hw}*{}+{w_exam}*{},1)",
+                a1name(r, 1),
+                a1name(r, 2),
+                a1name(r, 3),
+                a1name(r, 4)
+            )),
+        );
+        let cut = 88 + (ctx.variant % 3) as i64; // family-specific curve
+        s.set(
+            at(r, 6),
+            row_formula(format!(
+                "IF({s0}>={cut},\"A\",IF({s0}>={c2},\"B\",IF({s0}>={c3},\"C\",\"D\")))",
+                s0 = a1name(r, 5),
+                c2 = cut - 10,
+                c3 = cut - 20,
+            )),
+        );
+    }
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Class average", ctx.palette));
+    s.set(
+        at(t, 5),
+        formula_cell(
+            format!("AVERAGE({}:{})", a1name(DATA_START, 5), a1name(end, 5)),
+            ctx.palette,
+        ),
+    );
+    s.set(at(t + 1, 0), total_label("Top score", ctx.palette));
+    s.set(
+        at(t + 1, 5),
+        formula_cell(format!("MAX({}:{})", a1name(DATA_START, 5), a1name(end, 5)), ctx.palette),
+    );
+    s
+}
+
+/// Month | kWh | Cost(=rate*B) | Running(=prev+C). Fixed 12 rows.
+fn build_energy(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Month", "kWh", "Cost", "YTD Cost"]);
+    let rate = 0.09 + (ctx.variant % 7) as f64 * 0.01;
+    for i in 0..12u32 {
+        let r = DATA_START + i;
+        s.set(at(r, 0), label_cell(MONTHS[i as usize]));
+        s.set(at(r, 1), Cell::new(rng.random_range(300..2200) as f64));
+        let digits = 2 + ctx.variant % 2;
+        s.set(at(r, 2), row_formula(format!("ROUND({}*{rate},{digits})", a1name(r, 1))));
+        if i == 0 {
+            s.set(at(r, 3), row_formula(format!("{}", a1name(r, 2))));
+        } else {
+            s.set(
+                at(r, 3),
+                row_formula(format!("{}+{}", a1name(r - 1, 3), a1name(r, 2))),
+            );
+        }
+    }
+    let end = DATA_START + 11;
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Annual", ctx.palette));
+    s.set(
+        at(t, 1),
+        formula_cell(format!("SUM({}:{})", a1name(DATA_START, 1), a1name(end, 1)), ctx.palette),
+    );
+    s.set(
+        at(t, 2),
+        formula_cell(format!("SUM({}:{})", a1name(DATA_START, 2), a1name(end, 2)), ctx.palette),
+    );
+    s.set(at(t + 1, 0), total_label("Peak month kWh", ctx.palette));
+    s.set(
+        at(t + 1, 1),
+        formula_cell(format!("MAX({}:{})", a1name(DATA_START, 1), a1name(end, 1)), ctx.palette),
+    );
+    s
+}
+
+/// Device | Site | Ports | Used | Util(=D/C) | Hostname(=CONCAT) + site counts.
+fn build_netinv(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Device", "Site", "Ports", "Used", "Util", "Hostname"]);
+    let n = ctx.n_rows;
+    let end = DATA_START + n - 1;
+    let k = 3 + (ctx.variant % 2) as usize;
+    let sites: Vec<&str> = (0..k).map(|i| SITES[(ctx.variant as usize + i * 5) % SITES.len()]).collect();
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(at(r, 0), label_cell(pick(rng, PRODUCTS)));
+        s.set(at(r, 1), label_cell(sites[rng.random_range(0..k)]));
+        let ports = [8.0, 16.0, 24.0, 48.0][rng.random_range(0..4)];
+        s.set(at(r, 2), Cell::new(ports));
+        s.set(at(r, 3), Cell::new(rng.random_range(0..=ports as u32) as f64));
+        let digits = 1 + ctx.variant % 3;
+        s.set(
+            at(r, 4),
+            row_formula(format!("ROUND({}/{},{digits})", a1name(r, 3), a1name(r, 2))),
+        );
+        let host_len = 3 + ctx.variant % 2;
+        s.set(
+            at(r, 5),
+            row_formula(format!(
+                "LOWER(LEFT({},{host_len})&\"-\"&LEFT({},4)&\"-{:02}\")",
+                a1name(r, 1),
+                a1name(r, 0),
+                i + 1,
+            )),
+        );
+    }
+    let t = end + 2;
+    s.set(at(t - 1, 0), total_label("Devices per site", ctx.palette));
+    for (j, site) in sites.iter().enumerate() {
+        let r = t + j as u32;
+        s.set(at(r, 0), label_cell(site));
+        s.set(
+            at(r, 1),
+            formula_cell(
+                format!(
+                    "COUNTIF({}:{},{})",
+                    a1name(DATA_START, 1),
+                    a1name(end, 1),
+                    a1name(r, 0)
+                ),
+                ctx.palette,
+            ),
+        );
+    }
+    s
+}
+
+/// Part | V | mA | Power(=B*C/1000) | Verdict(=IF) + MAX/MIN block.
+fn build_chipspec(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Part", "Volts", "mA", "Power W", "Verdict"]);
+    let n = ctx.n_rows;
+    let end = DATA_START + n - 1;
+    let limit = 1.0 + (ctx.variant % 5) as f64 * 0.5;
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(
+            at(r, 0),
+            Cell::new(format!("TI-{}{:03}", pick(rng, &["LM", "TPS", "OPA", "MSP"]), rng.random_range(100..999))),
+        );
+        s.set(at(r, 1), Cell::new(money(rng, 1.8, 5.5)));
+        s.set(at(r, 2), Cell::new(rng.random_range(10..900) as f64));
+        let digits = 2 + ctx.variant % 2;
+        s.set(
+            at(r, 3),
+            row_formula(format!("ROUND({}*{}/1000,{digits})", a1name(r, 1), a1name(r, 2))),
+        );
+        s.set(
+            at(r, 4),
+            row_formula(format!("IF({}<={limit},\"PASS\",\"FAIL\")", a1name(r, 3))),
+        );
+    }
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Max power", ctx.palette));
+    s.set(
+        at(t, 3),
+        formula_cell(format!("MAX({}:{})", a1name(DATA_START, 3), a1name(end, 3)), ctx.palette),
+    );
+    s.set(at(t + 1, 0), total_label("Failures", ctx.palette));
+    s.set(
+        at(t + 1, 3),
+        formula_cell(
+            format!("COUNTIF({}:{},\"FAIL\")", a1name(DATA_START, 4), a1name(end, 4)),
+            ctx.palette,
+        ),
+    );
+    s
+}
+
+/// Category | Budget | Actual | Variance(=C-B) | Used%(=C/B) | Flag(=IF).
+fn build_budget(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Category", "Budget", "Actual", "Variance", "Used", "Flag"]);
+    let n = ctx.n_rows.min(CATEGORIES.len() as u32 * 3);
+    let end = DATA_START + n - 1;
+    for i in 0..n {
+        let r = DATA_START + i;
+        let cat = format!(
+            "{} / {}",
+            pick(rng, DEPARTMENTS),
+            CATEGORIES[i as usize % CATEGORIES.len()]
+        );
+        s.set(at(r, 0), label_cell(&cat));
+        s.set(at(r, 1), Cell::new(money(rng, 1000.0, 50_000.0)));
+        s.set(at(r, 2), Cell::new(money(rng, 500.0, 60_000.0)));
+        s.set(at(r, 3), row_formula(format!("{}-{}", a1name(r, 2), a1name(r, 1))));
+        let digits = 2 + ctx.variant % 2;
+        s.set(
+            at(r, 4),
+            row_formula(format!("ROUND({}/{},{digits})", a1name(r, 2), a1name(r, 1))),
+        );
+        let flag_cut = ["1", "0.9", "1.1"][(ctx.variant % 3) as usize];
+        s.set(
+            at(r, 5),
+            row_formula(format!("IF({}>{flag_cut},\"OVER\",\"UNDER\")", a1name(r, 4))),
+        );
+    }
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Totals", ctx.palette));
+    for c in [1u32, 2, 3] {
+        s.set(
+            at(t, c),
+            formula_cell(format!("SUM({}:{})", a1name(DATA_START, c), a1name(end, c)), ctx.palette),
+        );
+    }
+    s.set(at(t + 1, 0), total_label("Overruns", ctx.palette));
+    s.set(
+        at(t + 1, 2),
+        formula_cell(
+            format!("COUNTIF({}:{},\"OVER\")", a1name(DATA_START, 5), a1name(end, 5)),
+            ctx.palette,
+        ),
+    );
+    s
+}
+
+/// Task | Owner | Start | End | Days(=D-C) | Tag(string) — date+string heavy.
+fn build_projects(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Task", "Owner", "Start", "End", "Days", "Tag"]);
+    let n = ctx.n_rows;
+    let end = DATA_START + n - 1;
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(at(r, 0), label_cell(pick(rng, TASKS)));
+        s.set(at(r, 1), label_cell(pick(rng, FIRST_NAMES)));
+        let start = date_to_serial(2023, rng.random_range(1..=12), rng.random_range(1..=28));
+        let dur = rng.random_range(3..60) as i64;
+        s.set(at(r, 2), Cell::new(af_grid::CellValue::Date(start)));
+        s.set(at(r, 3), Cell::new(af_grid::CellValue::Date(start + dur)));
+        let days = match ctx.variant % 2 {
+            0 => format!("{}-{}", a1name(r, 3), a1name(r, 2)),
+            _ => format!("DAYS({},{})", a1name(r, 3), a1name(r, 2)),
+        };
+        s.set(at(r, 4), row_formula(days));
+        let tag_len = 3 + ctx.variant % 3;
+        s.set(
+            at(r, 5),
+            row_formula(format!(
+                "UPPER(LEFT({},{tag_len}))&\"-\"&LEFT({},3)&\"-\"&YEAR({})",
+                a1name(r, 0),
+                a1name(r, 1),
+                a1name(r, 2)
+            )),
+        );
+    }
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Longest task", ctx.palette));
+    s.set(
+        at(t, 4),
+        formula_cell(format!("MAX({}:{})", a1name(DATA_START, 4), a1name(end, 4)), ctx.palette),
+    );
+    s
+}
+
+/// Orders table + a side rate table queried via `VLOOKUP` with `$`-refs.
+fn build_lookup(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
+    let mut s = Sheet::new(ctx.sheet_name.clone());
+    put_title_and_headers(&mut s, ctx, &["Order", "Product", "Qty", "Unit Price", "Amount"]);
+    // Side rate table in columns G:H (fixed across instances of a family).
+    let k = 5 + (ctx.variant % 3) as usize;
+    let products: Vec<&str> =
+        (0..k).map(|i| PRODUCTS[(ctx.variant as usize + i * 3) % PRODUCTS.len()]).collect();
+    s.set(at(HEADER_ROW, 6), header_cell("Product", ctx.palette));
+    s.set(at(HEADER_ROW, 7), header_cell("Rate", ctx.palette));
+    for (i, prod) in products.iter().enumerate() {
+        let r = DATA_START + i as u32;
+        s.set(at(r, 6), label_cell(prod));
+        s.set(at(r, 7), Cell::new(money(rng, 5.0, 200.0)));
+    }
+    let rate_range = format!(
+        "$G${}:$H${}",
+        DATA_START + 1,
+        DATA_START + k as u32
+    );
+    let n = ctx.n_rows;
+    let end = DATA_START + n - 1;
+    for i in 0..n {
+        let r = DATA_START + i;
+        s.set(at(r, 0), Cell::new(format!("ORD-{:04}", 1000 + i)));
+        s.set(at(r, 1), label_cell(products[rng.random_range(0..k)]));
+        s.set(at(r, 2), Cell::new(rng.random_range(1..40) as f64));
+        s.set(
+            at(r, 3),
+            row_formula(format!("VLOOKUP({},{rate_range},2,FALSE)", a1name(r, 1))),
+        );
+        let amount = match ctx.variant % 2 {
+            0 => format!("{}*{}", a1name(r, 2), a1name(r, 3)),
+            _ => format!("ROUND({}*{},2)", a1name(r, 2), a1name(r, 3)),
+        };
+        s.set(at(r, 4), row_formula(amount));
+    }
+    let t = end + 2;
+    s.set(at(t, 0), total_label("Grand total", ctx.palette));
+    s.set(
+        at(t, 4),
+        formula_cell(format!("SUM({}:{})", a1name(DATA_START, 4), a1name(end, 4)), ctx.palette),
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::Palette;
+    use af_formula::{classify, parse_formula, recalculate, FormulaType};
+    use rand::SeedableRng;
+
+    fn build(arch: Archetype, n_rows: u32, variant: u64) -> Sheet {
+        let mut rng = StdRng::seed_from_u64(7);
+        let palette = Palette::random(&mut rng);
+        let ctx = BuildCtx {
+            palette: &palette,
+            sheet_name: "T".into(),
+            n_rows,
+            title: "Test title",
+            variant,
+        };
+        let mut s = arch.build(&ctx, &mut rng);
+        recalculate(&mut s);
+        s
+    }
+
+    #[test]
+    fn all_archetypes_produce_parseable_formulas() {
+        for arch in Archetype::ALL {
+            let s = build(arch, 12, 3);
+            let mut count = 0;
+            for (_at, f) in s.formulas() {
+                parse_formula(f).unwrap_or_else(|e| panic!("{arch:?}: bad formula {f}: {e}"));
+                count += 1;
+            }
+            assert!(count >= 3, "{arch:?} produced only {count} formulas");
+        }
+    }
+
+    #[test]
+    fn formulas_evaluate_without_errors() {
+        use af_grid::CellValue;
+        for arch in Archetype::ALL {
+            let s = build(arch, 10, 1);
+            for (at, _f) in s.formulas() {
+                let v = s.value(at);
+                assert!(
+                    !matches!(v, CellValue::Error(_)),
+                    "{arch:?} formula at {at} evaluated to {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survey_matches_paper_shape() {
+        let s = build(Archetype::SurveyTally, 31, 0);
+        // Find a COUNTIF in the tally block.
+        let countifs: Vec<_> = s
+            .formulas()
+            .filter(|(_, f)| f.starts_with("COUNTIF"))
+            .collect();
+        assert!(countifs.len() >= 3);
+        // Template should be COUNTIF(_:_,_) exactly like Fig. 1.
+        let e = parse_formula(countifs[0].1).unwrap();
+        let (t, params) = af_formula::Template::extract(&e);
+        assert_eq!(t.signature(), "COUNTIF(_:_,_)");
+        assert_eq!(params.len(), 3);
+    }
+
+    #[test]
+    fn type_coverage_spans_buckets() {
+        use std::collections::HashSet;
+        let mut seen: HashSet<FormulaType> = HashSet::new();
+        for arch in Archetype::ALL {
+            let s = build(arch, 12, 2);
+            for (_, f) in s.formulas() {
+                seen.insert(classify(&parse_formula(f).unwrap()));
+            }
+        }
+        for t in [
+            FormulaType::Conditional,
+            FormulaType::Math,
+            FormulaType::String,
+            FormulaType::Other,
+        ] {
+            assert!(seen.contains(&t), "missing formula type {t}");
+        }
+    }
+
+    #[test]
+    fn complexity_spans_buckets() {
+        let mut long = 0;
+        let mut short = 0;
+        for arch in Archetype::ALL {
+            let s = build(arch, 12, 2);
+            for (_, f) in s.formulas() {
+                let c = af_formula::complexity(&parse_formula(f).unwrap());
+                if c >= 7 {
+                    long += 1;
+                }
+                if c < 3 {
+                    short += 1;
+                }
+            }
+        }
+        assert!(long > 0, "need complex formulas for Fig. 10");
+        assert!(short > 0, "need short formulas for Fig. 10");
+    }
+
+    #[test]
+    fn string_heavy_flags() {
+        assert!(Archetype::NetworkInventory.is_string_heavy());
+        assert!(Archetype::ProjectTracker.is_string_heavy());
+        assert!(!Archetype::SalesReport.is_string_heavy());
+    }
+
+    #[test]
+    fn variants_change_family_logic() {
+        let a = build(Archetype::SalesReport, 10, 0);
+        let b = build(Archetype::SalesReport, 10, 1);
+        let fa: Vec<_> = a.formulas().map(|(_, f)| f.to_string()).collect();
+        let fb: Vec<_> = b.formulas().map(|(_, f)| f.to_string()).collect();
+        assert_ne!(fa, fb, "variant should flip AVERAGE/MEDIAN");
+    }
+}

@@ -1,0 +1,135 @@
+//! Training-data augmentation (§4.3): "for a pair of similar sheets or
+//! regions … randomly remove some fraction of rows and columns from one
+//! sheet/region in the pair, and continue to use the resulting pair as
+//! positive examples".
+
+use af_grid::{CellRef, Sheet};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Sheet-level augmentation for the coarse model: remove each row/column
+/// independently with probability `p` (the paper randomizes `p ∈ [0, 10%]`
+/// per sheet). Removal positions are arbitrary.
+pub fn augment_sheet(sheet: &Sheet, p: f64, rng: &mut StdRng) -> Sheet {
+    let mut out = sheet.clone();
+    let (rows, cols) = out.dims();
+    // Collect first, then delete from the bottom/right so indices stay
+    // valid during the pass.
+    let kill_rows: Vec<u32> = (0..rows).filter(|_| rng.random_bool(p)).collect();
+    for &r in kill_rows.iter().rev() {
+        out.remove_row(r);
+    }
+    let kill_cols: Vec<u32> = (0..cols).filter(|_| rng.random_bool(p)).collect();
+    for &c in kill_cols.iter().rev() {
+        out.remove_col(c);
+    }
+    out
+}
+
+/// Region-level augmentation for the fine model: remove only rows just
+/// above the region center (bottom-most *data* rows when the formula sits
+/// under its table, keeping headers intact) and columns to the right of the
+/// center. Returns the augmented sheet plus the corrected center location.
+pub fn augment_region(
+    sheet: &Sheet,
+    center: CellRef,
+    p: f64,
+    reach: u32,
+    rng: &mut StdRng,
+) -> (Sheet, CellRef) {
+    let mut out = sheet.clone();
+    let mut new_center = center;
+    // Rows in (center-reach, center): removing them shifts the center up.
+    let lo = center.row.saturating_sub(reach);
+    let kill_rows: Vec<u32> =
+        (lo..center.row).filter(|_| rng.random_bool(p)).collect();
+    for &r in kill_rows.iter().rev() {
+        out.remove_row(r);
+        new_center.row -= 1;
+    }
+    // Columns strictly right of the center: no shift of the center.
+    let (_, cols) = out.dims();
+    let kill_cols: Vec<u32> =
+        (center.col + 1..cols.min(center.col + 1 + reach)).filter(|_| rng.random_bool(p)).collect();
+    for &c in kill_cols.iter().rev() {
+        out.remove_col(c);
+    }
+    (out, new_center)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_grid::Cell;
+    use rand::SeedableRng;
+
+    fn grid(rows: u32, cols: u32) -> Sheet {
+        let mut s = Sheet::new("g");
+        for r in 0..rows {
+            for c in 0..cols {
+                s.set(CellRef::new(r, c), Cell::new(format!("r{r}c{c}")));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let s = grid(10, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = augment_sheet(&s, 0.0, &mut rng);
+        assert_eq!(out.len(), s.len());
+        let (s2, c2) = augment_region(&s, CellRef::new(8, 2), 0.0, 6, &mut rng);
+        assert_eq!(s2.len(), s.len());
+        assert_eq!(c2, CellRef::new(8, 2));
+    }
+
+    #[test]
+    fn sheet_augmentation_removes_some_rows() {
+        let s = grid(30, 6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = augment_sheet(&s, 0.2, &mut rng);
+        assert!(out.len() < s.len());
+        let (rows, cols) = out.dims();
+        assert!(rows <= 30 && cols <= 6);
+    }
+
+    #[test]
+    fn region_augmentation_tracks_center_content() {
+        let s = grid(20, 4);
+        let center = CellRef::new(15, 1);
+        let original = s.value(center);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let (out, nc) = augment_region(&s, center, 0.3, 8, &mut rng);
+            assert_eq!(out.value(nc), original, "center must track its cell");
+            assert!(nc.row <= center.row);
+            assert_eq!(nc.col, center.col, "column of center never shifts");
+        }
+    }
+
+    #[test]
+    fn region_augmentation_preserves_top_structure() {
+        let s = grid(20, 4);
+        let center = CellRef::new(15, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (out, _) = augment_region(&s, center, 0.5, 5, &mut rng);
+        // Rows above center-reach (headers) are untouched.
+        for r in 0..10 {
+            for c in 0..2 {
+                assert_eq!(out.value(CellRef::new(r, c)), s.value(CellRef::new(r, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_per_seed() {
+        let s = grid(25, 5);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let outa = augment_sheet(&s, 0.1, &mut a);
+        let outb = augment_sheet(&s, 0.1, &mut b);
+        assert_eq!(outa.len(), outb.len());
+        assert_eq!(outa.dims(), outb.dims());
+    }
+}

@@ -1,0 +1,337 @@
+//! Organization presets and corpus generation.
+//!
+//! Four test organizations mirror the paper's holdout corpora (§5.1). The
+//! lever that drives cross-corpus recall differences (§5.2) is the
+//! *singleton rate*: "for certain test corpus (e.g., Cisco), many of the
+//! underlying spreadsheets are singletons, with a unique design pattern and
+//! no similar-sheets … which limits the best possible recall of any
+//! similar-sheet-based method". Each preset calibrates that rate.
+
+use crate::archetype::Archetype;
+use crate::family::{Family, NameStyle};
+use af_grid::Workbook;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Corpus scale knob, read from `AF_SCALE` (`tiny` / `small` / `full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Tiny,
+    Small,
+    Full,
+}
+
+impl Scale {
+    pub fn from_env() -> Scale {
+        match std::env::var("AF_SCALE").unwrap_or_default().to_ascii_lowercase().as_str() {
+            "tiny" => Scale::Tiny,
+            "full" => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Multiplier applied to family/singleton counts.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.35,
+            Scale::Small => 1.0,
+            Scale::Full => 3.0,
+        }
+    }
+}
+
+/// Ground truth the paper's authors never had: which family produced each
+/// workbook (`None` family id means singleton).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    pub family: Option<usize>,
+    pub archetype: Archetype,
+}
+
+/// Specification of a synthetic organization.
+#[derive(Debug, Clone)]
+pub struct OrgSpec {
+    pub name: &'static str,
+    pub n_families: usize,
+    pub instances_min: usize,
+    pub instances_max: usize,
+    pub n_singletons: usize,
+    /// Fraction of families whose sheets use generic names ("Sheet1") —
+    /// invisible to weak supervision, visible to learned models.
+    pub generic_name_rate: f64,
+    /// Probability that a singleton uses a string-heavy archetype (drives
+    /// the "string" recall dip of Fig. 11).
+    pub string_singleton_bias: f64,
+    pub seed: u64,
+}
+
+impl OrgSpec {
+    /// Cisco-sim: mostly singletons → low best-possible recall (paper R≈0.36).
+    pub fn cisco(scale: Scale) -> OrgSpec {
+        OrgSpec {
+            name: "Cisco",
+            n_families: sc(10, scale),
+            instances_min: 2,
+            instances_max: 4,
+            n_singletons: sc(48, scale),
+            generic_name_rate: 0.5,
+            string_singleton_bias: 0.5,
+            seed: 0xC15C0,
+        }
+    }
+
+    /// PGE-sim: few singletons, deep families → high recall (paper R≈0.94).
+    pub fn pge(scale: Scale) -> OrgSpec {
+        OrgSpec {
+            name: "PGE",
+            n_families: sc(12, scale),
+            instances_min: 6,
+            instances_max: 12,
+            n_singletons: sc(4, scale),
+            generic_name_rate: 0.25,
+            string_singleton_bias: 0.3,
+            seed: 0x9_6E,
+        }
+    }
+
+    /// TI-sim: middle ground (paper R≈0.54).
+    pub fn ti(scale: Scale) -> OrgSpec {
+        OrgSpec {
+            name: "TI",
+            n_families: sc(12, scale),
+            instances_min: 3,
+            instances_max: 7,
+            n_singletons: sc(26, scale),
+            generic_name_rate: 0.35,
+            string_singleton_bias: 0.4,
+            seed: 0x71,
+        }
+    }
+
+    /// Enron-sim: largest and most heterogeneous (paper R≈0.34).
+    pub fn enron(scale: Scale) -> OrgSpec {
+        OrgSpec {
+            name: "Enron",
+            n_families: sc(16, scale),
+            instances_min: 2,
+            instances_max: 6,
+            n_singletons: sc(55, scale),
+            generic_name_rate: 0.55,
+            string_singleton_bias: 0.45,
+            seed: 0xE9905,
+        }
+    }
+
+    /// All four test presets, in the paper's column order.
+    pub fn test_orgs(scale: Scale) -> Vec<OrgSpec> {
+        vec![Self::pge(scale), Self::cisco(scale), Self::ti(scale), Self::enron(scale)]
+    }
+
+    /// The web-crawl training corpus stand-in (the paper's `U`, 160K
+    /// sheets; here scaled down but structurally identical: many unrelated
+    /// organizations' worth of families).
+    pub fn web_crawl(scale: Scale) -> OrgSpec {
+        OrgSpec {
+            name: "WebCrawl",
+            n_families: sc(36, scale),
+            instances_min: 3,
+            instances_max: 6,
+            n_singletons: sc(30, scale),
+            generic_name_rate: 0.35,
+            string_singleton_bias: 0.4,
+            seed: 0x3EB,
+        }
+    }
+
+    /// Generate the corpus.
+    pub fn generate(&self) -> OrgCorpus {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut workbooks = Vec::new();
+        let mut provenance = Vec::new();
+        let mut families = Vec::new();
+
+        // Families: spread archetypes round-robin with per-org offsets, so
+        // each org has its own mix; string-heavy archetypes are allowed but
+        // not over-represented.
+        let non_string: Vec<Archetype> =
+            Archetype::ALL.iter().copied().filter(|a| !a.is_string_heavy()).collect();
+        for f in 0..self.n_families {
+            let archetype = if rng.random_bool(0.18) {
+                let pool = [Archetype::NetworkInventory, Archetype::ProjectTracker];
+                pool[rng.random_range(0..pool.len())]
+            } else {
+                non_string[(f + self.seed as usize) % non_string.len()]
+            };
+            let name_style = if rng.random_bool(self.generic_name_rate) {
+                NameStyle::Generic
+            } else {
+                NameStyle::Distinct
+            };
+            let fam = Family::new(f, archetype, name_style, self.seed ^ ((f as u64 + 1) << 17));
+            let n_inst = rng.random_range(self.instances_min..=self.instances_max);
+            // Timestamps: instances spread over the org's history so the
+            // newest instance of a family lands in the timestamp-split test
+            // set while older siblings remain as references.
+            let t0: i64 = rng.random_range(0..2_000_000);
+            let step: i64 = rng.random_range(50_000..400_000);
+            for i in 0..n_inst {
+                let jitter: i64 = rng.random_range(0..25_000);
+                let wb = fam.instantiate(i, t0 + step * i as i64 + jitter);
+                workbooks.push(wb);
+                provenance.push(Provenance { family: Some(f), archetype });
+            }
+            families.push(fam);
+        }
+
+        // Singletons: one-off designs with no similar-sheet counterpart.
+        for sgl in 0..self.n_singletons {
+            let archetype = if rng.random_bool(self.string_singleton_bias) {
+                let pool = [Archetype::NetworkInventory, Archetype::ProjectTracker];
+                pool[rng.random_range(0..pool.len())]
+            } else {
+                Archetype::ALL[rng.random_range(0..Archetype::ALL.len())]
+            };
+            let name_style =
+                if rng.random_bool(0.5) { NameStyle::Generic } else { NameStyle::Distinct };
+            let fam = Family::new(
+                self.n_families + sgl,
+                archetype,
+                name_style,
+                self.seed ^ 0xDEAD ^ ((sgl as u64 + 1) << 23),
+            );
+            let ts: i64 = rng.random_range(0..4_000_000);
+            workbooks.push(fam.instantiate(0, ts));
+            provenance.push(Provenance { family: None, archetype });
+        }
+
+        OrgCorpus { name: self.name.to_string(), workbooks, provenance }
+    }
+}
+
+fn sc(base: usize, scale: Scale) -> usize {
+    ((base as f64 * scale.factor()).round() as usize).max(1)
+}
+
+/// A generated corpus with ground-truth provenance.
+#[derive(Debug, Clone)]
+pub struct OrgCorpus {
+    pub name: String,
+    pub workbooks: Vec<Workbook>,
+    pub provenance: Vec<Provenance>,
+}
+
+/// Corpus statistics for Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusStats {
+    pub workbooks: usize,
+    pub sheets: usize,
+    pub formulas: usize,
+}
+
+impl OrgCorpus {
+    pub fn stats(&self) -> CorpusStats {
+        CorpusStats {
+            workbooks: self.workbooks.len(),
+            sheets: self.workbooks.iter().map(|w| w.n_sheets()).sum(),
+            formulas: self.workbooks.iter().map(|w| w.formula_count()).sum(),
+        }
+    }
+
+    /// Do two workbooks come from the same family (ground truth)?
+    pub fn same_family(&self, a: usize, b: usize) -> bool {
+        match (self.provenance[a].family, self.provenance[b].family) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Fraction of workbooks that have at least one same-family
+    /// counterpart — the paper's "40–90% of spreadsheets have similar-sheet
+    /// counterparts" measurement, and the recall ceiling of any
+    /// similar-sheet method.
+    pub fn similar_sheet_rate(&self) -> f64 {
+        let mut counts = std::collections::HashMap::new();
+        for p in &self.provenance {
+            if let Some(f) = p.family {
+                *counts.entry(f).or_insert(0usize) += 1;
+            }
+        }
+        let with = self
+            .provenance
+            .iter()
+            .filter(|p| p.family.map(|f| counts[&f] > 1).unwrap_or(false))
+            .count();
+        with as f64 / self.provenance.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = OrgSpec::pge(Scale::Tiny).generate();
+        let b = OrgSpec::pge(Scale::Tiny).generate();
+        assert_eq!(a.workbooks.len(), b.workbooks.len());
+        assert_eq!(a.stats().formulas, b.stats().formulas);
+    }
+
+    #[test]
+    fn singleton_rates_ordered_like_paper() {
+        let pge = OrgSpec::pge(Scale::Tiny).generate();
+        let cisco = OrgSpec::cisco(Scale::Tiny).generate();
+        let rate_pge = pge.similar_sheet_rate();
+        let rate_cisco = cisco.similar_sheet_rate();
+        assert!(
+            rate_pge > 0.85,
+            "PGE-sim should be dominated by similar-sheets ({rate_pge})"
+        );
+        assert!(rate_cisco < 0.6, "Cisco-sim should be singleton-heavy ({rate_cisco})");
+        // Paper §3.1: 40–90% of sheets have similar counterparts.
+        for c in [&pge, &cisco] {
+            let r = c.similar_sheet_rate();
+            assert!((0.2..=1.0).contains(&r), "{}: {r}", c.name);
+        }
+    }
+
+    #[test]
+    fn corpora_carry_formulas_and_sheets() {
+        for spec in OrgSpec::test_orgs(Scale::Tiny) {
+            let c = spec.generate();
+            let st = c.stats();
+            assert!(st.workbooks > 10, "{}: {st:?}", c.name);
+            assert!(st.sheets >= st.workbooks);
+            assert!(st.formulas > 100, "{}: {st:?}", c.name);
+            assert_eq!(c.provenance.len(), c.workbooks.len());
+        }
+    }
+
+    #[test]
+    fn family_instances_share_sheet_name_sequences() {
+        let c = OrgSpec::pge(Scale::Tiny).generate();
+        // Find two workbooks of the same family and compare names.
+        'outer: for i in 0..c.workbooks.len() {
+            for j in i + 1..c.workbooks.len() {
+                if c.same_family(i, j) {
+                    assert_eq!(c.workbooks[i].sheet_names(), c.workbooks[j].sheet_names());
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_spread_within_families() {
+        let c = OrgSpec::ti(Scale::Tiny).generate();
+        let mut any_ordered = false;
+        for i in 0..c.workbooks.len() {
+            for j in i + 1..c.workbooks.len() {
+                if c.same_family(i, j) && c.workbooks[i].timestamp != c.workbooks[j].timestamp {
+                    any_ordered = true;
+                }
+            }
+        }
+        assert!(any_ordered);
+    }
+}

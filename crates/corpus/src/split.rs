@@ -1,0 +1,97 @@
+//! Test/reference splits (§5.1): 10% of workbooks become tests, the rest
+//! form the reference set `S_d` — either at random or by last-modified
+//! timestamp ("more challenging but also realistic").
+
+use crate::organization::OrgCorpus;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which split protocol to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    Random,
+    Timestamp,
+}
+
+impl std::fmt::Display for SplitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SplitKind::Random => "random",
+            SplitKind::Timestamp => "timestamp",
+        })
+    }
+}
+
+/// Workbook indices split into test and reference sets.
+#[derive(Debug, Clone)]
+pub struct Split {
+    pub kind: SplitKind,
+    pub test: Vec<usize>,
+    pub reference: Vec<usize>,
+}
+
+/// Split a corpus. `frac` is the test fraction (paper: 10%).
+pub fn split(corpus: &OrgCorpus, kind: SplitKind, frac: f64, seed: u64) -> Split {
+    let n = corpus.workbooks.len();
+    let n_test = ((n as f64 * frac).round() as usize).clamp(1, n.saturating_sub(1).max(1));
+    let mut order: Vec<usize> = (0..n).collect();
+    match kind {
+        SplitKind::Random => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+        }
+        SplitKind::Timestamp => {
+            // Most recently edited first.
+            order.sort_by_key(|&i| std::cmp::Reverse(corpus.workbooks[i].timestamp));
+        }
+    }
+    let test: Vec<usize> = order[..n_test].to_vec();
+    let mut reference: Vec<usize> = order[n_test..].to_vec();
+    reference.sort_unstable();
+    Split { kind, test, reference }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::{OrgSpec, Scale};
+
+    #[test]
+    fn split_partitions_the_corpus() {
+        let corpus = OrgSpec::ti(Scale::Tiny).generate();
+        for kind in [SplitKind::Random, SplitKind::Timestamp] {
+            let s = split(&corpus, kind, 0.1, 1);
+            assert_eq!(s.test.len() + s.reference.len(), corpus.workbooks.len());
+            let mut all: Vec<usize> = s.test.iter().chain(&s.reference).copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), corpus.workbooks.len(), "no overlap");
+            let expected = (corpus.workbooks.len() as f64 * 0.1).round() as usize;
+            assert_eq!(s.test.len(), expected.max(1));
+        }
+    }
+
+    #[test]
+    fn timestamp_split_takes_newest() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let s = split(&corpus, SplitKind::Timestamp, 0.1, 0);
+        let min_test =
+            s.test.iter().map(|&i| corpus.workbooks[i].timestamp).min().unwrap();
+        let max_ref =
+            s.reference.iter().map(|&i| corpus.workbooks[i].timestamp).max().unwrap();
+        assert!(min_test >= max_ref, "every test is newer than every reference");
+    }
+
+    #[test]
+    fn random_split_is_seeded() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let a = split(&corpus, SplitKind::Random, 0.1, 5);
+        let b = split(&corpus, SplitKind::Random, 0.1, 5);
+        assert_eq!(a.test, b.test);
+        let c = split(&corpus, SplitKind::Random, 0.1, 6);
+        assert_ne!(a.test, c.test);
+    }
+}

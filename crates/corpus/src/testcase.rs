@@ -1,0 +1,113 @@
+//! Test-case sampling (§5.1): from each test workbook, sample at most 10
+//! formulas "to avoid over-representation, as some spreadsheets can have
+//! large (thousands) of formulas".
+
+use crate::organization::OrgCorpus;
+use crate::split::Split;
+use af_grid::{CellRef, Sheet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One formula-prediction task: predict the formula at `target` on the
+/// given sheet, whose ground truth is recorded (and must be masked before
+/// prediction — see [`masked_sheet`]).
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    pub workbook: usize,
+    pub sheet: usize,
+    pub target: CellRef,
+    /// Ground-truth formula source (without `=`).
+    pub ground_truth: String,
+}
+
+/// Sample test cases from the test side of a split.
+pub fn sample_test_cases(
+    corpus: &OrgCorpus,
+    split: &Split,
+    max_per_sheet: usize,
+    seed: u64,
+) -> Vec<TestCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for &wi in &split.test {
+        for (si, sheet) in corpus.workbooks[wi].sheets.iter().enumerate() {
+            let mut formulas: Vec<(CellRef, String)> =
+                sheet.formulas().map(|(at, f)| (at, f.to_string())).collect();
+            formulas.sort_by_key(|(at, _)| *at);
+            // Deterministic subsample.
+            for i in (1..formulas.len()).rev() {
+                let j = rng.random_range(0..=i);
+                formulas.swap(i, j);
+            }
+            formulas.truncate(max_per_sheet);
+            for (target, ground_truth) in formulas {
+                out.push(TestCase { workbook: wi, sheet: si, target, ground_truth });
+            }
+        }
+    }
+    out
+}
+
+/// The target sheet as the user would see it *before* authoring the target
+/// formula: the target cell is blanked (value and formula removed, style
+/// kept — the cell may be pre-styled by the template).
+pub fn masked_sheet(sheet: &Sheet, target: CellRef) -> Sheet {
+    let mut s = sheet.clone();
+    if let Some(cell) = s.get_mut(target) {
+        cell.formula = None;
+        cell.value = af_grid::CellValue::Empty;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::{OrgSpec, Scale};
+    use crate::split::{split, SplitKind};
+
+    #[test]
+    fn sampling_respects_cap_and_split() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let sp = split(&corpus, SplitKind::Timestamp, 0.1, 0);
+        let cases = sample_test_cases(&corpus, &sp, 10, 1);
+        assert!(!cases.is_empty());
+        for tc in &cases {
+            assert!(sp.test.contains(&tc.workbook), "cases come from test workbooks");
+            let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+            assert_eq!(
+                sheet.get(tc.target).and_then(|c| c.formula.as_deref()),
+                Some(tc.ground_truth.as_str())
+            );
+        }
+        // Cap: no sheet contributes more than 10.
+        use std::collections::HashMap;
+        let mut per_sheet: HashMap<(usize, usize), usize> = HashMap::new();
+        for tc in &cases {
+            *per_sheet.entry((tc.workbook, tc.sheet)).or_insert(0) += 1;
+        }
+        assert!(per_sheet.values().all(|&c| c <= 10));
+    }
+
+    #[test]
+    fn masking_clears_only_the_target() {
+        let corpus = OrgSpec::ti(Scale::Tiny).generate();
+        let sp = split(&corpus, SplitKind::Random, 0.1, 2);
+        let cases = sample_test_cases(&corpus, &sp, 5, 3);
+        let tc = &cases[0];
+        let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        assert!(masked.get(tc.target).map(|c| c.formula.is_none()).unwrap_or(true));
+        assert_eq!(masked.formula_count(), sheet.formula_count() - 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let corpus = OrgSpec::cisco(Scale::Tiny).generate();
+        let sp = split(&corpus, SplitKind::Timestamp, 0.1, 0);
+        let a = sample_test_cases(&corpus, &sp, 10, 9);
+        let b = sample_test_cases(&corpus, &sp, 10, 9);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.target == y.target && x.workbook == y.workbook));
+    }
+}

@@ -1,0 +1,93 @@
+//! Domain word pools for realistic cell content.
+
+/// Person surnames (includes the paper's running "Brown" example).
+pub const SURNAMES: &[&str] = &[
+    "Brown", "Green", "Smith", "Johnson", "Lee", "Garcia", "Miller", "Davis", "Wilson", "Moore",
+    "Taylor", "Clark", "Hall", "Young", "King", "Wright", "Scott", "Baker", "Adams", "Nelson",
+];
+
+pub const FIRST_NAMES: &[&str] = &[
+    "Ann", "Bo", "Carla", "Deepak", "Elena", "Farid", "Grace", "Hui", "Ivan", "Jia", "Kofi",
+    "Lena", "Marco", "Nadia", "Omar", "Priya", "Quinn", "Rosa", "Sam", "Tara",
+];
+
+pub const REGIONS: &[&str] = &[
+    "North", "South", "East", "West", "Central", "Northeast", "Northwest", "Southeast",
+    "Southwest", "EMEA", "APAC", "LATAM", "Midwest", "Pacific",
+];
+
+pub const PRODUCTS: &[&str] = &[
+    "Router", "Switch", "Firewall", "Gateway", "Sensor", "Amplifier", "Controller", "Converter",
+    "Regulator", "Transceiver", "Modem", "Repeater", "Adapter", "Bridge", "Hub",
+];
+
+pub const DEPARTMENTS: &[&str] = &[
+    "Finance", "Engineering", "Sales", "Marketing", "Operations", "Legal", "Support", "Research",
+    "Procurement", "Logistics", "Facilities", "Security",
+];
+
+pub const LINE_ITEMS: &[&str] = &[
+    "Revenue", "Cost of Goods Sold", "Gross Profit", "Operating Expenses", "R&D", "SG&A",
+    "Depreciation", "Interest Expense", "Tax", "Net Income", "EBITDA", "Capex",
+];
+
+pub const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+pub const QUARTERS: &[&str] = &["Q1", "Q2", "Q3", "Q4"];
+
+pub const SITES: &[&str] = &[
+    "Austin", "Boston", "Chicago", "Dallas", "Denver", "Fresno", "Houston", "Memphis", "Oakland",
+    "Phoenix", "Raleigh", "Seattle", "Tucson", "Omaha",
+];
+
+pub const TASKS: &[&str] = &[
+    "Design review", "Prototype build", "Vendor audit", "Site survey", "Data migration",
+    "Budget approval", "Safety training", "Compliance check", "Load testing", "Rollout plan",
+    "Kickoff meeting", "Postmortem",
+];
+
+pub const CATEGORIES: &[&str] = &[
+    "Travel", "Equipment", "Software", "Training", "Consulting", "Utilities", "Rent", "Supplies",
+    "Maintenance", "Insurance",
+];
+
+pub const STATUS_WORDS: &[&str] = &["Open", "Closed", "Blocked", "Pending", "Done"];
+
+/// Common generic sheet names (high corpus frequency → the hypothesis test
+/// refuses to treat matches on these as evidence, Fig. 3b).
+pub const GENERIC_SHEET_NAMES: &[&str] =
+    &["Sheet1", "Sheet2", "Data", "Summary", "Report", "Notes"];
+
+/// Distinctive sheet-name stems (low corpus frequency → strong evidence).
+pub const DISTINCT_SHEET_STEMS: &[&str] = &[
+    "Instructions", "WorkshopDetails", "RateCard", "Forecast", "Reconciliation", "Headcount",
+    "Pipeline", "Utilization", "Maintenance", "FieldAudit", "Allocations", "Milestones",
+    "Variance", "Backlog", "Capacity", "Benchmarks", "Provisioning", "Compliance",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        for pool in [
+            SURNAMES, FIRST_NAMES, REGIONS, PRODUCTS, DEPARTMENTS, LINE_ITEMS, MONTHS, QUARTERS,
+            SITES, TASKS, CATEGORIES, STATUS_WORDS, GENERIC_SHEET_NAMES, DISTINCT_SHEET_STEMS,
+        ] {
+            assert!(!pool.is_empty());
+            let mut sorted: Vec<_> = pool.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pool.len(), "duplicate entries in pool");
+        }
+    }
+
+    #[test]
+    fn brown_present_for_paper_example() {
+        assert!(SURNAMES.contains(&"Brown"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Weakly-supervised training-data generation (§4.2).
+//!
+//! The null hypothesis `H0` says two workbooks are unrelated and their
+//! sheet-name sequences collide by chance; the collision probability is
+//! `Π p_i` where `p_i` is the corpus frequency of the i-th name. When that
+//! probability falls below `α` we reject `H0` and label every aligned sheet
+//! pair as similar (positive). Negatives are random workbook pairs sharing
+//! *no* sheet name. Region pairs come from positive sheet pairs with
+//! formulas at identical locations with identical expressions.
+
+use af_grid::{CellRef, Workbook};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Identifies a sheet inside a workbook collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SheetId {
+    pub workbook: usize,
+    pub sheet: usize,
+}
+
+/// The sheet-name frequency model over the universe `U`.
+#[derive(Debug, Clone)]
+pub struct NameModel {
+    freq: HashMap<String, usize>,
+    total_sheets: usize,
+}
+
+impl NameModel {
+    pub fn build(workbooks: &[Workbook]) -> NameModel {
+        let mut freq = HashMap::new();
+        let mut total = 0usize;
+        for wb in workbooks {
+            for s in &wb.sheets {
+                *freq.entry(s.name().to_string()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        NameModel { freq, total_sheets: total.max(1) }
+    }
+
+    /// `p_i = freq_U(name) / |U|`; unseen names get the minimum mass
+    /// `1/|U|`. Default system-generated names additionally get a floor
+    /// from web-universe statistics (the paper observes "Sheet1" at
+    /// 15K/100K ≈ 15%), so small reference corpora don't mistake a default
+    /// name for a rare one.
+    pub fn probability(&self, name: &str) -> f64 {
+        let f = self.freq.get(name).copied().unwrap_or(0).max(1);
+        let est = f as f64 / self.total_sheets as f64;
+        est.max(default_name_prior(name))
+    }
+
+    /// The p-value of the observation "these two workbooks share an
+    /// identical sheet-name sequence". `None` when the sequences do not in
+    /// fact match (no evidence either way).
+    pub fn match_p_value(&self, a: &Workbook, b: &Workbook) -> Option<f64> {
+        if a.n_sheets() == 0 || a.n_sheets() != b.n_sheets() {
+            return None;
+        }
+        let mut p = 1.0f64;
+        for (sa, sb) in a.sheets.iter().zip(&b.sheets) {
+            if sa.name() != sb.name() {
+                return None;
+            }
+            p *= self.probability(sa.name());
+        }
+        Some(p)
+    }
+}
+
+/// Web-universe frequency floor for system-default sheet names.
+fn default_name_prior(name: &str) -> f64 {
+    match name {
+        "Sheet1" => 0.15,
+        "Sheet2" => 0.08,
+        "Sheet3" => 0.05,
+        "Data" | "Summary" | "Report" | "Notes" => 0.03,
+        _ if name.starts_with("Sheet") => 0.03,
+        _ => 0.0,
+    }
+}
+
+/// Positive and negative sheet pairs produced by weak supervision.
+#[derive(Debug, Clone, Default)]
+pub struct SheetPairs {
+    pub positives: Vec<(SheetId, SheetId)>,
+    /// Name-sequence group id of each positive pair (aligned with
+    /// `positives`). Pairs sharing a group are presumed-similar: triplet
+    /// training must never mine one group's positives as another's
+    /// negatives within the same group.
+    pub groups: Vec<usize>,
+    pub negatives: Vec<(SheetId, SheetId)>,
+}
+
+/// Run the hypothesis-test over a workbook collection.
+///
+/// * `alpha` — significance threshold (paper uses 0.05).
+/// * `max_pairs_per_group` — cap on pairs drawn from one name-sequence
+///   group, so one giant family cannot dominate training.
+pub fn sheet_pairs(
+    workbooks: &[Workbook],
+    model: &NameModel,
+    alpha: f64,
+    max_pairs_per_group: usize,
+    seed: u64,
+) -> SheetPairs {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = SheetPairs::default();
+
+    // Group workbooks by their full sheet-name sequence.
+    let mut groups: HashMap<Vec<&str>, Vec<usize>> = HashMap::new();
+    for (i, wb) in workbooks.iter().enumerate() {
+        groups.entry(wb.sheet_names()).or_default().push(i);
+    }
+    let mut group_list: Vec<(Vec<&str>, Vec<usize>)> = groups.into_iter().collect();
+    group_list.sort(); // determinism
+
+    for (group_id, (names, members)) in group_list.iter().enumerate() {
+        if members.len() < 2 || names.is_empty() {
+            continue;
+        }
+        // One p-value per group: identical sequences by construction.
+        let p: f64 = names.iter().map(|n| model.probability(n)).product();
+        if p > alpha {
+            continue; // cannot reject H0 (e.g., single "Sheet1").
+        }
+        let mut pairs = Vec::new();
+        for ai in 0..members.len() {
+            for bi in ai + 1..members.len() {
+                pairs.push((members[ai], members[bi]));
+            }
+        }
+        // Cap deterministically.
+        for i in (1..pairs.len()).rev() {
+            let j = rng.random_range(0..=i);
+            pairs.swap(i, j);
+        }
+        pairs.truncate(max_pairs_per_group);
+        for (wa, wb) in pairs {
+            for s in 0..names.len() {
+                out.positives.push((
+                    SheetId { workbook: wa, sheet: s },
+                    SheetId { workbook: wb, sheet: s },
+                ));
+                out.groups.push(group_id);
+            }
+        }
+    }
+
+    // Negatives: random pairs sharing no sheet name ("to be extra safe",
+    // §4.2). Match the positive count.
+    let n = workbooks.len();
+    let target = out.positives.len().max(16);
+    let mut attempts = 0;
+    while out.negatives.len() < target && attempts < target * 40 && n >= 2 {
+        attempts += 1;
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a == b {
+            continue;
+        }
+        let names_a: HashSet<&str> = workbooks[a].sheet_names().into_iter().collect();
+        let disjoint = workbooks[b].sheet_names().iter().all(|nm| !names_a.contains(nm));
+        if !disjoint {
+            continue;
+        }
+        let sa = rng.random_range(0..workbooks[a].n_sheets());
+        let sb = rng.random_range(0..workbooks[b].n_sheets());
+        out.negatives
+            .push((SheetId { workbook: a, sheet: sa }, SheetId { workbook: b, sheet: sb }));
+    }
+    out
+}
+
+/// A labelled pair of regions (centered at formula cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionPair {
+    pub a: (SheetId, CellRef),
+    pub b: (SheetId, CellRef),
+    /// Name-sequence group of the sheet pair this region pair came from.
+    pub group: usize,
+}
+
+/// Derive region-level positives and negatives from positive sheet pairs.
+///
+/// Positive: formulas at identical locations with identical expressions
+/// (`Loc(f) = Loc(f')`, `f = f'`). Negative: shift the second location to a
+/// *different* formula `g ≠ f` on the same sheet (the nearest one).
+pub fn region_pairs(
+    workbooks: &[Workbook],
+    pairs: &SheetPairs,
+    max_pairs: usize,
+    seed: u64,
+) -> (Vec<RegionPair>, Vec<RegionPair>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positives = Vec::new();
+    let mut negatives = Vec::new();
+    for (pi, &(ida, idb)) in pairs.positives.iter().enumerate() {
+        let group = pairs.groups.get(pi).copied().unwrap_or(pi);
+        let sheet_a = &workbooks[ida.workbook].sheets[ida.sheet];
+        let sheet_b = &workbooks[idb.workbook].sheets[idb.sheet];
+        let formulas_b: HashMap<CellRef, &str> = sheet_b.formulas().collect();
+        if formulas_b.is_empty() {
+            continue;
+        }
+        let mut b_locs: Vec<(CellRef, &str)> =
+            formulas_b.iter().map(|(k, v)| (*k, *v)).collect();
+        b_locs.sort_by_key(|(k, _)| *k);
+        for (loc, fa) in sheet_a.formulas() {
+            let Some(&fb) = formulas_b.get(&loc) else { continue };
+            if fa != fb {
+                continue;
+            }
+            positives.push(RegionPair { a: (ida, loc), b: (idb, loc), group });
+            // Negative: nearest different formula on sheet_b.
+            let neg = b_locs
+                .iter()
+                .filter(|(l, g)| *l != loc && *g != fa)
+                .min_by_key(|(l, _)| {
+                    let dr = (l.row as i64 - loc.row as i64).abs();
+                    let dc = (l.col as i64 - loc.col as i64).abs();
+                    dr + dc * 4 // shifting within a column is the common case
+                });
+            if let Some((gloc, _)) = neg {
+                negatives.push(RegionPair { a: (ida, loc), b: (idb, *gloc), group });
+            }
+        }
+    }
+    // Cap deterministically, keeping positives/negatives aligned in spirit
+    // (they need not be aligned pairwise for triplet training).
+    let cap = |v: &mut Vec<RegionPair>, rng: &mut StdRng| {
+        for i in (1..v.len()).rev() {
+            let j = rng.random_range(0..=i);
+            v.swap(i, j);
+        }
+        v.truncate(max_pairs);
+    };
+    cap(&mut positives, &mut rng);
+    cap(&mut negatives, &mut rng);
+    (positives, negatives)
+}
+
+/// Precision of weak-supervision labels measured against provenance: the
+/// fraction of positive pairs whose members really share a family.
+pub fn label_precision(
+    pairs: &[(SheetId, SheetId)],
+    same_family: impl Fn(usize, usize) -> bool,
+) -> f64 {
+    if pairs.is_empty() {
+        return 1.0;
+    }
+    let good =
+        pairs.iter().filter(|(a, b)| same_family(a.workbook, b.workbook)).count();
+    good as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::{OrgSpec, Scale};
+    use af_grid::{Cell, Sheet};
+
+    fn wb(names: &[&str]) -> Workbook {
+        let mut w = Workbook::new("t");
+        for n in names {
+            w.push_sheet(Sheet::new(*n));
+        }
+        w
+    }
+
+    #[test]
+    fn paper_example_2_arithmetic() {
+        // "Instructions" occurs 100 times in a universe of 100K sheets;
+        // "WorkshopDetails" 10 times. Build a synthetic model with those
+        // frequencies.
+        let mut workbooks = Vec::new();
+        workbooks.push(wb(&["Instructions", "WorkshopDetails"]));
+        workbooks.push(wb(&["Instructions", "WorkshopDetails"]));
+        for _ in 0..98 {
+            workbooks.push(wb(&["Instructions"]));
+        }
+        for _ in 0..8 {
+            workbooks.push(wb(&["WorkshopDetails"]));
+        }
+        // Pad the universe with filler names.
+        for i in 0..1000 {
+            workbooks.push(wb(&[&format!("Filler{i}")]));
+        }
+        let model = NameModel::build(&workbooks);
+        let p = model.match_p_value(&workbooks[0], &workbooks[1]).unwrap();
+        let p_instr = model.probability("Instructions");
+        let p_wd = model.probability("WorkshopDetails");
+        assert!((p - p_instr * p_wd).abs() < 1e-12);
+        assert!(p < 0.05, "two rare names are strong evidence: {p}");
+    }
+
+    #[test]
+    fn common_sheet1_not_significant() {
+        let mut workbooks: Vec<Workbook> = (0..150).map(|_| wb(&["Sheet1"])).collect();
+        for i in 0..850 {
+            workbooks.push(wb(&[&format!("Rare{i}")]));
+        }
+        let model = NameModel::build(&workbooks);
+        // 15% frequency → p-value 0.15 > 0.05 (paper Fig. 3b).
+        let p = model.match_p_value(&workbooks[0], &workbooks[1]).unwrap();
+        assert!(p > 0.05, "single common name is not evidence: {p}");
+        let pairs = sheet_pairs(&workbooks, &model, 0.05, 10, 1);
+        assert!(pairs
+            .positives
+            .iter()
+            .all(|(a, b)| workbooks[a.workbook].sheets[a.sheet].name() != "Sheet1"
+                || workbooks[b.workbook].sheets[b.sheet].name() != "Sheet1"));
+    }
+
+    #[test]
+    fn mismatched_sequences_give_no_evidence() {
+        let model = NameModel::build(&[wb(&["A", "B"]), wb(&["A", "C"])]);
+        assert_eq!(model.match_p_value(&wb(&["A", "B"]), &wb(&["A", "C"])), None);
+        assert_eq!(model.match_p_value(&wb(&["A"]), &wb(&["A", "B"])), None);
+        assert_eq!(model.match_p_value(&wb(&[]), &wb(&[])), None);
+    }
+
+    #[test]
+    fn weak_supervision_is_high_precision_on_generated_corpus() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let model = NameModel::build(&corpus.workbooks);
+        let pairs = sheet_pairs(&corpus.workbooks, &model, 0.05, 6, 7);
+        assert!(!pairs.positives.is_empty(), "should find positive pairs");
+        let precision = label_precision(&pairs.positives, |a, b| corpus.same_family(a, b));
+        // Paper §4.2: "precision of positive/negative labels over 0.95".
+        assert!(precision > 0.95, "precision {precision}");
+        let neg_precision =
+            label_precision(&pairs.negatives, |a, b| !corpus.same_family(a, b));
+        assert!(neg_precision > 0.95, "negative precision {neg_precision}");
+    }
+
+    #[test]
+    fn weak_supervision_misses_generic_named_families() {
+        // Recall is intentionally limited (Fig. 3c): families with generic
+        // names are invisible.
+        let corpus = OrgSpec::cisco(Scale::Tiny).generate();
+        let model = NameModel::build(&corpus.workbooks);
+        let pairs = sheet_pairs(&corpus.workbooks, &model, 0.05, 6, 7);
+        // Count same-family workbook pairs (the recall denominator).
+        let n = corpus.workbooks.len();
+        let mut total_same = 0usize;
+        for i in 0..n {
+            for j in i + 1..n {
+                if corpus.same_family(i, j) {
+                    total_same += 1;
+                }
+            }
+        }
+        let caught: HashSet<(usize, usize)> = pairs
+            .positives
+            .iter()
+            .map(|(a, b)| (a.workbook.min(b.workbook), a.workbook.max(b.workbook)))
+            .collect();
+        assert!(
+            caught.len() < total_same,
+            "weak supervision should not catch everything ({} vs {total_same})",
+            caught.len()
+        );
+    }
+
+    #[test]
+    fn region_pairs_from_fixed_shape_families() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let model = NameModel::build(&corpus.workbooks);
+        let pairs = sheet_pairs(&corpus.workbooks, &model, 0.05, 6, 7);
+        let (pos, neg) = region_pairs(&corpus.workbooks, &pairs, 500, 3);
+        assert!(!pos.is_empty(), "fixed-shape families yield region positives");
+        assert!(!neg.is_empty());
+        // Every positive has identical formula text at both ends.
+        for rp in pos.iter().take(50) {
+            let fa = corpus.workbooks[rp.a.0.workbook].sheets[rp.a.0.sheet]
+                .get(rp.a.1)
+                .and_then(|c| c.formula.clone());
+            let fb = corpus.workbooks[rp.b.0.workbook].sheets[rp.b.0.sheet]
+                .get(rp.b.1)
+                .and_then(|c| c.formula.clone());
+            assert_eq!(fa, fb);
+            assert!(fa.is_some());
+        }
+        // Every negative points at a *different* formula.
+        for rn in neg.iter().take(50) {
+            let fa = corpus.workbooks[rn.a.0.workbook].sheets[rn.a.0.sheet]
+                .get(rn.a.1)
+                .and_then(|c| c.formula.clone());
+            let fb = corpus.workbooks[rn.b.0.workbook].sheets[rn.b.0.sheet]
+                .get(rn.b.1)
+                .and_then(|c| c.formula.clone());
+            assert_ne!(fa, fb);
+        }
+    }
+}

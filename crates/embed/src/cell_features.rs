@@ -1,0 +1,154 @@
+//! Assembly of the full per-cell feature vector `γ(C) = γ_c(C) ⊕ γ_s(C)`
+//! plus a validity flag for out-of-window cells (Fig. 5).
+
+use crate::content::{syntactic_features, SYNTACTIC_DIM};
+use crate::style_feat::{style_features, STYLE_DIM};
+use crate::DynEmbedder;
+use af_grid::{Cell, CellValue};
+
+/// Feature-group switches for the ablation study of Fig. 13. Disabled
+/// groups are zeroed (dimensionality stays constant so model shapes don't
+/// change between ablation arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureMask {
+    pub content: bool,
+    pub style: bool,
+}
+
+impl Default for FeatureMask {
+    fn default() -> Self {
+        FeatureMask { content: true, style: true }
+    }
+}
+
+impl FeatureMask {
+    pub const FULL: FeatureMask = FeatureMask { content: true, style: true };
+    pub const NO_CONTENT: FeatureMask = FeatureMask { content: false, style: true };
+    pub const NO_STYLE: FeatureMask = FeatureMask { content: true, style: false };
+}
+
+/// Turns cells into dense feature vectors:
+/// `[semantic (embedder.dim) | syntactic (16) | style (16) | valid (1)]`.
+pub struct CellFeaturizer {
+    embedder: DynEmbedder,
+    mask: FeatureMask,
+}
+
+impl CellFeaturizer {
+    pub fn new(embedder: DynEmbedder, mask: FeatureMask) -> CellFeaturizer {
+        CellFeaturizer { embedder, mask }
+    }
+
+    /// Total feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.embedder.dim() + SYNTACTIC_DIM + STYLE_DIM + 1
+    }
+
+    pub fn embedder(&self) -> &DynEmbedder {
+        &self.embedder
+    }
+
+    pub fn mask(&self) -> FeatureMask {
+        self.mask
+    }
+
+    /// Featurize a stored cell into `out` (length `dim()`).
+    pub fn cell(&self, cell: &Cell, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim());
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let sem = self.embedder.dim();
+        if self.mask.content {
+            match &cell.value {
+                CellValue::Text(s) => self.embedder.embed(s, &mut out[..sem]),
+                CellValue::Empty => {}
+                other => self.embedder.embed(&other.display(), &mut out[..sem]),
+            }
+            syntactic_features(&cell.value, &mut out[sem..sem + SYNTACTIC_DIM]);
+        }
+        if self.mask.style {
+            style_features(&cell.style, &mut out[sem + SYNTACTIC_DIM..sem + SYNTACTIC_DIM + STYLE_DIM]);
+        }
+        out[self.dim() - 1] = 1.0; // valid, in-bounds
+    }
+
+    /// The constant vector for an in-bounds blank cell.
+    pub fn empty_cell(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim()];
+        self.cell(&Cell::default(), &mut out);
+        out
+    }
+
+    /// The constant vector for an out-of-bounds (invalid) window slot:
+    /// all-zero including the validity flag, so the models can tell
+    /// "off-sheet" from "blank cell on sheet".
+    pub fn invalid_cell(&self) -> Vec<f32> {
+        vec![0.0; self.dim()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbert_sim::SbertSim;
+    use af_grid::{CellStyle, Color};
+    use std::sync::Arc;
+
+    fn featurizer(mask: FeatureMask) -> CellFeaturizer {
+        CellFeaturizer::new(Arc::new(SbertSim::new(32)), mask)
+    }
+
+    #[test]
+    fn dims_add_up() {
+        let f = featurizer(FeatureMask::FULL);
+        assert_eq!(f.dim(), 32 + SYNTACTIC_DIM + STYLE_DIM + 1);
+    }
+
+    #[test]
+    fn empty_vs_invalid_distinguished() {
+        let f = featurizer(FeatureMask::FULL);
+        let empty = f.empty_cell();
+        let invalid = f.invalid_cell();
+        assert_ne!(empty, invalid);
+        assert_eq!(empty[f.dim() - 1], 1.0);
+        assert_eq!(invalid[f.dim() - 1], 0.0);
+    }
+
+    #[test]
+    fn text_cells_engage_semantic_block() {
+        let f = featurizer(FeatureMask::FULL);
+        let mut a = vec![0.0; f.dim()];
+        let mut b = vec![0.0; f.dim()];
+        f.cell(&Cell::new("Total"), &mut a);
+        f.cell(&Cell::new("Brown"), &mut b);
+        assert_ne!(&a[..32], &b[..32]);
+    }
+
+    #[test]
+    fn no_content_mask_zeroes_content() {
+        let f = featurizer(FeatureMask::NO_CONTENT);
+        let mut a = vec![0.0; f.dim()];
+        f.cell(&Cell::new("Total"), &mut a);
+        assert!(a[..32 + SYNTACTIC_DIM].iter().all(|&v| v == 0.0));
+        // Style block still present (default style has white fill = 1.0).
+        assert_eq!(a[32 + SYNTACTIC_DIM], 1.0);
+    }
+
+    #[test]
+    fn no_style_mask_zeroes_style() {
+        let f = featurizer(FeatureMask::NO_STYLE);
+        let mut a = vec![0.0; f.dim()];
+        let style = CellStyle::header(Color::new(200, 30, 30));
+        f.cell(&Cell::styled("Header", style), &mut a);
+        let style_block = &a[32 + SYNTACTIC_DIM..32 + SYNTACTIC_DIM + STYLE_DIM];
+        assert!(style_block.iter().all(|&v| v == 0.0));
+        assert!(a[..32].iter().any(|&v| v != 0.0), "content survives");
+    }
+
+    #[test]
+    fn numbers_embed_their_display_string() {
+        let f = featurizer(FeatureMask::FULL);
+        let mut a = vec![0.0; f.dim()];
+        f.cell(&Cell::new(1234.0), &mut a);
+        assert!(a[..32].iter().any(|&v| v != 0.0));
+    }
+}

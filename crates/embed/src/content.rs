@@ -1,0 +1,71 @@
+//! Syntactic content features (§4.4.1): data-type one-hot plus a hashed
+//! value-shape pattern.
+
+use crate::hashing::{add_hashed, fnv1a};
+use af_grid::pattern::syntactic_pattern;
+use af_grid::value::ValueType;
+use af_grid::CellValue;
+
+/// Syntactic feature width: 6 type bits + 8 pattern-hash buckets + 2 scalar
+/// shape features (log-length, digit fraction).
+pub const SYNTACTIC_DIM: usize = ValueType::COUNT + 8 + 2;
+
+/// Write the syntactic features of `value` into `out[..SYNTACTIC_DIM]`.
+pub fn syntactic_features(value: &CellValue, out: &mut [f32]) {
+    debug_assert!(out.len() >= SYNTACTIC_DIM);
+    out[..SYNTACTIC_DIM].iter_mut().for_each(|v| *v = 0.0);
+    out[value.type_tag().index()] = 1.0;
+    let display = value.display();
+    if display.is_empty() {
+        return;
+    }
+    let pattern = syntactic_pattern(&display);
+    let pat_slice = &mut out[ValueType::COUNT..ValueType::COUNT + 8];
+    add_hashed(pat_slice, fnv1a(pattern.as_bytes()), 1.0);
+    let len = display.chars().count() as f32;
+    let digits = display.chars().filter(char::is_ascii_digit).count() as f32;
+    out[ValueType::COUNT + 8] = (1.0 + len).ln() / 4.0;
+    out[ValueType::COUNT + 9] = digits / len;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_one_hot_set() {
+        let mut out = vec![0.0; SYNTACTIC_DIM];
+        syntactic_features(&CellValue::Number(5.0), &mut out);
+        assert_eq!(out[ValueType::Number.index()], 1.0);
+        assert_eq!(out[ValueType::Text.index()], 0.0);
+    }
+
+    #[test]
+    fn same_shape_same_pattern_bucket() {
+        let mut a = vec![0.0; SYNTACTIC_DIM];
+        let mut b = vec![0.0; SYNTACTIC_DIM];
+        syntactic_features(&CellValue::text("2020-01-01"), &mut a);
+        syntactic_features(&CellValue::text("1999-12-31"), &mut b);
+        assert_eq!(&a[6..14], &b[6..14], "date-shaped strings share the pattern bucket");
+    }
+
+    #[test]
+    fn different_shapes_differ() {
+        let mut a = vec![0.0; SYNTACTIC_DIM];
+        let mut b = vec![0.0; SYNTACTIC_DIM];
+        syntactic_features(&CellValue::text("abc"), &mut a);
+        syntactic_features(&CellValue::text("12345678"), &mut b);
+        assert_ne!(a, b);
+        // Digit fraction feature.
+        assert_eq!(a[SYNTACTIC_DIM - 1], 0.0);
+        assert_eq!(b[SYNTACTIC_DIM - 1], 1.0);
+    }
+
+    #[test]
+    fn empty_value_features() {
+        let mut out = vec![1.0; SYNTACTIC_DIM];
+        syntactic_features(&CellValue::Empty, &mut out);
+        assert_eq!(out[ValueType::Empty.index()], 1.0);
+        assert!(out[1..].iter().all(|&v| v == 0.0));
+    }
+}

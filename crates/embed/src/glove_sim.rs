@@ -1,0 +1,293 @@
+//! `GloveSim` — the GloVe stand-in: a word embedding *trained on the
+//! corpus* by weighted co-occurrence factorization (Pennington et al.),
+//! scaled down to run in milliseconds.
+//!
+//! Compared to [`crate::SbertSim`], this embedder is lower-dimensional and
+//! much cheaper per string (word lookups, no n-grams), reproducing the
+//! GloVe side of the paper's quality/efficiency trade-off (Figs. 8, 12).
+
+use crate::hashing::{fnv1a, rehash};
+use crate::tokenize::words;
+use crate::TextEmbedder;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Word-level corpus-trained embedder (GloVe stand-in).
+pub struct GloveSim {
+    dim: usize,
+    vocab: HashMap<String, usize>,
+    vectors: Vec<f32>,
+    cache: Mutex<HashMap<String, Arc<Vec<f32>>>>,
+}
+
+/// Training hyperparameters for [`GloveSim::train`].
+#[derive(Debug, Clone, Copy)]
+pub struct GloveParams {
+    pub dim: usize,
+    pub window: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    pub max_vocab: usize,
+    pub min_count: usize,
+    pub seed: u64,
+}
+
+impl Default for GloveParams {
+    fn default() -> Self {
+        GloveParams {
+            dim: 32,
+            window: 4,
+            epochs: 12,
+            lr: 0.05,
+            max_vocab: 20_000,
+            min_count: 2,
+            seed: 0x610e,
+        }
+    }
+}
+
+const CACHE_CAP: usize = 200_000;
+
+impl GloveSim {
+    /// Train on an iterator of texts (cell values, sheet names, …).
+    pub fn train<'a>(texts: impl Iterator<Item = &'a str>, params: GloveParams) -> GloveSim {
+        // Pass 1: tokenize everything once, count words.
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut docs: Vec<Vec<String>> = Vec::new();
+        for t in texts {
+            let ws = words(t);
+            for w in &ws {
+                *counts.entry(w.clone()).or_insert(0) += 1;
+            }
+            if !ws.is_empty() {
+                docs.push(ws);
+            }
+        }
+        // Vocab: frequent words, capped, deterministic order.
+        let mut by_freq: Vec<(String, usize)> =
+            counts.into_iter().filter(|(_, c)| *c >= params.min_count).collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        by_freq.truncate(params.max_vocab);
+        let vocab: HashMap<String, usize> =
+            by_freq.into_iter().enumerate().map(|(i, (w, _))| (w, i)).collect();
+        let v = vocab.len();
+
+        // Pass 2: co-occurrence counts within the window.
+        let mut cooc: HashMap<(u32, u32), f32> = HashMap::new();
+        for doc in &docs {
+            let ids: Vec<Option<usize>> = doc.iter().map(|w| vocab.get(w).copied()).collect();
+            for i in 0..ids.len() {
+                let Some(wi) = ids[i] else { continue };
+                let hi = (i + params.window + 1).min(ids.len());
+                for (j, idj) in ids.iter().enumerate().take(hi).skip(i + 1) {
+                    let Some(wj) = *idj else { continue };
+                    let weight = 1.0 / (j - i) as f32;
+                    let key = if wi <= wj { (wi as u32, wj as u32) } else { (wj as u32, wi as u32) };
+                    *cooc.entry(key).or_insert(0.0) += weight;
+                }
+            }
+        }
+        let mut pairs: Vec<((u32, u32), f32)> = cooc.into_iter().collect();
+        pairs.sort_by_key(|(k, _)| *k); // determinism
+
+        // SGD on the GloVe objective with AdaGrad, symmetric factors.
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let d = params.dim;
+        let mut w: Vec<f32> = (0..v * d).map(|_| rng.random_range(-0.5..0.5) / d as f32).collect();
+        let mut b: Vec<f32> = vec![0.0; v];
+        let mut gw: Vec<f32> = vec![1.0; v * d];
+        let mut gb: Vec<f32> = vec![1.0; v];
+        let x_max = 30.0f32;
+        let alpha = 0.75f32;
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        for _epoch in 0..params.epochs {
+            // Deterministic shuffle per epoch.
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for &pi in &order {
+                let ((a, c), x) = pairs[pi];
+                let (a, c) = (a as usize, c as usize);
+                let f = if x < x_max { (x / x_max).powf(alpha) } else { 1.0 };
+                let wa = a * d;
+                let wc = c * d;
+                let mut dot = b[a] + b[c];
+                for k in 0..d {
+                    dot += w[wa + k] * w[wc + k];
+                }
+                let diff = dot - x.ln();
+                let g = f * diff;
+                // AdaGrad updates.
+                for k in 0..d {
+                    let ga = g * w[wc + k];
+                    let gc = g * w[wa + k];
+                    w[wa + k] -= params.lr * ga / gw[wa + k].sqrt();
+                    w[wc + k] -= params.lr * gc / gw[wc + k].sqrt();
+                    gw[wa + k] += ga * ga;
+                    gw[wc + k] += gc * gc;
+                }
+                b[a] -= params.lr * g / gb[a].sqrt();
+                b[c] -= params.lr * g / gb[c].sqrt();
+                gb[a] += g * g;
+                gb[c] += g * g;
+            }
+        }
+        GloveSim { dim: d, vocab, vectors: w, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// An untrained fallback (pure hashed word vectors) for tests and for
+    /// cold-start settings with no corpus.
+    pub fn untrained(dim: usize) -> GloveSim {
+        GloveSim { dim, vocab: HashMap::new(), vectors: Vec::new(), cache: Mutex::new(HashMap::new()) }
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Deterministic pseudo-random unit-ish vector for out-of-vocabulary
+    /// words, so unseen words still compare consistently.
+    fn oov_vector(&self, word: &str, out: &mut [f32]) {
+        let mut h = fnv1a(word.as_bytes());
+        for v in out.iter_mut() {
+            h = rehash(h);
+            // Map to [-0.5, 0.5).
+            *v += ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+        }
+    }
+
+    fn compute(&self, text: &str, out: &mut [f32]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let ws = words(text);
+        if ws.is_empty() {
+            return;
+        }
+        let mut tmp = vec![0.0f32; self.dim];
+        for w in &ws {
+            match self.vocab.get(w) {
+                Some(&id) => {
+                    let row = &self.vectors[id * self.dim..(id + 1) * self.dim];
+                    for (o, &v) in out.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+                None => {
+                    tmp.iter_mut().for_each(|v| *v = 0.0);
+                    self.oov_vector(w, &mut tmp);
+                    for (o, &v) in out.iter_mut().zip(&tmp) {
+                        *o += v;
+                    }
+                }
+            }
+        }
+        let norm: f32 = out.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for x in out.iter_mut() {
+                *x /= norm;
+            }
+        }
+    }
+}
+
+impl TextEmbedder for GloveSim {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, text: &str, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim);
+        if let Some(hit) = self.cache.lock().get(text) {
+            out.copy_from_slice(hit);
+            return;
+        }
+        self.compute(text, out);
+        let mut cache = self.cache.lock();
+        if cache.len() >= CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(text.to_string(), Arc::new(out.to_vec()));
+    }
+
+    fn name(&self) -> &'static str {
+        "glove-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus() -> Vec<&'static str> {
+        // Words that co-occur: {cat, dog, pet} vs {sales, revenue, total}.
+        vec![
+            "the cat is a pet", "the dog is a pet", "cat and dog play", "pet cat pet dog",
+            "a pet dog", "a pet cat", "total sales revenue", "sales revenue total",
+            "revenue total sales report", "total revenue for sales", "sales total revenue",
+            "quarterly sales revenue total",
+        ]
+    }
+
+    fn cosine(e: &GloveSim, a: &str, b: &str) -> f32 {
+        let mut va = vec![0.0; e.dim()];
+        let mut vb = vec![0.0; e.dim()];
+        e.embed(a, &mut va);
+        e.embed(b, &mut vb);
+        va.iter().zip(&vb).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn cooccurring_words_cluster() {
+        let e = GloveSim::train(toy_corpus().into_iter(), GloveParams {
+            dim: 16,
+            epochs: 60,
+            ..Default::default()
+        });
+        assert!(e.vocab_size() >= 6);
+        let within = cosine(&e, "cat", "dog");
+        let across = cosine(&e, "cat", "revenue");
+        assert!(within > across, "within {within} across {across}");
+    }
+
+    #[test]
+    fn oov_words_are_deterministic() {
+        let e = GloveSim::untrained(16);
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        e.embed("zzzunseen", &mut a);
+        e.embed("zzzunseen", &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&v| v != 0.0));
+        // Different OOV words get different vectors.
+        e.embed("otherword", &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn multiword_average_normalized() {
+        let e = GloveSim::untrained(8);
+        let mut v = vec![0.0; 8];
+        e.embed("alpha beta gamma", &mut v);
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = GloveSim::untrained(8);
+        let mut v = vec![1.0; 8];
+        e.embed("", &mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let p = GloveParams { dim: 8, epochs: 5, ..Default::default() };
+        let a = GloveSim::train(toy_corpus().into_iter(), p);
+        let b = GloveSim::train(toy_corpus().into_iter(), p);
+        assert_eq!(a.vectors, b.vectors);
+    }
+}

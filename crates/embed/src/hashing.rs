@@ -1,0 +1,88 @@
+//! Feature hashing: map token hashes into a fixed-dimension vector with
+//! signed contributions (the "hashing trick").
+
+/// FNV-1a over bytes — stable across platforms and runs.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Hash a slice of chars without allocating a String.
+pub fn fnv1a_chars(chars: &[char]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut buf = [0u8; 4];
+    for &ch in chars {
+        for &b in ch.encode_utf8(&mut buf).as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Add a hashed feature into `out`: the low bits choose the bucket, bit 63
+/// chooses the sign. The ± sign keeps hash collisions unbiased.
+#[inline]
+pub fn add_hashed(out: &mut [f32], hash: u64, weight: f32) {
+    let d = out.len() as u64;
+    let bucket = (hash % d) as usize;
+    let sign = if hash >> 63 == 0 { 1.0 } else { -1.0 };
+    out[bucket] += sign * weight;
+}
+
+/// A second independent hash derived from the first (for double hashing).
+#[inline]
+pub fn rehash(h: u64) -> u64 {
+    let mut x = h ^ 0x9e37_79b9_7f4a_7c15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b"hello"), fnv1a(b"hello"));
+        assert_ne!(fnv1a(b"hello"), fnv1a(b"hellp"));
+        // Known FNV-1a test vector.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn char_hash_matches_byte_hash() {
+        let s = "héllo✓";
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(fnv1a(s.as_bytes()), fnv1a_chars(&chars));
+    }
+
+    #[test]
+    fn hashed_features_accumulate() {
+        let mut out = vec![0.0f32; 8];
+        add_hashed(&mut out, 5, 1.0);
+        add_hashed(&mut out, 5, 1.0);
+        assert_eq!(out[5], 2.0);
+        let nonzero = out.iter().filter(|v| **v != 0.0).count();
+        assert_eq!(nonzero, 1);
+    }
+
+    #[test]
+    fn rehash_changes_bucket_distribution() {
+        let mut same = 0;
+        for i in 0..1000u64 {
+            let h = fnv1a(&i.to_le_bytes());
+            if h % 64 == rehash(h) % 64 {
+                same += 1;
+            }
+        }
+        // Roughly 1/64 of buckets should coincide, not most of them.
+        assert!(same < 60, "{same} collisions");
+    }
+}

@@ -1,0 +1,47 @@
+//! `af-embed` — per-cell feature vectors for spreadsheet representation
+//! learning (§4.4.1).
+//!
+//! Each cell contributes three feature groups:
+//! * **semantic content** — a dense text embedding of the displayed value,
+//!   via either [`GloveSim`] (word-level, trained on the corpus, low-dim,
+//!   fast) or [`SbertSim`] (char-n-gram hashed, high-dim, slower) — the two
+//!   stand-ins for GloVe / Sentence-BERT whose quality-vs-cost trade-off the
+//!   paper studies in Figs. 8 and 12;
+//! * **syntactic content** — data-type one-hot plus a hashed value-shape
+//!   pattern (`DDDD-DD-DD`);
+//! * **style** — fill/font colors, bold/italic/underline, font size, cell
+//!   size, borders.
+//!
+//! Formula text is deliberately *never* featurized (paper §4.4.1 footnote 2:
+//! using formula features would leak the label).
+
+pub mod cell_features;
+pub mod content;
+pub mod glove_sim;
+pub mod hashing;
+pub mod sbert_sim;
+pub mod style_feat;
+pub mod tokenize;
+
+pub use cell_features::{CellFeaturizer, FeatureMask};
+pub use content::{syntactic_features, SYNTACTIC_DIM};
+pub use glove_sim::GloveSim;
+pub use sbert_sim::SbertSim;
+pub use style_feat::{style_features, STYLE_DIM};
+
+use std::sync::Arc;
+
+/// A text embedder mapping strings to fixed-dimension unit vectors, with
+/// the contract that *similar strings land near each other*.
+pub trait TextEmbedder: Send + Sync {
+    /// Output dimensionality.
+    fn dim(&self) -> usize;
+    /// Write the embedding of `text` into `out` (length `dim()`), L2
+    /// normalized (or all-zero for empty text).
+    fn embed(&self, text: &str, out: &mut [f32]);
+    /// Short human-readable name ("glove-sim" / "sbert-sim").
+    fn name(&self) -> &'static str;
+}
+
+/// Shared handle to an embedder.
+pub type DynEmbedder = Arc<dyn TextEmbedder>;

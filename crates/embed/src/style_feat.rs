@@ -1,0 +1,78 @@
+//! Style features (§4.4.1): the visual channel that makes similar-sheets
+//! recognizable to humans — and to the models.
+
+use af_grid::CellStyle;
+
+/// Style feature width: fill RGB (3) + font RGB (3) + bold/italic/underline
+/// (3) + font size (1) + cell width/height (2) + borders (4).
+pub const STYLE_DIM: usize = 16;
+
+/// Write the style features into `out[..STYLE_DIM]`, all scaled to ~[0, 1].
+pub fn style_features(style: &CellStyle, out: &mut [f32]) {
+    debug_assert!(out.len() >= STYLE_DIM);
+    let fill = style.fill.normalized();
+    let font = style.font_color.normalized();
+    out[0] = fill[0];
+    out[1] = fill[1];
+    out[2] = fill[2];
+    out[3] = font[0];
+    out[4] = font[1];
+    out[5] = font[2];
+    out[6] = style.bold as u8 as f32;
+    out[7] = style.italic as u8 as f32;
+    out[8] = style.underline as u8 as f32;
+    out[9] = style.font_size / 24.0;
+    out[10] = style.width / 40.0;
+    out[11] = style.height / 40.0;
+    let borders = style.borders.features();
+    out[12..16].copy_from_slice(&borders);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_grid::{BorderFlags, Color};
+
+    #[test]
+    fn default_style_vector() {
+        let mut out = vec![0.0; STYLE_DIM];
+        style_features(&CellStyle::default(), &mut out);
+        assert_eq!(out[0], 1.0, "white fill");
+        assert_eq!(out[3], 0.0, "black font");
+        assert_eq!(out[6], 0.0, "not bold");
+        assert!(out[9] > 0.0, "font size scaled");
+    }
+
+    #[test]
+    fn header_style_differs_from_default() {
+        let mut a = vec![0.0; STYLE_DIM];
+        let mut b = vec![0.0; STYLE_DIM];
+        style_features(&CellStyle::default(), &mut a);
+        style_features(&CellStyle::header(Color::new(0, 80, 160)), &mut b);
+        assert_ne!(a, b);
+        assert_eq!(b[6], 1.0, "headers are bold");
+        assert_eq!(b[13], 1.0, "bottom border");
+    }
+
+    #[test]
+    fn borders_map_to_last_four() {
+        let mut out = vec![0.0; STYLE_DIM];
+        let s = CellStyle::default().with_borders(BorderFlags::ALL);
+        style_features(&s, &mut out);
+        assert_eq!(&out[12..16], &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn values_bounded() {
+        let mut out = vec![0.0; STYLE_DIM];
+        let s = CellStyle {
+            fill: Color::new(255, 255, 255),
+            font_size: 24.0,
+            width: 40.0,
+            height: 40.0,
+            ..Default::default()
+        };
+        style_features(&s, &mut out);
+        assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)), "{out:?}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Word and character-n-gram tokenization for the text embedders.
+
+/// Lowercased alphanumeric word tokens. Punctuation splits tokens; digits
+/// group with digits, letters with letters (so `FY23` → `fy`, `23`).
+pub fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut cur_is_digit = false;
+    for ch in text.chars() {
+        let (is_alnum, is_digit) = (ch.is_alphanumeric(), ch.is_ascii_digit());
+        if is_alnum && (cur.is_empty() || cur_is_digit == is_digit) {
+            for c in ch.to_lowercase() {
+                cur.push(c);
+            }
+            cur_is_digit = is_digit;
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            if is_alnum {
+                for c in ch.to_lowercase() {
+                    cur.push(c);
+                }
+                cur_is_digit = is_digit;
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Character n-grams of the lowercased text padded with `^`/`$` sentinels,
+/// for n in `ns`. Invoked per n-gram via callback to avoid allocations.
+pub fn char_ngrams(text: &str, ns: &[usize], mut f: impl FnMut(&[char])) {
+    let mut padded: Vec<char> = Vec::with_capacity(text.len() + 2);
+    padded.push('^');
+    for ch in text.chars() {
+        for c in ch.to_lowercase() {
+            padded.push(c);
+        }
+    }
+    padded.push('$');
+    for &n in ns {
+        if padded.len() < n {
+            continue;
+        }
+        for w in padded.windows(n) {
+            f(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_splitting() {
+        assert_eq!(words("Total Sales"), ["total", "sales"]);
+        assert_eq!(words("FY23-Q1"), ["fy", "23", "q", "1"]);
+        assert_eq!(words("  a,b;; c "), ["a", "b", "c"]);
+        assert!(words("***").is_empty());
+        assert!(words("").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(words("Énergie Été"), ["énergie", "été"]);
+    }
+
+    #[test]
+    fn ngrams_with_sentinels() {
+        let mut grams: Vec<String> = Vec::new();
+        char_ngrams("ab", &[2], |g| grams.push(g.iter().collect()));
+        assert_eq!(grams, ["^a", "ab", "b$"]);
+    }
+
+    #[test]
+    fn ngrams_multiple_sizes() {
+        let mut count = 0;
+        char_ngrams("abc", &[2, 3], |_| count += 1);
+        // padded = ^abc$ (5 chars): 4 bigrams + 3 trigrams.
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn ngrams_short_text() {
+        let mut count = 0;
+        char_ngrams("", &[3], |_| count += 1);
+        // padded = ^$ (2 chars) < 3 → no trigrams.
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Formula analysis used by the sensitivity studies.
+//!
+//! §5.4 buckets formulas by *complexity* (AST node count, Fig. 10) and by
+//! *type* — conditional / math / string / date / other (Fig. 11).
+
+use crate::ast::Expr;
+use std::fmt;
+
+/// The paper's five formula-type buckets (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormulaType {
+    /// Uses IF-style branching (IF/IFERROR/AND/OR/NOT/…).
+    Conditional,
+    /// Numeric computation or aggregation.
+    Math,
+    /// String manipulation.
+    String,
+    /// Date manipulation.
+    Date,
+    /// Anything else (pure references, lookups without math, …).
+    Other,
+}
+
+impl fmt::Display for FormulaType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FormulaType::Conditional => "Conditional",
+            FormulaType::Math => "Math",
+            FormulaType::String => "String",
+            FormulaType::Date => "Date",
+            FormulaType::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FormulaType {
+    pub const ALL: [FormulaType; 5] = [
+        FormulaType::Conditional,
+        FormulaType::Math,
+        FormulaType::String,
+        FormulaType::Date,
+        FormulaType::Other,
+    ];
+}
+
+const CONDITIONAL_FNS: &[&str] =
+    &["IF", "IFS", "IFERROR", "IFNA", "AND", "OR", "NOT", "XOR", "SWITCH"];
+const STRING_FNS: &[&str] = &[
+    "CONCATENATE", "CONCAT", "LEFT", "RIGHT", "MID", "LEN", "UPPER", "LOWER", "TRIM",
+    "SUBSTITUTE", "REPT", "EXACT", "FIND", "SEARCH", "TEXT", "TEXTJOIN", "VALUE",
+];
+const DATE_FNS: &[&str] = &[
+    "DATE", "YEAR", "MONTH", "DAY", "WEEKDAY", "DAYS", "TODAY", "NOW", "EDATE", "EOMONTH",
+    "DATEDIF",
+];
+const MATH_FNS: &[&str] = &[
+    "SUM", "AVERAGE", "COUNT", "COUNTA", "COUNTBLANK", "COUNTIF", "SUMIF", "AVERAGEIF", "MIN",
+    "MAX", "MEDIAN", "STDEV", "VAR", "ABS", "INT", "ROUND", "ROUNDUP", "ROUNDDOWN", "SQRT",
+    "POWER", "MOD", "EXP", "LN", "LOG10", "SIGN", "PRODUCT", "CEILING", "FLOOR", "PI", "LARGE",
+    "SMALL", "RANK",
+];
+
+/// Formula complexity: number of AST nodes (§5.4 "we define formula
+/// complexity as the number of nodes in its parsed abstract syntax tree").
+pub fn complexity(expr: &Expr) -> usize {
+    expr.node_count()
+}
+
+/// Classify a formula into the paper's five type buckets. Priority when a
+/// formula mixes categories: conditional > string > date > math > other
+/// (the paper labels `IF(SUM(..)>0,..)` as "conditional (with IF-ELSE)").
+pub fn classify(expr: &Expr) -> FormulaType {
+    let fns = expr.functions();
+    let has = |set: &[&str]| fns.iter().any(|f| set.contains(&f.to_ascii_uppercase().as_str()));
+    if has(CONDITIONAL_FNS) {
+        return FormulaType::Conditional;
+    }
+    if has(STRING_FNS) {
+        return FormulaType::String;
+    }
+    if has(DATE_FNS) {
+        return FormulaType::Date;
+    }
+    if has(MATH_FNS) {
+        return FormulaType::Math;
+    }
+    // No recognizable functions: arithmetic operators still count as math.
+    let mut has_arith = false;
+    let mut has_concat = false;
+    expr.walk(&mut |e| match e {
+        Expr::Binary(op, _, _) => {
+            use crate::ast::BinOp::*;
+            match op {
+                Add | Sub | Mul | Div | Pow => has_arith = true,
+                Concat => has_concat = true,
+                _ => {}
+            }
+        }
+        Expr::Unary(_, _) => has_arith = true,
+        _ => {}
+    });
+    if has_concat {
+        FormulaType::String
+    } else if has_arith {
+        FormulaType::Math
+    } else {
+        FormulaType::Other
+    }
+}
+
+/// The complexity buckets of Fig. 10, as (label, predicate) pairs.
+pub fn length_bucket(len: usize) -> &'static str {
+    match len {
+        0..=2 => "l<3",
+        3 => "l=3",
+        4..=6 => "3<l<7",
+        7..=19 => "7<=l<20",
+        _ => "20<=l",
+    }
+}
+
+/// All length-bucket labels in display order.
+pub const LENGTH_BUCKETS: [&str; 5] = ["l<3", "l=3", "3<l<7", "7<=l<20", "20<=l"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ty(src: &str) -> FormulaType {
+        classify(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn classification_examples() {
+        assert_eq!(ty("IF(A1>0,1,0)"), FormulaType::Conditional);
+        assert_eq!(ty("SUM(A1:A9)"), FormulaType::Math);
+        assert_eq!(ty("COUNTIF(C7:C37,C41)"), FormulaType::Math);
+        assert_eq!(ty("LEFT(A1,3)"), FormulaType::String);
+        assert_eq!(ty("YEAR(A1)"), FormulaType::Date);
+        assert_eq!(ty("A1"), FormulaType::Other);
+        assert_eq!(ty("VLOOKUP(A1,B1:C9,2,FALSE)"), FormulaType::Other);
+    }
+
+    #[test]
+    fn priority_conditional_wins() {
+        assert_eq!(ty("IF(SUM(A1:A9)>0,LEFT(B1,2),\"\")"), FormulaType::Conditional);
+    }
+
+    #[test]
+    fn operators_without_functions() {
+        assert_eq!(ty("A1+B1"), FormulaType::Math);
+        assert_eq!(ty("A1&B1"), FormulaType::String);
+        assert_eq!(ty("A1=B1"), FormulaType::Other);
+    }
+
+    #[test]
+    fn complexity_matches_node_count() {
+        assert_eq!(complexity(&parse("A1").unwrap()), 1);
+        assert_eq!(complexity(&parse("SUM(A1:A9)").unwrap()), 2);
+        assert_eq!(complexity(&parse("COUNTIF(C7:C37,C41)").unwrap()), 3);
+    }
+
+    #[test]
+    fn buckets_cover_all_lengths() {
+        assert_eq!(length_bucket(1), "l<3");
+        assert_eq!(length_bucket(3), "l=3");
+        assert_eq!(length_bucket(5), "3<l<7");
+        assert_eq!(length_bucket(10), "7<=l<20");
+        assert_eq!(length_bucket(25), "20<=l");
+    }
+}

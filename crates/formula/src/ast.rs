@@ -1,0 +1,296 @@
+//! Formula abstract syntax trees and the canonical printer.
+
+use af_grid::A1Ref;
+use std::fmt;
+
+/// Binary operators, in Excel's precedence classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    /// String concatenation `&`.
+    Concat,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    /// Binding power (higher binds tighter). Comparison < concat <
+    /// additive < multiplicative < exponent, as in Excel.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 1,
+            BinOp::Concat => 2,
+            BinOp::Add | BinOp::Sub => 3,
+            BinOp::Mul | BinOp::Div => 4,
+            BinOp::Pow => 5,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "^",
+            BinOp::Concat => "&",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Plus,
+    /// Postfix percent: `50%` is 0.5.
+    Percent,
+}
+
+/// A formula expression. Formulas "can be arbitrarily complex, with
+/// functions, cells, cell ranges, constants, etc., defined in a recursive
+/// manner" (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Number(f64),
+    Text(String),
+    Bool(bool),
+    Ref(A1Ref),
+    /// A rectangular range `start:end` (as written; not normalized so the
+    /// printer round-trips).
+    Range(A1Ref, A1Ref),
+    Call(String, Vec<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Unary(UnOp, Box<Expr>),
+}
+
+impl Expr {
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.into(), args)
+    }
+
+    /// Number of AST nodes — the paper's formula-complexity measure
+    /// (§5.4, Fig. 10).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) | Expr::Ref(_) => 1,
+            Expr::Range(_, _) => 1,
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::Binary(_, l, r) => 1 + l.node_count() + r.node_count(),
+            Expr::Unary(_, e) => 1 + e.node_count(),
+        }
+    }
+
+    /// All function names used, in call order (outermost first).
+    pub fn functions(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Call(name, _) = e {
+                out.push(name.as_str());
+            }
+        });
+        out
+    }
+
+    /// All cell references mentioned (each range contributes its two
+    /// endpoints), in left-to-right source order — the paper's parameter
+    /// cells `R`.
+    pub fn param_refs(&self) -> Vec<A1Ref> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| match e {
+            Expr::Ref(r) => out.push(*r),
+            Expr::Range(a, b) => {
+                out.push(*a);
+                out.push(*b);
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Depth-first pre-order traversal.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Binary(_, l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            Expr::Unary(_, e) => e.walk(f),
+            _ => {}
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary(op, _, _) => op.precedence(),
+            Expr::Unary(UnOp::Neg | UnOp::Plus, _) => 6,
+            Expr::Unary(UnOp::Percent, _) => 7,
+            _ => 8,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        let my_prec = self.precedence();
+        let need_parens = my_prec < parent_prec;
+        if need_parens {
+            f.write_str("(")?;
+        }
+        match self {
+            Expr::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)?;
+                } else {
+                    write!(f, "{n}")?;
+                }
+            }
+            Expr::Text(s) => write!(f, "\"{}\"", s.replace('"', "\"\""))?,
+            Expr::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" })?,
+            Expr::Ref(r) => write!(f, "{r}")?,
+            Expr::Range(a, b) => write!(f, "{a}:{b}")?,
+            Expr::Call(name, args) => {
+                write!(f, "{}(", name.to_ascii_uppercase())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                f.write_str(")")?;
+            }
+            Expr::Binary(op, l, r) => {
+                l.fmt_prec(f, my_prec)?;
+                f.write_str(op.symbol())?;
+                // Left-associative: the right child needs parens at equal
+                // precedence.
+                r.fmt_prec(f, my_prec + 1)?;
+            }
+            Expr::Unary(UnOp::Neg, e) => {
+                f.write_str("-")?;
+                e.fmt_prec(f, my_prec)?;
+            }
+            Expr::Unary(UnOp::Plus, e) => {
+                f.write_str("+")?;
+                e.fmt_prec(f, my_prec)?;
+            }
+            Expr::Unary(UnOp::Percent, e) => {
+                e.fmt_prec(f, my_prec)?;
+                f.write_str("%")?;
+            }
+        }
+        if need_parens {
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Canonical rendering: uppercase function names, no whitespace, minimal
+    /// parentheses. Two formulas match in our evaluation iff their canonical
+    /// renderings are equal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_grid::CellRef;
+
+    fn r(s: &str) -> A1Ref {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn display_paper_formula() {
+        let e = Expr::call(
+            "countif",
+            vec![Expr::Range(r("C7"), r("C37")), Expr::Ref(r("C41"))],
+        );
+        assert_eq!(e.to_string(), "COUNTIF(C7:C37,C41)");
+    }
+
+    #[test]
+    fn node_count_counts_every_node() {
+        let e = Expr::call(
+            "IF",
+            vec![
+                Expr::Binary(BinOp::Gt, Box::new(Expr::Ref(r("A1"))), Box::new(Expr::Number(0.0))),
+                Expr::Text("pos".into()),
+                Expr::Text("neg".into()),
+            ],
+        );
+        // IF + (> + A1 + 0) + "pos" + "neg" = 6
+        assert_eq!(e.node_count(), 6);
+    }
+
+    #[test]
+    fn param_refs_in_order() {
+        let e = Expr::call(
+            "COUNTIF",
+            vec![Expr::Range(r("C7"), r("C37")), Expr::Ref(r("C41"))],
+        );
+        let refs = e.param_refs();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(refs[0].cell, CellRef::new(6, 2));
+        assert_eq!(refs[2].cell, CellRef::new(40, 2));
+    }
+
+    #[test]
+    fn functions_nested() {
+        let e = Expr::call("SUM", vec![Expr::call("ABS", vec![Expr::Ref(r("A1"))])]);
+        assert_eq!(e.functions(), ["SUM", "ABS"]);
+    }
+
+    #[test]
+    fn parenthesization_minimal() {
+        // (1+2)*3 must keep parens; 1+(2*3) must not.
+        let sum = Expr::Binary(BinOp::Add, Box::new(Expr::Number(1.0)), Box::new(Expr::Number(2.0)));
+        let e = Expr::Binary(BinOp::Mul, Box::new(sum.clone()), Box::new(Expr::Number(3.0)));
+        assert_eq!(e.to_string(), "(1+2)*3");
+        let prod = Expr::Binary(BinOp::Mul, Box::new(Expr::Number(2.0)), Box::new(Expr::Number(3.0)));
+        let e = Expr::Binary(BinOp::Add, Box::new(Expr::Number(1.0)), Box::new(prod));
+        assert_eq!(e.to_string(), "1+2*3");
+    }
+
+    #[test]
+    fn right_child_same_precedence_parenthesized() {
+        // 1-(2-3) must keep parens because `-` is left-associative.
+        let inner = Expr::Binary(BinOp::Sub, Box::new(Expr::Number(2.0)), Box::new(Expr::Number(3.0)));
+        let e = Expr::Binary(BinOp::Sub, Box::new(Expr::Number(1.0)), Box::new(inner));
+        assert_eq!(e.to_string(), "1-(2-3)");
+    }
+
+    #[test]
+    fn text_escaping() {
+        let e = Expr::Text("say \"hi\"".into());
+        assert_eq!(e.to_string(), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn percent_postfix() {
+        let e = Expr::Unary(UnOp::Percent, Box::new(Expr::Number(50.0)));
+        assert_eq!(e.to_string(), "50%");
+    }
+}

@@ -1,0 +1,181 @@
+//! Formula dependency analysis: precedents, dependents, and a topological
+//! recalculation order — the machinery behind a real recalc engine, also
+//! useful for auditing generated corpora.
+
+use crate::ast::Expr;
+use crate::parse_formula;
+use af_grid::{CellRef, FxHashMap, FxHashSet, RangeRef, Sheet};
+
+/// The cells a formula reads (ranges expanded, capped at `max_cells` to
+/// bound pathological ranges).
+pub fn precedents(expr: &Expr, max_cells: usize) -> Vec<CellRef> {
+    let mut out = Vec::new();
+    let mut seen = FxHashSet::default();
+    expr.walk(&mut |e| match e {
+        Expr::Ref(r) => {
+            if seen.insert(r.cell) {
+                out.push(r.cell);
+            }
+        }
+        Expr::Range(a, b) => {
+            let range = RangeRef::new(a.cell, b.cell);
+            for c in range.cells().take(max_cells.saturating_sub(out.len())) {
+                if seen.insert(c) {
+                    out.push(c);
+                }
+            }
+        }
+        _ => {}
+    });
+    out
+}
+
+/// The dependency graph of every formula cell on a sheet.
+#[derive(Debug, Default)]
+pub struct DependencyGraph {
+    /// formula cell → cells it reads.
+    pub reads: FxHashMap<CellRef, Vec<CellRef>>,
+    /// cell → formula cells that read it.
+    pub read_by: FxHashMap<CellRef, Vec<CellRef>>,
+}
+
+impl DependencyGraph {
+    /// Build from a sheet's formulas (unparseable formulas are skipped).
+    pub fn build(sheet: &Sheet) -> DependencyGraph {
+        let mut g = DependencyGraph::default();
+        for (at, src) in sheet.formulas() {
+            let Ok(expr) = parse_formula(src) else { continue };
+            let pres = precedents(&expr, 100_000);
+            for p in &pres {
+                g.read_by.entry(*p).or_default().push(at);
+            }
+            g.reads.insert(at, pres);
+        }
+        g
+    }
+
+    /// Formula cells that (transitively) depend on `cell`.
+    pub fn dependents_of(&self, cell: CellRef) -> Vec<CellRef> {
+        let mut out = Vec::new();
+        let mut seen = FxHashSet::default();
+        let mut stack = vec![cell];
+        while let Some(c) = stack.pop() {
+            if let Some(readers) = self.read_by.get(&c) {
+                for &r in readers {
+                    if seen.insert(r) {
+                        out.push(r);
+                        stack.push(r);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Topological evaluation order over formula cells (formulas whose
+    /// precedents are plain values first). Returns `None` when the formulas
+    /// form a reference cycle.
+    pub fn evaluation_order(&self) -> Option<Vec<CellRef>> {
+        // In-degree = number of *formula* precedents.
+        let formula_cells: FxHashSet<CellRef> = self.reads.keys().copied().collect();
+        let mut indeg: FxHashMap<CellRef, usize> = FxHashMap::default();
+        for (&cell, pres) in &self.reads {
+            let d = pres.iter().filter(|p| formula_cells.contains(p)).count();
+            indeg.insert(cell, d);
+        }
+        let mut queue: Vec<CellRef> =
+            indeg.iter().filter(|(_, &d)| d == 0).map(|(&c, _)| c).collect();
+        queue.sort_unstable();
+        let mut order = Vec::with_capacity(self.reads.len());
+        let mut qi = 0;
+        while qi < queue.len() {
+            let cell = queue[qi];
+            qi += 1;
+            order.push(cell);
+            if let Some(readers) = self.read_by.get(&cell) {
+                let mut ready: Vec<CellRef> = Vec::new();
+                for &r in readers {
+                    if let Some(d) = indeg.get_mut(&r) {
+                        *d -= 1;
+                        if *d == 0 {
+                            ready.push(r);
+                        }
+                    }
+                }
+                ready.sort_unstable();
+                queue.extend(ready);
+            }
+        }
+        if order.len() == self.reads.len() {
+            Some(order)
+        } else {
+            None // cycle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_grid::Cell;
+
+    fn c(s: &str) -> CellRef {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn precedents_expand_ranges() {
+        let e = parse_formula("SUM(A1:A3)+B5").unwrap();
+        let pres = precedents(&e, 1000);
+        assert_eq!(pres.len(), 4);
+        assert!(pres.contains(&c("A2")));
+        assert!(pres.contains(&c("B5")));
+    }
+
+    #[test]
+    fn precedents_capped() {
+        let e = parse_formula("SUM(A1:A1000)").unwrap();
+        assert_eq!(precedents(&e, 10).len(), 10);
+    }
+
+    #[test]
+    fn graph_and_dependents() {
+        let mut s = Sheet::new("t");
+        s.set_a1("A1", Cell::new(1.0));
+        s.set_a1("A2", Cell::new(0.0).with_formula("A1*2"));
+        s.set_a1("A3", Cell::new(0.0).with_formula("A2+1"));
+        s.set_a1("B1", Cell::new(0.0).with_formula("SUM(A1:A3)"));
+        let g = DependencyGraph::build(&s);
+        let deps = g.dependents_of(c("A1"));
+        // Sorted by (row, col): B1 < A2 < A3.
+        assert_eq!(deps, vec![c("B1"), c("A2"), c("A3")]);
+        let order = g.evaluation_order().unwrap();
+        let pos = |cell: CellRef| order.iter().position(|&x| x == cell).unwrap();
+        assert!(pos(c("A2")) < pos(c("A3")));
+        assert!(pos(c("A3")) < pos(c("B1")));
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let mut s = Sheet::new("t");
+        s.set_a1("A1", Cell::new(0.0).with_formula("A2+1"));
+        s.set_a1("A2", Cell::new(0.0).with_formula("A1+1"));
+        let g = DependencyGraph::build(&s);
+        assert!(g.evaluation_order().is_none());
+    }
+
+    #[test]
+    fn generated_sheets_are_acyclic() {
+        use af_grid::value::date_to_serial;
+        let _ = date_to_serial(2020, 1, 1); // keep the import meaningful
+        let mut s = Sheet::new("t");
+        for r in 2..10 {
+            s.set_a1(&format!("A{r}"), Cell::new(r as f64));
+            s.set_a1(&format!("B{r}"), Cell::new(0.0).with_formula(format!("A{r}*2")));
+        }
+        s.set_a1("B11", Cell::new(0.0).with_formula("SUM(B2:B9)"));
+        let g = DependencyGraph::build(&s);
+        assert!(g.evaluation_order().is_some());
+    }
+}

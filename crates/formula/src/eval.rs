@@ -1,0 +1,362 @@
+//! Formula evaluation against a sheet.
+//!
+//! The corpus generator uses this interpreter to populate *evaluated* values
+//! for every generated formula, so featurization sees what a user would see
+//! in the grid. References read the referenced cell's cached value (standard
+//! spreadsheet semantics); [`recalculate`] runs a fixpoint pass to settle
+//! formula chains.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::functions;
+use af_grid::{CellError, CellValue, RangeRef, Sheet};
+use std::cmp::Ordering;
+
+/// Evaluation failure — a spreadsheet error value.
+pub type EvalError = CellError;
+
+/// A rectangular array of values produced by evaluating a range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayValue {
+    pub rows: u32,
+    pub cols: u32,
+    pub data: Vec<CellValue>,
+}
+
+impl ArrayValue {
+    pub fn get(&self, row: u32, col: u32) -> &CellValue {
+        &self.data[(row * self.cols + col) as usize]
+    }
+}
+
+/// An evaluated operand: a scalar or an array (range).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Scalar(CellValue),
+    Array(ArrayValue),
+}
+
+impl Operand {
+    /// Collapse to a scalar; 1×1 arrays collapse, larger arrays are a
+    /// `#VALUE!` error.
+    pub fn into_scalar(self) -> Result<CellValue, EvalError> {
+        match self {
+            Operand::Scalar(v) => Ok(v),
+            Operand::Array(a) if a.data.len() == 1 => {
+                Ok(a.data.into_iter().next().expect("len checked"))
+            }
+            Operand::Array(_) => Err(CellError::Value),
+        }
+    }
+
+    /// Iterate every value (a scalar yields itself once).
+    pub fn values(&self) -> impl Iterator<Item = &CellValue> {
+        match self {
+            Operand::Scalar(v) => std::slice::from_ref(v).iter(),
+            Operand::Array(a) => a.data.iter(),
+        }
+    }
+
+    /// Collect the numeric values following aggregate semantics: scalar
+    /// arguments must coerce to numbers (error otherwise, except `Empty`
+    /// which is skipped); array elements silently skip non-numeric entries.
+    pub fn collect_numbers(&self, out: &mut Vec<f64>) -> Result<(), EvalError> {
+        match self {
+            Operand::Scalar(CellValue::Empty) => Ok(()),
+            Operand::Scalar(CellValue::Error(e)) => Err(*e),
+            Operand::Scalar(v) => {
+                out.push(v.as_number().ok_or(CellError::Value)?);
+                Ok(())
+            }
+            Operand::Array(a) => {
+                for v in &a.data {
+                    if let CellValue::Error(e) = v {
+                        return Err(*e);
+                    }
+                    match v {
+                        CellValue::Number(n) => out.push(*n),
+                        CellValue::Bool(_) | CellValue::Text(_) | CellValue::Empty => {}
+                        CellValue::Date(d) => out.push(*d as f64),
+                        CellValue::Error(_) => unreachable!("handled above"),
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Evaluate a formula AST in the context of `sheet`, producing a scalar.
+pub fn evaluate(expr: &Expr, sheet: &Sheet) -> Result<CellValue, EvalError> {
+    eval_operand(expr, sheet)?.into_scalar()
+}
+
+/// Evaluate to an operand (scalar or array).
+pub fn eval_operand(expr: &Expr, sheet: &Sheet) -> Result<Operand, EvalError> {
+    match expr {
+        Expr::Number(n) => Ok(Operand::Scalar(CellValue::Number(*n))),
+        Expr::Text(s) => Ok(Operand::Scalar(CellValue::Text(s.clone()))),
+        Expr::Bool(b) => Ok(Operand::Scalar(CellValue::Bool(*b))),
+        Expr::Ref(r) => Ok(Operand::Scalar(sheet.value(r.cell))),
+        Expr::Range(a, b) => {
+            let range = RangeRef::new(a.cell, b.cell);
+            if range.len() > 1_000_000 {
+                return Err(CellError::Ref);
+            }
+            let data: Vec<CellValue> = range.cells().map(|c| sheet.value(c)).collect();
+            Ok(Operand::Array(ArrayValue { rows: range.rows(), cols: range.cols(), data }))
+        }
+        Expr::Call(name, args) => {
+            let mut ops = Vec::with_capacity(args.len());
+            for a in args {
+                ops.push(eval_operand(a, sheet)?);
+            }
+            functions::call(name, &ops).map(Operand::Scalar)
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = eval_operand(l, sheet)?.into_scalar()?;
+            let rv = eval_operand(r, sheet)?.into_scalar()?;
+            eval_binary(*op, &lv, &rv).map(Operand::Scalar)
+        }
+        Expr::Unary(op, e) => {
+            let v = eval_operand(e, sheet)?.into_scalar()?;
+            let out = match op {
+                UnOp::Neg => CellValue::Number(-coerce_number(&v)?),
+                UnOp::Plus => CellValue::Number(coerce_number(&v)?),
+                UnOp::Percent => CellValue::Number(coerce_number(&v)? / 100.0),
+            };
+            Ok(Operand::Scalar(out))
+        }
+    }
+}
+
+/// Numeric coercion for arithmetic: `Empty` counts as 0 (spreadsheet
+/// convention inside arithmetic), errors propagate.
+fn coerce_number(v: &CellValue) -> Result<f64, EvalError> {
+    match v {
+        CellValue::Empty => Ok(0.0),
+        CellValue::Error(e) => Err(*e),
+        other => other.as_number().ok_or(CellError::Value),
+    }
+}
+
+fn eval_binary(op: BinOp, l: &CellValue, r: &CellValue) -> Result<CellValue, EvalError> {
+    if let CellValue::Error(e) = l {
+        return Err(*e);
+    }
+    if let CellValue::Error(e) = r {
+        return Err(*e);
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow => {
+            let a = coerce_number(l)?;
+            let b = coerce_number(r)?;
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(CellError::Div0);
+                    }
+                    a / b
+                }
+                BinOp::Pow => {
+                    let p = a.powf(b);
+                    if !p.is_finite() {
+                        return Err(CellError::Num);
+                    }
+                    p
+                }
+                _ => unreachable!(),
+            };
+            Ok(CellValue::Number(out))
+        }
+        BinOp::Concat => {
+            Ok(CellValue::Text(format!("{}{}", l.display(), r.display())))
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = compare_values(l, r);
+            let out = match (op, ord) {
+                (BinOp::Eq, o) => o == Ordering::Equal,
+                (BinOp::Ne, o) => o != Ordering::Equal,
+                (BinOp::Lt, o) => o == Ordering::Less,
+                (BinOp::Le, o) => o != Ordering::Greater,
+                (BinOp::Gt, o) => o == Ordering::Greater,
+                (BinOp::Ge, o) => o != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(CellValue::Bool(out))
+        }
+    }
+}
+
+/// Excel's total order across types: Number < Text < Bool. Text compares
+/// case-insensitively. `Empty` coerces to the other side's zero value.
+pub fn compare_values(l: &CellValue, r: &CellValue) -> Ordering {
+    use CellValue::*;
+    fn rank(v: &CellValue) -> u8 {
+        match v {
+            Empty => 0,
+            Number(_) | Date(_) => 1,
+            Text(_) => 2,
+            Bool(_) => 3,
+            Error(_) => 4,
+        }
+    }
+    match (l, r) {
+        (Number(a), Number(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+        (Date(a), Date(b)) => a.cmp(b),
+        (Number(a), Date(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+        (Date(a), Number(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+        (Text(a), Text(b)) => a.to_lowercase().cmp(&b.to_lowercase()),
+        (Bool(a), Bool(b)) => a.cmp(b),
+        (Empty, Empty) => Ordering::Equal,
+        (Empty, Number(b)) => 0.0f64.partial_cmp(b).unwrap_or(Ordering::Equal),
+        (Number(a), Empty) => a.partial_cmp(&0.0).unwrap_or(Ordering::Equal),
+        (Empty, Text(b)) => {
+            if b.is_empty() {
+                Ordering::Equal
+            } else {
+                Ordering::Less
+            }
+        }
+        (Text(a), Empty) => {
+            if a.is_empty() {
+                Ordering::Equal
+            } else {
+                Ordering::Greater
+            }
+        }
+        (Empty, Bool(b)) => false.cmp(b),
+        (Bool(a), Empty) => a.cmp(&false),
+        _ => rank(l).cmp(&rank(r)),
+    }
+}
+
+/// Re-evaluate every formula cell in the sheet, writing results back as
+/// cached values. Runs fixpoint rounds (formula chains settle in dependency
+/// depth many rounds); returns the number of rounds used. Unparseable
+/// formulas leave a `#NAME?` value.
+pub fn recalculate(sheet: &mut Sheet) -> usize {
+    const MAX_ROUNDS: usize = 16;
+    let locations: Vec<_> = sheet.formulas().map(|(at, f)| (at, f.to_string())).collect();
+    let mut parsed = Vec::with_capacity(locations.len());
+    for (at, src) in &locations {
+        parsed.push((*at, crate::parse_formula(src).ok()));
+    }
+    for round in 1..=MAX_ROUNDS {
+        let mut changed = false;
+        for (at, expr) in &parsed {
+            let new_value = match expr {
+                Some(e) => evaluate(e, sheet).unwrap_or_else(CellValue::Error),
+                None => CellValue::Error(CellError::Name),
+            };
+            if let Some(cell) = sheet.get_mut(*at) {
+                if cell.value != new_value {
+                    cell.value = new_value;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return round;
+        }
+    }
+    MAX_ROUNDS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_formula;
+    use af_grid::Cell;
+
+    fn sheet() -> Sheet {
+        let mut s = Sheet::new("t");
+        s.set_a1("A1", Cell::new(10.0));
+        s.set_a1("A2", Cell::new(20.0));
+        s.set_a1("A3", Cell::new(30.0));
+        s.set_a1("B1", Cell::new("Brown"));
+        s.set_a1("B2", Cell::new("Green"));
+        s.set_a1("B3", Cell::new("Brown"));
+        s
+    }
+
+    fn eval(src: &str, s: &Sheet) -> CellValue {
+        evaluate(&parse_formula(src).unwrap(), s).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = sheet();
+        assert_eq!(eval("=1+2*3", &s), CellValue::Number(7.0));
+        assert_eq!(eval("=A1+A2", &s), CellValue::Number(30.0));
+        assert_eq!(eval("=A1/4", &s), CellValue::Number(2.5));
+        assert_eq!(eval("=-A1", &s), CellValue::Number(-10.0));
+        assert_eq!(eval("=50%", &s), CellValue::Number(0.5));
+        assert_eq!(eval("=2^10", &s), CellValue::Number(1024.0));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let s = sheet();
+        let e = evaluate(&parse_formula("=1/0").unwrap(), &s).unwrap_err();
+        assert_eq!(e, CellError::Div0);
+        // Empty coerces to zero.
+        let e = evaluate(&parse_formula("=1/Z99").unwrap(), &s).unwrap_err();
+        assert_eq!(e, CellError::Div0);
+    }
+
+    #[test]
+    fn concatenation_and_comparison() {
+        let s = sheet();
+        assert_eq!(eval("=B1&\"!\"", &s), CellValue::text("Brown!"));
+        assert_eq!(eval("=A1&A2", &s), CellValue::text("1020"));
+        assert_eq!(eval("=A1<A2", &s), CellValue::Bool(true));
+        assert_eq!(eval("=B1=\"brown\"", &s), CellValue::Bool(true), "case-insensitive");
+        assert_eq!(eval("=B1<>B2", &s), CellValue::Bool(true));
+    }
+
+    #[test]
+    fn ranges_feed_aggregates() {
+        let s = sheet();
+        assert_eq!(eval("=SUM(A1:A3)", &s), CellValue::Number(60.0));
+        // Text cells in the range are skipped.
+        assert_eq!(eval("=SUM(A1:B3)", &s), CellValue::Number(60.0));
+    }
+
+    #[test]
+    fn multi_cell_range_as_scalar_errors() {
+        let s = sheet();
+        let e = evaluate(&parse_formula("=A1:A3+1").unwrap(), &s).unwrap_err();
+        assert_eq!(e, CellError::Value);
+    }
+
+    #[test]
+    fn error_propagates_through_ops() {
+        let mut s = sheet();
+        s.set_a1("C1", Cell::new(CellValue::Error(CellError::Na)));
+        let e = evaluate(&parse_formula("=C1+1").unwrap(), &s).unwrap_err();
+        assert_eq!(e, CellError::Na);
+    }
+
+    #[test]
+    fn recalculate_settles_chains() {
+        let mut s = Sheet::new("t");
+        s.set_a1("A1", Cell::new(5.0));
+        s.set_a1("A2", Cell::new(0.0).with_formula("A1*2"));
+        s.set_a1("A3", Cell::new(0.0).with_formula("A2+1"));
+        let rounds = recalculate(&mut s);
+        assert!(rounds <= 3);
+        assert_eq!(s.value("A2".parse().unwrap()), CellValue::Number(10.0));
+        assert_eq!(s.value("A3".parse().unwrap()), CellValue::Number(11.0));
+    }
+
+    #[test]
+    fn recalculate_marks_bad_formulas() {
+        let mut s = Sheet::new("t");
+        s.set_a1("A1", Cell::new(0.0).with_formula("NOT A FORMULA ((("));
+        recalculate(&mut s);
+        assert_eq!(s.value("A1".parse().unwrap()), CellValue::Error(CellError::Name));
+    }
+}

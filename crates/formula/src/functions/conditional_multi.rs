@@ -1,0 +1,227 @@
+//! Multi-criteria conditional aggregates (`COUNTIFS`, `SUMIFS`,
+//! `AVERAGEIFS`, `MINIFS`, `MAXIFS`) and multi-branch conditionals (`IFS`,
+//! `SWITCH`).
+
+use super::criteria::Criteria;
+use super::{scalar_arg, truthy};
+use crate::eval::Operand;
+use af_grid::{CellError, CellValue};
+
+pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
+    match name {
+        "COUNTIFS" => {
+            let sets = criteria_sets(args, 0)?;
+            let n = match_mask(&sets)?.iter().filter(|&&m| m).count();
+            Ok(CellValue::Number(n as f64))
+        }
+        "SUMIFS" | "AVERAGEIFS" | "MINIFS" | "MAXIFS" => {
+            // First argument is the aggregation range, then (range,
+            // criteria) pairs.
+            if args.len() < 3 {
+                return Err(CellError::Value);
+            }
+            let agg: Vec<&CellValue> = args[0].values().collect();
+            let sets = criteria_sets(args, 1)?;
+            let mask = match_mask(&sets)?;
+            if mask.len() != agg.len() {
+                return Err(CellError::Value);
+            }
+            let selected: Vec<f64> = agg
+                .iter()
+                .zip(&mask)
+                .filter(|(_, &m)| m)
+                .filter_map(|(v, _)| v.as_number())
+                .collect();
+            match name {
+                "SUMIFS" => Ok(CellValue::Number(selected.iter().sum())),
+                "AVERAGEIFS" => {
+                    if selected.is_empty() {
+                        Err(CellError::Div0)
+                    } else {
+                        Ok(CellValue::Number(
+                            selected.iter().sum::<f64>() / selected.len() as f64,
+                        ))
+                    }
+                }
+                "MINIFS" => Ok(CellValue::Number(
+                    selected.iter().cloned().fold(f64::INFINITY, f64::min).min(f64::MAX),
+                ))
+                .map(|v| if selected.is_empty() { CellValue::Number(0.0) } else { v }),
+                _ => Ok(CellValue::Number(
+                    selected.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                ))
+                .map(|v| if selected.is_empty() { CellValue::Number(0.0) } else { v }),
+            }
+        }
+        "IFS" => {
+            // IFS(cond1, val1, cond2, val2, …): first true condition wins.
+            if args.len() < 2 || args.len() % 2 != 0 {
+                return Err(CellError::Value);
+            }
+            for pair in args.chunks(2) {
+                let cond = pair[0].clone().into_scalar()?;
+                if truthy(&cond)? {
+                    return pair[1].clone().into_scalar();
+                }
+            }
+            Err(CellError::Na)
+        }
+        "SWITCH" => {
+            // SWITCH(expr, case1, val1, …, [default]).
+            if args.len() < 3 {
+                return Err(CellError::Value);
+            }
+            let subject = scalar_arg(args, 0)?;
+            let rest = &args[1..];
+            let pairs = rest.len() / 2;
+            for i in 0..pairs {
+                let case = rest[i * 2].clone().into_scalar()?;
+                if crate::eval::compare_values(&subject, &case) == std::cmp::Ordering::Equal {
+                    return rest[i * 2 + 1].clone().into_scalar();
+                }
+            }
+            if rest.len() % 2 == 1 {
+                rest[rest.len() - 1].clone().into_scalar()
+            } else {
+                Err(CellError::Na)
+            }
+        }
+        _ => Err(CellError::Name),
+    }
+}
+
+/// Parse trailing `(range, criteria)` pairs starting at `from`.
+fn criteria_sets(
+    args: &[Operand],
+    from: usize,
+) -> Result<Vec<(Vec<CellValue>, Criteria)>, CellError> {
+    let rest = &args[from..];
+    if rest.is_empty() || rest.len() % 2 != 0 {
+        return Err(CellError::Value);
+    }
+    let mut out = Vec::with_capacity(rest.len() / 2);
+    for pair in rest.chunks(2) {
+        let range: Vec<CellValue> = pair[0].values().cloned().collect();
+        let criteria = Criteria::parse(&pair[1].clone().into_scalar()?);
+        out.push((range, criteria));
+    }
+    Ok(out)
+}
+
+/// AND-combine the criteria sets into a per-row mask.
+fn match_mask(sets: &[(Vec<CellValue>, Criteria)]) -> Result<Vec<bool>, CellError> {
+    let len = sets.first().map(|(r, _)| r.len()).unwrap_or(0);
+    if sets.iter().any(|(r, _)| r.len() != len) {
+        return Err(CellError::Value);
+    }
+    let mut mask = vec![true; len];
+    for (range, criteria) in sets {
+        for (i, v) in range.iter().enumerate() {
+            if !criteria.matches(v) {
+                mask[i] = false;
+            }
+        }
+    }
+    Ok(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ArrayValue;
+
+    fn nums(values: &[f64]) -> Operand {
+        Operand::Array(ArrayValue {
+            rows: values.len() as u32,
+            cols: 1,
+            data: values.iter().map(|&v| CellValue::Number(v)).collect(),
+        })
+    }
+
+    fn texts(values: &[&str]) -> Operand {
+        Operand::Array(ArrayValue {
+            rows: values.len() as u32,
+            cols: 1,
+            data: values.iter().map(|&v| CellValue::text(v)).collect(),
+        })
+    }
+
+    fn s(v: CellValue) -> Operand {
+        Operand::Scalar(v)
+    }
+
+    #[test]
+    fn countifs_intersects_criteria() {
+        let region = texts(&["North", "South", "North", "North"]);
+        let units = nums(&[10.0, 50.0, 60.0, 5.0]);
+        let out = call(
+            "COUNTIFS",
+            &[region, s(CellValue::text("North")), units, s(CellValue::text(">8"))],
+        );
+        assert_eq!(out, Ok(CellValue::Number(2.0)));
+    }
+
+    #[test]
+    fn sumifs_and_averageifs() {
+        let agg = nums(&[1.0, 2.0, 4.0, 8.0]);
+        let k = texts(&["a", "b", "a", "a"]);
+        let v = nums(&[1.0, 1.0, 0.0, 1.0]);
+        let args = [
+            agg,
+            k,
+            s(CellValue::text("a")),
+            v,
+            s(CellValue::Number(1.0)),
+        ];
+        assert_eq!(call("SUMIFS", &args), Ok(CellValue::Number(9.0)));
+        assert_eq!(call("AVERAGEIFS", &args), Ok(CellValue::Number(4.5)));
+        assert_eq!(call("MAXIFS", &args), Ok(CellValue::Number(8.0)));
+        assert_eq!(call("MINIFS", &args), Ok(CellValue::Number(1.0)));
+    }
+
+    #[test]
+    fn mismatched_range_lengths_error() {
+        let out = call(
+            "COUNTIFS",
+            &[nums(&[1.0, 2.0]), s(CellValue::Number(1.0)), nums(&[1.0]), s(CellValue::Number(1.0))],
+        );
+        assert_eq!(out, Err(CellError::Value));
+    }
+
+    #[test]
+    fn ifs_first_true_wins() {
+        let out = call(
+            "IFS",
+            &[
+                s(CellValue::Bool(false)),
+                s(CellValue::text("no")),
+                s(CellValue::Bool(true)),
+                s(CellValue::text("yes")),
+            ],
+        );
+        assert_eq!(out, Ok(CellValue::text("yes")));
+        let out = call("IFS", &[s(CellValue::Bool(false)), s(CellValue::text("no"))]);
+        assert_eq!(out, Err(CellError::Na));
+    }
+
+    #[test]
+    fn switch_with_default() {
+        let args = [
+            s(CellValue::Number(3.0)),
+            s(CellValue::Number(1.0)),
+            s(CellValue::text("one")),
+            s(CellValue::Number(2.0)),
+            s(CellValue::text("two")),
+            s(CellValue::text("other")),
+        ];
+        assert_eq!(call("SWITCH", &args), Ok(CellValue::text("other")));
+        let args = [
+            s(CellValue::Number(2.0)),
+            s(CellValue::Number(1.0)),
+            s(CellValue::text("one")),
+            s(CellValue::Number(2.0)),
+            s(CellValue::text("two")),
+        ];
+        assert_eq!(call("SWITCH", &args), Ok(CellValue::text("two")));
+    }
+}

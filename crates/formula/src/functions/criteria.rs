@@ -1,0 +1,188 @@
+//! Criteria matching for `COUNTIF` / `SUMIF` / `AVERAGEIF`.
+//!
+//! A criteria value is either a direct value (equality match) or a string
+//! with a comparison prefix such as `">=10"` or `"<>done"`. Text equality is
+//! case-insensitive and supports the `*` and `?` wildcards.
+
+use crate::eval::compare_values;
+use af_grid::CellValue;
+use std::cmp::Ordering;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A parsed criteria, ready to match candidate values.
+#[derive(Debug, Clone)]
+pub struct Criteria {
+    op: CmpOp,
+    rhs: CellValue,
+}
+
+impl Criteria {
+    /// Parse the criteria argument of a conditional aggregate.
+    pub fn parse(v: &CellValue) -> Criteria {
+        if let CellValue::Text(s) = v {
+            let (op, rest) = if let Some(r) = s.strip_prefix(">=") {
+                (CmpOp::Ge, r)
+            } else if let Some(r) = s.strip_prefix("<=") {
+                (CmpOp::Le, r)
+            } else if let Some(r) = s.strip_prefix("<>") {
+                (CmpOp::Ne, r)
+            } else if let Some(r) = s.strip_prefix('>') {
+                (CmpOp::Gt, r)
+            } else if let Some(r) = s.strip_prefix('<') {
+                (CmpOp::Lt, r)
+            } else if let Some(r) = s.strip_prefix('=') {
+                (CmpOp::Eq, r)
+            } else {
+                (CmpOp::Eq, s.as_str())
+            };
+            // The comparison target re-parses: numeric text compares as a
+            // number.
+            let rhs = match rest.trim().parse::<f64>() {
+                Ok(n) if !rest.trim().is_empty() => CellValue::Number(n),
+                _ => CellValue::Text(rest.to_string()),
+            };
+            Criteria { op, rhs }
+        } else {
+            Criteria { op: CmpOp::Eq, rhs: v.clone() }
+        }
+    }
+
+    /// Does `candidate` satisfy the criteria?
+    pub fn matches(&self, candidate: &CellValue) -> bool {
+        // Wildcard path: equality/inequality against a text pattern.
+        if let (CmpOp::Eq | CmpOp::Ne, CellValue::Text(pat)) = (self.op, &self.rhs) {
+            if pat.contains('*') || pat.contains('?') {
+                let hit = match candidate {
+                    CellValue::Text(s) => wildcard_match(pat, s),
+                    _ => false,
+                };
+                return if self.op == CmpOp::Eq { hit } else { !hit };
+            }
+        }
+        // Empty cells never satisfy comparison criteria (Excel skips them),
+        // except explicit equality with empty.
+        if candidate.is_empty() {
+            return self.op == CmpOp::Eq && self.rhs.is_empty();
+        }
+        // Numeric criteria only match numeric candidates (Excel: COUNTIF
+        // over text cells with ">10" counts nothing).
+        if matches!(self.rhs, CellValue::Number(_))
+            && !matches!(candidate, CellValue::Number(_) | CellValue::Date(_))
+        {
+            return false;
+        }
+        if matches!(self.rhs, CellValue::Text(_)) && !matches!(candidate, CellValue::Text(_)) {
+            return self.op == CmpOp::Ne;
+        }
+        let ord = compare_values(candidate, &self.rhs);
+        match self.op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Case-insensitive glob match with `*` (any run) and `?` (any one char).
+fn wildcard_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    // Classic two-pointer glob algorithm with backtracking on `*`.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            mark = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(s: &str) -> CellValue {
+        CellValue::text(s)
+    }
+
+    #[test]
+    fn equality_with_value() {
+        let c = Criteria::parse(&text("Brown"));
+        assert!(c.matches(&text("Brown")));
+        assert!(c.matches(&text("brown")), "case-insensitive");
+        assert!(!c.matches(&text("Green")));
+        assert!(!c.matches(&CellValue::Number(3.0)));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let c = Criteria::parse(&text(">=10"));
+        assert!(c.matches(&CellValue::Number(10.0)));
+        assert!(c.matches(&CellValue::Number(11.0)));
+        assert!(!c.matches(&CellValue::Number(9.0)));
+        assert!(!c.matches(&text("12")), "text never satisfies numeric criteria");
+        assert!(!c.matches(&CellValue::Empty));
+    }
+
+    #[test]
+    fn direct_number_criteria() {
+        let c = Criteria::parse(&CellValue::Number(5.0));
+        assert!(c.matches(&CellValue::Number(5.0)));
+        assert!(!c.matches(&CellValue::Number(4.0)));
+    }
+
+    #[test]
+    fn not_equal() {
+        let c = Criteria::parse(&text("<>done"));
+        assert!(c.matches(&text("pending")));
+        assert!(!c.matches(&text("Done")));
+        assert!(c.matches(&CellValue::Number(1.0)), "non-text is <> a text rhs");
+    }
+
+    #[test]
+    fn wildcards() {
+        let c = Criteria::parse(&text("B*n"));
+        assert!(c.matches(&text("Brown")));
+        assert!(c.matches(&text("Bean")));
+        assert!(!c.matches(&text("Browny")));
+        let c = Criteria::parse(&text("?at"));
+        assert!(c.matches(&text("cat")));
+        assert!(!c.matches(&text("flat")));
+    }
+
+    #[test]
+    fn wildcard_edge_cases() {
+        assert!(wildcard_match("*", "anything"));
+        assert!(wildcard_match("*", ""));
+        assert!(!wildcard_match("?", ""));
+        assert!(wildcard_match("a*b*c", "aXXbYYc"));
+        assert!(!wildcard_match("a*b*c", "aXXbYY"));
+    }
+}

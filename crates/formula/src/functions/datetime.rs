@@ -1,0 +1,104 @@
+//! Date functions over serial day numbers (no wall clock — everything is
+//! deterministic).
+
+use super::{arity, number_arg, scalar_arg};
+use crate::eval::Operand;
+use af_grid::value::{date_to_serial, serial_to_date};
+use af_grid::{CellError, CellValue};
+
+pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
+    match name {
+        "DATE" => {
+            arity(args, 3, 3)?;
+            let y = number_arg(args, 0)? as i64;
+            let m = number_arg(args, 1)?;
+            let d = number_arg(args, 2)?;
+            if !(1.0..=12.0).contains(&m) || !(1.0..=31.0).contains(&d) {
+                return Err(CellError::Num);
+            }
+            Ok(CellValue::Date(date_to_serial(y, m as u32, d as u32)))
+        }
+        "YEAR" | "MONTH" | "DAY" | "WEEKDAY" => {
+            arity(args, 1, 1)?;
+            let serial = date_serial_arg(args, 0)?;
+            let (y, m, d) = serial_to_date(serial);
+            let out = match name {
+                "YEAR" => y as f64,
+                "MONTH" => m as f64,
+                "DAY" => d as f64,
+                _ => {
+                    // 1900-01-01 (serial 1) was a Monday; Excel WEEKDAY's
+                    // default mode returns 1 = Sunday … 7 = Saturday.
+                    let dow = (serial % 7 + 7) % 7; // 0 = Sunday for serial 0
+                    (dow + 1) as f64
+                }
+            };
+            Ok(CellValue::Number(out))
+        }
+        "DAYS" => {
+            arity(args, 2, 2)?;
+            let end = date_serial_arg(args, 0)?;
+            let start = date_serial_arg(args, 1)?;
+            Ok(CellValue::Number((end - start) as f64))
+        }
+        _ => Err(CellError::Name),
+    }
+}
+
+fn date_serial_arg(args: &[Operand], i: usize) -> Result<i64, CellError> {
+    match scalar_arg(args, i)? {
+        CellValue::Date(d) => Ok(d),
+        CellValue::Number(n) => Ok(n as i64),
+        CellValue::Error(e) => Err(e),
+        _ => Err(CellError::Value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: f64) -> Operand {
+        Operand::Scalar(CellValue::Number(v))
+    }
+
+    #[test]
+    fn date_construction_and_fields() {
+        let d = call("DATE", &[n(2023.0), n(6.0), n(15.0)]).unwrap();
+        let serial = match d {
+            CellValue::Date(s) => s,
+            _ => panic!("expected date"),
+        };
+        let arg = [Operand::Scalar(CellValue::Date(serial))];
+        assert_eq!(call("YEAR", &arg), Ok(CellValue::Number(2023.0)));
+        assert_eq!(call("MONTH", &arg), Ok(CellValue::Number(6.0)));
+        assert_eq!(call("DAY", &arg), Ok(CellValue::Number(15.0)));
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert_eq!(call("DATE", &[n(2023.0), n(13.0), n(1.0)]), Err(CellError::Num));
+        assert_eq!(call("DATE", &[n(2023.0), n(0.0), n(1.0)]), Err(CellError::Num));
+    }
+
+    #[test]
+    fn days_difference() {
+        let a = date_to_serial(2023, 3, 1);
+        let b = date_to_serial(2023, 2, 1);
+        let out = call(
+            "DAYS",
+            &[Operand::Scalar(CellValue::Date(a)), Operand::Scalar(CellValue::Date(b))],
+        );
+        assert_eq!(out, Ok(CellValue::Number(28.0)));
+    }
+
+    #[test]
+    fn weekday_anchors() {
+        // 1900-01-01 was a Monday → WEEKDAY = 2 in the 1=Sunday convention.
+        let arg = [Operand::Scalar(CellValue::Date(date_to_serial(1900, 1, 1)))];
+        assert_eq!(call("WEEKDAY", &arg), Ok(CellValue::Number(2.0)));
+        // Seven days later is the same weekday.
+        let arg = [Operand::Scalar(CellValue::Date(date_to_serial(1900, 1, 8)))];
+        assert_eq!(call("WEEKDAY", &arg), Ok(CellValue::Number(2.0)));
+    }
+}

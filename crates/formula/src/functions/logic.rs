@@ -1,0 +1,139 @@
+//! Conditional and boolean functions.
+
+use super::{arity, bool_arg, scalar_arg, truthy};
+use crate::eval::Operand;
+use af_grid::{CellError, CellValue};
+
+pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
+    match name {
+        "IF" => {
+            arity(args, 2, 3)?;
+            let cond = bool_arg(args, 0)?;
+            if cond {
+                scalar_arg(args, 1)
+            } else if args.len() == 3 {
+                scalar_arg(args, 2)
+            } else {
+                Ok(CellValue::Bool(false))
+            }
+        }
+        "IFERROR" => {
+            arity(args, 2, 2)?;
+            match scalar_arg(args, 0) {
+                Ok(CellValue::Error(_)) | Err(_) => scalar_arg(args, 1),
+                Ok(v) => Ok(v),
+            }
+        }
+        "AND" | "OR" | "XOR" => {
+            if args.is_empty() {
+                return Err(CellError::Value);
+            }
+            let mut acc = match name {
+                "AND" => true,
+                _ => false,
+            };
+            let mut saw = false;
+            for a in args {
+                for v in a.values() {
+                    if v.is_empty() {
+                        continue;
+                    }
+                    let b = truthy(v)?;
+                    saw = true;
+                    acc = match name {
+                        "AND" => acc && b,
+                        "OR" => acc || b,
+                        _ => acc ^ b,
+                    };
+                }
+            }
+            if !saw {
+                return Err(CellError::Value);
+            }
+            Ok(CellValue::Bool(acc))
+        }
+        "NOT" => {
+            arity(args, 1, 1)?;
+            Ok(CellValue::Bool(!bool_arg(args, 0)?))
+        }
+        "ISBLANK" => {
+            arity(args, 1, 1)?;
+            Ok(CellValue::Bool(scalar_arg(args, 0)?.is_empty()))
+        }
+        "ISNUMBER" => {
+            arity(args, 1, 1)?;
+            Ok(CellValue::Bool(matches!(
+                scalar_arg(args, 0)?,
+                CellValue::Number(_) | CellValue::Date(_)
+            )))
+        }
+        "ISTEXT" => {
+            arity(args, 1, 1)?;
+            Ok(CellValue::Bool(scalar_arg(args, 0)?.is_text()))
+        }
+        _ => Err(CellError::Name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: CellValue) -> Operand {
+        Operand::Scalar(v)
+    }
+
+    #[test]
+    fn if_branches() {
+        let t = s(CellValue::Bool(true));
+        let f = s(CellValue::Bool(false));
+        let yes = s(CellValue::text("yes"));
+        let no = s(CellValue::text("no"));
+        assert_eq!(
+            call("IF", &[t, yes.clone(), no.clone()]),
+            Ok(CellValue::text("yes"))
+        );
+        assert_eq!(call("IF", &[f.clone(), yes.clone(), no]), Ok(CellValue::text("no")));
+        assert_eq!(call("IF", &[f, yes]), Ok(CellValue::Bool(false)));
+    }
+
+    #[test]
+    fn iferror_catches() {
+        let err = s(CellValue::Error(CellError::Div0));
+        let fallback = s(CellValue::Number(0.0));
+        assert_eq!(call("IFERROR", &[err, fallback.clone()]), Ok(CellValue::Number(0.0)));
+        assert_eq!(
+            call("IFERROR", &[s(CellValue::Number(7.0)), fallback]),
+            Ok(CellValue::Number(7.0))
+        );
+    }
+
+    #[test]
+    fn boolean_aggregates() {
+        let t = s(CellValue::Bool(true));
+        let f = s(CellValue::Bool(false));
+        assert_eq!(call("AND", &[t.clone(), t.clone()]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("AND", &[t.clone(), f.clone()]), Ok(CellValue::Bool(false)));
+        assert_eq!(call("OR", &[f.clone(), t.clone()]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("XOR", &[t.clone(), t.clone()]), Ok(CellValue::Bool(false)));
+        assert_eq!(call("XOR", &[t.clone(), f]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("NOT", &[t]), Ok(CellValue::Bool(false)));
+    }
+
+    #[test]
+    fn type_predicates() {
+        assert_eq!(call("ISBLANK", &[s(CellValue::Empty)]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("ISNUMBER", &[s(CellValue::Number(1.0))]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("ISTEXT", &[s(CellValue::text("x"))]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("ISTEXT", &[s(CellValue::Number(1.0))]), Ok(CellValue::Bool(false)));
+    }
+
+    #[test]
+    fn empty_and_errors() {
+        assert_eq!(call("AND", &[]), Err(CellError::Value));
+        assert_eq!(
+            call("NOT", &[s(CellValue::text("banana"))]),
+            Err(CellError::Value)
+        );
+    }
+}

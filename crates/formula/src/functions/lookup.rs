@@ -1,0 +1,260 @@
+//! Lookup and reference functions over array operands.
+
+use super::{arity, number_arg, scalar_arg};
+use crate::eval::{compare_values, ArrayValue, Operand};
+use af_grid::{CellError, CellValue};
+use std::cmp::Ordering;
+
+pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
+    match name {
+        "VLOOKUP" | "HLOOKUP" => {
+            arity(args, 3, 4)?;
+            let needle = scalar_arg(args, 0)?;
+            let table = array_arg(args, 1)?;
+            let idx = number_arg(args, 2)? as u32;
+            let exact = if args.len() == 4 {
+                !super::truthy(&scalar_arg(args, 3)?)?
+            } else {
+                false // default is approximate match
+            };
+            let vertical = name == "VLOOKUP";
+            let lanes = if vertical { table.rows } else { table.cols };
+            let depth = if vertical { table.cols } else { table.rows };
+            if idx == 0 || idx > depth {
+                return Err(CellError::Ref);
+            }
+            let key_at = |lane: u32| -> &CellValue {
+                if vertical {
+                    table.get(lane, 0)
+                } else {
+                    table.get(0, lane)
+                }
+            };
+            let out_at = |lane: u32| -> CellValue {
+                if vertical {
+                    table.get(lane, idx - 1).clone()
+                } else {
+                    table.get(idx - 1, lane).clone()
+                }
+            };
+            if exact {
+                for lane in 0..lanes {
+                    if compare_values(key_at(lane), &needle) == Ordering::Equal {
+                        return Ok(out_at(lane));
+                    }
+                }
+                Err(CellError::Na)
+            } else {
+                // Approximate: largest key <= needle (keys assumed sorted).
+                let mut best: Option<u32> = None;
+                for lane in 0..lanes {
+                    if compare_values(key_at(lane), &needle) != Ordering::Greater {
+                        best = Some(lane);
+                    }
+                }
+                best.map(out_at).ok_or(CellError::Na)
+            }
+        }
+        "INDEX" => {
+            arity(args, 2, 3)?;
+            let table = array_arg(args, 0)?;
+            let row = number_arg(args, 1)? as u32;
+            let col = if args.len() == 3 { number_arg(args, 2)? as u32 } else { 1 };
+            // One-dimensional arrays accept a single index along their axis.
+            let (r, c) = if args.len() == 2 && table.rows == 1 {
+                (1, row)
+            } else {
+                (row, col)
+            };
+            if r == 0 || c == 0 || r > table.rows || c > table.cols {
+                return Err(CellError::Ref);
+            }
+            Ok(table.get(r - 1, c - 1).clone())
+        }
+        "MATCH" => {
+            arity(args, 2, 3)?;
+            let needle = scalar_arg(args, 0)?;
+            let arr = array_arg(args, 1)?;
+            let mode = if args.len() == 3 { number_arg(args, 2)? } else { 1.0 };
+            let n = arr.data.len();
+            if mode == 0.0 {
+                for (i, v) in arr.data.iter().enumerate() {
+                    if compare_values(v, &needle) == Ordering::Equal {
+                        return Ok(CellValue::Number((i + 1) as f64));
+                    }
+                }
+                Err(CellError::Na)
+            } else if mode > 0.0 {
+                // Largest value <= needle.
+                let mut best = None;
+                for (i, v) in arr.data.iter().enumerate().take(n) {
+                    if compare_values(v, &needle) != Ordering::Greater {
+                        best = Some(i + 1);
+                    }
+                }
+                best.map(|i| CellValue::Number(i as f64)).ok_or(CellError::Na)
+            } else {
+                // Smallest value >= needle (array assumed descending).
+                let mut best = None;
+                for (i, v) in arr.data.iter().enumerate().take(n) {
+                    if compare_values(v, &needle) != Ordering::Less {
+                        best = Some(i + 1);
+                    }
+                }
+                best.map(|i| CellValue::Number(i as f64)).ok_or(CellError::Na)
+            }
+        }
+        "CHOOSE" => {
+            if args.len() < 2 {
+                return Err(CellError::Value);
+            }
+            let idx = number_arg(args, 0)? as usize;
+            if idx == 0 || idx >= args.len() {
+                return Err(CellError::Value);
+            }
+            scalar_arg(args, idx)
+        }
+        _ => Err(CellError::Name),
+    }
+}
+
+fn array_arg(args: &[Operand], i: usize) -> Result<ArrayValue, CellError> {
+    match args.get(i) {
+        Some(Operand::Array(a)) => Ok(a.clone()),
+        Some(Operand::Scalar(v)) => Ok(ArrayValue { rows: 1, cols: 1, data: vec![v.clone()] }),
+        None => Err(CellError::Value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3×2 table: names in column 1, scores in column 2.
+    fn table() -> Operand {
+        Operand::Array(ArrayValue {
+            rows: 3,
+            cols: 2,
+            data: vec![
+                CellValue::text("ann"),
+                CellValue::Number(10.0),
+                CellValue::text("bo"),
+                CellValue::Number(20.0),
+                CellValue::text("cy"),
+                CellValue::Number(30.0),
+            ],
+        })
+    }
+
+    fn s(v: CellValue) -> Operand {
+        Operand::Scalar(v)
+    }
+
+    #[test]
+    fn vlookup_exact() {
+        let out = call(
+            "VLOOKUP",
+            &[s(CellValue::text("bo")), table(), s(CellValue::Number(2.0)), s(CellValue::Bool(false))],
+        );
+        assert_eq!(out, Ok(CellValue::Number(20.0)));
+        let miss = call(
+            "VLOOKUP",
+            &[s(CellValue::text("zz")), table(), s(CellValue::Number(2.0)), s(CellValue::Bool(false))],
+        );
+        assert_eq!(miss, Err(CellError::Na));
+    }
+
+    #[test]
+    fn vlookup_approximate() {
+        let nums = Operand::Array(ArrayValue {
+            rows: 3,
+            cols: 2,
+            data: vec![
+                CellValue::Number(0.0),
+                CellValue::text("low"),
+                CellValue::Number(50.0),
+                CellValue::text("mid"),
+                CellValue::Number(90.0),
+                CellValue::text("high"),
+            ],
+        });
+        let out = call("VLOOKUP", &[s(CellValue::Number(75.0)), nums, s(CellValue::Number(2.0))]);
+        assert_eq!(out, Ok(CellValue::text("mid")));
+    }
+
+    #[test]
+    fn index_two_dimensional() {
+        assert_eq!(
+            call("INDEX", &[table(), s(CellValue::Number(3.0)), s(CellValue::Number(2.0))]),
+            Ok(CellValue::Number(30.0))
+        );
+        assert_eq!(
+            call("INDEX", &[table(), s(CellValue::Number(4.0)), s(CellValue::Number(1.0))]),
+            Err(CellError::Ref)
+        );
+    }
+
+    #[test]
+    fn match_modes() {
+        let col = Operand::Array(ArrayValue {
+            rows: 4,
+            cols: 1,
+            data: vec![
+                CellValue::Number(10.0),
+                CellValue::Number(20.0),
+                CellValue::Number(30.0),
+                CellValue::Number(40.0),
+            ],
+        });
+        assert_eq!(
+            call("MATCH", &[s(CellValue::Number(30.0)), col.clone(), s(CellValue::Number(0.0))]),
+            Ok(CellValue::Number(3.0))
+        );
+        assert_eq!(
+            call("MATCH", &[s(CellValue::Number(35.0)), col.clone(), s(CellValue::Number(1.0))]),
+            Ok(CellValue::Number(3.0))
+        );
+        assert_eq!(
+            call("MATCH", &[s(CellValue::Number(5.0)), col, s(CellValue::Number(1.0))]),
+            Err(CellError::Na)
+        );
+    }
+
+    #[test]
+    fn choose_picks_argument() {
+        assert_eq!(
+            call(
+                "CHOOSE",
+                &[s(CellValue::Number(2.0)), s(CellValue::text("a")), s(CellValue::text("b"))]
+            ),
+            Ok(CellValue::text("b"))
+        );
+        assert_eq!(
+            call("CHOOSE", &[s(CellValue::Number(9.0)), s(CellValue::text("a"))]),
+            Err(CellError::Value)
+        );
+    }
+
+    #[test]
+    fn hlookup_transposed() {
+        let row_table = Operand::Array(ArrayValue {
+            rows: 2,
+            cols: 3,
+            data: vec![
+                CellValue::text("q1"),
+                CellValue::text("q2"),
+                CellValue::text("q3"),
+                CellValue::Number(1.0),
+                CellValue::Number(2.0),
+                CellValue::Number(3.0),
+            ],
+        });
+        assert_eq!(
+            call(
+                "HLOOKUP",
+                &[s(CellValue::text("q2")), row_table, s(CellValue::Number(2.0)), s(CellValue::Bool(false))]
+            ),
+            Ok(CellValue::Number(2.0))
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Scalar math functions.
+
+use super::{arity, collect_all_numbers, number_arg};
+use crate::eval::Operand;
+use af_grid::{CellError, CellValue};
+
+pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
+    let num = |v: f64| -> Result<CellValue, CellError> {
+        if v.is_finite() {
+            Ok(CellValue::Number(v))
+        } else {
+            Err(CellError::Num)
+        }
+    };
+    match name {
+        "ABS" => {
+            arity(args, 1, 1)?;
+            num(number_arg(args, 0)?.abs())
+        }
+        "INT" => {
+            arity(args, 1, 1)?;
+            num(number_arg(args, 0)?.floor())
+        }
+        "SQRT" => {
+            arity(args, 1, 1)?;
+            let x = number_arg(args, 0)?;
+            if x < 0.0 {
+                return Err(CellError::Num);
+            }
+            num(x.sqrt())
+        }
+        "EXP" => {
+            arity(args, 1, 1)?;
+            num(number_arg(args, 0)?.exp())
+        }
+        "LN" => {
+            arity(args, 1, 1)?;
+            let x = number_arg(args, 0)?;
+            if x <= 0.0 {
+                return Err(CellError::Num);
+            }
+            num(x.ln())
+        }
+        "LOG10" => {
+            arity(args, 1, 1)?;
+            let x = number_arg(args, 0)?;
+            if x <= 0.0 {
+                return Err(CellError::Num);
+            }
+            num(x.log10())
+        }
+        "SIGN" => {
+            arity(args, 1, 1)?;
+            let x = number_arg(args, 0)?;
+            num(if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            })
+        }
+        "ROUND" | "ROUNDUP" | "ROUNDDOWN" => {
+            arity(args, 1, 2)?;
+            let x = number_arg(args, 0)?;
+            let digits = if args.len() == 2 { number_arg(args, 1)? } else { 0.0 };
+            let factor = 10f64.powi(digits as i32);
+            let scaled = x * factor;
+            let rounded = match name {
+                "ROUND" => round_half_away(scaled),
+                "ROUNDUP" => {
+                    if scaled >= 0.0 {
+                        scaled.ceil()
+                    } else {
+                        scaled.floor()
+                    }
+                }
+                _ => scaled.trunc(),
+            };
+            num(rounded / factor)
+        }
+        "POWER" => {
+            arity(args, 2, 2)?;
+            num(number_arg(args, 0)?.powf(number_arg(args, 1)?))
+        }
+        "MOD" => {
+            arity(args, 2, 2)?;
+            let a = number_arg(args, 0)?;
+            let b = number_arg(args, 1)?;
+            if b == 0.0 {
+                return Err(CellError::Div0);
+            }
+            // Excel MOD has the sign of the divisor.
+            num(a - b * (a / b).floor())
+        }
+        "CEILING" => {
+            arity(args, 1, 2)?;
+            let x = number_arg(args, 0)?;
+            let step = if args.len() == 2 { number_arg(args, 1)? } else { 1.0 };
+            if step == 0.0 {
+                return Ok(CellValue::Number(0.0));
+            }
+            num((x / step).ceil() * step)
+        }
+        "FLOOR" => {
+            arity(args, 1, 2)?;
+            let x = number_arg(args, 0)?;
+            let step = if args.len() == 2 { number_arg(args, 1)? } else { 1.0 };
+            if step == 0.0 {
+                return Err(CellError::Div0);
+            }
+            num((x / step).floor() * step)
+        }
+        "PI" => {
+            arity(args, 0, 0)?;
+            Ok(CellValue::Number(std::f64::consts::PI))
+        }
+        "PRODUCT" => {
+            let nums = collect_all_numbers(args)?;
+            if nums.is_empty() {
+                return Ok(CellValue::Number(0.0));
+            }
+            num(nums.iter().product())
+        }
+        _ => Err(CellError::Name),
+    }
+}
+
+/// Round half away from zero, the spreadsheet convention (`ROUND(2.5,0)` =
+/// 3, `ROUND(-2.5,0)` = -3), unlike Rust's banker-adjacent `f64::round` for
+/// negatives (which also rounds half away, but we keep this explicit).
+fn round_half_away(x: f64) -> f64 {
+    if x >= 0.0 {
+        (x + 0.5).floor()
+    } else {
+        (x - 0.5).ceil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: f64) -> Operand {
+        Operand::Scalar(CellValue::Number(v))
+    }
+
+    fn callf(name: &str, args: &[Operand]) -> CellValue {
+        call(name, args).unwrap()
+    }
+
+    #[test]
+    fn rounding_family() {
+        assert_eq!(callf("ROUND", &[n(2.5)]), CellValue::Number(3.0));
+        assert_eq!(callf("ROUND", &[n(-2.5)]), CellValue::Number(-3.0));
+        assert_eq!(callf("ROUND", &[n(3.14159), n(2.0)]), CellValue::Number(3.14));
+        assert_eq!(callf("ROUNDUP", &[n(3.01)]), CellValue::Number(4.0));
+        assert_eq!(callf("ROUNDDOWN", &[n(3.99)]), CellValue::Number(3.0));
+        assert_eq!(callf("INT", &[n(-3.2)]), CellValue::Number(-4.0));
+    }
+
+    #[test]
+    fn mod_has_divisor_sign() {
+        assert_eq!(callf("MOD", &[n(5.0), n(3.0)]), CellValue::Number(2.0));
+        assert_eq!(callf("MOD", &[n(-5.0), n(3.0)]), CellValue::Number(1.0));
+        assert_eq!(call("MOD", &[n(5.0), n(0.0)]), Err(CellError::Div0));
+    }
+
+    #[test]
+    fn domain_errors() {
+        assert_eq!(call("SQRT", &[n(-1.0)]), Err(CellError::Num));
+        assert_eq!(call("LN", &[n(0.0)]), Err(CellError::Num));
+        assert_eq!(call("LOG10", &[n(-5.0)]), Err(CellError::Num));
+    }
+
+    #[test]
+    fn ceiling_floor() {
+        assert_eq!(callf("CEILING", &[n(2.1), n(0.5)]), CellValue::Number(2.5));
+        assert_eq!(callf("FLOOR", &[n(2.9), n(0.5)]), CellValue::Number(2.5));
+    }
+
+    #[test]
+    fn product_and_pi() {
+        assert_eq!(callf("PRODUCT", &[n(2.0), n(3.0), n(4.0)]), CellValue::Number(24.0));
+        if let CellValue::Number(pi) = callf("PI", &[]) {
+            assert!((pi - std::f64::consts::PI).abs() < 1e-12);
+        } else {
+            panic!("PI should be numeric");
+        }
+    }
+
+    #[test]
+    fn arity_enforced() {
+        assert_eq!(call("ABS", &[]), Err(CellError::Value));
+        assert_eq!(call("POWER", &[n(2.0)]), Err(CellError::Value));
+    }
+}

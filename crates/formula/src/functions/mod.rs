@@ -1,0 +1,166 @@
+//! Built-in function library, dispatched by upper-cased name.
+
+mod conditional_multi;
+mod criteria;
+mod datetime;
+mod logic;
+mod lookup;
+mod math;
+mod stats;
+mod text;
+mod text2;
+
+pub use criteria::Criteria;
+
+use crate::eval::Operand;
+use af_grid::{CellError, CellValue};
+
+/// Call a built-in function. Unknown names are a `#NAME?` error, wrong
+/// arities / bad operand types are `#VALUE!`.
+pub fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
+    let upper = name.to_ascii_uppercase();
+    match upper.as_str() {
+        // --- math ---
+        "ABS" | "INT" | "SQRT" | "EXP" | "LN" | "LOG10" | "SIGN" | "ROUND" | "ROUNDUP"
+        | "ROUNDDOWN" | "POWER" | "MOD" | "CEILING" | "FLOOR" | "PI" | "PRODUCT" => {
+            math::call(&upper, args)
+        }
+        // --- statistics / aggregates ---
+        "SUM" | "AVERAGE" | "COUNT" | "COUNTA" | "COUNTBLANK" | "MIN" | "MAX" | "MEDIAN"
+        | "STDEV" | "VAR" | "LARGE" | "SMALL" | "RANK" | "COUNTIF" | "SUMIF" | "AVERAGEIF" => {
+            stats::call(&upper, args)
+        }
+        // --- logic ---
+        "IF" | "IFERROR" | "AND" | "OR" | "NOT" | "XOR" | "ISBLANK" | "ISNUMBER" | "ISTEXT" => {
+            logic::call(&upper, args)
+        }
+        // --- text ---
+        "CONCATENATE" | "CONCAT" | "LEFT" | "RIGHT" | "MID" | "LEN" | "UPPER" | "LOWER"
+        | "TRIM" | "SUBSTITUTE" | "REPT" | "EXACT" | "FIND" | "VALUE" | "TEXT" => {
+            text::call(&upper, args)
+        }
+        // --- extended text / array / error functions ---
+        "PROPER" | "TEXTJOIN" | "SUMPRODUCT" | "ISERROR" | "ISERR" | "ISNA" | "EDATE"
+        | "EOMONTH" => text2::call(&upper, args),
+        // --- multi-criteria conditionals ---
+        "COUNTIFS" | "SUMIFS" | "AVERAGEIFS" | "MINIFS" | "MAXIFS" | "IFS" | "SWITCH" => {
+            conditional_multi::call(&upper, args)
+        }
+        // --- lookup ---
+        "VLOOKUP" | "HLOOKUP" | "INDEX" | "MATCH" | "CHOOSE" => lookup::call(&upper, args),
+        // --- date/time ---
+        "DATE" | "YEAR" | "MONTH" | "DAY" | "WEEKDAY" | "DAYS" => datetime::call(&upper, args),
+        _ => Err(CellError::Name),
+    }
+}
+
+/// Names of every supported function (for documentation and tests).
+pub fn supported_functions() -> &'static [&'static str] {
+    &[
+        "ABS", "INT", "SQRT", "EXP", "LN", "LOG10", "SIGN", "ROUND", "ROUNDUP", "ROUNDDOWN",
+        "POWER", "MOD", "CEILING", "FLOOR", "PI", "PRODUCT", "SUM", "AVERAGE", "COUNT", "COUNTA",
+        "COUNTBLANK", "MIN", "MAX", "MEDIAN", "STDEV", "VAR", "LARGE", "SMALL", "RANK", "COUNTIF",
+        "SUMIF", "AVERAGEIF", "IF", "IFERROR", "AND", "OR", "NOT", "XOR", "ISBLANK", "ISNUMBER",
+        "ISTEXT", "CONCATENATE", "CONCAT", "LEFT", "RIGHT", "MID", "LEN", "UPPER", "LOWER",
+        "TRIM", "SUBSTITUTE", "REPT", "EXACT", "FIND", "VALUE", "TEXT", "VLOOKUP", "HLOOKUP",
+        "INDEX", "MATCH", "CHOOSE", "DATE", "YEAR", "MONTH", "DAY", "WEEKDAY", "DAYS",
+        "COUNTIFS", "SUMIFS", "AVERAGEIFS", "MINIFS", "MAXIFS", "IFS", "SWITCH", "PROPER",
+        "TEXTJOIN", "SUMPRODUCT", "ISERROR", "ISERR", "ISNA", "EDATE", "EOMONTH",
+    ]
+}
+
+// ---- shared argument helpers -------------------------------------------
+
+pub(crate) fn arity(args: &[Operand], min: usize, max: usize) -> Result<(), CellError> {
+    if args.len() < min || args.len() > max {
+        Err(CellError::Value)
+    } else {
+        Ok(())
+    }
+}
+
+pub(crate) fn scalar_arg(args: &[Operand], i: usize) -> Result<CellValue, CellError> {
+    args.get(i).cloned().ok_or(CellError::Value)?.into_scalar()
+}
+
+pub(crate) fn number_arg(args: &[Operand], i: usize) -> Result<f64, CellError> {
+    let v = scalar_arg(args, i)?;
+    match v {
+        CellValue::Empty => Ok(0.0),
+        CellValue::Error(e) => Err(e),
+        other => other.as_number().ok_or(CellError::Value),
+    }
+}
+
+pub(crate) fn text_arg(args: &[Operand], i: usize) -> Result<String, CellError> {
+    let v = scalar_arg(args, i)?;
+    match v {
+        CellValue::Error(e) => Err(e),
+        other => Ok(other.display()),
+    }
+}
+
+pub(crate) fn bool_arg(args: &[Operand], i: usize) -> Result<bool, CellError> {
+    let v = scalar_arg(args, i)?;
+    truthy(&v)
+}
+
+/// Spreadsheet truthiness: booleans as-is, numbers non-zero, empty false,
+/// text `"TRUE"`/`"FALSE"` literal, other text is a `#VALUE!` error.
+pub(crate) fn truthy(v: &CellValue) -> Result<bool, CellError> {
+    match v {
+        CellValue::Bool(b) => Ok(*b),
+        CellValue::Number(n) => Ok(*n != 0.0),
+        CellValue::Date(d) => Ok(*d != 0),
+        CellValue::Empty => Ok(false),
+        CellValue::Text(s) => match s.to_ascii_uppercase().as_str() {
+            "TRUE" => Ok(true),
+            "FALSE" => Ok(false),
+            _ => Err(CellError::Value),
+        },
+        CellValue::Error(e) => Err(*e),
+    }
+}
+
+pub(crate) fn collect_all_numbers(args: &[Operand]) -> Result<Vec<f64>, CellError> {
+    let mut out = Vec::new();
+    for a in args {
+        a.collect_numbers(&mut out)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_function_is_name_error() {
+        assert_eq!(call("NOPE", &[]), Err(CellError::Name));
+    }
+
+    #[test]
+    fn dispatch_is_case_insensitive() {
+        let args = [Operand::Scalar(CellValue::Number(-3.0))];
+        assert_eq!(call("abs", &args), Ok(CellValue::Number(3.0)));
+    }
+
+    #[test]
+    fn every_listed_function_dispatches() {
+        // Calling with zero args must never yield #NAME? for supported
+        // functions (it may legitimately yield #VALUE! for arity).
+        for f in supported_functions() {
+            let r = call(f, &[]);
+            assert_ne!(r, Err(CellError::Name), "{f} should be dispatched");
+        }
+    }
+
+    #[test]
+    fn truthiness_rules() {
+        assert_eq!(truthy(&CellValue::Number(2.0)), Ok(true));
+        assert_eq!(truthy(&CellValue::Number(0.0)), Ok(false));
+        assert_eq!(truthy(&CellValue::Empty), Ok(false));
+        assert_eq!(truthy(&CellValue::text("TRUE")), Ok(true));
+        assert_eq!(truthy(&CellValue::text("yes")), Err(CellError::Value));
+    }
+}

@@ -1,0 +1,257 @@
+//! Aggregates and conditional aggregates.
+
+use super::criteria::Criteria;
+use super::{arity, collect_all_numbers, number_arg, scalar_arg};
+use crate::eval::Operand;
+use af_grid::{CellError, CellValue};
+
+pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
+    match name {
+        "SUM" => Ok(CellValue::Number(collect_all_numbers(args)?.iter().sum())),
+        "AVERAGE" => {
+            let nums = collect_all_numbers(args)?;
+            if nums.is_empty() {
+                return Err(CellError::Div0);
+            }
+            Ok(CellValue::Number(nums.iter().sum::<f64>() / nums.len() as f64))
+        }
+        "COUNT" => {
+            let mut n = 0usize;
+            for a in args {
+                for v in a.values() {
+                    if matches!(v, CellValue::Number(_) | CellValue::Date(_)) {
+                        n += 1;
+                    }
+                }
+            }
+            Ok(CellValue::Number(n as f64))
+        }
+        "COUNTA" => {
+            let mut n = 0usize;
+            for a in args {
+                for v in a.values() {
+                    if !v.is_empty() {
+                        n += 1;
+                    }
+                }
+            }
+            Ok(CellValue::Number(n as f64))
+        }
+        "COUNTBLANK" => {
+            let mut n = 0usize;
+            for a in args {
+                for v in a.values() {
+                    if v.is_empty() {
+                        n += 1;
+                    }
+                }
+            }
+            Ok(CellValue::Number(n as f64))
+        }
+        "MIN" | "MAX" => {
+            let nums = collect_all_numbers(args)?;
+            if nums.is_empty() {
+                return Ok(CellValue::Number(0.0));
+            }
+            let v = if name == "MIN" {
+                nums.iter().cloned().fold(f64::INFINITY, f64::min)
+            } else {
+                nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            };
+            Ok(CellValue::Number(v))
+        }
+        "MEDIAN" => {
+            let mut nums = collect_all_numbers(args)?;
+            if nums.is_empty() {
+                return Err(CellError::Num);
+            }
+            nums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mid = nums.len() / 2;
+            let v = if nums.len() % 2 == 1 {
+                nums[mid]
+            } else {
+                (nums[mid - 1] + nums[mid]) / 2.0
+            };
+            Ok(CellValue::Number(v))
+        }
+        "STDEV" | "VAR" => {
+            let nums = collect_all_numbers(args)?;
+            if nums.len() < 2 {
+                return Err(CellError::Div0);
+            }
+            let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+            let var = nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                / (nums.len() - 1) as f64;
+            Ok(CellValue::Number(if name == "VAR" { var } else { var.sqrt() }))
+        }
+        "LARGE" | "SMALL" => {
+            arity(args, 2, 2)?;
+            let mut nums = Vec::new();
+            args[0].collect_numbers(&mut nums)?;
+            let k = number_arg(args, 1)? as usize;
+            if k == 0 || k > nums.len() {
+                return Err(CellError::Num);
+            }
+            nums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let v = if name == "SMALL" { nums[k - 1] } else { nums[nums.len() - k] };
+            Ok(CellValue::Number(v))
+        }
+        "RANK" => {
+            arity(args, 2, 3)?;
+            let x = number_arg(args, 0)?;
+            let mut nums = Vec::new();
+            args[1].collect_numbers(&mut nums)?;
+            let ascending = args.len() == 3 && number_arg(args, 2)? != 0.0;
+            let rank = 1 + nums
+                .iter()
+                .filter(|&&v| if ascending { v < x } else { v > x })
+                .count();
+            if !nums.contains(&x) {
+                return Err(CellError::Na);
+            }
+            Ok(CellValue::Number(rank as f64))
+        }
+        "COUNTIF" => {
+            arity(args, 2, 2)?;
+            let criteria = Criteria::parse(&scalar_arg(args, 1)?);
+            let n = args[0].values().filter(|v| criteria.matches(v)).count();
+            Ok(CellValue::Number(n as f64))
+        }
+        "SUMIF" | "AVERAGEIF" => {
+            arity(args, 2, 3)?;
+            let criteria = Criteria::parse(&scalar_arg(args, 1)?);
+            // With 3 args: test on args[0], aggregate args[2]; with 2 args
+            // both roles are args[0].
+            let test: Vec<&CellValue> = args[0].values().collect();
+            let agg: Vec<&CellValue> = if args.len() == 3 {
+                args[2].values().collect()
+            } else {
+                test.clone()
+            };
+            if agg.len() != test.len() {
+                return Err(CellError::Value);
+            }
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for (t, v) in test.iter().zip(agg.iter()) {
+                if criteria.matches(t) {
+                    if let Some(x) = v.as_number() {
+                        sum += x;
+                        n += 1;
+                    }
+                }
+            }
+            if name == "SUMIF" {
+                Ok(CellValue::Number(sum))
+            } else if n == 0 {
+                Err(CellError::Div0)
+            } else {
+                Ok(CellValue::Number(sum / n as f64))
+            }
+        }
+        _ => Err(CellError::Name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ArrayValue;
+
+    fn nums(values: &[f64]) -> Operand {
+        Operand::Array(ArrayValue {
+            rows: values.len() as u32,
+            cols: 1,
+            data: values.iter().map(|&v| CellValue::Number(v)).collect(),
+        })
+    }
+
+    fn texts(values: &[&str]) -> Operand {
+        Operand::Array(ArrayValue {
+            rows: values.len() as u32,
+            cols: 1,
+            data: values.iter().map(|&v| CellValue::text(v)).collect(),
+        })
+    }
+
+    fn s(v: CellValue) -> Operand {
+        Operand::Scalar(v)
+    }
+
+    #[test]
+    fn sum_average_minmax() {
+        assert_eq!(call("SUM", &[nums(&[1.0, 2.0, 3.0])]), Ok(CellValue::Number(6.0)));
+        assert_eq!(call("AVERAGE", &[nums(&[2.0, 4.0])]), Ok(CellValue::Number(3.0)));
+        assert_eq!(call("MIN", &[nums(&[5.0, -1.0, 3.0])]), Ok(CellValue::Number(-1.0)));
+        assert_eq!(call("MAX", &[nums(&[5.0, -1.0, 3.0])]), Ok(CellValue::Number(5.0)));
+        assert_eq!(call("AVERAGE", &[texts(&["a"])]), Err(CellError::Div0));
+    }
+
+    #[test]
+    fn counts() {
+        let mixed = Operand::Array(ArrayValue {
+            rows: 4,
+            cols: 1,
+            data: vec![
+                CellValue::Number(1.0),
+                CellValue::text("x"),
+                CellValue::Empty,
+                CellValue::Bool(true),
+            ],
+        });
+        assert_eq!(call("COUNT", &[mixed.clone()]), Ok(CellValue::Number(1.0)));
+        assert_eq!(call("COUNTA", &[mixed.clone()]), Ok(CellValue::Number(3.0)));
+        assert_eq!(call("COUNTBLANK", &[mixed]), Ok(CellValue::Number(1.0)));
+    }
+
+    #[test]
+    fn countif_paper_example() {
+        // COUNTIF over a column of names counting "Brown".
+        let col = texts(&["Brown", "Green", "Brown", "Gray", "brown"]);
+        let crit = s(CellValue::text("Brown"));
+        assert_eq!(call("COUNTIF", &[col, crit]), Ok(CellValue::Number(3.0)));
+    }
+
+    #[test]
+    fn countif_with_operator() {
+        let col = nums(&[5.0, 10.0, 15.0, 20.0]);
+        assert_eq!(
+            call("COUNTIF", &[col, s(CellValue::text(">10"))]),
+            Ok(CellValue::Number(2.0))
+        );
+    }
+
+    #[test]
+    fn sumif_with_separate_sum_range() {
+        let test = texts(&["a", "b", "a"]);
+        let agg = nums(&[1.0, 2.0, 4.0]);
+        assert_eq!(
+            call("SUMIF", &[test.clone(), s(CellValue::text("a")), agg.clone()]),
+            Ok(CellValue::Number(5.0))
+        );
+        assert_eq!(
+            call("AVERAGEIF", &[test, s(CellValue::text("a")), agg]),
+            Ok(CellValue::Number(2.5))
+        );
+    }
+
+    #[test]
+    fn median_stdev() {
+        assert_eq!(call("MEDIAN", &[nums(&[1.0, 3.0, 2.0])]), Ok(CellValue::Number(2.0)));
+        assert_eq!(call("MEDIAN", &[nums(&[1.0, 2.0, 3.0, 4.0])]), Ok(CellValue::Number(2.5)));
+        assert_eq!(call("VAR", &[nums(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])]),
+            Ok(CellValue::Number(32.0 / 7.0)));
+    }
+
+    #[test]
+    fn large_small_rank() {
+        let col = nums(&[10.0, 40.0, 20.0, 30.0]);
+        assert_eq!(call("LARGE", &[col.clone(), s(CellValue::Number(2.0))]), Ok(CellValue::Number(30.0)));
+        assert_eq!(call("SMALL", &[col.clone(), s(CellValue::Number(1.0))]), Ok(CellValue::Number(10.0)));
+        assert_eq!(call("RANK", &[s(CellValue::Number(30.0)), col.clone()]), Ok(CellValue::Number(2.0)));
+        assert_eq!(
+            call("RANK", &[s(CellValue::Number(99.0)), col]),
+            Err(CellError::Na)
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! String manipulation functions.
+
+use super::{arity, number_arg, scalar_arg, text_arg};
+use crate::eval::Operand;
+use af_grid::{CellError, CellValue};
+
+pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
+    match name {
+        "CONCATENATE" | "CONCAT" => {
+            let mut out = String::new();
+            for a in args {
+                for v in a.values() {
+                    if let CellValue::Error(e) = v {
+                        return Err(*e);
+                    }
+                    out.push_str(&v.display());
+                }
+            }
+            Ok(CellValue::Text(out))
+        }
+        "LEFT" | "RIGHT" => {
+            arity(args, 1, 2)?;
+            let s = text_arg(args, 0)?;
+            let n = if args.len() == 2 { number_arg(args, 1)? } else { 1.0 };
+            if n < 0.0 {
+                return Err(CellError::Value);
+            }
+            let n = n as usize;
+            let chars: Vec<char> = s.chars().collect();
+            let out: String = if name == "LEFT" {
+                chars.iter().take(n).collect()
+            } else {
+                chars.iter().skip(chars.len().saturating_sub(n)).collect()
+            };
+            Ok(CellValue::Text(out))
+        }
+        "MID" => {
+            arity(args, 3, 3)?;
+            let s = text_arg(args, 0)?;
+            let start = number_arg(args, 1)?;
+            let len = number_arg(args, 2)?;
+            if start < 1.0 || len < 0.0 {
+                return Err(CellError::Value);
+            }
+            let out: String = s
+                .chars()
+                .skip(start as usize - 1)
+                .take(len as usize)
+                .collect();
+            Ok(CellValue::Text(out))
+        }
+        "LEN" => {
+            arity(args, 1, 1)?;
+            Ok(CellValue::Number(text_arg(args, 0)?.chars().count() as f64))
+        }
+        "UPPER" => {
+            arity(args, 1, 1)?;
+            Ok(CellValue::Text(text_arg(args, 0)?.to_uppercase()))
+        }
+        "LOWER" => {
+            arity(args, 1, 1)?;
+            Ok(CellValue::Text(text_arg(args, 0)?.to_lowercase()))
+        }
+        "TRIM" => {
+            arity(args, 1, 1)?;
+            // Excel TRIM also collapses interior runs of spaces.
+            let s = text_arg(args, 0)?;
+            let out = s.split_whitespace().collect::<Vec<_>>().join(" ");
+            Ok(CellValue::Text(out))
+        }
+        "SUBSTITUTE" => {
+            arity(args, 3, 4)?;
+            let s = text_arg(args, 0)?;
+            let from = text_arg(args, 1)?;
+            let to = text_arg(args, 2)?;
+            if from.is_empty() {
+                return Ok(CellValue::Text(s));
+            }
+            if args.len() == 4 {
+                let nth = number_arg(args, 3)?;
+                if nth < 1.0 {
+                    return Err(CellError::Value);
+                }
+                let nth = nth as usize;
+                let mut out = String::with_capacity(s.len());
+                let mut rest = s.as_str();
+                let mut count = 0usize;
+                while let Some(idx) = rest.find(&from) {
+                    count += 1;
+                    out.push_str(&rest[..idx]);
+                    if count == nth {
+                        out.push_str(&to);
+                    } else {
+                        out.push_str(&from);
+                    }
+                    rest = &rest[idx + from.len()..];
+                }
+                out.push_str(rest);
+                Ok(CellValue::Text(out))
+            } else {
+                Ok(CellValue::Text(s.replace(&from, &to)))
+            }
+        }
+        "REPT" => {
+            arity(args, 2, 2)?;
+            let s = text_arg(args, 0)?;
+            let n = number_arg(args, 1)?;
+            if !(0.0..=32767.0).contains(&n) {
+                return Err(CellError::Value);
+            }
+            Ok(CellValue::Text(s.repeat(n as usize)))
+        }
+        "EXACT" => {
+            arity(args, 2, 2)?;
+            Ok(CellValue::Bool(text_arg(args, 0)? == text_arg(args, 1)?))
+        }
+        "FIND" => {
+            arity(args, 2, 3)?;
+            let needle = text_arg(args, 0)?;
+            let hay = text_arg(args, 1)?;
+            let start = if args.len() == 3 { number_arg(args, 2)? } else { 1.0 };
+            if start < 1.0 {
+                return Err(CellError::Value);
+            }
+            let chars: Vec<char> = hay.chars().collect();
+            let skip = start as usize - 1;
+            if skip > chars.len() {
+                return Err(CellError::Value);
+            }
+            let suffix: String = chars[skip..].iter().collect();
+            match suffix.find(&needle) {
+                Some(byte_idx) => {
+                    let char_idx = suffix[..byte_idx].chars().count();
+                    Ok(CellValue::Number((skip + char_idx + 1) as f64))
+                }
+                None => Err(CellError::Value),
+            }
+        }
+        "VALUE" => {
+            arity(args, 1, 1)?;
+            let v = scalar_arg(args, 0)?;
+            v.as_number().map(CellValue::Number).ok_or(CellError::Value)
+        }
+        "TEXT" => {
+            // Minimal TEXT: the format argument is accepted but only `0`,
+            // `0.00`-style numeric formats are honoured; everything else
+            // falls back to the display string.
+            arity(args, 1, 2)?;
+            let v = scalar_arg(args, 0)?;
+            if args.len() == 2 {
+                let fmt = text_arg(args, 1)?;
+                if let (Some(n), Some(decimals)) = (v.as_number(), numeric_format_decimals(&fmt)) {
+                    return Ok(CellValue::Text(format!("{n:.decimals$}")));
+                }
+            }
+            Ok(CellValue::Text(v.display()))
+        }
+        _ => Err(CellError::Name),
+    }
+}
+
+/// Parse `0`, `0.0`, `0.00`, … returning the number of decimals.
+fn numeric_format_decimals(fmt: &str) -> Option<usize> {
+    let fmt = fmt.trim();
+    if fmt == "0" {
+        return Some(0);
+    }
+    let rest = fmt.strip_prefix("0.")?;
+    if !rest.is_empty() && rest.bytes().all(|b| b == b'0') {
+        Some(rest.len())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> Operand {
+        Operand::Scalar(CellValue::text(v))
+    }
+
+    fn n(v: f64) -> Operand {
+        Operand::Scalar(CellValue::Number(v))
+    }
+
+    #[test]
+    fn concat_mixed_types() {
+        assert_eq!(
+            call("CONCATENATE", &[s("FY"), n(23.0)]),
+            Ok(CellValue::text("FY23"))
+        );
+    }
+
+    #[test]
+    fn left_right_mid() {
+        assert_eq!(call("LEFT", &[s("Quarter"), n(1.0)]), Ok(CellValue::text("Q")));
+        assert_eq!(call("RIGHT", &[s("FY2023"), n(2.0)]), Ok(CellValue::text("23")));
+        assert_eq!(call("MID", &[s("abcdef"), n(2.0), n(3.0)]), Ok(CellValue::text("bcd")));
+        assert_eq!(call("LEFT", &[s("ab")]), Ok(CellValue::text("a")), "default count 1");
+        assert_eq!(call("RIGHT", &[s("ab"), n(99.0)]), Ok(CellValue::text("ab")));
+    }
+
+    #[test]
+    fn len_counts_chars_not_bytes() {
+        assert_eq!(call("LEN", &[s("héllo")]), Ok(CellValue::Number(5.0)));
+    }
+
+    #[test]
+    fn case_and_trim() {
+        assert_eq!(call("UPPER", &[s("mix")]), Ok(CellValue::text("MIX")));
+        assert_eq!(call("LOWER", &[s("MIX")]), Ok(CellValue::text("mix")));
+        assert_eq!(call("TRIM", &[s("  a   b  ")]), Ok(CellValue::text("a b")));
+    }
+
+    #[test]
+    fn substitute_all_and_nth() {
+        assert_eq!(
+            call("SUBSTITUTE", &[s("a-b-c"), s("-"), s("+")]),
+            Ok(CellValue::text("a+b+c"))
+        );
+        assert_eq!(
+            call("SUBSTITUTE", &[s("a-b-c"), s("-"), s("+"), n(2.0)]),
+            Ok(CellValue::text("a-b+c"))
+        );
+    }
+
+    #[test]
+    fn find_is_case_sensitive_one_based() {
+        assert_eq!(call("FIND", &[s("b"), s("abc")]), Ok(CellValue::Number(2.0)));
+        assert_eq!(call("FIND", &[s("B"), s("abc")]), Err(CellError::Value));
+        assert_eq!(call("FIND", &[s("b"), s("abcb"), n(3.0)]), Ok(CellValue::Number(4.0)));
+    }
+
+    #[test]
+    fn value_and_text() {
+        assert_eq!(call("VALUE", &[s("42.5")]), Ok(CellValue::Number(42.5)));
+        assert_eq!(call("VALUE", &[s("abc")]), Err(CellError::Value));
+        assert_eq!(call("TEXT", &[n(3.14159), s("0.00")]), Ok(CellValue::text("3.14")));
+        assert_eq!(call("TEXT", &[n(3.0), s("0")]), Ok(CellValue::text("3")));
+    }
+
+    #[test]
+    fn exact_and_rept() {
+        assert_eq!(call("EXACT", &[s("ab"), s("ab")]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("EXACT", &[s("ab"), s("AB")]), Ok(CellValue::Bool(false)));
+        assert_eq!(call("REPT", &[s("ab"), n(3.0)]), Ok(CellValue::text("ababab")));
+    }
+}

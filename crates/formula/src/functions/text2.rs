@@ -1,0 +1,210 @@
+//! Second batch of text and array functions: `PROPER`, `TEXTJOIN`,
+//! `SUMPRODUCT`, `ISERROR`/`ISERR`/`ISNA`, and `EDATE`/`EOMONTH`.
+
+use super::{arity, number_arg, scalar_arg, text_arg};
+use crate::eval::Operand;
+use af_grid::value::{date_to_serial, serial_to_date};
+use af_grid::{CellError, CellValue};
+
+pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
+    match name {
+        "PROPER" => {
+            arity(args, 1, 1)?;
+            let s = text_arg(args, 0)?;
+            let mut out = String::with_capacity(s.len());
+            let mut boundary = true;
+            for ch in s.chars() {
+                if ch.is_alphabetic() {
+                    if boundary {
+                        out.extend(ch.to_uppercase());
+                    } else {
+                        out.extend(ch.to_lowercase());
+                    }
+                    boundary = false;
+                } else {
+                    out.push(ch);
+                    boundary = true;
+                }
+            }
+            Ok(CellValue::Text(out))
+        }
+        "TEXTJOIN" => {
+            // TEXTJOIN(delimiter, ignore_empty, value1, …).
+            if args.len() < 3 {
+                return Err(CellError::Value);
+            }
+            let delim = text_arg(args, 0)?;
+            let ignore_empty = super::truthy(&scalar_arg(args, 1)?)?;
+            let mut parts: Vec<String> = Vec::new();
+            for a in &args[2..] {
+                for v in a.values() {
+                    if let CellValue::Error(e) = v {
+                        return Err(*e);
+                    }
+                    let d = v.display();
+                    if !(ignore_empty && d.is_empty()) {
+                        parts.push(d);
+                    }
+                }
+            }
+            Ok(CellValue::Text(parts.join(&delim)))
+        }
+        "SUMPRODUCT" => {
+            if args.is_empty() {
+                return Err(CellError::Value);
+            }
+            let columns: Vec<Vec<f64>> = args
+                .iter()
+                .map(|a| {
+                    a.values()
+                        .map(|v| v.as_number().unwrap_or(0.0))
+                        .collect::<Vec<f64>>()
+                })
+                .collect();
+            let len = columns[0].len();
+            if columns.iter().any(|c| c.len() != len) {
+                return Err(CellError::Value);
+            }
+            let mut total = 0.0;
+            for i in 0..len {
+                total += columns.iter().map(|c| c[i]).product::<f64>();
+            }
+            Ok(CellValue::Number(total))
+        }
+        "ISERROR" | "ISERR" | "ISNA" => {
+            arity(args, 1, 1)?;
+            // Errors must be observable, not propagated.
+            let v = args[0].clone().into_scalar();
+            let out = match (name, v) {
+                ("ISNA", Ok(CellValue::Error(CellError::Na))) => true,
+                ("ISNA", _) => false,
+                ("ISERR", Ok(CellValue::Error(CellError::Na))) => false,
+                (_, Ok(CellValue::Error(_))) | (_, Err(_)) => true,
+                _ => false,
+            };
+            Ok(CellValue::Bool(out))
+        }
+        "EDATE" | "EOMONTH" => {
+            arity(args, 2, 2)?;
+            let serial = match scalar_arg(args, 0)? {
+                CellValue::Date(d) => d,
+                CellValue::Number(n) => n as i64,
+                _ => return Err(CellError::Value),
+            };
+            let months = number_arg(args, 1)? as i64;
+            let (y, m, d) = serial_to_date(serial);
+            let total = y * 12 + (m as i64 - 1) + months;
+            let (ny, nm) = (total.div_euclid(12), total.rem_euclid(12) as u32 + 1);
+            let last = last_day_of_month(ny, nm);
+            let day = if name == "EOMONTH" { last } else { d.min(last) };
+            Ok(CellValue::Date(date_to_serial(ny, nm, day)))
+        }
+        _ => Err(CellError::Name),
+    }
+}
+
+fn last_day_of_month(year: i64, month: u32) -> u32 {
+    let lens = [31u32, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    let mut d = lens[month as usize - 1];
+    let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    if month == 2 && leap {
+        d += 1;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ArrayValue;
+
+    fn s(v: CellValue) -> Operand {
+        Operand::Scalar(v)
+    }
+
+    fn nums(values: &[f64]) -> Operand {
+        Operand::Array(ArrayValue {
+            rows: values.len() as u32,
+            cols: 1,
+            data: values.iter().map(|&v| CellValue::Number(v)).collect(),
+        })
+    }
+
+    #[test]
+    fn proper_title_cases() {
+        assert_eq!(
+            call("PROPER", &[s(CellValue::text("north SALES report"))]),
+            Ok(CellValue::text("North Sales Report"))
+        );
+        assert_eq!(
+            call("PROPER", &[s(CellValue::text("o'brien-smith"))]),
+            Ok(CellValue::text("O'Brien-Smith"))
+        );
+    }
+
+    #[test]
+    fn textjoin_with_ignore_empty() {
+        let vals = Operand::Array(ArrayValue {
+            rows: 3,
+            cols: 1,
+            data: vec![CellValue::text("a"), CellValue::Empty, CellValue::text("b")],
+        });
+        assert_eq!(
+            call("TEXTJOIN", &[s(CellValue::text("-")), s(CellValue::Bool(true)), vals.clone()]),
+            Ok(CellValue::text("a-b"))
+        );
+        assert_eq!(
+            call("TEXTJOIN", &[s(CellValue::text("-")), s(CellValue::Bool(false)), vals]),
+            Ok(CellValue::text("a--b"))
+        );
+    }
+
+    #[test]
+    fn sumproduct_multiplies_lanes() {
+        let a = nums(&[1.0, 2.0, 3.0]);
+        let b = nums(&[4.0, 5.0, 6.0]);
+        assert_eq!(call("SUMPRODUCT", &[a, b]), Ok(CellValue::Number(32.0)));
+        assert_eq!(
+            call("SUMPRODUCT", &[nums(&[1.0]), nums(&[1.0, 2.0])]),
+            Err(CellError::Value)
+        );
+    }
+
+    #[test]
+    fn error_predicates() {
+        let div0 = s(CellValue::Error(CellError::Div0));
+        let na = s(CellValue::Error(CellError::Na));
+        let ok = s(CellValue::Number(1.0));
+        assert_eq!(call("ISERROR", &[div0.clone()]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("ISERROR", &[ok.clone()]), Ok(CellValue::Bool(false)));
+        assert_eq!(call("ISNA", &[na.clone()]), Ok(CellValue::Bool(true)));
+        assert_eq!(call("ISNA", &[div0.clone()]), Ok(CellValue::Bool(false)));
+        assert_eq!(call("ISERR", &[na]), Ok(CellValue::Bool(false)));
+        assert_eq!(call("ISERR", &[div0]), Ok(CellValue::Bool(true)));
+    }
+
+    #[test]
+    fn edate_and_eomonth() {
+        let jan31 = s(CellValue::Date(date_to_serial(2023, 1, 31)));
+        // One month after Jan 31 clamps to Feb 28.
+        assert_eq!(
+            call("EDATE", &[jan31.clone(), s(CellValue::Number(1.0))]),
+            Ok(CellValue::Date(date_to_serial(2023, 2, 28)))
+        );
+        assert_eq!(
+            call("EOMONTH", &[jan31.clone(), s(CellValue::Number(1.0))]),
+            Ok(CellValue::Date(date_to_serial(2023, 2, 28)))
+        );
+        // Negative months cross year boundaries.
+        assert_eq!(
+            call("EDATE", &[jan31, s(CellValue::Number(-2.0))]),
+            Ok(CellValue::Date(date_to_serial(2022, 11, 30)))
+        );
+        // Leap-year February.
+        let jan20 = s(CellValue::Date(date_to_serial(2020, 1, 15)));
+        assert_eq!(
+            call("EOMONTH", &[jan20, s(CellValue::Number(1.0))]),
+            Ok(CellValue::Date(date_to_serial(2020, 2, 29)))
+        );
+    }
+}

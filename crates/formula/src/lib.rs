@@ -1,0 +1,35 @@
+//! `af-formula` — the Excel-style formula language substrate.
+//!
+//! The paper (§3.2) defines a formula `F = F̄(R)` as a *formula template* `F̄`
+//! (the functions and AST structure, with holes) plus *parameter cells* `R`
+//! that fill the holes. Predicting a formula correctly requires predicting
+//! both the template and every parameter cell (§3.3). This crate provides:
+//!
+//! * a lexer and Pratt parser for spreadsheet formulas ([`parse`]),
+//! * the [`ast::Expr`] AST with a canonical printer,
+//! * [`template::Template`] extraction and instantiation,
+//! * an interpreter ([`eval`]) with 70+ built-in functions so generated
+//!   corpora carry *evaluated* formula results, and
+//! * [`analysis`] utilities (complexity, formula-type classification) used
+//!   by the sensitivity experiments (Figs. 10–11).
+
+pub mod analysis;
+pub mod ast;
+pub mod deps;
+pub mod eval;
+pub mod functions;
+pub mod parser;
+pub mod template;
+pub mod token;
+
+pub use analysis::{classify, complexity, FormulaType};
+pub use deps::{precedents, DependencyGraph};
+pub use ast::{BinOp, Expr, UnOp};
+pub use eval::{evaluate, recalculate, EvalError};
+pub use parser::{parse, ParseError};
+pub use template::{Template, TemplateError};
+
+/// Parse a formula that may carry a leading `=` sign.
+pub fn parse_formula(src: &str) -> Result<Expr, ParseError> {
+    parse(src.strip_prefix('=').unwrap_or(src))
+}

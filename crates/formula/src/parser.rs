@@ -1,0 +1,298 @@
+//! A Pratt (precedence-climbing) parser for spreadsheet formulas.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::token::{tokenize, LexError, Token, TokenKind};
+use af_grid::A1Ref;
+use std::fmt;
+
+/// Parse failure, with the byte offset of the offending token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { pos: e.pos, message: e.message }
+    }
+}
+
+/// Parse a formula body (without leading `=`) into an AST.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens: &tokens, i: 0, src_len: src.len(), depth: 0 };
+    let expr = p.expr(0)?;
+    if p.i != tokens.len() {
+        return Err(p.err_here("unexpected trailing tokens"));
+    }
+    Ok(expr)
+}
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    i: usize,
+    src_len: usize,
+    depth: u32,
+}
+
+const MAX_DEPTH: u32 = 128;
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.i).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.i).map(|t| &t.kind);
+        self.i += 1;
+        t
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens.get(self.i).map(|t| t.pos).unwrap_or(self.src_len)
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { pos: self.pos(), message: msg.into() }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.peek() == Some(&kind) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {kind}")))
+        }
+    }
+
+    /// Precedence-climbing expression parser.
+    fn expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err_here("formula nests too deeply"));
+        }
+        let mut lhs = self.prefix()?;
+        // Postfix percent binds tightest.
+        while self.peek() == Some(&TokenKind::Percent) {
+            self.i += 1;
+            lhs = Expr::Unary(UnOp::Percent, Box::new(lhs));
+        }
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                Some(TokenKind::Caret) => BinOp::Pow,
+                Some(TokenKind::Ampersand) => BinOp::Concat,
+                Some(TokenKind::Eq) => BinOp::Eq,
+                Some(TokenKind::Ne) => BinOp::Ne,
+                Some(TokenKind::Lt) => BinOp::Lt,
+                Some(TokenKind::Le) => BinOp::Le,
+                Some(TokenKind::Gt) => BinOp::Gt,
+                Some(TokenKind::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.i += 1;
+            // Left-associative: parse the right side at prec+1.
+            let rhs = self.expr(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        self.depth -= 1;
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Minus) => {
+                self.i += 1;
+                // Unary minus binds tighter than binary operators (Excel
+                // convention: -2^2 = 4).
+                let e = self.prefix()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+            }
+            Some(TokenKind::Plus) => {
+                self.i += 1;
+                let e = self.prefix()?;
+                Ok(Expr::Unary(UnOp::Plus, Box::new(e)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            Some(TokenKind::Number(n)) => {
+                let n = *n;
+                let mut e = Expr::Number(n);
+                while self.peek() == Some(&TokenKind::Percent) {
+                    self.i += 1;
+                    e = Expr::Unary(UnOp::Percent, Box::new(e));
+                }
+                Ok(e)
+            }
+            Some(TokenKind::Str(s)) => Ok(Expr::Text(s.clone())),
+            Some(TokenKind::LParen) => {
+                let e = self.expr(0)?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            Some(TokenKind::Ident(name)) => {
+                let name = name.clone();
+                if self.peek() == Some(&TokenKind::LParen) {
+                    self.i += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr(0)?);
+                            match self.peek() {
+                                Some(TokenKind::Comma) => {
+                                    self.i += 1;
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    return Ok(Expr::Call(name.to_ascii_uppercase(), args));
+                }
+                // Not a call: boolean literal or cell reference / range.
+                let upper = name.to_ascii_uppercase();
+                if upper == "TRUE" {
+                    return Ok(Expr::Bool(true));
+                }
+                if upper == "FALSE" {
+                    return Ok(Expr::Bool(false));
+                }
+                let start: A1Ref = name
+                    .parse()
+                    .map_err(|_| ParseError { pos, message: format!("unknown name {name:?}") })?;
+                if self.peek() == Some(&TokenKind::Colon) {
+                    self.i += 1;
+                    let end_pos = self.pos();
+                    match self.bump() {
+                        Some(TokenKind::Ident(end_name)) => {
+                            let end: A1Ref = end_name.parse().map_err(|_| ParseError {
+                                pos: end_pos,
+                                message: format!("bad range end {end_name:?}"),
+                            })?;
+                            Ok(Expr::Range(start, end))
+                        }
+                        _ => Err(ParseError { pos: end_pos, message: "expected range end".into() }),
+                    }
+                } else {
+                    Ok(Expr::Ref(start))
+                }
+            }
+            Some(other) => {
+                let msg = format!("unexpected token {other}");
+                Err(ParseError { pos, message: msg })
+            }
+            None => Err(ParseError { pos, message: "unexpected end of formula".into() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        parse(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn paper_formulas() {
+        assert_eq!(roundtrip("COUNTIF(C7:C37,C41)"), "COUNTIF(C7:C37,C41)");
+        assert_eq!(roundtrip("COUNTIF(C6:C350,C354)"), "COUNTIF(C6:C350,C354)");
+        assert_eq!(roundtrip("SUM(A12:B40)"), "SUM(A12:B40)");
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(roundtrip("1+2*3"), "1+2*3");
+        assert_eq!(roundtrip("(1+2)*3"), "(1+2)*3");
+        assert_eq!(roundtrip("2^3^2"), "2^3^2");
+        assert_eq!(roundtrip("A1&B1=\"x\""), "A1&B1=\"x\"");
+        assert_eq!(roundtrip("1<2"), "1<2");
+    }
+
+    #[test]
+    fn unary_and_percent() {
+        assert_eq!(roundtrip("-A1"), "-A1");
+        assert_eq!(roundtrip("-2^2"), "-2^2");
+        let e = parse("-2^2").unwrap();
+        // Excel convention: the negation applies first.
+        assert!(matches!(e, Expr::Binary(BinOp::Pow, _, _)));
+        assert_eq!(roundtrip("50%"), "50%");
+        assert_eq!(roundtrip("A1*10%"), "A1*10%");
+    }
+
+    #[test]
+    fn nested_calls() {
+        assert_eq!(
+            roundtrip("IF(SUM(A1:A9)>100,\"big\",\"small\")"),
+            "IF(SUM(A1:A9)>100,\"big\",\"small\")"
+        );
+        assert_eq!(roundtrip("sum(a1:a3)"), "SUM(A1:A3)");
+    }
+
+    #[test]
+    fn empty_arg_list() {
+        assert_eq!(roundtrip("PI()"), "PI()");
+        assert_eq!(roundtrip("RAND()*10"), "RAND()*10");
+    }
+
+    #[test]
+    fn booleans() {
+        assert_eq!(roundtrip("IF(TRUE,1,0)"), "IF(TRUE,1,0)");
+        assert_eq!(roundtrip("false"), "FALSE");
+    }
+
+    #[test]
+    fn absolute_refs() {
+        assert_eq!(roundtrip("VLOOKUP(A2,$D$1:$E$9,2,FALSE)"), "VLOOKUP(A2,$D$1:$E$9,2,FALSE)");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("SUM(").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse("foo").is_err(), "bare unknown name");
+        assert!(parse("1 2").is_err(), "trailing tokens");
+        assert!(parse("SUM(A1:)").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let mut src = String::new();
+        for _ in 0..200 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..200 {
+            src.push(')');
+        }
+        assert!(parse(&src).is_err(), "should refuse pathological nesting");
+    }
+
+    #[test]
+    fn semicolon_separator() {
+        assert_eq!(roundtrip("IF(A1>0;1;2)"), "IF(A1>0,1,2)");
+    }
+}

@@ -1,0 +1,252 @@
+//! Formula templates (§3.2): a formula with its parameter cells replaced by
+//! holes, plus the machinery to re-instantiate the template with new
+//! parameter cells — the heart of step S3's "learn-to-adapt".
+//!
+//! `=COUNTIF(C7:C37,C41)` has template `COUNTIF(_:_,_)` with three holes and
+//! parameters `[C7, C37, C41]`; filling the holes with `[C6, C350, C354]`
+//! yields `=COUNTIF(C6:C350,C354)`.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use af_grid::{A1Ref, CellRef};
+use std::fmt;
+
+/// Template AST: mirrors [`Expr`] but references become numbered holes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExpr {
+    Number(f64),
+    Text(String),
+    Bool(bool),
+    /// Hole for a single cell parameter.
+    Hole(usize),
+    /// Holes for the two endpoints of a range parameter.
+    RangeHole(usize, usize),
+    Call(String, Vec<TExpr>),
+    Binary(BinOp, Box<TExpr>, Box<TExpr>),
+    Unary(UnOp, Box<TExpr>),
+}
+
+/// A formula template `F̄` with `n_holes` parameter slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    pub expr: TExpr,
+    pub n_holes: usize,
+    /// The `$` absolute markers of each original parameter, preserved so
+    /// instantiation reproduces the reference formula's style.
+    abs_markers: Vec<(bool, bool)>,
+}
+
+/// Errors during template instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateError {
+    /// Provided parameter count does not match the number of holes.
+    ArityMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::ArityMismatch { expected, got } => {
+                write!(f, "template expects {expected} parameters, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl Template {
+    /// Extract the template and parameter cells from a concrete formula.
+    /// Parameters are returned in left-to-right source order, matching hole
+    /// numbering.
+    pub fn extract(expr: &Expr) -> (Template, Vec<CellRef>) {
+        let mut params = Vec::new();
+        let mut markers = Vec::new();
+        let texpr = extract_rec(expr, &mut params, &mut markers);
+        (
+            Template { expr: texpr, n_holes: params.len(), abs_markers: markers },
+            params,
+        )
+    }
+
+    /// Fill the holes with `params` (hole `i` takes `params[i]`), restoring
+    /// the original `$` markers.
+    pub fn instantiate(&self, params: &[CellRef]) -> Result<Expr, TemplateError> {
+        if params.len() != self.n_holes {
+            return Err(TemplateError::ArityMismatch { expected: self.n_holes, got: params.len() });
+        }
+        Ok(instantiate_rec(&self.expr, params, &self.abs_markers))
+    }
+
+    /// The human-readable signature, e.g. `COUNTIF(_:_,_)`.
+    pub fn signature(&self) -> String {
+        self.expr.to_string()
+    }
+}
+
+impl fmt::Display for TExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TExpr::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            TExpr::Text(s) => write!(f, "\"{}\"", s.replace('"', "\"\"")),
+            TExpr::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            TExpr::Hole(_) => f.write_str("_"),
+            TExpr::RangeHole(_, _) => f.write_str("_:_"),
+            TExpr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            TExpr::Binary(op, l, r) => write!(f, "{l}{}{r}", op.symbol()),
+            TExpr::Unary(UnOp::Neg, e) => write!(f, "-{e}"),
+            TExpr::Unary(UnOp::Plus, e) => write!(f, "+{e}"),
+            TExpr::Unary(UnOp::Percent, e) => write!(f, "{e}%"),
+        }
+    }
+}
+
+fn extract_rec(
+    expr: &Expr,
+    params: &mut Vec<CellRef>,
+    markers: &mut Vec<(bool, bool)>,
+) -> TExpr {
+    match expr {
+        Expr::Number(n) => TExpr::Number(*n),
+        Expr::Text(s) => TExpr::Text(s.clone()),
+        Expr::Bool(b) => TExpr::Bool(*b),
+        Expr::Ref(r) => {
+            let i = params.len();
+            params.push(r.cell);
+            markers.push((r.abs_col, r.abs_row));
+            TExpr::Hole(i)
+        }
+        Expr::Range(a, b) => {
+            let i = params.len();
+            params.push(a.cell);
+            markers.push((a.abs_col, a.abs_row));
+            params.push(b.cell);
+            markers.push((b.abs_col, b.abs_row));
+            TExpr::RangeHole(i, i + 1)
+        }
+        Expr::Call(name, args) => TExpr::Call(
+            name.clone(),
+            args.iter().map(|a| extract_rec(a, params, markers)).collect(),
+        ),
+        Expr::Binary(op, l, r) => TExpr::Binary(
+            *op,
+            Box::new(extract_rec(l, params, markers)),
+            Box::new(extract_rec(r, params, markers)),
+        ),
+        Expr::Unary(op, e) => TExpr::Unary(*op, Box::new(extract_rec(e, params, markers))),
+    }
+}
+
+fn make_ref(cell: CellRef, marker: (bool, bool)) -> A1Ref {
+    A1Ref { cell, abs_col: marker.0, abs_row: marker.1 }
+}
+
+fn instantiate_rec(texpr: &TExpr, params: &[CellRef], markers: &[(bool, bool)]) -> Expr {
+    match texpr {
+        TExpr::Number(n) => Expr::Number(*n),
+        TExpr::Text(s) => Expr::Text(s.clone()),
+        TExpr::Bool(b) => Expr::Bool(*b),
+        TExpr::Hole(i) => Expr::Ref(make_ref(params[*i], markers[*i])),
+        TExpr::RangeHole(i, j) => Expr::Range(
+            make_ref(params[*i], markers[*i]),
+            make_ref(params[*j], markers[*j]),
+        ),
+        TExpr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter().map(|a| instantiate_rec(a, params, markers)).collect(),
+        ),
+        TExpr::Binary(op, l, r) => Expr::Binary(
+            *op,
+            Box::new(instantiate_rec(l, params, markers)),
+            Box::new(instantiate_rec(r, params, markers)),
+        ),
+        TExpr::Unary(op, e) => Expr::Unary(*op, Box::new(instantiate_rec(e, params, markers))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn paper_running_example() {
+        let reference = parse("COUNTIF(C6:C350,C354)").unwrap();
+        let (template, params) = Template::extract(&reference);
+        assert_eq!(template.signature(), "COUNTIF(_:_,_)");
+        assert_eq!(template.n_holes, 3);
+        let ps: Vec<String> = params.iter().map(|c| c.to_string()).collect();
+        assert_eq!(ps, ["C6", "C350", "C354"]);
+
+        // Adapt into the target sheet's context.
+        let new_params: Vec<CellRef> =
+            ["C7", "C37", "C41"].iter().map(|s| s.parse().unwrap()).collect();
+        let adapted = template.instantiate(&new_params).unwrap();
+        assert_eq!(adapted.to_string(), "COUNTIF(C7:C37,C41)");
+    }
+
+    #[test]
+    fn extract_then_instantiate_is_identity() {
+        for src in [
+            "SUM(A1:A9)",
+            "IF(B2>0,B2*C2,0)",
+            "VLOOKUP(A2,$D$1:$E$9,2,FALSE)",
+            "LEFT(A1,3)&\"-\"&RIGHT(B1,2)",
+            "AVERAGE(A1:A5)+MAX(B1:B5)-1",
+        ] {
+            let e = parse(src).unwrap();
+            let (t, params) = Template::extract(&e);
+            let back = t.instantiate(&params).unwrap();
+            assert_eq!(back, e, "roundtrip of {src}");
+        }
+    }
+
+    #[test]
+    fn absolute_markers_preserved() {
+        let e = parse("VLOOKUP(A2,$D$1:$E$9,2,FALSE)").unwrap();
+        let (t, params) = Template::extract(&e);
+        let shifted: Vec<CellRef> = params.iter().map(|c| c.offset(1, 0).unwrap()).collect();
+        let out = t.instantiate(&shifted).unwrap();
+        assert_eq!(out.to_string(), "VLOOKUP(A3,$D$2:$E$10,2,FALSE)");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let e = parse("SUM(A1:A9)").unwrap();
+        let (t, _) = Template::extract(&e);
+        let err = t.instantiate(&["A1".parse().unwrap()]).unwrap_err();
+        assert_eq!(err, TemplateError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn constant_only_formula_has_no_holes() {
+        let e = parse("1+2*3").unwrap();
+        let (t, params) = Template::extract(&e);
+        assert_eq!(t.n_holes, 0);
+        assert!(params.is_empty());
+        assert_eq!(t.instantiate(&[]).unwrap(), e);
+    }
+
+    #[test]
+    fn signatures_group_same_logic() {
+        let a = parse("COUNTIF(C7:C37,C41)").unwrap();
+        let b = parse("COUNTIF(C6:C350,C354)").unwrap();
+        assert_eq!(Template::extract(&a).0.signature(), Template::extract(&b).0.signature());
+        let c = parse("SUMIF(C7:C37,C41)").unwrap();
+        assert_ne!(Template::extract(&a).0.signature(), Template::extract(&c).0.signature());
+    }
+}

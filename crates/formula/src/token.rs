@@ -1,0 +1,358 @@
+//! Lexer for spreadsheet formulas.
+//!
+//! Cell references look like identifiers (`C41`), so the lexer emits a
+//! single `Ident` token class for words (which may contain `$` markers); the
+//! parser decides whether an identifier is a function name (followed by
+//! `(`), a cell reference, or a boolean literal.
+
+use std::fmt;
+
+/// A lexical token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Number(f64),
+    /// A double-quoted string literal (quotes stripped, `""` unescaped).
+    Str(String),
+    /// A word: function name, cell reference (possibly with `$`), or
+    /// boolean literal.
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    Ampersand,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Caret => f.write_str("^"),
+            TokenKind::Ampersand => f.write_str("&"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Ne => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+        }
+    }
+}
+
+/// Lexing failure: an unexpected character or unterminated string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a formula body (no leading `=`).
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::with_capacity(src.len() / 2 + 1);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let pos = i;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            b',' | b';' => {
+                // Some locales use `;` as the argument separator.
+                i += 1;
+                TokenKind::Comma
+            }
+            b':' => {
+                i += 1;
+                TokenKind::Colon
+            }
+            b'+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            b'-' => {
+                i += 1;
+                TokenKind::Minus
+            }
+            b'*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            b'/' => {
+                i += 1;
+                TokenKind::Slash
+            }
+            b'^' => {
+                i += 1;
+                TokenKind::Caret
+            }
+            b'&' => {
+                i += 1;
+                TokenKind::Ampersand
+            }
+            b'%' => {
+                i += 1;
+                TokenKind::Percent
+            }
+            b'=' => {
+                i += 1;
+                TokenKind::Eq
+            }
+            b'<' => {
+                i += 1;
+                match bytes.get(i) {
+                    Some(b'=') => {
+                        i += 1;
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        i += 1;
+                        TokenKind::Ne
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            // Multi-byte UTF-8: copy the full scalar.
+                            let ch_len = utf8_len(c);
+                            s.push_str(&src[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                        None => {
+                            return Err(LexError {
+                                pos,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Exponent part (1E5, 2.5e-3).
+                if i < bytes.len() && (bytes[i] | 0x20) == b'e' {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    pos,
+                    message: format!("bad number literal {text:?}"),
+                })?;
+                TokenKind::Number(n)
+            }
+            b'$' | b'_' => {
+                i += 1;
+                let start = pos;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'$'
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                TokenKind::Ident(src[start..i].to_string())
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'$'
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                TokenKind::Ident(src[start..i].to_string())
+            }
+            other => {
+                return Err(LexError {
+                    pos,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        };
+        tokens.push(Token { kind, pos });
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn paper_formula_tokens() {
+        let k = kinds("COUNTIF(C7:C37,C41)");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("COUNTIF".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("C7".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("C37".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("C41".into()),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("1"), vec![TokenKind::Number(1.0)]);
+        assert_eq!(kinds("3.25"), vec![TokenKind::Number(3.25)]);
+        assert_eq!(kinds("2.5e-3"), vec![TokenKind::Number(0.0025)]);
+        assert_eq!(kinds("1E5"), vec![TokenKind::Number(100000.0)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5)]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("\"hi\""), vec![TokenKind::Str("hi".into())]);
+        assert_eq!(kinds("\"a\"\"b\""), vec![TokenKind::Str("a\"b".into())]);
+        assert!(tokenize("\"open").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("A1<>B2"),
+            vec![
+                TokenKind::Ident("A1".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("B2".into())
+            ]
+        );
+        assert_eq!(kinds("<=")[0], TokenKind::Le);
+        assert_eq!(kinds(">=")[0], TokenKind::Ge);
+    }
+
+    #[test]
+    fn absolute_refs_lex_as_single_ident() {
+        assert_eq!(kinds("$C$41"), vec![TokenKind::Ident("$C$41".into())]);
+    }
+
+    #[test]
+    fn semicolon_is_argument_separator() {
+        assert_eq!(kinds(";"), vec![TokenKind::Comma]);
+    }
+
+    #[test]
+    fn whitespace_skipped() {
+        assert_eq!(kinds(" 1 + 2 ").len(), 3);
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = tokenize("1 # 2").unwrap_err();
+        assert_eq!(err.pos, 2);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("\"héllo✓\""), vec![TokenKind::Str("héllo✓".into())]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests on the evaluator: algebraic identities that must
+//! hold for arbitrary sheet data.
+
+use af_formula::{evaluate, parse_formula};
+use af_grid::{Cell, CellRef, CellValue, Sheet};
+use proptest::prelude::*;
+
+fn column_sheet(values: &[f64]) -> Sheet {
+    let mut s = Sheet::new("p");
+    for (i, v) in values.iter().enumerate() {
+        s.set(CellRef::new(i as u32, 0), Cell::new(*v));
+    }
+    s
+}
+
+fn eval_num(src: &str, sheet: &Sheet) -> f64 {
+    match evaluate(&parse_formula(src).unwrap(), sheet) {
+        Ok(CellValue::Number(n)) => n,
+        other => panic!("{src} -> {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sum_equals_iterated_addition(values in prop::collection::vec(-1e4f64..1e4, 1..40)) {
+        let sheet = column_sheet(&values);
+        let end = values.len();
+        let sum = eval_num(&format!("SUM(A1:A{end})"), &sheet);
+        let manual: f64 = values.iter().sum();
+        prop_assert!((sum - manual).abs() < 1e-6 * (1.0 + manual.abs()));
+    }
+
+    #[test]
+    fn average_is_sum_over_count(values in prop::collection::vec(-1e3f64..1e3, 1..30)) {
+        let sheet = column_sheet(&values);
+        let end = values.len();
+        let avg = eval_num(&format!("AVERAGE(A1:A{end})"), &sheet);
+        let sum = eval_num(&format!("SUM(A1:A{end})"), &sheet);
+        let count = eval_num(&format!("COUNT(A1:A{end})"), &sheet);
+        prop_assert!((avg - sum / count).abs() < 1e-9 * (1.0 + avg.abs()));
+    }
+
+    #[test]
+    fn min_le_median_le_max(values in prop::collection::vec(-1e3f64..1e3, 1..30)) {
+        let sheet = column_sheet(&values);
+        let end = values.len();
+        let min = eval_num(&format!("MIN(A1:A{end})"), &sheet);
+        let med = eval_num(&format!("MEDIAN(A1:A{end})"), &sheet);
+        let max = eval_num(&format!("MAX(A1:A{end})"), &sheet);
+        prop_assert!(min <= med + 1e-9 && med <= max + 1e-9);
+    }
+
+    #[test]
+    fn countif_partitions(values in prop::collection::vec(-100f64..100.0, 1..30), cut in -100f64..100.0) {
+        let sheet = column_sheet(&values);
+        let end = values.len();
+        let above = eval_num(&format!("COUNTIF(A1:A{end},\">{cut}\")"), &sheet);
+        let at_or_below = eval_num(&format!("COUNTIF(A1:A{end},\"<={cut}\")"), &sheet);
+        prop_assert_eq!((above + at_or_below) as usize, values.len());
+    }
+
+    #[test]
+    fn sumif_splits_sum(values in prop::collection::vec(-100f64..100.0, 1..30), cut in -100f64..100.0) {
+        let sheet = column_sheet(&values);
+        let end = values.len();
+        let total = eval_num(&format!("SUM(A1:A{end})"), &sheet);
+        let pos = eval_num(&format!("SUMIF(A1:A{end},\">{cut}\")"), &sheet);
+        let neg = eval_num(&format!("SUMIF(A1:A{end},\"<={cut}\")"), &sheet);
+        prop_assert!((pos + neg - total).abs() < 1e-6 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn arithmetic_matches_rust(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let sheet = Sheet::new("e");
+        let sum = eval_num(&format!("{a}+{b}"), &sheet);
+        prop_assert!((sum - (a + b)).abs() <= 1e-9 * (1.0 + (a + b).abs()));
+        let prod = eval_num(&format!("{a}*{b}"), &sheet);
+        prop_assert!((prod - a * b).abs() <= 1e-6 * (1.0 + (a * b).abs()));
+    }
+
+    #[test]
+    fn string_functions_compose(s in "[a-zA-Z0-9 ]{0,20}") {
+        let sheet = Sheet::new("e");
+        let quoted = format!("\"{s}\"");
+        let len = eval_num(&format!("LEN({quoted})"), &sheet);
+        prop_assert_eq!(len as usize, s.chars().count());
+        // LEFT + RIGHT of split lengths reassemble the string.
+        if !s.is_empty() {
+            let k = s.len() / 2;
+            let joined = evaluate(
+                &parse_formula(&format!(
+                    "LEFT({quoted},{k})&RIGHT({quoted},{})",
+                    s.chars().count() - k
+                ))
+                .unwrap(),
+                &sheet,
+            )
+            .unwrap();
+            prop_assert_eq!(joined, CellValue::text(s.clone()));
+        }
+    }
+}

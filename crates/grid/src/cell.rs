@@ -1,0 +1,73 @@
+//! A single grid cell: value + style + optional formula source.
+
+use crate::style::CellStyle;
+use crate::value::CellValue;
+
+/// One cell of a spreadsheet. When `formula` is `Some`, `value` holds the
+/// cached evaluation result (spreadsheets store both; the paper's featurizer
+/// deliberately uses only the *value*, never the formula text, to avoid
+/// leaking the label — see §4.4.1 footnote 2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cell {
+    pub value: CellValue,
+    pub style: CellStyle,
+    /// Formula source without the leading `=`, e.g. `COUNTIF(C7:C37,C41)`.
+    pub formula: Option<String>,
+}
+
+impl Cell {
+    pub fn new(value: impl Into<CellValue>) -> Self {
+        Cell { value: value.into(), ..Default::default() }
+    }
+
+    pub fn styled(value: impl Into<CellValue>, style: CellStyle) -> Self {
+        Cell { value: value.into(), style, formula: None }
+    }
+
+    pub fn with_formula(mut self, formula: impl Into<String>) -> Self {
+        self.formula = Some(formula.into());
+        self
+    }
+
+    pub fn with_style(mut self, style: CellStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    pub fn has_formula(&self) -> bool {
+        self.formula.is_some()
+    }
+
+    /// True when the cell carries no information at all (empty value,
+    /// default style, no formula) — such cells need not be stored.
+    pub fn is_blank(&self) -> bool {
+        self.value.is_empty() && self.formula.is_none() && self.style.is_default()
+    }
+}
+
+impl From<CellValue> for Cell {
+    fn from(value: CellValue) -> Self {
+        Cell { value, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::Color;
+
+    #[test]
+    fn blank_detection() {
+        assert!(Cell::default().is_blank());
+        assert!(!Cell::new(1.0).is_blank());
+        assert!(!Cell::default().with_formula("SUM(A1:A2)").is_blank());
+        assert!(!Cell::styled(CellValue::Empty, CellStyle::header(Color::new(1, 2, 3))).is_blank());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = Cell::new("Total").with_formula("SUM(B2:B9)");
+        assert!(c.has_formula());
+        assert_eq!(c.value.display(), "Total");
+    }
+}

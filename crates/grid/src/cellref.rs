@@ -1,0 +1,325 @@
+//! Cell and range references in A1 notation.
+//!
+//! `CellRef` is a plain zero-based (row, col) coordinate; `A1Ref` adds the
+//! `$` absolute markers that appear inside formulas; `RangeRef` is a
+//! normalized rectangular range such as `C7:C37`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A zero-based cell coordinate. `C41` in a spreadsheet UI is
+/// `CellRef { row: 40, col: 2 }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellRef {
+    pub row: u32,
+    pub col: u32,
+}
+
+impl CellRef {
+    pub const fn new(row: u32, col: u32) -> Self {
+        CellRef { row, col }
+    }
+
+    /// Offset by a signed delta, returning `None` when the result would fall
+    /// off the top/left edge of the sheet.
+    pub fn offset(&self, drow: i64, dcol: i64) -> Option<CellRef> {
+        let row = self.row as i64 + drow;
+        let col = self.col as i64 + dcol;
+        if row < 0 || col < 0 || row > u32::MAX as i64 || col > u32::MAX as i64 {
+            None
+        } else {
+            Some(CellRef::new(row as u32, col as u32))
+        }
+    }
+
+    /// Render the column index in spreadsheet letters (0 → `A`, 25 → `Z`,
+    /// 26 → `AA`).
+    pub fn col_letters(col: u32) -> String {
+        let mut n = col as u64 + 1;
+        let mut out = Vec::new();
+        while n > 0 {
+            let rem = ((n - 1) % 26) as u8;
+            out.push(b'A' + rem);
+            n = (n - 1) / 26;
+        }
+        out.reverse();
+        String::from_utf8(out).expect("ASCII letters")
+    }
+
+    /// Parse spreadsheet column letters (`A` → 0, `AA` → 26). Returns `None`
+    /// for empty or non-alphabetic input.
+    pub fn parse_col_letters(s: &str) -> Option<u32> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut n: u64 = 0;
+        for ch in s.chars() {
+            let ch = ch.to_ascii_uppercase();
+            if !ch.is_ascii_uppercase() {
+                return None;
+            }
+            n = n * 26 + (ch as u64 - 'A' as u64 + 1);
+            if n > u32::MAX as u64 {
+                return None;
+            }
+        }
+        Some((n - 1) as u32)
+    }
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", CellRef::col_letters(self.col), self.row + 1)
+    }
+}
+
+impl FromStr for CellRef {
+    type Err = RefParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let a1: A1Ref = s.parse()?;
+        Ok(a1.cell)
+    }
+}
+
+/// Error returned when an A1 reference cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefParseError {
+    pub input: String,
+}
+
+impl fmt::Display for RefParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid A1 reference: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for RefParseError {}
+
+/// A cell reference as written inside a formula, with `$` absolute markers.
+/// `$C$41` pins both axes; plain `C41` is fully relative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct A1Ref {
+    pub cell: CellRef,
+    pub abs_col: bool,
+    pub abs_row: bool,
+}
+
+impl A1Ref {
+    pub const fn relative(cell: CellRef) -> Self {
+        A1Ref { cell, abs_col: false, abs_row: false }
+    }
+
+    pub const fn absolute(cell: CellRef) -> Self {
+        A1Ref { cell, abs_col: true, abs_row: true }
+    }
+}
+
+impl fmt::Display for A1Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.abs_col {
+            f.write_str("$")?;
+        }
+        f.write_str(&CellRef::col_letters(self.cell.col))?;
+        if self.abs_row {
+            f.write_str("$")?;
+        }
+        write!(f, "{}", self.cell.row + 1)
+    }
+}
+
+impl FromStr for A1Ref {
+    type Err = RefParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || RefParseError { input: s.to_string() };
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        let abs_col = bytes.first() == Some(&b'$');
+        if abs_col {
+            i += 1;
+        }
+        let col_start = i;
+        while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+            i += 1;
+        }
+        if i == col_start {
+            return Err(err());
+        }
+        let col = CellRef::parse_col_letters(&s[col_start..i]).ok_or_else(err)?;
+        let abs_row = bytes.get(i) == Some(&b'$');
+        if abs_row {
+            i += 1;
+        }
+        let row_start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == row_start || i != bytes.len() {
+            return Err(err());
+        }
+        let row: u32 = s[row_start..i].parse().map_err(|_| err())?;
+        if row == 0 {
+            return Err(err());
+        }
+        Ok(A1Ref { cell: CellRef::new(row - 1, col), abs_col, abs_row })
+    }
+}
+
+/// A normalized rectangular range (`start` is the top-left corner, `end` the
+/// bottom-right, both inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RangeRef {
+    pub start: CellRef,
+    pub end: CellRef,
+}
+
+impl RangeRef {
+    /// Build a range from two corners in any order; the result is normalized.
+    pub fn new(a: CellRef, b: CellRef) -> Self {
+        RangeRef {
+            start: CellRef::new(a.row.min(b.row), a.col.min(b.col)),
+            end: CellRef::new(a.row.max(b.row), a.col.max(b.col)),
+        }
+    }
+
+    pub fn single(cell: CellRef) -> Self {
+        RangeRef { start: cell, end: cell }
+    }
+
+    pub fn rows(&self) -> u32 {
+        self.end.row - self.start.row + 1
+    }
+
+    pub fn cols(&self) -> u32 {
+        self.end.col - self.start.col + 1
+    }
+
+    pub fn len(&self) -> u64 {
+        self.rows() as u64 * self.cols() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // a normalized range always covers at least one cell
+    }
+
+    pub fn contains(&self, cell: CellRef) -> bool {
+        cell.row >= self.start.row
+            && cell.row <= self.end.row
+            && cell.col >= self.start.col
+            && cell.col <= self.end.col
+    }
+
+    /// Iterate all cells in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = CellRef> + '_ {
+        let (r0, r1) = (self.start.row, self.end.row);
+        let (c0, c1) = (self.start.col, self.end.col);
+        (r0..=r1).flat_map(move |r| (c0..=c1).map(move |c| CellRef::new(r, c)))
+    }
+}
+
+impl fmt::Display for RangeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.start == self.end {
+            write!(f, "{}", self.start)
+        } else {
+            write!(f, "{}:{}", self.start, self.end)
+        }
+    }
+}
+
+impl FromStr for RangeRef {
+    type Err = RefParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once(':') {
+            Some((a, b)) => {
+                let a: A1Ref = a.parse()?;
+                let b: A1Ref = b.parse()?;
+                Ok(RangeRef::new(a.cell, b.cell))
+            }
+            None => {
+                let a: A1Ref = s.parse()?;
+                Ok(RangeRef::single(a.cell))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_letters_round_trip() {
+        for col in [0u32, 1, 25, 26, 27, 51, 52, 701, 702, 703, 16383] {
+            let s = CellRef::col_letters(col);
+            assert_eq!(CellRef::parse_col_letters(&s), Some(col), "col {col} -> {s}");
+        }
+        assert_eq!(CellRef::col_letters(0), "A");
+        assert_eq!(CellRef::col_letters(25), "Z");
+        assert_eq!(CellRef::col_letters(26), "AA");
+        assert_eq!(CellRef::col_letters(701), "ZZ");
+        assert_eq!(CellRef::col_letters(702), "AAA");
+    }
+
+    #[test]
+    fn paper_example_refs() {
+        let d41: CellRef = "D41".parse().unwrap();
+        assert_eq!(d41, CellRef::new(40, 3));
+        let c7: CellRef = "C7".parse().unwrap();
+        assert_eq!(c7, CellRef::new(6, 2));
+        assert_eq!(d41.to_string(), "D41");
+    }
+
+    #[test]
+    fn absolute_markers() {
+        let r: A1Ref = "$C$41".parse().unwrap();
+        assert!(r.abs_col && r.abs_row);
+        assert_eq!(r.to_string(), "$C$41");
+        let r: A1Ref = "C$41".parse().unwrap();
+        assert!(!r.abs_col && r.abs_row);
+        assert_eq!(r.to_string(), "C$41");
+        let r: A1Ref = "$C41".parse().unwrap();
+        assert!(r.abs_col && !r.abs_row);
+    }
+
+    #[test]
+    fn bad_refs_rejected() {
+        for bad in ["", "41", "C", "C0", "C-1", "1C", "C41X", "$", "C$"] {
+            assert!(bad.parse::<A1Ref>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn range_normalizes_and_contains() {
+        let r: RangeRef = "C37:C7".parse().unwrap();
+        assert_eq!(r.start, CellRef::new(6, 2));
+        assert_eq!(r.end, CellRef::new(36, 2));
+        assert_eq!(r.to_string(), "C7:C37");
+        assert_eq!(r.len(), 31);
+        assert!(r.contains("C20".parse().unwrap()));
+        assert!(!r.contains("D20".parse().unwrap()));
+    }
+
+    #[test]
+    fn range_cells_row_major() {
+        let r: RangeRef = "A1:B2".parse().unwrap();
+        let cells: Vec<String> = r.cells().map(|c| c.to_string()).collect();
+        assert_eq!(cells, ["A1", "B1", "A2", "B2"]);
+    }
+
+    #[test]
+    fn offset_clamps_at_origin() {
+        let c = CellRef::new(0, 0);
+        assert_eq!(c.offset(-1, 0), None);
+        assert_eq!(c.offset(0, -1), None);
+        assert_eq!(c.offset(3, 2), Some(CellRef::new(3, 2)));
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        let r: CellRef = "c41".parse().unwrap();
+        assert_eq!(r, CellRef::new(40, 2));
+    }
+}

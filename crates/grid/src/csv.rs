@@ -1,0 +1,166 @@
+//! CSV interop: import plain tables into sheets and export sheet values —
+//! the bridge between this substrate and the CSV-era corpora tools
+//! (Mondrian's original domain) and a convenient test fixture format.
+//!
+//! Dialect: comma separator, `"` quoting with `""` escapes, `\n` or `\r\n`
+//! row ends. Import infers numbers and booleans; everything else is text.
+
+use crate::cell::Cell;
+use crate::cellref::CellRef;
+use crate::sheet::Sheet;
+use crate::value::CellValue;
+
+/// Parse CSV text into a sheet (top-left anchored at A1).
+pub fn sheet_from_csv(name: &str, csv: &str) -> Sheet {
+    let mut sheet = Sheet::new(name);
+    for (r, row) in parse_rows(csv).into_iter().enumerate() {
+        for (c, field) in row.into_iter().enumerate() {
+            let value = infer_value(&field);
+            if !value.is_empty() {
+                sheet.set(CellRef::new(r as u32, c as u32), Cell::new(value));
+            }
+        }
+    }
+    sheet
+}
+
+/// Export the used range of a sheet as CSV (display values; formulas
+/// export their cached results, like "paste values").
+pub fn sheet_to_csv(sheet: &Sheet) -> String {
+    let Some(range) = sheet.used_range() else {
+        return String::new();
+    };
+    let mut out = String::new();
+    for r in range.start.row..=range.end.row {
+        for c in range.start.col..=range.end.col {
+            if c > range.start.col {
+                out.push(',');
+            }
+            let display = sheet.value(CellRef::new(r, c)).display();
+            out.push_str(&quote_field(&display));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn infer_value(field: &str) -> CellValue {
+    if field.is_empty() {
+        return CellValue::Empty;
+    }
+    if let Ok(n) = field.parse::<f64>() {
+        if n.is_finite() {
+            return CellValue::Number(n);
+        }
+    }
+    match field {
+        "TRUE" | "true" => CellValue::Bool(true),
+        "FALSE" | "false" => CellValue::Bool(false),
+        _ => CellValue::Text(field.to_string()),
+    }
+}
+
+fn parse_rows(csv: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = csv.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                other => field.push(other),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut field)),
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn import_infers_types() {
+        let s = sheet_from_csv("t", "Region,Units,Active\nNorth,120,TRUE\nSouth,80.5,false\n");
+        assert_eq!(s.value("A1".parse().unwrap()), CellValue::text("Region"));
+        assert_eq!(s.value("B2".parse().unwrap()), CellValue::Number(120.0));
+        assert_eq!(s.value("B3".parse().unwrap()), CellValue::Number(80.5));
+        assert_eq!(s.value("C2".parse().unwrap()), CellValue::Bool(true));
+        assert_eq!(s.value("C3".parse().unwrap()), CellValue::Bool(false));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let s = sheet_from_csv("t", "\"a,b\",\"say \"\"hi\"\"\"\nplain,2\n");
+        assert_eq!(s.value("A1".parse().unwrap()), CellValue::text("a,b"));
+        assert_eq!(s.value("B1".parse().unwrap()), CellValue::text("say \"hi\""));
+    }
+
+    #[test]
+    fn round_trip_values() {
+        let csv = "Name,Score\nAnn,10\nBo,20\n";
+        let s = sheet_from_csv("t", csv);
+        assert_eq!(sheet_to_csv(&s), csv);
+    }
+
+    #[test]
+    fn export_quotes_when_needed() {
+        let mut s = Sheet::new("t");
+        s.set_a1("A1", Cell::new("has,comma"));
+        s.set_a1("B1", Cell::new("has\"quote"));
+        let out = sheet_to_csv(&s);
+        assert_eq!(out, "\"has,comma\",\"has\"\"quote\"\n");
+        // Round-trips back.
+        let back = sheet_from_csv("t", &out);
+        assert_eq!(back.value("A1".parse().unwrap()), CellValue::text("has,comma"));
+        assert_eq!(back.value("B1".parse().unwrap()), CellValue::text("has\"quote"));
+    }
+
+    #[test]
+    fn empty_cells_skipped() {
+        let s = sheet_from_csv("t", "a,,c\n");
+        assert_eq!(s.len(), 2);
+        assert!(s.value("B1".parse().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let s = sheet_from_csv("t", "a,b\r\nc,d");
+        assert_eq!(s.value("A2".parse().unwrap()), CellValue::text("c"));
+        assert_eq!(s.value("B2".parse().unwrap()), CellValue::text("d"));
+    }
+
+    #[test]
+    fn empty_sheet_exports_empty() {
+        assert_eq!(sheet_to_csv(&Sheet::new("x")), "");
+    }
+}

@@ -1,0 +1,118 @@
+//! A small in-crate implementation of the Fx hash (the rustc hasher), so that
+//! hot cell maps do not pay SipHash costs and we avoid an extra dependency.
+//!
+//! The algorithm is the classic `hash = (hash.rotate_left(5) ^ word) * K`
+//! used by rustc's `FxHasher`; it is low-quality but extremely fast for the
+//! short integer keys ((row, col) pairs) that dominate this workspace.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher suitable for in-process maps keyed by
+/// small integers or short strings. Not HashDoS-resistant; never expose it
+/// to untrusted adversarial keys.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = 0u64;
+            for (i, b) in rem.iter().enumerate() {
+                word |= (*b as u64) << (8 * i);
+            }
+            // Mix in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(word ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_bytes(b: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(b);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"world"));
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ab\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_bytes(b"Auto-Formula"), hash_bytes(b"Auto-Formula"));
+    }
+
+    #[test]
+    fn map_works_with_tuple_keys() {
+        let mut m: FxHashMap<(u32, u32), i32> = FxHashMap::default();
+        for r in 0..100u32 {
+            for c in 0..10u32 {
+                m.insert((r, c), (r * 10 + c) as i32);
+            }
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(41, 3)], 413);
+    }
+
+    #[test]
+    fn long_and_short_writes_cover_all_paths() {
+        // Exercises the chunked path (>= 8 bytes) and the remainder path.
+        let a = hash_bytes(b"0123456789abcdef");
+        let b = hash_bytes(b"0123456789abcdeg");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,30 @@
+//! `af-grid` — the spreadsheet substrate for the Auto-Formula reproduction.
+//!
+//! Spreadsheets differ from relational tables in three ways the paper leans
+//! on (§3.1): there is no explicit table boundary, data and formulas are
+//! blended at cell granularity, and cells carry rich non-textual *style*.
+//! This crate models exactly that: a sparse two-dimensional grid of [`Cell`]s
+//! with values, styles and optional formula text, organized into [`Sheet`]s
+//! and multi-sheet [`Workbook`]s, plus A1-notation references and the
+//! fixed-size [`ViewWindow`] abstraction of Fig. 5.
+
+pub mod cell;
+pub mod cellref;
+pub mod csv;
+pub mod fxhash;
+pub mod pattern;
+pub mod render;
+pub mod sheet;
+pub mod style;
+pub mod value;
+pub mod window;
+pub mod workbook;
+
+pub use cell::Cell;
+pub use cellref::{A1Ref, CellRef, RangeRef};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use sheet::Sheet;
+pub use style::{BorderFlags, CellStyle, Color};
+pub use value::{CellError, CellValue};
+pub use window::{ViewWindow, WindowSlot};
+pub use workbook::Workbook;

@@ -1,0 +1,83 @@
+//! Syntactic value patterns (§4.4.1): map a display string to its character
+//! shape, e.g. `"2020-01-01"` → `"DDDD-DD-DD"`, so that two cells holding
+//! different dates still share a syntactic feature.
+
+/// Compute the syntactic pattern of a string: digits become `D`, letters
+/// become `A`, whitespace collapses to a single space, and other characters
+/// pass through. Runs longer than [`MAX_RUN`] are truncated with a `+`
+/// marker so arbitrarily long values still map to short patterns.
+pub fn syntactic_pattern(s: &str) -> String {
+    const MAX_RUN: usize = 6;
+    let mut out = String::with_capacity(s.len().min(32));
+    let mut last: Option<char> = None;
+    let mut run = 0usize;
+    for ch in s.chars() {
+        let mapped = if ch.is_ascii_digit() {
+            'D'
+        } else if ch.is_alphabetic() {
+            'A'
+        } else if ch.is_whitespace() {
+            ' '
+        } else {
+            ch
+        };
+        if Some(mapped) == last {
+            if mapped == ' ' {
+                continue; // whitespace collapses completely
+            }
+            run += 1;
+            if run == MAX_RUN + 1 {
+                out.push('+');
+            }
+            if run > MAX_RUN {
+                continue;
+            }
+        } else {
+            run = 1;
+            last = Some(mapped);
+        }
+        out.push(mapped);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        assert_eq!(syntactic_pattern("2020-01-01"), "DDDD-DD-DD");
+    }
+
+    #[test]
+    fn words_and_numbers() {
+        assert_eq!(syntactic_pattern("Brown"), "AAAAA");
+        assert_eq!(syntactic_pattern("Q1 2024"), "AD DDDD");
+        assert_eq!(syntactic_pattern("$1,234.56"), "$D,DDD.DD");
+    }
+
+    #[test]
+    fn long_runs_truncate() {
+        let p = syntactic_pattern("1234567890123");
+        assert_eq!(p, "DDDDDD+");
+        let p = syntactic_pattern(&"x".repeat(50));
+        assert_eq!(p, "AAAAAA+");
+    }
+
+    #[test]
+    fn whitespace_collapses() {
+        assert_eq!(syntactic_pattern("a  \t b"), "A A");
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(syntactic_pattern(""), "");
+    }
+
+    #[test]
+    fn same_shape_same_pattern() {
+        assert_eq!(syntactic_pattern("2021-07-15"), syntactic_pattern("1999-12-31"));
+        assert_ne!(syntactic_pattern("12/31/1999"), syntactic_pattern("1999-12-31"));
+    }
+}

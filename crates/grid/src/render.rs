@@ -1,0 +1,119 @@
+//! Plain-text rendering of sheet regions — the debugging view used by the
+//! examples and by humans inspecting generated corpora.
+
+use crate::cellref::{CellRef, RangeRef};
+use crate::sheet::Sheet;
+
+/// Render a rectangular region as a fixed-width text grid with row/column
+/// headings. Formula cells are shown as `=FORMULA`; other cells show their
+/// display value. Content is truncated to `max_width` characters per cell.
+pub fn render_region(sheet: &Sheet, range: RangeRef, max_width: usize) -> String {
+    let max_width = max_width.max(3);
+    let rows = range.start.row..=range.end.row;
+    let cols = range.start.col..=range.end.col;
+
+    // Compute column widths.
+    let mut widths: Vec<usize> = cols
+        .clone()
+        .map(|c| CellRef::col_letters(c).len())
+        .collect();
+    let text_of = |at: CellRef| -> String {
+        match sheet.get(at) {
+            Some(cell) => match &cell.formula {
+                Some(f) => truncate(&format!("={f}"), max_width),
+                None => truncate(&cell.value.display(), max_width),
+            },
+            None => String::new(),
+        }
+    };
+    for r in rows.clone() {
+        for (ci, c) in cols.clone().enumerate() {
+            widths[ci] = widths[ci].max(text_of(CellRef::new(r, c)).len());
+        }
+    }
+
+    let row_head_w = format!("{}", range.end.row + 1).len();
+    let mut out = String::new();
+    // Header row.
+    out.push_str(&" ".repeat(row_head_w + 1));
+    for (ci, c) in cols.clone().enumerate() {
+        out.push_str(&format!("{:^w$} ", CellRef::col_letters(c), w = widths[ci]));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:>w$} ", r + 1, w = row_head_w));
+        for (ci, c) in cols.clone().enumerate() {
+            out.push_str(&format!("{:<w$} ", text_of(CellRef::new(r, c)), w = widths[ci]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the sheet's whole used range (empty string for an empty sheet).
+pub fn render_sheet(sheet: &Sheet, max_width: usize) -> String {
+    match sheet.used_range() {
+        Some(range) => render_region(sheet, range, max_width),
+        None => String::new(),
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let mut out: String = s.chars().take(max.saturating_sub(1)).collect();
+        out.push('…');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+
+    fn sheet() -> Sheet {
+        let mut s = Sheet::new("t");
+        s.set_a1("A1", Cell::new("Region"));
+        s.set_a1("B1", Cell::new("Units"));
+        s.set_a1("A2", Cell::new("North"));
+        s.set_a1("B2", Cell::new(120.0));
+        s.set_a1("B3", Cell::new(120.0).with_formula("SUM(B2:B2)"));
+        s
+    }
+
+    #[test]
+    fn renders_headers_values_and_formulas() {
+        let out = render_sheet(&sheet(), 20);
+        assert!(out.contains("A"), "{out}");
+        assert!(out.contains("Region"));
+        assert!(out.contains("120"));
+        assert!(out.contains("=SUM(B2:B2)"));
+        assert_eq!(out.lines().count(), 4, "header + 3 rows:\n{out}");
+    }
+
+    #[test]
+    fn truncation_marks_long_values() {
+        let mut s = sheet();
+        s.set_a1("C1", Cell::new("a very long header indeed"));
+        let out = render_sheet(&s, 8);
+        assert!(out.contains('…'), "{out}");
+        assert!(!out.contains("a very long header indeed"));
+    }
+
+    #[test]
+    fn empty_sheet_renders_empty() {
+        assert_eq!(render_sheet(&Sheet::new("x"), 10), "");
+    }
+
+    #[test]
+    fn region_render_respects_bounds() {
+        let out = render_region(&sheet(), "A1:A2".parse().unwrap(), 12);
+        assert!(out.contains("Region"));
+        assert!(!out.contains("Units"), "column B excluded:\n{out}");
+    }
+}

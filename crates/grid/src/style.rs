@@ -1,0 +1,192 @@
+//! Cell styles: the paper's non-textual "style" channel (§3.1, §4.4.1).
+//!
+//! Styles are what make two similar-sheets *look* similar to a human even
+//! when their data differs — background colors, fonts, borders, cell sizes.
+//! The featurizer in `af-embed` turns a [`CellStyle`] into a dense vector.
+
+/// An sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    pub r: u8,
+    pub g: u8,
+    pub b: u8,
+}
+
+impl Color {
+    pub const WHITE: Color = Color::new(255, 255, 255);
+    pub const BLACK: Color = Color::new(0, 0, 0);
+
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b }
+    }
+
+    /// Parse `#RRGGBB`.
+    pub fn from_hex(s: &str) -> Option<Color> {
+        let s = s.strip_prefix('#')?;
+        if s.len() != 6 {
+            return None;
+        }
+        let r = u8::from_str_radix(&s[0..2], 16).ok()?;
+        let g = u8::from_str_radix(&s[2..4], 16).ok()?;
+        let b = u8::from_str_radix(&s[4..6], 16).ok()?;
+        Some(Color::new(r, g, b))
+    }
+
+    /// Channels normalized to `[0, 1]` for featurization.
+    pub fn normalized(&self) -> [f32; 3] {
+        [self.r as f32 / 255.0, self.g as f32 / 255.0, self.b as f32 / 255.0]
+    }
+
+    /// Perturb each channel by at most `amount` (used by the corpus generator
+    /// to jitter palettes between similar sheets).
+    pub fn jitter(&self, amount: i16, noise: [i16; 3]) -> Color {
+        let clamp = |v: i16, n: i16| (v + n.clamp(-amount, amount)).clamp(0, 255) as u8;
+        Color::new(
+            clamp(self.r as i16, noise[0]),
+            clamp(self.g as i16, noise[1]),
+            clamp(self.b as i16, noise[2]),
+        )
+    }
+}
+
+impl Default for Color {
+    fn default() -> Self {
+        Color::WHITE
+    }
+}
+
+/// Bitflags for the four cell borders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BorderFlags(pub u8);
+
+impl BorderFlags {
+    pub const NONE: BorderFlags = BorderFlags(0);
+    pub const TOP: u8 = 1;
+    pub const BOTTOM: u8 = 2;
+    pub const LEFT: u8 = 4;
+    pub const RIGHT: u8 = 8;
+    pub const ALL: BorderFlags = BorderFlags(0b1111);
+
+    pub fn has(&self, flag: u8) -> bool {
+        self.0 & flag != 0
+    }
+
+    pub fn with(self, flag: u8) -> BorderFlags {
+        BorderFlags(self.0 | flag)
+    }
+
+    /// Four 0/1 features, one per side.
+    pub fn features(&self) -> [f32; 4] {
+        [
+            self.has(Self::TOP) as u8 as f32,
+            self.has(Self::BOTTOM) as u8 as f32,
+            self.has(Self::LEFT) as u8 as f32,
+            self.has(Self::RIGHT) as u8 as f32,
+        ]
+    }
+}
+
+/// The full per-cell style record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStyle {
+    pub fill: Color,
+    pub font_color: Color,
+    pub bold: bool,
+    pub italic: bool,
+    pub underline: bool,
+    /// Font size in points.
+    pub font_size: f32,
+    /// Column width in characters (spreadsheet convention).
+    pub width: f32,
+    /// Row height in points.
+    pub height: f32,
+    pub borders: BorderFlags,
+}
+
+impl Default for CellStyle {
+    fn default() -> Self {
+        CellStyle {
+            fill: Color::WHITE,
+            font_color: Color::BLACK,
+            bold: false,
+            italic: false,
+            underline: false,
+            font_size: 11.0,
+            width: 8.43,
+            height: 15.0,
+            borders: BorderFlags::NONE,
+        }
+    }
+}
+
+impl CellStyle {
+    /// A typical bold header style on a colored fill.
+    pub fn header(fill: Color) -> Self {
+        CellStyle { fill, bold: true, font_size: 12.0, borders: BorderFlags(BorderFlags::BOTTOM), ..Default::default() }
+    }
+
+    pub fn with_fill(mut self, fill: Color) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    pub fn with_bold(mut self, bold: bool) -> Self {
+        self.bold = bold;
+        self
+    }
+
+    pub fn with_font_color(mut self, c: Color) -> Self {
+        self.font_color = c;
+        self
+    }
+
+    pub fn with_borders(mut self, b: BorderFlags) -> Self {
+        self.borders = b;
+        self
+    }
+
+    pub fn is_default(&self) -> bool {
+        *self == CellStyle::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_parsing() {
+        assert_eq!(Color::from_hex("#FF8000"), Some(Color::new(255, 128, 0)));
+        assert_eq!(Color::from_hex("FF8000"), None);
+        assert_eq!(Color::from_hex("#F80"), None);
+        assert_eq!(Color::from_hex("#GG0000"), None);
+    }
+
+    #[test]
+    fn normalization_bounds() {
+        let n = Color::new(255, 0, 128).normalized();
+        assert_eq!(n[0], 1.0);
+        assert_eq!(n[1], 0.0);
+        assert!((n[2] - 128.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jitter_clamps() {
+        let c = Color::new(250, 5, 100);
+        let j = c.jitter(10, [100, -100, 3]);
+        assert_eq!(j, Color::new(255, 0, 103));
+    }
+
+    #[test]
+    fn border_features() {
+        let b = BorderFlags::NONE.with(BorderFlags::TOP).with(BorderFlags::RIGHT);
+        assert_eq!(b.features(), [1.0, 0.0, 0.0, 1.0]);
+        assert!(BorderFlags::ALL.has(BorderFlags::LEFT));
+    }
+
+    #[test]
+    fn default_style_detection() {
+        assert!(CellStyle::default().is_default());
+        assert!(!CellStyle::header(Color::new(0, 0, 255)).is_default());
+    }
+}

@@ -1,0 +1,289 @@
+//! Cell values: the paper's "content" channel.
+
+use std::fmt;
+
+/// Spreadsheet error values (a formula can evaluate to these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellError {
+    /// `#DIV/0!`
+    Div0,
+    /// `#VALUE!` — wrong operand type.
+    Value,
+    /// `#REF!` — dangling reference.
+    Ref,
+    /// `#NAME?` — unknown function.
+    Name,
+    /// `#N/A` — lookup miss.
+    Na,
+    /// `#NUM!` — numeric domain error.
+    Num,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellError::Div0 => "#DIV/0!",
+            CellError::Value => "#VALUE!",
+            CellError::Ref => "#REF!",
+            CellError::Name => "#NAME?",
+            CellError::Na => "#N/A",
+            CellError::Num => "#NUM!",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The content of a cell. Dates are stored as serial day numbers (days since
+/// 1900-01-01, Excel convention) so they sort and subtract naturally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    Empty,
+    Number(f64),
+    Text(String),
+    Bool(bool),
+    /// Serial day number.
+    Date(i64),
+    Error(CellError),
+}
+
+impl CellValue {
+    pub fn text(s: impl Into<String>) -> Self {
+        CellValue::Text(s.into())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!(self, CellValue::Empty)
+    }
+
+    pub fn is_number(&self) -> bool {
+        matches!(self, CellValue::Number(_))
+    }
+
+    pub fn is_text(&self) -> bool {
+        matches!(self, CellValue::Text(_))
+    }
+
+    /// Numeric coercion following spreadsheet semantics: numbers pass
+    /// through, booleans become 0/1, dates their serial number, numeric text
+    /// parses; everything else is `None`.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            CellValue::Number(n) => Some(*n),
+            CellValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            CellValue::Date(d) => Some(*d as f64),
+            CellValue::Text(s) => s.trim().parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The display string of the value (what a user sees in the grid).
+    pub fn display(&self) -> String {
+        match self {
+            CellValue::Empty => String::new(),
+            CellValue::Number(n) => format_number(*n),
+            CellValue::Text(s) => s.clone(),
+            CellValue::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            CellValue::Date(d) => format_serial_date(*d),
+            CellValue::Error(e) => e.to_string(),
+        }
+    }
+
+    /// Coarse data-type tag used as a syntactic feature (§4.4.1).
+    pub fn type_tag(&self) -> ValueType {
+        match self {
+            CellValue::Empty => ValueType::Empty,
+            CellValue::Number(_) => ValueType::Number,
+            CellValue::Text(_) => ValueType::Text,
+            CellValue::Bool(_) => ValueType::Bool,
+            CellValue::Date(_) => ValueType::Date,
+            CellValue::Error(_) => ValueType::Error,
+        }
+    }
+}
+
+impl Default for CellValue {
+    fn default() -> Self {
+        CellValue::Empty
+    }
+}
+
+impl From<f64> for CellValue {
+    fn from(n: f64) -> Self {
+        CellValue::Number(n)
+    }
+}
+
+impl From<&str> for CellValue {
+    fn from(s: &str) -> Self {
+        CellValue::Text(s.to_string())
+    }
+}
+
+impl From<String> for CellValue {
+    fn from(s: String) -> Self {
+        CellValue::Text(s)
+    }
+}
+
+impl From<bool> for CellValue {
+    fn from(b: bool) -> Self {
+        CellValue::Bool(b)
+    }
+}
+
+/// Data-type categories, one-hot encoded into the syntactic feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ValueType {
+    Empty = 0,
+    Number = 1,
+    Text = 2,
+    Bool = 3,
+    Date = 4,
+    Error = 5,
+}
+
+impl ValueType {
+    pub const COUNT: usize = 6;
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+const DAYS_IN_MONTH: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Convert (year, month 1-12, day 1-31) to a serial day number with day 1 =
+/// 1900-01-01 (the Excel epoch, without reproducing Excel's 1900 leap-year
+/// bug).
+pub fn date_to_serial(year: i64, month: u32, day: u32) -> i64 {
+    let mut days: i64 = 0;
+    if year >= 1900 {
+        for y in 1900..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+    } else {
+        for y in year..1900 {
+            days -= if is_leap(y) { 366 } else { 365 };
+        }
+    }
+    for m in 0..(month as usize - 1) {
+        days += DAYS_IN_MONTH[m];
+        if m == 1 && is_leap(year) {
+            days += 1;
+        }
+    }
+    days + day as i64
+}
+
+/// Inverse of [`date_to_serial`].
+pub fn serial_to_date(serial: i64) -> (i64, u32, u32) {
+    let mut days = serial - 1; // zero-based day offset from 1900-01-01
+    let mut year = 1900i64;
+    loop {
+        let len = if is_leap(year) { 366 } else { 365 };
+        if days >= len {
+            days -= len;
+            year += 1;
+        } else if days < 0 {
+            year -= 1;
+            days += if is_leap(year) { 366 } else { 365 };
+        } else {
+            break;
+        }
+    }
+    let mut month = 0usize;
+    loop {
+        let mut len = DAYS_IN_MONTH[month];
+        if month == 1 && is_leap(year) {
+            len += 1;
+        }
+        if days >= len {
+            days -= len;
+            month += 1;
+        } else {
+            break;
+        }
+    }
+    (year, month as u32 + 1, days as u32 + 1)
+}
+
+fn format_serial_date(serial: i64) -> String {
+    let (y, m, d) = serial_to_date(serial);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(CellValue::Number(2.5).as_number(), Some(2.5));
+        assert_eq!(CellValue::Bool(true).as_number(), Some(1.0));
+        assert_eq!(CellValue::text(" 42 ").as_number(), Some(42.0));
+        assert_eq!(CellValue::text("Brown").as_number(), None);
+        assert_eq!(CellValue::Empty.as_number(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CellValue::Number(3.0).display(), "3");
+        assert_eq!(CellValue::Number(3.25).display(), "3.25");
+        assert_eq!(CellValue::Bool(false).display(), "FALSE");
+        assert_eq!(CellValue::Error(CellError::Div0).display(), "#DIV/0!");
+    }
+
+    #[test]
+    fn date_round_trip() {
+        for &(y, m, d) in &[
+            (1900, 1, 1),
+            (1999, 12, 31),
+            (2000, 2, 29),
+            (2020, 1, 1),
+            (2023, 6, 15),
+            (2100, 3, 1),
+        ] {
+            let s = date_to_serial(y, m, d);
+            assert_eq!(serial_to_date(s), (y, m, d), "date {y}-{m}-{d} serial {s}");
+        }
+        assert_eq!(date_to_serial(1900, 1, 1), 1);
+    }
+
+    #[test]
+    fn dates_order_correctly() {
+        assert!(date_to_serial(2020, 1, 1) < date_to_serial(2020, 1, 2));
+        assert!(date_to_serial(2019, 12, 31) < date_to_serial(2020, 1, 1));
+        assert_eq!(
+            date_to_serial(2020, 3, 1) - date_to_serial(2020, 2, 28),
+            2,
+            "2020 is a leap year"
+        );
+    }
+
+    #[test]
+    fn date_display() {
+        let s = date_to_serial(2020, 1, 1);
+        assert_eq!(CellValue::Date(s).display(), "2020-01-01");
+    }
+
+    #[test]
+    fn type_tags_are_stable() {
+        assert_eq!(CellValue::Empty.type_tag().index(), 0);
+        assert_eq!(CellValue::Number(1.0).type_tag().index(), 1);
+        assert_eq!(CellValue::text("x").type_tag().index(), 2);
+        assert_eq!(ValueType::COUNT, 6);
+    }
+}

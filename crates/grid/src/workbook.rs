@@ -1,0 +1,74 @@
+//! Workbooks: spreadsheet files containing an ordered sequence of sheets.
+//!
+//! The weak-supervision step (§4.2) reasons over *files* — two files whose
+//! sheet-name sequences match 1-to-1 are likely similar — so workbooks carry
+//! a name and a last-modified timestamp (used for the "timestamp" test
+//! split in §5.1).
+
+use crate::sheet::Sheet;
+
+/// A spreadsheet file (`.xlsx` analog): named, timestamped, multi-sheet.
+#[derive(Debug, Clone, Default)]
+pub struct Workbook {
+    pub name: String,
+    pub sheets: Vec<Sheet>,
+    /// Last-modified time in seconds since an arbitrary epoch; only the
+    /// ordering matters (timestamp split).
+    pub timestamp: i64,
+}
+
+impl Workbook {
+    pub fn new(name: impl Into<String>) -> Self {
+        Workbook { name: name.into(), sheets: Vec::new(), timestamp: 0 }
+    }
+
+    pub fn with_timestamp(mut self, ts: i64) -> Self {
+        self.timestamp = ts;
+        self
+    }
+
+    pub fn push_sheet(&mut self, sheet: Sheet) {
+        self.sheets.push(sheet);
+    }
+
+    pub fn sheet_names(&self) -> Vec<&str> {
+        self.sheets.iter().map(|s| s.name()).collect()
+    }
+
+    pub fn sheet_by_name(&self, name: &str) -> Option<&Sheet> {
+        self.sheets.iter().find(|s| s.name() == name)
+    }
+
+    pub fn n_sheets(&self) -> usize {
+        self.sheets.len()
+    }
+
+    /// Total number of formulas across all sheets.
+    pub fn formula_count(&self) -> usize {
+        self.sheets.iter().map(|s| s.formula_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+
+    #[test]
+    fn sheet_lookup_and_counts() {
+        let mut wb = Workbook::new("report.xlsx").with_timestamp(42);
+        let mut s1 = Sheet::new("Instructions");
+        s1.set_a1("A1", Cell::new("read me"));
+        let mut s2 = Sheet::new("WorkshopDetails");
+        s2.set_a1("B2", Cell::new(1.0).with_formula("SUM(A1:A1)"));
+        wb.push_sheet(s1);
+        wb.push_sheet(s2);
+
+        assert_eq!(wb.n_sheets(), 2);
+        assert_eq!(wb.sheet_names(), ["Instructions", "WorkshopDetails"]);
+        assert!(wb.sheet_by_name("WorkshopDetails").is_some());
+        assert!(wb.sheet_by_name("nope").is_none());
+        assert_eq!(wb.formula_count(), 1);
+        assert_eq!(wb.timestamp, 42);
+    }
+}

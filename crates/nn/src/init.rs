@@ -1,0 +1,52 @@
+//! Deterministic weight initialization.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize, n: usize) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    (0..n).map(|_| rng.random_range(-a..a)).collect()
+}
+
+/// He/Kaiming uniform initialization for ReLU networks:
+/// `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+pub fn he_uniform(rng: &mut StdRng, fan_in: usize, n: usize) -> Vec<f32> {
+    let a = (6.0 / fan_in as f32).sqrt();
+    (0..n).map(|_| rng.random_range(-a..a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(xavier_uniform(&mut a, 8, 4, 32), xavier_uniform(&mut b, 8, 4, 32));
+    }
+
+    #[test]
+    fn values_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bound = (6.0f32 / 12.0).sqrt();
+        for v in xavier_uniform(&mut rng, 8, 4, 1000) {
+            assert!(v.abs() <= bound);
+        }
+        let bound = (6.0f32 / 8.0).sqrt();
+        for v in he_uniform(&mut rng, 8, 1000) {
+            assert!(v.abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn mean_roughly_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = xavier_uniform(&mut rng, 100, 100, 10_000);
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,748 @@
+//! Layers with hand-written forward/backward passes.
+//!
+//! Every layer offers two entry points:
+//! * [`Layer::forward`] — training-mode pass that caches activations for the
+//!   matching [`Layer::backward`] call;
+//! * [`Layer::infer`] — immutable inference pass (no caches), safe to call
+//!   from many threads on a shared model.
+
+use crate::init::{he_uniform, xavier_uniform};
+use crate::tensor::{l2_normalize, matmul_xwt, Tensor};
+use rand::rngs::StdRng;
+
+/// A differentiable layer.
+pub trait Layer: Send + Sync {
+    /// Training forward pass (caches inputs for backprop).
+    fn forward(&mut self, x: Tensor) -> Tensor;
+    /// Backward pass; consumes the gradient w.r.t. the output, accumulates
+    /// parameter gradients, and returns the gradient w.r.t. the input.
+    fn backward(&mut self, grad: Tensor) -> Tensor;
+    /// Inference pass, no caching.
+    fn infer(&self, x: Tensor) -> Tensor;
+    /// Visit `(param, grad)` slices in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        // visit_params requires &mut self; count via a separate default is
+        // overridden by layers with parameters.
+        let _ = &mut n;
+        0
+    }
+
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| g.iter_mut().for_each(|v| *v = 0.0));
+    }
+}
+
+// ---------------------------------------------------------------- Linear
+
+/// Fully-connected layer `y = xWᵀ + b` with `w: [out, in]`.
+pub struct Linear {
+    pub in_dim: usize,
+    pub out_dim: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    pub fn new(rng: &mut StdRng, in_dim: usize, out_dim: usize) -> Linear {
+        Linear {
+            in_dim,
+            out_dim,
+            w: xavier_uniform(rng, in_dim, out_dim, in_dim * out_dim),
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            cache: None,
+        }
+    }
+
+    fn run(&self, x: &Tensor) -> Tensor {
+        let batch = x.batch();
+        assert_eq!(x.features(), self.in_dim, "Linear input dim mismatch");
+        let mut out = Tensor::zeros(vec![batch, self.out_dim]);
+        matmul_xwt(&x.data, &self.w, &self.b, batch, self.in_dim, self.out_dim, &mut out.data);
+        out
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        let out = self.run(&x);
+        self.cache = Some(x);
+        out
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let x = self.cache.take().expect("forward before backward");
+        let batch = x.batch();
+        let (ni, no) = (self.in_dim, self.out_dim);
+        let mut gx = Tensor::zeros(vec![batch, ni]);
+        for b in 0..batch {
+            let gr = &grad.data[b * no..(b + 1) * no];
+            let xr = &x.data[b * ni..(b + 1) * ni];
+            for (o, &g) in gr.iter().enumerate() {
+                self.gb[o] += g;
+                let wrow = &self.w[o * ni..(o + 1) * ni];
+                let gwrow = &mut self.gw[o * ni..(o + 1) * ni];
+                let gxr = &mut gx.data[b * ni..(b + 1) * ni];
+                for i in 0..ni {
+                    gwrow[i] += g * xr[i];
+                    gxr[i] += g * wrow[i];
+                }
+            }
+        }
+        gx
+    }
+
+    fn infer(&self, x: Tensor) -> Tensor {
+        self.run(&x)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+// ------------------------------------------------------------------ ReLU
+
+/// Elementwise rectifier.
+#[derive(Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    pub fn new() -> Relu {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, mut x: Tensor) -> Tensor {
+        self.mask.clear();
+        self.mask.reserve(x.data.len());
+        for v in x.data.iter_mut() {
+            self.mask.push(*v > 0.0);
+            if *v <= 0.0 {
+                *v = 0.0;
+            }
+        }
+        x
+    }
+
+    fn backward(&mut self, mut grad: Tensor) -> Tensor {
+        assert_eq!(grad.data.len(), self.mask.len(), "forward before backward");
+        for (g, &m) in grad.data.iter_mut().zip(self.mask.iter()) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+
+    fn infer(&self, mut x: Tensor) -> Tensor {
+        for v in x.data.iter_mut() {
+            if *v <= 0.0 {
+                *v = 0.0;
+            }
+        }
+        x
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+}
+
+// ---------------------------------------------------------------- Conv2d
+
+/// 2-D convolution with square kernel, stride 1 and "same" zero padding.
+/// Input `[B, Cin, H, W]`, output `[B, Cout, H, W]`.
+pub struct Conv2d {
+    pub in_ch: usize,
+    pub out_ch: usize,
+    pub kernel: usize,
+    w: Vec<f32>, // [out_ch, in_ch, k, k]
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    pub fn new(rng: &mut StdRng, in_ch: usize, out_ch: usize, kernel: usize) -> Conv2d {
+        assert!(kernel % 2 == 1, "same-padding requires an odd kernel");
+        let fan_in = in_ch * kernel * kernel;
+        Conv2d {
+            in_ch,
+            out_ch,
+            kernel,
+            w: he_uniform(rng, fan_in, out_ch * fan_in),
+            b: vec![0.0; out_ch],
+            gw: vec![0.0; out_ch * fan_in],
+            gb: vec![0.0; out_ch],
+            cache: None,
+        }
+    }
+
+    fn run(&self, x: &Tensor) -> Tensor {
+        let [bsz, cin, h, w] = dims4(x);
+        assert_eq!(cin, self.in_ch, "Conv2d channel mismatch");
+        let k = self.kernel;
+        let p = k / 2;
+        let mut out = Tensor::zeros(vec![bsz, self.out_ch, h, w]);
+        for b in 0..bsz {
+            for co in 0..self.out_ch {
+                let wbase = co * cin * k * k;
+                for i in 0..h {
+                    for j in 0..w {
+                        let mut acc = self.b[co];
+                        for ci in 0..cin {
+                            let xbase = ((b * cin + ci) * h) * w;
+                            let wrow = &self.w[wbase + ci * k * k..wbase + (ci + 1) * k * k];
+                            for di in 0..k {
+                                let ii = i as isize + di as isize - p as isize;
+                                if ii < 0 || ii >= h as isize {
+                                    continue;
+                                }
+                                for dj in 0..k {
+                                    let jj = j as isize + dj as isize - p as isize;
+                                    if jj < 0 || jj >= w as isize {
+                                        continue;
+                                    }
+                                    acc += x.data[xbase + ii as usize * w + jj as usize]
+                                        * wrow[di * k + dj];
+                                }
+                            }
+                        }
+                        out.data[((b * self.out_ch + co) * h + i) * w + j] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        let out = self.run(&x);
+        self.cache = Some(x);
+        out
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let x = self.cache.take().expect("forward before backward");
+        let [bsz, cin, h, w] = dims4(&x);
+        let k = self.kernel;
+        let p = k / 2;
+        let mut gx = Tensor::zeros(vec![bsz, cin, h, w]);
+        for b in 0..bsz {
+            for co in 0..self.out_ch {
+                let wbase = co * cin * k * k;
+                for i in 0..h {
+                    for j in 0..w {
+                        let g = grad.data[((b * self.out_ch + co) * h + i) * w + j];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.gb[co] += g;
+                        for ci in 0..cin {
+                            let xbase = ((b * cin + ci) * h) * w;
+                            for di in 0..k {
+                                let ii = i as isize + di as isize - p as isize;
+                                if ii < 0 || ii >= h as isize {
+                                    continue;
+                                }
+                                for dj in 0..k {
+                                    let jj = j as isize + dj as isize - p as isize;
+                                    if jj < 0 || jj >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = xbase + ii as usize * w + jj as usize;
+                                    let wi = wbase + ci * k * k + di * k + dj;
+                                    self.gw[wi] += g * x.data[xi];
+                                    gx.data[xi] += g * self.w[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn infer(&self, x: Tensor) -> Tensor {
+        self.run(&x)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+// ------------------------------------------------------------- MaxPool2d
+
+/// Non-overlapping max pooling (`k × k` windows, stride `k`). Truncates
+/// ragged borders like the usual floor-division convention.
+pub struct MaxPool2d {
+    pub k: usize,
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    pub fn new(k: usize) -> MaxPool2d {
+        assert!(k >= 1);
+        MaxPool2d { k, argmax: Vec::new(), in_shape: Vec::new() }
+    }
+
+    fn run(&self, x: &Tensor, mut record: Option<&mut Vec<usize>>) -> Tensor {
+        let [bsz, c, h, w] = dims4(x);
+        let k = self.k;
+        let (oh, ow) = (h / k, w / k);
+        assert!(oh > 0 && ow > 0, "pooling window larger than input");
+        let mut out = Tensor::zeros(vec![bsz, c, oh, ow]);
+        if let Some(r) = record.as_deref_mut() {
+            r.clear();
+            r.reserve(out.len());
+        }
+        for b in 0..bsz {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for di in 0..k {
+                            for dj in 0..k {
+                                let idx = base + (i * k + di) * w + (j * k + dj);
+                                if x.data[idx] > best {
+                                    best = x.data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.data[((b * c + ch) * oh + i) * ow + j] = best;
+                        if let Some(r) = record.as_deref_mut() {
+                            r.push(best_idx);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        self.in_shape = x.shape.clone();
+        let mut argmax = std::mem::take(&mut self.argmax);
+        let out = self.run(&x, Some(&mut argmax));
+        self.argmax = argmax;
+        out
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let mut gx = Tensor::zeros(self.in_shape.clone());
+        for (g, &idx) in grad.data.iter().zip(self.argmax.iter()) {
+            gx.data[idx] += g;
+        }
+        gx
+    }
+
+    fn infer(&self, x: Tensor) -> Tensor {
+        self.run(&x, None)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+}
+
+// -------------------------------------------------------- GlobalAvgPool
+
+/// Mean over the spatial dimensions: `[B, C, H, W] → [B, C]`.
+#[derive(Default)]
+pub struct GlobalAvgPool {
+    in_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    pub fn new() -> GlobalAvgPool {
+        GlobalAvgPool::default()
+    }
+
+    fn run(x: &Tensor) -> Tensor {
+        let [bsz, c, h, w] = dims4(x);
+        let hw = (h * w) as f32;
+        let mut out = Tensor::zeros(vec![bsz, c]);
+        for b in 0..bsz {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                let sum: f32 = x.data[base..base + h * w].iter().sum();
+                out.data[b * c + ch] = sum / hw;
+            }
+        }
+        out
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        self.in_shape = x.shape.clone();
+        Self::run(&x)
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let (bsz, c, h, w) =
+            (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        let hw = (h * w) as f32;
+        let mut gx = Tensor::zeros(self.in_shape.clone());
+        for b in 0..bsz {
+            for ch in 0..c {
+                let g = grad.data[b * c + ch] / hw;
+                let base = (b * c + ch) * h * w;
+                for v in &mut gx.data[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        gx
+    }
+
+    fn infer(&self, x: Tensor) -> Tensor {
+        Self::run(&x)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+}
+
+// ---------------------------------------------------------- L2Normalize
+
+/// Per-row L2 normalization (the output layer of both representation
+/// models, §4.4.4). Rows with near-zero norm pass through unchanged.
+#[derive(Default)]
+pub struct L2Normalize {
+    cache_y: Vec<f32>,
+    cache_norm: Vec<f32>,
+    features: usize,
+}
+
+impl L2Normalize {
+    pub fn new() -> L2Normalize {
+        L2Normalize::default()
+    }
+}
+
+impl Layer for L2Normalize {
+    fn forward(&mut self, mut x: Tensor) -> Tensor {
+        let batch = x.batch();
+        let f = x.features();
+        self.features = f;
+        self.cache_norm.clear();
+        for b in 0..batch {
+            let norm = l2_normalize(x.row_mut(b));
+            self.cache_norm.push(norm);
+        }
+        self.cache_y = x.data.clone();
+        x
+    }
+
+    fn backward(&mut self, mut grad: Tensor) -> Tensor {
+        let batch = grad.batch();
+        let f = self.features;
+        for b in 0..batch {
+            let norm = self.cache_norm[b];
+            if norm <= 1e-12 {
+                continue; // forward was identity
+            }
+            let y = &self.cache_y[b * f..(b + 1) * f];
+            let g = grad.row_mut(b);
+            let mut ydotg = 0.0f32;
+            for i in 0..f {
+                ydotg += y[i] * g[i];
+            }
+            for i in 0..f {
+                g[i] = (g[i] - y[i] * ydotg) / norm;
+            }
+        }
+        grad
+    }
+
+    fn infer(&self, mut x: Tensor) -> Tensor {
+        let batch = x.batch();
+        for b in 0..batch {
+            l2_normalize(x.row_mut(b));
+        }
+        x
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+}
+
+// ------------------------------------------------------------ Sequential
+
+/// A stack of layers applied in order.
+#[derive(Default)]
+pub struct Sequential {
+    pub layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    pub fn new() -> Sequential {
+        Sequential::default()
+    }
+
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, mut x: Tensor) -> Tensor {
+        for l in self.layers.iter_mut() {
+            x = l.forward(x);
+        }
+        x
+    }
+
+    fn backward(&mut self, mut grad: Tensor) -> Tensor {
+        for l in self.layers.iter_mut().rev() {
+            grad = l.backward(grad);
+        }
+        grad
+    }
+
+    fn infer(&self, mut x: Tensor) -> Tensor {
+        for l in self.layers.iter() {
+            x = l.infer(x);
+        }
+        x
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for l in self.layers.iter_mut() {
+            l.visit_params(f);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+}
+
+fn dims4(x: &Tensor) -> [usize; 4] {
+    assert_eq!(x.shape.len(), 4, "expected a 4-D tensor, got {:?}", x.shape);
+    [x.shape[0], x.shape[1], x.shape[2], x.shape[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    /// Scalar objective: weighted sum of the output with fixed weights.
+    fn objective(out: &Tensor, weights: &[f32]) -> f32 {
+        out.data.iter().zip(weights).map(|(a, b)| a * b).sum()
+    }
+
+    /// Central-difference gradient check of `layer` on input `x`.
+    fn grad_check(layer: &mut dyn Layer, x: Tensor, tol: f32) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let out = layer.infer(x.clone());
+        let wts: Vec<f32> = (0..out.len()).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+
+        // Analytic input gradient.
+        layer.zero_grad();
+        let out = layer.forward(x.clone());
+        let grad = Tensor::new(out.shape.clone(), wts.clone());
+        let gx = layer.backward(grad);
+
+        // Numeric input gradient.
+        let eps = 1e-2f32;
+        for i in 0..x.len().min(40) {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let fp = objective(&layer.infer(xp), &wts);
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let fm = objective(&layer.infer(xm), &wts);
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = gx.data[i];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                "input grad mismatch at {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    /// Gradient check for parameters of `layer`.
+    fn param_grad_check(layer: &mut dyn Layer, x: Tensor, tol: f32) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = layer.infer(x.clone());
+        let wts: Vec<f32> = (0..out.len()).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+
+        layer.zero_grad();
+        let out = layer.forward(x.clone());
+        let _ = layer.backward(Tensor::new(out.shape.clone(), wts.clone()));
+
+        // Collect analytic parameter grads.
+        let mut analytic: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+
+        fn nudge(layer: &mut dyn Layer, block: usize, i: usize, delta: f32) {
+            let mut b = 0usize;
+            layer.visit_params(&mut |p, _| {
+                if b == block {
+                    p[i] += delta;
+                }
+                b += 1;
+            });
+        }
+
+        let eps = 1e-2f32;
+        // Numerically perturb the first few entries of each param block.
+        for (block, ana_block) in analytic.iter().enumerate() {
+            for i in 0..ana_block.len().min(12) {
+                nudge(layer, block, i, eps);
+                let fp = objective(&layer.infer(x.clone()), &wts);
+                nudge(layer, block, i, -2.0 * eps);
+                let fm = objective(&layer.infer(x.clone()), &wts);
+                nudge(layer, block, i, eps); // restore
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = ana_block[i];
+                assert!(
+                    (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                    "param grad mismatch block {block} idx {i}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    fn random_tensor(rng: &mut StdRng, shape: Vec<usize>) -> Tensor {
+        let n = shape.iter().product();
+        Tensor::new(shape, (0..n).map(|_| rng.random_range(-1.0..1.0f32)).collect())
+    }
+
+    #[test]
+    fn linear_gradients() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(&mut rng, 5, 3);
+        let x = random_tensor(&mut rng, vec![4, 5]);
+        grad_check(&mut l, x.clone(), 2e-2);
+        param_grad_check(&mut l, x, 2e-2);
+    }
+
+    #[test]
+    fn relu_gradients() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Relu::new();
+        // Keep inputs away from the kink at zero so the finite-difference
+        // probe does not straddle the non-differentiable point.
+        let mut x = random_tensor(&mut rng, vec![3, 7]);
+        for v in x.data.iter_mut() {
+            if v.abs() < 0.05 {
+                *v = 0.05_f32.copysign(*v);
+            }
+        }
+        grad_check(&mut l, x, 2e-2);
+    }
+
+    #[test]
+    fn conv_gradients() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Conv2d::new(&mut rng, 2, 3, 3);
+        let x = random_tensor(&mut rng, vec![2, 2, 5, 4]);
+        grad_check(&mut l, x.clone(), 3e-2);
+        param_grad_check(&mut l, x, 3e-2);
+    }
+
+    #[test]
+    fn maxpool_gradients() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = MaxPool2d::new(2);
+        let x = random_tensor(&mut rng, vec![2, 2, 6, 4]);
+        grad_check(&mut l, x, 2e-2);
+    }
+
+    #[test]
+    fn gap_gradients() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = GlobalAvgPool::new();
+        let x = random_tensor(&mut rng, vec![2, 3, 4, 4]);
+        grad_check(&mut l, x, 2e-2);
+    }
+
+    #[test]
+    fn l2norm_gradients() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut l = L2Normalize::new();
+        let x = random_tensor(&mut rng, vec![3, 6]);
+        grad_check(&mut l, x, 2e-2);
+    }
+
+    #[test]
+    fn l2norm_output_has_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let l = L2Normalize::new();
+        let x = random_tensor(&mut rng, vec![4, 9]);
+        let y = l.infer(x);
+        for b in 0..4 {
+            let n: f32 = y.row(b).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sequential_mlp_gradients() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 6, 8));
+        net.push(Relu::new());
+        net.push(Linear::new(&mut rng, 8, 4));
+        net.push(L2Normalize::new());
+        let x = random_tensor(&mut rng, vec![3, 6]);
+        grad_check(&mut net, x.clone(), 3e-2);
+        param_grad_check(&mut net, x, 3e-2);
+        assert_eq!(net.param_count(), 6 * 8 + 8 + 8 * 4 + 4);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(&mut rng, 1, 2, 3));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2));
+        net.push(GlobalAvgPool::new());
+        let x = random_tensor(&mut rng, vec![2, 1, 8, 6]);
+        let a = net.infer(x.clone());
+        let b = net.forward(x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn maxpool_truncates_ragged_edges() {
+        let l = MaxPool2d::new(2);
+        let x = Tensor::new(vec![1, 1, 3, 5], (0..15).map(|v| v as f32).collect());
+        let y = l.infer(x);
+        assert_eq!(y.shape, vec![1, 1, 1, 2]);
+        assert_eq!(y.data, vec![6.0, 8.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! `af-nn` — a minimal, deterministic deep-learning stack built from
+//! scratch for the Auto-Formula reproduction.
+//!
+//! The paper's representation models (§4.4) are small: a shared per-cell
+//! dimension-reduction MLP, a convolutional coarse branch, and a
+//! fully-connected fine branch, trained with FaceNet-style triplet loss and
+//! semi-hard mining (§4.5). No mature Rust DL ecosystem is assumed
+//! (repro-band note): this crate implements exactly the layers, losses and
+//! optimizers those models need, with hand-written backprop verified by
+//! finite-difference gradient checks.
+//!
+//! Design notes:
+//! * `f32` throughout, row-major [`Tensor`]s with explicit shapes.
+//! * [`Layer`] caches its forward inputs, so `forward → backward` must be
+//!   called in matched pairs (standard tape-free training loop).
+//! * All randomness flows through caller-provided seeded RNGs; training is
+//!   bit-deterministic for a fixed seed.
+
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+pub mod triplet;
+
+pub use layers::{Conv2d, GlobalAvgPool, L2Normalize, Layer, Linear, MaxPool2d, Relu, Sequential};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;
+pub use triplet::{semi_hard_indices, triplet_loss_grads, TripletBatch};

@@ -1,0 +1,147 @@
+//! Optimizers operating over [`Layer::visit_params`] in stable order.
+
+use crate::layers::Layer;
+
+/// A gradient-descent optimizer.
+pub trait Optimizer {
+    /// Apply one update step using the gradients currently accumulated in
+    /// the layer, then zero them.
+    fn step(&mut self, layer: &mut dyn Layer);
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32) -> Sgd {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, layer: &mut dyn Layer) {
+        let mut idx = 0usize;
+        let (lr, mu) = (self.lr, self.momentum);
+        let velocity = &mut self.velocity;
+        layer.visit_params(&mut |p, g| {
+            if velocity.len() <= idx {
+                velocity.push(vec![0.0; p.len()]);
+            }
+            let v = &mut velocity[idx];
+            debug_assert_eq!(v.len(), p.len(), "parameter block size changed");
+            for i in 0..p.len() {
+                v[i] = mu * v[i] - lr * g[i];
+                p[i] += v[i];
+                g[i] = 0.0;
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, layer: &mut dyn Layer) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t);
+        let bc2 = 1.0 - b2.powi(t);
+        let mut idx = 0usize;
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        layer.visit_params(&mut |p, g| {
+            if ms.len() <= idx {
+                ms.push(vec![0.0; p.len()]);
+                vs.push(vec![0.0; p.len()]);
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for i in 0..p.len() {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p[i] -= lr * mhat / (vhat.sqrt() + eps);
+                g[i] = 0.0;
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Sequential};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Train y = 2x + 1 with one linear neuron; both optimizers must
+    /// converge.
+    fn fit_line(optim: &mut dyn Optimizer) -> (f32, f32) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 1, 1));
+        let xs: Vec<f32> = (0..16).map(|i| i as f32 / 8.0 - 1.0).collect();
+        for _ in 0..600 {
+            let x = Tensor::new(vec![16, 1], xs.clone());
+            let out = net.forward(x);
+            // dL/dy for L = mean (y - t)^2 is 2 (y - t) / n.
+            let mut grad = Tensor::zeros(vec![16, 1]);
+            for i in 0..16 {
+                let target = 2.0 * xs[i] + 1.0;
+                grad.data[i] = 2.0 * (out.data[i] - target) / 16.0;
+            }
+            net.backward(grad);
+            optim.step(&mut net);
+        }
+        let probe = net.infer(Tensor::new(vec![2, 1], vec![0.0, 1.0]));
+        (probe.data[0], probe.data[1])
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let (b, sum) = fit_line(&mut Sgd::new(0.1, 0.9));
+        assert!((b - 1.0).abs() < 1e-2, "intercept {b}");
+        assert!((sum - 3.0).abs() < 1e-2, "slope+intercept {sum}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let (b, sum) = fit_line(&mut Adam::new(0.05));
+        assert!((b - 1.0).abs() < 1e-2, "intercept {b}");
+        assert!((sum - 3.0).abs() < 1e-2, "slope+intercept {sum}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 2, 2));
+        let out = net.forward(Tensor::new(vec![1, 2], vec![1.0, -1.0]));
+        net.backward(Tensor::new(out.shape.clone(), vec![1.0, 1.0]));
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut net);
+        net.visit_params(&mut |_, g| assert!(g.iter().all(|&v| v == 0.0)));
+    }
+}

@@ -1,0 +1,180 @@
+//! Binary snapshotting of model parameters.
+//!
+//! A deliberately small format on top of `bytes`: magic, version, then a
+//! sequence of length-prefixed `f32` blocks in `visit_params` order. Used by
+//! the bench harness to train once and reuse the model across experiment
+//! binaries.
+
+use crate::layers::Layer;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: u32 = 0x4146_4e4e; // "AFNN"
+const VERSION: u16 = 1;
+
+/// Snapshot error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    BadMagic,
+    BadVersion(u16),
+    Truncated,
+    /// Parameter block count or sizes do not match the target model.
+    ShapeMismatch { block: usize, expected: usize, got: usize },
+    BlockCountMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => f.write_str("not an af-nn snapshot"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => f.write_str("snapshot truncated"),
+            SnapshotError::ShapeMismatch { block, expected, got } => {
+                write!(f, "block {block}: expected {expected} values, got {got}")
+            }
+            SnapshotError::BlockCountMismatch { expected, got } => {
+                write!(f, "expected {expected} parameter blocks, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialize all parameters of `layer` into a byte buffer.
+pub fn save_params(layer: &mut dyn Layer) -> Bytes {
+    let mut blocks: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params(&mut |p, _| blocks.push(p.to_vec()));
+    let total: usize = blocks.iter().map(|b| 8 + b.len() * 4).sum();
+    let mut buf = BytesMut::with_capacity(16 + total);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u16(0); // reserved
+    buf.put_u32(blocks.len() as u32);
+    for b in &blocks {
+        buf.put_u64(b.len() as u64);
+        for &v in b {
+            buf.put_f32(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restore parameters into `layer` (whose architecture must match).
+pub fn load_params(layer: &mut dyn Layer, mut data: Bytes) -> Result<(), SnapshotError> {
+    if data.remaining() < 12 {
+        return Err(SnapshotError::Truncated);
+    }
+    if data.get_u32() != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = data.get_u16();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let _reserved = data.get_u16();
+    let n_blocks = data.get_u32() as usize;
+    let mut blocks: Vec<Vec<f32>> = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        if data.remaining() < 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        let len = data.get_u64() as usize;
+        if data.remaining() < len * 4 {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(data.get_f32());
+        }
+        blocks.push(v);
+    }
+    // Apply.
+    let mut idx = 0usize;
+    let mut err: Option<SnapshotError> = None;
+    layer.visit_params(&mut |p, _| {
+        if err.is_some() {
+            return;
+        }
+        match blocks.get(idx) {
+            Some(b) if b.len() == p.len() => p.copy_from_slice(b),
+            Some(b) => {
+                err = Some(SnapshotError::ShapeMismatch {
+                    block: idx,
+                    expected: p.len(),
+                    got: b.len(),
+                })
+            }
+            None => {
+                err = Some(SnapshotError::BlockCountMismatch {
+                    expected: idx + 1,
+                    got: blocks.len(),
+                })
+            }
+        }
+        idx += 1;
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if idx != blocks.len() {
+        return Err(SnapshotError::BlockCountMismatch { expected: idx, got: blocks.len() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu, Sequential};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Sequential::new();
+        s.push(Linear::new(&mut rng, 4, 8));
+        s.push(Relu::new());
+        s.push(Linear::new(&mut rng, 8, 2));
+        s
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut a = net(1);
+        let mut b = net(2);
+        let x = Tensor::new(vec![1, 4], vec![0.5, -0.5, 1.0, 0.25]);
+        assert_ne!(a.infer(x.clone()).data, b.infer(x.clone()).data);
+        let snap = save_params(&mut a);
+        load_params(&mut b, snap).unwrap();
+        assert_eq!(a.infer(x.clone()).data, b.infer(x).data);
+    }
+
+    #[test]
+    fn mismatched_architecture_rejected() {
+        let mut a = net(1);
+        let snap = save_params(&mut a);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tiny = Sequential::new();
+        tiny.push(Linear::new(&mut rng, 4, 4));
+        let err = load_params(&mut tiny, snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn corrupt_data_rejected() {
+        let mut a = net(1);
+        assert_eq!(
+            load_params(&mut a, Bytes::from_static(b"garbage, not a snapshot")).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        assert_eq!(
+            load_params(&mut a, Bytes::from_static(b"tiny")).unwrap_err(),
+            SnapshotError::Truncated
+        );
+        let snap = save_params(&mut a);
+        let truncated = snap.slice(0..snap.len() - 7);
+        assert_eq!(load_params(&mut a, truncated).unwrap_err(), SnapshotError::Truncated);
+    }
+}

@@ -1,0 +1,193 @@
+//! Row-major `f32` tensors with explicit shapes.
+
+use std::fmt;
+
+/// A dense row-major tensor. Shapes follow the usual conventions:
+/// `[batch, features]` for dense layers and `[batch, channels, height,
+/// width]` for convolutional layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    pub shape: Vec<usize>,
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not match data length {}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let n = shape.iter().product();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// First shape dimension (batch size by convention).
+    pub fn batch(&self) -> usize {
+        self.shape.first().copied().unwrap_or(0)
+    }
+
+    /// Product of all dimensions after the first.
+    pub fn features(&self) -> usize {
+        self.shape.iter().skip(1).product()
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Tensor {
+        assert_eq!(shape.iter().product::<usize>(), self.data.len());
+        self.shape = shape;
+        self
+    }
+
+    /// Borrow row `i` of a 2-D view `[batch, features]`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        let f = self.features();
+        &self.data[i * f..(i + 1) * f]
+    }
+
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        let f = self.features();
+        &mut self.data[i * f..(i + 1) * f]
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+/// `out[b, o] = Σ_i x[b, i] · w[o, i] + bias[o]` — the dense-layer kernel.
+/// `w` is `[out_dim, in_dim]` row-major. Uses an i-k-j style loop order so
+/// the inner loop streams contiguously.
+pub fn matmul_xwt(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    batch: usize,
+    in_dim: usize,
+    out_dim: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), batch * in_dim);
+    debug_assert_eq!(w.len(), out_dim * in_dim);
+    debug_assert_eq!(out.len(), batch * out_dim);
+    for b in 0..batch {
+        let xr = &x[b * in_dim..(b + 1) * in_dim];
+        let or = &mut out[b * out_dim..(b + 1) * out_dim];
+        or.copy_from_slice(bias);
+        for (o, ov) in or.iter_mut().enumerate() {
+            let wr = &w[o * in_dim..(o + 1) * in_dim];
+            let mut acc = 0.0f32;
+            for i in 0..in_dim {
+                acc += xr[i] * wr[i];
+            }
+            *ov += acc;
+        }
+    }
+}
+
+/// Squared L2 distance between two equal-length vectors.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// In-place L2 normalization; returns the original norm. Vectors with norm
+/// below `eps` are left unchanged (and the norm returned is the true norm).
+pub fn l2_normalize(v: &mut [f32]) -> f32 {
+    const EPS: f32 = 1e-12;
+    let norm = dot(v, v).sqrt();
+    if norm > EPS {
+        let inv = 1.0 / norm;
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks() {
+        let t = Tensor::new(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.batch(), 2);
+        assert_eq!(t.features(), 3);
+        assert_eq!(t.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_shape_panics() {
+        Tensor::new(vec![2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        // x = [[1,2]], w = [[1,0],[0,1],[1,1]], b = [10,20,30]
+        let x = [1.0, 2.0];
+        let w = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let b = [10.0, 20.0, 30.0];
+        let mut out = [0.0; 3];
+        matmul_xwt(&x, &w, &b, 1, 2, 3, &mut out);
+        assert_eq!(out, [11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn l2_helpers() {
+        assert_eq!(l2_sq(&[0.0, 3.0], &[4.0, 0.0]), 25.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut v = vec![3.0, 4.0];
+        let n = l2_normalize(&mut v);
+        assert_eq!(n, 5.0);
+        assert!((v[0] - 0.6).abs() < 1e-6 && (v[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_vector_noop() {
+        let mut v = vec![0.0, 0.0];
+        let n = l2_normalize(&mut v);
+        assert_eq!(n, 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::new(vec![2, 2], vec![1., 2., 3., 4.]).reshape(vec![4]);
+        assert_eq!(t.shape, vec![4]);
+        assert_eq!(t.data, vec![1., 2., 3., 4.]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Triplet loss with semi-hard negative mining (§4.5, FaceNet-style).
+//!
+//! `l_triplet = max(‖φ_A − φ_P‖² − ‖φ_A − φ_N‖² + m, 0)` (Eq. 1). During
+//! training we select, per (anchor, positive) pair, a *semi-hard* negative:
+//! one whose triplet loss is strictly inside `(0, m)` — hard enough to learn
+//! from, not so hard that gradients collapse.
+
+use crate::tensor::{l2_sq, Tensor};
+
+/// A batch of aligned anchor/positive/negative embeddings, each
+/// `[batch, dim]`.
+pub struct TripletBatch {
+    pub anchors: Tensor,
+    pub positives: Tensor,
+    pub negatives: Tensor,
+}
+
+/// Compute mean triplet loss over the batch and the gradients w.r.t. all
+/// three embedding tensors. Returns `(loss, grad_a, grad_p, grad_n)`.
+pub fn triplet_loss_grads(batch: &TripletBatch, margin: f32) -> (f32, Tensor, Tensor, Tensor) {
+    let n = batch.anchors.batch();
+    let d = batch.anchors.features();
+    assert_eq!(batch.positives.shape, batch.anchors.shape);
+    assert_eq!(batch.negatives.shape, batch.anchors.shape);
+    let mut ga = Tensor::zeros(batch.anchors.shape.clone());
+    let mut gp = Tensor::zeros(batch.anchors.shape.clone());
+    let mut gn = Tensor::zeros(batch.anchors.shape.clone());
+    if n == 0 {
+        return (0.0, ga, gp, gn);
+    }
+    let mut total = 0.0f32;
+    let scale = 1.0 / n as f32;
+    for b in 0..n {
+        let a = batch.anchors.row(b);
+        let p = batch.positives.row(b);
+        let nn = batch.negatives.row(b);
+        let loss = l2_sq(a, p) - l2_sq(a, nn) + margin;
+        if loss <= 0.0 {
+            continue;
+        }
+        total += loss;
+        // d/da ‖a−p‖² = 2(a−p); d/da −‖a−n‖² = −2(a−n).
+        let (gar, gpr, gnr) = (ga.row_mut(b), gp.row_mut(b), gn.row_mut(b));
+        for i in 0..d {
+            gar[i] = 2.0 * (nn[i] - p[i]) * scale;
+            gpr[i] = 2.0 * (p[i] - a[i]) * scale;
+            gnr[i] = 2.0 * (a[i] - nn[i]) * scale;
+        }
+    }
+    (total * scale, ga, gp, gn)
+}
+
+/// Given per-pair anchor embeddings and a pool of candidate negative
+/// embeddings, pick for each pair the index of a semi-hard negative: one
+/// with `0 < ‖a−p‖² − ‖a−n‖² + m < m` (i.e. farther than the positive but
+/// within the margin). Falls back to the hardest (closest) negative that is
+/// not the positive itself when no semi-hard candidate exists.
+///
+/// `forbidden[i]` is a candidate index that must not be chosen for pair `i`
+/// (typically the candidate that *is* pair `i`'s own positive class).
+pub fn semi_hard_indices(
+    anchors: &Tensor,
+    positives: &Tensor,
+    candidates: &Tensor,
+    forbidden: &[usize],
+    margin: f32,
+) -> Vec<usize> {
+    let n = anchors.batch();
+    let m = candidates.batch();
+    assert!(m > 1, "need at least two negative candidates");
+    let mut out = Vec::with_capacity(n);
+    for b in 0..n {
+        let a = anchors.row(b);
+        let dp = l2_sq(a, positives.row(b));
+        let mut best_semi: Option<(usize, f32)> = None;
+        let mut hardest: Option<(usize, f32)> = None;
+        for c in 0..m {
+            if forbidden.get(b) == Some(&c) {
+                continue;
+            }
+            let dn = l2_sq(a, candidates.row(c));
+            let loss = dp - dn + margin;
+            if loss > 0.0 && loss < margin {
+                // Semi-hard: prefer the one closest to the anchor (largest
+                // loss) for the most informative gradient.
+                if best_semi.map_or(true, |(_, l)| loss > l) {
+                    best_semi = Some((c, loss));
+                }
+            }
+            if hardest.map_or(true, |(_, d)| dn < d) {
+                hardest = Some((c, dn));
+            }
+        }
+        let pick = best_semi
+            .map(|(c, _)| c)
+            .or(hardest.map(|(c, _)| c))
+            .expect("non-empty candidate pool");
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: &[&[f32]]) -> Tensor {
+        let d = rows[0].len();
+        let mut data = Vec::new();
+        for r in rows {
+            assert_eq!(r.len(), d);
+            data.extend_from_slice(r);
+        }
+        Tensor::new(vec![rows.len(), d], data)
+    }
+
+    #[test]
+    fn loss_zero_when_separated() {
+        let batch = TripletBatch {
+            anchors: t(&[&[0.0, 0.0]]),
+            positives: t(&[&[0.1, 0.0]]),
+            negatives: t(&[&[5.0, 0.0]]),
+        };
+        let (loss, ga, _, _) = triplet_loss_grads(&batch, 0.2);
+        assert_eq!(loss, 0.0);
+        assert!(ga.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn loss_positive_when_violating() {
+        let batch = TripletBatch {
+            anchors: t(&[&[0.0, 0.0]]),
+            positives: t(&[&[1.0, 0.0]]),
+            negatives: t(&[&[0.5, 0.0]]),
+        };
+        // dp = 1, dn = 0.25, margin 0.2 → loss = 0.95.
+        let (loss, _, _, _) = triplet_loss_grads(&batch, 0.2);
+        assert!((loss - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let batch = TripletBatch {
+            anchors: t(&[&[0.1, -0.2, 0.3]]),
+            positives: t(&[&[0.4, 0.1, 0.0]]),
+            negatives: t(&[&[0.2, 0.0, 0.35]]),
+        };
+        let margin = 0.2;
+        let (_, ga, gp, gn) = triplet_loss_grads(&batch, margin);
+        let eps = 1e-3f32;
+        let loss_of = |b: &TripletBatch| triplet_loss_grads(b, margin).0;
+        for i in 0..3 {
+            for (which, analytic) in [(0, &ga), (1, &gp), (2, &gn)] {
+                let mut bp = TripletBatch {
+                    anchors: batch.anchors.clone(),
+                    positives: batch.positives.clone(),
+                    negatives: batch.negatives.clone(),
+                };
+                let target = match which {
+                    0 => &mut bp.anchors,
+                    1 => &mut bp.positives,
+                    _ => &mut bp.negatives,
+                };
+                target.data[i] += eps;
+                let fp = loss_of(&bp);
+                let target = match which {
+                    0 => &mut bp.anchors,
+                    1 => &mut bp.positives,
+                    _ => &mut bp.negatives,
+                };
+                target.data[i] -= 2.0 * eps;
+                let fm = loss_of(&bp);
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = analytic.data[i];
+                assert!(
+                    (num - ana).abs() < 1e-2,
+                    "tensor {which} idx {i}: numeric {num} analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semi_hard_prefers_in_margin_negatives() {
+        let anchors = t(&[&[0.0, 0.0]]);
+        let positives = t(&[&[0.5, 0.0]]); // dp = 0.25
+        // Candidates: [0] too easy (far), [1] semi-hard, [2] too hard
+        // (closer than positive).
+        let candidates = t(&[&[5.0, 0.0], &[0.6, 0.0], &[0.1, 0.0]]);
+        let picks = semi_hard_indices(&anchors, &positives, &candidates, &[], 0.2);
+        assert_eq!(picks, vec![1]);
+    }
+
+    #[test]
+    fn falls_back_to_hardest_and_respects_forbidden() {
+        let anchors = t(&[&[0.0, 0.0]]);
+        let positives = t(&[&[0.5, 0.0]]);
+        // No semi-hard candidate exists; hardest (closest) is index 0, but
+        // it is forbidden, so index 1 wins.
+        let candidates = t(&[&[0.01, 0.0], &[0.02, 0.0]]);
+        let picks = semi_hard_indices(&anchors, &positives, &candidates, &[0], 0.2);
+        assert_eq!(picks, vec![1]);
+    }
+
+    #[test]
+    fn empty_batch_is_safe() {
+        let empty = Tensor::zeros(vec![0, 4]);
+        let batch = TripletBatch {
+            anchors: empty.clone(),
+            positives: empty.clone(),
+            negatives: empty,
+        };
+        let (loss, _, _, _) = triplet_loss_grads(&batch, 0.2);
+        assert_eq!(loss, 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Domain scenario: income statements for different fiscal periods (the
+//! paper's other motivating workload — "financial statements for different
+//! time periods"). Demonstrates the three online stages S1/S2/S3 with
+//! diagnostics, and the confidence threshold θ in action.
+//!
+//! Run with: `cargo run --release --example financial_statements`
+
+use auto_formula::core::features::WindowOrigin;
+use auto_formula::core::index::IndexOptions;
+use auto_formula::core::pipeline::{AutoFormula, PipelineVariant};
+use auto_formula::core::{AutoFormulaConfig, TrainingOptions};
+use auto_formula::corpus::organization::{OrgSpec, Scale};
+use auto_formula::corpus::split::{split, SplitKind};
+use auto_formula::corpus::testcase::{masked_sheet, sample_test_cases};
+use auto_formula::embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::sync::Arc;
+
+fn main() {
+    // The TI-sim org carries FinancialStatement families among others.
+    let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+    let org = OrgSpec::ti(Scale::Tiny).generate();
+
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(64)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig { episodes: 60, ..AutoFormulaConfig::default() };
+    let (af, _) =
+        AutoFormula::train(&universe.workbooks, featurizer, cfg, TrainingOptions::default());
+
+    let sp = split(&org, SplitKind::Timestamp, 0.1, 3);
+    let index = af.build_index(&org.workbooks, &sp.reference, IndexOptions::default());
+    let cases = sample_test_cases(&org, &sp, 4, 9);
+    let embedder = af.embedder();
+
+    println!("=== S1/S2/S3 walkthrough on {} test cases ===", cases.len().min(5));
+    for tc in cases.iter().take(5) {
+        let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        println!("\ntarget: workbook {} sheet {:?} cell {}", tc.workbook, sheet.name(), tc.target);
+
+        // S1 diagnostics: which sheets look similar?
+        let emb = embedder.embed_sheet(&masked, false);
+        let hits = index.similar_sheets(&emb.coarse, 3);
+        for (rank, h) in hits.iter().enumerate() {
+            let key = index.keys[h.id];
+            println!(
+                "  S1 #{rank}: sheet {:?} of workbook {} (coarse d={:.3})",
+                org.workbooks[key.workbook].sheets[key.sheet].name(),
+                key.workbook,
+                h.dist
+            );
+        }
+        // S2 diagnostics: target region embedding exists for any cell.
+        let _region = embedder.fine_window(&emb, &masked, WindowOrigin::Centered(tc.target));
+
+        // Full prediction with threshold (production behavior).
+        match af.predict(&index, &org.workbooks, &masked, tc.target) {
+            Some(p) => {
+                let gt = auto_formula::formula::parse_formula(&tc.ground_truth)
+                    .map(|e| e.to_string())
+                    .unwrap_or_default();
+                println!(
+                    "  S2 picked {} at {} (d={:.3}); S3 adapted to: ={}",
+                    p.template_signature, p.reference_cell, p.s2_distance, p.formula
+                );
+                println!("  ground truth: ={gt}  → {}", if p.formula == gt { "MATCH" } else { "differ" });
+            }
+            None => {
+                // Either no candidate or suppressed by θ — show the
+                // unthresholded answer for contrast.
+                match af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
+                {
+                    Some(p) => println!(
+                        "  suppressed by θ={} (best candidate d={:.3}: ={})",
+                        af.cfg().theta_region,
+                        p.s2_distance,
+                        p.formula
+                    ),
+                    None => println!("  no candidate regions at all"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: train Auto-Formula on a small spreadsheet universe, index
+//! an organization's existing spreadsheets, and predict the formula a user
+//! is about to type.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use auto_formula::core::index::IndexOptions;
+use auto_formula::core::pipeline::{AutoFormula, PipelineVariant};
+use auto_formula::core::{AutoFormulaConfig, TrainingOptions};
+use auto_formula::corpus::organization::{OrgSpec, Scale};
+use auto_formula::corpus::split::{split, SplitKind};
+use auto_formula::corpus::testcase::{masked_sheet, sample_test_cases};
+use auto_formula::embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A training universe (the paper's 160K web-crawl stand-in) and an
+    //    organization whose users we want to help.
+    let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+    let org = OrgSpec::pge(Scale::Tiny).generate();
+    println!(
+        "universe: {} workbooks / org {}: {} workbooks, {} formulas",
+        universe.workbooks.len(),
+        org.name,
+        org.workbooks.len(),
+        org.stats().formulas
+    );
+
+    // 2. Offline: train the two representation models once (weak
+    //    supervision → augmentation → semi-hard triplet learning).
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(64)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig { episodes: 60, ..AutoFormulaConfig::default() };
+    let (af, report) =
+        AutoFormula::train(&universe.workbooks, featurizer, cfg, TrainingOptions::default());
+    println!(
+        "trained in {:.1}s on {} sheet pairs / {} region pairs",
+        report.seconds, report.coarse_pairs, report.fine_pairs
+    );
+
+    // 3. Index the organization's existing spreadsheets (all but the
+    //    newest 10%, which play the role of "sheets being edited now").
+    let sp = split(&org, SplitKind::Timestamp, 0.1, 7);
+    let index = af.build_index(&org.workbooks, &sp.reference, IndexOptions::default());
+    println!("indexed {} sheets / {} formula regions", index.n_sheets(), index.n_regions());
+
+    // 4. Online: the user selects a cell — recommend a formula.
+    let cases = sample_test_cases(&org, &sp, 3, 1);
+    for tc in cases.iter().take(8) {
+        let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target); // user hasn't typed it yet
+        match af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full) {
+            Some(pred) => {
+                let gt = auto_formula::formula::parse_formula(&tc.ground_truth)
+                    .map(|e| e.to_string())
+                    .unwrap_or_default();
+                let verdict = if pred.formula == gt { "HIT " } else { "MISS" };
+                println!(
+                    "[{verdict}] {}!{}: suggested ={}  (truth ={gt}, confidence d={:.3})",
+                    sheet.name(),
+                    tc.target,
+                    pred.formula,
+                    pred.s2_distance
+                );
+            }
+            None => println!("[----] {}!{}: no recommendation", sheet.name(), tc.target),
+        }
+    }
+}

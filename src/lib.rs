@@ -1,0 +1,20 @@
+//! `auto-formula` — facade crate for the Auto-Formula (SIGMOD 2024)
+//! reproduction.
+//!
+//! Re-exports the workspace crates under stable module names so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use auto_formula::grid::Sheet;
+//! let sheet = Sheet::new("Quickstart");
+//! assert_eq!(sheet.name(), "Quickstart");
+//! ```
+
+pub use af_ann as ann;
+pub use af_baselines as baselines;
+pub use af_core as core;
+pub use af_corpus as corpus;
+pub use af_embed as embed;
+pub use af_formula as formula;
+pub use af_grid as grid;
+pub use af_nn as nn;

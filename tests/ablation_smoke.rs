@@ -1,0 +1,85 @@
+//! Ablation smoke tests: the experiment arms of Figs. 13–15 must all run
+//! end-to-end and the feature masks must actually change model inputs.
+
+use auto_formula::core::index::IndexOptions;
+use auto_formula::core::pipeline::{AutoFormula, PipelineVariant};
+use auto_formula::core::{AutoFormulaConfig, TrainingOptions};
+use auto_formula::corpus::organization::{OrgSpec, Scale};
+use auto_formula::corpus::split::{split, SplitKind};
+use auto_formula::corpus::testcase::{masked_sheet, sample_test_cases};
+use auto_formula::embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::sync::Arc;
+
+fn train(mask: FeatureMask, coarse_da: bool, fine_da: bool) -> AutoFormula {
+    let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), mask);
+    let cfg = AutoFormulaConfig {
+        episodes: 20,
+        coarse_augmentation: coarse_da,
+        fine_augmentation: fine_da,
+        ..AutoFormulaConfig::test_tiny()
+    };
+    let (af, report) =
+        AutoFormula::train(&universe.workbooks, featurizer, cfg, TrainingOptions::default());
+    assert!(report.episodes > 0);
+    af
+}
+
+fn predict_some(af: &AutoFormula) -> usize {
+    let org = OrgSpec::pge(Scale::Tiny).generate();
+    let sp = split(&org, SplitKind::Random, 0.1, 2);
+    let index = af.build_index(&org.workbooks, &sp.reference, IndexOptions::default());
+    let cases = sample_test_cases(&org, &sp, 2, 3);
+    cases
+        .iter()
+        .take(10)
+        .filter(|tc| {
+            let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
+            let masked = masked_sheet(sheet, tc.target);
+            af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
+                .is_some()
+        })
+        .count()
+}
+
+#[test]
+fn feature_mask_arms_run() {
+    for mask in [FeatureMask::FULL, FeatureMask::NO_CONTENT, FeatureMask::NO_STYLE] {
+        let af = train(mask, true, true);
+        // All arms must still produce *some* predictions (quality differs,
+        // which the fig13 harness measures).
+        let n = predict_some(&af);
+        assert!(n > 0, "mask {mask:?} produced no predictions");
+    }
+}
+
+#[test]
+fn augmentation_arms_run() {
+    for (cda, fda) in [(true, true), (true, false), (false, false)] {
+        let af = train(FeatureMask::FULL, cda, fda);
+        let n = predict_some(&af);
+        assert!(n > 0, "DA arm ({cda},{fda}) produced no predictions");
+    }
+}
+
+#[test]
+fn masked_features_change_embeddings() {
+    // The NO_CONTENT arm must actually blind the model to content: two
+    // cells with different text but identical style embed identically.
+    use auto_formula::grid::{Cell, Sheet};
+    let af = train(FeatureMask::NO_CONTENT, true, true);
+    let embedder = af.embedder();
+    let mut a = Sheet::new("a");
+    a.set_a1("A1", Cell::new("Revenue"));
+    let mut b = Sheet::new("b");
+    b.set_a1("A1", Cell::new("Inventory"));
+    let ea = embedder.embed_sheet(&a, false);
+    let eb = embedder.embed_sheet(&b, false);
+    assert_eq!(ea.coarse, eb.coarse, "content-blind model cannot tell these apart");
+
+    let af_full = train(FeatureMask::FULL, true, true);
+    let embedder = af_full.embedder();
+    let ea = embedder.embed_sheet(&a, false);
+    let eb = embedder.embed_sheet(&b, false);
+    assert_ne!(ea.coarse, eb.coarse, "full model must tell these apart");
+}

@@ -1,0 +1,140 @@
+//! Integration of the comparison methods against generated corpora:
+//! ordering sanity (Auto-Formula's ingredients vs baselines) and failure
+//! injection.
+
+use auto_formula::baselines::gpt::{GptSim, PromptConfig};
+use auto_formula::baselines::{
+    Baseline, MondrianBaseline, PredictionContext, SpreadsheetCoderSim, WeakSupBaseline,
+};
+use auto_formula::corpus::organization::{OrgSpec, Scale};
+use auto_formula::corpus::split::{split, SplitKind};
+use auto_formula::corpus::testcase::{masked_sheet, sample_test_cases, TestCase};
+use auto_formula::corpus::OrgCorpus;
+use auto_formula::grid::CellRef;
+use std::time::Duration;
+
+fn eval(
+    baseline: &dyn Baseline,
+    corpus: &OrgCorpus,
+    reference: &[usize],
+    cases: &[TestCase],
+) -> (usize, usize) {
+    let mut preds = 0;
+    let mut hits = 0;
+    for tc in cases {
+        let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        let ctx = PredictionContext {
+            workbooks: &corpus.workbooks,
+            reference,
+            target_workbook: tc.workbook,
+            target_sheet: tc.sheet,
+            masked: &masked,
+            target: tc.target,
+        };
+        if let Some(p) = baseline.predict(&ctx) {
+            preds += 1;
+            let gt = auto_formula::formula::parse_formula(&tc.ground_truth)
+                .unwrap()
+                .to_string();
+            if p.formula == gt {
+                hits += 1;
+            }
+        }
+    }
+    (preds, hits)
+}
+
+#[test]
+fn baselines_produce_sane_results_on_pge() {
+    let corpus = OrgSpec::pge(Scale::Tiny).generate();
+    let sp = split(&corpus, SplitKind::Random, 0.1, 3);
+    let cases = sample_test_cases(&corpus, &sp, 5, 7);
+    assert!(!cases.is_empty());
+
+    let ws = WeakSupBaseline::build(&corpus.workbooks, 0.05);
+    let (ws_preds, ws_hits) = eval(&ws, &corpus, &sp.reference, &cases);
+    // Weak supervision abstains on some cases (limited recall).
+    assert!(ws_preds < cases.len());
+    // When it predicts, it is precise more often than not on PGE-sim.
+    if ws_preds > 0 {
+        assert!(ws_hits * 2 >= ws_preds, "{ws_hits}/{ws_preds}");
+    }
+
+    let m = MondrianBaseline::build(&corpus.workbooks, &sp.reference, Duration::from_secs(60))
+        .expect("tiny corpus fits the budget");
+    let (m_preds, _m_hits) = eval(&m, &corpus, &sp.reference, &cases);
+    assert!(m_preds > 0, "Mondrian predicts eagerly");
+
+    let (ssc_preds, ssc_hits) = eval(&SpreadsheetCoderSim, &corpus, &sp.reference, &cases);
+    // SSC only handles simple aggregates: strictly fewer hits than cases.
+    assert!(ssc_hits < cases.len());
+    assert!(ssc_preds <= cases.len());
+}
+
+#[test]
+fn gpt_union_dominates_single_variants() {
+    let corpus = OrgSpec::pge(Scale::Tiny).generate();
+    let sp = split(&corpus, SplitKind::Random, 0.1, 3);
+    let cases = sample_test_cases(&corpus, &sp, 5, 7);
+    let gpt = GptSim::build(&corpus.workbooks, &sp.reference);
+    let variants = PromptConfig::all();
+    let mut per_variant_hits = vec![0usize; variants.len()];
+    let mut union_hits = 0usize;
+    for tc in &cases {
+        let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        let gt = auto_formula::formula::parse_formula(&tc.ground_truth).unwrap().to_string();
+        let ctx = PredictionContext {
+            workbooks: &corpus.workbooks,
+            reference: &sp.reference,
+            target_workbook: tc.workbook,
+            target_sheet: tc.sheet,
+            masked: &masked,
+            target: tc.target,
+        };
+        let mut any = false;
+        for (vi, (_, p)) in gpt.predict_all(&ctx).into_iter().enumerate() {
+            if p.map(|x| x.formula == gt).unwrap_or(false) {
+                per_variant_hits[vi] += 1;
+                any = true;
+            }
+        }
+        if any {
+            union_hits += 1;
+        }
+    }
+    let best_single = per_variant_hits.iter().max().copied().unwrap_or(0);
+    assert!(union_hits >= best_single, "union must dominate each variant");
+}
+
+#[test]
+fn baselines_survive_degenerate_inputs() {
+    // An org of empty workbooks and a target on an empty sheet.
+    let mut corpus = OrgSpec::cisco(Scale::Tiny).generate();
+    corpus.workbooks.truncate(3);
+    for wb in corpus.workbooks.iter_mut() {
+        for sheet in wb.sheets.iter_mut() {
+            let cells: Vec<CellRef> = sheet.iter().map(|(at, _)| at).collect();
+            for at in cells {
+                sheet.remove(at);
+            }
+        }
+    }
+    let reference = [1usize, 2];
+    let empty = &corpus.workbooks[0].sheets[0];
+    let ctx = PredictionContext {
+        workbooks: &corpus.workbooks,
+        reference: &reference,
+        target_workbook: 0,
+        target_sheet: 0,
+        masked: empty,
+        target: CellRef::new(5, 5),
+    };
+    assert!(SpreadsheetCoderSim.predict(&ctx).is_none());
+    let ws = WeakSupBaseline::build(&corpus.workbooks, 0.05);
+    // Name-matched empty sheets have no formulas to copy.
+    assert!(ws.predict(&ctx).is_none());
+    let gpt = GptSim::build(&corpus.workbooks, &reference);
+    assert!(gpt.predict(&ctx).is_none());
+}

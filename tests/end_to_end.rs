@@ -1,0 +1,141 @@
+//! Cross-crate integration: generate corpora, train, index, predict,
+//! evaluate — the full paper pipeline at test scale.
+
+use auto_formula::core::index::IndexOptions;
+use auto_formula::core::pipeline::{AutoFormula, PipelineVariant};
+use auto_formula::core::{AutoFormulaConfig, TrainingOptions};
+use auto_formula::corpus::organization::{OrgSpec, Scale};
+use auto_formula::corpus::split::{split, SplitKind};
+use auto_formula::corpus::testcase::{masked_sheet, sample_test_cases};
+use auto_formula::embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::sync::Arc;
+
+fn tiny_system(universe: &auto_formula::corpus::OrgCorpus) -> AutoFormula {
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig { episodes: 40, ..AutoFormulaConfig::test_tiny() };
+    let (af, report) = AutoFormula::train(
+        &universe.workbooks,
+        featurizer,
+        cfg,
+        TrainingOptions::default(),
+    );
+    assert!(report.coarse_pairs > 0 && report.fine_pairs > 0);
+    af
+}
+
+#[test]
+fn train_index_predict_evaluate() {
+    let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+    let org = OrgSpec::pge(Scale::Tiny).generate();
+    let af = tiny_system(&universe);
+    let sp = split(&org, SplitKind::Timestamp, 0.1, 1);
+    let index = af.build_index(&org.workbooks, &sp.reference, IndexOptions::default());
+    assert!(index.n_sheets() > 0);
+    assert!(index.n_regions() > 0);
+
+    let cases = sample_test_cases(&org, &sp, 5, 2);
+    assert!(!cases.is_empty());
+    let mut n_pred = 0;
+    let mut n_hit = 0;
+    for tc in cases.iter().take(40) {
+        let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        if let Some(p) =
+            af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
+        {
+            n_pred += 1;
+            let gt =
+                auto_formula::formula::parse_formula(&tc.ground_truth).unwrap().to_string();
+            if p.formula == gt {
+                n_hit += 1;
+            }
+            // Predictions always parse.
+            assert!(auto_formula::formula::parse_formula(&p.formula).is_ok());
+        }
+    }
+    assert!(n_pred > 0, "pipeline should make predictions");
+    assert!(n_hit * 4 >= n_pred, "at least 25% exact on PGE-sim ({n_hit}/{n_pred})");
+}
+
+#[test]
+fn determinism_across_runs() {
+    // Same seeds → identical corpora, training, and predictions.
+    let run = || {
+        let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+        let org = OrgSpec::ti(Scale::Tiny).generate();
+        let af = tiny_system(&universe);
+        let sp = split(&org, SplitKind::Timestamp, 0.1, 1);
+        let index = af.build_index(&org.workbooks, &sp.reference, IndexOptions::default());
+        let cases = sample_test_cases(&org, &sp, 3, 2);
+        cases
+            .iter()
+            .take(10)
+            .map(|tc| {
+                let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
+                let masked = masked_sheet(sheet, tc.target);
+                af.predict_with(
+                    &index,
+                    &org.workbooks,
+                    &masked,
+                    tc.target,
+                    PipelineVariant::Full,
+                )
+                .map(|p| p.formula)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn pipeline_variants_all_run() {
+    let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+    let org = OrgSpec::pge(Scale::Tiny).generate();
+    let af = tiny_system(&universe);
+    let sp = split(&org, SplitKind::Random, 0.1, 5);
+    let index = af.build_index(
+        &org.workbooks,
+        &sp.reference,
+        IndexOptions { fine_sheet_signatures: true, coarse_regions: true },
+    );
+    let cases = sample_test_cases(&org, &sp, 2, 3);
+    let tc = &cases[0];
+    let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
+    let masked = masked_sheet(sheet, tc.target);
+    for variant in
+        [PipelineVariant::Full, PipelineVariant::CoarseOnly, PipelineVariant::FineOnly]
+    {
+        // Must not panic; may or may not predict.
+        let _ = af.predict_with(&index, &org.workbooks, &masked, tc.target, variant);
+    }
+}
+
+#[test]
+fn model_snapshot_round_trips_through_pipeline() {
+    let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+    let org = OrgSpec::pge(Scale::Tiny).generate();
+    let mut af = tiny_system(&universe);
+    let snapshot = af.model.to_bytes();
+
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+    let cfg = af.model.cfg;
+    let mut model = auto_formula::core::RepresentationModel::new(featurizer.dim(), cfg);
+    model.load_bytes(snapshot).unwrap();
+    let af2 = AutoFormula::from_model(model, featurizer);
+
+    let sp = split(&org, SplitKind::Random, 0.1, 9);
+    let index1 = af.build_index(&org.workbooks, &sp.reference, IndexOptions::default());
+    let index2 = af2.build_index(&org.workbooks, &sp.reference, IndexOptions::default());
+    let cases = sample_test_cases(&org, &sp, 2, 4);
+    for tc in cases.iter().take(5) {
+        let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
+        let masked = masked_sheet(sheet, tc.target);
+        let a = af
+            .predict_with(&index1, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
+            .map(|p| p.formula);
+        let b = af2
+            .predict_with(&index2, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
+            .map(|p| p.formula);
+        assert_eq!(a, b, "snapshot must reproduce predictions");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests over the public API: invariants that must hold for
+//! arbitrary inputs.
+
+use auto_formula::formula::{parse, parse_formula, Template};
+use auto_formula::grid::{A1Ref, Cell, CellRef, RangeRef, Sheet};
+use proptest::prelude::*;
+
+fn arb_cellref() -> impl Strategy<Value = CellRef> {
+    (0u32..5000, 0u32..200).prop_map(|(r, c)| CellRef::new(r, c))
+}
+
+proptest! {
+    #[test]
+    fn a1_round_trip(cell in arb_cellref(), abs_col: bool, abs_row: bool) {
+        let a1 = A1Ref { cell, abs_col, abs_row };
+        let text = a1.to_string();
+        let back: A1Ref = text.parse().unwrap();
+        prop_assert_eq!(back, a1);
+    }
+
+    #[test]
+    fn range_normalization(a in arb_cellref(), b in arb_cellref()) {
+        let r = RangeRef::new(a, b);
+        prop_assert!(r.start.row <= r.end.row);
+        prop_assert!(r.start.col <= r.end.col);
+        prop_assert!(r.contains(a));
+        prop_assert!(r.contains(b));
+        let text = r.to_string();
+        let back: RangeRef = text.parse().unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn formula_print_parse_round_trip(
+        n in -1000i64..1000,
+        r1 in arb_cellref(),
+        r2 in arb_cellref(),
+        name in "[A-Z]{3,8}",
+    ) {
+        // Build a formula, print it, re-parse it: canonical fixed point.
+        let src = format!("{name}({r1}:{r2},{n})+IF({r1}>0,1,{r2})");
+        let e = parse(&src).unwrap();
+        let printed = e.to_string();
+        let e2 = parse(&printed).unwrap();
+        prop_assert_eq!(&e2.to_string(), &printed, "printing is a fixed point");
+    }
+
+    #[test]
+    fn template_extract_instantiate_identity(
+        r1 in arb_cellref(),
+        r2 in arb_cellref(),
+        r3 in arb_cellref(),
+    ) {
+        let src = format!("COUNTIF({r1}:{r2},{r3})");
+        let e = parse(&src).unwrap();
+        let (t, params) = Template::extract(&e);
+        prop_assert_eq!(t.n_holes, 3);
+        let back = t.instantiate(&params).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn template_instantiate_with_shifted_params(
+        r1 in arb_cellref(),
+        dr in 0i64..50,
+    ) {
+        let src = format!("SUM({r1}:{r1})*2");
+        let e = parse(&src).unwrap();
+        let (t, params) = Template::extract(&e);
+        let shifted: Vec<CellRef> =
+            params.iter().map(|c| c.offset(dr, 0).unwrap()).collect();
+        let out = t.instantiate(&shifted).unwrap();
+        // The adapted formula parses and has the same template.
+        let (t2, p2) = Template::extract(&parse_formula(&out.to_string()).unwrap());
+        prop_assert_eq!(t2.signature(), t.signature());
+        prop_assert_eq!(p2, shifted);
+    }
+
+    #[test]
+    fn sheet_edits_preserve_cell_count(
+        rows in 1u32..30,
+        cols in 1u32..8,
+        kill_row in 0u32..30,
+    ) {
+        let mut s = Sheet::new("p");
+        for r in 0..rows {
+            for c in 0..cols {
+                s.set(CellRef::new(r, c), Cell::new((r * cols + c) as f64));
+            }
+        }
+        let before = s.len() as i64;
+        s.remove_row(kill_row.min(rows - 1));
+        let after = s.len() as i64;
+        prop_assert_eq!(after, before - cols as i64);
+        // Remaining values are a subset of the originals.
+        let (nr, _) = s.dims();
+        prop_assert!(nr <= rows);
+    }
+
+    #[test]
+    fn window_slot_count_invariant(
+        rows in 1u32..40,
+        cols in 1u32..12,
+        cr in arb_cellref(),
+    ) {
+        let s = Sheet::new("w");
+        let w = auto_formula::grid::ViewWindow::new(rows, cols);
+        let n = w.centered(&s, cr).count();
+        prop_assert_eq!(n, (rows * cols) as usize);
+    }
+}
