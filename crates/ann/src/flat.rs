@@ -77,19 +77,18 @@ impl VectorIndex for FlatIndex {
         let n_chunks = threads.min(8);
         let chunk = n.div_ceil(n_chunks);
         let mut partials: Vec<Vec<Neighbor>> = Vec::with_capacity(n_chunks);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = (0..n_chunks)
                 .map(|c| {
                     let lo = c * chunk;
                     let hi = ((c + 1) * chunk).min(n);
-                    s.spawn(move |_| self.scan_range(query, k, lo, hi))
+                    s.spawn(move || self.scan_range(query, k, lo, hi))
                 })
                 .collect();
             for h in handles {
                 partials.push(h.join().expect("scan worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         let mut top = TopK::new(k);
         for p in partials {
             for nb in p {

@@ -77,9 +77,8 @@ impl VectorIndex for IvfFlatIndex {
             return Vec::new();
         }
         // Rank centroids by distance, probe the closest lists.
-        let mut cd: Vec<(usize, f32)> = (0..self.quantizer.k)
-            .map(|c| (c, l2_sq(query, self.quantizer.centroid(c))))
-            .collect();
+        let mut cd: Vec<(usize, f32)> =
+            (0..self.quantizer.k).map(|c| (c, l2_sq(query, self.quantizer.centroid(c)))).collect();
         cd.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut top = TopK::new(k);
         for &(c, _) in cd.iter().take(self.params.n_probe.max(1)) {

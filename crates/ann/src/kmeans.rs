@@ -71,10 +71,10 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, max_iters: usize, seed: u64) -
         let start = centroids.len();
         centroids.extend_from_slice(point(pick));
         let new_c = centroids[start..start + dim].to_vec();
-        for i in 0..n {
+        for (i, best) in d2.iter_mut().enumerate() {
             let d = l2_sq(point(i), &new_c);
-            if d < d2[i] {
-                d2[i] = d;
+            if d < *best {
+                *best = d;
             }
         }
     }
@@ -86,7 +86,7 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, max_iters: usize, seed: u64) -
         // Assign.
         let mut new_inertia = 0.0f32;
         let mut changed = false;
-        for i in 0..n {
+        for (i, assignment) in assignments.iter_mut().enumerate() {
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             for c in 0..k {
@@ -96,8 +96,8 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, max_iters: usize, seed: u64) -
                     best = c;
                 }
             }
-            if assignments[i] != best {
-                assignments[i] = best;
+            if *assignment != best {
+                *assignment = best;
                 changed = true;
             }
             new_inertia += best_d;
@@ -109,8 +109,7 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, max_iters: usize, seed: u64) -
         // Update.
         let mut sums = vec![0.0f32; k * dim];
         let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignments[i];
+        for (i, &c) in assignments.iter().enumerate() {
             counts[c] += 1;
             let p = point(i);
             for d in 0..dim {

@@ -23,7 +23,11 @@ fn shift_ref(r: &A1Ref, dr: i64, dc: i64) -> Option<A1Ref> {
     if row < 0 || col < 0 {
         return None;
     }
-    Some(A1Ref { cell: CellRef::new(row as u32, col as u32), abs_row: r.abs_row, abs_col: r.abs_col })
+    Some(A1Ref {
+        cell: CellRef::new(row as u32, col as u32),
+        abs_row: r.abs_row,
+        abs_col: r.abs_col,
+    })
 }
 
 fn shift_expr(e: &Expr, dr: i64, dc: i64) -> Option<Expr> {
@@ -37,11 +41,9 @@ fn shift_expr(e: &Expr, dr: i64, dc: i64) -> Option<Expr> {
             name.clone(),
             args.iter().map(|a| shift_expr(a, dr, dc)).collect::<Option<Vec<_>>>()?,
         ),
-        Expr::Binary(op, l, r) => Expr::Binary(
-            *op,
-            Box::new(shift_expr(l, dr, dc)?),
-            Box::new(shift_expr(r, dr, dc)?),
-        ),
+        Expr::Binary(op, l, r) => {
+            Expr::Binary(*op, Box::new(shift_expr(l, dr, dc)?), Box::new(shift_expr(r, dr, dc)?))
+        }
         Expr::Unary(op, x) => Expr::Unary(*op, Box::new(shift_expr(x, dr, dc)?)),
     })
 }

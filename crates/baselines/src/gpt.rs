@@ -222,7 +222,7 @@ impl GptSim {
                 let mut best: Option<(usize, f32)> = None;
                 for (i, e) in self.memory.iter().enumerate() {
                     let sim: f32 = q.iter().zip(&e.bag).map(|(a, b)| a * b).sum();
-                    if best.map_or(true, |(_, bs)| sim > bs) {
+                    if best.is_none_or(|(_, bs)| sim > bs) {
                         best = Some((i, sim));
                     }
                 }
@@ -257,7 +257,10 @@ impl GptSim {
 
     /// Union-of-24 (Table 4's last row / Table 5's GPT row): predictions of
     /// every variant.
-    pub fn predict_all(&self, ctx: &PredictionContext<'_>) -> Vec<(PromptConfig, Option<BaselinePrediction>)> {
+    pub fn predict_all(
+        &self,
+        ctx: &PredictionContext<'_>,
+    ) -> Vec<(PromptConfig, Option<BaselinePrediction>)> {
         PromptConfig::all()
             .into_iter()
             .map(|cfg| {
@@ -313,8 +316,7 @@ mod tests {
     fn grid_has_24_variants() {
         let all = PromptConfig::all();
         assert_eq!(all.len(), 24);
-        let labels: std::collections::HashSet<String> =
-            all.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<String> = all.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 24);
     }
 
@@ -323,12 +325,7 @@ mod tests {
         let sp = split(&corpus, SplitKind::Random, 0.1, 1);
         let gpt = GptSim::build(&corpus.workbooks, &sp.reference);
         let cases = sample_test_cases(&corpus, &sp, 5, 2);
-        let cfg = PromptConfig {
-            selection,
-            cot: false,
-            region: TableRegion::PreciseTable,
-            model,
-        };
+        let cfg = PromptConfig { selection, cot: false, region: TableRegion::PreciseTable, model };
         let mut hits = 0;
         let mut preds = 0;
         for tc in &cases {

@@ -87,11 +87,7 @@ pub fn detect_regions(sheet: &Sheet) -> Vec<Region> {
             min,
             max,
             n_cells: n,
-            profile: [
-                counts[0] as f32 / nf,
-                counts[1] as f32 / nf,
-                counts[2] as f32 / nf,
-            ],
+            profile: [counts[0] as f32 / nf, counts[1] as f32 / nf, counts[2] as f32 / nf],
         });
     }
     out
@@ -103,8 +99,7 @@ fn region_cost(a: &Region, b: &Region) -> f32 {
         + (a.min.col as f32 - b.min.col as f32).abs() / 8.0;
     let size = ((a.rows() - b.rows()).abs() / a.rows().max(b.rows()))
         + ((a.cols() - b.cols()).abs() / a.cols().max(b.cols()));
-    let profile: f32 =
-        a.profile.iter().zip(&b.profile).map(|(x, y)| (x - y).abs()).sum();
+    let profile: f32 = a.profile.iter().zip(&b.profile).map(|(x, y)| (x - y).abs()).sum();
     pos.min(2.0) + size + profile
 }
 
@@ -126,7 +121,7 @@ pub fn sheet_distance(a: &[Region], b: &[Region]) -> f32 {
                 continue;
             }
             let c = region_cost(ra, rb);
-            if best.map_or(true, |(_, bc)| c < bc) {
+            if best.is_none_or(|(_, bc)| c < bc) {
                 best = Some((j, c));
             }
         }
@@ -203,7 +198,7 @@ impl MondrianBaseline {
                         continue;
                     }
                     let d = dist[i * n + j];
-                    if d < CUTOFF && best.map_or(true, |(_, _, bd)| d < bd) {
+                    if d < CUTOFF && best.is_none_or(|(_, _, bd)| d < bd) {
                         best = Some((i, j, d));
                     }
                 }
@@ -252,7 +247,7 @@ impl Baseline for MondrianBaseline {
         let mut best: Option<(usize, f32)> = None;
         for (i, g) in self.graphs.iter().enumerate() {
             let d = sheet_distance(&target_graph, g);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }

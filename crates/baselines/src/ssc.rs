@@ -30,7 +30,10 @@ fn keyword_function(text: &str) -> Option<&'static str> {
         Some("MIN")
     } else if t.contains("count") || t.contains("tally") || t.contains("number of") {
         Some("COUNT")
-    } else if t.contains("total") || t.contains("sum") || t.contains("grand") || t.contains("annual")
+    } else if t.contains("total")
+        || t.contains("sum")
+        || t.contains("grand")
+        || t.contains("annual")
     {
         Some("SUM")
     } else {
@@ -171,9 +174,7 @@ mod tests {
     fn total_row_yields_sum_of_column() {
         let s = totals_sheet();
         let wb = [Workbook::new("w")];
-        let pred = SpreadsheetCoderSim
-            .predict(&ctx_on(&wb, &s, "B6".parse().unwrap()))
-            .unwrap();
+        let pred = SpreadsheetCoderSim.predict(&ctx_on(&wb, &s, "B6".parse().unwrap())).unwrap();
         assert_eq!(pred.formula, "SUM(B2:B5)");
     }
 
@@ -182,9 +183,7 @@ mod tests {
         let mut s = totals_sheet();
         s.set_a1("A6", Cell::new("Average amount"));
         let wb = [Workbook::new("w")];
-        let pred = SpreadsheetCoderSim
-            .predict(&ctx_on(&wb, &s, "B6".parse().unwrap()))
-            .unwrap();
+        let pred = SpreadsheetCoderSim.predict(&ctx_on(&wb, &s, "B6".parse().unwrap())).unwrap();
         assert_eq!(pred.formula, "AVERAGE(B2:B5)");
     }
 
@@ -196,9 +195,7 @@ mod tests {
             s.set_a1(c, Cell::new(2.0));
         }
         let wb = [Workbook::new("w")];
-        let pred = SpreadsheetCoderSim
-            .predict(&ctx_on(&wb, &s, "E2".parse().unwrap()))
-            .unwrap();
+        let pred = SpreadsheetCoderSim.predict(&ctx_on(&wb, &s, "E2".parse().unwrap())).unwrap();
         assert_eq!(pred.formula, "SUM(A2:D2)");
     }
 

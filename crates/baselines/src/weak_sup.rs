@@ -33,7 +33,7 @@ impl Baseline for WeakSupBaseline {
         let mut best: Option<(usize, f64)> = None;
         for &wi in ctx.reference {
             if let Some(p) = self.model.match_p_value(target_wb, &ctx.workbooks[wi]) {
-                if p <= self.alpha && best.map_or(true, |(_, bp)| p < bp) {
+                if p <= self.alpha && best.is_none_or(|(_, bp)| p < bp) {
                     best = Some((wi, p));
                 }
             }

@@ -40,12 +40,7 @@ fn bench_featurize(c: &mut Criterion) {
     let window = af_grid::ViewWindow::new(40, 8);
     c.bench_function("window_featurize_40x8", |b| {
         b.iter(|| {
-            black_box(raw_window(
-                &featurizer,
-                black_box(sheet),
-                window,
-                WindowOrigin::TopLeft,
-            ))
+            black_box(raw_window(&featurizer, black_box(sheet), window, WindowOrigin::TopLeft))
         })
     });
 }

@@ -1,4 +1,10 @@
-//! Regenerates fig10 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates fig10 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::fig10();
+    af_bench::report::run_experiment(
+        "fig10",
+        "Fig. 10: quality by formula complexity (operator count)",
+        af_bench::experiments::fig10,
+    );
 }

@@ -1,4 +1,10 @@
-//! Regenerates fig11 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates fig11 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::fig11();
+    af_bench::report::run_experiment(
+        "fig11",
+        "Fig. 11: quality by formula type (aggregation / lookup / conditional / text)",
+        af_bench::experiments::fig11,
+    );
 }

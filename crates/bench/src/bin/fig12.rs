@@ -1,4 +1,10 @@
-//! Regenerates fig12 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates fig12 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::fig12();
+    af_bench::report::run_experiment(
+        "fig12",
+        "Fig. 12: embedding ablation (GloVe vs SBERT-style content features)",
+        af_bench::experiments::fig12,
+    );
 }

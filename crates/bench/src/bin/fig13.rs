@@ -1,4 +1,10 @@
-//! Regenerates fig13 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates fig13 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::fig13();
+    af_bench::report::run_experiment(
+        "fig13",
+        "Fig. 13: feature-group ablation (content / style / syntactic masks)",
+        af_bench::experiments::fig13,
+    );
 }

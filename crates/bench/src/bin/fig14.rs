@@ -1,4 +1,10 @@
-//! Regenerates fig14 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates fig14 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::fig14();
+    af_bench::report::run_experiment(
+        "fig14",
+        "Fig. 14: training-pair ablation (weak supervision vs augmentation)",
+        af_bench::experiments::fig14,
+    );
 }

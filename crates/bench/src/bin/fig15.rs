@@ -1,4 +1,10 @@
-//! Regenerates fig15 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates fig15 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::fig15();
+    af_bench::report::run_experiment(
+        "fig15",
+        "Fig. 15: pipeline-stage ablation (S1/S2/S3 variants)",
+        af_bench::experiments::fig15,
+    );
 }

@@ -1,4 +1,10 @@
-//! Regenerates fig7 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates fig7 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::fig7();
+    af_bench::report::run_experiment(
+        "fig7",
+        "Fig. 7: precision-recall curves per corpus (AF sweep; baseline points)",
+        af_bench::experiments::fig7,
+    );
 }

@@ -1,4 +1,10 @@
-//! Regenerates fig8 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates fig8 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::fig8();
+    af_bench::report::run_experiment(
+        "fig8",
+        "Fig. 8: online prediction latency vs reference-sheet count, plus offline preprocessing cost",
+        af_bench::experiments::fig8,
+    );
 }

@@ -1,4 +1,10 @@
-//! Regenerates fig9 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates fig9 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::fig9();
+    af_bench::report::run_experiment(
+        "fig9",
+        "Fig. 9: quality vs number of retrieved similar sheets (top-K sensitivity)",
+        af_bench::experiments::fig9,
+    );
 }

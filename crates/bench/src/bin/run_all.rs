@@ -1,4 +1,10 @@
-//! Regenerates run_all (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates run_all (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::run_all();
+    af_bench::report::run_experiment(
+        "run_all",
+        "every table and figure of section 5, in paper order",
+        af_bench::experiments::run_all,
+    );
 }

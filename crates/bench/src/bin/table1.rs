@@ -1,4 +1,10 @@
-//! Regenerates table1 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates table1 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::table1();
+    af_bench::report::run_experiment(
+        "table1",
+        "Table 1: statistics of the four organizations' test corpora",
+        af_bench::experiments::table1,
+    );
 }

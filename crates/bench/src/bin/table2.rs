@@ -1,4 +1,10 @@
-//! Regenerates table2 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates table2 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::table2();
+    af_bench::report::run_experiment(
+        "table2",
+        "Table 2: quality comparison of all systems, timestamp split",
+        af_bench::experiments::table2,
+    );
 }

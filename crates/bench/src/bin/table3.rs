@@ -1,4 +1,10 @@
-//! Regenerates table3 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates table3 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::table3();
+    af_bench::report::run_experiment(
+        "table3",
+        "Table 3: quality comparison of all systems, random split",
+        af_bench::experiments::table3,
+    );
 }

@@ -1,4 +1,10 @@
-//! Regenerates table4 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates table4 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::table4();
+    af_bench::report::run_experiment(
+        "table4",
+        "Table 4: the 24 GPT prompt variants plus their union",
+        af_bench::experiments::table4,
+    );
 }

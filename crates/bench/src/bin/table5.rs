@@ -1,4 +1,10 @@
-//! Regenerates table5 (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates table5 (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::table5();
+    af_bench::report::run_experiment(
+        "table5",
+        "Table 5: Auto-Formula vs SpreadsheetCoder vs GPT-union on 180 cases",
+        af_bench::experiments::table5,
+    );
 }

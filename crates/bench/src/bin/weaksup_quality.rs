@@ -1,4 +1,10 @@
-//! Regenerates weaksup_quality (see DESIGN.md's per-experiment index).
+//! Thin CLI wrapper: regenerates weaksup_quality (see DESIGN.md's per-experiment
+//! index). `AF_SCALE={tiny,small,full}` scales the synthetic corpora.
+
 fn main() {
-    af_bench::experiments::weaksup_quality();
+    af_bench::report::run_experiment(
+        "weaksup_quality",
+        "Weak-supervision quality audit: pair precision/recall against generator provenance",
+        af_bench::experiments::weaksup_quality,
+    );
 }

@@ -11,7 +11,9 @@ use crate::runner::{
 };
 use crate::scenario::{EmbedderKind, Scenario, SystemSpec};
 use af_baselines::gpt::{GptSim, PromptConfig};
-use af_baselines::{Baseline, MondrianBaseline, PredictionContext, SpreadsheetCoderSim, WeakSupBaseline};
+use af_baselines::{
+    Baseline, MondrianBaseline, PredictionContext, SpreadsheetCoderSim, WeakSupBaseline,
+};
 use af_core::index::IndexOptions;
 use af_core::pipeline::{AutoFormula, PipelineVariant};
 use af_corpus::organization::{OrgSpec, Scale};
@@ -28,10 +30,8 @@ pub fn operating_theta() -> f32 {
 }
 
 fn mondrian_budget() -> Duration {
-    let secs = std::env::var("AF_MONDRIAN_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(90u64);
+    let secs =
+        std::env::var("AF_MONDRIAN_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(90u64);
     Duration::from_secs(secs)
 }
 
@@ -123,17 +123,14 @@ fn quality_comparison(kind: SplitKind, title: &str) {
     let evals = eval_orgs(&scenario, &af, kind, PipelineVariant::Full, IndexOptions::default());
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut avg = vec![[0.0f64; 3]; 3];
+    let mut avg = [[0.0f64; 3]; 3];
     let mut mondrian_timeouts = 0;
     for ev in &evals {
         let corpus = scenario.orgs.iter().find(|o| o.name == ev.org).expect("org exists");
         let q_af = af_quality(&ev.results, theta);
 
-        let mondrian = MondrianBaseline::build(
-            &corpus.workbooks,
-            &ev.split.reference,
-            mondrian_budget(),
-        );
+        let mondrian =
+            MondrianBaseline::build(&corpus.workbooks, &ev.split.reference, mondrian_budget());
         let q_m = match &mondrian {
             Ok(m) => {
                 let r = evaluate_baseline(m, corpus, &ev.split, &ev.cases);
@@ -182,8 +179,16 @@ fn quality_comparison(kind: SplitKind, title: &str) {
     print_table(
         title,
         &[
-            "corpus", "AF R", "AF P", "AF F1", "Mondrian R", "Mondrian P", "Mondrian F1",
-            "WeakSup R", "WeakSup P", "WeakSup F1",
+            "corpus",
+            "AF R",
+            "AF P",
+            "AF F1",
+            "Mondrian R",
+            "Mondrian P",
+            "Mondrian F1",
+            "WeakSup R",
+            "WeakSup P",
+            "WeakSup F1",
         ],
         &all_rows,
     );
@@ -292,8 +297,7 @@ pub fn table5() {
         af_counts.1 += q.n_pred;
         af_counts.2 += q.n_hit;
 
-        let ssc: Vec<BaselineCase> =
-            evaluate_baseline(&SpreadsheetCoderSim, corpus, sp, cases);
+        let ssc: Vec<BaselineCase> = evaluate_baseline(&SpreadsheetCoderSim, corpus, sp, cases);
         ssc_counts.0 += ssc.len();
         ssc_counts.1 += ssc.iter().filter(|r| r.predicted).count();
         ssc_counts.2 += ssc.iter().filter(|r| r.correct).count();
@@ -332,7 +336,12 @@ pub fn table5() {
         &[
             vec!["Auto-Formula".into(), f3(q_af.recall), f3(q_af.precision), f3(q_af.f1)],
             vec!["SpreadsheetCoder".into(), f3(q_ssc.recall), f3(q_ssc.precision), f3(q_ssc.f1)],
-            vec!["GPT-union (best-of-24)".into(), f3(q_gpt.recall), f3(q_gpt.precision), f3(q_gpt.f1)],
+            vec![
+                "GPT-union (best-of-24)".into(),
+                f3(q_gpt.recall),
+                f3(q_gpt.precision),
+                f3(q_gpt.f1),
+            ],
         ],
     );
 }
@@ -343,8 +352,13 @@ pub fn table5() {
 pub fn fig7() {
     let scenario = Scenario::standard();
     let af = scenario.system(SystemSpec::full(EmbedderKind::Sbert), scenario.default_cfg());
-    let evals =
-        eval_orgs(&scenario, &af, SplitKind::Timestamp, PipelineVariant::Full, IndexOptions::default());
+    let evals = eval_orgs(
+        &scenario,
+        &af,
+        SplitKind::Timestamp,
+        PipelineVariant::Full,
+        IndexOptions::default(),
+    );
     for ev in &evals {
         let corpus = scenario.orgs.iter().find(|o| o.name == ev.org).expect("org");
         println!("\n== Fig. 7 [{}]: PR curve (Auto-Formula) ==", ev.org);
@@ -384,7 +398,7 @@ pub fn fig8() {
         n_singletons: 200,
         generic_name_rate: 0.4,
         string_singleton_bias: 0.4,
-        seed: 0xF16_8,
+        seed: 0xF168,
     };
     let pool = pool_spec.generate();
     let scenario = Scenario::standard();
@@ -509,11 +523,21 @@ pub fn fig9() {
     let scenario = Scenario::standard();
     let af = scenario.system(SystemSpec::full(EmbedderKind::Sbert), scenario.default_cfg());
     let theta = operating_theta();
-    let evals =
-        eval_orgs(&scenario, &af, SplitKind::Timestamp, PipelineVariant::Full, IndexOptions::default());
+    let evals = eval_orgs(
+        &scenario,
+        &af,
+        SplitKind::Timestamp,
+        PipelineVariant::Full,
+        IndexOptions::default(),
+    );
     let all: Vec<&CaseResult> = evals.iter().flat_map(|e| e.results.iter()).collect();
-    let buckets: [(&str, u32, u32); 5] =
-        [("r<15", 0, 15), ("15<=r<25", 15, 25), ("25<=r<40", 25, 40), ("40<=r<55", 40, 55), ("55<=r", 55, u32::MAX)];
+    let buckets: [(&str, u32, u32); 5] = [
+        ("r<15", 0, 15),
+        ("15<=r<25", 15, 25),
+        ("25<=r<40", 25, 40),
+        ("40<=r<55", 40, 55),
+        ("55<=r", 55, u32::MAX),
+    ];
     let mut rows = Vec::new();
     for (label, lo, hi) in buckets {
         let subset: Vec<CaseResult> = all
@@ -522,12 +546,7 @@ pub fn fig9() {
             .map(|r| (*r).clone())
             .collect();
         let q = af_quality(&subset, theta);
-        rows.push(vec![
-            label.to_string(),
-            q.n.to_string(),
-            f2(q.recall),
-            f2(q.precision),
-        ]);
+        rows.push(vec![label.to_string(), q.n.to_string(), f2(q.recall), f2(q.precision)]);
     }
     print_table(
         "Fig. 9: sensitivity to target-sheet rows",
@@ -547,8 +566,13 @@ fn bucketed_comparison(
     let scenario = Scenario::standard();
     let af = scenario.system(SystemSpec::full(EmbedderKind::Sbert), scenario.default_cfg());
     let theta = operating_theta();
-    let evals =
-        eval_orgs(&scenario, &af, SplitKind::Timestamp, PipelineVariant::Full, IndexOptions::default());
+    let evals = eval_orgs(
+        &scenario,
+        &af,
+        SplitKind::Timestamp,
+        PipelineVariant::Full,
+        IndexOptions::default(),
+    );
     let mut rows = Vec::new();
     // Collect AF + SSC results per org.
     let mut af_all: Vec<CaseResult> = Vec::new();
@@ -595,8 +619,7 @@ pub fn fig10() {
 
 /// Fig. 11: sensitivity to formula type.
 pub fn fig11() {
-    let order: Vec<String> =
-        af_formula::FormulaType::ALL.iter().map(|t| t.to_string()).collect();
+    let order: Vec<String> = af_formula::FormulaType::ALL.iter().map(|t| t.to_string()).collect();
     let order_refs: Vec<&str> = order.iter().map(|s| s.as_str()).collect();
     bucketed_comparison(
         "Fig. 11: quality by formula type",
@@ -608,7 +631,13 @@ pub fn fig11() {
 
 // ------------------------------------------------------------ Figs. 12–15
 
-fn pr_per_org(label: &str, scenario: &Scenario, af: &AutoFormula, variant: PipelineVariant, opts: IndexOptions) {
+fn pr_per_org(
+    label: &str,
+    scenario: &Scenario,
+    af: &AutoFormula,
+    variant: PipelineVariant,
+    opts: IndexOptions,
+) {
     let evals = eval_orgs(scenario, af, SplitKind::Timestamp, variant, opts);
     for ev in &evals {
         println!("\n-- {label} [{}] --", ev.org);
@@ -647,7 +676,13 @@ pub fn fig13() {
     for (label, mask) in arms {
         let spec = SystemSpec { mask, ..SystemSpec::full(EmbedderKind::Sbert) };
         let af = scenario.system(spec, scenario.default_cfg());
-        pr_per_org(&format!("Fig. 13 {label}"), &scenario, &af, PipelineVariant::Full, IndexOptions::default());
+        pr_per_org(
+            &format!("Fig. 13 {label}"),
+            &scenario,
+            &af,
+            PipelineVariant::Full,
+            IndexOptions::default(),
+        );
     }
 }
 
@@ -674,13 +709,16 @@ pub fn fig15() {
         ("No-DA", false, false),
     ];
     for (label, cda, fda) in arms {
-        let spec = SystemSpec {
-            coarse_da: cda,
-            fine_da: fda,
-            ..SystemSpec::full(EmbedderKind::Sbert)
-        };
+        let spec =
+            SystemSpec { coarse_da: cda, fine_da: fda, ..SystemSpec::full(EmbedderKind::Sbert) };
         let af = scenario.system(spec, scenario.default_cfg());
-        pr_per_org(&format!("Fig. 15 {label}"), &scenario, &af, PipelineVariant::Full, IndexOptions::default());
+        pr_per_org(
+            &format!("Fig. 15 {label}"),
+            &scenario,
+            &af,
+            PipelineVariant::Full,
+            IndexOptions::default(),
+        );
     }
 }
 

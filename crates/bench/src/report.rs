@@ -1,5 +1,27 @@
 //! Plain-text table/series printers for experiment output.
 
+use std::time::Instant;
+
+/// Standard entry point for the `bin/` experiment wrappers: prints a named
+/// report header (experiment id, what it regenerates, effective `AF_SCALE`),
+/// runs the experiment, and prints a wall-clock footer so `run_all` output
+/// is self-describing.
+pub fn run_experiment(name: &str, regenerates: &str, f: impl FnOnce()) {
+    // Report the *effective* scale (unrecognized AF_SCALE values fall back
+    // to Small inside Scale::from_env), not the raw env string.
+    let scale = match af_corpus::organization::Scale::from_env() {
+        af_corpus::organization::Scale::Tiny => "tiny",
+        af_corpus::organization::Scale::Small => "small",
+        af_corpus::organization::Scale::Full => "full",
+    };
+    println!("=== auto-formula bench · {name} ===");
+    println!("regenerates: {regenerates}");
+    println!("corpus scale: {scale} (set AF_SCALE={{tiny,small,full}} to change)");
+    let start = Instant::now();
+    f();
+    println!("\n[{name}] completed in {:.2?}", start.elapsed());
+}
+
 /// Render a fixed-width table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -32,10 +32,7 @@ pub struct CaseResult {
 pub fn org_cases(corpus: &OrgCorpus, split: &Split, seed: u64) -> Vec<TestCase> {
     let mut cases = sample_test_cases(corpus, split, 10, seed);
     // Cap per org so full runs stay laptop-sized; deterministic order.
-    let cap: usize = std::env::var("AF_MAX_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(400);
+    let cap: usize = std::env::var("AF_MAX_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(400);
     cases.truncate(cap);
     cases
 }
@@ -55,8 +52,7 @@ pub fn evaluate_autoformula(
         let gt_expr = parse_formula(&tc.ground_truth).ok();
         let gt_canonical = gt_expr.as_ref().map(|e| e.to_string());
         let started = Instant::now();
-        let pred =
-            af.predict_with(index, &corpus.workbooks, &masked, tc.target, variant);
+        let pred = af.predict_with(index, &corpus.workbooks, &masked, tc.target, variant);
         let latency_ms = started.elapsed().as_secs_f64() * 1000.0;
         let (dist, correct) = match (&pred, &gt_canonical) {
             (Some(p), Some(gt)) => (Some(p.s2_distance), &p.formula == gt),
@@ -78,11 +74,8 @@ pub fn evaluate_autoformula(
 /// Quality of Auto-Formula results at threshold θ.
 pub fn af_quality(results: &[CaseResult], theta: f32) -> Quality {
     let n = results.len();
-    let n_pred = results.iter().filter(|r| r.dist.map_or(false, |d| d <= theta)).count();
-    let n_hit = results
-        .iter()
-        .filter(|r| r.correct && r.dist.map_or(false, |d| d <= theta))
-        .count();
+    let n_pred = results.iter().filter(|r| r.dist.is_some_and(|d| d <= theta)).count();
+    let n_hit = results.iter().filter(|r| r.correct && r.dist.is_some_and(|d| d <= theta)).count();
     quality(n, n_pred, n_hit)
 }
 

@@ -11,7 +11,8 @@ fn main() {
     let corpus = OrgSpec::pge(Scale::Small).generate();
     let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
     let cfg = AutoFormulaConfig::default();
-    let (af, report) = AutoFormula::train(&corpus.workbooks, featurizer, cfg, TrainingOptions::default());
+    let (af, report) =
+        AutoFormula::train(&corpus.workbooks, featurizer, cfg, TrainingOptions::default());
     eprintln!("train report: {report:?}");
     let sp = split(&corpus, SplitKind::Random, 0.1, 3);
     let index = af.build_index(&corpus.workbooks, &sp.reference, IndexOptions::default());
@@ -21,7 +22,8 @@ fn main() {
         let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
         let masked = masked_sheet(sheet, tc.target);
         let gt = af_formula::parse_formula(&tc.ground_truth).unwrap().to_string();
-        match af.predict_with(&index, &corpus.workbooks, &masked, tc.target, PipelineVariant::Full) {
+        match af.predict_with(&index, &corpus.workbooks, &masked, tc.target, PipelineVariant::Full)
+        {
             Some(p) => {
                 let fam = corpus.provenance[tc.workbook].family;
                 let ref_fam = corpus.provenance[index.keys[0].workbook].family; // placeholder

@@ -97,12 +97,7 @@ impl<'a> SheetEmbedder<'a> {
         }
         let coarse = self.model.coarse_from_reduced(Tensor::new(vec![n_cells, cd], gathered));
 
-        let mut emb = SheetEmbedding {
-            coarse,
-            fine_cells,
-            fine_empty,
-            fine_topleft: None,
-        };
+        let mut emb = SheetEmbedding { coarse, fine_cells, fine_empty, fine_topleft: None };
         // Note: the gather path needs the invalid constant; stash it in the
         // map under an impossible key? Instead keep it implicit: invalid
         // slots use zeros IF the model maps zeros... it does not. Store it.

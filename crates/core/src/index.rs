@@ -74,11 +74,11 @@ impl ReferenceIndex {
         let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
         let chunk = keys.len().div_ceil(n_threads.max(1)).max(1);
         let mut embeddings: Vec<SheetEmbedding> = Vec::with_capacity(keys.len());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = keys
                 .chunks(chunk)
                 .map(|part| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         part.iter()
                             .map(|k| {
                                 let sheet = &workbooks[k.workbook].sheets[k.sheet];
@@ -91,8 +91,7 @@ impl ReferenceIndex {
             for h in handles {
                 embeddings.extend(h.join().expect("embedding worker"));
             }
-        })
-        .expect("crossbeam scope");
+        });
 
         // Coarse sheet index.
         let coarse_dim = embedder.cfg().coarse_dim;
@@ -119,11 +118,8 @@ impl ReferenceIndex {
                 sheet.formulas().map(|(at, f)| (at, f.to_string())).collect();
             locs.sort_by_key(|(at, _)| *at);
             for (cell, formula) in locs {
-                let vec = embedder.fine_window(
-                    &embeddings[si],
-                    sheet,
-                    WindowOrigin::Centered(cell),
-                );
+                let vec =
+                    embedder.fine_window(&embeddings[si], sheet, WindowOrigin::Centered(cell));
                 regions_by_sheet[si].push(regions.len());
                 regions.push(RegionEntry { sheet_idx: si, cell, formula });
                 region_vecs.push(vec);
@@ -160,8 +156,7 @@ impl ReferenceIndex {
             self.keys.push(SheetKey { workbook, sheet: si });
             let emb = embedder.embed_sheet(sheet, opts.fine_sheet_signatures);
             self.coarse.add(&emb.coarse);
-            if let (Some(idx), Some(sig)) = (self.fine_sheets.as_mut(), emb.fine_topleft.as_ref())
-            {
+            if let (Some(idx), Some(sig)) = (self.fine_sheets.as_mut(), emb.fine_topleft.as_ref()) {
                 idx.add(sig);
             }
             self.regions_by_sheet.push(Vec::new());
@@ -250,7 +245,8 @@ mod tests {
         let (model, feat, corpus) = setup();
         let embedder = SheetEmbedder::new(&model, &feat);
         let members: Vec<usize> = (0..6.min(corpus.workbooks.len())).collect();
-        let idx = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        let idx =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
         let expected_sheets: usize = members.iter().map(|&w| corpus.workbooks[w].n_sheets()).sum();
         assert_eq!(idx.n_sheets(), expected_sheets);
         let expected_regions: usize =
@@ -264,7 +260,8 @@ mod tests {
         let (model, feat, corpus) = setup();
         let embedder = SheetEmbedder::new(&model, &feat);
         let members: Vec<usize> = (0..5).collect();
-        let idx = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        let idx =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
         let emb = embedder.embed_sheet(&corpus.workbooks[2].sheets[0], false);
         let hits = idx.similar_sheets(&emb.coarse, 1);
         let key = idx.keys[hits[0].id];
@@ -287,12 +284,8 @@ mod tests {
         let emb = embedder.embed_sheet(&corpus.workbooks[0].sheets[0], true);
         assert!(idx.similar_sheets_fine(emb.fine_topleft.as_ref().unwrap(), 2).is_some());
         assert!(idx.coarse_region_vec(0).is_some());
-        let plain = ReferenceIndex::build(
-            &embedder,
-            &corpus.workbooks,
-            &members,
-            IndexOptions::default(),
-        );
+        let plain =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
         assert!(plain.coarse_region_vec(0).is_none());
     }
 
@@ -301,12 +294,8 @@ mod tests {
         let (model, feat, corpus) = setup();
         let embedder = SheetEmbedder::new(&model, &feat);
         let members: Vec<usize> = (0..5).collect();
-        let full = ReferenceIndex::build(
-            &embedder,
-            &corpus.workbooks,
-            &members,
-            IndexOptions::default(),
-        );
+        let full =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
         let mut incremental = ReferenceIndex::build(
             &embedder,
             &corpus.workbooks,
@@ -330,7 +319,8 @@ mod tests {
         let (model, feat, corpus) = setup();
         let embedder = SheetEmbedder::new(&model, &feat);
         let members: Vec<usize> = (0..4).collect();
-        let idx = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        let idx =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
         for si in 0..idx.n_sheets() {
             for &rid in idx.regions_of_sheet(si) {
                 assert_eq!(idx.regions[rid].sheet_idx, si);

@@ -11,7 +11,9 @@
 //! Both branches end in L2 normalization (§4.4.4).
 
 use crate::config::AutoFormulaConfig;
-use af_nn::layers::{Conv2d, GlobalAvgPool, L2Normalize, Layer, Linear, MaxPool2d, Relu, Sequential};
+use af_nn::layers::{
+    Conv2d, GlobalAvgPool, L2Normalize, Layer, Linear, MaxPool2d, Relu, Sequential,
+};
 use af_nn::serialize::{load_params, save_params, SnapshotError};
 use af_nn::Tensor;
 use bytes::{Buf, BufMut, Bytes, BytesMut};

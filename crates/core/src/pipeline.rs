@@ -160,14 +160,18 @@ impl AutoFormula {
                 let m = match variant {
                     PipelineVariant::CoarseOnly => offset_map(cr, entry.cell, target),
                     _ => {
-                        let ref_vec = embedder.fine_window(
-                            ref_emb,
-                            ref_sheet,
-                            WindowOrigin::Centered(cr),
-                        );
+                        let ref_vec =
+                            embedder.fine_window(ref_emb, ref_sheet, WindowOrigin::Centered(cr));
                         search_parameter(
-                            &embedder, &emb, sheet, &ref_vec, cr, entry.cell, target,
-                            cfg.neighborhood_d, cfg.s3_anchor_lambda,
+                            &embedder,
+                            &emb,
+                            sheet,
+                            &ref_vec,
+                            cr,
+                            entry.cell,
+                            target,
+                            cfg.neighborhood_d,
+                            cfg.s3_anchor_lambda,
                         )
                     }
                 };
@@ -233,7 +237,7 @@ fn search_parameter(
             let Some(cand) = anchor.offset(dr, dc) else { continue };
             let v = embedder.fine_window(target_emb, target_sheet, WindowOrigin::Centered(cand));
             let dist = l2_sq(ref_vec, &v) + anchor_lambda * (dr.abs() + dc.abs()) as f32;
-            if best.map_or(true, |(_, bd)| dist < bd) {
+            if best.is_none_or(|(_, bd)| dist < bd) {
                 best = Some((cand, dist));
             }
         }
@@ -252,16 +256,9 @@ mod tests {
 
     fn trained_system(corpus: &af_corpus::OrgCorpus) -> AutoFormula {
         let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
-        let cfg = AutoFormulaConfig {
-            episodes: 40,
-            ..AutoFormulaConfig::test_tiny()
-        };
-        let (af, _) = AutoFormula::train(
-            &corpus.workbooks,
-            featurizer,
-            cfg,
-            TrainingOptions::default(),
-        );
+        let cfg = AutoFormulaConfig { episodes: 40, ..AutoFormulaConfig::test_tiny() };
+        let (af, _) =
+            AutoFormula::train(&corpus.workbooks, featurizer, cfg, TrainingOptions::default());
         af
     }
 
@@ -306,10 +303,8 @@ mod tests {
         let corpus = OrgSpec::pge(Scale::Tiny).generate();
         let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
         let cfg = AutoFormulaConfig::test_tiny();
-        let af = AutoFormula::from_model(
-            RepresentationModel::new(featurizer.dim(), cfg),
-            featurizer,
-        );
+        let af =
+            AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
         let index = af.build_index(&corpus.workbooks, &[], IndexOptions::default());
         let sheet = &corpus.workbooks[0].sheets[0];
         let target: CellRef = "D5".parse().unwrap();
@@ -334,10 +329,8 @@ mod tests {
         let corpus = OrgSpec::cisco(Scale::Tiny).generate();
         let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
         let cfg = AutoFormulaConfig { theta_region: 0.0, ..AutoFormulaConfig::test_tiny() };
-        let af = AutoFormula::from_model(
-            RepresentationModel::new(featurizer.dim(), cfg),
-            featurizer,
-        );
+        let af =
+            AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
         let members: Vec<usize> = (1..corpus.workbooks.len().min(6)).collect();
         let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
         // With θ = 0 every prediction on a *different* sheet is suppressed

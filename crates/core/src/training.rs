@@ -186,12 +186,9 @@ pub fn train_model(
                 let (s, c) = augment_region(sheet_of(loc.0), loc.1, p, reach, &mut arng);
                 raw_window(featurizer, &s, cfg.window, WindowOrigin::Centered(c))
             }
-            None => raw_window(
-                featurizer,
-                sheet_of(loc.0),
-                cfg.window,
-                WindowOrigin::Centered(loc.1),
-            ),
+            None => {
+                raw_window(featurizer, sheet_of(loc.0), cfg.window, WindowOrigin::Centered(loc.1))
+            }
         }
     };
 
@@ -208,9 +205,7 @@ pub fn train_model(
         for (i, &di) in idxs.iter().enumerate() {
             let d = &coarse_descs[di];
             batch.row_mut(i).copy_from_slice(&featurize_sheet(d.a, None));
-            batch
-                .row_mut(b + i)
-                .copy_from_slice(&featurize_sheet(d.b, d.aug_seed));
+            batch.row_mut(b + i).copy_from_slice(&featurize_sheet(d.b, d.aug_seed));
         }
         let ids: Vec<u64> = idxs.iter().map(|&di| coarse_descs[di].group).collect();
         let emb = model.coarse_forward(batch);
@@ -232,9 +227,7 @@ pub fn train_model(
         let mut shifted_rows: Vec<Option<usize>> = vec![None; b];
         let mut n_shift = 0usize;
         for (i, &di) in idxs.iter().enumerate() {
-            if fine_descs[di].shifted_neg.is_some()
-                && rng.random_bool(opts.shifted_negative_rate)
-            {
+            if fine_descs[di].shifted_neg.is_some() && rng.random_bool(opts.shifted_negative_rate) {
                 shifted_rows[i] = Some(2 * b + n_shift);
                 n_shift += 1;
             }
@@ -243,9 +236,7 @@ pub fn train_model(
         for (i, &di) in idxs.iter().enumerate() {
             let d = &fine_descs[di];
             batch.row_mut(i).copy_from_slice(&featurize_region(d.a, None));
-            batch
-                .row_mut(b + i)
-                .copy_from_slice(&featurize_region(d.b, d.aug_seed));
+            batch.row_mut(b + i).copy_from_slice(&featurize_region(d.b, d.aug_seed));
             if let Some(row) = shifted_rows[i] {
                 let neg = d.shifted_neg.expect("row allocated only when present");
                 batch.row_mut(row).copy_from_slice(&featurize_region(neg, None));
@@ -311,10 +302,10 @@ fn triplet_step_with_explicit_negatives(
                     }
                     let dn = l2_sq(a, emb.row(b + j));
                     let loss = dp - dn + margin;
-                    if loss > 0.0 && loss < margin && best.map_or(true, |(_, l)| loss > l) {
+                    if loss > 0.0 && loss < margin && best.is_none_or(|(_, l)| loss > l) {
                         best = Some((b + j, loss));
                     }
-                    if hardest.map_or(true, |(_, d)| dn < d) {
+                    if hardest.is_none_or(|(_, d)| dn < d) {
                         hardest = Some((b + j, dn));
                     }
                 }
@@ -367,12 +358,8 @@ mod tests {
     fn training_reduces_triplet_loss() {
         let corpus = OrgSpec::web_crawl(Scale::Tiny).generate();
         let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
-        let (model, report) = train_model(
-            &corpus.workbooks,
-            &featurizer,
-            quick_cfg(),
-            TrainingOptions::default(),
-        );
+        let (model, report) =
+            train_model(&corpus.workbooks, &featurizer, quick_cfg(), TrainingOptions::default());
         assert!(report.coarse_pairs > 0, "need coarse pairs");
         assert!(report.fine_pairs > 0, "need fine pairs");
         assert_eq!(report.episodes, 25);
@@ -394,12 +381,8 @@ mod tests {
         let corpus = OrgSpec::pge(Scale::Tiny).generate();
         let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
         let cfg = quick_cfg();
-        let (model, _) = train_model(
-            &corpus.workbooks,
-            &featurizer,
-            cfg,
-            TrainingOptions::default(),
-        );
+        let (model, _) =
+            train_model(&corpus.workbooks, &featurizer, cfg, TrainingOptions::default());
         let embedder = SheetEmbedder::new(&model, &featurizer);
         // Find a same-family pair and a cross-family pair.
         let mut same = None;
@@ -425,20 +408,13 @@ mod tests {
         let e = |w: usize| embedder.embed_sheet(&corpus.workbooks[w].sheets[0], false).coarse;
         let d_same = l2_sq(&e(si), &e(sj));
         let d_cross = l2_sq(&e(ci), &e(cj));
-        assert!(
-            d_same < d_cross,
-            "same-family sheets should embed closer ({d_same} vs {d_cross})"
-        );
+        assert!(d_same < d_cross, "same-family sheets should embed closer ({d_same} vs {d_cross})");
     }
 
     #[test]
     fn degenerate_corpus_returns_untrained_model() {
         // All singletons: weak supervision finds nothing.
-        let spec = OrgSpec {
-            n_families: 0,
-            n_singletons: 6,
-            ..OrgSpec::cisco(Scale::Tiny)
-        };
+        let spec = OrgSpec { n_families: 0, n_singletons: 6, ..OrgSpec::cisco(Scale::Tiny) };
         let corpus = spec.generate();
         let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
         let (_, report) =

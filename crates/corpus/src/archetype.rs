@@ -8,8 +8,8 @@
 
 use crate::family::Palette;
 use crate::vocab::*;
-use af_grid::{BorderFlags, Cell, CellRef, CellStyle, Sheet};
 use af_grid::value::date_to_serial;
+use af_grid::{BorderFlags, Cell, CellRef, CellStyle, Sheet};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use std::ops::RangeInclusive;
@@ -168,20 +168,12 @@ fn a1name(row: u32, col: u32) -> String {
 fn title_cell(text: &str, p: &Palette) -> Cell {
     Cell::styled(
         text,
-        CellStyle {
-            bold: true,
-            font_size: 14.0,
-            font_color: p.header_fill,
-            ..Default::default()
-        },
+        CellStyle { bold: true, font_size: 14.0, font_color: p.header_fill, ..Default::default() },
     )
 }
 
 fn header_cell(text: &str, p: &Palette) -> Cell {
-    Cell::styled(
-        text,
-        CellStyle::header(p.header_fill).with_font_color(p.header_font),
-    )
+    Cell::styled(text, CellStyle::header(p.header_fill).with_font_color(p.header_font))
 }
 
 fn label_cell(text: &str) -> Cell {
@@ -261,7 +253,7 @@ fn build_sales(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         formula_cell(format!("SUM({}:{})", a1name(DATA_START, 3), a1name(end, 3)), ctx.palette),
     );
     // Family variant decides the second aggregate.
-    let avg_fn = if ctx.variant % 2 == 0 { "AVERAGE" } else { "MEDIAN" };
+    let avg_fn = if ctx.variant.is_multiple_of(2) { "AVERAGE" } else { "MEDIAN" };
     s.set(at(t + 1, 0), total_label("Typical price", ctx.palette));
     s.set(
         at(t + 1, 2),
@@ -307,12 +299,7 @@ fn build_survey(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         s.set(
             at(r, 3),
             formula_cell(
-                format!(
-                    "COUNTIF({}:{},{})",
-                    a1name(DATA_START, 2),
-                    a1name(end, 2),
-                    a1name(r, 2)
-                ),
+                format!("COUNTIF({}:{},{})", a1name(DATA_START, 2), a1name(end, 2), a1name(r, 2)),
                 ctx.palette,
             ),
         );
@@ -334,13 +321,7 @@ fn build_finstmt(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         }
         let fy = match ctx.variant % 2 {
             0 => format!("SUM({}:{})", a1name(r, 1), a1name(r, 4)),
-            _ => format!(
-                "{}+{}+{}+{}",
-                a1name(r, 1),
-                a1name(r, 2),
-                a1name(r, 3),
-                a1name(r, 4)
-            ),
+            _ => format!("{}+{}+{}+{}", a1name(r, 1), a1name(r, 2), a1name(r, 3), a1name(r, 4)),
         };
         s.set(at(r, 5), row_formula(fy));
     }
@@ -356,10 +337,7 @@ fn build_finstmt(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
     s.set(at(t + 1, 0), total_label("Rev share Q1", ctx.palette));
     s.set(
         at(t + 1, 1),
-        formula_cell(
-            format!("ROUND({}/{},2)", a1name(DATA_START, 1), a1name(t, 1)),
-            ctx.palette,
-        ),
+        formula_cell(format!("ROUND({}/{},2)", a1name(DATA_START, 1), a1name(t, 1)), ctx.palette),
     );
     s
 }
@@ -379,11 +357,7 @@ fn build_inventory(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         let low_word = ["REORDER", "LOW", "ORDER NOW"][(ctx.variant % 3) as usize];
         s.set(
             at(r, 4),
-            row_formula(format!(
-                "IF({}<{},\"{low_word}\",\"OK\")",
-                a1name(r, 2),
-                a1name(r, 3)
-            )),
+            row_formula(format!("IF({}<{},\"{low_word}\",\"OK\")", a1name(r, 2), a1name(r, 3))),
         );
     }
     let low_word = ["REORDER", "LOW", "ORDER NOW"][(ctx.variant % 3) as usize];
@@ -416,19 +390,13 @@ fn build_timesheet(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
     let end = DATA_START + n - 1;
     for i in 0..n {
         let r = DATA_START + i;
-        s.set(
-            at(r, 0),
-            label_cell(&format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, SURNAMES))),
-        );
+        s.set(at(r, 0), label_cell(&format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, SURNAMES))));
         for c in 1..=5u32 {
             s.set(at(r, c), Cell::new(rng.random_range(4..11) as f64));
         }
         s.set(at(r, 6), row_formula(format!("SUM({}:{})", a1name(r, 1), a1name(r, 5))));
         let ot = 35 + (ctx.variant % 3) * 5; // family-specific OT threshold
-        s.set(
-            at(r, 7),
-            row_formula(format!("IF({s6}>{ot},{s6}-{ot},0)", s6 = a1name(r, 6))),
-        );
+        s.set(at(r, 7), row_formula(format!("IF({s6}>{ot},{s6}-{ot},0)", s6 = a1name(r, 6))));
     }
     let t = end + 2;
     s.set(at(t, 0), total_label("Team total", ctx.palette));
@@ -449,10 +417,7 @@ fn build_gradebook(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
     let end = DATA_START + n - 1;
     for i in 0..n {
         let r = DATA_START + i;
-        s.set(
-            at(r, 0),
-            label_cell(&format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, SURNAMES))),
-        );
+        s.set(at(r, 0), label_cell(&format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, SURNAMES))));
         for c in 1..=4u32 {
             s.set(at(r, c), Cell::new(rng.random_range(40..101) as f64));
         }
@@ -486,10 +451,7 @@ fn build_gradebook(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
     s.set(at(t, 0), total_label("Class average", ctx.palette));
     s.set(
         at(t, 5),
-        formula_cell(
-            format!("AVERAGE({}:{})", a1name(DATA_START, 5), a1name(end, 5)),
-            ctx.palette,
-        ),
+        formula_cell(format!("AVERAGE({}:{})", a1name(DATA_START, 5), a1name(end, 5)), ctx.palette),
     );
     s.set(at(t + 1, 0), total_label("Top score", ctx.palette));
     s.set(
@@ -511,12 +473,9 @@ fn build_energy(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         let digits = 2 + ctx.variant % 2;
         s.set(at(r, 2), row_formula(format!("ROUND({}*{rate},{digits})", a1name(r, 1))));
         if i == 0 {
-            s.set(at(r, 3), row_formula(format!("{}", a1name(r, 2))));
+            s.set(at(r, 3), row_formula(a1name(r, 2).to_string()));
         } else {
-            s.set(
-                at(r, 3),
-                row_formula(format!("{}+{}", a1name(r - 1, 3), a1name(r, 2))),
-            );
+            s.set(at(r, 3), row_formula(format!("{}+{}", a1name(r - 1, 3), a1name(r, 2))));
         }
     }
     let end = DATA_START + 11;
@@ -545,7 +504,8 @@ fn build_netinv(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
     let n = ctx.n_rows;
     let end = DATA_START + n - 1;
     let k = 3 + (ctx.variant % 2) as usize;
-    let sites: Vec<&str> = (0..k).map(|i| SITES[(ctx.variant as usize + i * 5) % SITES.len()]).collect();
+    let sites: Vec<&str> =
+        (0..k).map(|i| SITES[(ctx.variant as usize + i * 5) % SITES.len()]).collect();
     for i in 0..n {
         let r = DATA_START + i;
         s.set(at(r, 0), label_cell(pick(rng, PRODUCTS)));
@@ -554,10 +514,7 @@ fn build_netinv(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         s.set(at(r, 2), Cell::new(ports));
         s.set(at(r, 3), Cell::new(rng.random_range(0..=ports as u32) as f64));
         let digits = 1 + ctx.variant % 3;
-        s.set(
-            at(r, 4),
-            row_formula(format!("ROUND({}/{},{digits})", a1name(r, 3), a1name(r, 2))),
-        );
+        s.set(at(r, 4), row_formula(format!("ROUND({}/{},{digits})", a1name(r, 3), a1name(r, 2))));
         let host_len = 3 + ctx.variant % 2;
         s.set(
             at(r, 5),
@@ -577,12 +534,7 @@ fn build_netinv(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         s.set(
             at(r, 1),
             formula_cell(
-                format!(
-                    "COUNTIF({}:{},{})",
-                    a1name(DATA_START, 1),
-                    a1name(end, 1),
-                    a1name(r, 0)
-                ),
+                format!("COUNTIF({}:{},{})", a1name(DATA_START, 1), a1name(end, 1), a1name(r, 0)),
                 ctx.palette,
             ),
         );
@@ -601,7 +553,11 @@ fn build_chipspec(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         let r = DATA_START + i;
         s.set(
             at(r, 0),
-            Cell::new(format!("TI-{}{:03}", pick(rng, &["LM", "TPS", "OPA", "MSP"]), rng.random_range(100..999))),
+            Cell::new(format!(
+                "TI-{}{:03}",
+                pick(rng, &["LM", "TPS", "OPA", "MSP"]),
+                rng.random_range(100..999)
+            )),
         );
         s.set(at(r, 1), Cell::new(money(rng, 1.8, 5.5)));
         s.set(at(r, 2), Cell::new(rng.random_range(10..900) as f64));
@@ -610,10 +566,7 @@ fn build_chipspec(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
             at(r, 3),
             row_formula(format!("ROUND({}*{}/1000,{digits})", a1name(r, 1), a1name(r, 2))),
         );
-        s.set(
-            at(r, 4),
-            row_formula(format!("IF({}<={limit},\"PASS\",\"FAIL\")", a1name(r, 3))),
-        );
+        s.set(at(r, 4), row_formula(format!("IF({}<={limit},\"PASS\",\"FAIL\")", a1name(r, 3))));
     }
     let t = end + 2;
     s.set(at(t, 0), total_label("Max power", ctx.palette));
@@ -635,30 +588,25 @@ fn build_chipspec(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
 /// Category | Budget | Actual | Variance(=C-B) | Used%(=C/B) | Flag(=IF).
 fn build_budget(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
     let mut s = Sheet::new(ctx.sheet_name.clone());
-    put_title_and_headers(&mut s, ctx, &["Category", "Budget", "Actual", "Variance", "Used", "Flag"]);
+    put_title_and_headers(
+        &mut s,
+        ctx,
+        &["Category", "Budget", "Actual", "Variance", "Used", "Flag"],
+    );
     let n = ctx.n_rows.min(CATEGORIES.len() as u32 * 3);
     let end = DATA_START + n - 1;
     for i in 0..n {
         let r = DATA_START + i;
-        let cat = format!(
-            "{} / {}",
-            pick(rng, DEPARTMENTS),
-            CATEGORIES[i as usize % CATEGORIES.len()]
-        );
+        let cat =
+            format!("{} / {}", pick(rng, DEPARTMENTS), CATEGORIES[i as usize % CATEGORIES.len()]);
         s.set(at(r, 0), label_cell(&cat));
         s.set(at(r, 1), Cell::new(money(rng, 1000.0, 50_000.0)));
         s.set(at(r, 2), Cell::new(money(rng, 500.0, 60_000.0)));
         s.set(at(r, 3), row_formula(format!("{}-{}", a1name(r, 2), a1name(r, 1))));
         let digits = 2 + ctx.variant % 2;
-        s.set(
-            at(r, 4),
-            row_formula(format!("ROUND({}/{},{digits})", a1name(r, 2), a1name(r, 1))),
-        );
+        s.set(at(r, 4), row_formula(format!("ROUND({}/{},{digits})", a1name(r, 2), a1name(r, 1))));
         let flag_cut = ["1", "0.9", "1.1"][(ctx.variant % 3) as usize];
-        s.set(
-            at(r, 5),
-            row_formula(format!("IF({}>{flag_cut},\"OVER\",\"UNDER\")", a1name(r, 4))),
-        );
+        s.set(at(r, 5), row_formula(format!("IF({}>{flag_cut},\"OVER\",\"UNDER\")", a1name(r, 4))));
     }
     let t = end + 2;
     s.set(at(t, 0), total_label("Totals", ctx.palette));
@@ -733,11 +681,7 @@ fn build_lookup(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         s.set(at(r, 6), label_cell(prod));
         s.set(at(r, 7), Cell::new(money(rng, 5.0, 200.0)));
     }
-    let rate_range = format!(
-        "$G${}:$H${}",
-        DATA_START + 1,
-        DATA_START + k as u32
-    );
+    let rate_range = format!("$G${}:$H${}", DATA_START + 1, DATA_START + k as u32);
     let n = ctx.n_rows;
     let end = DATA_START + n - 1;
     for i in 0..n {
@@ -745,10 +689,7 @@ fn build_lookup(ctx: &BuildCtx, rng: &mut StdRng) -> Sheet {
         s.set(at(r, 0), Cell::new(format!("ORD-{:04}", 1000 + i)));
         s.set(at(r, 1), label_cell(products[rng.random_range(0..k)]));
         s.set(at(r, 2), Cell::new(rng.random_range(1..40) as f64));
-        s.set(
-            at(r, 3),
-            row_formula(format!("VLOOKUP({},{rate_range},2,FALSE)", a1name(r, 1))),
-        );
+        s.set(at(r, 3), row_formula(format!("VLOOKUP({},{rate_range},2,FALSE)", a1name(r, 1))));
         let amount = match ctx.variant % 2 {
             0 => format!("{}*{}", a1name(r, 2), a1name(r, 3)),
             _ => format!("ROUND({}*{},2)", a1name(r, 2), a1name(r, 3)),
@@ -818,10 +759,7 @@ mod tests {
     fn survey_matches_paper_shape() {
         let s = build(Archetype::SurveyTally, 31, 0);
         // Find a COUNTIF in the tally block.
-        let countifs: Vec<_> = s
-            .formulas()
-            .filter(|(_, f)| f.starts_with("COUNTIF"))
-            .collect();
+        let countifs: Vec<_> = s.formulas().filter(|(_, f)| f.starts_with("COUNTIF")).collect();
         assert!(countifs.len() >= 3);
         // Template should be COUNTIF(_:_,_) exactly like Fig. 1.
         let e = parse_formula(countifs[0].1).unwrap();
@@ -840,12 +778,9 @@ mod tests {
                 seen.insert(classify(&parse_formula(f).unwrap()));
             }
         }
-        for t in [
-            FormulaType::Conditional,
-            FormulaType::Math,
-            FormulaType::String,
-            FormulaType::Other,
-        ] {
+        for t in
+            [FormulaType::Conditional, FormulaType::Math, FormulaType::String, FormulaType::Other]
+        {
             assert!(seen.contains(&t), "missing formula type {t}");
         }
     }

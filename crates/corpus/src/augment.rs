@@ -41,8 +41,7 @@ pub fn augment_region(
     let mut new_center = center;
     // Rows in (center-reach, center): removing them shifts the center up.
     let lo = center.row.saturating_sub(reach);
-    let kill_rows: Vec<u32> =
-        (lo..center.row).filter(|_| rng.random_bool(p)).collect();
+    let kill_rows: Vec<u32> = (lo..center.row).filter(|_| rng.random_bool(p)).collect();
     for &r in kill_rows.iter().rev() {
         out.remove_row(r);
         new_center.row -= 1;

@@ -40,11 +40,7 @@ impl Palette {
         let (r, g, b) = hues[rng.random_range(0..hues.len())];
         let header_fill = Color::new(r, g, b);
         let lighten = |c: Color, amt: u8| {
-            Color::new(
-                c.r.saturating_add(amt),
-                c.g.saturating_add(amt),
-                c.b.saturating_add(amt),
-            )
+            Color::new(c.r.saturating_add(amt), c.g.saturating_add(amt), c.b.saturating_add(amt))
         };
         Palette {
             header_fill,
@@ -184,7 +180,10 @@ fn aux_note_sheet(name: &str, palette: &Palette, rng: &mut StdRng) -> Sheet {
     ];
     s.set_a1(
         "A1",
-        Cell::styled(name, CellStyle::header(palette.header_fill).with_font_color(palette.header_font)),
+        Cell::styled(
+            name,
+            CellStyle::header(palette.header_fill).with_font_color(palette.header_font),
+        ),
     );
     let n = rng.random_range(2..=4usize);
     for i in 0..n {

@@ -32,6 +32,4 @@ pub use family::{Family, NameStyle, Palette};
 pub use organization::{OrgCorpus, OrgSpec, Provenance, Scale};
 pub use split::{Split, SplitKind};
 pub use testcase::{sample_test_cases, TestCase};
-pub use weak_supervision::{
-    region_pairs, sheet_pairs, NameModel, RegionPair, SheetId, SheetPairs,
-};
+pub use weak_supervision::{region_pairs, sheet_pairs, NameModel, RegionPair, SheetId, SheetPairs};

@@ -283,10 +283,7 @@ mod tests {
         let cisco = OrgSpec::cisco(Scale::Tiny).generate();
         let rate_pge = pge.similar_sheet_rate();
         let rate_cisco = cisco.similar_sheet_rate();
-        assert!(
-            rate_pge > 0.85,
-            "PGE-sim should be dominated by similar-sheets ({rate_pge})"
-        );
+        assert!(rate_pge > 0.85, "PGE-sim should be dominated by similar-sheets ({rate_pge})");
         assert!(rate_cisco < 0.6, "Cisco-sim should be singleton-heavy ({rate_cisco})");
         // Paper §3.1: 40–90% of sheets have similar counterparts.
         for c in [&pge, &cisco] {

@@ -78,10 +78,8 @@ mod tests {
     fn timestamp_split_takes_newest() {
         let corpus = OrgSpec::pge(Scale::Tiny).generate();
         let s = split(&corpus, SplitKind::Timestamp, 0.1, 0);
-        let min_test =
-            s.test.iter().map(|&i| corpus.workbooks[i].timestamp).min().unwrap();
-        let max_ref =
-            s.reference.iter().map(|&i| corpus.workbooks[i].timestamp).max().unwrap();
+        let min_test = s.test.iter().map(|&i| corpus.workbooks[i].timestamp).min().unwrap();
+        let max_ref = s.reference.iter().map(|&i| corpus.workbooks[i].timestamp).max().unwrap();
         assert!(min_test >= max_ref, "every test is newer than every reference");
     }
 

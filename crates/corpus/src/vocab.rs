@@ -12,28 +12,83 @@ pub const FIRST_NAMES: &[&str] = &[
 ];
 
 pub const REGIONS: &[&str] = &[
-    "North", "South", "East", "West", "Central", "Northeast", "Northwest", "Southeast",
-    "Southwest", "EMEA", "APAC", "LATAM", "Midwest", "Pacific",
+    "North",
+    "South",
+    "East",
+    "West",
+    "Central",
+    "Northeast",
+    "Northwest",
+    "Southeast",
+    "Southwest",
+    "EMEA",
+    "APAC",
+    "LATAM",
+    "Midwest",
+    "Pacific",
 ];
 
 pub const PRODUCTS: &[&str] = &[
-    "Router", "Switch", "Firewall", "Gateway", "Sensor", "Amplifier", "Controller", "Converter",
-    "Regulator", "Transceiver", "Modem", "Repeater", "Adapter", "Bridge", "Hub",
+    "Router",
+    "Switch",
+    "Firewall",
+    "Gateway",
+    "Sensor",
+    "Amplifier",
+    "Controller",
+    "Converter",
+    "Regulator",
+    "Transceiver",
+    "Modem",
+    "Repeater",
+    "Adapter",
+    "Bridge",
+    "Hub",
 ];
 
 pub const DEPARTMENTS: &[&str] = &[
-    "Finance", "Engineering", "Sales", "Marketing", "Operations", "Legal", "Support", "Research",
-    "Procurement", "Logistics", "Facilities", "Security",
+    "Finance",
+    "Engineering",
+    "Sales",
+    "Marketing",
+    "Operations",
+    "Legal",
+    "Support",
+    "Research",
+    "Procurement",
+    "Logistics",
+    "Facilities",
+    "Security",
 ];
 
 pub const LINE_ITEMS: &[&str] = &[
-    "Revenue", "Cost of Goods Sold", "Gross Profit", "Operating Expenses", "R&D", "SG&A",
-    "Depreciation", "Interest Expense", "Tax", "Net Income", "EBITDA", "Capex",
+    "Revenue",
+    "Cost of Goods Sold",
+    "Gross Profit",
+    "Operating Expenses",
+    "R&D",
+    "SG&A",
+    "Depreciation",
+    "Interest Expense",
+    "Tax",
+    "Net Income",
+    "EBITDA",
+    "Capex",
 ];
 
 pub const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 pub const QUARTERS: &[&str] = &["Q1", "Q2", "Q3", "Q4"];
@@ -44,14 +99,31 @@ pub const SITES: &[&str] = &[
 ];
 
 pub const TASKS: &[&str] = &[
-    "Design review", "Prototype build", "Vendor audit", "Site survey", "Data migration",
-    "Budget approval", "Safety training", "Compliance check", "Load testing", "Rollout plan",
-    "Kickoff meeting", "Postmortem",
+    "Design review",
+    "Prototype build",
+    "Vendor audit",
+    "Site survey",
+    "Data migration",
+    "Budget approval",
+    "Safety training",
+    "Compliance check",
+    "Load testing",
+    "Rollout plan",
+    "Kickoff meeting",
+    "Postmortem",
 ];
 
 pub const CATEGORIES: &[&str] = &[
-    "Travel", "Equipment", "Software", "Training", "Consulting", "Utilities", "Rent", "Supplies",
-    "Maintenance", "Insurance",
+    "Travel",
+    "Equipment",
+    "Software",
+    "Training",
+    "Consulting",
+    "Utilities",
+    "Rent",
+    "Supplies",
+    "Maintenance",
+    "Insurance",
 ];
 
 pub const STATUS_WORDS: &[&str] = &["Open", "Closed", "Blocked", "Pending", "Done"];
@@ -63,9 +135,24 @@ pub const GENERIC_SHEET_NAMES: &[&str] =
 
 /// Distinctive sheet-name stems (low corpus frequency → strong evidence).
 pub const DISTINCT_SHEET_STEMS: &[&str] = &[
-    "Instructions", "WorkshopDetails", "RateCard", "Forecast", "Reconciliation", "Headcount",
-    "Pipeline", "Utilization", "Maintenance", "FieldAudit", "Allocations", "Milestones",
-    "Variance", "Backlog", "Capacity", "Benchmarks", "Provisioning", "Compliance",
+    "Instructions",
+    "WorkshopDetails",
+    "RateCard",
+    "Forecast",
+    "Reconciliation",
+    "Headcount",
+    "Pipeline",
+    "Utilization",
+    "Maintenance",
+    "FieldAudit",
+    "Allocations",
+    "Milestones",
+    "Variance",
+    "Backlog",
+    "Capacity",
+    "Benchmarks",
+    "Provisioning",
+    "Compliance",
 ];
 
 #[cfg(test)]
@@ -75,8 +162,20 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_unique() {
         for pool in [
-            SURNAMES, FIRST_NAMES, REGIONS, PRODUCTS, DEPARTMENTS, LINE_ITEMS, MONTHS, QUARTERS,
-            SITES, TASKS, CATEGORIES, STATUS_WORDS, GENERIC_SHEET_NAMES, DISTINCT_SHEET_STEMS,
+            SURNAMES,
+            FIRST_NAMES,
+            REGIONS,
+            PRODUCTS,
+            DEPARTMENTS,
+            LINE_ITEMS,
+            MONTHS,
+            QUARTERS,
+            SITES,
+            TASKS,
+            CATEGORIES,
+            STATUS_WORDS,
+            GENERIC_SHEET_NAMES,
+            DISTINCT_SHEET_STEMS,
         ] {
             assert!(!pool.is_empty());
             let mut sorted: Vec<_> = pool.to_vec();

@@ -139,10 +139,8 @@ pub fn sheet_pairs(
         pairs.truncate(max_pairs_per_group);
         for (wa, wb) in pairs {
             for s in 0..names.len() {
-                out.positives.push((
-                    SheetId { workbook: wa, sheet: s },
-                    SheetId { workbook: wb, sheet: s },
-                ));
+                out.positives
+                    .push((SheetId { workbook: wa, sheet: s }, SheetId { workbook: wb, sheet: s }));
                 out.groups.push(group_id);
             }
         }
@@ -204,8 +202,7 @@ pub fn region_pairs(
         if formulas_b.is_empty() {
             continue;
         }
-        let mut b_locs: Vec<(CellRef, &str)> =
-            formulas_b.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut b_locs: Vec<(CellRef, &str)> = formulas_b.iter().map(|(k, v)| (*k, *v)).collect();
         b_locs.sort_by_key(|(k, _)| *k);
         for (loc, fa) in sheet_a.formulas() {
             let Some(&fb) = formulas_b.get(&loc) else { continue };
@@ -214,14 +211,11 @@ pub fn region_pairs(
             }
             positives.push(RegionPair { a: (ida, loc), b: (idb, loc), group });
             // Negative: nearest different formula on sheet_b.
-            let neg = b_locs
-                .iter()
-                .filter(|(l, g)| *l != loc && *g != fa)
-                .min_by_key(|(l, _)| {
-                    let dr = (l.row as i64 - loc.row as i64).abs();
-                    let dc = (l.col as i64 - loc.col as i64).abs();
-                    dr + dc * 4 // shifting within a column is the common case
-                });
+            let neg = b_locs.iter().filter(|(l, g)| *l != loc && *g != fa).min_by_key(|(l, _)| {
+                let dr = (l.row as i64 - loc.row as i64).abs();
+                let dc = (l.col as i64 - loc.col as i64).abs();
+                dr + dc * 4 // shifting within a column is the common case
+            });
             if let Some((gloc, _)) = neg {
                 negatives.push(RegionPair { a: (ida, loc), b: (idb, *gloc), group });
             }
@@ -250,8 +244,7 @@ pub fn label_precision(
     if pairs.is_empty() {
         return 1.0;
     }
-    let good =
-        pairs.iter().filter(|(a, b)| same_family(a.workbook, b.workbook)).count();
+    let good = pairs.iter().filter(|(a, b)| same_family(a.workbook, b.workbook)).count();
     good as f64 / pairs.len() as f64
 }
 
@@ -259,7 +252,7 @@ pub fn label_precision(
 mod tests {
     use super::*;
     use crate::organization::{OrgSpec, Scale};
-    use af_grid::{Cell, Sheet};
+    use af_grid::Sheet;
 
     fn wb(names: &[&str]) -> Workbook {
         let mut w = Workbook::new("t");
@@ -330,8 +323,7 @@ mod tests {
         let precision = label_precision(&pairs.positives, |a, b| corpus.same_family(a, b));
         // Paper §4.2: "precision of positive/negative labels over 0.95".
         assert!(precision > 0.95, "precision {precision}");
-        let neg_precision =
-            label_precision(&pairs.negatives, |a, b| !corpus.same_family(a, b));
+        let neg_precision = label_precision(&pairs.negatives, |a, b| !corpus.same_family(a, b));
         assert!(neg_precision > 0.95, "negative precision {neg_precision}");
     }
 

@@ -66,7 +66,10 @@ impl CellFeaturizer {
             syntactic_features(&cell.value, &mut out[sem..sem + SYNTACTIC_DIM]);
         }
         if self.mask.style {
-            style_features(&cell.style, &mut out[sem + SYNTACTIC_DIM..sem + SYNTACTIC_DIM + STYLE_DIM]);
+            style_features(
+                &cell.style,
+                &mut out[sem + SYNTACTIC_DIM..sem + SYNTACTIC_DIM + STYLE_DIM],
+            );
         }
         out[self.dim() - 1] = 1.0; // valid, in-bounds
     }

@@ -85,7 +85,8 @@ impl GloveSim {
                 for (j, idj) in ids.iter().enumerate().take(hi).skip(i + 1) {
                     let Some(wj) = *idj else { continue };
                     let weight = 1.0 / (j - i) as f32;
-                    let key = if wi <= wj { (wi as u32, wj as u32) } else { (wj as u32, wi as u32) };
+                    let key =
+                        if wi <= wj { (wi as u32, wj as u32) } else { (wj as u32, wi as u32) };
                     *cooc.entry(key).or_insert(0.0) += weight;
                 }
             }
@@ -142,7 +143,12 @@ impl GloveSim {
     /// An untrained fallback (pure hashed word vectors) for tests and for
     /// cold-start settings with no corpus.
     pub fn untrained(dim: usize) -> GloveSim {
-        GloveSim { dim, vocab: HashMap::new(), vectors: Vec::new(), cache: Mutex::new(HashMap::new()) }
+        GloveSim {
+            dim,
+            vocab: HashMap::new(),
+            vectors: Vec::new(),
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     pub fn vocab_size(&self) -> usize {
@@ -224,9 +230,17 @@ mod tests {
     fn toy_corpus() -> Vec<&'static str> {
         // Words that co-occur: {cat, dog, pet} vs {sales, revenue, total}.
         vec![
-            "the cat is a pet", "the dog is a pet", "cat and dog play", "pet cat pet dog",
-            "a pet dog", "a pet cat", "total sales revenue", "sales revenue total",
-            "revenue total sales report", "total revenue for sales", "sales total revenue",
+            "the cat is a pet",
+            "the dog is a pet",
+            "cat and dog play",
+            "pet cat pet dog",
+            "a pet dog",
+            "a pet cat",
+            "total sales revenue",
+            "sales revenue total",
+            "revenue total sales report",
+            "total revenue for sales",
+            "sales total revenue",
             "quarterly sales revenue total",
         ]
     }
@@ -241,11 +255,10 @@ mod tests {
 
     #[test]
     fn cooccurring_words_cluster() {
-        let e = GloveSim::train(toy_corpus().into_iter(), GloveParams {
-            dim: 16,
-            epochs: 60,
-            ..Default::default()
-        });
+        let e = GloveSim::train(
+            toy_corpus().into_iter(),
+            GloveParams { dim: 16, epochs: 60, ..Default::default() },
+        );
         assert!(e.vocab_size() >= 6);
         let within = cosine(&e, "cat", "dog");
         let across = cosine(&e, "cat", "revenue");

@@ -47,18 +47,61 @@ impl FormulaType {
 const CONDITIONAL_FNS: &[&str] =
     &["IF", "IFS", "IFERROR", "IFNA", "AND", "OR", "NOT", "XOR", "SWITCH"];
 const STRING_FNS: &[&str] = &[
-    "CONCATENATE", "CONCAT", "LEFT", "RIGHT", "MID", "LEN", "UPPER", "LOWER", "TRIM",
-    "SUBSTITUTE", "REPT", "EXACT", "FIND", "SEARCH", "TEXT", "TEXTJOIN", "VALUE",
+    "CONCATENATE",
+    "CONCAT",
+    "LEFT",
+    "RIGHT",
+    "MID",
+    "LEN",
+    "UPPER",
+    "LOWER",
+    "TRIM",
+    "SUBSTITUTE",
+    "REPT",
+    "EXACT",
+    "FIND",
+    "SEARCH",
+    "TEXT",
+    "TEXTJOIN",
+    "VALUE",
 ];
 const DATE_FNS: &[&str] = &[
     "DATE", "YEAR", "MONTH", "DAY", "WEEKDAY", "DAYS", "TODAY", "NOW", "EDATE", "EOMONTH",
     "DATEDIF",
 ];
 const MATH_FNS: &[&str] = &[
-    "SUM", "AVERAGE", "COUNT", "COUNTA", "COUNTBLANK", "COUNTIF", "SUMIF", "AVERAGEIF", "MIN",
-    "MAX", "MEDIAN", "STDEV", "VAR", "ABS", "INT", "ROUND", "ROUNDUP", "ROUNDDOWN", "SQRT",
-    "POWER", "MOD", "EXP", "LN", "LOG10", "SIGN", "PRODUCT", "CEILING", "FLOOR", "PI", "LARGE",
-    "SMALL", "RANK",
+    "SUM",
+    "AVERAGE",
+    "COUNT",
+    "COUNTA",
+    "COUNTBLANK",
+    "COUNTIF",
+    "SUMIF",
+    "AVERAGEIF",
+    "MIN",
+    "MAX",
+    "MEDIAN",
+    "STDEV",
+    "VAR",
+    "ABS",
+    "INT",
+    "ROUND",
+    "ROUNDUP",
+    "ROUNDDOWN",
+    "SQRT",
+    "POWER",
+    "MOD",
+    "EXP",
+    "LN",
+    "LOG10",
+    "SIGN",
+    "PRODUCT",
+    "CEILING",
+    "FLOOR",
+    "PI",
+    "LARGE",
+    "SMALL",
+    "RANK",
 ];
 
 /// Formula complexity: number of AST nodes (§5.4 "we define formula

@@ -224,10 +224,7 @@ mod tests {
 
     #[test]
     fn display_paper_formula() {
-        let e = Expr::call(
-            "countif",
-            vec![Expr::Range(r("C7"), r("C37")), Expr::Ref(r("C41"))],
-        );
+        let e = Expr::call("countif", vec![Expr::Range(r("C7"), r("C37")), Expr::Ref(r("C41"))]);
         assert_eq!(e.to_string(), "COUNTIF(C7:C37,C41)");
     }
 
@@ -247,10 +244,7 @@ mod tests {
 
     #[test]
     fn param_refs_in_order() {
-        let e = Expr::call(
-            "COUNTIF",
-            vec![Expr::Range(r("C7"), r("C37")), Expr::Ref(r("C41"))],
-        );
+        let e = Expr::call("COUNTIF", vec![Expr::Range(r("C7"), r("C37")), Expr::Ref(r("C41"))]);
         let refs = e.param_refs();
         assert_eq!(refs.len(), 3);
         assert_eq!(refs[0].cell, CellRef::new(6, 2));
@@ -266,10 +260,12 @@ mod tests {
     #[test]
     fn parenthesization_minimal() {
         // (1+2)*3 must keep parens; 1+(2*3) must not.
-        let sum = Expr::Binary(BinOp::Add, Box::new(Expr::Number(1.0)), Box::new(Expr::Number(2.0)));
+        let sum =
+            Expr::Binary(BinOp::Add, Box::new(Expr::Number(1.0)), Box::new(Expr::Number(2.0)));
         let e = Expr::Binary(BinOp::Mul, Box::new(sum.clone()), Box::new(Expr::Number(3.0)));
         assert_eq!(e.to_string(), "(1+2)*3");
-        let prod = Expr::Binary(BinOp::Mul, Box::new(Expr::Number(2.0)), Box::new(Expr::Number(3.0)));
+        let prod =
+            Expr::Binary(BinOp::Mul, Box::new(Expr::Number(2.0)), Box::new(Expr::Number(3.0)));
         let e = Expr::Binary(BinOp::Add, Box::new(Expr::Number(1.0)), Box::new(prod));
         assert_eq!(e.to_string(), "1+2*3");
     }
@@ -277,7 +273,8 @@ mod tests {
     #[test]
     fn right_child_same_precedence_parenthesized() {
         // 1-(2-3) must keep parens because `-` is left-associative.
-        let inner = Expr::Binary(BinOp::Sub, Box::new(Expr::Number(2.0)), Box::new(Expr::Number(3.0)));
+        let inner =
+            Expr::Binary(BinOp::Sub, Box::new(Expr::Number(2.0)), Box::new(Expr::Number(3.0)));
         let e = Expr::Binary(BinOp::Sub, Box::new(Expr::Number(1.0)), Box::new(inner));
         assert_eq!(e.to_string(), "1-(2-3)");
     }

@@ -12,10 +12,8 @@ pub fn precedents(expr: &Expr, max_cells: usize) -> Vec<CellRef> {
     let mut out = Vec::new();
     let mut seen = FxHashSet::default();
     expr.walk(&mut |e| match e {
-        Expr::Ref(r) => {
-            if seen.insert(r.cell) {
-                out.push(r.cell);
-            }
+        Expr::Ref(r) if seen.insert(r.cell) => {
+            out.push(r.cell);
         }
         Expr::Range(a, b) => {
             let range = RangeRef::new(a.cell, b.cell);

@@ -171,9 +171,7 @@ fn eval_binary(op: BinOp, l: &CellValue, r: &CellValue) -> Result<CellValue, Eva
             };
             Ok(CellValue::Number(out))
         }
-        BinOp::Concat => {
-            Ok(CellValue::Text(format!("{}{}", l.display(), r.display())))
-        }
+        BinOp::Concat => Ok(CellValue::Text(format!("{}{}", l.display(), r.display()))),
         BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
             let ord = compare_values(l, r);
             let out = match (op, ord) {

@@ -38,9 +38,7 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
                     if selected.is_empty() {
                         Err(CellError::Div0)
                     } else {
-                        Ok(CellValue::Number(
-                            selected.iter().sum::<f64>() / selected.len() as f64,
-                        ))
+                        Ok(CellValue::Number(selected.iter().sum::<f64>() / selected.len() as f64))
                     }
                 }
                 "MINIFS" => Ok(CellValue::Number(
@@ -55,7 +53,7 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
         }
         "IFS" => {
             // IFS(cond1, val1, cond2, val2, …): first true condition wins.
-            if args.len() < 2 || args.len() % 2 != 0 {
+            if args.len() < 2 || !args.len().is_multiple_of(2) {
                 return Err(CellError::Value);
             }
             for pair in args.chunks(2) {
@@ -96,7 +94,7 @@ fn criteria_sets(
     from: usize,
 ) -> Result<Vec<(Vec<CellValue>, Criteria)>, CellError> {
     let rest = &args[from..];
-    if rest.is_empty() || rest.len() % 2 != 0 {
+    if rest.is_empty() || !rest.len().is_multiple_of(2) {
         return Err(CellError::Value);
     }
     let mut out = Vec::with_capacity(rest.len() / 2);
@@ -166,13 +164,7 @@ mod tests {
         let agg = nums(&[1.0, 2.0, 4.0, 8.0]);
         let k = texts(&["a", "b", "a", "a"]);
         let v = nums(&[1.0, 1.0, 0.0, 1.0]);
-        let args = [
-            agg,
-            k,
-            s(CellValue::text("a")),
-            v,
-            s(CellValue::Number(1.0)),
-        ];
+        let args = [agg, k, s(CellValue::text("a")), v, s(CellValue::Number(1.0))];
         assert_eq!(call("SUMIFS", &args), Ok(CellValue::Number(9.0)));
         assert_eq!(call("AVERAGEIFS", &args), Ok(CellValue::Number(4.5)));
         assert_eq!(call("MAXIFS", &args), Ok(CellValue::Number(8.0)));
@@ -183,7 +175,12 @@ mod tests {
     fn mismatched_range_lengths_error() {
         let out = call(
             "COUNTIFS",
-            &[nums(&[1.0, 2.0]), s(CellValue::Number(1.0)), nums(&[1.0]), s(CellValue::Number(1.0))],
+            &[
+                nums(&[1.0, 2.0]),
+                s(CellValue::Number(1.0)),
+                nums(&[1.0]),
+                s(CellValue::Number(1.0)),
+            ],
         );
         assert_eq!(out, Err(CellError::Value));
     }

@@ -28,10 +28,7 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
             if args.is_empty() {
                 return Err(CellError::Value);
             }
-            let mut acc = match name {
-                "AND" => true,
-                _ => false,
-            };
+            let mut acc = name == "AND";
             let mut saw = false;
             for a in args {
                 for v in a.values() {
@@ -89,10 +86,7 @@ mod tests {
         let f = s(CellValue::Bool(false));
         let yes = s(CellValue::text("yes"));
         let no = s(CellValue::text("no"));
-        assert_eq!(
-            call("IF", &[t, yes.clone(), no.clone()]),
-            Ok(CellValue::text("yes"))
-        );
+        assert_eq!(call("IF", &[t, yes.clone(), no.clone()]), Ok(CellValue::text("yes")));
         assert_eq!(call("IF", &[f.clone(), yes.clone(), no]), Ok(CellValue::text("no")));
         assert_eq!(call("IF", &[f, yes]), Ok(CellValue::Bool(false)));
     }
@@ -131,9 +125,6 @@ mod tests {
     #[test]
     fn empty_and_errors() {
         assert_eq!(call("AND", &[]), Err(CellError::Value));
-        assert_eq!(
-            call("NOT", &[s(CellValue::text("banana"))]),
-            Err(CellError::Value)
-        );
+        assert_eq!(call("NOT", &[s(CellValue::text("banana"))]), Err(CellError::Value));
     }
 }

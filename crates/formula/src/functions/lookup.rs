@@ -61,11 +61,7 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
             let row = number_arg(args, 1)? as u32;
             let col = if args.len() == 3 { number_arg(args, 2)? as u32 } else { 1 };
             // One-dimensional arrays accept a single index along their axis.
-            let (r, c) = if args.len() == 2 && table.rows == 1 {
-                (1, row)
-            } else {
-                (row, col)
-            };
+            let (r, c) = if args.len() == 2 && table.rows == 1 { (1, row) } else { (row, col) };
             if r == 0 || c == 0 || r > table.rows || c > table.cols {
                 return Err(CellError::Ref);
             }
@@ -154,12 +150,22 @@ mod tests {
     fn vlookup_exact() {
         let out = call(
             "VLOOKUP",
-            &[s(CellValue::text("bo")), table(), s(CellValue::Number(2.0)), s(CellValue::Bool(false))],
+            &[
+                s(CellValue::text("bo")),
+                table(),
+                s(CellValue::Number(2.0)),
+                s(CellValue::Bool(false)),
+            ],
         );
         assert_eq!(out, Ok(CellValue::Number(20.0)));
         let miss = call(
             "VLOOKUP",
-            &[s(CellValue::text("zz")), table(), s(CellValue::Number(2.0)), s(CellValue::Bool(false))],
+            &[
+                s(CellValue::text("zz")),
+                table(),
+                s(CellValue::Number(2.0)),
+                s(CellValue::Bool(false)),
+            ],
         );
         assert_eq!(miss, Err(CellError::Na));
     }
@@ -252,7 +258,12 @@ mod tests {
         assert_eq!(
             call(
                 "HLOOKUP",
-                &[s(CellValue::text("q2")), row_table, s(CellValue::Number(2.0)), s(CellValue::Bool(false))]
+                &[
+                    s(CellValue::text("q2")),
+                    row_table,
+                    s(CellValue::Number(2.0)),
+                    s(CellValue::Bool(false))
+                ]
             ),
             Ok(CellValue::Number(2.0))
         );

@@ -153,7 +153,7 @@ mod tests {
     fn rounding_family() {
         assert_eq!(callf("ROUND", &[n(2.5)]), CellValue::Number(3.0));
         assert_eq!(callf("ROUND", &[n(-2.5)]), CellValue::Number(-3.0));
-        assert_eq!(callf("ROUND", &[n(3.14159), n(2.0)]), CellValue::Number(3.14));
+        assert_eq!(callf("ROUND", &[n(2.71815), n(2.0)]), CellValue::Number(2.72));
         assert_eq!(callf("ROUNDUP", &[n(3.01)]), CellValue::Number(4.0));
         assert_eq!(callf("ROUNDDOWN", &[n(3.99)]), CellValue::Number(3.0));
         assert_eq!(callf("INT", &[n(-3.2)]), CellValue::Number(-4.0));

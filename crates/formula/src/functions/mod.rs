@@ -57,15 +57,88 @@ pub fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError> {
 /// Names of every supported function (for documentation and tests).
 pub fn supported_functions() -> &'static [&'static str] {
     &[
-        "ABS", "INT", "SQRT", "EXP", "LN", "LOG10", "SIGN", "ROUND", "ROUNDUP", "ROUNDDOWN",
-        "POWER", "MOD", "CEILING", "FLOOR", "PI", "PRODUCT", "SUM", "AVERAGE", "COUNT", "COUNTA",
-        "COUNTBLANK", "MIN", "MAX", "MEDIAN", "STDEV", "VAR", "LARGE", "SMALL", "RANK", "COUNTIF",
-        "SUMIF", "AVERAGEIF", "IF", "IFERROR", "AND", "OR", "NOT", "XOR", "ISBLANK", "ISNUMBER",
-        "ISTEXT", "CONCATENATE", "CONCAT", "LEFT", "RIGHT", "MID", "LEN", "UPPER", "LOWER",
-        "TRIM", "SUBSTITUTE", "REPT", "EXACT", "FIND", "VALUE", "TEXT", "VLOOKUP", "HLOOKUP",
-        "INDEX", "MATCH", "CHOOSE", "DATE", "YEAR", "MONTH", "DAY", "WEEKDAY", "DAYS",
-        "COUNTIFS", "SUMIFS", "AVERAGEIFS", "MINIFS", "MAXIFS", "IFS", "SWITCH", "PROPER",
-        "TEXTJOIN", "SUMPRODUCT", "ISERROR", "ISERR", "ISNA", "EDATE", "EOMONTH",
+        "ABS",
+        "INT",
+        "SQRT",
+        "EXP",
+        "LN",
+        "LOG10",
+        "SIGN",
+        "ROUND",
+        "ROUNDUP",
+        "ROUNDDOWN",
+        "POWER",
+        "MOD",
+        "CEILING",
+        "FLOOR",
+        "PI",
+        "PRODUCT",
+        "SUM",
+        "AVERAGE",
+        "COUNT",
+        "COUNTA",
+        "COUNTBLANK",
+        "MIN",
+        "MAX",
+        "MEDIAN",
+        "STDEV",
+        "VAR",
+        "LARGE",
+        "SMALL",
+        "RANK",
+        "COUNTIF",
+        "SUMIF",
+        "AVERAGEIF",
+        "IF",
+        "IFERROR",
+        "AND",
+        "OR",
+        "NOT",
+        "XOR",
+        "ISBLANK",
+        "ISNUMBER",
+        "ISTEXT",
+        "CONCATENATE",
+        "CONCAT",
+        "LEFT",
+        "RIGHT",
+        "MID",
+        "LEN",
+        "UPPER",
+        "LOWER",
+        "TRIM",
+        "SUBSTITUTE",
+        "REPT",
+        "EXACT",
+        "FIND",
+        "VALUE",
+        "TEXT",
+        "VLOOKUP",
+        "HLOOKUP",
+        "INDEX",
+        "MATCH",
+        "CHOOSE",
+        "DATE",
+        "YEAR",
+        "MONTH",
+        "DAY",
+        "WEEKDAY",
+        "DAYS",
+        "COUNTIFS",
+        "SUMIFS",
+        "AVERAGEIFS",
+        "MINIFS",
+        "MAXIFS",
+        "IFS",
+        "SWITCH",
+        "PROPER",
+        "TEXTJOIN",
+        "SUMPRODUCT",
+        "ISERROR",
+        "ISERR",
+        "ISNA",
+        "EDATE",
+        "EOMONTH",
     ]
 }
 

@@ -67,11 +67,7 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
             }
             nums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let mid = nums.len() / 2;
-            let v = if nums.len() % 2 == 1 {
-                nums[mid]
-            } else {
-                (nums[mid - 1] + nums[mid]) / 2.0
-            };
+            let v = if nums.len() % 2 == 1 { nums[mid] } else { (nums[mid - 1] + nums[mid]) / 2.0 };
             Ok(CellValue::Number(v))
         }
         "STDEV" | "VAR" => {
@@ -80,8 +76,8 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
                 return Err(CellError::Div0);
             }
             let mean = nums.iter().sum::<f64>() / nums.len() as f64;
-            let var = nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                / (nums.len() - 1) as f64;
+            let var =
+                nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (nums.len() - 1) as f64;
             Ok(CellValue::Number(if name == "VAR" { var } else { var.sqrt() }))
         }
         "LARGE" | "SMALL" => {
@@ -102,10 +98,7 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
             let mut nums = Vec::new();
             args[1].collect_numbers(&mut nums)?;
             let ascending = args.len() == 3 && number_arg(args, 2)? != 0.0;
-            let rank = 1 + nums
-                .iter()
-                .filter(|&&v| if ascending { v < x } else { v > x })
-                .count();
+            let rank = 1 + nums.iter().filter(|&&v| if ascending { v < x } else { v > x }).count();
             if !nums.contains(&x) {
                 return Err(CellError::Na);
             }
@@ -123,11 +116,8 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
             // With 3 args: test on args[0], aggregate args[2]; with 2 args
             // both roles are args[0].
             let test: Vec<&CellValue> = args[0].values().collect();
-            let agg: Vec<&CellValue> = if args.len() == 3 {
-                args[2].values().collect()
-            } else {
-                test.clone()
-            };
+            let agg: Vec<&CellValue> =
+                if args.len() == 3 { args[2].values().collect() } else { test.clone() };
             if agg.len() != test.len() {
                 return Err(CellError::Value);
             }
@@ -199,8 +189,8 @@ mod tests {
                 CellValue::Bool(true),
             ],
         });
-        assert_eq!(call("COUNT", &[mixed.clone()]), Ok(CellValue::Number(1.0)));
-        assert_eq!(call("COUNTA", &[mixed.clone()]), Ok(CellValue::Number(3.0)));
+        assert_eq!(call("COUNT", std::slice::from_ref(&mixed)), Ok(CellValue::Number(1.0)));
+        assert_eq!(call("COUNTA", std::slice::from_ref(&mixed)), Ok(CellValue::Number(3.0)));
         assert_eq!(call("COUNTBLANK", &[mixed]), Ok(CellValue::Number(1.0)));
     }
 
@@ -215,10 +205,7 @@ mod tests {
     #[test]
     fn countif_with_operator() {
         let col = nums(&[5.0, 10.0, 15.0, 20.0]);
-        assert_eq!(
-            call("COUNTIF", &[col, s(CellValue::text(">10"))]),
-            Ok(CellValue::Number(2.0))
-        );
+        assert_eq!(call("COUNTIF", &[col, s(CellValue::text(">10"))]), Ok(CellValue::Number(2.0)));
     }
 
     #[test]
@@ -239,19 +226,27 @@ mod tests {
     fn median_stdev() {
         assert_eq!(call("MEDIAN", &[nums(&[1.0, 3.0, 2.0])]), Ok(CellValue::Number(2.0)));
         assert_eq!(call("MEDIAN", &[nums(&[1.0, 2.0, 3.0, 4.0])]), Ok(CellValue::Number(2.5)));
-        assert_eq!(call("VAR", &[nums(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])]),
-            Ok(CellValue::Number(32.0 / 7.0)));
+        assert_eq!(
+            call("VAR", &[nums(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])]),
+            Ok(CellValue::Number(32.0 / 7.0))
+        );
     }
 
     #[test]
     fn large_small_rank() {
         let col = nums(&[10.0, 40.0, 20.0, 30.0]);
-        assert_eq!(call("LARGE", &[col.clone(), s(CellValue::Number(2.0))]), Ok(CellValue::Number(30.0)));
-        assert_eq!(call("SMALL", &[col.clone(), s(CellValue::Number(1.0))]), Ok(CellValue::Number(10.0)));
-        assert_eq!(call("RANK", &[s(CellValue::Number(30.0)), col.clone()]), Ok(CellValue::Number(2.0)));
         assert_eq!(
-            call("RANK", &[s(CellValue::Number(99.0)), col]),
-            Err(CellError::Na)
+            call("LARGE", &[col.clone(), s(CellValue::Number(2.0))]),
+            Ok(CellValue::Number(30.0))
         );
+        assert_eq!(
+            call("SMALL", &[col.clone(), s(CellValue::Number(1.0))]),
+            Ok(CellValue::Number(10.0))
+        );
+        assert_eq!(
+            call("RANK", &[s(CellValue::Number(30.0)), col.clone()]),
+            Ok(CellValue::Number(2.0))
+        );
+        assert_eq!(call("RANK", &[s(CellValue::Number(99.0)), col]), Err(CellError::Na));
     }
 }

@@ -42,11 +42,7 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
             if start < 1.0 || len < 0.0 {
                 return Err(CellError::Value);
             }
-            let out: String = s
-                .chars()
-                .skip(start as usize - 1)
-                .take(len as usize)
-                .collect();
+            let out: String = s.chars().skip(start as usize - 1).take(len as usize).collect();
             Ok(CellValue::Text(out))
         }
         "LEN" => {
@@ -187,10 +183,7 @@ mod tests {
 
     #[test]
     fn concat_mixed_types() {
-        assert_eq!(
-            call("CONCATENATE", &[s("FY"), n(23.0)]),
-            Ok(CellValue::text("FY23"))
-        );
+        assert_eq!(call("CONCATENATE", &[s("FY"), n(23.0)]), Ok(CellValue::text("FY23")));
     }
 
     #[test]
@@ -216,10 +209,7 @@ mod tests {
 
     #[test]
     fn substitute_all_and_nth() {
-        assert_eq!(
-            call("SUBSTITUTE", &[s("a-b-c"), s("-"), s("+")]),
-            Ok(CellValue::text("a+b+c"))
-        );
+        assert_eq!(call("SUBSTITUTE", &[s("a-b-c"), s("-"), s("+")]), Ok(CellValue::text("a+b+c")));
         assert_eq!(
             call("SUBSTITUTE", &[s("a-b-c"), s("-"), s("+"), n(2.0)]),
             Ok(CellValue::text("a-b+c"))
@@ -237,7 +227,7 @@ mod tests {
     fn value_and_text() {
         assert_eq!(call("VALUE", &[s("42.5")]), Ok(CellValue::Number(42.5)));
         assert_eq!(call("VALUE", &[s("abc")]), Err(CellError::Value));
-        assert_eq!(call("TEXT", &[n(3.14159), s("0.00")]), Ok(CellValue::text("3.14")));
+        assert_eq!(call("TEXT", &[n(4.14159), s("0.00")]), Ok(CellValue::text("4.14")));
         assert_eq!(call("TEXT", &[n(3.0), s("0")]), Ok(CellValue::text("3")));
     }
 

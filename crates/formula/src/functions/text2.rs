@@ -55,11 +55,7 @@ pub(super) fn call(name: &str, args: &[Operand]) -> Result<CellValue, CellError>
             }
             let columns: Vec<Vec<f64>> = args
                 .iter()
-                .map(|a| {
-                    a.values()
-                        .map(|v| v.as_number().unwrap_or(0.0))
-                        .collect::<Vec<f64>>()
-                })
+                .map(|a| a.values().map(|v| v.as_number().unwrap_or(0.0)).collect::<Vec<f64>>())
                 .collect();
             let len = columns[0].len();
             if columns.iter().any(|c| c.len() != len) {
@@ -164,10 +160,7 @@ mod tests {
         let a = nums(&[1.0, 2.0, 3.0]);
         let b = nums(&[4.0, 5.0, 6.0]);
         assert_eq!(call("SUMPRODUCT", &[a, b]), Ok(CellValue::Number(32.0)));
-        assert_eq!(
-            call("SUMPRODUCT", &[nums(&[1.0]), nums(&[1.0, 2.0])]),
-            Err(CellError::Value)
-        );
+        assert_eq!(call("SUMPRODUCT", &[nums(&[1.0]), nums(&[1.0, 2.0])]), Err(CellError::Value));
     }
 
     #[test]
@@ -175,10 +168,10 @@ mod tests {
         let div0 = s(CellValue::Error(CellError::Div0));
         let na = s(CellValue::Error(CellError::Na));
         let ok = s(CellValue::Number(1.0));
-        assert_eq!(call("ISERROR", &[div0.clone()]), Ok(CellValue::Bool(true)));
-        assert_eq!(call("ISERROR", &[ok.clone()]), Ok(CellValue::Bool(false)));
-        assert_eq!(call("ISNA", &[na.clone()]), Ok(CellValue::Bool(true)));
-        assert_eq!(call("ISNA", &[div0.clone()]), Ok(CellValue::Bool(false)));
+        assert_eq!(call("ISERROR", std::slice::from_ref(&div0)), Ok(CellValue::Bool(true)));
+        assert_eq!(call("ISERROR", std::slice::from_ref(&ok)), Ok(CellValue::Bool(false)));
+        assert_eq!(call("ISNA", std::slice::from_ref(&na)), Ok(CellValue::Bool(true)));
+        assert_eq!(call("ISNA", std::slice::from_ref(&div0)), Ok(CellValue::Bool(false)));
         assert_eq!(call("ISERR", &[na]), Ok(CellValue::Bool(false)));
         assert_eq!(call("ISERR", &[div0]), Ok(CellValue::Bool(true)));
     }

@@ -23,8 +23,8 @@ pub mod template;
 pub mod token;
 
 pub use analysis::{classify, complexity, FormulaType};
-pub use deps::{precedents, DependencyGraph};
 pub use ast::{BinOp, Expr, UnOp};
+pub use deps::{precedents, DependencyGraph};
 pub use eval::{evaluate, recalculate, EvalError};
 pub use parser::{parse, ParseError};
 pub use template::{Template, TemplateError};

@@ -62,10 +62,7 @@ impl Template {
         let mut params = Vec::new();
         let mut markers = Vec::new();
         let texpr = extract_rec(expr, &mut params, &mut markers);
-        (
-            Template { expr: texpr, n_holes: params.len(), abs_markers: markers },
-            params,
-        )
+        (Template { expr: texpr, n_holes: params.len(), abs_markers: markers }, params)
     }
 
     /// Fill the holes with `params` (hole `i` takes `params[i]`), restoring
@@ -115,11 +112,7 @@ impl fmt::Display for TExpr {
     }
 }
 
-fn extract_rec(
-    expr: &Expr,
-    params: &mut Vec<CellRef>,
-    markers: &mut Vec<(bool, bool)>,
-) -> TExpr {
+fn extract_rec(expr: &Expr, params: &mut Vec<CellRef>, markers: &mut Vec<(bool, bool)>) -> TExpr {
     match expr {
         Expr::Number(n) => TExpr::Number(*n),
         Expr::Text(s) => TExpr::Text(s.clone()),
@@ -161,10 +154,9 @@ fn instantiate_rec(texpr: &TExpr, params: &[CellRef], markers: &[(bool, bool)]) 
         TExpr::Text(s) => Expr::Text(s.clone()),
         TExpr::Bool(b) => Expr::Bool(*b),
         TExpr::Hole(i) => Expr::Ref(make_ref(params[*i], markers[*i])),
-        TExpr::RangeHole(i, j) => Expr::Range(
-            make_ref(params[*i], markers[*i]),
-            make_ref(params[*j], markers[*j]),
-        ),
+        TExpr::RangeHole(i, j) => {
+            Expr::Range(make_ref(params[*i], markers[*i]), make_ref(params[*j], markers[*j]))
+        }
         TExpr::Call(name, args) => Expr::Call(
             name.clone(),
             args.iter().map(|a| instantiate_rec(a, params, markers)).collect(),

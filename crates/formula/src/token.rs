@@ -320,11 +320,7 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             kinds("A1<>B2"),
-            vec![
-                TokenKind::Ident("A1".into()),
-                TokenKind::Ne,
-                TokenKind::Ident("B2".into())
-            ]
+            vec![TokenKind::Ident("A1".into()), TokenKind::Ne, TokenKind::Ident("B2".into())]
         );
         assert_eq!(kinds("<=")[0], TokenKind::Le);
         assert_eq!(kinds(">=")[0], TokenKind::Ge);

@@ -13,10 +13,7 @@ pub fn render_region(sheet: &Sheet, range: RangeRef, max_width: usize) -> String
     let cols = range.start.col..=range.end.col;
 
     // Compute column widths.
-    let mut widths: Vec<usize> = cols
-        .clone()
-        .map(|c| CellRef::col_letters(c).len())
-        .collect();
+    let mut widths: Vec<usize> = cols.clone().map(|c| CellRef::col_letters(c).len()).collect();
     let text_of = |at: CellRef| -> String {
         match sheet.get(at) {
             Some(cell) => match &cell.formula {

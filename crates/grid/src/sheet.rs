@@ -127,9 +127,7 @@ impl Sheet {
 
     /// All cells that contain formulas, with their locations.
     pub fn formulas(&self) -> impl Iterator<Item = (CellRef, &str)> + '_ {
-        self.cells
-            .iter()
-            .filter_map(|(r, c)| c.formula.as_deref().map(|f| (*r, f)))
+        self.cells.iter().filter_map(|(r, c)| c.formula.as_deref().map(|f| (*r, f)))
     }
 
     pub fn formula_count(&self) -> usize {

@@ -122,7 +122,13 @@ impl Default for CellStyle {
 impl CellStyle {
     /// A typical bold header style on a colored fill.
     pub fn header(fill: Color) -> Self {
-        CellStyle { fill, bold: true, font_size: 12.0, borders: BorderFlags(BorderFlags::BOTTOM), ..Default::default() }
+        CellStyle {
+            fill,
+            bold: true,
+            font_size: 12.0,
+            borders: BorderFlags(BorderFlags::BOTTOM),
+            ..Default::default()
+        }
     }
 
     pub fn with_fill(mut self, fill: Color) -> Self {

@@ -35,8 +35,9 @@ impl fmt::Display for CellError {
 
 /// The content of a cell. Dates are stored as serial day numbers (days since
 /// 1900-01-01, Excel convention) so they sort and subtract naturally.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum CellValue {
+    #[default]
     Empty,
     Number(f64),
     Text(String),
@@ -98,12 +99,6 @@ impl CellValue {
             CellValue::Date(_) => ValueType::Date,
             CellValue::Error(_) => ValueType::Error,
         }
-    }
-}
-
-impl Default for CellValue {
-    fn default() -> Self {
-        CellValue::Empty
     }
 }
 
@@ -179,8 +174,8 @@ pub fn date_to_serial(year: i64, month: u32, day: u32) -> i64 {
             days -= if is_leap(y) { 366 } else { 365 };
         }
     }
-    for m in 0..(month as usize - 1) {
-        days += DAYS_IN_MONTH[m];
+    for (m, &month_days) in DAYS_IN_MONTH.iter().enumerate().take(month as usize - 1) {
+        days += month_days;
         if m == 1 && is_leap(year) {
             days += 1;
         }

@@ -32,10 +32,7 @@ impl ViewWindow {
     /// Virtual coordinates are signed: negative when the window extends past
     /// the top/left sheet edge.
     pub fn centered_origin(&self, center: CellRef) -> (i64, i64) {
-        (
-            center.row as i64 - (self.rows as i64) / 2,
-            center.col as i64 - (self.cols as i64) / 2,
-        )
+        (center.row as i64 - (self.rows as i64) / 2, center.col as i64 - (self.cols as i64) / 2)
     }
 
     /// Enumerate the window slots centered at `center` over `sheet`, in

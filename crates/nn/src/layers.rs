@@ -619,14 +619,13 @@ mod tests {
         let eps = 1e-2f32;
         // Numerically perturb the first few entries of each param block.
         for (block, ana_block) in analytic.iter().enumerate() {
-            for i in 0..ana_block.len().min(12) {
+            for (i, &ana) in ana_block.iter().enumerate().take(12) {
                 nudge(layer, block, i, eps);
                 let fp = objective(&layer.infer(x.clone()), &wts);
                 nudge(layer, block, i, -2.0 * eps);
                 let fm = objective(&layer.infer(x.clone()), &wts);
                 nudge(layer, block, i, eps); // restore
                 let num = (fp - fm) / (2.0 * eps);
-                let ana = ana_block[i];
                 assert!(
                     (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
                     "param grad mismatch block {block} idx {i}: numeric {num} vs analytic {ana}"

@@ -108,8 +108,8 @@ mod tests {
             let out = net.forward(x);
             // dL/dy for L = mean (y - t)^2 is 2 (y - t) / n.
             let mut grad = Tensor::zeros(vec![16, 1]);
-            for i in 0..16 {
-                let target = 2.0 * xs[i] + 1.0;
+            for (i, &x) in xs.iter().enumerate() {
+                let target = 2.0 * x + 1.0;
                 grad.data[i] = 2.0 * (out.data[i] - target) / 16.0;
             }
             net.backward(grad);

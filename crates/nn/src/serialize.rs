@@ -19,8 +19,15 @@ pub enum SnapshotError {
     BadVersion(u16),
     Truncated,
     /// Parameter block count or sizes do not match the target model.
-    ShapeMismatch { block: usize, expected: usize, got: usize },
-    BlockCountMismatch { expected: usize, got: usize },
+    ShapeMismatch {
+        block: usize,
+        expected: usize,
+        got: usize,
+    },
+    BlockCountMismatch {
+        expected: usize,
+        got: usize,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -106,10 +113,8 @@ pub fn load_params(layer: &mut dyn Layer, mut data: Bytes) -> Result<(), Snapsho
                 })
             }
             None => {
-                err = Some(SnapshotError::BlockCountMismatch {
-                    expected: idx + 1,
-                    got: blocks.len(),
-                })
+                err =
+                    Some(SnapshotError::BlockCountMismatch { expected: idx + 1, got: blocks.len() })
             }
         }
         idx += 1;

@@ -83,11 +83,11 @@ pub fn semi_hard_indices(
             if loss > 0.0 && loss < margin {
                 // Semi-hard: prefer the one closest to the anchor (largest
                 // loss) for the most informative gradient.
-                if best_semi.map_or(true, |(_, l)| loss > l) {
+                if best_semi.is_none_or(|(_, l)| loss > l) {
                     best_semi = Some((c, loss));
                 }
             }
-            if hardest.map_or(true, |(_, d)| dn < d) {
+            if hardest.is_none_or(|(_, d)| dn < d) {
                 hardest = Some((c, dn));
             }
         }
@@ -184,8 +184,8 @@ mod tests {
     fn semi_hard_prefers_in_margin_negatives() {
         let anchors = t(&[&[0.0, 0.0]]);
         let positives = t(&[&[0.5, 0.0]]); // dp = 0.25
-        // Candidates: [0] too easy (far), [1] semi-hard, [2] too hard
-        // (closer than positive).
+                                           // Candidates: [0] too easy (far), [1] semi-hard, [2] too hard
+                                           // (closer than positive).
         let candidates = t(&[&[5.0, 0.0], &[0.6, 0.0], &[0.1, 0.0]]);
         let picks = semi_hard_indices(&anchors, &positives, &candidates, &[], 0.2);
         assert_eq!(picks, vec![1]);
@@ -205,11 +205,8 @@ mod tests {
     #[test]
     fn empty_batch_is_safe() {
         let empty = Tensor::zeros(vec![0, 4]);
-        let batch = TripletBatch {
-            anchors: empty.clone(),
-            positives: empty.clone(),
-            negatives: empty,
-        };
+        let batch =
+            TripletBatch { anchors: empty.clone(), positives: empty.clone(), negatives: empty };
         let (loss, _, _, _) = triplet_loss_grads(&batch, 0.2);
         assert_eq!(loss, 0.0);
     }

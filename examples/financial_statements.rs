@@ -61,13 +61,21 @@ fn main() {
                     "  S2 picked {} at {} (d={:.3}); S3 adapted to: ={}",
                     p.template_signature, p.reference_cell, p.s2_distance, p.formula
                 );
-                println!("  ground truth: ={gt}  → {}", if p.formula == gt { "MATCH" } else { "differ" });
+                println!(
+                    "  ground truth: ={gt}  → {}",
+                    if p.formula == gt { "MATCH" } else { "differ" }
+                );
             }
             None => {
                 // Either no candidate or suppressed by θ — show the
                 // unthresholded answer for contrast.
-                match af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
-                {
+                match af.predict_with(
+                    &index,
+                    &org.workbooks,
+                    &masked,
+                    tc.target,
+                    PipelineVariant::Full,
+                ) {
                     Some(p) => println!(
                         "  suppressed by θ={} (best candidate d={:.3}: ={})",
                         af.cfg().theta_region,

@@ -55,7 +55,15 @@ fn main() {
     let mut workbooks = Vec::new();
     for (q, rows) in [
         ("Q1", vec![("North", 120.0, 9.5), ("South", 80.0, 11.0), ("East", 95.0, 10.0)]),
-        ("Q2", vec![("North", 140.0, 9.5), ("South", 70.0, 11.5), ("East", 101.0, 9.75), ("West", 66.0, 12.0)]),
+        (
+            "Q2",
+            vec![
+                ("North", 140.0, 9.5),
+                ("South", 70.0, 11.5),
+                ("East", 101.0, 9.75),
+                ("West", 66.0, 12.0),
+            ],
+        ),
         ("Q3", vec![("North", 133.0, 9.0), ("South", 88.0, 11.0)]),
     ] {
         let mut wb = Workbook::new(format!("sales-{q}.xlsx"));

@@ -34,9 +34,7 @@ fn eval(
         };
         if let Some(p) = baseline.predict(&ctx) {
             preds += 1;
-            let gt = auto_formula::formula::parse_formula(&tc.ground_truth)
-                .unwrap()
-                .to_string();
+            let gt = auto_formula::formula::parse_formula(&tc.ground_truth).unwrap().to_string();
             if p.formula == gt {
                 hits += 1;
             }

@@ -13,12 +13,8 @@ use std::sync::Arc;
 fn tiny_system(universe: &auto_formula::corpus::OrgCorpus) -> AutoFormula {
     let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
     let cfg = AutoFormulaConfig { episodes: 40, ..AutoFormulaConfig::test_tiny() };
-    let (af, report) = AutoFormula::train(
-        &universe.workbooks,
-        featurizer,
-        cfg,
-        TrainingOptions::default(),
-    );
+    let (af, report) =
+        AutoFormula::train(&universe.workbooks, featurizer, cfg, TrainingOptions::default());
     assert!(report.coarse_pairs > 0 && report.fine_pairs > 0);
     af
 }
@@ -44,8 +40,7 @@ fn train_index_predict_evaluate() {
             af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
         {
             n_pred += 1;
-            let gt =
-                auto_formula::formula::parse_formula(&tc.ground_truth).unwrap().to_string();
+            let gt = auto_formula::formula::parse_formula(&tc.ground_truth).unwrap().to_string();
             if p.formula == gt {
                 n_hit += 1;
             }
@@ -73,14 +68,8 @@ fn determinism_across_runs() {
             .map(|tc| {
                 let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
                 let masked = masked_sheet(sheet, tc.target);
-                af.predict_with(
-                    &index,
-                    &org.workbooks,
-                    &masked,
-                    tc.target,
-                    PipelineVariant::Full,
-                )
-                .map(|p| p.formula)
+                af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
+                    .map(|p| p.formula)
             })
             .collect::<Vec<_>>()
     };
@@ -102,9 +91,7 @@ fn pipeline_variants_all_run() {
     let tc = &cases[0];
     let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
     let masked = masked_sheet(sheet, tc.target);
-    for variant in
-        [PipelineVariant::Full, PipelineVariant::CoarseOnly, PipelineVariant::FineOnly]
-    {
+    for variant in [PipelineVariant::Full, PipelineVariant::CoarseOnly, PipelineVariant::FineOnly] {
         // Must not panic; may or may not predict.
         let _ = af.predict_with(&index, &org.workbooks, &masked, tc.target, variant);
     }

@@ -1,0 +1,51 @@
+//! Smoke test: every module the `auto_formula` facade re-exports is
+//! reachable and exposes its headline type or function. This is the
+//! workspace-wiring canary — if a crate falls out of the dependency graph or
+//! a re-export is renamed, this file stops compiling.
+
+use auto_formula::{ann, baselines, core, corpus, embed, formula, grid, nn};
+
+#[test]
+fn all_eight_reexported_modules_are_reachable() {
+    // grid: sheets and A1 references.
+    let mut sheet = grid::Sheet::new("smoke");
+    sheet.set(grid::CellRef::new(0, 0), grid::Cell::new(41.0));
+    sheet.set(grid::CellRef::new(1, 0), grid::Cell::new(1.0));
+    assert_eq!(sheet.name(), "smoke");
+
+    // formula: parse + evaluate against the sheet.
+    let expr = formula::parse("SUM(A1:A2)").expect("parse");
+    let value = formula::evaluate(&expr, &sheet).expect("evaluate");
+    assert_eq!(value, grid::CellValue::Number(42.0));
+
+    // embed: featurizer over a hashed text embedder.
+    let featurizer = embed::CellFeaturizer::new(
+        std::sync::Arc::new(embed::SbertSim::new(16)),
+        embed::FeatureMask::FULL,
+    );
+    assert!(featurizer.dim() > 0);
+
+    // nn: a tensor forward through an identity-ish stack.
+    let t = nn::Tensor::zeros(vec![1, 4]);
+    assert_eq!(t.data.len(), 4);
+
+    // ann: exact search over two points.
+    let mut index = ann::FlatIndex::new(2);
+    index.add(&[0.0, 0.0]);
+    index.add(&[3.0, 4.0]);
+    let hits = ann::VectorIndex::search(&index, &[0.1, 0.0], 1);
+    assert_eq!(hits[0].id, 0);
+
+    // corpus: a seeded tiny organization generates workbooks.
+    let org = corpus::organization::OrgSpec::pge(corpus::organization::Scale::Tiny);
+    let generated = org.generate();
+    assert!(!generated.workbooks.is_empty());
+
+    // core: configuration for the Auto-Formula system itself.
+    let cfg = core::AutoFormulaConfig::test_tiny();
+    assert!(cfg.coarse_dim > 0);
+
+    // baselines: prompt-variant grid for the GPT simulation.
+    let prompts = baselines::PromptConfig::all();
+    assert_eq!(prompts.len(), 24);
+}

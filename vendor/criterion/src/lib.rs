@@ -1,0 +1,160 @@
+//! Vendored stand-in for `criterion`: the `criterion_group!` /
+//! `criterion_main!` macros, [`Criterion`] builder, and
+//! [`Bencher::iter`] — enough to compile and run the workspace's
+//! micro-benchmarks without registry access.
+//!
+//! Measurement model: each `bench_function` runs its closure repeatedly
+//! until the configured measurement time elapses (at least once, at most
+//! `sample_size * 10_000` iterations) and reports mean wall-clock time per
+//! iteration. No statistics, plots, or baselines — this is a smoke-and-order
+//! -of-magnitude harness, not a rigorous one.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver/configuration (builder-style, like upstream).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            warm_up: self.warm_up_time,
+            max_iters: self.sample_size as u64 * 10_000,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 { b.elapsed / b.iters as u32 } else { Duration::ZERO };
+        println!("{name:<40} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    budget: Duration,
+    warm_up: Duration,
+    max_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        while n == 0 || (start.elapsed() < self.budget && n < self.max_iters) {
+            black_box(f());
+            n += 1;
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Both upstream forms: `criterion_group!(name, target, ...)` and the
+/// `name = ..; config = ..; targets = ..` block form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        c.bench_function("probe", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group! {
+        name = group_under_test;
+        config = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        targets = target
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        group_under_test();
+    }
+}

@@ -1,0 +1,39 @@
+//! `any::<T>()` support for the `name: Type` argument form of `proptest!`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{RngExt, Standard};
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `T`: uniform over the full domain (floats: unit
+/// interval, matching what the workspace's tests need from plain-typed
+/// arguments).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+impl<T: Standard> Arbitrary for T {
+    type Strategy = AnyStrategy<T>;
+
+    fn arbitrary() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// The strategy for `T`'s [`Arbitrary`] impl.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}

@@ -1,0 +1,25 @@
+//! Run configuration for [`crate::proptest!`] blocks.
+
+/// Mirrors the fields of upstream's `ProptestConfig` that this workspace
+/// uses. `seed` has no upstream analogue: cases here are derived
+/// deterministically from it, so every run (local or CI) exercises the same
+/// inputs and failures reproduce without a persistence file.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed for the deterministic per-case RNG streams.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, seed: 0xA5F0_5EED }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}

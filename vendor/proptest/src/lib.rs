@@ -1,0 +1,199 @@
+//! Vendored, dependency-free property-testing harness exposing the subset of
+//! the `proptest` API this workspace uses: the [`proptest!`] macro (with
+//! `#![proptest_config(..)]`, `pat in strategy` and `name: Type` argument
+//! forms), `prop_assert*`, range / tuple / `prop_map` / collection / simple
+//! regex-string strategies, and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-case seed (reproducible across runs by construction) and failures are
+//! **not shrunk** — the failing case index and seed are printed instead so a
+//! failure can be replayed.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod strategy;
+
+pub mod string {
+    pub use crate::strategy::regex_sample;
+}
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG for one test case: a deterministic function of (run seed, case index).
+pub fn test_rng(seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything a test file needs from one glob import, mirroring upstream's
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Upstream's prelude exposes strategy constructors under `prop::`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($params:tt)*) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_args! { ($cfg) [] $body, $($params)* }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    ( ($cfg:expr) [$($acc:tt)*] $body:block, ) => {
+        $crate::__proptest_run! { ($cfg) [$($acc)*] $body }
+    };
+    ( ($cfg:expr) [$($acc:tt)*] $body:block ) => {
+        $crate::__proptest_run! { ($cfg) [$($acc)*] $body }
+    };
+    ( ($cfg:expr) [$($acc:tt)*] $body:block, $pat:pat in $strat:expr, $($rest:tt)* ) => {
+        $crate::__proptest_args! { ($cfg) [$($acc)* [{$pat} {$strat}]] $body, $($rest)* }
+    };
+    ( ($cfg:expr) [$($acc:tt)*] $body:block, $pat:pat in $strat:expr ) => {
+        $crate::__proptest_args! { ($cfg) [$($acc)* [{$pat} {$strat}]] $body, }
+    };
+    ( ($cfg:expr) [$($acc:tt)*] $body:block, $arg:ident: $ty:ty, $($rest:tt)* ) => {
+        $crate::__proptest_args! {
+            ($cfg) [$($acc)* [{$arg} {$crate::arbitrary::any::<$ty>()}]] $body, $($rest)*
+        }
+    };
+    ( ($cfg:expr) [$($acc:tt)*] $body:block, $arg:ident: $ty:ty ) => {
+        $crate::__proptest_args! {
+            ($cfg) [$($acc)* [{$arg} {$crate::arbitrary::any::<$ty>()}]] $body,
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ( ($cfg:expr) [$([{$pat:pat} {$strat:expr}])*] $body:block ) => {{
+        let __config: $crate::config::ProptestConfig = $cfg;
+        for __case in 0..__config.cases {
+            let mut __rng = $crate::test_rng(__config.seed, __case);
+            $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+            let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                || $body
+            ));
+            if let ::std::result::Result::Err(payload) = __outcome {
+                eprintln!(
+                    "proptest: failing case {}/{} (seed {:#x})",
+                    __case, __config.cases, __config.seed,
+                );
+                ::std::panic::resume_unwind(payload);
+            }
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond, "property failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..100, 0u32..100).prop_map(|(a, b)| (a.min(b), a.max(b)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..60, y in -12i64..=12, f in 0.0f64..1.0) {
+            prop_assert!((3..60).contains(&x));
+            prop_assert!((-12..=12).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn mixed_arg_forms(x in 0u32..10, flag: bool, _other: u8) {
+            prop_assert!(x < 10 || flag, "unreachable: {x}");
+        }
+
+        #[test]
+        fn prop_map_and_tuples(pair in arb_pair()) {
+            prop_assert!(pair.0 <= pair.1);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(-1e3f64..1e3, 1..30)) {
+            prop_assert!(!v.is_empty() && v.len() < 30);
+            prop_assert!(v.iter().all(|x| (-1e3..1e3).contains(x)));
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-zA-Z0-9 ]{0,20}", name in "[A-Z]{3,8}") {
+            prop_assert!(s.chars().count() <= 20);
+            prop_assert!((3..=8).contains(&name.chars().count()));
+            prop_assert!(name.chars().all(|c| c.is_ascii_uppercase()), "bad name {name:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng(1, 7);
+        let mut b = crate::test_rng(1, 7);
+        let s: String = crate::strategy::Strategy::generate(&"[a-z]{8}", &mut a);
+        let t: String = crate::strategy::Strategy::generate(&"[a-z]{8}", &mut b);
+        assert_eq!(s, t);
+    }
+}

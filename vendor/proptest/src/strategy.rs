@@ -1,0 +1,168 @@
+//! Value-generation strategies: numeric ranges, tuples, `prop_map`, and a
+//! small regex subset for string literals.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleUniform};
+
+/// A recipe for generating values of one type from a seeded RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+impl<T: SampleUniform + Clone> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + Clone> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);
+
+/// String literals act as regex strategies (subset: literal characters and
+/// `[..]` classes with `a-z` ranges, each optionally followed by `{n}` or
+/// `{m,n}`), which covers the patterns used in this workspace's tests.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        regex_sample(self, rng)
+    }
+}
+
+/// One repeatable unit of the pattern: a character alphabet and a count.
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(it: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = it.next() {
+        match c {
+            ']' => return out,
+            '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                let lo = prev.take().unwrap();
+                let hi = it.next().unwrap();
+                for ch in lo..=hi {
+                    out.push(ch);
+                }
+            }
+            _ => {
+                if let Some(p) = prev.replace(c) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    panic!("unterminated character class in regex strategy");
+}
+
+fn parse_repeat(it: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if it.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    it.next();
+    let mut spec = String::new();
+    for c in it.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match spec.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                None => {
+                    let n = spec.trim().parse().unwrap();
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "bad repetition {{{spec}}}");
+            return (lo, hi);
+        }
+        spec.push(c);
+    }
+    panic!("unterminated repetition in regex strategy");
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => parse_class(&mut it),
+            '\\' => vec![it.next().expect("dangling escape in regex strategy")],
+            _ => vec![c],
+        };
+        assert!(!chars.is_empty(), "empty character class in regex strategy");
+        let (min, max) = parse_repeat(&mut it);
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+/// Sample one string matching `pattern` (see the [`Strategy`] impl for the
+/// supported subset).
+pub fn regex_sample(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for atom in parse_pattern(pattern) {
+        let n = rng.random_range(atom.min..=atom.max);
+        for _ in 0..n {
+            out.push(atom.chars[rng.random_range(0..atom.chars.len())]);
+        }
+    }
+    out
+}

@@ -1,0 +1,265 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! exact API surface the workspace uses — [`rngs::StdRng`], [`SeedableRng`],
+//! and the [`RngExt`] extension trait with `random`, `random_range`, and
+//! `random_bool` — backed by xoshiro256++ seeded via SplitMix64.
+//!
+//! Streams are bit-deterministic for a fixed seed, which is all the
+//! workspace requires (corpus generation, weight init, and training are
+//! seeded end-to-end).
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Core pseudo-random source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// RNGs constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their full domain via [`RngExt::random`].
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f32()
+    }
+}
+
+/// Types with uniform sampling over a caller-supplied interval.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_interval<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = hi_w - lo_w + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "cannot sample empty range {lo}..{hi}");
+                let r = rng.next_u64() as i128 % span;
+                (lo_w + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+                } else {
+                    assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                }
+                // Scale in f64, then guard the cast: rounding (f64 -> f32 in
+                // particular) can land exactly on `hi`, which an exclusive
+                // range must never return.
+                let v = (lo as f64 + rng.next_f64() * (hi as f64 - lo as f64)) as $t;
+                if !inclusive && v >= hi {
+                    hi.next_down().max(lo)
+                } else {
+                    v.min(hi)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_interval(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_interval(lo, hi, true, rng)
+    }
+}
+
+/// The convenience surface the workspace programs against (mirrors the
+/// upstream `Rng` trait's `random*` family).
+pub trait RngExt: RngCore {
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn random_range<T: SampleUniform, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_range(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.random_range(-12..=12);
+            assert!((-12..=12).contains(&v));
+            let u: usize = rng.random_range(3..60);
+            assert!((3..60).contains(&u));
+            let f: f64 = rng.random_range(0.0..0.10);
+            assert!((0.0..0.10).contains(&f));
+        }
+    }
+
+    /// An RNG pinned to the top of the unit interval: exercises the
+    /// exclusive-bound rounding guard (f64 -> f32 casts round up to `hi`).
+    struct MaxRng;
+
+    impl RngCore for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn float_exclusive_upper_bound_never_returned() {
+        let mut rng = MaxRng;
+        let v: f32 = rng.random_range(-1.0f32..1.0);
+        assert!(v < 1.0, "exclusive range returned its upper bound: {v}");
+        let w: f64 = rng.random_range(0.0f64..1.0);
+        assert!(w < 1.0);
+        let x: f32 = rng.random_range(2.0f32..=3.0);
+        assert!(x <= 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn float_empty_exclusive_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: f32 = rng.random_range(1.0f32..1.0);
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.next_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+}
