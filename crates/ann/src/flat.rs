@@ -7,17 +7,38 @@ use crate::VectorIndex;
 
 /// A flat index: vectors stored contiguously, searched by linear scan.
 /// Scans parallelize across threads once the corpus is large enough to
-/// amortize the spawn cost.
+/// amortize the spawn cost; both the threshold and the thread cap are
+/// configurable (see [`FlatIndex::set_parallelism`]).
 #[derive(Debug, Clone, Default)]
 pub struct FlatIndex {
     dim: usize,
     data: Vec<f32>,
+    /// Element-work size below which the scan stays serial
+    /// (0 = [`DEFAULT_PARALLEL_THRESHOLD`]).
+    parallel_threshold: usize,
+    /// Cap on scan worker threads (0 = all of `available_parallelism`).
+    max_scan_threads: usize,
 }
 
 impl FlatIndex {
     pub fn new(dim: usize) -> FlatIndex {
         assert!(dim > 0);
-        FlatIndex { dim, data: Vec::new() }
+        FlatIndex { dim, data: Vec::new(), parallel_threshold: 0, max_scan_threads: 0 }
+    }
+
+    /// Configure when and how wide searches parallelize: scans touching
+    /// fewer than `threshold` elements stay single-threaded (0 keeps the
+    /// crate default), and at most `max_threads` workers are spawned
+    /// (0 = use every core `available_parallelism` reports).
+    pub fn set_parallelism(&mut self, threshold: usize, max_threads: usize) {
+        self.parallel_threshold = threshold;
+        self.max_scan_threads = max_threads;
+    }
+
+    /// Builder-style [`FlatIndex::set_parallelism`].
+    pub fn with_parallelism(mut self, threshold: usize, max_threads: usize) -> FlatIndex {
+        self.set_parallelism(threshold, max_threads);
+        self
     }
 
     /// Build from a batch of vectors.
@@ -51,8 +72,9 @@ impl FlatIndex {
     }
 }
 
-/// Work size below which a parallel scan is not worth spawning threads.
-const PARALLEL_THRESHOLD: usize = 1 << 21;
+/// Default work size below which a parallel scan is not worth spawning
+/// threads (override per index with [`FlatIndex::set_parallelism`]).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1 << 21;
 
 impl VectorIndex for FlatIndex {
     fn len(&self) -> usize {
@@ -70,11 +92,20 @@ impl VectorIndex for FlatIndex {
             return Vec::new();
         }
         let work = n * self.dim;
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        if work < PARALLEL_THRESHOLD || threads < 2 {
+        let threshold = if self.parallel_threshold == 0 {
+            DEFAULT_PARALLEL_THRESHOLD
+        } else {
+            self.parallel_threshold
+        };
+        let mut threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        if self.max_scan_threads != 0 {
+            threads = threads.min(self.max_scan_threads);
+        }
+        if work < threshold || threads < 2 {
             return self.scan_range(query, k, 0, n);
         }
-        let n_chunks = threads.min(8);
+        // Never spawn more workers than there are vectors to scan.
+        let n_chunks = threads.min(n);
         let chunk = n.div_ceil(n_chunks);
         let mut partials: Vec<Vec<Neighbor>> = Vec::with_capacity(n_chunks);
         std::thread::scope(|s| {
@@ -165,5 +196,21 @@ mod tests {
     fn dimension_mismatch_panics() {
         let mut idx = FlatIndex::new(3);
         idx.add(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn configurable_parallelism_agrees_with_serial() {
+        let q = [42.4, 0.0];
+        let mut idx = grid_index();
+        let serial = idx.scan_range(&q, 3, 0, idx.len());
+        // Force the parallel path even on this tiny corpus.
+        idx.set_parallelism(1, 0);
+        assert_eq!(idx.search(&q, 3), serial);
+        // A 1-thread cap forces the serial path regardless of threshold.
+        idx.set_parallelism(1, 1);
+        assert_eq!(idx.search(&q, 3), serial);
+        // Builder form.
+        let idx2 = grid_index().with_parallelism(1, 4);
+        assert_eq!(idx2.search(&q, 3), serial);
     }
 }

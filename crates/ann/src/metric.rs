@@ -1,4 +1,14 @@
 //! Distance computation and neighbor records.
+//!
+//! The distance kernel itself lives in `af_nn::kernel` (one unrolled,
+//! property-tested implementation shared by the training stack and the
+//! indexes); this module re-exports it so `af_ann::metric::l2_sq` keeps
+//! working and call sites cannot drift apart again.
+
+/// Squared Euclidean distance (8-wide unrolled; see `af_nn::kernel`). On
+/// unit vectors this equals `2 − 2·cosθ`, so ranking by it matches ranking
+/// by cosine similarity.
+pub use af_nn::kernel::{dot, l2_sq};
 
 /// A search hit: vector id plus squared-L2 distance to the query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -11,31 +21,6 @@ impl Neighbor {
     pub fn new(id: usize, dist: f32) -> Neighbor {
         Neighbor { id, dist }
     }
-}
-
-/// Squared Euclidean distance. On unit vectors this equals `2 − 2·cosθ`, so
-/// ranking by it matches ranking by cosine similarity.
-#[inline]
-pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    // Process in chunks of 4 to encourage vectorization.
-    let chunks = a.len() / 4 * 4;
-    let mut i = 0;
-    while i < chunks {
-        let d0 = a[i] - b[i];
-        let d1 = a[i + 1] - b[i + 1];
-        let d2 = a[i + 2] - b[i + 2];
-        let d3 = a[i + 3] - b[i + 3];
-        acc += d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3;
-        i += 4;
-    }
-    while i < a.len() {
-        let d = a[i] - b[i];
-        acc += d * d;
-        i += 1;
-    }
-    acc
 }
 
 /// Maintain the `k` smallest neighbors seen so far (a bounded max-heap

@@ -1,0 +1,31 @@
+//! `cargo run --release -p af-bench --bin throughput` — measure train
+//! steps/sec, sheets-embedded/sec, and queries/sec at the current
+//! `AF_SCALE`, and record them in `BENCH_throughput.json` (pass an output
+//! path as the first argument to write elsewhere).
+
+use af_bench::report::{print_table, run_experiment};
+use af_bench::throughput;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    run_experiment("throughput", "BENCH_throughput.json (perf trajectory)", || {
+        let r = throughput::measure();
+        print_table(
+            "throughput",
+            &["metric", "value"],
+            &[
+                vec!["threads".into(), r.threads.to_string()],
+                vec!["train steps/sec".into(), format!("{:.2}", r.train_steps_per_sec)],
+                vec![
+                    "train wall (s)".into(),
+                    format!("{:.2} ({} episodes)", r.train_seconds, r.train_episodes),
+                ],
+                vec!["sheets embedded/sec".into(), format!("{:.2}", r.sheets_embedded_per_sec)],
+                vec!["queries/sec".into(), format!("{:.2}", r.queries_per_sec)],
+                vec!["predict p50 (ms)".into(), format!("{:.3}", r.predict_p50_ms)],
+            ],
+        );
+        throughput::write_json(&r, std::path::Path::new(&out));
+        println!("\nwrote {out}");
+    });
+}

@@ -11,6 +11,7 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod throughput;
 
 pub use metrics::{pr_curve, quality, PrPoint, Quality};
 pub use runner::{evaluate_autoformula, evaluate_baseline, CaseResult};

@@ -1,0 +1,270 @@
+//! Throughput measurement: the perf-trajectory baseline every PR records.
+//!
+//! Measures three hot paths end to end at the current `AF_SCALE`:
+//! * **train steps/sec** — contrastive training episodes (one coarse + one
+//!   fine triplet step each) over the web-crawl universe;
+//! * **sheets embedded/sec** — [`SheetEmbedder::embed_sheet`] over a test
+//!   organization's sheets;
+//! * **queries/sec** (plus p50 latency) — full S1→S3 `predict` calls
+//!   against a built reference index.
+//!
+//! Results are written to `BENCH_throughput.json`. The file keeps a
+//! `before` block (the committed pre-optimization baseline) and an `after`
+//! block (the latest run on this machine), so regressions against the
+//! recorded trajectory are visible in every run.
+
+use af_core::embedder::SheetEmbedder;
+use af_core::index::IndexOptions;
+use af_core::pipeline::AutoFormula;
+use af_core::training::{train_model, TrainingOptions};
+use af_core::AutoFormulaConfig;
+use af_corpus::organization::{OrgSpec, Scale};
+use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Episodes measured by the training probe (a rate is reported, so this
+/// only needs to be large enough to amortize setup noise).
+const TRAIN_EPISODES: usize = 48;
+/// Rounds over the organization's sheets for the embedding probe.
+const EMBED_ROUNDS: usize = 3;
+/// Cap on predict targets for the query probe.
+const MAX_QUERIES: usize = 40;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    pub scale: &'static str,
+    pub threads: usize,
+    pub train_steps_per_sec: f64,
+    pub train_seconds: f64,
+    pub train_episodes: usize,
+    pub sheets_embedded_per_sec: f64,
+    pub sheets_embedded: usize,
+    pub queries_per_sec: f64,
+    pub predict_p50_ms: f64,
+    pub queries: usize,
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Run all three probes at the `AF_SCALE` scale.
+pub fn measure() -> ThroughputReport {
+    let scale = Scale::from_env();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    // ---- training probe ----
+    let universe = OrgSpec::web_crawl(scale).generate();
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(64)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig { episodes: TRAIN_EPISODES, ..AutoFormulaConfig::default() };
+    let (model, train_report) =
+        train_model(&universe.workbooks, &featurizer, cfg, TrainingOptions::default());
+    // Each episode is one coarse and one fine triplet step.
+    let train_steps = 2 * train_report.episodes;
+    let train_steps_per_sec = train_steps as f64 / train_report.seconds.max(1e-9);
+
+    // ---- embedding probe ----
+    let org = OrgSpec::pge(scale).generate();
+    let embedder = SheetEmbedder::new(&model, &featurizer);
+    let mut sheets_embedded = 0usize;
+    let embed_started = Instant::now();
+    for _ in 0..EMBED_ROUNDS {
+        for wb in &org.workbooks {
+            for sheet in &wb.sheets {
+                let emb = embedder.embed_sheet(sheet, false);
+                std::hint::black_box(&emb);
+                sheets_embedded += 1;
+            }
+        }
+    }
+    let embed_seconds = embed_started.elapsed().as_secs_f64();
+
+    // ---- query probe ----
+    let af = AutoFormula::from_model(model, featurizer);
+    // Reference index over all but the last workbook; query the holdout.
+    let n_wb = org.workbooks.len();
+    let members: Vec<usize> = (0..n_wb.saturating_sub(1)).collect();
+    let index = af.build_index(&org.workbooks, &members, IndexOptions::default());
+    let holdout = n_wb - 1;
+    let targets: Vec<(usize, af_grid::CellRef)> = org.workbooks[holdout]
+        .sheets
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| s.formulas().map(move |(at, _)| (si, at)))
+        .take(MAX_QUERIES)
+        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(targets.len());
+    let query_started = Instant::now();
+    for &(si, at) in &targets {
+        let sheet = &org.workbooks[holdout].sheets[si];
+        let q = Instant::now();
+        let pred = af.predict_with(
+            &index,
+            &org.workbooks,
+            sheet,
+            at,
+            af_core::pipeline::PipelineVariant::Full,
+        );
+        std::hint::black_box(&pred);
+        latencies_ms.push(q.elapsed().as_secs_f64() * 1e3);
+    }
+    let query_seconds = query_started.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let p50 = if latencies_ms.is_empty() { 0.0 } else { latencies_ms[latencies_ms.len() / 2] };
+
+    ThroughputReport {
+        scale: scale_name(scale),
+        threads,
+        train_steps_per_sec,
+        train_seconds: train_report.seconds,
+        train_episodes: train_report.episodes,
+        sheets_embedded_per_sec: sheets_embedded as f64 / embed_seconds.max(1e-9),
+        sheets_embedded,
+        queries_per_sec: targets.len() as f64 / query_seconds.max(1e-9),
+        predict_p50_ms: p50,
+        queries: targets.len(),
+    }
+}
+
+/// Serialize one report as a JSON object (hand-rolled: the workspace has no
+/// serde and the schema is flat). The scale is recorded *inside* each block
+/// so before/after are never silently compared across corpus sizes.
+pub fn to_json_object(r: &ThroughputReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"scale\": \"{}\",\n",
+            "    \"threads\": {},\n",
+            "    \"train_steps_per_sec\": {:.2},\n",
+            "    \"train_seconds\": {:.3},\n",
+            "    \"train_episodes\": {},\n",
+            "    \"sheets_embedded_per_sec\": {:.2},\n",
+            "    \"sheets_embedded\": {},\n",
+            "    \"queries_per_sec\": {:.2},\n",
+            "    \"predict_p50_ms\": {:.3},\n",
+            "    \"queries\": {}\n",
+            "  }}"
+        ),
+        r.scale,
+        r.threads,
+        r.train_steps_per_sec,
+        r.train_seconds,
+        r.train_episodes,
+        r.sheets_embedded_per_sec,
+        r.sheets_embedded,
+        r.queries_per_sec,
+        r.predict_p50_ms,
+        r.queries,
+    )
+}
+
+/// Extract the JSON object bound to `key` in `json` (brace matching; no
+/// string escapes occur in this schema).
+fn extract_object(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let open = json[start..].find('{')? + start;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Write `BENCH_throughput.json`. The first run at a given `AF_SCALE`
+/// records the `before` block; later runs at the *same scale* keep that
+/// `before` and update `after`. A run at a different scale starts a fresh
+/// baseline instead — before/after from different corpus sizes must never
+/// be compared.
+pub fn write_json(report: &ThroughputReport, path: &Path) {
+    let current = to_json_object(report);
+    let before = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|existing| extract_object(&existing, "before"))
+        // Only reuse a baseline measured at the same scale.
+        .filter(|b| b.contains(&format!("\"scale\": \"{}\"", report.scale)));
+    let body = match before {
+        Some(b) => format!(
+            "{{\n  \"experiment\": \"throughput\",\n  \"before\": {b},\n  \"after\": {current}\n}}\n",
+        ),
+        None => format!("{{\n  \"experiment\": \"throughput\",\n  \"before\": {current}\n}}\n"),
+    };
+    std::fs::write(path, body).expect("write BENCH_throughput.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(v: f64) -> ThroughputReport {
+        dummy_at("tiny", v)
+    }
+
+    fn dummy_at(scale: &'static str, v: f64) -> ThroughputReport {
+        ThroughputReport {
+            scale,
+            threads: 1,
+            train_steps_per_sec: v,
+            train_seconds: 1.0,
+            train_episodes: 4,
+            sheets_embedded_per_sec: v,
+            sheets_embedded: 10,
+            queries_per_sec: v,
+            predict_p50_ms: 1.5,
+            queries: 5,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_keeps_before_block() {
+        let dir = std::env::temp_dir().join("af_bench_throughput_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_throughput.json");
+        let _ = std::fs::remove_file(&path);
+        write_json(&dummy(10.0), &path);
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(first.contains("\"before\""));
+        assert!(!first.contains("\"after\""));
+        write_json(&dummy(30.0), &path);
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert!(second.contains("\"before\""));
+        assert!(second.contains("\"after\""));
+        // The before block keeps the original measurement.
+        let before = extract_object(&second, "before").unwrap();
+        assert!(before.contains("10.00"));
+        let after = extract_object(&second, "after").unwrap();
+        assert!(after.contains("30.00"));
+        // A run at a different scale must NOT inherit the baseline:
+        // cross-scale before/after comparisons are meaningless.
+        write_json(&dummy_at("small", 99.0), &path);
+        let third = std::fs::read_to_string(&path).unwrap();
+        let before = extract_object(&third, "before").unwrap();
+        assert!(before.contains("99.00") && before.contains("\"scale\": \"small\""));
+        assert!(extract_object(&third, "after").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn extract_object_handles_nesting() {
+        let json = r#"{"a": {"x": {"y": 1}}, "b": {"z": 2}}"#;
+        assert_eq!(extract_object(json, "b").unwrap(), r#"{"z": 2}"#);
+        assert_eq!(extract_object(json, "a").unwrap(), r#"{"x": {"y": 1}}"#);
+        assert!(extract_object(json, "c").is_none());
+    }
+}

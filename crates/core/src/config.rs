@@ -44,6 +44,15 @@ pub struct AutoFormulaConfig {
     pub fine_augmentation: bool,
     /// Master RNG seed.
     pub seed: u64,
+    /// Element-work size below which index scans stay single-threaded
+    /// (0 = `af_ann::flat::DEFAULT_PARALLEL_THRESHOLD`).
+    pub search_parallel_threshold: usize,
+    /// Cap on worker threads for parallel index scans (0 = use every core
+    /// `available_parallelism` reports).
+    pub search_threads: usize,
+    /// Cap on worker threads for batch sheet embedding at index-build time
+    /// (0 = use every available core).
+    pub embed_threads: usize,
 }
 
 impl Default for AutoFormulaConfig {
@@ -66,7 +75,21 @@ impl Default for AutoFormulaConfig {
             coarse_augmentation: true,
             fine_augmentation: true,
             seed: 0xAF_00,
+            search_parallel_threshold: 0,
+            search_threads: 0,
+            embed_threads: 0,
         }
+    }
+}
+
+/// Resolve a thread-cap knob against the machine: `0` means "use every
+/// core `available_parallelism` reports", any other value caps it.
+pub fn resolve_threads(cap: usize) -> usize {
+    let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    if cap == 0 {
+        avail
+    } else {
+        avail.min(cap)
     }
 }
 

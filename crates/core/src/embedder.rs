@@ -61,11 +61,11 @@ impl<'a> SheetEmbedder<'a> {
         refs.sort_unstable();
         let n_stored = refs.len();
         let mut raw = vec![0.0f32; (n_stored + 2) * fd];
-        for (i, at) in refs.iter().enumerate() {
-            let cell = sheet.get(*at).expect("stored cell");
-            self.featurizer.cell(cell, &mut raw[i * fd..(i + 1) * fd]);
-        }
-        raw[n_stored * fd..(n_stored + 1) * fd].copy_from_slice(&self.featurizer.empty_cell());
+        self.featurizer.cells_into(
+            refs.iter().map(|at| sheet.get(*at).expect("stored cell")),
+            &mut raw[..n_stored * fd],
+        );
+        raw[n_stored * fd..(n_stored + 1) * fd].copy_from_slice(self.featurizer.empty_cell_ref());
         // Row n_stored+1 stays zero = invalid constant.
 
         let reduced = self.model.reduce_cells(Tensor::new(vec![n_stored + 2, fd], raw));

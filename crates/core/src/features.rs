@@ -21,18 +21,32 @@ pub fn raw_window(
     window: ViewWindow,
     origin: WindowOrigin,
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; window.n_cells() * featurizer.dim()];
+    raw_window_into(featurizer, sheet, window, origin, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`raw_window`]: featurize the window
+/// directly into `out` (length `n_cells × feat_dim`, fully overwritten).
+/// This is what the training loop uses to fill batch rows in place.
+pub fn raw_window_into(
+    featurizer: &CellFeaturizer,
+    sheet: &Sheet,
+    window: ViewWindow,
+    origin: WindowOrigin,
+    out: &mut [f32],
+) {
     let fd = featurizer.dim();
-    let n = window.n_cells();
-    let mut out = vec![0.0f32; n * fd];
-    let empty = featurizer.empty_cell();
-    // Invalid slots stay all-zero (featurizer.invalid_cell()).
+    debug_assert_eq!(out.len(), window.n_cells() * fd);
+    let empty = featurizer.empty_cell_ref();
+    // Invalid slots become all-zero (featurizer.invalid_cell()).
     let mut fill = |slots: &mut dyn Iterator<Item = WindowSlot<'_>>| {
         for (i, slot) in slots.enumerate() {
             let dst = &mut out[i * fd..(i + 1) * fd];
             match slot {
                 WindowSlot::Cell(_, cell) => featurizer.cell(cell, dst),
-                WindowSlot::EmptyCell(_) => dst.copy_from_slice(&empty),
-                WindowSlot::Invalid => {}
+                WindowSlot::EmptyCell(_) => dst.copy_from_slice(empty),
+                WindowSlot::Invalid => dst.iter_mut().for_each(|v| *v = 0.0),
             }
         }
     };
@@ -40,7 +54,6 @@ pub fn raw_window(
         WindowOrigin::TopLeft => fill(&mut window.top_left(sheet)),
         WindowOrigin::Centered(c) => fill(&mut window.centered(sheet, c)),
     }
-    out
 }
 
 #[cfg(test)]

@@ -70,8 +70,9 @@ impl ReferenceIndex {
                 keys.push(SheetKey { workbook: wi, sheet: si });
             }
         }
-        // Parallel embedding across sheets.
-        let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+        // Parallel embedding across sheets; width follows the config knob
+        // (0 = every available core) instead of a hard-coded cap.
+        let n_threads = crate::config::resolve_threads(embedder.cfg().embed_threads);
         let chunk = keys.len().div_ceil(n_threads.max(1)).max(1);
         let mut embeddings: Vec<SheetEmbedding> = Vec::with_capacity(keys.len());
         std::thread::scope(|s| {
@@ -93,14 +94,17 @@ impl ReferenceIndex {
             }
         });
 
-        // Coarse sheet index.
-        let coarse_dim = embedder.cfg().coarse_dim;
-        let mut coarse = FlatIndex::new(coarse_dim);
+        // Coarse sheet index. Scan parallelism follows the config knobs.
+        let cfg = embedder.cfg();
+        let coarse_dim = cfg.coarse_dim;
+        let mut coarse = FlatIndex::new(coarse_dim)
+            .with_parallelism(cfg.search_parallel_threshold, cfg.search_threads);
         for e in &embeddings {
             coarse.add(&e.coarse);
         }
         let fine_sheets = opts.fine_sheet_signatures.then(|| {
-            let mut idx = af_ann::FlatIndex::new(embedder.cfg().fine_dim());
+            let mut idx = af_ann::FlatIndex::new(cfg.fine_dim())
+                .with_parallelism(cfg.search_parallel_threshold, cfg.search_threads);
             for e in &embeddings {
                 idx.add(e.fine_topleft.as_ref().expect("signatures requested"));
             }

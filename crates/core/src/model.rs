@@ -21,18 +21,27 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Reinterpret `[B·n_cells, C]` per-cell features as an image
-/// `[B, C, H, W]` for the CNN (pure permutation; no parameters).
+/// `[B, C, H, W]` for the CNN (pure permutation; no parameters). Training
+/// passes run through pooled scratch tensors like the `af-nn` layers, so
+/// repeated steps do not reallocate.
+#[derive(Default)]
 struct CellsToImage {
     h: usize,
     w: usize,
     c: usize,
+    out_pool: Tensor,
+    bwd_pool: Tensor,
 }
 
 impl CellsToImage {
-    fn permute(&self, x: &Tensor) -> Tensor {
+    fn new(h: usize, w: usize, c: usize) -> CellsToImage {
+        CellsToImage { h, w, c, ..Default::default() }
+    }
+
+    /// `[B·n, C] → [B, C, H, W]`; `out` must already carry the image shape.
+    fn permute_into(&self, x: &Tensor, out: &mut Tensor) {
         let n = self.h * self.w;
         let b = x.shape[0] / n;
-        let mut out = Tensor::zeros(vec![b, self.c, self.h, self.w]);
         for bi in 0..b {
             for s in 0..n {
                 let src = &x.data[(bi * n + s) * self.c..(bi * n + s + 1) * self.c];
@@ -42,20 +51,12 @@ impl CellsToImage {
                 }
             }
         }
-        out
-    }
-}
-
-impl Layer for CellsToImage {
-    fn forward(&mut self, x: Tensor) -> Tensor {
-        self.permute(&x)
     }
 
-    fn backward(&mut self, grad: Tensor) -> Tensor {
-        // Inverse permutation.
+    /// Inverse permutation `[B, C, H, W] → [B·n, C]`.
+    fn unpermute_into(&self, grad: &Tensor, out: &mut Tensor) {
         let (b, c, h, w) = (grad.shape[0], grad.shape[1], grad.shape[2], grad.shape[3]);
         let n = h * w;
-        let mut out = Tensor::zeros(vec![b * n, c]);
         for bi in 0..b {
             for ch in 0..c {
                 for i in 0..h {
@@ -67,11 +68,33 @@ impl Layer for CellsToImage {
                 }
             }
         }
+    }
+}
+
+impl Layer for CellsToImage {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        let b = x.shape[0] / (self.h * self.w);
+        let mut out = std::mem::take(&mut self.out_pool);
+        out.reset_for_overwrite(&[b, self.c, self.h, self.w]);
+        self.permute_into(&x, &mut out);
+        self.bwd_pool = x;
+        out
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let (b, h, w) = (grad.shape[0], grad.shape[2], grad.shape[3]);
+        let mut out = std::mem::take(&mut self.bwd_pool);
+        out.reset_for_overwrite(&[b * h * w, self.c]);
+        self.unpermute_into(&grad, &mut out);
+        self.out_pool = grad;
         out
     }
 
     fn infer(&self, x: Tensor) -> Tensor {
-        self.permute(&x)
+        let b = x.shape[0] / (self.h * self.w);
+        let mut out = Tensor::zeros(vec![b, self.c, self.h, self.w]);
+        self.permute_into(&x, &mut out);
+        out
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -107,11 +130,11 @@ impl RepresentationModel {
 
         let (c1, c2) = cfg.coarse_channels;
         let mut coarse_head = Sequential::new();
-        coarse_head.push(CellsToImage {
-            h: cfg.window.rows as usize,
-            w: cfg.window.cols as usize,
-            c: cfg.cell_dim,
-        });
+        coarse_head.push(CellsToImage::new(
+            cfg.window.rows as usize,
+            cfg.window.cols as usize,
+            cfg.cell_dim,
+        ));
         coarse_head.push(Conv2d::new(&mut rng, cfg.cell_dim, c1, 3));
         coarse_head.push(Relu::new());
         coarse_head.push(MaxPool2d::new(2));
@@ -138,15 +161,17 @@ impl RepresentationModel {
     pub fn coarse_forward(&mut self, raw: Tensor) -> Tensor {
         let b = raw.batch();
         let n = self.cfg.n_cells();
-        let cells = raw.reshape(vec![b * n, self.feat_dim]);
+        let cells = raw.reshape_to(&[b * n, self.feat_dim]);
         let reduced = self.reduce.forward(cells);
         self.coarse_head.forward(reduced)
     }
 
-    /// Backward pass matching [`Self::coarse_forward`].
-    pub fn coarse_backward(&mut self, grad: Tensor) {
+    /// Backward pass matching [`Self::coarse_forward`]. Returns the
+    /// gradient w.r.t. the raw input — callers in the training loop
+    /// recycle its buffer as the next step's batch tensor.
+    pub fn coarse_backward(&mut self, grad: Tensor) -> Tensor {
         let g = self.coarse_head.backward(grad);
-        self.reduce.backward(g);
+        self.reduce.backward(g)
     }
 
     /// Training forward through the fine branch.
@@ -155,22 +180,23 @@ impl RepresentationModel {
     pub fn fine_forward(&mut self, raw: Tensor) -> Tensor {
         let b = raw.batch();
         let n = self.cfg.n_cells();
-        let cells = raw.reshape(vec![b * n, self.feat_dim]);
+        let cells = raw.reshape_to(&[b * n, self.feat_dim]);
         let reduced = self.reduce.forward(cells);
         let per_cell = self.fine_head.forward(reduced);
         // [B·n, f] and [B, n·f] share the same row-major layout.
-        let stacked = per_cell.reshape(vec![b, n * self.cfg.fine_cell_dim]);
+        let stacked = per_cell.reshape_to(&[b, n * self.cfg.fine_cell_dim]);
         self.fine_norm.forward(stacked)
     }
 
-    /// Backward pass matching [`Self::fine_forward`].
-    pub fn fine_backward(&mut self, grad: Tensor) {
+    /// Backward pass matching [`Self::fine_forward`]; returns the raw-input
+    /// gradient like [`Self::coarse_backward`].
+    pub fn fine_backward(&mut self, grad: Tensor) -> Tensor {
         let b = grad.batch();
         let n = self.cfg.n_cells();
         let g = self.fine_norm.backward(grad);
-        let g = g.reshape(vec![b * n, self.cfg.fine_cell_dim]);
+        let g = g.reshape_to(&[b * n, self.cfg.fine_cell_dim]);
         let g = self.fine_head.backward(g);
-        self.reduce.backward(g);
+        self.reduce.backward(g)
     }
 
     // ----------------------------------------------------- inference mode
@@ -198,6 +224,49 @@ impl RepresentationModel {
         self.reduce.zero_grad();
         self.fine_head.zero_grad();
         self.coarse_head.zero_grad();
+    }
+
+    // ------------------------------------------- flat weight/grad exchange
+    //
+    // Data-parallel training keeps one replica model per gradient shard.
+    // Weights flow main → replicas through a flat buffer each step, and
+    // shard gradients flow back the same way, reduced in fixed shard
+    // order so worker count never changes the arithmetic.
+
+    /// Copy all weights into `out` (cleared first; stable order).
+    pub fn export_weights_into(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        af_nn::export_params_into(&mut self.reduce, out);
+        af_nn::export_params_into(&mut self.fine_head, out);
+        af_nn::export_params_into(&mut self.coarse_head, out);
+    }
+
+    /// Overwrite all weights from a flat buffer produced by
+    /// [`Self::export_weights_into`] on an identically-shaped model.
+    pub fn import_weights_from(&mut self, src: &[f32]) {
+        let mut off = 0usize;
+        off += af_nn::import_params_from(&mut self.reduce, &src[off..]);
+        off += af_nn::import_params_from(&mut self.fine_head, &src[off..]);
+        off += af_nn::import_params_from(&mut self.coarse_head, &src[off..]);
+        assert_eq!(off, src.len(), "weight buffer does not match architecture");
+    }
+
+    /// Copy all accumulated gradients into `out` (cleared first).
+    pub fn export_grads_into(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        af_nn::export_grads_into(&mut self.reduce, out);
+        af_nn::export_grads_into(&mut self.fine_head, out);
+        af_nn::export_grads_into(&mut self.coarse_head, out);
+    }
+
+    /// Add a flat gradient buffer (from [`Self::export_grads_into`] on a
+    /// replica) into this model's gradients.
+    pub fn accumulate_grads_from(&mut self, src: &[f32]) {
+        let mut off = 0usize;
+        off += af_nn::accumulate_grads_from(&mut self.reduce, &src[off..]);
+        off += af_nn::accumulate_grads_from(&mut self.fine_head, &src[off..]);
+        off += af_nn::accumulate_grads_from(&mut self.coarse_head, &src[off..]);
+        assert_eq!(off, src.len(), "gradient buffer does not match architecture");
     }
 
     /// Total trainable parameters.

@@ -1,8 +1,19 @@
 //! Offline training (Algorithm 1): weak supervision → augmentation →
 //! semi-hard triplet learning over both branches.
+//!
+//! **Data-parallel execution.** Each triplet step cuts its batch into
+//! fixed-size *gradient shards* ([`PAIRS_PER_SHARD`] pairs each). Every
+//! shard owns a replica model: workers featurize and forward their shards
+//! independently, the main thread mines semi-hard negatives over the full
+//! batch and computes the embedding gradient, workers run the backward
+//! passes, and the per-shard parameter gradients are reduced into the main
+//! model **in fixed shard order**. Because the shard decomposition depends
+//! only on the batch (never on the worker count), training is
+//! bit-identical for any [`TrainingOptions::workers`] setting — see the
+//! `parallel_determinism` integration test.
 
 use crate::config::AutoFormulaConfig;
-use crate::features::{raw_window, WindowOrigin};
+use crate::features::{raw_window_into, WindowOrigin};
 use crate::model::RepresentationModel;
 use af_corpus::augment::{augment_region, augment_sheet};
 use af_corpus::weak_supervision::{region_pairs, sheet_pairs, NameModel, RegionPair, SheetId};
@@ -15,6 +26,11 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Pairs per gradient shard. Part of the arithmetic contract: changing it
+/// changes the (deterministic) gradient summation order, so it is a fixed
+/// constant rather than a knob.
+const PAIRS_PER_SHARD: usize = 3;
 
 /// Weak-supervision and sampling knobs.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +48,11 @@ pub struct TrainingOptions {
     pub shifted_negative_rate: f64,
     /// Fraction of region pairs that get augmented (§4.3: 20%).
     pub region_augment_rate: f64,
+    /// Worker threads for the data-parallel triplet steps: 0 = one per
+    /// available core, N = exactly N. Any value produces bit-identical
+    /// models (the gradient reduction order is fixed by the shard layout,
+    /// not the thread schedule).
+    pub workers: usize,
 }
 
 impl Default for TrainingOptions {
@@ -43,6 +64,7 @@ impl Default for TrainingOptions {
             max_region_pairs: 480,
             shifted_negative_rate: 0.6,
             region_augment_rate: 0.2,
+            workers: 0,
         }
     }
 }
@@ -79,6 +101,215 @@ struct FineDesc {
     identity: u64,
     shifted_neg: Option<(SheetId, CellRef)>,
     aug_seed: Option<u64>,
+}
+
+/// What one batch row featurizes: a whole-sheet window (coarse) or a
+/// region window centered on a cell (fine), optionally augmented with a
+/// per-descriptor seed (deterministic regardless of which worker runs it).
+#[derive(Clone, Copy)]
+enum RowSpec {
+    Sheet(SheetId, Option<u64>),
+    Region(SheetId, CellRef, Option<u64>),
+}
+
+/// One training pair's rows in the step's (shard-blocked) embedding
+/// matrix, plus its identity for negative mining.
+#[derive(Clone, Copy)]
+struct PairRows {
+    anchor: usize,
+    positive: usize,
+    shifted: Option<usize>,
+    identity: u64,
+}
+
+/// Which branch a step trains.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Branch {
+    Coarse,
+    Fine,
+}
+
+/// Read-only context shared by all shard workers.
+struct StepCtx<'a> {
+    workbooks: &'a [Workbook],
+    featurizer: &'a CellFeaturizer,
+    cfg: AutoFormulaConfig,
+    row_dim: usize,
+}
+
+impl StepCtx<'_> {
+    fn sheet_of(&self, id: SheetId) -> &Sheet {
+        &self.workbooks[id.workbook].sheets[id.sheet]
+    }
+
+    /// Featurize one batch row in place.
+    fn featurize_into(&self, spec: RowSpec, out: &mut [f32]) {
+        let f = self.featurizer;
+        let w = self.cfg.window;
+        match spec {
+            RowSpec::Sheet(id, None) => {
+                raw_window_into(f, self.sheet_of(id), w, WindowOrigin::TopLeft, out);
+            }
+            RowSpec::Sheet(id, Some(seed)) => {
+                let mut arng = StdRng::seed_from_u64(seed);
+                let p = arng.random_range(0.0..0.10);
+                let s = augment_sheet(self.sheet_of(id), p, &mut arng);
+                raw_window_into(f, &s, w, WindowOrigin::TopLeft, out);
+            }
+            RowSpec::Region(id, cell, None) => {
+                raw_window_into(f, self.sheet_of(id), w, WindowOrigin::Centered(cell), out);
+            }
+            RowSpec::Region(id, cell, Some(seed)) => {
+                let mut arng = StdRng::seed_from_u64(seed);
+                let p = arng.random_range(0.0..0.10);
+                let reach = w.rows / 2;
+                let (s, c) = augment_region(self.sheet_of(id), cell, p, reach, &mut arng);
+                raw_window_into(f, &s, w, WindowOrigin::Centered(c), out);
+            }
+        }
+    }
+}
+
+/// One gradient shard: a replica model plus the buffers that circulate
+/// through it. Everything is reused across steps (no steady-state
+/// allocation).
+struct ShardSlot {
+    model: RepresentationModel,
+    row_specs: Vec<RowSpec>,
+    /// Global row offset of this shard's block in the step embedding.
+    row_off: usize,
+    /// Batch input buffer (recycled from the previous backward's output).
+    input: Tensor,
+    /// Forward output; after mining it carries the gradient block back in.
+    emb: Tensor,
+    flat_grads: Vec<f32>,
+}
+
+impl ShardSlot {
+    fn new(model: RepresentationModel) -> ShardSlot {
+        ShardSlot {
+            model,
+            row_specs: Vec::new(),
+            row_off: 0,
+            input: Tensor::default(),
+            emb: Tensor::default(),
+            flat_grads: Vec::new(),
+        }
+    }
+
+    /// Phase A: sync weights, featurize this shard's rows, forward.
+    fn forward(&mut self, branch: Branch, ctx: &StepCtx<'_>, weights: &[f32]) {
+        self.model.import_weights_from(weights);
+        let mut input = std::mem::take(&mut self.input);
+        input.reset_for_overwrite(&[self.row_specs.len(), ctx.row_dim]);
+        for (r, spec) in self.row_specs.iter().enumerate() {
+            ctx.featurize_into(*spec, input.row_mut(r));
+        }
+        self.emb = match branch {
+            Branch::Coarse => self.model.coarse_forward(input),
+            Branch::Fine => self.model.fine_forward(input),
+        };
+    }
+
+    /// Phase B: load this shard's gradient block, backprop, export grads.
+    fn backward(&mut self, branch: Branch, grad_all: &Tensor, dim: usize) {
+        let mut g = std::mem::take(&mut self.emb);
+        let lo = self.row_off * dim;
+        let hi = lo + g.data.len();
+        g.data.copy_from_slice(&grad_all.data[lo..hi]);
+        self.model.zero_grad();
+        let gx = match branch {
+            Branch::Coarse => self.model.coarse_backward(g),
+            Branch::Fine => self.model.fine_backward(g),
+        };
+        self.input = gx; // recycle as the next step's batch buffer
+        self.model.export_grads_into(&mut self.flat_grads);
+    }
+}
+
+/// Reused step-level buffers.
+struct TrainScratch {
+    weights: Vec<f32>,
+    emb_all: Tensor,
+    grad_all: Tensor,
+    pairs: Vec<PairRows>,
+    idxs: Vec<usize>,
+    shifted_flags: Vec<bool>,
+}
+
+impl TrainScratch {
+    fn new() -> TrainScratch {
+        TrainScratch {
+            weights: Vec::new(),
+            emb_all: Tensor::default(),
+            grad_all: Tensor::default(),
+            pairs: Vec::new(),
+            idxs: Vec::new(),
+            shifted_flags: Vec::new(),
+        }
+    }
+}
+
+/// Run `f` over every shard, on up to `workers` scoped threads. The shard
+/// decomposition is fixed before this call, so the thread count only
+/// affects scheduling, never arithmetic.
+fn for_each_shard(shards: &mut [ShardSlot], workers: usize, f: impl Fn(&mut ShardSlot) + Sync) {
+    if workers <= 1 || shards.len() <= 1 {
+        for s in shards.iter_mut() {
+            f(s);
+        }
+        return;
+    }
+    let per = shards.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for chunk in shards.chunks_mut(per) {
+            let f = &f;
+            scope.spawn(move || {
+                for s in chunk.iter_mut() {
+                    f(s);
+                }
+            });
+        }
+    });
+}
+
+/// One data-parallel triplet step over `shards[..]` (already loaded with
+/// row specs). Returns the batch loss; gradients end up accumulated in
+/// `main_model`, ready for the optimizer.
+#[allow(clippy::too_many_arguments)]
+fn run_step(
+    branch: Branch,
+    main_model: &mut RepresentationModel,
+    shards: &mut [ShardSlot],
+    margin: f32,
+    workers: usize,
+    ctx: &StepCtx<'_>,
+    scratch: &mut TrainScratch,
+) -> f32 {
+    let TrainScratch { weights, emb_all, grad_all, pairs, .. } = scratch;
+    main_model.export_weights_into(weights);
+    let w: &[f32] = weights;
+    for_each_shard(shards, workers, |s| s.forward(branch, ctx, w));
+
+    // Gather shard embedding blocks into the step-global matrix.
+    let dim = shards[0].emb.features();
+    let total_rows: usize = shards.iter().map(|s| s.emb.batch()).sum();
+    emb_all.reset_for_overwrite(&[total_rows, dim]);
+    for s in shards.iter() {
+        let lo = s.row_off * dim;
+        emb_all.data[lo..lo + s.emb.len()].copy_from_slice(&s.emb.data);
+    }
+
+    let loss = triplet_grad_into(emb_all, pairs, margin, grad_all);
+
+    let g: &Tensor = grad_all;
+    for_each_shard(shards, workers, |s| s.backward(branch, g, dim));
+
+    // Deterministic reduction: fixed shard order, independent of workers.
+    for s in shards.iter_mut() {
+        main_model.accumulate_grads_from(&s.flat_grads);
+    }
+    loss
 }
 
 /// Train both representation models on a workbook universe (the paper's
@@ -165,89 +396,124 @@ pub fn train_model(
     let mut adam_coarse = Adam::new(cfg.lr);
     let mut adam_fine = Adam::new(cfg.lr);
 
-    let sheet_of = |id: SheetId| -> &Sheet { &workbooks[id.workbook].sheets[id.sheet] };
-    let featurize_sheet = |id: SheetId, aug_seed: Option<u64>| -> Vec<f32> {
-        match aug_seed {
-            Some(seed) => {
-                let mut arng = StdRng::seed_from_u64(seed);
-                let p = arng.random_range(0.0..0.10);
-                let s = augment_sheet(sheet_of(id), p, &mut arng);
-                raw_window(featurizer, &s, cfg.window, WindowOrigin::TopLeft)
-            }
-            None => raw_window(featurizer, sheet_of(id), cfg.window, WindowOrigin::TopLeft),
-        }
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        opts.workers
     };
-    let featurize_region = |loc: (SheetId, CellRef), aug_seed: Option<u64>| -> Vec<f32> {
-        match aug_seed {
-            Some(seed) => {
-                let mut arng = StdRng::seed_from_u64(seed);
-                let p = arng.random_range(0.0..0.10);
-                let reach = cfg.window.rows / 2;
-                let (s, c) = augment_region(sheet_of(loc.0), loc.1, p, reach, &mut arng);
-                raw_window(featurizer, &s, cfg.window, WindowOrigin::Centered(c))
-            }
-            None => {
-                raw_window(featurizer, sheet_of(loc.0), cfg.window, WindowOrigin::Centered(loc.1))
-            }
-        }
-    };
+    let ctx = StepCtx { workbooks, featurizer, cfg, row_dim: cfg.n_cells() * featurizer.dim() };
+    let n_shards_max = cfg.batch_size.div_ceil(PAIRS_PER_SHARD).max(1);
+    let mut shard_pool: Vec<ShardSlot> = (0..n_shards_max)
+        .map(|_| ShardSlot::new(RepresentationModel::new(featurizer.dim(), cfg)))
+        .collect();
+    let mut scratch = TrainScratch::new();
 
     // ---- Episodes (Algorithm 1) ----
-    let row_dim = cfg.n_cells() * featurizer.dim();
     for ep in 0..cfg.episodes {
         // ---------------- coarse step ----------------
         let bsz = cfg.batch_size.min(coarse_descs.len());
-        let mut idxs: Vec<usize> =
-            (0..bsz).map(|_| rng.random_range(0..coarse_descs.len())).collect();
-        idxs.dedup();
-        let b = idxs.len();
-        let mut batch = Tensor::zeros(vec![2 * b, row_dim]);
-        for (i, &di) in idxs.iter().enumerate() {
-            let d = &coarse_descs[di];
-            batch.row_mut(i).copy_from_slice(&featurize_sheet(d.a, None));
-            batch.row_mut(b + i).copy_from_slice(&featurize_sheet(d.b, d.aug_seed));
+        scratch.idxs.clear();
+        scratch.idxs.extend((0..bsz).map(|_| rng.random_range(0..coarse_descs.len())));
+        scratch.idxs.dedup();
+        scratch.pairs.clear();
+        let mut used = 0usize;
+        let mut row_off = 0usize;
+        for chunk in scratch.idxs.chunks(PAIRS_PER_SHARD) {
+            let shard = &mut shard_pool[used];
+            shard.row_specs.clear();
+            shard.row_off = row_off;
+            let len = chunk.len();
+            for &di in chunk {
+                shard.row_specs.push(RowSpec::Sheet(coarse_descs[di].a, None));
+            }
+            for &di in chunk {
+                let d = &coarse_descs[di];
+                shard.row_specs.push(RowSpec::Sheet(d.b, d.aug_seed));
+            }
+            for (t, &di) in chunk.iter().enumerate() {
+                scratch.pairs.push(PairRows {
+                    anchor: row_off + t,
+                    positive: row_off + len + t,
+                    shifted: None,
+                    identity: coarse_descs[di].group,
+                });
+            }
+            row_off += 2 * len;
+            used += 1;
         }
-        let ids: Vec<u64> = idxs.iter().map(|&di| coarse_descs[di].group).collect();
-        let emb = model.coarse_forward(batch);
-        let shifted = vec![None; b];
-        let loss_c =
-            triplet_step_with_explicit_negatives(&emb, b, &ids, &shifted, cfg.margin, |grad| {
-                model.coarse_backward(grad);
-            });
+        let loss_c = run_step(
+            Branch::Coarse,
+            &mut model,
+            &mut shard_pool[..used],
+            cfg.margin,
+            workers,
+            &ctx,
+            &mut scratch,
+        );
         adam_coarse.step(&mut model.coarse_head);
         adam_reduce.step(&mut model.reduce);
 
         // ---------------- fine step ----------------
         let bsz = cfg.batch_size.min(fine_descs.len());
-        let mut idxs: Vec<usize> =
-            (0..bsz).map(|_| rng.random_range(0..fine_descs.len())).collect();
-        idxs.dedup();
-        let b = idxs.len();
-        // Rows: [anchors | positives | shifted-negatives (subset)].
-        let mut shifted_rows: Vec<Option<usize>> = vec![None; b];
-        let mut n_shift = 0usize;
-        for (i, &di) in idxs.iter().enumerate() {
-            if fine_descs[di].shifted_neg.is_some() && rng.random_bool(opts.shifted_negative_rate) {
-                shifted_rows[i] = Some(2 * b + n_shift);
-                n_shift += 1;
-            }
+        scratch.idxs.clear();
+        scratch.idxs.extend((0..bsz).map(|_| rng.random_range(0..fine_descs.len())));
+        scratch.idxs.dedup();
+        // Shifted-negative decisions, in pair order (fixed RNG sequence).
+        scratch.shifted_flags.clear();
+        for &di in &scratch.idxs {
+            let take =
+                fine_descs[di].shifted_neg.is_some() && rng.random_bool(opts.shifted_negative_rate);
+            scratch.shifted_flags.push(take);
         }
-        let mut batch = Tensor::zeros(vec![2 * b + n_shift, row_dim]);
-        for (i, &di) in idxs.iter().enumerate() {
-            let d = &fine_descs[di];
-            batch.row_mut(i).copy_from_slice(&featurize_region(d.a, None));
-            batch.row_mut(b + i).copy_from_slice(&featurize_region(d.b, d.aug_seed));
-            if let Some(row) = shifted_rows[i] {
-                let neg = d.shifted_neg.expect("row allocated only when present");
-                batch.row_mut(row).copy_from_slice(&featurize_region(neg, None));
+        scratch.pairs.clear();
+        let mut used = 0usize;
+        let mut row_off = 0usize;
+        let mut pair_at = 0usize;
+        for chunk in scratch.idxs.chunks(PAIRS_PER_SHARD) {
+            let shard = &mut shard_pool[used];
+            shard.row_specs.clear();
+            shard.row_off = row_off;
+            let len = chunk.len();
+            for &di in chunk {
+                let d = &fine_descs[di];
+                shard.row_specs.push(RowSpec::Region(d.a.0, d.a.1, None));
             }
+            for &di in chunk {
+                let d = &fine_descs[di];
+                shard.row_specs.push(RowSpec::Region(d.b.0, d.b.1, d.aug_seed));
+            }
+            let mut n_shift = 0usize;
+            for (t, &di) in chunk.iter().enumerate() {
+                let d = &fine_descs[di];
+                let shifted = if scratch.shifted_flags[pair_at + t] {
+                    let neg = d.shifted_neg.expect("flag set only when present");
+                    shard.row_specs.push(RowSpec::Region(neg.0, neg.1, None));
+                    let row = row_off + 2 * len + n_shift;
+                    n_shift += 1;
+                    Some(row)
+                } else {
+                    None
+                };
+                scratch.pairs.push(PairRows {
+                    anchor: row_off + t,
+                    positive: row_off + len + t,
+                    shifted,
+                    identity: d.identity,
+                });
+            }
+            pair_at += len;
+            row_off += 2 * len + n_shift;
+            used += 1;
         }
-        let ids: Vec<u64> = idxs.iter().map(|&di| fine_descs[di].identity).collect();
-        let emb = model.fine_forward(batch);
-        let loss_f =
-            triplet_step_with_explicit_negatives(&emb, b, &ids, &shifted_rows, cfg.margin, |g| {
-                model.fine_backward(g);
-            });
+        let loss_f = run_step(
+            Branch::Fine,
+            &mut model,
+            &mut shard_pool[..used],
+            cfg.margin,
+            workers,
+            &ctx,
+            &mut scratch,
+        );
         adam_fine.step(&mut model.fine_head);
         adam_reduce.step(&mut model.reduce);
 
@@ -268,27 +534,22 @@ fn region_identity(group: usize, loc: CellRef) -> u64 {
     (group as u64) << 32 ^ ((loc.row as u64) << 16) ^ loc.col as u64
 }
 
-/// Triplet step where pair `i` may carry an explicit negative row
-/// (`shifted_rows[i]`); otherwise a semi-hard negative is mined among the
-/// positives of the other pairs *with a different identity* (same-identity
-/// rows are presumed-similar and never valid negatives).
-fn triplet_step_with_explicit_negatives(
-    emb: &Tensor,
-    b: usize,
-    identities: &[u64],
-    shifted_rows: &[Option<usize>],
-    margin: f32,
-    backward: impl FnOnce(Tensor),
-) -> f32 {
+/// Triplet loss and embedding gradient over one step. Pair `i` may carry
+/// an explicit negative row (`pairs[i].shifted`); otherwise a semi-hard
+/// negative is mined among the positives of the other pairs *with a
+/// different identity* (same-identity rows are presumed-similar and never
+/// valid negatives). The gradient (scaled by `1/n_pairs`) is written into
+/// `grad`; the mean positive-triplet loss is returned.
+fn triplet_grad_into(emb: &Tensor, pairs: &[PairRows], margin: f32, grad: &mut Tensor) -> f32 {
     let dim = emb.features();
-    let mut grad = Tensor::zeros(emb.shape.clone());
+    grad.reset_zeroed(&emb.shape);
     let mut total_loss = 0.0f32;
     let mut active = 0usize;
-    for i in 0..b {
-        let a = emb.row(i);
-        let p = emb.row(b + i);
+    for (i, pr) in pairs.iter().enumerate() {
+        let a = emb.row(pr.anchor);
+        let p = emb.row(pr.positive);
         // Pick the negative row.
-        let neg_row = match shifted_rows[i] {
+        let neg_row = match pr.shifted {
             Some(r) => r,
             None => {
                 // Semi-hard among other pairs' positives, skipping rows
@@ -296,17 +557,17 @@ fn triplet_step_with_explicit_negatives(
                 let dp = l2_sq(a, p);
                 let mut best: Option<(usize, f32)> = None;
                 let mut hardest: Option<(usize, f32)> = None;
-                for j in 0..b {
-                    if j == i || identities[j] == identities[i] {
+                for (j, qr) in pairs.iter().enumerate() {
+                    if j == i || qr.identity == pr.identity {
                         continue;
                     }
-                    let dn = l2_sq(a, emb.row(b + j));
+                    let dn = l2_sq(a, emb.row(qr.positive));
                     let loss = dp - dn + margin;
                     if loss > 0.0 && loss < margin && best.is_none_or(|(_, l)| loss > l) {
-                        best = Some((b + j, loss));
+                        best = Some((qr.positive, loss));
                     }
                     if hardest.is_none_or(|(_, d)| dn < d) {
-                        hardest = Some((b + j, dn));
+                        hardest = Some((qr.positive, dn));
                     }
                 }
                 match best.or(hardest) {
@@ -326,16 +587,16 @@ fn triplet_step_with_explicit_negatives(
         active += 1;
         for k in 0..dim {
             let (av, pv, nv) = (a[k], p[k], n[k]);
-            grad.data[i * dim + k] += 2.0 * (nv - pv);
-            grad.data[(b + i) * dim + k] += 2.0 * (pv - av);
+            grad.data[pr.anchor * dim + k] += 2.0 * (nv - pv);
+            grad.data[pr.positive * dim + k] += 2.0 * (pv - av);
             grad.data[neg_row * dim + k] += 2.0 * (av - nv);
         }
     }
+    let b = pairs.len();
     let scale = 1.0 / b.max(1) as f32;
     for g in grad.data.iter_mut() {
         *g *= scale;
     }
-    backward(grad);
     if active == 0 {
         0.0
     } else {

@@ -32,11 +32,18 @@ impl FeatureMask {
 pub struct CellFeaturizer {
     embedder: DynEmbedder,
     mask: FeatureMask,
+    /// Precomputed blank-cell features (hot paths borrow instead of
+    /// re-deriving them per window slot).
+    empty: Vec<f32>,
 }
 
 impl CellFeaturizer {
     pub fn new(embedder: DynEmbedder, mask: FeatureMask) -> CellFeaturizer {
-        CellFeaturizer { embedder, mask }
+        let mut f = CellFeaturizer { embedder, mask, empty: Vec::new() };
+        let mut empty = vec![0.0; f.dim()];
+        f.cell(&Cell::default(), &mut empty);
+        f.empty = empty;
+        f
     }
 
     /// Total feature dimensionality.
@@ -74,11 +81,27 @@ impl CellFeaturizer {
         out[self.dim() - 1] = 1.0; // valid, in-bounds
     }
 
+    /// Featurize a batch of cells into a contiguous `[n, dim]` buffer —
+    /// the single entry point batch consumers (sheet embedding, training
+    /// batch assembly) funnel through before the dense kernels.
+    pub fn cells_into<'a>(&self, cells: impl IntoIterator<Item = &'a Cell>, out: &mut [f32]) {
+        let fd = self.dim();
+        let mut used = 0usize;
+        for (i, cell) in cells.into_iter().enumerate() {
+            self.cell(cell, &mut out[i * fd..(i + 1) * fd]);
+            used = i + 1;
+        }
+        debug_assert_eq!(out.len(), used * fd, "buffer length must match cell count");
+    }
+
     /// The constant vector for an in-bounds blank cell.
     pub fn empty_cell(&self) -> Vec<f32> {
-        let mut out = vec![0.0; self.dim()];
-        self.cell(&Cell::default(), &mut out);
-        out
+        self.empty.clone()
+    }
+
+    /// Borrowed view of [`CellFeaturizer::empty_cell`] (no allocation).
+    pub fn empty_cell_ref(&self) -> &[f32] {
+        &self.empty
     }
 
     /// The constant vector for an out-of-bounds (invalid) window slot:

@@ -5,9 +5,19 @@
 //!   matching [`Layer::backward`] call;
 //! * [`Layer::infer`] — immutable inference pass (no caches), safe to call
 //!   from many threads on a shared model.
+//!
+//! **Scratch-buffer story.** Training-mode layers own pool tensors for
+//! their outputs and input-gradients. `forward` takes its output buffer
+//! from the pool; `backward` recycles the incoming gradient tensor (shaped
+//! like the next forward's output) and the cached input (shaped like the
+//! next input-gradient) back into those pools. Buffers therefore circulate
+//! through the network instead of being reallocated, and a steady-state
+//! training step performs no heap allocation once every pool has reached
+//! its high-water capacity. `infer` never touches the pools.
 
 use crate::init::{he_uniform, xavier_uniform};
-use crate::tensor::{l2_normalize, matmul_xwt, Tensor};
+use crate::kernel::{axpy, dot, matmul_xwt, shifted_plane_axpy, shifted_plane_copy, sum};
+use crate::tensor::{l2_normalize, Tensor};
 use rand::rngs::StdRng;
 
 /// A differentiable layer.
@@ -35,6 +45,47 @@ pub trait Layer: Send + Sync {
     }
 }
 
+// ------------------------------------------------- flat parameter access
+
+/// Append every parameter block of `layer` to `out` (stable visit order).
+/// Returns the number of values appended.
+pub fn export_params_into(layer: &mut dyn Layer, out: &mut Vec<f32>) -> usize {
+    let before = out.len();
+    layer.visit_params(&mut |p, _| out.extend_from_slice(p));
+    out.len() - before
+}
+
+/// Overwrite parameters from a flat slice (stable visit order). Returns
+/// the number of values consumed.
+pub fn import_params_from(layer: &mut dyn Layer, src: &[f32]) -> usize {
+    let mut off = 0usize;
+    layer.visit_params(&mut |p, _| {
+        p.copy_from_slice(&src[off..off + p.len()]);
+        off += p.len();
+    });
+    off
+}
+
+/// Append every gradient block of `layer` to `out` (stable visit order).
+/// Returns the number of values appended.
+pub fn export_grads_into(layer: &mut dyn Layer, out: &mut Vec<f32>) -> usize {
+    let before = out.len();
+    layer.visit_params(&mut |_, g| out.extend_from_slice(g));
+    out.len() - before
+}
+
+/// Add a flat gradient slice into the layer's gradients (stable visit
+/// order) — the deterministic reduction step of data-parallel training.
+/// Returns the number of values consumed.
+pub fn accumulate_grads_from(layer: &mut dyn Layer, src: &[f32]) -> usize {
+    let mut off = 0usize;
+    layer.visit_params(&mut |_, g| {
+        axpy(1.0, &src[off..off + g.len()], g);
+        off += g.len();
+    });
+    off
+}
+
 // ---------------------------------------------------------------- Linear
 
 /// Fully-connected layer `y = xWᵀ + b` with `w: [out, in]`.
@@ -46,6 +97,8 @@ pub struct Linear {
     gw: Vec<f32>,
     gb: Vec<f32>,
     cache: Option<Tensor>,
+    out_pool: Tensor,
+    gx_pool: Tensor,
 }
 
 impl Linear {
@@ -58,6 +111,8 @@ impl Linear {
             gw: vec![0.0; in_dim * out_dim],
             gb: vec![0.0; out_dim],
             cache: None,
+            out_pool: Tensor::default(),
+            gx_pool: Tensor::default(),
         }
     }
 
@@ -72,7 +127,11 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: Tensor) -> Tensor {
-        let out = self.run(&x);
+        let batch = x.batch();
+        assert_eq!(x.features(), self.in_dim, "Linear input dim mismatch");
+        let mut out = std::mem::take(&mut self.out_pool);
+        out.reset_for_overwrite(&[batch, self.out_dim]);
+        matmul_xwt(&x.data, &self.w, &self.b, batch, self.in_dim, self.out_dim, &mut out.data);
         self.cache = Some(x);
         out
     }
@@ -81,21 +140,23 @@ impl Layer for Linear {
         let x = self.cache.take().expect("forward before backward");
         let batch = x.batch();
         let (ni, no) = (self.in_dim, self.out_dim);
-        let mut gx = Tensor::zeros(vec![batch, ni]);
+        let mut gx = std::mem::take(&mut self.gx_pool);
+        gx.reset_zeroed(&[batch, ni]);
         for b in 0..batch {
             let gr = &grad.data[b * no..(b + 1) * no];
             let xr = &x.data[b * ni..(b + 1) * ni];
+            let gxr = &mut gx.data[b * ni..(b + 1) * ni];
             for (o, &g) in gr.iter().enumerate() {
                 self.gb[o] += g;
-                let wrow = &self.w[o * ni..(o + 1) * ni];
-                let gwrow = &mut self.gw[o * ni..(o + 1) * ni];
-                let gxr = &mut gx.data[b * ni..(b + 1) * ni];
-                for i in 0..ni {
-                    gwrow[i] += g * xr[i];
-                    gxr[i] += g * wrow[i];
+                if g == 0.0 {
+                    continue; // ReLU-sparse gradients: adding zero is a no-op
                 }
+                axpy(g, xr, &mut self.gw[o * ni..(o + 1) * ni]);
+                axpy(g, &self.w[o * ni..(o + 1) * ni], gxr);
             }
         }
+        self.out_pool = grad; // sized like the next forward's output
+        self.gx_pool = x; // sized like the next input-gradient
         gx
     }
 
@@ -166,6 +227,17 @@ impl Layer for Relu {
 
 /// 2-D convolution with square kernel, stride 1 and "same" zero padding.
 /// Input `[B, Cin, H, W]`, output `[B, Cout, H, W]`.
+///
+/// Both passes run over a **tap-major im2col matrix**: `cols[t]` (one row
+/// per kernel tap `t = (ci, di, dj)`) is the whole input batch shifted by
+/// the tap offset ([`shifted_plane_copy`]), so the forward pass is
+/// `out[co] = bias[co] + Σ_t w[co, t] · cols[t]` — a handful of
+/// `B·H·W`-long [`axpy`]/[`dot`] streams instead of millions of short
+/// row segments. The sheet windows this workspace convolves are only 8–10
+/// columns wide, which makes long streams the difference between scalar
+/// and SIMD throughput. The col matrix is cached for the backward pass
+/// (weight gradients are `dot(gradᵀ[co], cols[t])`; input gradients reuse
+/// the col rows in place, then scatter back with [`shifted_plane_axpy`]).
 pub struct Conv2d {
     pub in_ch: usize,
     pub out_ch: usize,
@@ -175,6 +247,15 @@ pub struct Conv2d {
     gw: Vec<f32>,
     gb: Vec<f32>,
     cache: Option<Tensor>,
+    out_pool: Tensor,
+    gx_pool: Tensor,
+    /// Tap-major im2col matrix `[cin·k², B·H·W]`, built in forward and
+    /// consumed in backward.
+    cols: Tensor,
+    /// Channel-major staging `[max(out_ch, ...), B·H·W]`: output rows in
+    /// forward, transposed upstream gradient in backward.
+    chan: Tensor,
+    wrap_scratch: Vec<f32>,
 }
 
 impl Conv2d {
@@ -190,51 +271,88 @@ impl Conv2d {
             gw: vec![0.0; out_ch * fan_in],
             gb: vec![0.0; out_ch],
             cache: None,
+            out_pool: Tensor::default(),
+            gx_pool: Tensor::default(),
+            cols: Tensor::default(),
+            chan: Tensor::default(),
+            wrap_scratch: Vec::new(),
+        }
+    }
+
+    /// Tap offsets `(r, s)` of tap index `t` with padding `p`.
+    #[inline]
+    fn tap_shift(&self, t: usize) -> (isize, isize) {
+        let k = self.kernel;
+        let p = (k / 2) as isize;
+        let di = (t / k) % k;
+        let dj = t % k;
+        (di as isize - p, dj as isize - p)
+    }
+
+    /// Build the tap-major im2col matrix for `x` into `cols`.
+    fn im2col(&self, x: &Tensor, cols: &mut Tensor) {
+        let [bsz, cin, h, w] = dims4(x);
+        assert_eq!(cin, self.in_ch, "Conv2d channel mismatch");
+        let k = self.kernel;
+        let t_dim = cin * k * k;
+        let n_px = bsz * h * w;
+        cols.reset_for_overwrite(&[t_dim, n_px]);
+        for t in 0..t_dim {
+            let ci = t / (k * k);
+            let (r, s) = self.tap_shift(t);
+            for b in 0..bsz {
+                let xplane = &x.data[((b * cin + ci) * h) * w..][..h * w];
+                let dst = &mut cols.data[t * n_px + b * h * w..][..h * w];
+                shifted_plane_copy(xplane, dst, h, w, r, s);
+            }
+        }
+    }
+
+    /// Forward from a built col matrix into `out` (`[bsz, out_ch, h, w]`),
+    /// staging channel-major rows in `chan`.
+    fn forward_from_cols(&self, cols: &Tensor, chan: &mut Tensor, out: &mut Tensor) {
+        let [bsz, out_ch, h, w] = dims4(out);
+        let n_px = bsz * h * w;
+        let t_dim = self.in_ch * self.kernel * self.kernel;
+        chan.reset_for_overwrite(&[out_ch, n_px]);
+        for co in 0..out_ch {
+            let arow = &mut chan.data[co * n_px..][..n_px];
+            arow.fill(self.b[co]);
+            for t in 0..t_dim {
+                axpy(self.w[co * t_dim + t], &cols.data[t * n_px..][..n_px], arow);
+            }
+        }
+        // Scatter channel-major rows into [b, co, h, w] planes.
+        for b in 0..bsz {
+            for co in 0..out_ch {
+                out.data[((b * out_ch + co) * h) * w..][..h * w]
+                    .copy_from_slice(&chan.data[co * n_px + b * h * w..][..h * w]);
+            }
         }
     }
 
     fn run(&self, x: &Tensor) -> Tensor {
-        let [bsz, cin, h, w] = dims4(x);
-        assert_eq!(cin, self.in_ch, "Conv2d channel mismatch");
-        let k = self.kernel;
-        let p = k / 2;
+        let [bsz, _, h, w] = dims4(x);
         let mut out = Tensor::zeros(vec![bsz, self.out_ch, h, w]);
-        for b in 0..bsz {
-            for co in 0..self.out_ch {
-                let wbase = co * cin * k * k;
-                for i in 0..h {
-                    for j in 0..w {
-                        let mut acc = self.b[co];
-                        for ci in 0..cin {
-                            let xbase = ((b * cin + ci) * h) * w;
-                            let wrow = &self.w[wbase + ci * k * k..wbase + (ci + 1) * k * k];
-                            for di in 0..k {
-                                let ii = i as isize + di as isize - p as isize;
-                                if ii < 0 || ii >= h as isize {
-                                    continue;
-                                }
-                                for dj in 0..k {
-                                    let jj = j as isize + dj as isize - p as isize;
-                                    if jj < 0 || jj >= w as isize {
-                                        continue;
-                                    }
-                                    acc += x.data[xbase + ii as usize * w + jj as usize]
-                                        * wrow[di * k + dj];
-                                }
-                            }
-                        }
-                        out.data[((b * self.out_ch + co) * h + i) * w + j] = acc;
-                    }
-                }
-            }
-        }
+        let mut cols = Tensor::default();
+        let mut chan = Tensor::default();
+        self.im2col(x, &mut cols);
+        self.forward_from_cols(&cols, &mut chan, &mut out);
         out
     }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: Tensor) -> Tensor {
-        let out = self.run(&x);
+        let [bsz, _, h, w] = dims4(&x);
+        let mut out = std::mem::take(&mut self.out_pool);
+        out.reset_for_overwrite(&[bsz, self.out_ch, h, w]);
+        let mut cols = std::mem::take(&mut self.cols);
+        let mut chan = std::mem::take(&mut self.chan);
+        self.im2col(&x, &mut cols);
+        self.forward_from_cols(&cols, &mut chan, &mut out);
+        self.cols = cols;
+        self.chan = chan;
         self.cache = Some(x);
         out
     }
@@ -243,41 +361,51 @@ impl Layer for Conv2d {
         let x = self.cache.take().expect("forward before backward");
         let [bsz, cin, h, w] = dims4(&x);
         let k = self.kernel;
-        let p = k / 2;
-        let mut gx = Tensor::zeros(vec![bsz, cin, h, w]);
+        let t_dim = cin * k * k;
+        let n_px = bsz * h * w;
+        let out_ch = self.out_ch;
+        let mut gx = std::mem::take(&mut self.gx_pool);
+        gx.reset_zeroed(&[bsz, cin, h, w]);
+        // Transpose the upstream gradient to channel-major rows.
+        let mut gt = std::mem::take(&mut self.chan);
+        gt.reset_for_overwrite(&[out_ch, n_px]);
         for b in 0..bsz {
-            for co in 0..self.out_ch {
-                let wbase = co * cin * k * k;
-                for i in 0..h {
-                    for j in 0..w {
-                        let g = grad.data[((b * self.out_ch + co) * h + i) * w + j];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        self.gb[co] += g;
-                        for ci in 0..cin {
-                            let xbase = ((b * cin + ci) * h) * w;
-                            for di in 0..k {
-                                let ii = i as isize + di as isize - p as isize;
-                                if ii < 0 || ii >= h as isize {
-                                    continue;
-                                }
-                                for dj in 0..k {
-                                    let jj = j as isize + dj as isize - p as isize;
-                                    if jj < 0 || jj >= w as isize {
-                                        continue;
-                                    }
-                                    let xi = xbase + ii as usize * w + jj as usize;
-                                    let wi = wbase + ci * k * k + di * k + dj;
-                                    self.gw[wi] += g * x.data[xi];
-                                    gx.data[xi] += g * self.w[wi];
-                                }
-                            }
-                        }
-                    }
-                }
+            for co in 0..out_ch {
+                gt.data[co * n_px + b * h * w..][..h * w]
+                    .copy_from_slice(&grad.data[((b * out_ch + co) * h) * w..][..h * w]);
             }
         }
+        for co in 0..out_ch {
+            self.gb[co] += sum(&gt.data[co * n_px..][..n_px]);
+        }
+        // Per tap: weight gradients from the cached cols, then reuse the
+        // col row in place as the col-space input gradient and scatter it.
+        let mut cols = std::mem::take(&mut self.cols);
+        for t in 0..t_dim {
+            {
+                let colrow = &cols.data[t * n_px..][..n_px];
+                for co in 0..out_ch {
+                    self.gw[co * t_dim + t] += dot(&gt.data[co * n_px..][..n_px], colrow);
+                }
+            }
+            let colrow = &mut cols.data[t * n_px..][..n_px];
+            colrow.fill(0.0);
+            for co in 0..out_ch {
+                axpy(self.w[co * t_dim + t], &gt.data[co * n_px..][..n_px], colrow);
+            }
+            // col2im: scatter through the transposed tap shift.
+            let ci = t / (k * k);
+            let (r, s) = self.tap_shift(t);
+            for b in 0..bsz {
+                let src = &cols.data[t * n_px + b * h * w..][..h * w];
+                let gxplane = &mut gx.data[((b * cin + ci) * h) * w..][..h * w];
+                shifted_plane_axpy(1.0, src, gxplane, h, w, -r, -s, &mut self.wrap_scratch);
+            }
+        }
+        self.cols = cols;
+        self.chan = gt;
+        self.out_pool = grad;
+        self.gx_pool = x;
         gx
     }
 
@@ -302,21 +430,28 @@ impl Layer for Conv2d {
 pub struct MaxPool2d {
     pub k: usize,
     argmax: Vec<usize>,
-    in_shape: Vec<usize>,
+    out_pool: Tensor,
+    gx_pool: Tensor,
 }
 
 impl MaxPool2d {
     pub fn new(k: usize) -> MaxPool2d {
         assert!(k >= 1);
-        MaxPool2d { k, argmax: Vec::new(), in_shape: Vec::new() }
+        MaxPool2d { k, argmax: Vec::new(), out_pool: Tensor::default(), gx_pool: Tensor::default() }
     }
 
-    fn run(&self, x: &Tensor, mut record: Option<&mut Vec<usize>>) -> Tensor {
+    fn out_dims(&self, x: &Tensor) -> [usize; 4] {
+        let [bsz, c, h, w] = dims4(x);
+        let (oh, ow) = (h / self.k, w / self.k);
+        assert!(oh > 0 && ow > 0, "pooling window larger than input");
+        [bsz, c, oh, ow]
+    }
+
+    /// Pool into `out` (already shaped); optionally record argmax indices.
+    fn run_into(&self, x: &Tensor, out: &mut Tensor, mut record: Option<&mut Vec<usize>>) {
         let [bsz, c, h, w] = dims4(x);
         let k = self.k;
-        let (oh, ow) = (h / k, w / k);
-        assert!(oh > 0 && ow > 0, "pooling window larger than input");
-        let mut out = Tensor::zeros(vec![bsz, c, oh, ow]);
+        let [_, _, oh, ow] = self.out_dims(x);
         if let Some(r) = record.as_deref_mut() {
             r.clear();
             r.reserve(out.len());
@@ -329,11 +464,12 @@ impl MaxPool2d {
                         let mut best = f32::NEG_INFINITY;
                         let mut best_idx = 0usize;
                         for di in 0..k {
-                            for dj in 0..k {
-                                let idx = base + (i * k + di) * w + (j * k + dj);
-                                if x.data[idx] > best {
-                                    best = x.data[idx];
-                                    best_idx = idx;
+                            let row_start = base + (i * k + di) * w + j * k;
+                            let row = &x.data[row_start..row_start + k];
+                            for (dj, &v) in row.iter().enumerate() {
+                                if v > best {
+                                    best = v;
+                                    best_idx = row_start + dj;
                                 }
                             }
                         }
@@ -345,29 +481,38 @@ impl MaxPool2d {
                 }
             }
         }
-        out
     }
 }
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, x: Tensor) -> Tensor {
-        self.in_shape = x.shape.clone();
+        let dims = self.out_dims(&x);
+        let mut out = std::mem::take(&mut self.out_pool);
+        out.reset_for_overwrite(&dims);
         let mut argmax = std::mem::take(&mut self.argmax);
-        let out = self.run(&x, Some(&mut argmax));
+        self.run_into(&x, &mut out, Some(&mut argmax));
         self.argmax = argmax;
+        self.gx_pool = x; // keep the input buffer (and shape) for backward
         out
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let mut gx = Tensor::zeros(self.in_shape.clone());
+        // The pool holds the cached input, so its shape is already the
+        // input shape; only the values need resetting.
+        let mut gx = std::mem::take(&mut self.gx_pool);
+        gx.data.iter_mut().for_each(|v| *v = 0.0);
         for (g, &idx) in grad.data.iter().zip(self.argmax.iter()) {
             gx.data[idx] += g;
         }
+        self.out_pool = grad;
         gx
     }
 
     fn infer(&self, x: Tensor) -> Tensor {
-        self.run(&x, None)
+        let dims = self.out_dims(&x);
+        let mut out = Tensor::zeros(dims.to_vec());
+        self.run_into(&x, &mut out, None);
+        out
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -378,7 +523,8 @@ impl Layer for MaxPool2d {
 /// Mean over the spatial dimensions: `[B, C, H, W] → [B, C]`.
 #[derive(Default)]
 pub struct GlobalAvgPool {
-    in_shape: Vec<usize>,
+    out_pool: Tensor,
+    gx_pool: Tensor,
 }
 
 impl GlobalAvgPool {
@@ -386,46 +532,48 @@ impl GlobalAvgPool {
         GlobalAvgPool::default()
     }
 
-    fn run(x: &Tensor) -> Tensor {
+    fn run_into(x: &Tensor, out: &mut Tensor) {
         let [bsz, c, h, w] = dims4(x);
         let hw = (h * w) as f32;
-        let mut out = Tensor::zeros(vec![bsz, c]);
         for b in 0..bsz {
             for ch in 0..c {
                 let base = (b * c + ch) * h * w;
-                let sum: f32 = x.data[base..base + h * w].iter().sum();
-                out.data[b * c + ch] = sum / hw;
+                out.data[b * c + ch] = sum(&x.data[base..base + h * w]) / hw;
             }
         }
-        out
     }
 }
 
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, x: Tensor) -> Tensor {
-        self.in_shape = x.shape.clone();
-        Self::run(&x)
+        let [bsz, c, _, _] = dims4(&x);
+        let mut out = std::mem::take(&mut self.out_pool);
+        out.reset_for_overwrite(&[bsz, c]);
+        Self::run_into(&x, &mut out);
+        self.gx_pool = x;
+        out
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let (bsz, c, h, w) =
-            (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        let mut gx = std::mem::take(&mut self.gx_pool);
+        let [bsz, c, h, w] = dims4(&gx);
         let hw = (h * w) as f32;
-        let mut gx = Tensor::zeros(self.in_shape.clone());
         for b in 0..bsz {
             for ch in 0..c {
                 let g = grad.data[b * c + ch] / hw;
                 let base = (b * c + ch) * h * w;
-                for v in &mut gx.data[base..base + h * w] {
-                    *v = g;
-                }
+                gx.data[base..base + h * w].fill(g);
             }
         }
+        self.out_pool = grad;
         gx
     }
 
     fn infer(&self, x: Tensor) -> Tensor {
-        Self::run(&x)
+        let [bsz, c, _, _] = dims4(&x);
+        let mut out = Tensor::zeros(vec![bsz, c]);
+        Self::run_into(&x, &mut out);
+        out
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -458,7 +606,8 @@ impl Layer for L2Normalize {
             let norm = l2_normalize(x.row_mut(b));
             self.cache_norm.push(norm);
         }
-        self.cache_y = x.data.clone();
+        self.cache_y.clear();
+        self.cache_y.extend_from_slice(&x.data);
         x
     }
 
@@ -472,10 +621,7 @@ impl Layer for L2Normalize {
             }
             let y = &self.cache_y[b * f..(b + 1) * f];
             let g = grad.row_mut(b);
-            let mut ydotg = 0.0f32;
-            for i in 0..f {
-                ydotg += y[i] * g[i];
-            }
+            let ydotg = dot(y, g);
             for i in 0..f {
                 g[i] = (g[i] - y[i] * ydotg) / norm;
             }
@@ -737,11 +883,61 @@ mod tests {
     }
 
     #[test]
+    fn repeated_steps_reuse_pools() {
+        // After the first forward/backward pair, the pools hold buffers of
+        // the right size; later steps must not grow them.
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut net = Sequential::new();
+        net.push(Linear::new(&mut rng, 6, 8));
+        net.push(Relu::new());
+        net.push(Linear::new(&mut rng, 8, 4));
+        net.push(L2Normalize::new());
+        let x = random_tensor(&mut rng, vec![5, 6]);
+        let mut outs = Vec::new();
+        for _ in 0..3 {
+            let out = net.forward(x.clone());
+            outs.push(out.data.clone());
+            net.backward(Tensor::zeros(out.shape.clone()));
+        }
+        // Zero upstream grad ⇒ no weight change ⇒ identical outputs; the
+        // point is that pooled buffers start zeroed/overwritten each step.
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[1], outs[2]);
+    }
+
+    #[test]
     fn maxpool_truncates_ragged_edges() {
         let l = MaxPool2d::new(2);
         let x = Tensor::new(vec![1, 1, 3, 5], (0..15).map(|v| v as f32).collect());
         let y = l.infer(x);
         assert_eq!(y.shape, vec![1, 1, 1, 2]);
         assert_eq!(y.data, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn flat_param_round_trip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a = Linear::new(&mut rng, 3, 2);
+        let mut b = Linear::new(&mut rng, 3, 2);
+        let mut flat = Vec::new();
+        let n = export_params_into(&mut a, &mut flat);
+        assert_eq!(n, a.param_count());
+        assert_eq!(import_params_from(&mut b, &flat), n);
+        let (xa, xb) = (a.infer(Tensor::zeros(vec![1, 3])), b.infer(Tensor::zeros(vec![1, 3])));
+        assert_eq!(xa.data, xb.data);
+        // Gradient export/accumulate round trip: accumulate twice = 2×.
+        let out = a.forward(Tensor::new(vec![1, 3], vec![1.0, 2.0, 3.0]));
+        a.backward(Tensor::new(out.shape.clone(), vec![1.0, -1.0]));
+        let mut g = Vec::new();
+        export_grads_into(&mut a, &mut g);
+        let mut c = Linear::new(&mut rng, 3, 2);
+        c.zero_grad();
+        accumulate_grads_from(&mut c, &g);
+        accumulate_grads_from(&mut c, &g);
+        let mut g2 = Vec::new();
+        export_grads_into(&mut c, &mut g2);
+        for (x, y) in g.iter().zip(&g2) {
+            assert!((2.0 * x - y).abs() < 1e-6);
+        }
     }
 }

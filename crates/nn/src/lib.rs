@@ -17,13 +17,18 @@
 //!   bit-deterministic for a fixed seed.
 
 pub mod init;
+pub mod kernel;
 pub mod layers;
 pub mod optim;
 pub mod serialize;
 pub mod tensor;
 pub mod triplet;
 
-pub use layers::{Conv2d, GlobalAvgPool, L2Normalize, Layer, Linear, MaxPool2d, Relu, Sequential};
+pub use kernel::{axpy, dot, l2_sq, matmul_xwt};
+pub use layers::{
+    accumulate_grads_from, export_grads_into, export_params_into, import_params_from, Conv2d,
+    GlobalAvgPool, L2Normalize, Layer, Linear, MaxPool2d, Relu, Sequential,
+};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use tensor::Tensor;
 pub use triplet::{semi_hard_indices, triplet_loss_grads, TripletBatch};

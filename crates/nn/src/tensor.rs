@@ -1,6 +1,12 @@
 //! Row-major `f32` tensors with explicit shapes.
+//!
+//! The numeric kernels (`dot`, `l2_sq`, `matmul_xwt`) live in
+//! [`crate::kernel`] and are re-exported here so existing call sites keep
+//! working; this module only owns the [`Tensor`] container.
 
 use std::fmt;
+
+pub use crate::kernel::{dot, l2_sq, matmul_xwt};
 
 /// A dense row-major tensor. Shapes follow the usual conventions:
 /// `[batch, features]` for dense layers and `[batch, channels, height,
@@ -52,6 +58,43 @@ impl Tensor {
         self
     }
 
+    /// Like [`Tensor::reshape`] but reuses the existing shape vector's
+    /// capacity instead of taking a freshly allocated one — the hot-path
+    /// variant used by the training loop.
+    pub fn reshape_to(mut self, dims: &[usize]) -> Tensor {
+        assert_eq!(dims.iter().product::<usize>(), self.data.len());
+        self.shape.clear();
+        self.shape.extend_from_slice(dims);
+        self
+    }
+
+    /// Re-dimension this tensor in place to `dims`, zero-filled, reusing
+    /// both the data and shape buffer capacity. This is the scratch-arena
+    /// primitive: layers keep pool tensors and `reset_zeroed` them each
+    /// step, so steady-state training performs no heap allocation once
+    /// every pool has grown to its high-water mark.
+    pub fn reset_zeroed(&mut self, dims: &[usize]) {
+        self.shape.clear();
+        self.shape.extend_from_slice(dims);
+        let n: usize = dims.iter().product();
+        self.data.clear();
+        self.data.resize(n, 0.0);
+    }
+
+    /// Like [`Tensor::reset_zeroed`] but without clearing existing
+    /// contents — for pool buffers whose every element the caller fully
+    /// overwrites (matmul outputs, im2col rows, featurized batch rows).
+    /// Skipping the memset saves a full pass over the largest arenas each
+    /// step; only newly grown capacity is zero-filled. Do NOT use for
+    /// buffers that are accumulated into (`+=`) — those need
+    /// [`Tensor::reset_zeroed`].
+    pub fn reset_for_overwrite(&mut self, dims: &[usize]) {
+        self.shape.clear();
+        self.shape.extend_from_slice(dims);
+        let n: usize = dims.iter().product();
+        self.data.resize(n, 0.0);
+    }
+
     /// Borrow row `i` of a 2-D view `[batch, features]`.
     pub fn row(&self, i: usize) -> &[f32] {
         let f = self.features();
@@ -64,63 +107,17 @@ impl Tensor {
     }
 }
 
+impl Default for Tensor {
+    /// An empty `[0]` tensor — the idle state of a scratch pool.
+    fn default() -> Tensor {
+        Tensor { shape: vec![0], data: Vec::new() }
+    }
+}
+
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}", self.shape)
     }
-}
-
-/// `out[b, o] = Σ_i x[b, i] · w[o, i] + bias[o]` — the dense-layer kernel.
-/// `w` is `[out_dim, in_dim]` row-major. Uses an i-k-j style loop order so
-/// the inner loop streams contiguously.
-pub fn matmul_xwt(
-    x: &[f32],
-    w: &[f32],
-    bias: &[f32],
-    batch: usize,
-    in_dim: usize,
-    out_dim: usize,
-    out: &mut [f32],
-) {
-    debug_assert_eq!(x.len(), batch * in_dim);
-    debug_assert_eq!(w.len(), out_dim * in_dim);
-    debug_assert_eq!(out.len(), batch * out_dim);
-    for b in 0..batch {
-        let xr = &x[b * in_dim..(b + 1) * in_dim];
-        let or = &mut out[b * out_dim..(b + 1) * out_dim];
-        or.copy_from_slice(bias);
-        for (o, ov) in or.iter_mut().enumerate() {
-            let wr = &w[o * in_dim..(o + 1) * in_dim];
-            let mut acc = 0.0f32;
-            for i in 0..in_dim {
-                acc += xr[i] * wr[i];
-            }
-            *ov += acc;
-        }
-    }
-}
-
-/// Squared L2 distance between two equal-length vectors.
-#[inline]
-pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for i in 0..a.len() {
-        let d = a[i] - b[i];
-        acc += d * d;
-    }
-    acc
-}
-
-/// Dot product.
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for i in 0..a.len() {
-        acc += a[i] * b[i];
-    }
-    acc
 }
 
 /// In-place L2 normalization; returns the original norm. Vectors with norm
@@ -189,5 +186,20 @@ mod tests {
         let t = Tensor::new(vec![2, 2], vec![1., 2., 3., 4.]).reshape(vec![4]);
         assert_eq!(t.shape, vec![4]);
         assert_eq!(t.data, vec![1., 2., 3., 4.]);
+        let t = t.reshape_to(&[1, 4]);
+        assert_eq!(t.shape, vec![1, 4]);
+        assert_eq!(t.data, vec![1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn reset_zeroed_reuses_capacity() {
+        let mut t = Tensor::new(vec![2, 3], vec![1.0; 6]);
+        let cap = t.data.capacity();
+        t.reset_zeroed(&[3, 2]);
+        assert_eq!(t.shape, vec![3, 2]);
+        assert_eq!(t.data, vec![0.0; 6]);
+        assert_eq!(t.data.capacity(), cap, "shrinking must not reallocate");
+        t.reset_zeroed(&[1, 2]);
+        assert_eq!(t.len(), 2);
     }
 }
