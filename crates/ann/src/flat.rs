@@ -50,14 +50,6 @@ impl FlatIndex {
         idx
     }
 
-    /// Append a vector, returning its id.
-    pub fn add(&mut self, v: &[f32]) -> usize {
-        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
-        let id = self.len();
-        self.data.extend_from_slice(v);
-        id
-    }
-
     pub fn vector(&self, id: usize) -> &[f32] {
         &self.data[id * self.dim..(id + 1) * self.dim]
     }
@@ -83,6 +75,14 @@ impl VectorIndex for FlatIndex {
 
     fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Append a vector, returning its id.
+    fn add(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let id = self.len();
+        self.data.extend_from_slice(v);
+        id
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
@@ -172,22 +172,18 @@ mod tests {
 
     #[test]
     fn parallel_scan_agrees_with_serial() {
-        // Force a corpus past the parallel threshold: 70k vectors × 32 dims.
+        // Force a corpus past the parallel threshold: 70k vectors × 32 dims
+        // (one extra row serves as the query).
         let dim = 32;
         let n = 70_000;
+        let all = crate::test_util::lcg_vectors(n + 1, dim, 1);
         let mut idx = FlatIndex::new(dim);
-        let mut state = 1u64;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
-        };
-        for _ in 0..n {
-            let v: Vec<f32> = (0..dim).map(|_| next()).collect();
-            idx.add(&v);
+        for v in all[..n * dim].chunks(dim) {
+            idx.add(v);
         }
-        let query: Vec<f32> = (0..dim).map(|_| next()).collect();
-        let fast = idx.search(&query, 10);
-        let slow = idx.scan_range(&query, 10, 0, n);
+        let query = &all[n * dim..];
+        let fast = idx.search(query, 10);
+        let slow = idx.scan_range(query, 10, 0, n);
         assert_eq!(fast, slow);
     }
 

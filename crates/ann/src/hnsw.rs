@@ -8,7 +8,7 @@ use rand::{RngExt, SeedableRng};
 use std::collections::BinaryHeap;
 
 /// HNSW construction/search parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HnswParams {
     /// Max neighbors per node on upper layers (layer 0 allows `2·m`).
     pub m: usize,
@@ -157,8 +157,22 @@ impl HnswIndex {
         cands.into_iter().map(|n| n.id as u32).collect()
     }
 
+    fn node_at_layer(&self, node: usize, layer: usize) -> bool {
+        (self.node_layer[node] as usize) >= layer
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn len(&self) -> usize {
+        self.node_layer.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Insert a vector, returning its id.
-    pub fn add(&mut self, v: &[f32]) -> usize {
+    fn add(&mut self, v: &[f32]) -> usize {
         assert_eq!(v.len(), self.dim);
         let id = self.len();
         self.data.extend_from_slice(v);
@@ -213,20 +227,6 @@ impl HnswIndex {
         id
     }
 
-    fn node_at_layer(&self, node: usize, layer: usize) -> bool {
-        (self.node_layer[node] as usize) >= layer
-    }
-}
-
-impl VectorIndex for HnswIndex {
-    fn len(&self) -> usize {
-        self.node_layer.len()
-    }
-
-    fn dim(&self) -> usize {
-        self.dim
-    }
-
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim);
         let Some(mut cur) = self.entry else {
@@ -250,15 +250,7 @@ impl VectorIndex for HnswIndex {
 mod tests {
     use super::*;
     use crate::flat::FlatIndex;
-
-    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
-        let mut state = seed;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
-        };
-        (0..n * dim).map(|_| next()).collect()
-    }
+    use crate::test_util::lcg_vectors as random_data;
 
     #[test]
     fn self_query_exact() {

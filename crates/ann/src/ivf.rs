@@ -6,7 +6,7 @@ use crate::metric::{l2_sq, Neighbor, TopK};
 use crate::VectorIndex;
 
 /// Build parameters for [`IvfFlatIndex`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IvfParams {
     /// Number of inverted lists (clusters). Defaults to `√n` when zero.
     pub n_lists: usize,
@@ -32,15 +32,45 @@ pub struct IvfFlatIndex {
     /// `lists[c]` holds `(original_id, vector)` rows, vectors concatenated.
     list_ids: Vec<Vec<usize>>,
     list_data: Vec<Vec<f32>>,
+    /// False for an index born empty and grown purely by `add`: such an
+    /// index retrains its quantizer at geometric size milestones (see
+    /// [`VectorIndex::add`]) instead of staying pinned to the single
+    /// lazily-seeded list forever. `build` on a real corpus sets this.
+    trained: bool,
 }
 
+/// Corpus size at which a cold-start (lazily-seeded) index first retrains
+/// its quantizer; it retrains again at every doubling, so the amortized
+/// cost per insert stays constant and the list structure tracks growth.
+const COLD_START_RETRAIN_MIN: usize = 32;
+
 impl IvfFlatIndex {
-    /// Build from row-major `data` (`n × dim`).
+    /// Build from row-major `data` (`n × dim`). An empty `data` yields a
+    /// valid empty index (searches return nothing; the quantizer is seeded
+    /// lazily by the first [`VectorIndex::add`]) so a cold-start corpus
+    /// cannot change crash behavior across backends.
     pub fn build(data: &[f32], dim: usize, mut params: IvfParams) -> IvfFlatIndex {
         assert!(dim > 0);
         assert_eq!(data.len() % dim, 0);
         let n = data.len() / dim;
-        assert!(n > 0, "cannot build an empty IVF index");
+        if n == 0 {
+            let quantizer = KMeansResult {
+                k: 0,
+                dim,
+                centroids: Vec::new(),
+                assignments: Vec::new(),
+                inertia: 0.0,
+            };
+            return IvfFlatIndex {
+                dim,
+                n: 0,
+                params,
+                quantizer,
+                list_ids: Vec::new(),
+                list_data: Vec::new(),
+                trained: false,
+            };
+        }
         if params.n_lists == 0 {
             params.n_lists = (n as f64).sqrt().ceil() as usize;
         }
@@ -54,11 +84,46 @@ impl IvfFlatIndex {
             list_ids[c].push(i);
             list_data[c].extend_from_slice(&data[i * dim..(i + 1) * dim]);
         }
-        IvfFlatIndex { dim, n, params, quantizer, list_ids, list_data }
+        IvfFlatIndex { dim, n, params, quantizer, list_ids, list_data, trained: true }
     }
 
     pub fn n_lists(&self) -> usize {
         self.quantizer.k
+    }
+
+    /// Re-run k-means over every stored vector (in id order, so the result
+    /// is deterministic regardless of the current list layout) and rebuild
+    /// the inverted lists. `n_lists` follows the build rule: the configured
+    /// value, or `√n` when zero, clamped to `1..=n`.
+    fn retrain_quantizer(&mut self) {
+        let mut rows: Vec<(usize, &[f32])> = Vec::with_capacity(self.n);
+        for (ids, data) in self.list_ids.iter().zip(&self.list_data) {
+            for (j, &id) in ids.iter().enumerate() {
+                rows.push((id, &data[j * self.dim..(j + 1) * self.dim]));
+            }
+        }
+        rows.sort_unstable_by_key(|(id, _)| *id);
+        let mut flat = Vec::with_capacity(self.n * self.dim);
+        for (_, v) in &rows {
+            flat.extend_from_slice(v);
+        }
+        let mut k = self.params.n_lists;
+        if k == 0 {
+            k = (self.n as f64).sqrt().ceil() as usize;
+        }
+        k = k.clamp(1, self.n);
+        let quantizer = kmeans(&flat, self.dim, k, self.params.kmeans_iters, self.params.seed);
+        let k = quantizer.k;
+        let mut list_ids = vec![Vec::new(); k];
+        let mut list_data = vec![Vec::new(); k];
+        for (i, (id, _)) in rows.iter().enumerate() {
+            let c = quantizer.assignments[i];
+            list_ids[c].push(*id);
+            list_data[c].extend_from_slice(&flat[i * self.dim..(i + 1) * self.dim]);
+        }
+        self.quantizer = quantizer;
+        self.list_ids = list_ids;
+        self.list_data = list_data;
     }
 }
 
@@ -69,6 +134,32 @@ impl VectorIndex for IvfFlatIndex {
 
     fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Insert to the nearest inverted list (Faiss-style incremental add:
+    /// a quantizer trained by `build` stays frozen, new vectors join the
+    /// list of their closest centroid). An index born empty starts from a
+    /// single lazily-seeded list and retrains its quantizer at every
+    /// corpus doubling past [`COLD_START_RETRAIN_MIN`], so the configured
+    /// `n_lists`/`n_probe` behavior materializes as the corpus grows
+    /// instead of degenerating into one exhaustive list forever.
+    fn add(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        if self.quantizer.k == 0 {
+            self.quantizer.k = 1;
+            self.quantizer.centroids = v.to_vec();
+            self.list_ids.push(Vec::new());
+            self.list_data.push(Vec::new());
+        }
+        let id = self.n;
+        let c = self.quantizer.nearest(v);
+        self.list_ids[c].push(id);
+        self.list_data[c].extend_from_slice(v);
+        self.n += 1;
+        if !self.trained && self.n >= COLD_START_RETRAIN_MIN && self.n.is_power_of_two() {
+            self.retrain_quantizer();
+        }
+        id
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
@@ -97,15 +188,7 @@ impl VectorIndex for IvfFlatIndex {
 mod tests {
     use super::*;
     use crate::flat::FlatIndex;
-
-    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
-        let mut state = seed;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
-        };
-        (0..n * dim).map(|_| next()).collect()
-    }
+    use crate::test_util::lcg_vectors as random_data;
 
     #[test]
     fn probing_all_lists_is_exact() {
@@ -162,6 +245,93 @@ mod tests {
             let out = ivf.search(query, 1);
             assert_eq!(out[0].id, q);
             assert!(out[0].dist < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_build_is_valid_not_a_panic() {
+        // Regression: `build` used to assert `n > 0`, so a cold-start org
+        // with no reference workbooks crashed on IVF but not Flat/HNSW.
+        let ivf = IvfFlatIndex::build(&[], 8, IvfParams::default());
+        assert!(ivf.is_empty());
+        assert_eq!(ivf.dim(), 8);
+        assert_eq!(ivf.n_lists(), 0);
+        assert!(ivf.search(&[0.0; 8], 5).is_empty());
+        assert!(ivf.search_within(&[0.0; 8], 5, 1.0).is_empty());
+    }
+
+    #[test]
+    fn add_seeds_empty_index_then_grows() {
+        let dim = 4;
+        let mut ivf = IvfFlatIndex::build(&[], dim, IvfParams::default());
+        let data = random_data(50, dim, 7);
+        for (i, v) in data.chunks(dim).enumerate() {
+            assert_eq!(ivf.add(v), i);
+        }
+        assert_eq!(ivf.len(), 50);
+        // The cold-start retrain at n = 32 replaced the single seeded list
+        // with √32 ≈ 6 clusters; n_probe = 8 still covers them all, so
+        // searches stay exact against the flat ground truth.
+        assert!(ivf.n_lists() > 1, "retrain must spread the seeded list");
+        let flat = FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()));
+        for q in [0usize, 13, 49] {
+            let query = &data[q * dim..(q + 1) * dim];
+            assert_eq!(
+                ivf.search(query, 3).iter().map(|n| n.id).collect::<Vec<_>>(),
+                flat.search(query, 3).iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn cold_start_retrain_honors_configured_n_lists() {
+        // Regression: an index born empty used to stay pinned to the one
+        // lazily-seeded list forever, so the configured `n_lists` silently
+        // never materialized and every query scanned the whole corpus.
+        let dim = 4;
+        let params = IvfParams { n_lists: 10, n_probe: 10, ..Default::default() };
+        let mut ivf = IvfFlatIndex::build(&[], dim, params);
+        let data = random_data(200, dim, 21);
+        for v in data.chunks(dim) {
+            ivf.add(v);
+        }
+        // Last retrain at n = 128 applied the configured list count.
+        assert_eq!(ivf.n_lists(), 10);
+        // And the re-bucketed index still searches correctly (full probe).
+        let flat = FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()));
+        for q in [0usize, 77, 199] {
+            let query = &data[q * dim..(q + 1) * dim];
+            assert_eq!(
+                ivf.search(query, 5).iter().map(|n| n.id).collect::<Vec<_>>(),
+                flat.search(query, 5).iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_add_assigns_nearest_list() {
+        let dim = 8;
+        let data = random_data(300, dim, 11);
+        let mut ivf = IvfFlatIndex::build(
+            &data,
+            dim,
+            IvfParams { n_lists: 12, n_probe: 12, ..Default::default() },
+        );
+        let extra = random_data(60, dim, 12);
+        for (i, v) in extra.chunks(dim).enumerate() {
+            assert_eq!(ivf.add(v), 300 + i);
+        }
+        assert_eq!(ivf.len(), 360);
+        // Full-probe searches over the grown index are exact.
+        let mut all = data.clone();
+        all.extend_from_slice(&extra);
+        let flat = FlatIndex::from_vectors(dim, all.chunks(dim).map(|c| c.to_vec()));
+        for q in [5usize, 299, 310, 359] {
+            let query = &all[q * dim..(q + 1) * dim];
+            assert_eq!(
+                ivf.search(query, 5).iter().map(|n| n.id).collect::<Vec<_>>(),
+                flat.search(query, 5).iter().map(|n| n.id).collect::<Vec<_>>()
+            );
         }
     }
 

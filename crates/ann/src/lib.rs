@@ -21,6 +21,23 @@ pub mod ivf;
 pub mod kmeans;
 pub mod metric;
 
+/// Deterministic test-vector generation shared by this crate's unit and
+/// integration test suites. Not part of the public API.
+#[doc(hidden)]
+pub mod test_util {
+    /// `n × dim` row-major vectors with components in (−1, 1), from a
+    /// seeded LCG (one definition, so every test corpus in the crate draws
+    /// from the same distribution).
+    pub fn lcg_vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        (0..n * dim).map(|_| next()).collect()
+    }
+}
+
 pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};
 pub use ivf::{IvfFlatIndex, IvfParams};
@@ -35,6 +52,11 @@ pub trait VectorIndex: Send + Sync {
     fn dim(&self) -> usize;
     /// The `k` nearest neighbors of `query`, ascending by distance.
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+    /// Incrementally insert a vector, returning its id (ids are assigned
+    /// densely in insertion order, continuing any batch build). This is the
+    /// production path when a reference corpus grows after the index is
+    /// built — no backend requires a rebuild.
+    fn add(&mut self, v: &[f32]) -> usize;
 
     fn is_empty(&self) -> bool {
         self.len() == 0

@@ -47,8 +47,12 @@ impl TopK {
         }
     }
 
+    /// Insert a candidate. Non-finite distances (NaN from a corrupted
+    /// embedding, ±∞ from overflow) are rejected at the boundary: a NaN
+    /// would slip past the `>=` cutoff below and then poison
+    /// `partition_point`'s ordering for every later push.
     pub fn push(&mut self, n: Neighbor) {
-        if self.k == 0 || n.dist >= self.worst() {
+        if self.k == 0 || !n.dist.is_finite() || n.dist >= self.worst() {
             return;
         }
         let pos = self.items.partition_point(|x| x.dist <= n.dist);
@@ -98,6 +102,38 @@ mod tests {
         let mut t = TopK::new(0);
         t.push(Neighbor::new(0, 1.0));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn non_finite_distances_rejected() {
+        // Regression: a NaN passed the `>=` cutoff (NaN comparisons are
+        // false), landed at an arbitrary `partition_point` position, and
+        // corrupted the sort order of every subsequent push.
+        let mut t = TopK::new(3);
+        t.push(Neighbor::new(0, 2.0));
+        t.push(Neighbor::new(1, f32::NAN));
+        t.push(Neighbor::new(2, 1.0));
+        t.push(Neighbor::new(3, f32::INFINITY));
+        t.push(Neighbor::new(4, 3.0));
+        t.push(Neighbor::new(5, 0.5));
+        let out = t.into_sorted();
+        let ids: Vec<usize> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![5, 2, 0]);
+        assert!(out.iter().all(|n| n.dist.is_finite()));
+        assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn nan_never_becomes_the_worst_cutoff() {
+        // A NaN accepted while the buffer is not yet full would also make
+        // `worst()` NaN, silently rejecting all later (valid) candidates.
+        let mut t = TopK::new(2);
+        t.push(Neighbor::new(0, f32::NAN));
+        assert!(t.is_empty());
+        t.push(Neighbor::new(1, 1.0));
+        t.push(Neighbor::new(2, 2.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.worst(), 2.0);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Cross-backend parity suite: the three `VectorIndex` backends must agree
+//! on edge-case semantics — empty indexes, `k > len`, `k = 0`,
+//! `search_within` thresholds — and incremental `add`-after-build must
+//! serve the same results as a from-scratch rebuild, so swapping the
+//! backend under `ReferenceIndex` can never change observable behavior on
+//! the paths the serving layer exercises.
+
+use af_ann::test_util::lcg_vectors as dataset;
+use af_ann::{FlatIndex, HnswIndex, HnswParams, IvfFlatIndex, IvfParams, VectorIndex};
+
+const BACKENDS: [&str; 3] = ["flat", "hnsw", "ivf"];
+
+/// IVF with every list probed: rankings are exhaustive, so results are
+/// centroid-independent and comparable across build/add histories.
+fn full_probe_ivf() -> IvfParams {
+    IvfParams { n_lists: 8, n_probe: usize::MAX, ..Default::default() }
+}
+
+fn build(backend: &str, data: &[f32], dim: usize) -> Box<dyn VectorIndex> {
+    match backend {
+        "flat" => Box::new(FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()))),
+        "hnsw" => Box::new(HnswIndex::build(data, dim, HnswParams::default())),
+        "ivf" => Box::new(IvfFlatIndex::build(data, dim, full_probe_ivf())),
+        other => panic!("unknown backend {other}"),
+    }
+}
+
+fn ids(out: &[af_ann::Neighbor]) -> Vec<usize> {
+    out.iter().map(|n| n.id).collect()
+}
+
+#[test]
+fn empty_index_queries_return_nothing() {
+    for backend in BACKENDS {
+        let idx = build(backend, &[], 6);
+        assert_eq!(idx.len(), 0, "{backend}");
+        assert!(idx.is_empty(), "{backend}");
+        assert!(idx.search(&[0.0; 6], 5).is_empty(), "{backend}");
+        assert!(idx.search_within(&[0.0; 6], 5, 1.0).is_empty(), "{backend}");
+    }
+}
+
+#[test]
+fn k_larger_than_len_returns_everything() {
+    let dim = 6;
+    let data = dataset(7, dim, 41);
+    let query = dataset(1, dim, 42);
+    for backend in BACKENDS {
+        let idx = build(backend, &data, dim);
+        let out = idx.search(&query, 50);
+        assert_eq!(out.len(), 7, "{backend}");
+        assert!(out.windows(2).all(|w| w[0].dist <= w[1].dist), "{backend}");
+    }
+}
+
+#[test]
+fn k_zero_returns_nothing() {
+    let dim = 6;
+    let data = dataset(30, dim, 43);
+    for backend in BACKENDS {
+        let idx = build(backend, &data, dim);
+        assert!(idx.search(&data[..dim], 0).is_empty(), "{backend}");
+    }
+}
+
+#[test]
+fn search_within_is_search_filtered_by_threshold() {
+    let dim = 8;
+    let data = dataset(200, dim, 44);
+    let query = dataset(1, dim, 45);
+    for backend in BACKENDS {
+        let idx = build(backend, &data, dim);
+        for max_dist in [0.0f32, 0.5, 2.0, f32::INFINITY] {
+            let within = idx.search_within(&query, 20, max_dist);
+            let mut expect = idx.search(&query, 20);
+            expect.retain(|n| n.dist <= max_dist);
+            assert_eq!(ids(&within), ids(&expect), "{backend} θ={max_dist}");
+            assert!(within.iter().all(|n| n.dist <= max_dist), "{backend}");
+        }
+    }
+}
+
+#[test]
+fn add_after_build_matches_from_scratch_rebuild() {
+    let dim = 8;
+    let n_initial = 120;
+    let n_extra = 60;
+    let all = dataset(n_initial + n_extra, dim, 46);
+    let initial = &all[..n_initial * dim];
+    let queries = dataset(10, dim, 47);
+    for backend in BACKENDS {
+        let mut grown = build(backend, initial, dim);
+        for (i, v) in all[n_initial * dim..].chunks(dim).enumerate() {
+            assert_eq!(grown.add(v), n_initial + i, "{backend}: ids stay dense");
+        }
+        let rebuilt = build(backend, &all, dim);
+        assert_eq!(grown.len(), rebuilt.len(), "{backend}");
+        for q in queries.chunks(dim) {
+            assert_eq!(
+                ids(&grown.search(q, 10)),
+                ids(&rebuilt.search(q, 10)),
+                "{backend}: incremental add must serve like a rebuild"
+            );
+        }
+    }
+}
+
+#[test]
+fn add_into_empty_matches_batch_build() {
+    let dim = 6;
+    let data = dataset(80, dim, 48);
+    let queries = dataset(5, dim, 49);
+    for backend in BACKENDS {
+        let mut grown = build(backend, &[], dim);
+        for (i, v) in data.chunks(dim).enumerate() {
+            assert_eq!(grown.add(v), i, "{backend}");
+        }
+        let batch = build(backend, &data, dim);
+        for q in queries.chunks(dim) {
+            let a = ids(&grown.search(q, 5));
+            if backend == "ivf" {
+                // A cold-started IVF has a single lazily-seeded list (no
+                // corpus existed to train a quantizer), so compare against
+                // exact ground truth rather than the batch-built lists.
+                let flat = build("flat", &data, dim);
+                assert_eq!(a, ids(&flat.search(q, 5)), "{backend}");
+            } else {
+                assert_eq!(a, ids(&batch.search(q, 5)), "{backend}");
+            }
+        }
+    }
+}

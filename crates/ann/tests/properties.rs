@@ -2,17 +2,9 @@
 //! result ordering, threshold semantics, and approximate-index recall
 //! bounds on arbitrary data.
 
+use af_ann::test_util::lcg_vectors as dataset;
 use af_ann::{FlatIndex, HnswIndex, HnswParams, IvfFlatIndex, IvfParams, VectorIndex};
 use proptest::prelude::*;
-
-fn dataset(n: usize, dim: usize, seed: u64) -> Vec<f32> {
-    let mut state = seed | 1;
-    let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
-    };
-    (0..n * dim).map(|_| next()).collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

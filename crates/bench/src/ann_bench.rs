@@ -1,0 +1,317 @@
+//! ANN backend benchmark: recall@k vs. the flat ground truth and query
+//! latency per backend, measured over the coarse sheet embeddings the
+//! serving path actually indexes (not synthetic uniform vectors — the
+//! family-clustered geometry of real corpora is exactly what stresses the
+//! approximate indexes).
+//!
+//! Results are written to `BENCH_ann.json`. The committed file is the
+//! measured answer to the ROADMAP's flat-vs-approximate question: at which
+//! recall do HNSW and IVF serve family-clustered embeddings, and what do
+//! their queries cost relative to the exact scan.
+
+use af_ann::{FlatIndex, HnswIndex, HnswParams, IvfFlatIndex, IvfParams, VectorIndex};
+use af_core::embedder::SheetEmbedder;
+use af_core::training::{train_model, TrainingOptions};
+use af_core::{AnnBackend, AutoFormulaConfig};
+use af_corpus::organization::{OrgSpec, Scale};
+use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Neighbors retrieved per query (matches the coarse-search regime: a few
+/// more than the serving default `k_sheets = 5`, so recall is measured on
+/// a meaningful candidate set).
+pub const K: usize = 10;
+/// Cap on query count (queries are drawn from the indexed corpus; recall
+/// is distance-based, so exact-duplicate family clones do not distort it).
+const MAX_QUERIES: usize = 200;
+/// Training episodes for the embedding model (enough for the contrastive
+/// geometry to form its family clusters; the bench measures the index, not
+/// the model, so this only needs to be representative).
+const TRAIN_EPISODES: usize = 48;
+
+/// One backend's measurement.
+#[derive(Debug, Clone)]
+pub struct BackendResult {
+    pub backend: &'static str,
+    /// Human-readable parameter summary (e.g. `m=16 ef_search=64`).
+    pub params: String,
+    pub build_seconds: f64,
+    /// Distance-based recall@K against the flat scan: a hit is an
+    /// approximate neighbor at least as close as the exact k-th neighbor
+    /// (modulo float epsilon) — robust to ties between duplicate sheets.
+    pub recall_at_k: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub queries_per_sec: f64,
+}
+
+/// The full benchmark run.
+#[derive(Debug, Clone)]
+pub struct AnnBenchReport {
+    pub scale: &'static str,
+    pub n_vectors: usize,
+    pub dim: usize,
+    pub k: usize,
+    pub queries: usize,
+    pub backends: Vec<BackendResult>,
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Embed every sheet of every test organization with a briefly-trained
+/// model: the vector set the coarse index (`Idx_c`) would hold if the four
+/// orgs shared one deployment.
+fn corpus_vectors() -> (Vec<f32>, usize) {
+    let scale = Scale::from_env();
+    let universe = OrgSpec::web_crawl(scale).generate();
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(64)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig { episodes: TRAIN_EPISODES, ..AutoFormulaConfig::default() };
+    let (model, _) = train_model(&universe.workbooks, &featurizer, cfg, TrainingOptions::default());
+    let embedder = SheetEmbedder::new(&model, &featurizer);
+    let dim = model.cfg.coarse_dim;
+    let mut data = Vec::new();
+    for spec in OrgSpec::test_orgs(scale) {
+        let org = spec.generate();
+        for wb in &org.workbooks {
+            for sheet in &wb.sheets {
+                data.extend_from_slice(&embedder.embed_sheet(sheet, false).coarse);
+            }
+        }
+    }
+    (data, dim)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_backend(
+    backend: &'static str,
+    index: Box<dyn VectorIndex>,
+    build_seconds: f64,
+    params: String,
+    queries: &[usize],
+    data: &[f32],
+    dim: usize,
+    ground_truth: &[Vec<af_ann::Neighbor>],
+) -> BackendResult {
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(queries.len());
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    let started = Instant::now();
+    for (qi, &q) in queries.iter().enumerate() {
+        let query = &data[q * dim..(q + 1) * dim];
+        let t = Instant::now();
+        let out = index.search(query, K);
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(&out);
+        let gt = &ground_truth[qi];
+        if let Some(kth) = gt.last() {
+            total += gt.len();
+            hits += out.iter().filter(|n| n.dist <= kth.dist + 1e-6).count().min(gt.len());
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies_ms.is_empty() {
+            0.0
+        } else {
+            latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize]
+        }
+    };
+    BackendResult {
+        backend,
+        params,
+        build_seconds,
+        recall_at_k: if total == 0 { 1.0 } else { hits as f64 / total as f64 },
+        p50_ms: pct(0.5),
+        p95_ms: pct(0.95),
+        queries_per_sec: queries.len() as f64 / wall.max(1e-9),
+    }
+}
+
+/// Run the benchmark at the current `AF_SCALE` over all three backends.
+pub fn measure() -> AnnBenchReport {
+    let scale = Scale::from_env();
+    let (data, dim) = corpus_vectors();
+    let n = data.len() / dim;
+    let queries: Vec<usize> = if n <= MAX_QUERIES {
+        (0..n).collect()
+    } else {
+        // Evenly-spaced sample across the corpus (deterministic).
+        (0..MAX_QUERIES).map(|i| i * n / MAX_QUERIES).collect()
+    };
+
+    // Flat is both a measured backend and the ground truth.
+    let t = Instant::now();
+    let mut flat = FlatIndex::new(dim);
+    for v in data.chunks_exact(dim) {
+        flat.add(v);
+    }
+    let flat_build = t.elapsed().as_secs_f64();
+    let ground_truth: Vec<Vec<af_ann::Neighbor>> =
+        queries.iter().map(|&q| flat.search(&data[q * dim..(q + 1) * dim], K)).collect();
+
+    let hnsw_params = HnswParams::default();
+    let t = Instant::now();
+    let hnsw = HnswIndex::build(&data, dim, hnsw_params);
+    let hnsw_build = t.elapsed().as_secs_f64();
+
+    let ivf_params = IvfParams::default();
+    let t = Instant::now();
+    let ivf = IvfFlatIndex::build(&data, dim, ivf_params);
+    let ivf_build = t.elapsed().as_secs_f64();
+    let n_lists = ivf.n_lists();
+
+    // Labels come from `AnnBackend` so the benchmark JSON and the config
+    // enum can never drift apart on naming.
+    let backends = vec![
+        measure_backend(
+            AnnBackend::Flat.label(),
+            Box::new(flat),
+            flat_build,
+            "exact scan".to_string(),
+            &queries,
+            &data,
+            dim,
+            &ground_truth,
+        ),
+        measure_backend(
+            AnnBackend::Hnsw(hnsw_params).label(),
+            Box::new(hnsw),
+            hnsw_build,
+            format!("m={} ef_search={}", hnsw_params.m, hnsw_params.ef_search),
+            &queries,
+            &data,
+            dim,
+            &ground_truth,
+        ),
+        measure_backend(
+            AnnBackend::Ivf(ivf_params).label(),
+            Box::new(ivf),
+            ivf_build,
+            format!("n_lists={} n_probe={}", n_lists, ivf_params.n_probe),
+            &queries,
+            &data,
+            dim,
+            &ground_truth,
+        ),
+    ];
+
+    AnnBenchReport {
+        scale: scale_name(scale),
+        n_vectors: n,
+        dim,
+        k: K,
+        queries: queries.len(),
+        backends,
+    }
+}
+
+/// Serialize the report (hand-rolled JSON: the workspace has no serde and
+/// the schema is flat).
+pub fn to_json(r: &AnnBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"experiment\": \"ann\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", r.scale));
+    out.push_str(&format!("  \"n_vectors\": {},\n", r.n_vectors));
+    out.push_str(&format!("  \"dim\": {},\n", r.dim));
+    out.push_str(&format!("  \"k\": {},\n", r.k));
+    out.push_str(&format!("  \"queries\": {},\n", r.queries));
+    out.push_str("  \"backends\": [\n");
+    for (i, b) in r.backends.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"backend\": \"{}\",\n",
+                "      \"params\": \"{}\",\n",
+                "      \"build_seconds\": {:.4},\n",
+                "      \"recall_at_k\": {:.4},\n",
+                "      \"p50_ms\": {:.4},\n",
+                "      \"p95_ms\": {:.4},\n",
+                "      \"queries_per_sec\": {:.1}\n",
+                "    }}{}\n"
+            ),
+            b.backend,
+            b.params,
+            b.build_seconds,
+            b.recall_at_k,
+            b.p50_ms,
+            b.p95_ms,
+            b.queries_per_sec,
+            if i + 1 == r.backends.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `BENCH_ann.json` (a snapshot of the latest run; unlike the
+/// throughput trajectory there is no before/after — recall is a property
+/// of the index + corpus geometry, not a trend to track against itself).
+pub fn write_json(report: &AnnBenchReport, path: &Path) {
+    std::fs::write(path, to_json(report)).expect("write BENCH_ann.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let r = AnnBenchReport {
+            scale: "tiny",
+            n_vectors: 10,
+            dim: 4,
+            k: 5,
+            queries: 10,
+            backends: vec![
+                BackendResult {
+                    backend: "flat",
+                    params: "exact scan".into(),
+                    build_seconds: 0.1,
+                    recall_at_k: 1.0,
+                    p50_ms: 0.01,
+                    p95_ms: 0.02,
+                    queries_per_sec: 1000.0,
+                },
+                BackendResult {
+                    backend: "hnsw",
+                    params: "m=16 ef_search=64".into(),
+                    build_seconds: 0.2,
+                    recall_at_k: 0.95,
+                    p50_ms: 0.005,
+                    p95_ms: 0.01,
+                    queries_per_sec: 2000.0,
+                },
+            ],
+        };
+        let json = to_json(&r);
+        assert!(json.contains("\"experiment\": \"ann\""));
+        assert!(json.contains("\"backend\": \"flat\""));
+        assert!(json.contains("\"recall_at_k\": 0.9500"));
+        // Exactly one trailing comma between the two backend objects.
+        assert_eq!(json.matches("},\n").count(), 1);
+        // Balanced braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn distance_based_recall_tolerates_duplicate_ties() {
+        // 20 identical vectors: any k of them are a correct answer; an
+        // id-based recall would report ~k/n, the distance-based one 1.0.
+        let dim = 4;
+        let data: Vec<f32> = (0..20).flat_map(|_| [1.0, 2.0, 3.0, 4.0]).collect();
+        let flat = FlatIndex::from_vectors(dim, data.chunks(dim).map(|c| c.to_vec()));
+        let gt: Vec<Vec<af_ann::Neighbor>> = vec![flat.search(&data[..dim], K)];
+        let hnsw = HnswIndex::build(&data, dim, HnswParams::default());
+        let r = measure_backend("hnsw", Box::new(hnsw), 0.0, String::new(), &[0], &data, dim, &gt);
+        assert!((r.recall_at_k - 1.0).abs() < 1e-9, "recall {}", r.recall_at_k);
+    }
+}

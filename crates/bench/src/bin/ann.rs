@@ -1,0 +1,39 @@
+//! `cargo run --release -p af-bench --bin ann` — measure recall@k vs. the
+//! flat ground truth and per-query latency for every ANN backend over the
+//! coarse sheet embeddings at the current `AF_SCALE`, and record them in
+//! `BENCH_ann.json` (pass an output path as the first argument to write
+//! elsewhere).
+
+use af_bench::ann_bench;
+use af_bench::report::{print_table, run_experiment};
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_ann.json".to_string());
+    run_experiment("ann", "BENCH_ann.json (backend recall/latency)", || {
+        let r = ann_bench::measure();
+        println!(
+            "\ncorpus: {} sheet embeddings × {} dims, {} queries, k={}",
+            r.n_vectors, r.dim, r.queries, r.k
+        );
+        print_table(
+            "ann backends",
+            &["backend", "params", "build (s)", "recall@k", "p50 (ms)", "p95 (ms)", "q/s"],
+            &r.backends
+                .iter()
+                .map(|b| {
+                    vec![
+                        b.backend.to_string(),
+                        b.params.clone(),
+                        format!("{:.3}", b.build_seconds),
+                        format!("{:.4}", b.recall_at_k),
+                        format!("{:.4}", b.p50_ms),
+                        format!("{:.4}", b.p95_ms),
+                        format!("{:.0}", b.queries_per_sec),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        ann_bench::write_json(&r, std::path::Path::new(&out));
+        println!("\nwrote {out}");
+    });
+}

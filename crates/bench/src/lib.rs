@@ -6,6 +6,7 @@
 //! regenerates Table 2 and `--bin run_all` regenerates everything.
 //! `AF_SCALE={tiny,small,full}` scales corpus sizes.
 
+pub mod ann_bench;
 pub mod experiments;
 pub mod metrics;
 pub mod report;

@@ -1,6 +1,43 @@
 //! Configuration for the Auto-Formula models and pipeline.
 
+use af_ann::{HnswParams, IvfParams};
 use af_grid::ViewWindow;
+
+/// Which `af-ann` index serves the sheet-level searches (`Idx_c`, and the
+/// fine-signature ablation index when enabled). The paper indexes with
+/// Faiss (§4.6, Fig. 8); these are the equivalent layout choices:
+///
+/// * [`AnnBackend::Flat`] — exact scan. Sub-millisecond up to tens of
+///   thousands of sheets; recall is 1.0 by construction. The default.
+/// * [`AnnBackend::Hnsw`] — graph search, `O(log n)`-ish queries. Pick for
+///   corpora past ~10⁵ sheets where a scan stops fitting the latency
+///   budget; tune `ef_search` upward if recall on family-clustered
+///   embeddings drops (near-duplicate clumps are the hard case).
+/// * [`AnnBackend::Ivf`] — k-means inverted lists (IVF-Flat). Cheapest to
+///   build at scale; `n_probe` trades recall for speed. The quantizer is
+///   trained at build time and frozen — after heavy incremental growth,
+///   rebuild to re-balance the lists.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum AnnBackend {
+    /// Exact linear scan (ground truth, the default).
+    #[default]
+    Flat,
+    /// Hierarchical navigable small-world graph with these parameters.
+    Hnsw(HnswParams),
+    /// IVF-Flat inverted lists with these parameters.
+    Ivf(IvfParams),
+}
+
+impl AnnBackend {
+    /// Stable lower-case label (used in benchmark reports and JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnnBackend::Flat => "flat",
+            AnnBackend::Hnsw(_) => "hnsw",
+            AnnBackend::Ivf(_) => "ivf",
+        }
+    }
+}
 
 /// All tunables in one place. Defaults are the laptop-scale settings
 /// documented in DESIGN.md (the paper's full-scale values in comments).
@@ -53,6 +90,8 @@ pub struct AutoFormulaConfig {
     /// Cap on worker threads for batch sheet embedding at index-build time
     /// (0 = use every available core).
     pub embed_threads: usize,
+    /// ANN backend serving the sheet-level indexes (see [`AnnBackend`]).
+    pub ann_backend: AnnBackend,
 }
 
 impl Default for AutoFormulaConfig {
@@ -78,6 +117,7 @@ impl Default for AutoFormulaConfig {
             search_parallel_threshold: 0,
             search_threads: 0,
             embed_threads: 0,
+            ann_backend: AnnBackend::Flat,
         }
     }
 }

@@ -2,12 +2,32 @@
 //! an ANN index — and `Idx_f` — fine region embeddings for every formula
 //! cell in the reference corpus.
 
+use crate::config::{AnnBackend, AutoFormulaConfig};
 use crate::embedder::{SheetEmbedder, SheetEmbedding};
 use crate::features::WindowOrigin;
-use af_ann::{FlatIndex, VectorIndex};
+use af_ann::{FlatIndex, HnswIndex, IvfFlatIndex, VectorIndex};
 use af_grid::{CellRef, Sheet, Workbook};
 use af_nn::Tensor;
 use std::time::Instant;
+
+/// Build a sheet-level ANN index over row-major `data` using the backend
+/// selected in the config. Every backend supports incremental
+/// [`VectorIndex::add`] afterwards, so `ReferenceIndex::add_workbook`
+/// works identically regardless of this choice.
+fn build_ann_index(cfg: &AutoFormulaConfig, dim: usize, data: &[f32]) -> Box<dyn VectorIndex> {
+    match cfg.ann_backend {
+        AnnBackend::Flat => {
+            let mut idx = FlatIndex::new(dim)
+                .with_parallelism(cfg.search_parallel_threshold, cfg.search_threads);
+            for v in data.chunks_exact(dim) {
+                idx.add(v);
+            }
+            Box::new(idx)
+        }
+        AnnBackend::Hnsw(params) => Box::new(HnswIndex::build(data, dim, params)),
+        AnnBackend::Ivf(params) => Box::new(IvfFlatIndex::build(data, dim, params)),
+    }
+}
 
 /// Identifies a sheet in the reference workbook collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,15 +59,16 @@ pub struct IndexOptions {
 pub struct ReferenceIndex {
     pub keys: Vec<SheetKey>,
     pub embeddings: Vec<SheetEmbedding>,
-    /// Exact scan over coarse sheet embeddings. Corpus-scale sheet counts
-    /// (hundreds to tens of thousands of 64-d vectors) scan in well under a
-    /// millisecond; `af-ann`'s HNSW/IVF remain available for larger
-    /// deployments, but family-clustered embeddings (dozens of near-
-    /// duplicate clumps) degrade graph-index recall, so exact search is
-    /// the default — matching Faiss `IndexFlat`, which the paper's scale
-    /// numbers also support (Fig. 8 stays sub-second at 10K sheets).
-    coarse: FlatIndex,
-    fine_sheets: Option<af_ann::FlatIndex>,
+    /// Coarse sheet-embedding index (`Idx_c`), on the backend selected by
+    /// [`AutoFormulaConfig::ann_backend`]. Flat (exact scan) is the
+    /// default — corpus-scale sheet counts (hundreds to tens of thousands
+    /// of 64-d vectors) scan in well under a millisecond, matching Faiss
+    /// `IndexFlat` — while HNSW/IVF serve SpreadsheetCoder-scale corpora
+    /// (millions of sheets) where a scan stops being viable; measured
+    /// recall/latency per backend lives in `BENCH_ann.json`.
+    coarse: Box<dyn VectorIndex>,
+    /// Fine top-left-signature index (fine-only ablation), same backend.
+    fine_sheets: Option<Box<dyn VectorIndex>>,
     pub regions: Vec<RegionEntry>,
     region_vecs: Vec<Vec<f32>>,
     coarse_region_vecs: Option<Vec<Vec<f32>>>,
@@ -94,21 +115,22 @@ impl ReferenceIndex {
             }
         });
 
-        // Coarse sheet index. Scan parallelism follows the config knobs.
+        // Coarse sheet index on the configured backend (batch build: IVF
+        // trains its quantizer here; Flat/HNSW append).
         let cfg = embedder.cfg();
         let coarse_dim = cfg.coarse_dim;
-        let mut coarse = FlatIndex::new(coarse_dim)
-            .with_parallelism(cfg.search_parallel_threshold, cfg.search_threads);
+        let mut coarse_data = Vec::with_capacity(embeddings.len() * coarse_dim);
         for e in &embeddings {
-            coarse.add(&e.coarse);
+            coarse_data.extend_from_slice(&e.coarse);
         }
+        let coarse = build_ann_index(cfg, coarse_dim, &coarse_data);
         let fine_sheets = opts.fine_sheet_signatures.then(|| {
-            let mut idx = af_ann::FlatIndex::new(cfg.fine_dim())
-                .with_parallelism(cfg.search_parallel_threshold, cfg.search_threads);
+            let fine_dim = cfg.fine_dim();
+            let mut sig_data = Vec::with_capacity(embeddings.len() * fine_dim);
             for e in &embeddings {
-                idx.add(e.fine_topleft.as_ref().expect("signatures requested"));
+                sig_data.extend_from_slice(e.fine_topleft.as_ref().expect("signatures requested"));
             }
-            idx
+            build_ann_index(cfg, fine_dim, &sig_data)
         });
 
         // Region index: every formula cell.
@@ -148,20 +170,29 @@ impl ReferenceIndex {
 
     /// Incrementally index one more workbook (the production path when a
     /// user saves a new spreadsheet: no rebuild of the whole org index).
+    ///
+    /// The options in force are derived from the structures actually
+    /// present on `self`, not taken from the caller: trusting a caller-
+    /// supplied `IndexOptions` that disagreed with the build-time options
+    /// used to silently desync the optional indexes — `fine_sheets`
+    /// skipped the add (shifting every later id returned by
+    /// [`ReferenceIndex::similar_sheets_fine`]) and `coarse_region_vecs`
+    /// stopped growing while `regions` grew (out-of-bounds panic in
+    /// [`ReferenceIndex::coarse_region_vec`] for new regions).
     pub fn add_workbook(
         &mut self,
         embedder: &SheetEmbedder<'_>,
         workbooks: &[Workbook],
         workbook: usize,
-        opts: IndexOptions,
     ) {
+        let fine_signatures = self.fine_sheets.is_some();
         for (si, sheet) in workbooks[workbook].sheets.iter().enumerate() {
             let sheet_idx = self.keys.len();
             self.keys.push(SheetKey { workbook, sheet: si });
-            let emb = embedder.embed_sheet(sheet, opts.fine_sheet_signatures);
+            let emb = embedder.embed_sheet(sheet, fine_signatures);
             self.coarse.add(&emb.coarse);
-            if let (Some(idx), Some(sig)) = (self.fine_sheets.as_mut(), emb.fine_topleft.as_ref()) {
-                idx.add(sig);
+            if let Some(idx) = self.fine_sheets.as_mut() {
+                idx.add(emb.fine_topleft.as_ref().expect("signature computed"));
             }
             self.regions_by_sheet.push(Vec::new());
             let mut locs: Vec<(CellRef, String)> =
@@ -293,29 +324,125 @@ mod tests {
         assert!(plain.coarse_region_vec(0).is_none());
     }
 
+    /// The three backends the parity tests sweep. IVF probes every list so
+    /// rankings are exhaustive and independent of where the quantizer was
+    /// trained (incremental and full builds see different corpora).
+    fn backends() -> [AnnBackend; 3] {
+        [
+            AnnBackend::Flat,
+            AnnBackend::Hnsw(af_ann::HnswParams::default()),
+            AnnBackend::Ivf(af_ann::IvfParams {
+                n_lists: 4,
+                n_probe: usize::MAX,
+                ..Default::default()
+            }),
+        ]
+    }
+
+    fn setup_with_backend(
+        backend: AnnBackend,
+    ) -> (RepresentationModel, CellFeaturizer, af_corpus::OrgCorpus) {
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = AutoFormulaConfig { ann_backend: backend, ..AutoFormulaConfig::test_tiny() };
+        let model = RepresentationModel::new(featurizer.dim(), cfg);
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        (model, featurizer, corpus)
+    }
+
     #[test]
     fn incremental_add_matches_full_build() {
+        // Runs over all three backends and both option sets: incremental
+        // growth must serve exactly like a from-scratch rebuild.
+        for backend in backends() {
+            for opts in [
+                IndexOptions::default(),
+                IndexOptions { fine_sheet_signatures: true, coarse_regions: true },
+            ] {
+                let (model, feat, corpus) = setup_with_backend(backend);
+                let embedder = SheetEmbedder::new(&model, &feat);
+                let members: Vec<usize> = (0..5).collect();
+                let full = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, opts);
+                let mut incremental =
+                    ReferenceIndex::build(&embedder, &corpus.workbooks, &members[..3], opts);
+                incremental.add_workbook(&embedder, &corpus.workbooks, 3);
+                incremental.add_workbook(&embedder, &corpus.workbooks, 4);
+                let tag = format!("{backend:?} fine={}", opts.fine_sheet_signatures);
+                assert_eq!(incremental.n_sheets(), full.n_sheets(), "{tag}");
+                assert_eq!(incremental.n_regions(), full.n_regions(), "{tag}");
+                // Coarse queries agree.
+                let emb = embedder
+                    .embed_sheet(&corpus.workbooks[4].sheets[0], opts.fine_sheet_signatures);
+                let a: Vec<usize> =
+                    full.similar_sheets(&emb.coarse, 3).iter().map(|n| n.id).collect();
+                let b: Vec<usize> =
+                    incremental.similar_sheets(&emb.coarse, 3).iter().map(|n| n.id).collect();
+                assert_eq!(a, b, "{tag}");
+                // Fine-signature queries agree too (when built).
+                if opts.fine_sheet_signatures {
+                    let sig = emb.fine_topleft.as_ref().unwrap();
+                    let a: Vec<usize> = full
+                        .similar_sheets_fine(sig, 3)
+                        .expect("built with signatures")
+                        .iter()
+                        .map(|n| n.id)
+                        .collect();
+                    let b: Vec<usize> = incremental
+                        .similar_sheets_fine(sig, 3)
+                        .expect("grown with signatures")
+                        .iter()
+                        .map(|n| n.id)
+                        .collect();
+                    assert_eq!(a, b, "{tag}");
+                }
+                // Per-region lookups stay in bounds and consistent.
+                for rid in 0..incremental.n_regions() {
+                    assert_eq!(
+                        incremental.region_vec(rid),
+                        full.region_vec(rid),
+                        "{tag} region {rid}"
+                    );
+                    assert_eq!(
+                        incremental.coarse_region_vec(rid).is_some(),
+                        opts.coarse_regions,
+                        "{tag} region {rid}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_workbook_keeps_optional_indexes_in_sync() {
+        // Regression: `add_workbook` used to trust a caller-supplied
+        // `IndexOptions`. A caller passing the (former) default options to
+        // an index *built* with signatures+coarse-regions silently skipped
+        // the fine-sheet add — every id returned by `similar_sheets_fine`
+        // for later sheets was off by the number of skipped adds — and the
+        // analogous desync made `coarse_region_vec` panic out of bounds.
+        // Options are now derived from `self`, so the incremental path
+        // cannot diverge from the build-time structures.
         let (model, feat, corpus) = setup();
         let embedder = SheetEmbedder::new(&model, &feat);
-        let members: Vec<usize> = (0..5).collect();
-        let full =
-            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
-        let mut incremental = ReferenceIndex::build(
-            &embedder,
-            &corpus.workbooks,
-            &members[..3],
-            IndexOptions::default(),
-        );
-        incremental.add_workbook(&embedder, &corpus.workbooks, 3, IndexOptions::default());
-        incremental.add_workbook(&embedder, &corpus.workbooks, 4, IndexOptions::default());
-        assert_eq!(incremental.n_sheets(), full.n_sheets());
-        assert_eq!(incremental.n_regions(), full.n_regions());
-        // Queries agree.
-        let emb = embedder.embed_sheet(&corpus.workbooks[4].sheets[0], false);
-        let a: Vec<usize> = full.similar_sheets(&emb.coarse, 3).iter().map(|n| n.id).collect();
-        let b: Vec<usize> =
-            incremental.similar_sheets(&emb.coarse, 3).iter().map(|n| n.id).collect();
-        assert_eq!(a, b);
+        let members: Vec<usize> = (0..3).collect();
+        let opts = IndexOptions { fine_sheet_signatures: true, coarse_regions: true };
+        let mut idx = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, opts);
+        idx.add_workbook(&embedder, &corpus.workbooks, 3);
+
+        // Self-query through the fine-signature index must return the new
+        // sheet's id (pre-fix: the signature was never indexed, so the id
+        // either pointed at an old sheet or was absent entirely).
+        let new_sheet_idx = idx.keys.iter().position(|k| k.workbook == 3).unwrap();
+        let emb = embedder.embed_sheet(&corpus.workbooks[3].sheets[0], true);
+        let hits = idx.similar_sheets_fine(emb.fine_topleft.as_ref().unwrap(), 1).unwrap();
+        assert_eq!(hits[0].id, new_sheet_idx);
+        assert!(hits[0].dist < 1e-6);
+
+        // Every region added incrementally must have a coarse region vector
+        // (pre-fix shape: `regions` grew while `coarse_region_vecs` could
+        // not, panicking here).
+        for &rid in idx.regions_of_sheet(new_sheet_idx) {
+            assert!(idx.coarse_region_vec(rid).is_some());
+        }
     }
 
     #[test]

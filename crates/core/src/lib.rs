@@ -24,7 +24,7 @@ pub mod model;
 pub mod pipeline;
 pub mod training;
 
-pub use config::AutoFormulaConfig;
+pub use config::{AnnBackend, AutoFormulaConfig};
 pub use embedder::{SheetEmbedder, SheetEmbedding};
 pub use index::{ReferenceIndex, SheetKey};
 pub use model::RepresentationModel;

@@ -298,19 +298,61 @@ mod tests {
         );
     }
 
+    fn all_backends() -> [crate::config::AnnBackend; 3] {
+        [
+            crate::config::AnnBackend::Flat,
+            crate::config::AnnBackend::Hnsw(af_ann::HnswParams::default()),
+            crate::config::AnnBackend::Ivf(af_ann::IvfParams::default()),
+        ]
+    }
+
     #[test]
-    fn empty_index_returns_none() {
+    fn empty_index_returns_none_on_every_backend() {
+        // Regression (IVF): building over zero reference workbooks used to
+        // panic inside `IvfFlatIndex::build`, so backend choice changed
+        // cold-start crash behavior.
         let corpus = OrgSpec::pge(Scale::Tiny).generate();
-        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
-        let cfg = AutoFormulaConfig::test_tiny();
-        let af =
-            AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
-        let index = af.build_index(&corpus.workbooks, &[], IndexOptions::default());
-        let sheet = &corpus.workbooks[0].sheets[0];
-        let target: CellRef = "D5".parse().unwrap();
-        assert!(af
-            .predict_with(&index, &corpus.workbooks, sheet, target, PipelineVariant::Full)
-            .is_none());
+        for backend in all_backends() {
+            let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+            let cfg = AutoFormulaConfig { ann_backend: backend, ..AutoFormulaConfig::test_tiny() };
+            let af = AutoFormula::from_model(
+                RepresentationModel::new(featurizer.dim(), cfg),
+                featurizer,
+            );
+            let index = af.build_index(&corpus.workbooks, &[], IndexOptions::default());
+            let sheet = &corpus.workbooks[0].sheets[0];
+            let target: CellRef = "D5".parse().unwrap();
+            assert!(
+                af.predict_with(&index, &corpus.workbooks, sheet, target, PipelineVariant::Full)
+                    .is_none(),
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_backend_serves_the_full_pipeline() {
+        // Self-query: a reference sheet queried unmasked has an identical
+        // indexed region (S2 distance ≈ 0), so even an untrained model
+        // must recover the exact formula — on every ANN backend.
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        for backend in all_backends() {
+            let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+            let cfg = AutoFormulaConfig { ann_backend: backend, ..AutoFormulaConfig::test_tiny() };
+            let af = AutoFormula::from_model(
+                RepresentationModel::new(featurizer.dim(), cfg),
+                featurizer,
+            );
+            let members: Vec<usize> = (0..4).collect();
+            let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+            let sheet = &corpus.workbooks[0].sheets[0];
+            let (target, gt) = sheet.formulas().next().expect("a formula cell");
+            let pred = af
+                .predict_with(&index, &corpus.workbooks, sheet, target, PipelineVariant::Full)
+                .unwrap_or_else(|| panic!("{backend:?} must serve a prediction"));
+            assert!(pred.s2_distance < 1e-5, "{backend:?}: self-region must be found");
+            assert_eq!(pred.formula, parse_formula(gt).unwrap().to_string(), "{backend:?}");
+        }
     }
 
     #[test]

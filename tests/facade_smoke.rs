@@ -29,11 +29,12 @@ fn all_eight_reexported_modules_are_reachable() {
     let t = nn::Tensor::zeros(vec![1, 4]);
     assert_eq!(t.data.len(), 4);
 
-    // ann: exact search over two points.
+    // ann: exact search over two points (add/search live on VectorIndex).
+    use ann::VectorIndex as _;
     let mut index = ann::FlatIndex::new(2);
     index.add(&[0.0, 0.0]);
     index.add(&[3.0, 4.0]);
-    let hits = ann::VectorIndex::search(&index, &[0.1, 0.0], 1);
+    let hits = index.search(&[0.1, 0.0], 1);
     assert_eq!(hits[0].id, 0);
 
     // corpus: a seeded tiny organization generates workbooks.
