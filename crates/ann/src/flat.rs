@@ -2,8 +2,10 @@
 //! tested against, and fast enough in practice for the fine-grained
 //! region index sizes this workspace produces.
 
+use crate::codec::{self, CodecError};
 use crate::metric::{l2_sq, Neighbor, TopK};
 use crate::VectorIndex;
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// A flat index: vectors stored contiguously, searched by linear scan.
 /// Scans parallelize across threads once the corpus is large enough to
@@ -52,6 +54,21 @@ impl FlatIndex {
 
     pub fn vector(&self, id: usize) -> &[f32] {
         &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Rebuild from bytes written by [`VectorIndex::encode`].
+    pub(crate) fn decode_state(data: &mut Bytes) -> Result<FlatIndex, CodecError> {
+        let dim = codec::get_u32(data)? as usize;
+        if dim == 0 {
+            return Err(CodecError::Invalid("flat index dimension must be positive"));
+        }
+        let parallel_threshold = codec::get_u64(data)? as usize;
+        let max_scan_threads = codec::get_u64(data)? as usize;
+        let vec_data = codec::get_f32s(data)?;
+        if vec_data.len() % dim != 0 {
+            return Err(CodecError::Invalid("flat data is not a whole number of vectors"));
+        }
+        Ok(FlatIndex { dim, data: vec_data, parallel_threshold, max_scan_threads })
     }
 
     fn scan_range(&self, query: &[f32], k: usize, lo: usize, hi: usize) -> Vec<Neighbor> {
@@ -127,6 +144,18 @@ impl VectorIndex for FlatIndex {
             }
         }
         top.into_sorted()
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(codec::TAG_FLAT);
+        buf.put_u32(self.dim as u32);
+        buf.put_u64(self.parallel_threshold as u64);
+        buf.put_u64(self.max_scan_threads as u64);
+        codec::put_f32s(buf, &self.data);
+    }
+
+    fn clone_box(&self) -> Box<dyn VectorIndex> {
+        Box::new(self.clone())
     }
 }
 

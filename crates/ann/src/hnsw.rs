@@ -1,8 +1,10 @@
 //! HNSW — Hierarchical Navigable Small World graphs (Malkov & Yashunin),
 //! the graph-based ANN index used for the coarse-grained sheet index.
 
+use crate::codec::{self, CodecError};
 use crate::metric::{l2_sq, Neighbor, TopK};
 use crate::VectorIndex;
+use bytes::{BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BinaryHeap;
@@ -45,6 +47,7 @@ impl Ord for MinCand {
 }
 
 /// An HNSW graph index over vectors inserted one at a time.
+#[derive(Clone)]
 pub struct HnswIndex {
     dim: usize,
     params: HnswParams,
@@ -160,6 +163,75 @@ impl HnswIndex {
     fn node_at_layer(&self, node: usize, layer: usize) -> bool {
         (self.node_layer[node] as usize) >= layer
     }
+
+    /// Rebuild from bytes written by [`VectorIndex::encode`]. The RNG is
+    /// not stored: it is reseeded from `params.seed` and fast-forwarded by
+    /// one draw per node (exactly what construction consumed), so `add`
+    /// after a load assigns the same levels as `add` on the original.
+    pub(crate) fn decode_state(data: &mut Bytes) -> Result<HnswIndex, CodecError> {
+        let dim = codec::get_u32(data)? as usize;
+        let m = codec::get_u64(data)? as usize;
+        let ef_construction = codec::get_u64(data)? as usize;
+        let ef_search = codec::get_u64(data)? as usize;
+        let seed = codec::get_u64(data)?;
+        if dim == 0 || m < 2 {
+            return Err(CodecError::Invalid("hnsw dim must be positive and m >= 2"));
+        }
+        let params = HnswParams { m, ef_construction, ef_search, seed };
+        let n = codec::get_count(data, dim.checked_mul(4).ok_or(CodecError::Truncated)?)?;
+        let vec_data = codec::get_f32s_exact(data, n * dim)?;
+        let mut node_layer = Vec::with_capacity(n);
+        for _ in 0..n {
+            node_layer.push(codec::get_u8(data)?);
+        }
+        let entry_raw = codec::get_u64(data)?;
+        let entry = if entry_raw == u64::MAX { None } else { Some(entry_raw as usize) };
+        match entry {
+            None if n > 0 => return Err(CodecError::Invalid("non-empty hnsw without entry")),
+            Some(e) if e >= n => return Err(CodecError::Invalid("hnsw entry out of range")),
+            _ => {}
+        }
+        let n_layers = codec::get_u64(data)? as usize;
+        // Levels are capped at 12 during construction, so any sane graph
+        // has at most 13 layers; reject absurd counts before allocating.
+        if n_layers == 0 || n_layers > 64 {
+            return Err(CodecError::Invalid("hnsw layer count out of range"));
+        }
+        if node_layer.iter().any(|&l| l as usize >= n_layers) {
+            return Err(CodecError::Invalid("hnsw node level exceeds layer count"));
+        }
+        let mut links: Vec<Vec<Vec<u32>>> = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let mut layer = Vec::with_capacity(n);
+            for _ in 0..n {
+                let deg = codec::get_count(data, 4)?;
+                let mut nbrs = Vec::with_capacity(deg);
+                for _ in 0..deg {
+                    let nb = codec::get_u32(data)?;
+                    if nb as usize >= n {
+                        return Err(CodecError::Invalid("hnsw link out of range"));
+                    }
+                    nbrs.push(nb);
+                }
+                layer.push(nbrs);
+            }
+            links.push(layer);
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        for _ in 0..n {
+            let _: f64 = rng.random_range(f64::EPSILON..1.0);
+        }
+        Ok(HnswIndex {
+            dim,
+            params,
+            data: vec_data,
+            links,
+            node_layer,
+            entry,
+            rng,
+            level_norm: 1.0 / (params.m as f64).ln(),
+        })
+    }
 }
 
 impl VectorIndex for HnswIndex {
@@ -243,6 +315,35 @@ impl VectorIndex for HnswIndex {
         let mut found = self.search_layer(query, cur, ef, 0);
         found.truncate(k);
         found
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(codec::TAG_HNSW);
+        buf.put_u32(self.dim as u32);
+        buf.put_u64(self.params.m as u64);
+        buf.put_u64(self.params.ef_construction as u64);
+        buf.put_u64(self.params.ef_search as u64);
+        buf.put_u64(self.params.seed);
+        buf.put_u64(self.len() as u64);
+        codec::put_f32s(buf, &self.data);
+        for &l in &self.node_layer {
+            buf.put_u8(l);
+        }
+        buf.put_u64(self.entry.map_or(u64::MAX, |e| e as u64));
+        buf.put_u64(self.links.len() as u64);
+        for layer in &self.links {
+            debug_assert_eq!(layer.len(), self.len());
+            for nbrs in layer {
+                buf.put_u64(nbrs.len() as u64);
+                for &nb in nbrs {
+                    buf.put_u32(nb);
+                }
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn VectorIndex> {
+        Box::new(self.clone())
     }
 }
 

@@ -1,9 +1,11 @@
 //! IVF-Flat: k-means coarse quantizer + inverted lists, the classic Faiss
 //! index layout.
 
+use crate::codec::{self, CodecError};
 use crate::kmeans::{kmeans, KMeansResult};
 use crate::metric::{l2_sq, Neighbor, TopK};
 use crate::VectorIndex;
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// Build parameters for [`IvfFlatIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +26,7 @@ impl Default for IvfParams {
 
 /// An IVF-Flat index: vectors are bucketed by nearest centroid; queries
 /// probe the `n_probe` closest buckets.
+#[derive(Clone)]
 pub struct IvfFlatIndex {
     dim: usize,
     n: usize,
@@ -125,6 +128,60 @@ impl IvfFlatIndex {
         self.list_ids = list_ids;
         self.list_data = list_data;
     }
+
+    /// Rebuild from bytes written by [`VectorIndex::encode`]. Per-point
+    /// assignments are reconstructed from the inverted lists (the lists are
+    /// the ground truth; the assignment table is redundant on the wire).
+    pub(crate) fn decode_state(data: &mut Bytes) -> Result<IvfFlatIndex, CodecError> {
+        let dim = codec::get_u32(data)? as usize;
+        if dim == 0 {
+            return Err(CodecError::Invalid("ivf dimension must be positive"));
+        }
+        let n = codec::get_u64(data)? as usize;
+        let params = IvfParams {
+            n_lists: codec::get_u64(data)? as usize,
+            n_probe: codec::get_u64(data)? as usize,
+            kmeans_iters: codec::get_u64(data)? as usize,
+            seed: codec::get_u64(data)?,
+        };
+        let trained = match codec::get_u8(data)? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Invalid("ivf trained flag must be 0 or 1")),
+        };
+        let inertia = codec::get_u64(data).map(f64::from_bits)? as f32;
+        let k = codec::get_count(data, dim.checked_mul(4).ok_or(CodecError::Truncated)?)?;
+        if k == 0 && n > 0 {
+            return Err(CodecError::Invalid("non-empty ivf without centroids"));
+        }
+        let centroids = codec::get_f32s_exact(data, k * dim)?;
+        let mut list_ids: Vec<Vec<usize>> = Vec::with_capacity(k);
+        let mut list_data: Vec<Vec<f32>> = Vec::with_capacity(k);
+        let mut assignments = vec![usize::MAX; n];
+        for c in 0..k {
+            let ids = codec::get_u64s(data)?;
+            let vecs = codec::get_f32s_exact(
+                data,
+                ids.len().checked_mul(dim).ok_or(CodecError::Truncated)?,
+            )?;
+            for &id in &ids {
+                if id >= n {
+                    return Err(CodecError::Invalid("ivf list id out of range"));
+                }
+                if assignments[id] != usize::MAX {
+                    return Err(CodecError::Invalid("ivf id assigned to two lists"));
+                }
+                assignments[id] = c;
+            }
+            list_ids.push(ids);
+            list_data.push(vecs);
+        }
+        if assignments.contains(&usize::MAX) {
+            return Err(CodecError::Invalid("ivf lists do not cover every id"));
+        }
+        let quantizer = KMeansResult { k, dim, centroids, assignments, inertia };
+        Ok(IvfFlatIndex { dim, n, params, quantizer, list_ids, list_data, trained })
+    }
 }
 
 impl VectorIndex for IvfFlatIndex {
@@ -181,6 +238,28 @@ impl VectorIndex for IvfFlatIndex {
             }
         }
         top.into_sorted()
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(codec::TAG_IVF);
+        buf.put_u32(self.dim as u32);
+        buf.put_u64(self.n as u64);
+        buf.put_u64(self.params.n_lists as u64);
+        buf.put_u64(self.params.n_probe as u64);
+        buf.put_u64(self.params.kmeans_iters as u64);
+        buf.put_u64(self.params.seed);
+        buf.put_u8(self.trained as u8);
+        buf.put_u64((self.quantizer.inertia as f64).to_bits());
+        buf.put_u64(self.quantizer.k as u64);
+        codec::put_f32s(buf, &self.quantizer.centroids);
+        for (ids, data) in self.list_ids.iter().zip(&self.list_data) {
+            codec::put_u64s(buf, ids.iter().map(|&id| id as u64));
+            codec::put_f32s(buf, data);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn VectorIndex> {
+        Box::new(self.clone())
     }
 }
 

@@ -15,6 +15,7 @@
 //! workspace produces are L2-normalized, making squared-L2 ordering
 //! identical to cosine ordering.
 
+pub mod codec;
 pub mod flat;
 pub mod hnsw;
 pub mod ivf;
@@ -38,6 +39,7 @@ pub mod test_util {
     }
 }
 
+pub use codec::{load_index, save_index, CodecError};
 pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};
 pub use ivf::{IvfFlatIndex, IvfParams};
@@ -57,6 +59,13 @@ pub trait VectorIndex: Send + Sync {
     /// production path when a reference corpus grows after the index is
     /// built — no backend requires a rebuild.
     fn add(&mut self, v: &[f32]) -> usize;
+    /// Append the complete index state (backend tag + payload) to `buf`;
+    /// [`codec::load_index`] rebuilds the concrete type from it.
+    fn encode(&self, buf: &mut bytes::BytesMut);
+    /// Deep-copy into a fresh boxed index. This is what lets a serving
+    /// snapshot grow a copy of an index while readers keep using the
+    /// original.
+    fn clone_box(&self) -> Box<dyn VectorIndex>;
 
     fn is_empty(&self) -> bool {
         self.len() == 0

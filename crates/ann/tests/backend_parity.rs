@@ -106,6 +106,52 @@ fn add_after_build_matches_from_scratch_rebuild() {
 }
 
 #[test]
+fn save_load_round_trip_preserves_every_backend() {
+    // The artifact path: encode → decode must reproduce search results
+    // exactly, and an index grown *after* a round trip must serve exactly
+    // like one that was never serialized (HNSW replays its level RNG from
+    // the stored seed; IVF rebuilds assignments from its lists).
+    let dim = 10;
+    let data = dataset(150, dim, 50);
+    let extra = dataset(30, dim, 51);
+    let queries = dataset(12, dim, 52);
+    for backend in BACKENDS {
+        let mut live = build(backend, &data, dim);
+        let mut bytes = af_ann::save_index(live.as_ref());
+        let mut loaded = af_ann::load_index(&mut bytes).expect("round trip");
+        assert_eq!(loaded.len(), live.len(), "{backend}");
+        assert_eq!(loaded.dim(), live.dim(), "{backend}");
+        for q in queries.chunks(dim) {
+            assert_eq!(loaded.search(q, 8), live.search(q, 8), "{backend}");
+        }
+        for v in extra.chunks(dim) {
+            assert_eq!(live.add(v), loaded.add(v), "{backend}: ids stay dense");
+        }
+        for q in queries.chunks(dim) {
+            assert_eq!(
+                loaded.search(q, 8),
+                live.search(q, 8),
+                "{backend}: growth after load must match growth without serialization"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_index_bytes_error_on_every_backend() {
+    let dim = 7;
+    let data = dataset(60, dim, 53);
+    for backend in BACKENDS {
+        let idx = build(backend, &data, dim);
+        let bytes = af_ann::save_index(idx.as_ref());
+        for cut in 0..bytes.len() {
+            let mut head = bytes.slice(0..cut);
+            assert!(af_ann::load_index(&mut head).is_err(), "{backend} cut at {cut}");
+        }
+    }
+}
+
+#[test]
 fn add_into_empty_matches_batch_build() {
     let dim = 6;
     let data = dataset(80, dim, 48);

@@ -93,13 +93,7 @@ fn bench_predict(c: &mut Criterion) {
     let masked = masked_sheet(sheet, tc.target);
     c.bench_function("autoformula_predict_e2e", |b| {
         b.iter(|| {
-            black_box(af.predict_with(
-                &index,
-                &corpus.workbooks,
-                black_box(&masked),
-                tc.target,
-                PipelineVariant::Full,
-            ))
+            black_box(af.predict_with(&index, black_box(&masked), tc.target, PipelineVariant::Full))
         })
     });
 }

@@ -1,0 +1,56 @@
+//! `cargo run --release -p af-bench --bin serve` — measure the serving
+//! layer at the current `AF_SCALE`: artifact size, cold-start load vs full
+//! index rebuild, and concurrent/micro-batched query latency through the
+//! lock-free `ServeHandle`. Results land in `BENCH_serve.json` (pass an
+//! output path as the first argument to write elsewhere).
+
+use af_bench::report::{print_table, run_experiment};
+use af_bench::serve_bench;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
+    run_experiment("serve", "BENCH_serve.json (artifact + serving latency)", || {
+        let r = serve_bench::measure();
+        println!(
+            "\nindex: {} sheets, {} regions → artifact {:.1} KiB",
+            r.n_sheets,
+            r.n_regions,
+            r.artifact_bytes as f64 / 1024.0
+        );
+        print_table(
+            "cold start",
+            &["path", "ms"],
+            &[
+                vec!["rebuild (embed + index)".into(), format!("{:.2}", r.rebuild_ms)],
+                vec!["artifact load".into(), format!("{:.2}", r.load_ms)],
+                vec!["speedup".into(), format!("{:.1}x", r.load_speedup)],
+            ],
+        );
+        print_table(
+            "query latency",
+            &["mode", "p50 (ms)", "p99 (ms)", "q/s"],
+            &[
+                vec![
+                    "sequential".into(),
+                    format!("{:.3}", r.sequential_p50_ms),
+                    format!("{:.3}", r.sequential_p99_ms),
+                    String::new(),
+                ],
+                vec![
+                    format!("concurrent x{}", r.concurrent_readers),
+                    format!("{:.3}", r.concurrent_p50_ms),
+                    format!("{:.3}", r.concurrent_p99_ms),
+                    format!("{:.0}", r.concurrent_queries_per_sec),
+                ],
+                vec![
+                    "micro-batched".into(),
+                    String::new(),
+                    String::new(),
+                    format!("{:.0}", r.batch_queries_per_sec),
+                ],
+            ],
+        );
+        serve_bench::write_json(&r, std::path::Path::new(&out));
+        println!("\nwrote {out}");
+    });
+}

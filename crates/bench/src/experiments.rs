@@ -432,13 +432,7 @@ pub fn fig8() {
                 let sheet = &pool.workbooks[wi].sheets[0];
                 if let Some((target, _)) = sheet.formulas().next() {
                     let masked = masked_sheet(sheet, target);
-                    let _ = af.predict_with(
-                        &index,
-                        &pool.workbooks,
-                        &masked,
-                        target,
-                        PipelineVariant::Full,
-                    );
+                    let _ = af.predict_with(&index, &masked, target, PipelineVariant::Full);
                     made += 1;
                 }
             }

@@ -12,6 +12,7 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod serve_bench;
 pub mod throughput;
 
 pub use metrics::{pr_curve, quality, PrPoint, Quality};

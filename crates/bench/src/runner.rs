@@ -52,7 +52,7 @@ pub fn evaluate_autoformula(
         let gt_expr = parse_formula(&tc.ground_truth).ok();
         let gt_canonical = gt_expr.as_ref().map(|e| e.to_string());
         let started = Instant::now();
-        let pred = af.predict_with(index, &corpus.workbooks, &masked, tc.target, variant);
+        let pred = af.predict_with(index, &masked, tc.target, variant);
         let latency_ms = started.elapsed().as_secs_f64() * 1000.0;
         let (dist, correct) = match (&pred, &gt_canonical) {
             (Some(p), Some(gt)) => (Some(p.s2_distance), &p.formula == gt),

@@ -127,7 +127,7 @@ impl Scenario {
             }
         }
         eprintln!("[scenario] training system {:?} …", spec);
-        let (mut af, report) = AutoFormula::train(
+        let (af, report) = AutoFormula::train(
             &self.universe.workbooks,
             featurizer,
             cfg,

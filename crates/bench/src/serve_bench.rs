@@ -1,0 +1,288 @@
+//! Serving benchmark: the numbers behind the artifact + `af-serve` layer.
+//!
+//! Measures, at the current `AF_SCALE`:
+//! * **artifact size** — bytes of a full `AutoFormula::save` (config +
+//!   featurizer + model + self-contained index);
+//! * **cold-start load vs rebuild** — `AutoFormula::load` from bytes
+//!   against re-embedding the reference corpus with `build_index` (the
+//!   only option before artifacts existed). The ratio is the point of the
+//!   persistence layer: a serving process restarts in milliseconds instead
+//!   of re-running the embedding model over every reference sheet;
+//! * **concurrent query latency** — p50/p99 of `ServeHandle` predictions
+//!   under multi-threaded load (readers are lock-free), plus the
+//!   micro-batched `predict_batch` throughput.
+//!
+//! Results are written to `BENCH_serve.json`. The committed file is a
+//! small-scale baseline from the fixed benchmark machine; the CI smoke job
+//! regenerates tiny-scale numbers per PR.
+
+use af_core::pipeline::{AutoFormula, PipelineVariant};
+use af_core::{index::IndexOptions, AutoFormulaConfig};
+use af_corpus::organization::{OrgSpec, Scale};
+use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+use af_grid::CellRef;
+use af_serve::ServeHandle;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Training episodes for the embedding model (the bench measures the
+/// serving layer, not model quality).
+const TRAIN_EPISODES: usize = 48;
+/// Cap on distinct query targets.
+const MAX_QUERIES: usize = 60;
+/// Reader threads for the concurrent probe.
+const READER_THREADS: usize = 4;
+/// Rounds each reader replays the query list.
+const READER_ROUNDS: usize = 3;
+
+/// One measured serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    pub scale: &'static str,
+    pub threads: usize,
+    pub n_sheets: usize,
+    pub n_regions: usize,
+    pub artifact_bytes: usize,
+    /// Rebuilding the index from the raw workbooks (embed + index).
+    pub rebuild_ms: f64,
+    /// `AutoFormula::load` from artifact bytes.
+    pub load_ms: f64,
+    /// `rebuild_ms / load_ms` — how much faster a cold start got.
+    pub load_speedup: f64,
+    pub queries: usize,
+    pub sequential_p50_ms: f64,
+    pub sequential_p99_ms: f64,
+    pub concurrent_readers: usize,
+    pub concurrent_p50_ms: f64,
+    pub concurrent_p99_ms: f64,
+    pub concurrent_queries_per_sec: f64,
+    /// Micro-batched `predict_batch` throughput (one embed pass per burst).
+    pub batch_queries_per_sec: f64,
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Run the serving benchmark at the `AF_SCALE` scale.
+pub fn measure() -> ServeBenchReport {
+    let scale = Scale::from_env();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    // A briefly-trained system (same regime as the throughput bench).
+    let universe = OrgSpec::web_crawl(scale).generate();
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(64)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig { episodes: TRAIN_EPISODES, ..AutoFormulaConfig::default() };
+    let (af, _) = AutoFormula::train(&universe.workbooks, featurizer, cfg, Default::default());
+
+    // Reference index over all but the holdout workbook.
+    let org = OrgSpec::pge(scale).generate();
+    let n_wb = org.workbooks.len();
+    let members: Vec<usize> = (0..n_wb.saturating_sub(1)).collect();
+    let rebuild_started = Instant::now();
+    let index = af.build_index(&org.workbooks, &members, IndexOptions::default());
+    let rebuild_ms = rebuild_started.elapsed().as_secs_f64() * 1e3;
+
+    // Artifact round trip: size and cold-start load time (best of 3 to
+    // shave allocator noise off a sub-millisecond-to-millisecond number).
+    let artifact = af.save(&index);
+    let artifact_bytes = artifact.len();
+    let mut load_ms = f64::INFINITY;
+    let mut loaded = None;
+    for _ in 0..3 {
+        let bytes = artifact.clone(); // O(1): Bytes is an Arc window
+        let t = Instant::now();
+        let pair = AutoFormula::load_bytes_artifact(bytes).expect("artifact loads");
+        load_ms = load_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        loaded = Some(pair);
+    }
+    let (loaded_af, loaded_index) = loaded.expect("three loads ran");
+    let n_sheets = loaded_index.n_sheets();
+    let n_regions = loaded_index.n_regions();
+
+    // Serve the loaded artifact.
+    let handle = ServeHandle::new(loaded_af, loaded_index);
+    let holdout = n_wb - 1;
+    let targets: Vec<(usize, CellRef)> = org.workbooks[holdout]
+        .sheets
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| s.formulas().map(move |(at, _)| (si, at)))
+        .take(MAX_QUERIES)
+        .collect();
+
+    // Sequential latency.
+    let mut seq_ms: Vec<f64> = Vec::with_capacity(targets.len());
+    for &(si, at) in &targets {
+        let sheet = &org.workbooks[holdout].sheets[si];
+        let t = Instant::now();
+        let pred = handle.predict_with(sheet, at, PipelineVariant::Full);
+        std::hint::black_box(&pred);
+        seq_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    seq_ms.sort_by(|a, b| a.total_cmp(b));
+
+    // Concurrent latency: READER_THREADS threads replay the query list
+    // against the lock-free handle.
+    let started = Instant::now();
+    let mut all_ms: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..READER_THREADS)
+            .map(|t| {
+                let handle = handle.clone();
+                let org = &org;
+                let targets = &targets;
+                scope.spawn(move || {
+                    let mut ms = Vec::with_capacity(targets.len() * READER_ROUNDS);
+                    for round in 0..READER_ROUNDS {
+                        for qi in 0..targets.len() {
+                            // Stagger start points so threads do not march
+                            // in lockstep over identical queries.
+                            let (si, at) = targets[(qi + t + round) % targets.len()];
+                            let sheet = &org.workbooks[org.workbooks.len() - 1].sheets[si];
+                            let q = Instant::now();
+                            let pred = handle.predict_with(sheet, at, PipelineVariant::Full);
+                            std::hint::black_box(&pred);
+                            ms.push(q.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                    ms
+                })
+            })
+            .collect();
+        for h in handles {
+            all_ms.extend(h.join().expect("reader thread"));
+        }
+    });
+    let concurrent_seconds = started.elapsed().as_secs_f64();
+    let concurrent_queries = all_ms.len();
+    all_ms.sort_by(|a, b| a.total_cmp(b));
+
+    // Micro-batched burst: all targets in one predict_batch call.
+    let batch_queries: Vec<(&af_grid::Sheet, CellRef)> =
+        targets.iter().map(|&(si, at)| (&org.workbooks[holdout].sheets[si], at)).collect();
+    let t = Instant::now();
+    let batch = handle.predict_batch_with(&batch_queries, PipelineVariant::Full);
+    std::hint::black_box(&batch);
+    let batch_seconds = t.elapsed().as_secs_f64();
+
+    ServeBenchReport {
+        scale: scale_name(scale),
+        threads,
+        n_sheets,
+        n_regions,
+        artifact_bytes,
+        rebuild_ms,
+        load_ms,
+        load_speedup: rebuild_ms / load_ms.max(1e-9),
+        queries: targets.len(),
+        sequential_p50_ms: percentile(&seq_ms, 0.5),
+        sequential_p99_ms: percentile(&seq_ms, 0.99),
+        concurrent_readers: READER_THREADS,
+        concurrent_p50_ms: percentile(&all_ms, 0.5),
+        concurrent_p99_ms: percentile(&all_ms, 0.99),
+        concurrent_queries_per_sec: concurrent_queries as f64 / concurrent_seconds.max(1e-9),
+        batch_queries_per_sec: batch_queries.len() as f64 / batch_seconds.max(1e-9),
+    }
+}
+
+/// Serialize the report as JSON (hand-rolled; flat schema, no serde in the
+/// workspace).
+pub fn to_json(r: &ServeBenchReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"serve\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"threads\": {},\n",
+            "  \"n_sheets\": {},\n",
+            "  \"n_regions\": {},\n",
+            "  \"artifact_bytes\": {},\n",
+            "  \"rebuild_ms\": {:.3},\n",
+            "  \"load_ms\": {:.3},\n",
+            "  \"load_speedup\": {:.1},\n",
+            "  \"queries\": {},\n",
+            "  \"sequential_p50_ms\": {:.3},\n",
+            "  \"sequential_p99_ms\": {:.3},\n",
+            "  \"concurrent_readers\": {},\n",
+            "  \"concurrent_p50_ms\": {:.3},\n",
+            "  \"concurrent_p99_ms\": {:.3},\n",
+            "  \"concurrent_queries_per_sec\": {:.2},\n",
+            "  \"batch_queries_per_sec\": {:.2}\n",
+            "}}\n"
+        ),
+        r.scale,
+        r.threads,
+        r.n_sheets,
+        r.n_regions,
+        r.artifact_bytes,
+        r.rebuild_ms,
+        r.load_ms,
+        r.load_speedup,
+        r.queries,
+        r.sequential_p50_ms,
+        r.sequential_p99_ms,
+        r.concurrent_readers,
+        r.concurrent_p50_ms,
+        r.concurrent_p99_ms,
+        r.concurrent_queries_per_sec,
+        r.batch_queries_per_sec,
+    )
+}
+
+/// Write `BENCH_serve.json`.
+pub fn write_json(report: &ServeBenchReport, path: &Path) {
+    std::fs::write(path, to_json(report)).expect("write BENCH_serve.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_bounds() {
+        let ms = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&ms, 0.0), 1.0);
+        assert_eq!(percentile(&ms, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let r = ServeBenchReport {
+            scale: "tiny",
+            threads: 1,
+            n_sheets: 10,
+            n_regions: 20,
+            artifact_bytes: 1234,
+            rebuild_ms: 100.0,
+            load_ms: 5.0,
+            load_speedup: 20.0,
+            queries: 8,
+            sequential_p50_ms: 1.0,
+            sequential_p99_ms: 2.0,
+            concurrent_readers: 4,
+            concurrent_p50_ms: 1.5,
+            concurrent_p99_ms: 3.0,
+            concurrent_queries_per_sec: 500.0,
+            batch_queries_per_sec: 900.0,
+        };
+        let json = to_json(&r);
+        assert!(json.contains("\"artifact_bytes\": 1234"));
+        assert!(json.contains("\"load_speedup\": 20.0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -105,13 +105,7 @@ pub fn measure() -> ThroughputReport {
     for &(si, at) in &targets {
         let sheet = &org.workbooks[holdout].sheets[si];
         let q = Instant::now();
-        let pred = af.predict_with(
-            &index,
-            &org.workbooks,
-            sheet,
-            at,
-            af_core::pipeline::PipelineVariant::Full,
-        );
+        let pred = af.predict_with(&index, sheet, at, af_core::pipeline::PipelineVariant::Full);
         std::hint::black_box(&pred);
         latencies_ms.push(q.elapsed().as_secs_f64() * 1e3);
     }

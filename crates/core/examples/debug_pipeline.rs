@@ -22,8 +22,7 @@ fn main() {
         let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
         let masked = masked_sheet(sheet, tc.target);
         let gt = af_formula::parse_formula(&tc.ground_truth).unwrap().to_string();
-        match af.predict_with(&index, &corpus.workbooks, &masked, tc.target, PipelineVariant::Full)
-        {
+        match af.predict_with(&index, &masked, tc.target, PipelineVariant::Full) {
             Some(p) => {
                 let fam = corpus.provenance[tc.workbook].family;
                 let ref_fam = corpus.provenance[index.keys[0].workbook].family; // placeholder

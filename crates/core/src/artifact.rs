@@ -1,0 +1,673 @@
+//! Self-contained recommendation artifacts.
+//!
+//! An artifact is everything the online pipeline needs, in one buffer:
+//!
+//! | section | id | contents |
+//! |---|---|---|
+//! | `CONFIG` | 1 | every [`AutoFormulaConfig`] field + the featurizer input dim |
+//! | `FEATURIZER` | 2 | embedder name, dim, feature mask, trained vocabulary |
+//! | `MODEL` | 3 | representation-model weights (`af_nn` snapshot blocks) |
+//! | `INDEX` | 4 | the full [`ReferenceIndex`]: keys, sheet metadata, region provenance (params + reference-side fine vectors), region embeddings, and the ANN structures of whichever backend built them (flat vectors / HNSW graph / IVF lists + centroids) |
+//!
+//! Layout: magic `AFAR`, version, a section table (id, offset, length —
+//! offsets relative to the payload that follows the table), then the
+//! payload. Unknown section ids are skipped on load, so future sections
+//! can be added without breaking old readers.
+//!
+//! [`AutoFormula::save`] / [`AutoFormula::load`] round-trip the whole
+//! serving state: `load` + `predict` reproduces the in-memory pipeline's
+//! predictions bit for bit (asserted across every ANN backend in
+//! `tests/end_to_end.rs`). Decoding is hardened — every length, id, and
+//! dimension is validated, so truncated or bit-flipped artifacts return
+//! [`ArtifactError`], never panic.
+
+use crate::config::{AnnBackend, AutoFormulaConfig};
+use crate::index::{ReferenceIndex, RegionEntry, SheetKey, SheetMeta, VecTable};
+use crate::model::RepresentationModel;
+use crate::pipeline::AutoFormula;
+use af_ann::{CodecError, HnswParams, IvfParams};
+use af_embed::FeaturizerCodecError;
+use af_grid::{CellRef, ViewWindow};
+use af_nn::serialize::SnapshotError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: u32 = 0x4146_4152; // "AFAR"
+const VERSION: u16 = 1;
+
+const SEC_CONFIG: u16 = 1;
+const SEC_FEATURIZER: u16 = 2;
+const SEC_MODEL: u16 = 3;
+const SEC_INDEX: u16 = 4;
+
+/// Why an artifact failed to load. Wraps the layer-specific errors so
+/// callers can `?` straight through and still reach the root cause via
+/// [`std::error::Error::source`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// Not an artifact at all.
+    BadMagic,
+    BadVersion(u16),
+    /// The buffer ended before the structure did (`&'static str` names the
+    /// part being read).
+    Truncated(&'static str),
+    /// A required section is absent from the section table.
+    MissingSection(&'static str),
+    /// A structural invariant does not hold.
+    Invalid(&'static str),
+    /// The model weights failed to deserialize or fit the architecture.
+    Model(SnapshotError),
+    /// An ANN index payload failed to decode.
+    Index(CodecError),
+    /// The featurizer payload failed to decode.
+    Featurizer(FeaturizerCodecError),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => f.write_str("not an auto-formula artifact"),
+            ArtifactError::BadVersion(v) => write!(f, "unsupported artifact version {v}"),
+            ArtifactError::Truncated(what) => write!(f, "artifact truncated reading {what}"),
+            ArtifactError::MissingSection(name) => write!(f, "artifact missing section {name}"),
+            ArtifactError::Invalid(what) => write!(f, "invalid artifact: {what}"),
+            ArtifactError::Model(_) => f.write_str("artifact model weights failed to load"),
+            ArtifactError::Index(_) => f.write_str("artifact ANN index failed to load"),
+            ArtifactError::Featurizer(_) => f.write_str("artifact featurizer failed to load"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Model(e) => Some(e),
+            ArtifactError::Index(e) => Some(e),
+            ArtifactError::Featurizer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for ArtifactError {
+    fn from(e: SnapshotError) -> Self {
+        ArtifactError::Model(e)
+    }
+}
+
+impl From<CodecError> for ArtifactError {
+    fn from(e: CodecError) -> Self {
+        ArtifactError::Index(e)
+    }
+}
+
+impl From<FeaturizerCodecError> for ArtifactError {
+    fn from(e: FeaturizerCodecError) -> Self {
+        ArtifactError::Featurizer(e)
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+fn get_u8(data: &mut Bytes, what: &'static str) -> Result<u8, ArtifactError> {
+    data.try_get_u8().ok_or(ArtifactError::Truncated(what))
+}
+
+fn get_u16(data: &mut Bytes, what: &'static str) -> Result<u16, ArtifactError> {
+    data.try_get_u16().ok_or(ArtifactError::Truncated(what))
+}
+
+fn get_u32(data: &mut Bytes, what: &'static str) -> Result<u32, ArtifactError> {
+    data.try_get_u32().ok_or(ArtifactError::Truncated(what))
+}
+
+fn get_u64(data: &mut Bytes, what: &'static str) -> Result<u64, ArtifactError> {
+    data.try_get_u64().ok_or(ArtifactError::Truncated(what))
+}
+
+fn get_f32(data: &mut Bytes, what: &'static str) -> Result<f32, ArtifactError> {
+    data.try_get_f32().ok_or(ArtifactError::Truncated(what))
+}
+
+fn get_f64(data: &mut Bytes, what: &'static str) -> Result<f64, ArtifactError> {
+    data.try_get_f64().ok_or(ArtifactError::Truncated(what))
+}
+
+/// Read a `u64` element count, rejecting counts the remaining buffer
+/// cannot hold (`elem_bytes` is the minimum wire size of one element) so
+/// corrupt lengths never drive huge allocations.
+fn get_count(
+    data: &mut Bytes,
+    elem_bytes: usize,
+    what: &'static str,
+) -> Result<usize, ArtifactError> {
+    let n = get_u64(data, what)? as usize;
+    let need = n.checked_mul(elem_bytes).ok_or(ArtifactError::Truncated(what))?;
+    if data.remaining() < need {
+        return Err(ArtifactError::Truncated(what));
+    }
+    Ok(n)
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(data: &mut Bytes, what: &'static str) -> Result<String, ArtifactError> {
+    let len = get_u32(data, what)? as usize;
+    if data.remaining() < len {
+        return Err(ArtifactError::Truncated(what));
+    }
+    String::from_utf8(data.split_to(len).to_vec())
+        .map_err(|_| ArtifactError::Invalid("string is not UTF-8"))
+}
+
+/// Embedding-table block: row count, a pad run that 4-byte-aligns the
+/// payload, then the raw **little-endian** `f32` image of the whole table
+/// (unlike the big-endian scalar fields). Embedding tables are the
+/// overwhelming bulk of an artifact; alignment plus LE is what lets
+/// [`VecTable::from_le_bytes`] adopt the block zero-copy on load, so a
+/// cold start never materializes a second copy of them. Alignment is
+/// section-local: `save` pads every section body to a multiple of 4 and
+/// the fixed header + section table is 84 bytes, so a local offset that is
+/// 0 mod 4 is 0 mod 4 in the final buffer too.
+fn put_vec_table(buf: &mut BytesMut, table: &VecTable) {
+    buf.put_u64(table.rows() as u64);
+    let pad = (4 - (buf.len() + 1) % 4) % 4;
+    buf.put_u8(pad as u8);
+    for _ in 0..pad {
+        buf.put_u8(0);
+    }
+    let mut raw = Vec::new();
+    table.extend_le_bytes(&mut raw);
+    buf.put_slice(&raw);
+}
+
+fn get_vec_table(
+    data: &mut Bytes,
+    dim: usize,
+    expect_rows: usize,
+    what: &'static str,
+) -> Result<VecTable, ArtifactError> {
+    let rows = get_u64(data, what)? as usize;
+    if rows != expect_rows {
+        return Err(ArtifactError::Invalid("embedding table has the wrong row count"));
+    }
+    let pad = get_u8(data, what)? as usize;
+    if pad > 3 {
+        return Err(ArtifactError::Invalid("embedding table pad run out of range"));
+    }
+    if data.remaining() < pad {
+        return Err(ArtifactError::Truncated(what));
+    }
+    data.split_to(pad);
+    let need = rows
+        .checked_mul(dim)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or(ArtifactError::Truncated(what))?;
+    if data.remaining() < need {
+        return Err(ArtifactError::Truncated(what));
+    }
+    Ok(VecTable::from_le_bytes(dim, rows, data.split_to(need)))
+}
+
+fn put_cell(buf: &mut BytesMut, cell: CellRef) {
+    buf.put_u32(cell.row);
+    buf.put_u32(cell.col);
+}
+
+fn get_cell(data: &mut Bytes, what: &'static str) -> Result<CellRef, ArtifactError> {
+    let row = get_u32(data, what)?;
+    let col = get_u32(data, what)?;
+    Ok(CellRef { row, col })
+}
+
+// ----------------------------------------------------------- config codec
+
+fn encode_config(buf: &mut BytesMut, cfg: &AutoFormulaConfig, feat_dim: usize) {
+    buf.put_u32(feat_dim as u32);
+    buf.put_u32(cfg.window.rows);
+    buf.put_u32(cfg.window.cols);
+    buf.put_u64(cfg.reduce_hidden as u64);
+    buf.put_u64(cfg.cell_dim as u64);
+    buf.put_u64(cfg.fine_cell_dim as u64);
+    buf.put_u64(cfg.coarse_channels.0 as u64);
+    buf.put_u64(cfg.coarse_channels.1 as u64);
+    buf.put_u64(cfg.coarse_dim as u64);
+    buf.put_f32(cfg.margin);
+    buf.put_f32(cfg.lr);
+    buf.put_u64(cfg.episodes as u64);
+    buf.put_u64(cfg.batch_size as u64);
+    buf.put_u64(cfg.k_sheets as u64);
+    buf.put_u64(cfg.neighborhood_d as u64);
+    buf.put_f32(cfg.s3_anchor_lambda);
+    buf.put_f32(cfg.theta_region);
+    buf.put_u8(cfg.coarse_augmentation as u8);
+    buf.put_u8(cfg.fine_augmentation as u8);
+    buf.put_u64(cfg.seed);
+    buf.put_u64(cfg.search_parallel_threshold as u64);
+    buf.put_u64(cfg.search_threads as u64);
+    buf.put_u64(cfg.embed_threads as u64);
+    match cfg.ann_backend {
+        AnnBackend::Flat => buf.put_u8(0),
+        AnnBackend::Hnsw(p) => {
+            buf.put_u8(1);
+            buf.put_u64(p.m as u64);
+            buf.put_u64(p.ef_construction as u64);
+            buf.put_u64(p.ef_search as u64);
+            buf.put_u64(p.seed);
+        }
+        AnnBackend::Ivf(p) => {
+            buf.put_u8(2);
+            buf.put_u64(p.n_lists as u64);
+            buf.put_u64(p.n_probe as u64);
+            buf.put_u64(p.kmeans_iters as u64);
+            buf.put_u64(p.seed);
+        }
+    }
+}
+
+fn decode_config(data: &mut Bytes) -> Result<(AutoFormulaConfig, usize), ArtifactError> {
+    const W: &str = "config";
+    let feat_dim = get_u32(data, W)? as usize;
+    let window = ViewWindow::new(get_u32(data, W)?, get_u32(data, W)?);
+    if feat_dim == 0 || window.n_cells() == 0 {
+        return Err(ArtifactError::Invalid("config dimensions must be positive"));
+    }
+    let cfg = AutoFormulaConfig {
+        window,
+        reduce_hidden: get_u64(data, W)? as usize,
+        cell_dim: get_u64(data, W)? as usize,
+        fine_cell_dim: get_u64(data, W)? as usize,
+        coarse_channels: (get_u64(data, W)? as usize, get_u64(data, W)? as usize),
+        coarse_dim: get_u64(data, W)? as usize,
+        margin: get_f32(data, W)?,
+        lr: get_f32(data, W)?,
+        episodes: get_u64(data, W)? as usize,
+        batch_size: get_u64(data, W)? as usize,
+        k_sheets: get_u64(data, W)? as usize,
+        neighborhood_d: get_u64(data, W)? as i64,
+        s3_anchor_lambda: get_f32(data, W)?,
+        theta_region: get_f32(data, W)?,
+        coarse_augmentation: get_u8(data, W)? != 0,
+        fine_augmentation: get_u8(data, W)? != 0,
+        seed: get_u64(data, W)?,
+        search_parallel_threshold: get_u64(data, W)? as usize,
+        search_threads: get_u64(data, W)? as usize,
+        embed_threads: get_u64(data, W)? as usize,
+        ann_backend: match get_u8(data, W)? {
+            0 => AnnBackend::Flat,
+            1 => AnnBackend::Hnsw(HnswParams {
+                m: get_u64(data, W)? as usize,
+                ef_construction: get_u64(data, W)? as usize,
+                ef_search: get_u64(data, W)? as usize,
+                seed: get_u64(data, W)?,
+            }),
+            2 => AnnBackend::Ivf(IvfParams {
+                n_lists: get_u64(data, W)? as usize,
+                n_probe: get_u64(data, W)? as usize,
+                kmeans_iters: get_u64(data, W)? as usize,
+                seed: get_u64(data, W)?,
+            }),
+            _ => return Err(ArtifactError::Invalid("unknown ANN backend tag")),
+        },
+    };
+    // Positive and sane: a bit-flipped length field must be rejected here,
+    // before the model constructor turns it into a giant allocation.
+    const MAX_DIM: usize = 4096;
+    const MAX_CELLS: usize = 1 << 20;
+    for dim in [
+        cfg.cell_dim,
+        cfg.fine_cell_dim,
+        cfg.coarse_dim,
+        cfg.reduce_hidden,
+        cfg.coarse_channels.0,
+        cfg.coarse_channels.1,
+        feat_dim,
+    ] {
+        if dim == 0 || dim > MAX_DIM {
+            return Err(ArtifactError::Invalid("config dimension zero or implausibly large"));
+        }
+    }
+    if cfg.n_cells() > MAX_CELLS {
+        return Err(ArtifactError::Invalid("config window implausibly large"));
+    }
+    Ok((cfg, feat_dim))
+}
+
+// ------------------------------------------------------------ index codec
+
+fn encode_index(buf: &mut BytesMut, index: &ReferenceIndex) {
+    buf.put_u64(index.keys.len() as u64);
+    for key in &index.keys {
+        buf.put_u64(key.workbook as u64);
+        buf.put_u64(key.sheet as u64);
+    }
+    for meta in &index.meta {
+        put_string(buf, &meta.name);
+        buf.put_u32(meta.rows);
+        buf.put_u32(meta.cols);
+    }
+    af_ann::codec::append_index(buf, index.coarse.as_ref());
+    match &index.fine_sheets {
+        Some(idx) => {
+            buf.put_u8(1);
+            af_ann::codec::append_index(buf, idx.as_ref());
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u64(index.regions.len() as u64);
+    for entry in &index.regions {
+        buf.put_u64(entry.sheet_idx as u64);
+        put_cell(buf, entry.cell);
+        put_string(buf, &entry.formula);
+        buf.put_u64(entry.params.len() as u64);
+        for &param in &entry.params {
+            put_cell(buf, param);
+        }
+    }
+    put_vec_table(buf, &index.region_vecs);
+    put_vec_table(buf, &index.param_vecs);
+    match &index.coarse_region_vecs {
+        Some(vecs) => {
+            buf.put_u8(1);
+            put_vec_table(buf, vecs);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_f64(index.build_seconds);
+}
+
+fn decode_index(
+    data: &mut Bytes,
+    cfg: &AutoFormulaConfig,
+) -> Result<ReferenceIndex, ArtifactError> {
+    let fine_dim = cfg.fine_dim();
+    let n_sheets = get_count(data, 16, "index keys")?;
+    let mut keys = Vec::with_capacity(n_sheets);
+    for _ in 0..n_sheets {
+        keys.push(SheetKey {
+            workbook: get_u64(data, "index keys")? as usize,
+            sheet: get_u64(data, "index keys")? as usize,
+        });
+    }
+    let mut meta = Vec::with_capacity(n_sheets);
+    for _ in 0..n_sheets {
+        meta.push(SheetMeta {
+            name: get_string(data, "sheet meta")?,
+            rows: get_u32(data, "sheet meta")?,
+            cols: get_u32(data, "sheet meta")?,
+        });
+    }
+    let coarse = af_ann::codec::load_index(data)?;
+    if coarse.dim() != cfg.coarse_dim {
+        return Err(ArtifactError::Invalid("coarse index dimension disagrees with config"));
+    }
+    if coarse.len() != n_sheets {
+        return Err(ArtifactError::Invalid("coarse index size disagrees with sheet count"));
+    }
+    let fine_sheets = match get_u8(data, "fine-sheet index flag")? {
+        0 => None,
+        1 => {
+            let idx = af_ann::codec::load_index(data)?;
+            if idx.dim() != fine_dim {
+                return Err(ArtifactError::Invalid(
+                    "fine-signature index dimension disagrees with config",
+                ));
+            }
+            if idx.len() != n_sheets {
+                return Err(ArtifactError::Invalid(
+                    "fine-signature index size disagrees with sheet count",
+                ));
+            }
+            Some(idx)
+        }
+        _ => return Err(ArtifactError::Invalid("fine-sheet index flag must be 0 or 1")),
+    };
+    let n_regions = get_count(data, 8, "regions")?;
+    let mut regions = Vec::with_capacity(n_regions);
+    let mut regions_by_sheet = vec![Vec::new(); n_sheets];
+    let mut total_params = 0usize;
+    for rid in 0..n_regions {
+        let sheet_idx = get_u64(data, "region entry")? as usize;
+        if sheet_idx >= n_sheets {
+            return Err(ArtifactError::Invalid("region sheet id out of range"));
+        }
+        let cell = get_cell(data, "region entry")?;
+        let formula = get_string(data, "region formula")?;
+        let n_params = get_count(data, 8, "region params")?;
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            params.push(get_cell(data, "region params")?);
+        }
+        regions_by_sheet[sheet_idx].push(rid);
+        regions.push(RegionEntry { sheet_idx, cell, formula, params, param_start: total_params });
+        total_params = total_params
+            .checked_add(n_params)
+            .ok_or(ArtifactError::Invalid("parameter count overflow"))?;
+    }
+    let region_vecs = get_vec_table(data, fine_dim, n_regions, "region vecs")?;
+    let param_vecs = get_vec_table(data, fine_dim, total_params, "param vecs")?;
+    let coarse_region_vecs = match get_u8(data, "coarse region flag")? {
+        0 => None,
+        1 => Some(get_vec_table(data, cfg.coarse_dim, n_regions, "coarse region vecs")?),
+        _ => return Err(ArtifactError::Invalid("coarse region flag must be 0 or 1")),
+    };
+    let build_seconds = get_f64(data, "build seconds")?;
+    Ok(ReferenceIndex {
+        keys,
+        meta,
+        coarse,
+        fine_sheets,
+        regions,
+        region_vecs,
+        param_vecs,
+        coarse_region_vecs,
+        regions_by_sheet,
+        build_seconds,
+    })
+}
+
+// ---------------------------------------------------------- save and load
+
+impl AutoFormula {
+    /// Serialize the whole serving state — config, featurizer vocabulary,
+    /// model weights, and the reference index with all its provenance —
+    /// into one self-contained artifact.
+    pub fn save(&self, index: &ReferenceIndex) -> Bytes {
+        let mut sections: [(u16, BytesMut); 4] = [
+            (SEC_CONFIG, {
+                let mut b = BytesMut::new();
+                encode_config(&mut b, self.cfg(), self.model.feat_dim);
+                b
+            }),
+            (SEC_FEATURIZER, {
+                let mut b = BytesMut::new();
+                b.put_slice(&af_embed::save_featurizer(&self.featurizer));
+                b
+            }),
+            (SEC_MODEL, {
+                let mut b = BytesMut::new();
+                b.put_slice(&self.model.to_bytes());
+                b
+            }),
+            (SEC_INDEX, {
+                let mut b = BytesMut::new();
+                encode_index(&mut b, index);
+                b
+            }),
+        ];
+        // Pad every section body to a multiple of 4 so section offsets stay
+        // 4-byte aligned in the final buffer (the embedding-table blocks
+        // inside INDEX rely on it for their zero-copy views; decoders of
+        // the other sections ignore trailing bytes).
+        for (_, body) in sections.iter_mut() {
+            while body.len() % 4 != 0 {
+                body.put_u8(0);
+            }
+        }
+        let payload: usize = sections.iter().map(|(_, b)| b.len()).sum();
+        let mut buf = BytesMut::with_capacity(12 + sections.len() * 18 + payload);
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        buf.put_u16(0); // flags, reserved
+        buf.put_u32(sections.len() as u32);
+        let mut offset = 0u64;
+        for (id, body) in &sections {
+            buf.put_u16(*id);
+            buf.put_u64(offset);
+            buf.put_u64(body.len() as u64);
+            offset += body.len() as u64;
+        }
+        for (_, body) in &sections {
+            buf.put_slice(body);
+        }
+        buf.freeze()
+    }
+
+    /// Rebuild a complete serving state from an artifact produced by
+    /// [`AutoFormula::save`]. The returned system and index reproduce the
+    /// in-memory pipeline's predictions exactly.
+    pub fn load(data: &[u8]) -> Result<(AutoFormula, ReferenceIndex), ArtifactError> {
+        AutoFormula::load_bytes_artifact(Bytes::from(data.to_vec()))
+    }
+
+    /// [`AutoFormula::load`] without the input copy: pass an owned
+    /// [`Bytes`] (e.g. `Bytes::from(std::fs::read(path)?)`) and sections
+    /// are sliced out of it zero-copy.
+    pub fn load_bytes_artifact(
+        data: Bytes,
+    ) -> Result<(AutoFormula, ReferenceIndex), ArtifactError> {
+        let mut head = data;
+        if get_u32(&mut head, "magic")? != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = get_u16(&mut head, "version")?;
+        if version != VERSION {
+            return Err(ArtifactError::BadVersion(version));
+        }
+        let _flags = get_u16(&mut head, "flags")?;
+        let n_sections = get_u32(&mut head, "section table")? as usize;
+        // Each table entry is 18 bytes; reject counts the buffer cannot hold.
+        if n_sections > head.remaining() / 18 {
+            return Err(ArtifactError::Truncated("section table"));
+        }
+        let mut table = Vec::with_capacity(n_sections);
+        for _ in 0..n_sections {
+            let id = get_u16(&mut head, "section table")?;
+            let offset = get_u64(&mut head, "section table")? as usize;
+            let len = get_u64(&mut head, "section table")? as usize;
+            table.push((id, offset, len));
+        }
+        let payload = head; // everything after the table
+        let section = |id: u16, name: &'static str| -> Result<Bytes, ArtifactError> {
+            let &(_, offset, len) = table
+                .iter()
+                .find(|&&(i, _, _)| i == id)
+                .ok_or(ArtifactError::MissingSection(name))?;
+            let end = offset.checked_add(len).ok_or(ArtifactError::Truncated(name))?;
+            if end > payload.len() {
+                return Err(ArtifactError::Truncated(name));
+            }
+            Ok(payload.slice(offset..end))
+        };
+
+        let (cfg, feat_dim) = decode_config(&mut section(SEC_CONFIG, "CONFIG")?)?;
+        let featurizer = af_embed::load_featurizer(&mut section(SEC_FEATURIZER, "FEATURIZER")?)?;
+        if featurizer.dim() != feat_dim {
+            return Err(ArtifactError::Invalid(
+                "featurizer dimension disagrees with the stored model input dim",
+            ));
+        }
+        let mut model = RepresentationModel::new(feat_dim, cfg);
+        model.load_bytes(section(SEC_MODEL, "MODEL")?)?;
+        let index = decode_index(&mut section(SEC_INDEX, "INDEX")?, &cfg)?;
+        Ok((AutoFormula::from_model(model, featurizer), index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexOptions;
+    use crate::pipeline::PipelineVariant;
+    use af_corpus::organization::{OrgSpec, Scale};
+    use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+    use std::sync::Arc;
+
+    fn small_system() -> (AutoFormula, ReferenceIndex, af_corpus::OrgCorpus) {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = AutoFormulaConfig::test_tiny();
+        let af =
+            AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
+        let members: Vec<usize> = (0..4).collect();
+        let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+        (af, index, corpus)
+    }
+
+    #[test]
+    fn artifact_round_trips_predictions() {
+        let (af, index, corpus) = small_system();
+        let bytes = af.save(&index);
+        let (loaded, loaded_index) = AutoFormula::load(&bytes).expect("load");
+        assert_eq!(loaded_index.n_sheets(), index.n_sheets());
+        assert_eq!(loaded_index.n_regions(), index.n_regions());
+        let mut compared = 0usize;
+        for wb in corpus.workbooks.iter().take(4) {
+            for sheet in &wb.sheets {
+                for (target, _) in sheet.formulas() {
+                    let a = af.predict_with(&index, sheet, target, PipelineVariant::Full);
+                    let b =
+                        loaded.predict_with(&loaded_index, sheet, target, PipelineVariant::Full);
+                    match (a, b) {
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.formula, y.formula);
+                            assert_eq!(x.s2_distance.to_bits(), y.s2_distance.to_bits());
+                            assert_eq!(x.reference_sheet, y.reference_sheet);
+                        }
+                        (None, None) => {}
+                        (x, y) => panic!("prediction mismatch: {x:?} vs {y:?}"),
+                    }
+                    compared += 1;
+                }
+            }
+        }
+        assert!(compared > 0);
+    }
+
+    #[test]
+    fn loaded_index_keeps_sheet_meta() {
+        let (af, index, _) = small_system();
+        let bytes = af.save(&index);
+        let (_, loaded_index) = AutoFormula::load(&bytes).unwrap();
+        for si in 0..index.n_sheets() {
+            assert_eq!(loaded_index.sheet_meta(si), index.sheet_meta(si));
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let (af, index, _) = small_system();
+        let bytes = af.save(&index);
+        assert_eq!(AutoFormula::load(b"not an artifact").err(), Some(ArtifactError::BadMagic));
+        let mut flipped = bytes.to_vec();
+        flipped[5] ^= 0xFF; // version byte
+        assert!(matches!(AutoFormula::load(&flipped), Err(ArtifactError::BadVersion(_))));
+    }
+
+    #[test]
+    fn artifact_error_exposes_source() {
+        use std::error::Error;
+        let e = ArtifactError::from(SnapshotError::BadMagic);
+        assert!(e.source().is_some());
+        let e = ArtifactError::from(CodecError::Truncated);
+        assert!(e.source().is_some());
+        let e = ArtifactError::from(FeaturizerCodecError::Truncated);
+        assert!(e.source().is_some());
+        assert!(ArtifactError::BadMagic.source().is_none());
+        // Display lines are distinct and non-empty all the way down.
+        assert!(!ArtifactError::Truncated("x").to_string().is_empty());
+    }
+}

@@ -52,61 +52,98 @@ impl<'a> SheetEmbedder<'a> {
     /// Embed a sheet: one pass over its stored cells, then assemble the
     /// coarse embedding from the top-left window.
     pub fn embed_sheet(&self, sheet: &Sheet, with_fine_topleft: bool) -> SheetEmbedding {
+        self.embed_sheets(&[sheet], with_fine_topleft).pop().expect("one sheet in, one out")
+    }
+
+    /// Micro-batched sheet embedding: the stored cells of *every* sheet are
+    /// concatenated into a single tensor and pushed through the shared
+    /// reduction and the fine head in one pass, so a burst of concurrent
+    /// queries pays one kernel dispatch instead of one per sheet. The
+    /// per-cell layers operate row-wise, so each returned embedding is
+    /// bit-identical to what [`SheetEmbedder::embed_sheet`] produces alone.
+    pub fn embed_sheets(&self, sheets: &[&Sheet], with_fine_topleft: bool) -> Vec<SheetEmbedding> {
+        if sheets.is_empty() {
+            return Vec::new();
+        }
         let fd = self.featurizer.dim();
         let cd = self.model.cfg.cell_dim;
 
-        // Batch: all stored cells + the blank-cell constant + the
-        // invalid-slot constant.
-        let mut refs: Vec<CellRef> = sheet.iter().map(|(at, _)| at).collect();
-        refs.sort_unstable();
-        let n_stored = refs.len();
-        let mut raw = vec![0.0f32; (n_stored + 2) * fd];
-        self.featurizer.cells_into(
-            refs.iter().map(|at| sheet.get(*at).expect("stored cell")),
-            &mut raw[..n_stored * fd],
-        );
-        raw[n_stored * fd..(n_stored + 1) * fd].copy_from_slice(self.featurizer.empty_cell_ref());
-        // Row n_stored+1 stays zero = invalid constant.
+        // Batch: every sheet's stored cells back to back, then the shared
+        // blank-cell constant and the shared invalid-slot constant.
+        let refs_per: Vec<Vec<CellRef>> = sheets
+            .iter()
+            .map(|sheet| {
+                let mut refs: Vec<CellRef> = sheet.iter().map(|(at, _)| at).collect();
+                refs.sort_unstable();
+                refs
+            })
+            .collect();
+        let mut offsets = Vec::with_capacity(sheets.len());
+        let mut total = 0usize;
+        for refs in &refs_per {
+            offsets.push(total);
+            total += refs.len();
+        }
+        let mut raw = vec![0.0f32; (total + 2) * fd];
+        for (si, refs) in refs_per.iter().enumerate() {
+            let base = offsets[si];
+            self.featurizer.cells_into(
+                refs.iter().map(|at| sheets[si].get(*at).expect("stored cell")),
+                &mut raw[base * fd..(base + refs.len()) * fd],
+            );
+        }
+        raw[total * fd..(total + 1) * fd].copy_from_slice(self.featurizer.empty_cell_ref());
+        // Row total+1 stays zero = invalid constant.
 
-        let reduced = self.model.reduce_cells(Tensor::new(vec![n_stored + 2, fd], raw));
+        let reduced = self.model.reduce_cells(Tensor::new(vec![total + 2, fd], raw));
         let fine = self.model.fine_cells(reduced.clone());
+        let (empty_row, invalid_row) = (total, total + 1);
 
-        let mut fine_cells = FxHashMap::default();
-        fine_cells.reserve(n_stored);
-        for (i, at) in refs.iter().enumerate() {
-            fine_cells.insert(*at, fine.row(i).to_vec());
-        }
-        let fine_empty = fine.row(n_stored).to_vec();
-        let fine_invalid = fine.row(n_stored + 1).to_vec();
-
-        // Coarse: gather reduced vectors over the top-left window.
-        let window = self.model.cfg.window;
-        let n_cells = window.n_cells();
-        let mut gathered = vec![0.0f32; n_cells * cd];
-        let reduced_of = |at: CellRef| -> Option<usize> { refs.binary_search(&at).ok() };
-        for (i, slot) in window.top_left(sheet).enumerate() {
-            let dst = &mut gathered[i * cd..(i + 1) * cd];
-            match slot {
-                WindowSlot::Cell(at, _) => {
-                    let idx = reduced_of(at).expect("cell was featurized");
-                    dst.copy_from_slice(reduced.row(idx));
+        sheets
+            .iter()
+            .enumerate()
+            .map(|(si, sheet)| {
+                let refs = &refs_per[si];
+                let base = offsets[si];
+                let mut fine_cells = FxHashMap::default();
+                fine_cells.reserve(refs.len());
+                for (i, at) in refs.iter().enumerate() {
+                    fine_cells.insert(*at, fine.row(base + i).to_vec());
                 }
-                WindowSlot::EmptyCell(_) => dst.copy_from_slice(reduced.row(n_stored)),
-                WindowSlot::Invalid => dst.copy_from_slice(reduced.row(n_stored + 1)),
-            }
-        }
-        let coarse = self.model.coarse_from_reduced(Tensor::new(vec![n_cells, cd], gathered));
+                let fine_empty = fine.row(empty_row).to_vec();
+                let fine_invalid = fine.row(invalid_row).to_vec();
 
-        let mut emb = SheetEmbedding { coarse, fine_cells, fine_empty, fine_topleft: None };
-        // Note: the gather path needs the invalid constant; stash it in the
-        // map under an impossible key? Instead keep it implicit: invalid
-        // slots use zeros IF the model maps zeros... it does not. Store it.
-        emb.fine_cells.insert(INVALID_KEY, fine_invalid);
-        if with_fine_topleft {
-            let v = self.fine_window(&emb, sheet, WindowOrigin::TopLeft);
-            emb.fine_topleft = Some(v);
-        }
-        emb
+                // Coarse: gather reduced vectors over the top-left window.
+                let window = self.model.cfg.window;
+                let n_cells = window.n_cells();
+                let mut gathered = vec![0.0f32; n_cells * cd];
+                let reduced_of = |at: CellRef| -> Option<usize> { refs.binary_search(&at).ok() };
+                for (i, slot) in window.top_left(sheet).enumerate() {
+                    let dst = &mut gathered[i * cd..(i + 1) * cd];
+                    match slot {
+                        WindowSlot::Cell(at, _) => {
+                            let idx = reduced_of(at).expect("cell was featurized");
+                            dst.copy_from_slice(reduced.row(base + idx));
+                        }
+                        WindowSlot::EmptyCell(_) => dst.copy_from_slice(reduced.row(empty_row)),
+                        WindowSlot::Invalid => dst.copy_from_slice(reduced.row(invalid_row)),
+                    }
+                }
+                let coarse =
+                    self.model.coarse_from_reduced(Tensor::new(vec![n_cells, cd], gathered));
+
+                let mut emb = SheetEmbedding { coarse, fine_cells, fine_empty, fine_topleft: None };
+                // The fine-window gather path needs the invalid constant;
+                // it lives in the map under a sentinel key no real cell
+                // can occupy.
+                emb.fine_cells.insert(INVALID_KEY, fine_invalid);
+                if with_fine_topleft {
+                    let v = self.fine_window(&emb, sheet, WindowOrigin::TopLeft);
+                    emb.fine_topleft = Some(v);
+                }
+                emb
+            })
+            .collect()
     }
 
     /// Fine embedding of a window over an embedded sheet: gather per-cell
@@ -230,6 +267,32 @@ mod tests {
         let emb = e.embed_sheet(&sheet, true);
         let sig = emb.fine_topleft.as_ref().unwrap();
         assert_eq!(sig.len(), model.cfg.fine_dim());
+    }
+
+    #[test]
+    fn batched_embedding_matches_single_sheet_path() {
+        // The micro-batch used by the serving layer must be a pure
+        // batching optimization: same bits as embedding each sheet alone.
+        let (model, feat, sheet) = setup();
+        let mut other = Sheet::new("other");
+        other.set_a1("A1", Cell::new("Totals"));
+        other.set_a1("B3", Cell::new(42.0));
+        let e = SheetEmbedder::new(&model, &feat);
+        let batch = e.embed_sheets(&[&sheet, &other, &sheet], true);
+        assert_eq!(batch.len(), 3);
+        for (i, s) in [&sheet, &other, &sheet].iter().enumerate() {
+            let solo = e.embed_sheet(s, true);
+            assert_eq!(batch[i].coarse, solo.coarse, "sheet {i}");
+            assert_eq!(batch[i].fine_topleft, solo.fine_topleft, "sheet {i}");
+            assert_eq!(batch[i].n_cached_cells(), solo.n_cached_cells(), "sheet {i}");
+            let center: CellRef = "B2".parse().unwrap();
+            assert_eq!(
+                e.fine_window(&batch[i], s, WindowOrigin::Centered(center)),
+                e.fine_window(&solo, s, WindowOrigin::Centered(center)),
+                "sheet {i}"
+            );
+        }
+        assert!(e.embed_sheets(&[], false).is_empty());
     }
 
     #[test]

@@ -1,18 +1,26 @@
 //! Offline reference indexing (§4.6): `Idx_c` — coarse sheet embeddings in
 //! an ANN index — and `Idx_f` — fine region embeddings for every formula
 //! cell in the reference corpus.
+//!
+//! The index is **self-contained**: formula provenance (parameter cells and
+//! their fine region embeddings, sheet names and dimensions) is captured at
+//! build time, so the online pipeline answers queries from the index alone —
+//! no live borrow of the reference workbooks — and the whole structure can
+//! be serialized into an [`crate::artifact`] and served from another
+//! process.
 
 use crate::config::{AnnBackend, AutoFormulaConfig};
 use crate::embedder::{SheetEmbedder, SheetEmbedding};
 use crate::features::WindowOrigin;
 use af_ann::{FlatIndex, HnswIndex, IvfFlatIndex, VectorIndex};
+use af_formula::{parse_formula, Template};
 use af_grid::{CellRef, Sheet, Workbook};
 use af_nn::Tensor;
 use std::time::Instant;
 
 /// Build a sheet-level ANN index over row-major `data` using the backend
 /// selected in the config. Every backend supports incremental
-/// [`VectorIndex::add`] afterwards, so `ReferenceIndex::add_workbook`
+/// [`VectorIndex::add`] afterwards, so [`ReferenceIndex::add_workbook`]
 /// works identically regardless of this choice.
 fn build_ann_index(cfg: &AutoFormulaConfig, dim: usize, data: &[f32]) -> Box<dyn VectorIndex> {
     match cfg.ann_backend {
@@ -36,13 +44,143 @@ pub struct SheetKey {
     pub sheet: usize,
 }
 
-/// A reference formula region.
+/// Provenance metadata of an indexed sheet, captured at build time so a
+/// served prediction can name its source without the original workbooks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SheetMeta {
+    pub name: String,
+    pub rows: u32,
+    pub cols: u32,
+}
+
+/// Row-major table of fixed-dimension embedding vectors — the bulk of a
+/// reference index. Either **owned** (built in memory) or a **zero-copy
+/// view** into the artifact buffer the index was loaded from: artifacts
+/// store these blocks as 4-byte-aligned little-endian `f32` runs, so on
+/// little-endian hardware a loaded index reads them in place and cold
+/// start never materializes a second copy of hundreds of megabytes of
+/// embeddings. Mutation (incremental `add_workbook`) converts a view to an
+/// owned copy first — the write path pays, readers never do.
+pub(crate) struct VecTable {
+    dim: usize,
+    rows: usize,
+    store: VecStore,
+}
+
+enum VecStore {
+    Owned(Vec<f32>),
+    /// Little-endian `f32` bytes, verified 4-byte aligned and exactly
+    /// `rows * dim * 4` long (see [`VecTable::from_le_bytes`]).
+    View(bytes::Bytes),
+}
+
+impl VecTable {
+    pub(crate) fn new(dim: usize) -> VecTable {
+        assert!(dim > 0);
+        VecTable { dim, rows: 0, store: VecStore::Owned(Vec::new()) }
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Append one vector (converting a view into an owned copy first).
+    pub(crate) fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        self.make_owned();
+        let VecStore::Owned(data) = &mut self.store else { unreachable!("just converted") };
+        data.extend_from_slice(v);
+        self.rows += 1;
+    }
+
+    fn make_owned(&mut self) {
+        if let VecStore::View(bytes) = &self.store {
+            self.store = VecStore::Owned(decode_le_f32s(bytes));
+        }
+    }
+
+    pub(crate) fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of {}", self.rows);
+        let (lo, hi) = (i * self.dim, (i + 1) * self.dim);
+        match &self.store {
+            VecStore::Owned(data) => &data[lo..hi],
+            VecStore::View(bytes) => {
+                // SAFETY: `from_le_bytes` only constructs a `View` on a
+                // little-endian target with a 4-byte-aligned buffer of
+                // exactly `rows * dim * 4` bytes, and the underlying
+                // `Bytes` storage is immutable and pinned for the life of
+                // this table.
+                let all = unsafe {
+                    std::slice::from_raw_parts(bytes.as_ptr() as *const f32, self.rows * self.dim)
+                };
+                &all[lo..hi]
+            }
+        }
+    }
+
+    /// Adopt `rows * dim` little-endian `f32`s: zero-copy when the target
+    /// is little-endian and the buffer lands 4-byte aligned, otherwise an
+    /// owned decode. `bytes.len()` must equal `rows * dim * 4`.
+    pub(crate) fn from_le_bytes(dim: usize, rows: usize, bytes: bytes::Bytes) -> VecTable {
+        assert!(dim > 0);
+        assert_eq!(bytes.len(), rows * dim * 4, "byte length mismatch");
+        let store = if cfg!(target_endian = "little") && (bytes.as_ptr() as usize).is_multiple_of(4)
+        {
+            VecStore::View(bytes)
+        } else {
+            VecStore::Owned(decode_le_f32s(&bytes))
+        };
+        VecTable { dim, rows, store }
+    }
+
+    /// Append the raw little-endian byte image of the whole table to `out`
+    /// (the wire format [`VecTable::from_le_bytes`] adopts).
+    pub(crate) fn extend_le_bytes(&self, out: &mut Vec<u8>) {
+        match &self.store {
+            VecStore::View(bytes) => out.extend_from_slice(bytes),
+            VecStore::Owned(data) => {
+                out.reserve(data.len() * 4);
+                for v in data {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+impl Clone for VecTable {
+    fn clone(&self) -> VecTable {
+        let store = match &self.store {
+            VecStore::Owned(data) => VecStore::Owned(data.clone()),
+            // O(1): views share the immutable artifact buffer.
+            VecStore::View(bytes) => VecStore::View(bytes.clone()),
+        };
+        VecTable { dim: self.dim, rows: self.rows, store }
+    }
+}
+
+fn decode_le_f32s(bytes: &[u8]) -> Vec<f32> {
+    let mut out = vec![0f32; bytes.len() / 4];
+    for (o, chunk) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *o = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    out
+}
+
+/// A reference formula region, with everything S3 needs to adapt it.
 #[derive(Debug, Clone)]
 pub struct RegionEntry {
     /// Index into [`ReferenceIndex::keys`].
     pub sheet_idx: usize,
     pub cell: CellRef,
     pub formula: String,
+    /// Parameter cells of the parsed formula template, in template order
+    /// (empty when the formula does not parse — such regions are skipped
+    /// by S3 exactly as before).
+    pub params: Vec<CellRef>,
+    /// First row of this region's parameter vectors in the index-wide
+    /// parameter [`VecTable`] (`params.len()` consecutive rows).
+    pub(crate) param_start: usize,
 }
 
 /// What to precompute at build time.
@@ -58,7 +196,7 @@ pub struct IndexOptions {
 /// The built reference index.
 pub struct ReferenceIndex {
     pub keys: Vec<SheetKey>,
-    pub embeddings: Vec<SheetEmbedding>,
+    pub(crate) meta: Vec<SheetMeta>,
     /// Coarse sheet-embedding index (`Idx_c`), on the backend selected by
     /// [`AutoFormulaConfig::ann_backend`]. Flat (exact scan) is the
     /// default — corpus-scale sheet counts (hundreds to tens of thousands
@@ -66,14 +204,36 @@ pub struct ReferenceIndex {
     /// `IndexFlat` — while HNSW/IVF serve SpreadsheetCoder-scale corpora
     /// (millions of sheets) where a scan stops being viable; measured
     /// recall/latency per backend lives in `BENCH_ann.json`.
-    coarse: Box<dyn VectorIndex>,
+    pub(crate) coarse: Box<dyn VectorIndex>,
     /// Fine top-left-signature index (fine-only ablation), same backend.
-    fine_sheets: Option<Box<dyn VectorIndex>>,
+    pub(crate) fine_sheets: Option<Box<dyn VectorIndex>>,
     pub regions: Vec<RegionEntry>,
-    region_vecs: Vec<Vec<f32>>,
-    coarse_region_vecs: Option<Vec<Vec<f32>>>,
-    regions_by_sheet: Vec<Vec<usize>>,
+    /// Fine region embedding per region (row `rid`).
+    pub(crate) region_vecs: VecTable,
+    /// Reference-side fine embeddings of every template parameter, indexed
+    /// by [`RegionEntry::param_start`]. Precomputed at index time so S3
+    /// parameter mapping needs no access to the reference sheets.
+    pub(crate) param_vecs: VecTable,
+    pub(crate) coarse_region_vecs: Option<VecTable>,
+    pub(crate) regions_by_sheet: Vec<Vec<usize>>,
     pub build_seconds: f64,
+}
+
+impl Clone for ReferenceIndex {
+    fn clone(&self) -> ReferenceIndex {
+        ReferenceIndex {
+            keys: self.keys.clone(),
+            meta: self.meta.clone(),
+            coarse: self.coarse.clone_box(),
+            fine_sheets: self.fine_sheets.as_ref().map(|idx| idx.clone_box()),
+            regions: self.regions.clone(),
+            region_vecs: self.region_vecs.clone(),
+            param_vecs: self.param_vecs.clone(),
+            coarse_region_vecs: self.coarse_region_vecs.clone(),
+            regions_by_sheet: self.regions_by_sheet.clone(),
+            build_seconds: self.build_seconds,
+        }
+    }
 }
 
 impl ReferenceIndex {
@@ -133,43 +293,69 @@ impl ReferenceIndex {
             build_ann_index(cfg, fine_dim, &sig_data)
         });
 
-        // Region index: every formula cell.
-        let mut regions = Vec::new();
-        let mut region_vecs = Vec::new();
-        let mut coarse_region_vecs = opts.coarse_regions.then(Vec::new);
-        let mut regions_by_sheet = vec![Vec::new(); keys.len()];
-        for (si, key) in keys.iter().enumerate() {
-            let sheet = &workbooks[key.workbook].sheets[key.sheet];
-            let mut locs: Vec<(CellRef, String)> =
-                sheet.formulas().map(|(at, f)| (at, f.to_string())).collect();
-            locs.sort_by_key(|(at, _)| *at);
-            for (cell, formula) in locs {
-                let vec =
-                    embedder.fine_window(&embeddings[si], sheet, WindowOrigin::Centered(cell));
-                regions_by_sheet[si].push(regions.len());
-                regions.push(RegionEntry { sheet_idx: si, cell, formula });
-                region_vecs.push(vec);
-                if let Some(cvecs) = coarse_region_vecs.as_mut() {
-                    cvecs.push(coarse_window(embedder, sheet, cell));
-                }
-            }
-        }
-
-        ReferenceIndex {
-            keys,
-            embeddings,
+        let mut index = ReferenceIndex {
+            keys: Vec::new(),
+            meta: Vec::new(),
             coarse,
             fine_sheets,
-            regions,
-            region_vecs,
-            coarse_region_vecs,
-            regions_by_sheet,
-            build_seconds: started.elapsed().as_secs_f64(),
+            regions: Vec::new(),
+            region_vecs: VecTable::new(cfg.fine_dim()),
+            param_vecs: VecTable::new(cfg.fine_dim()),
+            coarse_region_vecs: opts.coarse_regions.then(|| VecTable::new(cfg.coarse_dim)),
+            regions_by_sheet: Vec::new(),
+            build_seconds: 0.0,
+        };
+        // Region provenance: every formula cell, with its template
+        // parameters and their precomputed reference-side embeddings.
+        for (si, (key, emb)) in keys.iter().zip(&embeddings).enumerate() {
+            let sheet = &workbooks[key.workbook].sheets[key.sheet];
+            index.meta.push(sheet_meta(sheet));
+            index.regions_by_sheet.push(Vec::new());
+            index.index_sheet_regions(embedder, emb, sheet, si);
+        }
+        index.keys = keys;
+        index.build_seconds = started.elapsed().as_secs_f64();
+        index
+    }
+
+    /// Capture one sheet's formula regions (entry `sheet_idx` of
+    /// `regions_by_sheet` must already exist). Shared by the batch build
+    /// and the incremental [`ReferenceIndex::add_workbook`] so the two
+    /// paths cannot drift.
+    fn index_sheet_regions(
+        &mut self,
+        embedder: &SheetEmbedder<'_>,
+        emb: &SheetEmbedding,
+        sheet: &Sheet,
+        sheet_idx: usize,
+    ) {
+        let mut locs: Vec<(CellRef, String)> =
+            sheet.formulas().map(|(at, f)| (at, f.to_string())).collect();
+        locs.sort_by_key(|(at, _)| *at);
+        for (cell, formula) in locs {
+            let vec = embedder.fine_window(emb, sheet, WindowOrigin::Centered(cell));
+            let params = match parse_formula(&formula) {
+                Ok(expr) => Template::extract(&expr).1,
+                Err(_) => Vec::new(),
+            };
+            let param_start = self.param_vecs.rows();
+            for &cr in &params {
+                self.param_vecs.push(&embedder.fine_window(emb, sheet, WindowOrigin::Centered(cr)));
+            }
+            self.regions_by_sheet[sheet_idx].push(self.regions.len());
+            self.regions.push(RegionEntry { sheet_idx, cell, formula, params, param_start });
+            self.region_vecs.push(&vec);
+            if let Some(cvecs) = self.coarse_region_vecs.as_mut() {
+                cvecs.push(&coarse_window(embedder, sheet, cell));
+            }
         }
     }
 
     /// Incrementally index one more workbook (the production path when a
     /// user saves a new spreadsheet: no rebuild of the whole org index).
+    /// `workbook_id` is the provenance id recorded in [`SheetKey`] — the
+    /// caller's stable identifier for this workbook, not an index into any
+    /// slice held by the index.
     ///
     /// The options in force are derived from the structures actually
     /// present on `self`, not taken from the caller: trusting a caller-
@@ -182,32 +368,21 @@ impl ReferenceIndex {
     pub fn add_workbook(
         &mut self,
         embedder: &SheetEmbedder<'_>,
-        workbooks: &[Workbook],
-        workbook: usize,
+        workbook: &Workbook,
+        workbook_id: usize,
     ) {
         let fine_signatures = self.fine_sheets.is_some();
-        for (si, sheet) in workbooks[workbook].sheets.iter().enumerate() {
+        for (si, sheet) in workbook.sheets.iter().enumerate() {
             let sheet_idx = self.keys.len();
-            self.keys.push(SheetKey { workbook, sheet: si });
+            self.keys.push(SheetKey { workbook: workbook_id, sheet: si });
+            self.meta.push(sheet_meta(sheet));
             let emb = embedder.embed_sheet(sheet, fine_signatures);
             self.coarse.add(&emb.coarse);
             if let Some(idx) = self.fine_sheets.as_mut() {
                 idx.add(emb.fine_topleft.as_ref().expect("signature computed"));
             }
             self.regions_by_sheet.push(Vec::new());
-            let mut locs: Vec<(CellRef, String)> =
-                sheet.formulas().map(|(at, f)| (at, f.to_string())).collect();
-            locs.sort_by_key(|(at, _)| *at);
-            for (cell, formula) in locs {
-                let vec = embedder.fine_window(&emb, sheet, WindowOrigin::Centered(cell));
-                self.regions_by_sheet[sheet_idx].push(self.regions.len());
-                self.regions.push(RegionEntry { sheet_idx, cell, formula });
-                self.region_vecs.push(vec);
-                if let Some(cvecs) = self.coarse_region_vecs.as_mut() {
-                    cvecs.push(coarse_window(embedder, sheet, cell));
-                }
-            }
-            self.embeddings.push(emb);
+            self.index_sheet_regions(embedder, &emb, sheet, sheet_idx);
         }
     }
 
@@ -217,6 +392,12 @@ impl ReferenceIndex {
 
     pub fn n_regions(&self) -> usize {
         self.regions.len()
+    }
+
+    /// Name and dimensions of an indexed sheet (by id, as returned in S1
+    /// results and [`RegionEntry::sheet_idx`]).
+    pub fn sheet_meta(&self, sheet_idx: usize) -> &SheetMeta {
+        &self.meta[sheet_idx]
     }
 
     /// S1: top-K similar sheets by coarse embedding.
@@ -234,12 +415,25 @@ impl ReferenceIndex {
     }
 
     pub fn region_vec(&self, region_id: usize) -> &[f32] {
-        &self.region_vecs[region_id]
+        self.region_vecs.row(region_id)
+    }
+
+    /// Reference-side fine embedding of parameter `param_idx` of region
+    /// `region_id` (parallel to [`RegionEntry::params`]).
+    pub fn param_vec(&self, region_id: usize, param_idx: usize) -> &[f32] {
+        let entry = &self.regions[region_id];
+        assert!(param_idx < entry.params.len());
+        self.param_vecs.row(entry.param_start + param_idx)
     }
 
     pub fn coarse_region_vec(&self, region_id: usize) -> Option<&[f32]> {
-        self.coarse_region_vecs.as_ref().map(|v| v[region_id].as_slice())
+        self.coarse_region_vecs.as_ref().map(|v| v.row(region_id))
     }
+}
+
+fn sheet_meta(sheet: &Sheet) -> SheetMeta {
+    let (rows, cols) = sheet.dims();
+    SheetMeta { name: sheet.name().to_string(), rows, cols }
 }
 
 /// Coarse embedding of the window centered at a cell (uncached path; used
@@ -324,6 +518,52 @@ mod tests {
         assert!(plain.coarse_region_vec(0).is_none());
     }
 
+    #[test]
+    fn regions_carry_parameter_provenance() {
+        // The self-contained index must hold, for every parseable formula,
+        // its template parameter cells and one reference-side fine vector
+        // per parameter — the data that used to require a live borrow of
+        // the reference workbooks at predict time.
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..4).collect();
+        let idx =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        let fine_dim = model.cfg.fine_dim();
+        let mut with_params = 0usize;
+        for (rid, entry) in idx.regions.iter().enumerate() {
+            for (pi, _) in entry.params.iter().enumerate() {
+                assert_eq!(idx.param_vec(rid, pi).len(), fine_dim);
+            }
+            // Stored params must match a fresh template extraction.
+            if let Ok(expr) = parse_formula(&entry.formula) {
+                let (_, fresh) = Template::extract(&expr);
+                assert_eq!(entry.params, fresh);
+                with_params += !fresh.is_empty() as usize;
+            }
+        }
+        // Every parameter row is claimed by exactly one region.
+        let claimed: usize = idx.regions.iter().map(|e| e.params.len()).sum();
+        assert_eq!(claimed, idx.param_vecs.rows());
+        assert!(with_params > 0, "corpus must contain parameterized formulas");
+    }
+
+    #[test]
+    fn sheet_meta_recorded_per_sheet() {
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..3).collect();
+        let mut idx =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        idx.add_workbook(&embedder, &corpus.workbooks[3], 3);
+        for (si, key) in idx.keys.iter().enumerate() {
+            let sheet = &corpus.workbooks[key.workbook].sheets[key.sheet];
+            let meta = idx.sheet_meta(si);
+            assert_eq!(meta.name, sheet.name());
+            assert_eq!((meta.rows, meta.cols), sheet.dims());
+        }
+    }
+
     /// The three backends the parity tests sweep. IVF probes every list so
     /// rankings are exhaustive and independent of where the quantizer was
     /// trained (incremental and full builds see different corpora).
@@ -364,8 +604,8 @@ mod tests {
                 let full = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, opts);
                 let mut incremental =
                     ReferenceIndex::build(&embedder, &corpus.workbooks, &members[..3], opts);
-                incremental.add_workbook(&embedder, &corpus.workbooks, 3);
-                incremental.add_workbook(&embedder, &corpus.workbooks, 4);
+                incremental.add_workbook(&embedder, &corpus.workbooks[3], 3);
+                incremental.add_workbook(&embedder, &corpus.workbooks[4], 4);
                 let tag = format!("{backend:?} fine={}", opts.fine_sheet_signatures);
                 assert_eq!(incremental.n_sheets(), full.n_sheets(), "{tag}");
                 assert_eq!(incremental.n_regions(), full.n_regions(), "{tag}");
@@ -394,13 +634,25 @@ mod tests {
                         .collect();
                     assert_eq!(a, b, "{tag}");
                 }
-                // Per-region lookups stay in bounds and consistent.
+                // Per-region lookups stay in bounds and consistent —
+                // including the precomputed parameter provenance.
                 for rid in 0..incremental.n_regions() {
                     assert_eq!(
                         incremental.region_vec(rid),
                         full.region_vec(rid),
                         "{tag} region {rid}"
                     );
+                    assert_eq!(
+                        incremental.regions[rid].params, full.regions[rid].params,
+                        "{tag} region {rid}"
+                    );
+                    for pi in 0..full.regions[rid].params.len() {
+                        assert_eq!(
+                            incremental.param_vec(rid, pi),
+                            full.param_vec(rid, pi),
+                            "{tag} region {rid} param {pi}"
+                        );
+                    }
                     assert_eq!(
                         incremental.coarse_region_vec(rid).is_some(),
                         opts.coarse_regions,
@@ -426,7 +678,7 @@ mod tests {
         let members: Vec<usize> = (0..3).collect();
         let opts = IndexOptions { fine_sheet_signatures: true, coarse_regions: true };
         let mut idx = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, opts);
-        idx.add_workbook(&embedder, &corpus.workbooks, 3);
+        idx.add_workbook(&embedder, &corpus.workbooks[3], 3);
 
         // Self-query through the fine-signature index must return the new
         // sheet's id (pre-fix: the signature was never indexed, so the id
@@ -457,5 +709,25 @@ mod tests {
                 assert_eq!(idx.regions[rid].sheet_idx, si);
             }
         }
+    }
+
+    #[test]
+    fn clone_is_independent_of_the_original() {
+        // The serving layer grows a *clone* while readers keep the
+        // original: cloning must deep-copy the ANN structures.
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..3).collect();
+        let idx =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        let mut grown = idx.clone();
+        grown.add_workbook(&embedder, &corpus.workbooks[3], 3);
+        assert!(grown.n_sheets() > idx.n_sheets());
+        let emb = embedder.embed_sheet(&corpus.workbooks[3].sheets[0], false);
+        let hit = grown.similar_sheets(&emb.coarse, 1)[0];
+        assert!(hit.dist < 1e-6, "clone indexed the new sheet");
+        // The original must not have seen the add.
+        assert_eq!(idx.similar_sheets(&emb.coarse, 1).len(), 1);
+        assert!(idx.keys.iter().all(|k| k.workbook != 3));
     }
 }

@@ -16,6 +16,7 @@
 //!   target sheet by local similar-region search, then instantiate the
 //!   formula template.
 
+pub mod artifact;
 pub mod config;
 pub mod embedder;
 pub mod features;
@@ -24,9 +25,10 @@ pub mod model;
 pub mod pipeline;
 pub mod training;
 
+pub use artifact::ArtifactError;
 pub use config::{AnnBackend, AutoFormulaConfig};
 pub use embedder::{SheetEmbedder, SheetEmbedding};
-pub use index::{ReferenceIndex, SheetKey};
+pub use index::{ReferenceIndex, SheetKey, SheetMeta};
 pub use model::RepresentationModel;
 pub use pipeline::{AutoFormula, Prediction};
 pub use training::{train_model, TrainReport, TrainingOptions};

@@ -98,6 +98,8 @@ impl Layer for CellsToImage {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&[f32])) {}
 }
 
 /// The trained representation model: shared reduction + two branch heads.
@@ -276,12 +278,13 @@ impl RepresentationModel {
 
     // --------------------------------------------------------- snapshots
 
-    /// Serialize all weights.
-    pub fn to_bytes(&mut self) -> Bytes {
+    /// Serialize all weights. Read-only: a model being served can be
+    /// snapshotted without pausing inference.
+    pub fn to_bytes(&self) -> Bytes {
         let parts = [
-            save_params(&mut self.reduce),
-            save_params(&mut self.fine_head),
-            save_params(&mut self.coarse_head),
+            save_params(&self.reduce),
+            save_params(&self.fine_head),
+            save_params(&self.coarse_head),
         ];
         let mut buf = BytesMut::new();
         buf.put_u32(parts.len() as u32);

@@ -2,7 +2,7 @@
 //! reference-formula → S3 parameter-cells → instantiated formula.
 
 use crate::config::AutoFormulaConfig;
-use crate::embedder::SheetEmbedder;
+use crate::embedder::{SheetEmbedder, SheetEmbedding};
 use crate::features::WindowOrigin;
 use crate::index::{coarse_window, IndexOptions, ReferenceIndex, SheetKey};
 use crate::model::RepresentationModel;
@@ -36,6 +36,9 @@ pub struct Prediction {
     /// curves.
     pub s2_distance: f32,
     pub reference_sheet: SheetKey,
+    /// Id of the reference sheet inside the index — feed it to
+    /// [`ReferenceIndex::sheet_meta`] for the sheet's name and dimensions.
+    pub reference_sheet_idx: usize,
     pub reference_cell: CellRef,
     /// Signature of the adapted template, e.g. `COUNTIF(_:_,_)`.
     pub template_signature: String,
@@ -84,15 +87,15 @@ impl AutoFormula {
     }
 
     /// Predict with the confidence threshold applied (the production
-    /// entry point).
+    /// entry point). The index is self-contained: no reference workbooks
+    /// are needed — only the query sheet itself.
     pub fn predict(
         &self,
         index: &ReferenceIndex,
-        workbooks: &[Workbook],
         sheet: &Sheet,
         target: CellRef,
     ) -> Option<Prediction> {
-        self.predict_with(index, workbooks, sheet, target, PipelineVariant::Full)
+        self.predict_with(index, sheet, target, PipelineVariant::Full)
             .filter(|p| p.s2_distance <= self.cfg().theta_region)
     }
 
@@ -101,14 +104,30 @@ impl AutoFormula {
     pub fn predict_with(
         &self,
         index: &ReferenceIndex,
-        workbooks: &[Workbook],
+        sheet: &Sheet,
+        target: CellRef,
+        variant: PipelineVariant,
+    ) -> Option<Prediction> {
+        let embedder = self.embedder();
+        let emb = embedder.embed_sheet(sheet, variant == PipelineVariant::FineOnly);
+        self.predict_prepared(index, &emb, sheet, target, variant)
+    }
+
+    /// Predict from an already-computed embedding of the query sheet (the
+    /// micro-batched serving path embeds many query sheets in one tensor
+    /// pass and then runs S1–S3 per query through here). `emb` must carry
+    /// a fine top-left signature when `variant` is
+    /// [`PipelineVariant::FineOnly`].
+    pub fn predict_prepared(
+        &self,
+        index: &ReferenceIndex,
+        emb: &SheetEmbedding,
         sheet: &Sheet,
         target: CellRef,
         variant: PipelineVariant,
     ) -> Option<Prediction> {
         let cfg = self.cfg();
         let embedder = self.embedder();
-        let emb = embedder.embed_sheet(sheet, variant == PipelineVariant::FineOnly);
 
         // ---- S1: similar sheets ----
         let candidates = match variant {
@@ -125,7 +144,7 @@ impl AutoFormula {
         }
 
         // ---- S2: reference formula by similar region ----
-        let target_fine = embedder.fine_window(&emb, sheet, WindowOrigin::Centered(target));
+        let target_fine = embedder.fine_window(emb, sheet, WindowOrigin::Centered(target));
         let target_coarse_region = (variant == PipelineVariant::CoarseOnly)
             .then(|| coarse_window(&embedder, sheet, target));
         let mut ranked: Vec<(usize, f32)> = Vec::new();
@@ -150,30 +169,31 @@ impl AutoFormula {
             let entry = &index.regions[rid];
             let Ok(expr) = parse_formula(&entry.formula) else { continue };
             let (template, ref_params) = Template::extract(&expr);
+            // The reference-side region embeddings were precomputed at
+            // index time (same extraction, same embedder); a length
+            // mismatch can only mean a corrupt artifact — skip the entry
+            // rather than guessing.
+            if ref_params.len() != entry.params.len() {
+                continue;
+            }
             let key = index.keys[entry.sheet_idx];
-            let ref_sheet = &workbooks[key.workbook].sheets[key.sheet];
-            let ref_emb = &index.embeddings[entry.sheet_idx];
 
             let mut mapped: Vec<CellRef> = Vec::with_capacity(ref_params.len());
             let mut ok = true;
-            for &cr in &ref_params {
+            for (pi, &cr) in ref_params.iter().enumerate() {
                 let m = match variant {
                     PipelineVariant::CoarseOnly => offset_map(cr, entry.cell, target),
-                    _ => {
-                        let ref_vec =
-                            embedder.fine_window(ref_emb, ref_sheet, WindowOrigin::Centered(cr));
-                        search_parameter(
-                            &embedder,
-                            &emb,
-                            sheet,
-                            &ref_vec,
-                            cr,
-                            entry.cell,
-                            target,
-                            cfg.neighborhood_d,
-                            cfg.s3_anchor_lambda,
-                        )
-                    }
+                    _ => search_parameter(
+                        &embedder,
+                        emb,
+                        sheet,
+                        index.param_vec(rid, pi),
+                        cr,
+                        entry.cell,
+                        target,
+                        cfg.neighborhood_d,
+                        cfg.s3_anchor_lambda,
+                    ),
                 };
                 match m {
                     Some(c) => mapped.push(c),
@@ -191,6 +211,7 @@ impl AutoFormula {
                 formula: adapted.to_string(),
                 s2_distance: dist,
                 reference_sheet: key,
+                reference_sheet_idx: entry.sheet_idx,
                 reference_cell: entry.cell,
                 template_signature: template.signature(),
             });
@@ -277,13 +298,7 @@ mod tests {
         for tc in cases.iter().take(30) {
             let sheet = &corpus.workbooks[tc.workbook].sheets[tc.sheet];
             let masked = masked_sheet(sheet, tc.target);
-            if let Some(pred) = af.predict_with(
-                &index,
-                &corpus.workbooks,
-                &masked,
-                tc.target,
-                PipelineVariant::Full,
-            ) {
+            if let Some(pred) = af.predict_with(&index, &masked, tc.target, PipelineVariant::Full) {
                 predictions += 1;
                 let gt = parse_formula(&tc.ground_truth).unwrap().to_string();
                 if pred.formula == gt {
@@ -323,8 +338,7 @@ mod tests {
             let sheet = &corpus.workbooks[0].sheets[0];
             let target: CellRef = "D5".parse().unwrap();
             assert!(
-                af.predict_with(&index, &corpus.workbooks, sheet, target, PipelineVariant::Full)
-                    .is_none(),
+                af.predict_with(&index, sheet, target, PipelineVariant::Full).is_none(),
                 "{backend:?}"
             );
         }
@@ -348,7 +362,7 @@ mod tests {
             let sheet = &corpus.workbooks[0].sheets[0];
             let (target, gt) = sheet.formulas().next().expect("a formula cell");
             let pred = af
-                .predict_with(&index, &corpus.workbooks, sheet, target, PipelineVariant::Full)
+                .predict_with(&index, sheet, target, PipelineVariant::Full)
                 .unwrap_or_else(|| panic!("{backend:?} must serve a prediction"));
             assert!(pred.s2_distance < 1e-5, "{backend:?}: self-region must be found");
             assert_eq!(pred.formula, parse_formula(gt).unwrap().to_string(), "{backend:?}");
@@ -380,6 +394,6 @@ mod tests {
         let sheet = &corpus.workbooks[0].sheets[0];
         let target = sheet.formulas().next().map(|(at, _)| at).unwrap();
         let masked = masked_sheet(sheet, target);
-        assert!(af.predict(&index, &corpus.workbooks, &masked, target).is_none());
+        assert!(af.predict(&index, &masked, target).is_none());
     }
 }

@@ -1,0 +1,124 @@
+//! Fuzz-style hardening of the artifact loader: truncated and bit-flipped
+//! artifacts must come back as `Err(ArtifactError)` — never a panic, never
+//! a runaway allocation — at every section boundary and throughout the
+//! header, table, and payload.
+
+use af_core::config::AutoFormulaConfig;
+use af_core::index::IndexOptions;
+use af_core::model::RepresentationModel;
+use af_core::pipeline::AutoFormula;
+use af_corpus::organization::{OrgSpec, Scale};
+use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::sync::Arc;
+
+/// A small but fully-populated artifact (real regions, params, metadata).
+fn small_artifact() -> Vec<u8> {
+    let corpus = OrgSpec::pge(Scale::Tiny).generate();
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig::test_tiny();
+    let af = AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
+    // One workbook keeps the artifact small enough to corrupt exhaustively
+    // around every interesting offset, with optional structures enabled so
+    // every section feature is on the wire.
+    let index = af.build_index(
+        &corpus.workbooks,
+        &[0],
+        IndexOptions { fine_sheet_signatures: true, coarse_regions: true },
+    );
+    assert!(index.n_regions() > 0, "artifact must contain regions");
+    af.save(&index).to_vec()
+}
+
+/// Parse the header the same way the loader lays it out and return every
+/// structurally-interesting absolute offset: header fields, each table
+/// entry, and each section's start/end in the payload.
+fn interesting_offsets(artifact: &[u8]) -> Vec<usize> {
+    let mut offsets: Vec<usize> = (0..12.min(artifact.len())).collect(); // magic/version/flags/count
+    let n_sections = u32::from_be_bytes(artifact[8..12].try_into().unwrap()) as usize;
+    let table_start = 12;
+    let payload_start = table_start + n_sections * 18;
+    for i in 0..n_sections {
+        let entry = table_start + i * 18;
+        offsets.extend([entry, entry + 2, entry + 10]); // id, offset, len fields
+        let off = u64::from_be_bytes(artifact[entry + 2..entry + 10].try_into().unwrap()) as usize;
+        let len = u64::from_be_bytes(artifact[entry + 10..entry + 18].try_into().unwrap()) as usize;
+        // Section boundaries, and a few bytes around them.
+        for d in 0..4 {
+            offsets.push(payload_start + off + d);
+            offsets.push((payload_start + off + len).saturating_sub(d + 1));
+        }
+    }
+    offsets.push(artifact.len() - 1);
+    offsets.retain(|&o| o < artifact.len());
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+#[test]
+fn truncation_never_panics() {
+    let artifact = small_artifact();
+    // Every interesting boundary, plus an even sweep across the payload.
+    let mut cuts = interesting_offsets(&artifact);
+    let step = (artifact.len() / 97).max(1);
+    cuts.extend((0..artifact.len()).step_by(step));
+    cuts.sort_unstable();
+    cuts.dedup();
+    for &cut in &cuts {
+        assert!(
+            AutoFormula::load(&artifact[..cut]).is_err(),
+            "truncation to {cut}/{} bytes must be an error, not a panic",
+            artifact.len()
+        );
+    }
+    // The untouched artifact still loads (the corpus above is valid).
+    assert!(AutoFormula::load(&artifact).is_ok());
+}
+
+#[test]
+fn bit_flips_never_panic() {
+    let artifact = small_artifact();
+    let mut positions = interesting_offsets(&artifact);
+    let step = (artifact.len() / 61).max(1);
+    positions.extend((0..artifact.len()).step_by(step));
+    positions.sort_unstable();
+    positions.dedup();
+    for &pos in &positions {
+        for bit in [0u8, 3, 7] {
+            let mut corrupt = artifact.clone();
+            corrupt[pos] ^= 1 << bit;
+            // A flip in raw f32 payload can still load (values differ);
+            // flips in lengths, ids, tags, or dims must error. Either way:
+            // no panic, and anything that loads stays internally usable.
+            if let Ok((af, index)) = AutoFormula::load(&corrupt) {
+                assert_eq!(index.n_sheets(), index.keys.len());
+                let _ = af.cfg();
+            }
+        }
+    }
+}
+
+#[test]
+fn tail_garbage_and_swapped_sections_fail_cleanly() {
+    let artifact = small_artifact();
+    // Garbage appended after the payload is ignored (sections are offset
+    // addressed), so this must still load.
+    let mut padded = artifact.clone();
+    padded.extend_from_slice(b"trailing junk");
+    assert!(AutoFormula::load(&padded).is_ok());
+
+    // Unknown section id in the table → the real section goes missing.
+    let mut missing = artifact.clone();
+    // First table entry id at offset 12 (big-endian u16).
+    missing[12] = 0xFF;
+    missing[13] = 0xFF;
+    assert!(AutoFormula::load(&missing).is_err());
+
+    // Zero everything after the header: lengths in the table now point at
+    // zeroed payload.
+    let mut zeroed = artifact.clone();
+    for b in zeroed.iter_mut().skip(12) {
+        *b = 0;
+    }
+    assert!(AutoFormula::load(&zeroed).is_err());
+}

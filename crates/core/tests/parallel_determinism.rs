@@ -14,7 +14,7 @@ fn weights_after_training(workers: usize) -> Vec<u8> {
     let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
     let cfg = AutoFormulaConfig { episodes: 12, ..AutoFormulaConfig::test_tiny() };
     let opts = TrainingOptions { workers, ..TrainingOptions::default() };
-    let (mut model, report) = train_model(&corpus.workbooks, &featurizer, cfg, opts);
+    let (model, report) = train_model(&corpus.workbooks, &featurizer, cfg, opts);
     assert!(report.episodes > 0, "corpus must produce training pairs");
     model.to_bytes().to_vec()
 }

@@ -155,6 +155,41 @@ impl GloveSim {
         self.vocab.len()
     }
 
+    /// Rebuild a trained embedder from [`crate::TextEmbedder::export_state`]
+    /// output. `None` on truncated or inconsistent state.
+    pub fn from_state(dim: usize, state: &[u8]) -> Option<GloveSim> {
+        use bytes::{Buf, Bytes};
+        if dim == 0 {
+            return None;
+        }
+        let mut data = Bytes::from(state.to_vec());
+        let n_words = data.try_get_u64()? as usize;
+        // Each word costs at least its 4-byte length prefix.
+        if n_words > data.remaining() / 4 {
+            return None;
+        }
+        let mut vocab = HashMap::with_capacity(n_words);
+        for id in 0..n_words {
+            let len = data.try_get_u32()? as usize;
+            if data.remaining() < len {
+                return None;
+            }
+            let word = String::from_utf8(data.split_to(len).to_vec()).ok()?;
+            if vocab.insert(word, id).is_some() {
+                return None; // duplicate word
+            }
+        }
+        let n_vec = data.try_get_u64()? as usize;
+        if n_vec != n_words.checked_mul(dim)? || data.remaining() != n_vec * 4 {
+            return None;
+        }
+        let mut vectors = Vec::with_capacity(n_vec);
+        for _ in 0..n_vec {
+            vectors.push(data.try_get_f32()?);
+        }
+        Some(GloveSim { dim, vocab, vectors, cache: Mutex::new(HashMap::new()) })
+    }
+
     /// Deterministic pseudo-random unit-ish vector for out-of-vocabulary
     /// words, so unseen words still compare consistently.
     fn oov_vector(&self, word: &str, out: &mut [f32]) {
@@ -220,6 +255,26 @@ impl TextEmbedder for GloveSim {
 
     fn name(&self) -> &'static str {
         "glove-sim"
+    }
+
+    /// Vocabulary (in id order) and trained vectors; see
+    /// [`GloveSim::from_state`].
+    fn export_state(&self) -> Vec<u8> {
+        use bytes::{BufMut, BytesMut};
+        let mut words: Vec<(&str, usize)> =
+            self.vocab.iter().map(|(w, &id)| (w.as_str(), id)).collect();
+        words.sort_by_key(|&(_, id)| id);
+        let mut buf = BytesMut::new();
+        buf.put_u64(words.len() as u64);
+        for (w, _) in &words {
+            buf.put_u32(w.len() as u32);
+            buf.put_slice(w.as_bytes());
+        }
+        buf.put_u64(self.vectors.len() as u64);
+        for &v in &self.vectors {
+            buf.put_f32(v);
+        }
+        buf.to_vec()
     }
 }
 

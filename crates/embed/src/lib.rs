@@ -20,6 +20,7 @@ pub mod content;
 pub mod glove_sim;
 pub mod hashing;
 pub mod sbert_sim;
+pub mod snapshot;
 pub mod style_feat;
 pub mod tokenize;
 
@@ -27,6 +28,7 @@ pub use cell_features::{CellFeaturizer, FeatureMask};
 pub use content::{syntactic_features, SYNTACTIC_DIM};
 pub use glove_sim::GloveSim;
 pub use sbert_sim::SbertSim;
+pub use snapshot::{load_featurizer, save_featurizer, FeaturizerCodecError};
 pub use style_feat::{style_features, STYLE_DIM};
 
 use std::sync::Arc;
@@ -41,6 +43,10 @@ pub trait TextEmbedder: Send + Sync {
     fn embed(&self, text: &str, out: &mut [f32]);
     /// Short human-readable name ("glove-sim" / "sbert-sim").
     fn name(&self) -> &'static str;
+    /// Serialize the construction state (trained vocabulary, vectors, …)
+    /// so [`snapshot::load_featurizer`] can rebuild an embedder producing
+    /// bit-identical vectors. Stateless embedders return an empty payload.
+    fn export_state(&self) -> Vec<u8>;
 }
 
 /// Shared handle to an embedder.

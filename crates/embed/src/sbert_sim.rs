@@ -79,6 +79,12 @@ impl TextEmbedder for SbertSim {
     fn name(&self) -> &'static str {
         "sbert-sim"
     }
+
+    /// Stateless beyond `dim`: hashing is deterministic, so rebuilding
+    /// from the dimension alone reproduces identical vectors.
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
 }
 
 fn l2_normalize(v: &mut [f32]) {

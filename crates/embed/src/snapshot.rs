@@ -1,0 +1,165 @@
+//! Featurizer (de)serialization: the vocabulary half of a recommendation
+//! artifact.
+//!
+//! A [`CellFeaturizer`] is rebuilt from four pieces — embedder name,
+//! embedder dimension, feature mask, and the embedder's exported state
+//! (trained GloVe vocabulary and vectors; empty for the hashing-based
+//! SBERT stand-in). Loading validates every length and rejects unknown
+//! embedder names, so corrupt input fails with a [`FeaturizerCodecError`]
+//! rather than a panic.
+
+use crate::cell_features::{CellFeaturizer, FeatureMask};
+use crate::glove_sim::GloveSim;
+use crate::sbert_sim::SbertSim;
+use crate::DynEmbedder;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::sync::Arc;
+
+/// Featurizer decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeaturizerCodecError {
+    Truncated,
+    /// The stored embedder name matches no known implementation.
+    UnknownEmbedder(String),
+    Invalid(&'static str),
+}
+
+impl fmt::Display for FeaturizerCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeaturizerCodecError::Truncated => f.write_str("featurizer data truncated"),
+            FeaturizerCodecError::UnknownEmbedder(name) => {
+                write!(f, "unknown text embedder {name:?}")
+            }
+            FeaturizerCodecError::Invalid(what) => write!(f, "invalid featurizer data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FeaturizerCodecError {}
+
+/// Serialize a featurizer (embedder name + dim + mask + embedder state).
+pub fn save_featurizer(featurizer: &CellFeaturizer) -> Bytes {
+    let embedder = featurizer.embedder();
+    let name = embedder.name().as_bytes();
+    let state = embedder.export_state();
+    let mut buf = BytesMut::with_capacity(16 + name.len() + state.len());
+    buf.put_u32(name.len() as u32);
+    buf.put_slice(name);
+    buf.put_u32(embedder.dim() as u32);
+    let mask = featurizer.mask();
+    buf.put_u8(mask.content as u8 | (mask.style as u8) << 1);
+    buf.put_u64(state.len() as u64);
+    buf.put_slice(&state);
+    buf.freeze()
+}
+
+/// Rebuild a featurizer from the front of `data` (cursor advances).
+pub fn load_featurizer(data: &mut Bytes) -> Result<CellFeaturizer, FeaturizerCodecError> {
+    let name_len = data.try_get_u32().ok_or(FeaturizerCodecError::Truncated)? as usize;
+    if data.remaining() < name_len {
+        return Err(FeaturizerCodecError::Truncated);
+    }
+    let name = String::from_utf8(data.split_to(name_len).to_vec())
+        .map_err(|_| FeaturizerCodecError::Invalid("embedder name is not UTF-8"))?;
+    let dim = data.try_get_u32().ok_or(FeaturizerCodecError::Truncated)? as usize;
+    let mask_bits = data.try_get_u8().ok_or(FeaturizerCodecError::Truncated)?;
+    if mask_bits > 0b11 {
+        return Err(FeaturizerCodecError::Invalid("unknown feature-mask bits"));
+    }
+    let mask = FeatureMask { content: mask_bits & 1 != 0, style: mask_bits & 2 != 0 };
+    let state_len = data.try_get_u64().ok_or(FeaturizerCodecError::Truncated)? as usize;
+    if data.remaining() < state_len {
+        return Err(FeaturizerCodecError::Truncated);
+    }
+    let state = data.split_to(state_len);
+    let embedder: DynEmbedder = match name.as_str() {
+        "sbert-sim" => {
+            if dim < 8 {
+                return Err(FeaturizerCodecError::Invalid("sbert-sim dim must be >= 8"));
+            }
+            Arc::new(SbertSim::new(dim))
+        }
+        "glove-sim" => Arc::new(
+            GloveSim::from_state(dim, &state)
+                .ok_or(FeaturizerCodecError::Invalid("glove-sim state is inconsistent"))?,
+        ),
+        _ => return Err(FeaturizerCodecError::UnknownEmbedder(name)),
+    };
+    Ok(CellFeaturizer::new(embedder, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glove_sim::GloveParams;
+    use af_grid::Cell;
+
+    fn round_trip(f: &CellFeaturizer) -> CellFeaturizer {
+        let mut bytes = save_featurizer(f);
+        let loaded = load_featurizer(&mut bytes).expect("round trip");
+        assert_eq!(bytes.remaining(), 0);
+        loaded
+    }
+
+    fn assert_same_features(a: &CellFeaturizer, b: &CellFeaturizer) {
+        assert_eq!(a.dim(), b.dim());
+        assert_eq!(a.mask(), b.mask());
+        for text in ["Total Sales", "cat", "1234.5", "", "Qx-報告"] {
+            let mut va = vec![0.0; a.dim()];
+            let mut vb = vec![0.0; b.dim()];
+            a.cell(&Cell::new(text), &mut va);
+            b.cell(&Cell::new(text), &mut vb);
+            assert_eq!(va, vb, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn sbert_featurizer_round_trips() {
+        for mask in [FeatureMask::FULL, FeatureMask::NO_CONTENT, FeatureMask::NO_STYLE] {
+            let f = CellFeaturizer::new(Arc::new(SbertSim::new(24)), mask);
+            assert_same_features(&f, &round_trip(&f));
+        }
+    }
+
+    #[test]
+    fn trained_glove_featurizer_round_trips() {
+        let corpus = ["total sales revenue", "sales revenue total", "the cat sat", "cat and dog"];
+        let glove = GloveSim::train(
+            corpus.iter().copied(),
+            GloveParams { dim: 16, epochs: 4, min_count: 1, ..Default::default() },
+        );
+        assert!(glove.vocab_size() > 0, "training must produce a vocabulary");
+        let f = CellFeaturizer::new(Arc::new(glove), FeatureMask::FULL);
+        assert_same_features(&f, &round_trip(&f));
+    }
+
+    #[test]
+    fn untrained_glove_round_trips() {
+        let f = CellFeaturizer::new(Arc::new(GloveSim::untrained(12)), FeatureMask::FULL);
+        assert_same_features(&f, &round_trip(&f));
+    }
+
+    #[test]
+    fn corrupt_featurizer_data_rejected() {
+        let f = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let bytes = save_featurizer(&f);
+        for cut in 0..bytes.len() {
+            let mut head = bytes.slice(0..cut);
+            assert!(load_featurizer(&mut head).is_err(), "cut at {cut}");
+        }
+        // Unknown embedder name.
+        let mut buf = BytesMut::new();
+        buf.put_u32(7);
+        buf.put_slice(b"unknown");
+        buf.put_u32(16);
+        buf.put_u8(3);
+        buf.put_u64(0);
+        let mut data = buf.freeze();
+        assert!(matches!(
+            load_featurizer(&mut data),
+            Err(FeaturizerCodecError::UnknownEmbedder(_))
+        ));
+    }
+}

@@ -31,6 +31,11 @@ pub trait Layer: Send + Sync {
     fn infer(&self, x: Tensor) -> Tensor;
     /// Visit `(param, grad)` slices in a stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+    /// Visit parameter slices read-only, in the same stable order as
+    /// [`Layer::visit_params`]. This is what snapshotting uses, so a live
+    /// model can be serialized through `&self` while other threads keep
+    /// running inference against it.
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&[f32]));
     /// Number of trainable parameters.
     fn param_count(&self) -> usize {
         let mut n = 0;
@@ -169,6 +174,11 @@ impl Layer for Linear {
         f(&mut self.b, &mut self.gb);
     }
 
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&[f32])) {
+        f(&self.w);
+        f(&self.b);
+    }
+
     fn param_count(&self) -> usize {
         self.w.len() + self.b.len()
     }
@@ -221,6 +231,8 @@ impl Layer for Relu {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&[f32])) {}
 }
 
 // ---------------------------------------------------------------- Conv2d
@@ -418,6 +430,11 @@ impl Layer for Conv2d {
         f(&mut self.b, &mut self.gb);
     }
 
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&[f32])) {
+        f(&self.w);
+        f(&self.b);
+    }
+
     fn param_count(&self) -> usize {
         self.w.len() + self.b.len()
     }
@@ -516,6 +533,8 @@ impl Layer for MaxPool2d {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&[f32])) {}
 }
 
 // -------------------------------------------------------- GlobalAvgPool
@@ -577,6 +596,8 @@ impl Layer for GlobalAvgPool {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&[f32])) {}
 }
 
 // ---------------------------------------------------------- L2Normalize
@@ -638,6 +659,8 @@ impl Layer for L2Normalize {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&[f32])) {}
 }
 
 // ------------------------------------------------------------ Sequential
@@ -684,6 +707,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         for l in self.layers.iter_mut() {
             l.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&[f32])) {
+        for l in self.layers.iter() {
+            l.visit_params_ref(f);
         }
     }
 

@@ -48,22 +48,27 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// Serialize all parameters of `layer` into a byte buffer.
-pub fn save_params(layer: &mut dyn Layer) -> Bytes {
-    let mut blocks: Vec<Vec<f32>> = Vec::new();
-    layer.visit_params(&mut |p, _| blocks.push(p.to_vec()));
-    let total: usize = blocks.iter().map(|b| 8 + b.len() * 4).sum();
+/// Serialize all parameters of `layer` into a byte buffer. Read-only
+/// (via [`Layer::visit_params_ref`]), so a shared model can be snapshotted
+/// while other threads run inference against it.
+pub fn save_params(layer: &dyn Layer) -> Bytes {
+    let mut n_blocks = 0usize;
+    let mut total = 0usize;
+    layer.visit_params_ref(&mut |p| {
+        n_blocks += 1;
+        total += 8 + p.len() * 4;
+    });
     let mut buf = BytesMut::with_capacity(16 + total);
     buf.put_u32(MAGIC);
     buf.put_u16(VERSION);
     buf.put_u16(0); // reserved
-    buf.put_u32(blocks.len() as u32);
-    for b in &blocks {
-        buf.put_u64(b.len() as u64);
-        for &v in b {
+    buf.put_u32(n_blocks as u32);
+    layer.visit_params_ref(&mut |p| {
+        buf.put_u64(p.len() as u64);
+        for &v in p {
             buf.put_f32(v);
         }
-    }
+    });
     buf.freeze()
 }
 
@@ -81,13 +86,20 @@ pub fn load_params(layer: &mut dyn Layer, mut data: Bytes) -> Result<(), Snapsho
     }
     let _reserved = data.get_u16();
     let n_blocks = data.get_u32() as usize;
+    // Every block needs at least its 8-byte length prefix, so a count
+    // larger than that bound is corrupt — reject before reserving memory
+    // for it.
+    if n_blocks > data.remaining() / 8 {
+        return Err(SnapshotError::Truncated);
+    }
     let mut blocks: Vec<Vec<f32>> = Vec::with_capacity(n_blocks);
     for _ in 0..n_blocks {
         if data.remaining() < 8 {
             return Err(SnapshotError::Truncated);
         }
         let len = data.get_u64() as usize;
-        if data.remaining() < len * 4 {
+        let need = len.checked_mul(4).ok_or(SnapshotError::Truncated)?;
+        if data.remaining() < need {
             return Err(SnapshotError::Truncated);
         }
         let mut v = Vec::with_capacity(len);
@@ -147,19 +159,19 @@ mod tests {
 
     #[test]
     fn save_load_round_trip() {
-        let mut a = net(1);
+        let a = net(1);
         let mut b = net(2);
         let x = Tensor::new(vec![1, 4], vec![0.5, -0.5, 1.0, 0.25]);
         assert_ne!(a.infer(x.clone()).data, b.infer(x.clone()).data);
-        let snap = save_params(&mut a);
+        let snap = save_params(&a);
         load_params(&mut b, snap).unwrap();
         assert_eq!(a.infer(x.clone()).data, b.infer(x).data);
     }
 
     #[test]
     fn mismatched_architecture_rejected() {
-        let mut a = net(1);
-        let snap = save_params(&mut a);
+        let a = net(1);
+        let snap = save_params(&a);
         let mut rng = StdRng::seed_from_u64(3);
         let mut tiny = Sequential::new();
         tiny.push(Linear::new(&mut rng, 4, 4));
@@ -178,7 +190,7 @@ mod tests {
             load_params(&mut a, Bytes::from_static(b"tiny")).unwrap_err(),
             SnapshotError::Truncated
         );
-        let snap = save_params(&mut a);
+        let snap = save_params(&a);
         let truncated = snap.slice(0..snap.len() - 7);
         assert_eq!(load_params(&mut a, truncated).unwrap_err(), SnapshotError::Truncated);
     }

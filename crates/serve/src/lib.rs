@@ -1,0 +1,512 @@
+//! `af-serve` — concurrent serving of self-contained recommendation
+//! artifacts.
+//!
+//! The paper's online pipeline (Algorithm 2) is train-once / predict-many;
+//! this crate is the predict-many half as a production component:
+//!
+//! * **Immutable snapshots.** A [`Snapshot`] bundles the trained system
+//!   and a self-contained [`ReferenceIndex`] (which, since the provenance
+//!   refactor, answers queries without any borrow of the reference
+//!   workbooks). Snapshots are shared behind `Arc` and never mutated.
+//! * **Lock-free readers, epoch-style writers.** [`ServeHandle`] keeps the
+//!   current snapshot in a two-slot left-right structure: readers acquire
+//!   it with two atomic counter operations and *never block* — not on
+//!   other readers, not on writers. [`ServeHandle::add_workbook`] builds a
+//!   grown copy of the index off to the side, then atomically swaps it in;
+//!   the writer waits for stragglers, readers never wait for the writer.
+//!   Readers holding an old epoch keep serving from it until they drop it.
+//! * **Micro-batched embedding.** [`ServeHandle::predict_batch`] embeds a
+//!   burst of concurrent query sheets through the representation model in
+//!   one tensor pass (`SheetEmbedder::embed_sheets`) and then runs S1–S3
+//!   per query — bit-identical to issuing the queries one at a time.
+//! * **Artifacts in, artifacts out.** [`ServeHandle::from_artifact`] cold-
+//!   starts a server from bytes produced by `AutoFormula::save`;
+//!   [`ServeHandle::to_artifact`] snapshots the *current* serving state
+//!   (including workbooks added since load) back into bytes.
+
+use af_core::artifact::ArtifactError;
+use af_core::index::ReferenceIndex;
+use af_core::pipeline::{AutoFormula, PipelineVariant, Prediction};
+use af_grid::{CellRef, Sheet, Workbook};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One immutable serving state: everything needed to answer predictions.
+pub struct Snapshot {
+    /// The trained system (model + featurizer), shared across epochs —
+    /// incremental indexing never retrains.
+    pub system: Arc<AutoFormula>,
+    /// The self-contained reference index this epoch serves from.
+    pub index: ReferenceIndex,
+    /// Monotonic epoch counter; bumped by every successful
+    /// [`ServeHandle::add_workbook`].
+    pub epoch: u64,
+    /// Provenance id the next added workbook will receive in
+    /// [`af_core::SheetKey::workbook`].
+    next_workbook_id: usize,
+}
+
+impl Snapshot {
+    /// Predict with the confidence threshold applied, against this epoch.
+    pub fn predict(&self, sheet: &Sheet, target: CellRef) -> Option<Prediction> {
+        self.system.predict(&self.index, sheet, target)
+    }
+
+    /// Predict without thresholding, any pipeline variant.
+    pub fn predict_with(
+        &self,
+        sheet: &Sheet,
+        target: CellRef,
+        variant: PipelineVariant,
+    ) -> Option<Prediction> {
+        self.system.predict_with(&self.index, sheet, target, variant)
+    }
+
+    /// Answer a burst of queries against this epoch with one micro-batched
+    /// embedding pass: distinct query sheets (deduplicated by identity —
+    /// a burst is naturally many targets on few sheets) go through the
+    /// representation model in a single tensor, then S1–S3 run per query.
+    /// Bit-identical to calling [`Snapshot::predict_with`] per query.
+    pub fn predict_batch_with(
+        &self,
+        queries: &[(&Sheet, CellRef)],
+        variant: PipelineVariant,
+    ) -> Vec<Option<Prediction>> {
+        let mut unique: Vec<&Sheet> = Vec::new();
+        let mut slot: Vec<usize> = Vec::with_capacity(queries.len());
+        for &(sheet, _) in queries {
+            match unique.iter().position(|&s| std::ptr::eq(s, sheet)) {
+                Some(i) => slot.push(i),
+                None => {
+                    slot.push(unique.len());
+                    unique.push(sheet);
+                }
+            }
+        }
+        let embedder = self.system.embedder();
+        let embs = embedder.embed_sheets(&unique, variant == PipelineVariant::FineOnly);
+        queries
+            .iter()
+            .enumerate()
+            .map(|(qi, &(sheet, target))| {
+                self.system.predict_prepared(&self.index, &embs[slot[qi]], sheet, target, variant)
+            })
+            .collect()
+    }
+}
+
+/// One slot of the left-right pair: a raw `Arc<Snapshot>` pointer plus the
+/// count of readers currently dereferencing it.
+struct Slot {
+    ptr: AtomicPtr<Snapshot>,
+    readers: AtomicUsize,
+}
+
+impl Slot {
+    fn holding(snap: Arc<Snapshot>) -> Slot {
+        Slot {
+            ptr: AtomicPtr::new(Arc::into_raw(snap) as *mut Snapshot),
+            readers: AtomicUsize::new(0),
+        }
+    }
+}
+
+struct Shared {
+    slots: [Slot; 2],
+    /// Which slot readers should use. The invariant that makes reads safe:
+    /// a slot's pointer is only ever replaced while `active` names the
+    /// *other* slot **and** the slot's reader count has been observed at
+    /// zero after that — so a reader that announced itself and then
+    /// confirmed the slot is still active holds a pinned pointer.
+    active: AtomicUsize,
+    /// Serializes writers (snapshot builds + publishes). Readers never
+    /// touch it.
+    writer: Mutex<()>,
+}
+
+// All snapshot swaps and reader announcements use `SeqCst`: the proof that
+// a writer never frees a snapshot a reader is acquiring needs the writer's
+// `active` store, the reader's counter increment, and both re-checks to sit
+// in one total order. The cost is nanoseconds against a prediction that
+// runs embedding kernels for microseconds to milliseconds.
+const ORD: Ordering = Ordering::SeqCst;
+
+impl Shared {
+    /// Spin until no reader holds `slot`. Only the writer calls this, and
+    /// only for the slot `active` does not name — readers drain quickly
+    /// (their critical section is two loads and an `Arc` count bump) and
+    /// new readers cannot enter a non-active slot.
+    fn drain(slot: &Slot) {
+        let mut spins = 0u32;
+        while slot.readers.load(ORD) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Replace both slots with `new`. Caller must hold the writer lock.
+    fn publish(&self, new: Arc<Snapshot>) {
+        let a = self.active.load(ORD);
+        let b = 1 - a;
+        // Slot b is inactive: wait out stragglers, install the new
+        // snapshot, then direct readers at it.
+        Self::drain(&self.slots[b]);
+        let old = self.slots[b].ptr.swap(Arc::into_raw(Arc::clone(&new)) as *mut Snapshot, ORD);
+        unsafe { drop(Arc::from_raw(old)) };
+        self.active.store(b, ORD);
+        // Now slot a is inactive; once its readers drain, bring it to the
+        // same epoch so the next publish has a clean inactive slot.
+        Self::drain(&self.slots[a]);
+        let old = self.slots[a].ptr.swap(Arc::into_raw(new) as *mut Snapshot, ORD);
+        unsafe { drop(Arc::from_raw(old)) };
+    }
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let p = slot.ptr.load(ORD);
+            unsafe { drop(Arc::from_raw(p)) };
+        }
+    }
+}
+
+/// A cloneable handle to a concurrently-served recommendation artifact.
+///
+/// Cheap to clone (an `Arc`); hand one to every worker thread. All methods
+/// take `&self`.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Serve an in-memory system and its built index.
+    pub fn new(system: AutoFormula, index: ReferenceIndex) -> ServeHandle {
+        let next_workbook_id = index.keys.iter().map(|k| k.workbook + 1).max().unwrap_or(0);
+        let snap =
+            Arc::new(Snapshot { system: Arc::new(system), index, epoch: 0, next_workbook_id });
+        ServeHandle {
+            shared: Arc::new(Shared {
+                slots: [Slot::holding(Arc::clone(&snap)), Slot::holding(snap)],
+                active: AtomicUsize::new(0),
+                writer: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Cold-start a server from artifact bytes (`AutoFormula::save`).
+    pub fn from_artifact(data: &[u8]) -> Result<ServeHandle, ArtifactError> {
+        let (system, index) = AutoFormula::load(data)?;
+        Ok(ServeHandle::new(system, index))
+    }
+
+    /// Serialize the *current* serving state — including workbooks added
+    /// since startup — into a self-contained artifact.
+    pub fn to_artifact(&self) -> Bytes {
+        let snap = self.snapshot();
+        snap.system.save(&snap.index)
+    }
+
+    /// Acquire the current snapshot. Lock-free and wait-free in the
+    /// absence of a concurrent publish; at most a couple of retries when
+    /// one races past. The returned `Arc` pins the epoch for as long as
+    /// the caller holds it — an unbounded read, safely.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        loop {
+            let a = self.shared.active.load(ORD);
+            let slot = &self.shared.slots[a];
+            // Announce, then confirm the slot is still the active one. If
+            // it is, the writer cannot replace this slot's pointer until
+            // our count drops (it drains inactive slots only, and `active`
+            // can't return to this slot without a full publish that drains
+            // it first).
+            slot.readers.fetch_add(1, ORD);
+            if self.shared.active.load(ORD) == a {
+                let p = slot.ptr.load(ORD);
+                let snap = unsafe {
+                    Arc::increment_strong_count(p);
+                    Arc::from_raw(p)
+                };
+                slot.readers.fetch_sub(1, ORD);
+                return snap;
+            }
+            // A publish moved `active` between our two loads; retry on the
+            // new slot.
+            slot.readers.fetch_sub(1, ORD);
+        }
+    }
+
+    /// Current epoch (0 until the first [`ServeHandle::add_workbook`]).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Sheets currently indexed.
+    pub fn n_sheets(&self) -> usize {
+        self.snapshot().index.n_sheets()
+    }
+
+    /// Formula regions currently indexed.
+    pub fn n_regions(&self) -> usize {
+        self.snapshot().index.n_regions()
+    }
+
+    /// Predict with the confidence threshold applied (the serving
+    /// entry point). Lock-free: runs entirely against one snapshot.
+    pub fn predict(&self, sheet: &Sheet, target: CellRef) -> Option<Prediction> {
+        self.snapshot().predict(sheet, target)
+    }
+
+    /// Predict without thresholding, any pipeline variant.
+    pub fn predict_with(
+        &self,
+        sheet: &Sheet,
+        target: CellRef,
+        variant: PipelineVariant,
+    ) -> Option<Prediction> {
+        self.snapshot().predict_with(sheet, target, variant)
+    }
+
+    /// Answer a burst of queries with one micro-batched embedding pass
+    /// against one consistent snapshot (see
+    /// [`Snapshot::predict_batch_with`]). Results are bit-identical to
+    /// calling [`ServeHandle::predict_with`] per query on the same epoch,
+    /// just cheaper.
+    pub fn predict_batch_with(
+        &self,
+        queries: &[(&Sheet, CellRef)],
+        variant: PipelineVariant,
+    ) -> Vec<Option<Prediction>> {
+        self.snapshot().predict_batch_with(queries, variant)
+    }
+
+    /// [`ServeHandle::predict_batch_with`] on the full pipeline, with the
+    /// confidence threshold applied per query. One snapshot serves the
+    /// whole call, so the threshold and the predictions always come from
+    /// the same epoch.
+    pub fn predict_batch(&self, queries: &[(&Sheet, CellRef)]) -> Vec<Option<Prediction>> {
+        let snap = self.snapshot();
+        let theta = snap.system.cfg().theta_region;
+        snap.predict_batch_with(queries, PipelineVariant::Full)
+            .into_iter()
+            .map(|p| p.filter(|p| p.s2_distance <= theta))
+            .collect()
+    }
+
+    /// Incrementally index one more workbook and atomically swap the grown
+    /// index in. Writers are serialized; readers never block — queries in
+    /// flight keep their epoch, new queries see the new one. Returns the
+    /// new epoch.
+    pub fn add_workbook(&self, workbook: &Workbook) -> u64 {
+        let guard = self.shared.writer.lock();
+        let cur = self.snapshot();
+        let mut index = cur.index.clone();
+        let id = cur.next_workbook_id;
+        index.add_workbook(&cur.system.embedder(), workbook, id);
+        let epoch = cur.epoch + 1;
+        let new = Arc::new(Snapshot {
+            system: Arc::clone(&cur.system),
+            index,
+            epoch,
+            next_workbook_id: id + 1,
+        });
+        self.shared.publish(new);
+        drop(guard);
+        epoch
+    }
+}
+
+// The handle is shared across worker threads by design.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServeHandle>();
+    assert_send_sync::<Snapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_core::config::AutoFormulaConfig;
+    use af_core::index::IndexOptions;
+    use af_core::model::RepresentationModel;
+    use af_corpus::organization::{OrgSpec, Scale};
+    use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+
+    fn system_and_corpus() -> (AutoFormula, af_corpus::OrgCorpus) {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = AutoFormulaConfig::test_tiny();
+        let af =
+            AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
+        (af, corpus)
+    }
+
+    fn handle_over(n_workbooks: usize) -> (ServeHandle, af_corpus::OrgCorpus) {
+        let (af, corpus) = system_and_corpus();
+        let members: Vec<usize> = (0..n_workbooks).collect();
+        let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+        (ServeHandle::new(af, index), corpus)
+    }
+
+    fn query_targets(corpus: &af_corpus::OrgCorpus, wb: usize) -> Vec<(&Sheet, CellRef)> {
+        corpus.workbooks[wb]
+            .sheets
+            .iter()
+            .flat_map(|s| s.formulas().map(move |(at, _)| (s, at)))
+            .collect()
+    }
+
+    #[test]
+    fn serves_predictions_matching_the_direct_pipeline() {
+        let (af, corpus) = system_and_corpus();
+        let members: Vec<usize> = (0..4).collect();
+        let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+        let handle = ServeHandle::new(
+            AutoFormula::from_model(
+                {
+                    // Same weights: rebuild from the snapshot bytes.
+                    let mut m = RepresentationModel::new(af.model.feat_dim, af.model.cfg);
+                    m.load_bytes(af.model.to_bytes()).unwrap();
+                    m
+                },
+                CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL),
+            ),
+            index.clone(),
+        );
+        for (sheet, target) in query_targets(&corpus, 0).into_iter().take(10) {
+            let direct = af.predict_with(&index, sheet, target, PipelineVariant::Full);
+            let served = handle.predict_with(sheet, target, PipelineVariant::Full);
+            assert_eq!(direct.map(|p| p.formula), served.map(|p| p.formula));
+        }
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_sequential() {
+        let (handle, corpus) = handle_over(4);
+        let queries = query_targets(&corpus, 0);
+        assert!(!queries.is_empty());
+        for variant in
+            [PipelineVariant::Full, PipelineVariant::CoarseOnly, PipelineVariant::FineOnly]
+        {
+            let batched = handle.predict_batch_with(&queries, variant);
+            for (&(sheet, target), b) in queries.iter().zip(&batched) {
+                let solo = handle.predict_with(sheet, target, variant);
+                match (solo, b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.formula, y.formula, "{variant:?}");
+                        assert_eq!(x.s2_distance.to_bits(), y.s2_distance.to_bits(), "{variant:?}");
+                    }
+                    (None, None) => {}
+                    (x, y) => panic!("{variant:?}: {x:?} vs {y:?}"),
+                }
+            }
+        }
+        // Thresholded batch applies θ.
+        let theta = handle.snapshot().system.cfg().theta_region;
+        for p in handle.predict_batch(&queries).into_iter().flatten() {
+            assert!(p.s2_distance <= theta);
+        }
+    }
+
+    #[test]
+    fn add_workbook_swaps_epochs_without_disturbing_held_snapshots() {
+        let (handle, corpus) = handle_over(3);
+        let before = handle.snapshot();
+        assert_eq!(before.epoch, 0);
+        let n_before = before.index.n_sheets();
+
+        let epoch = handle.add_workbook(&corpus.workbooks[3]);
+        assert_eq!(epoch, 1);
+        assert_eq!(handle.epoch(), 1);
+        assert!(handle.n_sheets() > n_before);
+        // The held snapshot still serves its old epoch, untouched.
+        assert_eq!(before.epoch, 0);
+        assert_eq!(before.index.n_sheets(), n_before);
+
+        // The new epoch finds the new workbook's sheets as references.
+        let after = handle.snapshot();
+        let sheet = &corpus.workbooks[3].sheets[0];
+        let emb = after.system.embedder().embed_sheet(sheet, false);
+        let hit = after.index.similar_sheets(&emb.coarse, 1)[0];
+        assert!(hit.dist < 1e-6, "new sheet must be indexed in the new epoch");
+        // Provenance ids keep growing.
+        assert_eq!(handle.add_workbook(&corpus.workbooks[4]), 2);
+        let keys = &handle.snapshot().index.keys;
+        assert!(keys.iter().any(|k| k.workbook == 4));
+    }
+
+    #[test]
+    fn artifact_round_trip_through_the_server() {
+        let (handle, corpus) = handle_over(3);
+        handle.add_workbook(&corpus.workbooks[3]);
+        let bytes = handle.to_artifact();
+        let reloaded = ServeHandle::from_artifact(&bytes).expect("artifact loads");
+        assert_eq!(reloaded.n_sheets(), handle.n_sheets());
+        assert_eq!(reloaded.n_regions(), handle.n_regions());
+        for (sheet, target) in query_targets(&corpus, 0).into_iter().take(8) {
+            let a = handle.predict_with(sheet, target, PipelineVariant::Full);
+            let b = reloaded.predict_with(sheet, target, PipelineVariant::Full);
+            assert_eq!(a.map(|p| p.formula), b.map(|p| p.formula));
+        }
+        assert!(ServeHandle::from_artifact(b"garbage").is_err());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_stress() {
+        let (handle, corpus) = handle_over(2);
+        let queries: Vec<(usize, usize, CellRef)> = corpus.workbooks[0]
+            .sheets
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| s.formulas().map(move |(at, _)| (0usize, si, at)))
+            .collect();
+        assert!(!queries.is_empty());
+        let stop = std::sync::atomic::AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            // Readers hammer predict + snapshot invariants.
+            for t in 0..3 {
+                let handle = handle.clone();
+                let corpus = &corpus;
+                let queries = &queries;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut served = 0usize;
+                    let mut last_epoch = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = handle.snapshot();
+                        // Epochs are monotone per reader.
+                        assert!(snap.epoch >= last_epoch, "epoch went backwards");
+                        last_epoch = snap.epoch;
+                        // Internal consistency of whatever epoch we got.
+                        assert_eq!(snap.index.n_sheets(), snap.index.keys.len());
+                        let (wb, si, at) = queries[(served + t) % queries.len()];
+                        let sheet = &corpus.workbooks[wb].sheets[si];
+                        let _ = snap.predict_with(sheet, at, PipelineVariant::Full);
+                        served += 1;
+                    }
+                    assert!(served > 0);
+                });
+            }
+            // One writer keeps publishing new epochs.
+            let writer = handle.clone();
+            let corpus_ref = &corpus;
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let wb = &corpus_ref.workbooks[2 + (round % 3)];
+                    writer.add_workbook(wb);
+                }
+                stop_ref.store(true, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(handle.epoch(), 6);
+    }
+}

@@ -52,7 +52,7 @@ fn main() {
         let _region = embedder.fine_window(&emb, &masked, WindowOrigin::Centered(tc.target));
 
         // Full prediction with threshold (production behavior).
-        match af.predict(&index, &org.workbooks, &masked, tc.target) {
+        match af.predict(&index, &masked, tc.target) {
             Some(p) => {
                 let gt = auto_formula::formula::parse_formula(&tc.ground_truth)
                     .map(|e| e.to_string())
@@ -69,13 +69,7 @@ fn main() {
             None => {
                 // Either no candidate or suppressed by θ — show the
                 // unthresholded answer for contrast.
-                match af.predict_with(
-                    &index,
-                    &org.workbooks,
-                    &masked,
-                    tc.target,
-                    PipelineVariant::Full,
-                ) {
+                match af.predict_with(&index, &masked, tc.target, PipelineVariant::Full) {
                     Some(p) => println!(
                         "  suppressed by θ={} (best candidate d={:.3}: ={})",
                         af.cfg().theta_region,

@@ -48,7 +48,7 @@ fn main() {
     for tc in cases.iter().take(8) {
         let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
         let masked = masked_sheet(sheet, tc.target); // user hasn't typed it yet
-        match af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full) {
+        match af.predict_with(&index, &masked, tc.target, PipelineVariant::Full) {
             Some(pred) => {
                 let gt = auto_formula::formula::parse_formula(&tc.ground_truth)
                     .map(|e| e.to_string())

@@ -92,7 +92,7 @@ fn main() {
     println!("Q4 report needs formulas in D3:D6 (revenue) and D8 (total).\n");
     for target in ["D3", "D4", "D5", "D6", "D8"] {
         let at: CellRef = target.parse().unwrap();
-        match af.predict_with(&index, &workbooks, &q4, at, PipelineVariant::Full) {
+        match af.predict_with(&index, &q4, at, PipelineVariant::Full) {
             Some(p) => {
                 let src = index.keys[0]; // for display only
                 let _ = src;

@@ -36,8 +36,7 @@ fn predict_some(af: &AutoFormula) -> usize {
         .filter(|tc| {
             let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
             let masked = masked_sheet(sheet, tc.target);
-            af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
-                .is_some()
+            af.predict_with(&index, &masked, tc.target, PipelineVariant::Full).is_some()
         })
         .count()
 }

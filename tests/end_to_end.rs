@@ -36,9 +36,7 @@ fn train_index_predict_evaluate() {
     for tc in cases.iter().take(40) {
         let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
         let masked = masked_sheet(sheet, tc.target);
-        if let Some(p) =
-            af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
-        {
+        if let Some(p) = af.predict_with(&index, &masked, tc.target, PipelineVariant::Full) {
             n_pred += 1;
             let gt = auto_formula::formula::parse_formula(&tc.ground_truth).unwrap().to_string();
             if p.formula == gt {
@@ -68,7 +66,7 @@ fn determinism_across_runs() {
             .map(|tc| {
                 let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
                 let masked = masked_sheet(sheet, tc.target);
-                af.predict_with(&index, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
+                af.predict_with(&index, &masked, tc.target, PipelineVariant::Full)
                     .map(|p| p.formula)
             })
             .collect::<Vec<_>>()
@@ -93,15 +91,90 @@ fn pipeline_variants_all_run() {
     let masked = masked_sheet(sheet, tc.target);
     for variant in [PipelineVariant::Full, PipelineVariant::CoarseOnly, PipelineVariant::FineOnly] {
         // Must not panic; may or may not predict.
-        let _ = af.predict_with(&index, &org.workbooks, &masked, tc.target, variant);
+        let _ = af.predict_with(&index, &masked, tc.target, variant);
     }
+}
+
+#[test]
+fn artifact_load_reproduces_in_memory_predictions_on_every_backend() {
+    // The acceptance bar for the serving artifact: `AutoFormula::save` →
+    // `AutoFormula::load` → `predict` must be *bit-identical* to the
+    // in-memory pipeline — same formulas, same S2 distances to the bit,
+    // same provenance — on every ANN backend (flat vectors, HNSW graph,
+    // IVF lists + centroids all round-trip through the artifact).
+    use auto_formula::core::AnnBackend;
+    let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+    let org = OrgSpec::pge(Scale::Tiny).generate();
+    let mut af = tiny_system(&universe);
+    let sp = split(&org, SplitKind::Random, 0.1, 7);
+    let cases = sample_test_cases(&org, &sp, 3, 6);
+    assert!(!cases.is_empty());
+    for backend in [
+        AnnBackend::Flat,
+        AnnBackend::Hnsw(auto_formula::ann::HnswParams::default()),
+        AnnBackend::Ivf(auto_formula::ann::IvfParams { n_lists: 4, ..Default::default() }),
+    ] {
+        af.model.cfg.ann_backend = backend;
+        let index = af.build_index(&org.workbooks, &sp.reference, IndexOptions::default());
+        let artifact = af.save(&index);
+        let (loaded, loaded_index) = auto_formula::core::pipeline::AutoFormula::load(&artifact)
+            .unwrap_or_else(|e| panic!("{backend:?}: artifact must load: {e}"));
+        let mut predictions = 0usize;
+        for tc in cases.iter().take(15) {
+            let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
+            let masked = masked_sheet(sheet, tc.target);
+            let a = af.predict_with(&index, &masked, tc.target, PipelineVariant::Full);
+            let b = loaded.predict_with(&loaded_index, &masked, tc.target, PipelineVariant::Full);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.formula, y.formula, "{backend:?}");
+                    assert_eq!(
+                        x.s2_distance.to_bits(),
+                        y.s2_distance.to_bits(),
+                        "{backend:?}: distances must match to the bit"
+                    );
+                    assert_eq!(x.reference_sheet, y.reference_sheet, "{backend:?}");
+                    assert_eq!(x.reference_cell, y.reference_cell, "{backend:?}");
+                    assert_eq!(x.template_signature, y.template_signature, "{backend:?}");
+                    predictions += 1;
+                }
+                (None, None) => {}
+                (x, y) => panic!("{backend:?}: prediction mismatch {x:?} vs {y:?}"),
+            }
+        }
+        assert!(predictions > 0, "{backend:?}: comparison needs actual predictions");
+    }
+}
+
+#[test]
+fn served_artifact_answers_like_the_library_pipeline() {
+    // Facade-level smoke of the full serving story: save → ServeHandle →
+    // lock-free predict + incremental add_workbook, no workbook borrows.
+    let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+    let org = OrgSpec::pge(Scale::Tiny).generate();
+    let af = tiny_system(&universe);
+    let members: Vec<usize> = (0..org.workbooks.len() - 1).collect();
+    let index = af.build_index(&org.workbooks, &members, IndexOptions::default());
+    let handle = auto_formula::serve::ServeHandle::from_artifact(&af.save(&index)).unwrap();
+    assert_eq!(handle.n_sheets(), index.n_sheets());
+
+    let sheet = &org.workbooks[0].sheets[0];
+    let (target, _) = sheet.formulas().next().expect("a formula cell");
+    let direct = af.predict_with(&index, sheet, target, PipelineVariant::Full);
+    let served = handle.predict_with(sheet, target, PipelineVariant::Full);
+    assert_eq!(direct.map(|p| p.formula), served.map(|p| p.formula));
+
+    // Growth: the last workbook joins the served index epoch-by-epoch.
+    let epoch = handle.add_workbook(&org.workbooks[org.workbooks.len() - 1]);
+    assert_eq!(epoch, 1);
+    assert!(handle.n_sheets() > index.n_sheets());
 }
 
 #[test]
 fn model_snapshot_round_trips_through_pipeline() {
     let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
     let org = OrgSpec::pge(Scale::Tiny).generate();
-    let mut af = tiny_system(&universe);
+    let af = tiny_system(&universe);
     let snapshot = af.model.to_bytes();
 
     let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
@@ -117,12 +190,10 @@ fn model_snapshot_round_trips_through_pipeline() {
     for tc in cases.iter().take(5) {
         let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
         let masked = masked_sheet(sheet, tc.target);
-        let a = af
-            .predict_with(&index1, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
-            .map(|p| p.formula);
-        let b = af2
-            .predict_with(&index2, &org.workbooks, &masked, tc.target, PipelineVariant::Full)
-            .map(|p| p.formula);
+        let a =
+            af.predict_with(&index1, &masked, tc.target, PipelineVariant::Full).map(|p| p.formula);
+        let b =
+            af2.predict_with(&index2, &masked, tc.target, PipelineVariant::Full).map(|p| p.formula);
         assert_eq!(a, b, "snapshot must reproduce predictions");
     }
 }

@@ -118,7 +118,9 @@ impl PartialEq for Bytes {
 impl Eq for Bytes {}
 
 /// Read cursor over a byte source. All multi-byte reads are big-endian,
-/// matching upstream `bytes`.
+/// matching upstream `bytes`. The `get_*` methods panic on underflow (like
+/// upstream); the `try_get_*` family returns `None` instead and leaves the
+/// buffer untouched, for parsers that must reject corrupt input gracefully.
 pub trait Buf {
     fn remaining(&self) -> usize;
 
@@ -133,6 +135,30 @@ pub trait Buf {
 
     fn get_f64(&mut self) -> f64 {
         f64::from_bits(self.get_u64())
+    }
+
+    fn try_get_u8(&mut self) -> Option<u8> {
+        (self.remaining() >= 1).then(|| self.get_u8())
+    }
+
+    fn try_get_u16(&mut self) -> Option<u16> {
+        (self.remaining() >= 2).then(|| self.get_u16())
+    }
+
+    fn try_get_u32(&mut self) -> Option<u32> {
+        (self.remaining() >= 4).then(|| self.get_u32())
+    }
+
+    fn try_get_u64(&mut self) -> Option<u64> {
+        (self.remaining() >= 8).then(|| self.get_u64())
+    }
+
+    fn try_get_f32(&mut self) -> Option<f32> {
+        self.try_get_u32().map(f32::from_bits)
+    }
+
+    fn try_get_f64(&mut self) -> Option<f64> {
+        self.try_get_u64().map(f64::from_bits)
     }
 }
 
@@ -259,6 +285,18 @@ mod tests {
         assert_eq!(&*b, b" world");
         assert_eq!(&*b.slice(1..6), b"world");
         assert_eq!(head.slice(0..head.len() - 1).len(), 4);
+    }
+
+    #[test]
+    fn try_get_rejects_underflow_without_consuming() {
+        let mut w = BytesMut::new();
+        w.put_u16(0xBEEF);
+        let mut r = w.freeze();
+        assert_eq!(r.try_get_u32(), None);
+        assert_eq!(r.remaining(), 2, "failed read must not consume");
+        assert_eq!(r.try_get_u16(), Some(0xBEEF));
+        assert_eq!(r.try_get_u8(), None);
+        assert_eq!(r.try_get_f64(), None);
     }
 
     #[test]
