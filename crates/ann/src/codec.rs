@@ -17,10 +17,16 @@ use crate::VectorIndex;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
-/// Backend tags (one byte on the wire).
+/// Backend tags (one byte on the wire). The `*2` tags carry their vector
+/// payloads as `af_store` blocks (any codec, aligned, zero-copy-adoptable);
+/// the original tags are the legacy raw-f32 layout, still decoded so v1
+/// artifacts keep loading.
 pub(crate) const TAG_FLAT: u8 = 1;
 pub(crate) const TAG_HNSW: u8 = 2;
 pub(crate) const TAG_IVF: u8 = 3;
+pub(crate) const TAG_FLAT2: u8 = 4;
+pub(crate) const TAG_HNSW2: u8 = 5;
+pub(crate) const TAG_IVF2: u8 = 6;
 
 /// Decoding failure. Encoding is infallible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +38,9 @@ pub enum CodecError {
     /// A structural invariant does not hold (out-of-range id, mismatched
     /// lengths, zero dimension, …).
     Invalid(&'static str),
+    /// A vector-store payload failed to decode (bad codec tag, truncated
+    /// quantized block, non-finite scale/offset, …).
+    Store(af_store::StoreError),
 }
 
 impl fmt::Display for CodecError {
@@ -40,11 +49,25 @@ impl fmt::Display for CodecError {
             CodecError::Truncated => f.write_str("index data truncated"),
             CodecError::BadTag(t) => write!(f, "unknown index backend tag {t}"),
             CodecError::Invalid(what) => write!(f, "invalid index data: {what}"),
+            CodecError::Store(_) => f.write_str("index vector store failed to decode"),
         }
     }
 }
 
-impl std::error::Error for CodecError {}
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<af_store::StoreError> for CodecError {
+    fn from(e: af_store::StoreError) -> Self {
+        CodecError::Store(e)
+    }
+}
 
 // ----------------------------------------------------- encoding helpers
 
@@ -141,14 +164,27 @@ pub fn save_index(idx: &dyn VectorIndex) -> Bytes {
 }
 
 /// Decode one index from the front of `data` (the cursor advances past
-/// it), rebuilding the concrete backend named by the tag byte.
+/// it), rebuilding the concrete backend named by the tag byte. Both wire
+/// generations decode: the legacy raw-f32 tags and the store-backed tags
+/// that [`VectorIndex::encode_with`] writes.
 pub fn load_index(data: &mut Bytes) -> Result<Box<dyn VectorIndex>, CodecError> {
     match get_u8(data)? {
-        TAG_FLAT => Ok(Box::new(crate::flat::FlatIndex::decode_state(data)?)),
-        TAG_HNSW => Ok(Box::new(crate::hnsw::HnswIndex::decode_state(data)?)),
-        TAG_IVF => Ok(Box::new(crate::ivf::IvfFlatIndex::decode_state(data)?)),
+        TAG_FLAT => Ok(Box::new(crate::flat::FlatIndex::decode_state_v1(data)?)),
+        TAG_HNSW => Ok(Box::new(crate::hnsw::HnswIndex::decode_state_v1(data)?)),
+        TAG_IVF => Ok(Box::new(crate::ivf::IvfFlatIndex::decode_state(data, false)?)),
+        TAG_FLAT2 => Ok(Box::new(crate::flat::FlatIndex::decode_state(data)?)),
+        TAG_HNSW2 => Ok(Box::new(crate::hnsw::HnswIndex::decode_state(data)?)),
+        TAG_IVF2 => Ok(Box::new(crate::ivf::IvfFlatIndex::decode_state(data, true)?)),
         other => Err(CodecError::BadTag(other)),
     }
+}
+
+/// Serialize an index into a standalone buffer with its vector payload
+/// re-encoded into `codec`.
+pub fn save_index_with(idx: &dyn VectorIndex, codec: af_store::Codec) -> Bytes {
+    let mut buf = BytesMut::new();
+    idx.encode_with(&mut buf, codec);
+    buf.freeze()
 }
 
 #[cfg(test)]

@@ -3,18 +3,24 @@
 //! region index sizes this workspace produces.
 
 use crate::codec::{self, CodecError};
-use crate::metric::{l2_sq, Neighbor, TopK};
+use crate::metric::{Neighbor, TopK};
 use crate::VectorIndex;
+use af_store::{Codec, DenseStore, VectorStore};
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// A flat index: vectors stored contiguously, searched by linear scan.
 /// Scans parallelize across threads once the corpus is large enough to
 /// amortize the spawn cost; both the threshold and the thread cap are
 /// configurable (see [`FlatIndex::set_parallelism`]).
-#[derive(Debug, Clone, Default)]
+///
+/// Vectors live in an [`af_store::DenseStore`], so the scan runs on any
+/// codec: exact `f32` (the default — bit-identical to the pre-store
+/// implementation), or `f16`/`int8` quantized rows compared against the
+/// f32 query with the asymmetric kernels (no dequantized copy is ever
+/// materialized — the scan reads 2–4× fewer bytes).
+#[derive(Debug, Clone)]
 pub struct FlatIndex {
-    dim: usize,
-    data: Vec<f32>,
+    store: DenseStore,
     /// Element-work size below which the scan stays serial
     /// (0 = [`DEFAULT_PARALLEL_THRESHOLD`]).
     parallel_threshold: usize,
@@ -24,8 +30,25 @@ pub struct FlatIndex {
 
 impl FlatIndex {
     pub fn new(dim: usize) -> FlatIndex {
+        FlatIndex::with_codec(dim, Codec::F32)
+    }
+
+    /// An empty index storing vectors in `codec` (incoming vectors are
+    /// quantized on [`VectorIndex::add`]).
+    pub fn with_codec(dim: usize, codec: Codec) -> FlatIndex {
         assert!(dim > 0);
-        FlatIndex { dim, data: Vec::new(), parallel_threshold: 0, max_scan_threads: 0 }
+        FlatIndex { store: DenseStore::new(dim, codec), parallel_threshold: 0, max_scan_threads: 0 }
+    }
+
+    /// Re-encode the stored vectors into `codec` (identity is a cheap
+    /// clone). Converting away from `f32` quantizes; converting back
+    /// dequantizes — lossy exactly once.
+    pub fn to_codec(&self, codec: Codec) -> FlatIndex {
+        FlatIndex {
+            store: self.store.to_codec(codec),
+            parallel_threshold: self.parallel_threshold,
+            max_scan_threads: self.max_scan_threads,
+        }
     }
 
     /// Configure when and how wide searches parallelize: scans touching
@@ -52,12 +75,19 @@ impl FlatIndex {
         idx
     }
 
+    /// Row `id` as a borrowed f32 slice — exact codec only (quantized rows
+    /// have no f32 image in memory; see [`FlatIndex::vector_owned`]).
     pub fn vector(&self, id: usize) -> &[f32] {
-        &self.data[id * self.dim..(id + 1) * self.dim]
+        self.store.row_f32(id).expect("FlatIndex::vector requires the exact f32 codec")
     }
 
-    /// Rebuild from bytes written by [`VectorIndex::encode`].
-    pub(crate) fn decode_state(data: &mut Bytes) -> Result<FlatIndex, CodecError> {
+    /// Row `id` dequantized into a fresh vector (any codec).
+    pub fn vector_owned(&self, id: usize) -> Vec<f32> {
+        self.store.row_owned(id)
+    }
+
+    /// Rebuild from the legacy (v1, f32-only) wire layout.
+    pub(crate) fn decode_state_v1(data: &mut Bytes) -> Result<FlatIndex, CodecError> {
         let dim = codec::get_u32(data)? as usize;
         if dim == 0 {
             return Err(CodecError::Invalid("flat index dimension must be positive"));
@@ -68,13 +98,25 @@ impl FlatIndex {
         if vec_data.len() % dim != 0 {
             return Err(CodecError::Invalid("flat data is not a whole number of vectors"));
         }
-        Ok(FlatIndex { dim, data: vec_data, parallel_threshold, max_scan_threads })
+        Ok(FlatIndex {
+            store: DenseStore::from_f32_rows(dim, vec_data),
+            parallel_threshold,
+            max_scan_threads,
+        })
+    }
+
+    /// Rebuild from bytes written by [`VectorIndex::encode_with`].
+    pub(crate) fn decode_state(data: &mut Bytes) -> Result<FlatIndex, CodecError> {
+        let parallel_threshold = codec::get_u64(data)? as usize;
+        let max_scan_threads = codec::get_u64(data)? as usize;
+        let store = af_store::get_store(data)?;
+        Ok(FlatIndex { store, parallel_threshold, max_scan_threads })
     }
 
     fn scan_range(&self, query: &[f32], k: usize, lo: usize, hi: usize) -> Vec<Neighbor> {
         let mut top = TopK::new(k);
         for id in lo..hi {
-            let d = l2_sq(query, self.vector(id));
+            let d = self.store.l2_sq_row(query, id);
             top.push(Neighbor::new(id, d));
         }
         top.into_sorted()
@@ -87,28 +129,32 @@ pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1 << 21;
 
 impl VectorIndex for FlatIndex {
     fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.store.rows()
     }
 
     fn dim(&self) -> usize {
-        self.dim
+        self.store.dim()
     }
 
-    /// Append a vector, returning its id.
+    fn codec(&self) -> Codec {
+        self.store.codec()
+    }
+
+    /// Append a vector (quantized to the store's codec), returning its id.
     fn add(&mut self, v: &[f32]) -> usize {
-        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        assert_eq!(v.len(), self.dim(), "vector dimension mismatch");
         let id = self.len();
-        self.data.extend_from_slice(v);
+        self.store.push(v);
         id
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim);
+        assert_eq!(query.len(), self.dim());
         let n = self.len();
         if n == 0 || k == 0 {
             return Vec::new();
         }
-        let work = n * self.dim;
+        let work = n * self.dim();
         let threshold = if self.parallel_threshold == 0 {
             DEFAULT_PARALLEL_THRESHOLD
         } else {
@@ -146,12 +192,11 @@ impl VectorIndex for FlatIndex {
         top.into_sorted()
     }
 
-    fn encode(&self, buf: &mut BytesMut) {
-        buf.put_u8(codec::TAG_FLAT);
-        buf.put_u32(self.dim as u32);
+    fn encode_with(&self, buf: &mut BytesMut, codec: Codec) {
+        buf.put_u8(codec::TAG_FLAT2);
         buf.put_u64(self.parallel_threshold as u64);
         buf.put_u64(self.max_scan_threads as u64);
-        codec::put_f32s(buf, &self.data);
+        af_store::put_store_as(buf, &self.store, codec);
     }
 
     fn clone_box(&self) -> Box<dyn VectorIndex> {

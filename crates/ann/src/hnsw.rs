@@ -2,8 +2,9 @@
 //! the graph-based ANN index used for the coarse-grained sheet index.
 
 use crate::codec::{self, CodecError};
-use crate::metric::{l2_sq, Neighbor, TopK};
+use crate::metric::{Neighbor, TopK};
 use crate::VectorIndex;
+use af_store::{Codec, DenseStore, VectorStore};
 use bytes::{BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -46,12 +47,15 @@ impl Ord for MinCand {
     }
 }
 
-/// An HNSW graph index over vectors inserted one at a time.
+/// An HNSW graph index over vectors inserted one at a time. Vectors live
+/// in an [`af_store::DenseStore`]: `f32` by default (bit-identical to the
+/// pre-store implementation), or a quantized codec after loading a
+/// compressed artifact — graph traversal then compares the f32 query
+/// against quantized rows with the asymmetric kernels.
 #[derive(Clone)]
 pub struct HnswIndex {
-    dim: usize,
     params: HnswParams,
-    data: Vec<f32>,
+    store: DenseStore,
     /// `links[layer][node]` — adjacency lists; nodes absent from a layer
     /// have empty lists.
     links: Vec<Vec<Vec<u32>>>,
@@ -64,11 +68,16 @@ pub struct HnswIndex {
 
 impl HnswIndex {
     pub fn new(dim: usize, params: HnswParams) -> HnswIndex {
+        HnswIndex::with_codec(dim, Codec::F32, params)
+    }
+
+    /// An empty graph storing vectors in `codec` (incoming vectors are
+    /// quantized on [`VectorIndex::add`]).
+    pub fn with_codec(dim: usize, codec: Codec, params: HnswParams) -> HnswIndex {
         assert!(dim > 0 && params.m >= 2);
         HnswIndex {
-            dim,
             params,
-            data: Vec::new(),
+            store: DenseStore::new(dim, codec),
             links: vec![Vec::new()],
             node_layer: Vec::new(),
             entry: None,
@@ -86,8 +95,11 @@ impl HnswIndex {
         idx
     }
 
-    pub fn vector(&self, id: usize) -> &[f32] {
-        &self.data[id * self.dim..(id + 1) * self.dim]
+    /// Squared L2 distance between an f32 query and stored node `id`
+    /// (asymmetric on quantized codecs).
+    #[inline]
+    fn dist(&self, query: &[f32], id: usize) -> f32 {
+        self.store.l2_sq_row(query, id)
     }
 
     fn random_level(&mut self) -> usize {
@@ -106,11 +118,11 @@ impl HnswIndex {
     /// Greedy descent on `layer` from `start` to the locally-closest node.
     fn greedy_closest(&self, query: &[f32], start: usize, layer: usize) -> usize {
         let mut cur = start;
-        let mut cur_d = l2_sq(query, self.vector(cur));
+        let mut cur_d = self.dist(query, cur);
         loop {
             let mut improved = false;
             for &nb in &self.links[layer][cur] {
-                let d = l2_sq(query, self.vector(nb as usize));
+                let d = self.dist(query, nb as usize);
                 if d < cur_d {
                     cur = nb as usize;
                     cur_d = d;
@@ -128,7 +140,7 @@ impl HnswIndex {
     fn search_layer(&self, query: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<Neighbor> {
         let mut visited = vec![false; self.len()];
         visited[entry] = true;
-        let d0 = l2_sq(query, self.vector(entry));
+        let d0 = self.dist(query, entry);
         let mut frontier = BinaryHeap::new();
         frontier.push(MinCand(d0, entry));
         let mut best = TopK::new(ef);
@@ -143,7 +155,7 @@ impl HnswIndex {
                     continue;
                 }
                 visited[nb] = true;
-                let nd = l2_sq(query, self.vector(nb));
+                let nd = self.dist(query, nb);
                 if nd < best.worst() {
                     best.push(Neighbor::new(nb, nd));
                     frontier.push(MinCand(nd, nb));
@@ -164,11 +176,11 @@ impl HnswIndex {
         (self.node_layer[node] as usize) >= layer
     }
 
-    /// Rebuild from bytes written by [`VectorIndex::encode`]. The RNG is
+    /// Rebuild from the legacy (v1, f32-only) wire layout. The RNG is
     /// not stored: it is reseeded from `params.seed` and fast-forwarded by
     /// one draw per node (exactly what construction consumed), so `add`
     /// after a load assigns the same levels as `add` on the original.
-    pub(crate) fn decode_state(data: &mut Bytes) -> Result<HnswIndex, CodecError> {
+    pub(crate) fn decode_state_v1(data: &mut Bytes) -> Result<HnswIndex, CodecError> {
         let dim = codec::get_u32(data)? as usize;
         let m = codec::get_u64(data)? as usize;
         let ef_construction = codec::get_u64(data)? as usize;
@@ -180,6 +192,34 @@ impl HnswIndex {
         let params = HnswParams { m, ef_construction, ef_search, seed };
         let n = codec::get_count(data, dim.checked_mul(4).ok_or(CodecError::Truncated)?)?;
         let vec_data = codec::get_f32s_exact(data, n * dim)?;
+        Self::decode_graph(data, params, DenseStore::from_f32_rows(dim, vec_data), n)
+    }
+
+    /// Rebuild from bytes written by [`VectorIndex::encode_with`] (the
+    /// store carries its own codec tag; see `decode_state_v1` for the RNG
+    /// replay contract).
+    pub(crate) fn decode_state(data: &mut Bytes) -> Result<HnswIndex, CodecError> {
+        let m = codec::get_u64(data)? as usize;
+        let ef_construction = codec::get_u64(data)? as usize;
+        let ef_search = codec::get_u64(data)? as usize;
+        let seed = codec::get_u64(data)?;
+        if m < 2 {
+            return Err(CodecError::Invalid("hnsw m must be >= 2"));
+        }
+        let params = HnswParams { m, ef_construction, ef_search, seed };
+        let store = af_store::get_store(data)?;
+        let n = store.rows();
+        Self::decode_graph(data, params, store, n)
+    }
+
+    /// Shared tail of both decode paths: graph structure after the
+    /// vectors.
+    fn decode_graph(
+        data: &mut Bytes,
+        params: HnswParams,
+        store: DenseStore,
+        n: usize,
+    ) -> Result<HnswIndex, CodecError> {
         let mut node_layer = Vec::with_capacity(n);
         for _ in 0..n {
             node_layer.push(codec::get_u8(data)?);
@@ -222,9 +262,8 @@ impl HnswIndex {
             let _: f64 = rng.random_range(f64::EPSILON..1.0);
         }
         Ok(HnswIndex {
-            dim,
             params,
-            data: vec_data,
+            store,
             links,
             node_layer,
             entry,
@@ -240,14 +279,18 @@ impl VectorIndex for HnswIndex {
     }
 
     fn dim(&self) -> usize {
-        self.dim
+        self.store.dim()
     }
 
-    /// Insert a vector, returning its id.
+    fn codec(&self) -> Codec {
+        self.store.codec()
+    }
+
+    /// Insert a vector (quantized to the store's codec), returning its id.
     fn add(&mut self, v: &[f32]) -> usize {
-        assert_eq!(v.len(), self.dim);
+        assert_eq!(v.len(), self.dim());
         let id = self.len();
-        self.data.extend_from_slice(v);
+        self.store.push(v);
         let level = self.random_level();
         self.node_layer.push(level as u8);
         while self.links.len() <= level {
@@ -281,12 +324,14 @@ impl VectorIndex for HnswIndex {
                 let nb = nb as usize;
                 self.links[layer][id].push(nb as u32);
                 self.links[layer][nb].push(id as u32);
-                // Prune over-full neighbor lists.
+                // Prune over-full neighbor lists. The pruned node is
+                // dequantized once (a no-op copy on f32) so node-to-node
+                // distances reuse the same asymmetric kernel.
                 if self.links[layer][nb].len() > max_deg {
-                    let nbv = self.vector(nb).to_vec();
+                    let nbv = self.store.row_owned(nb);
                     let cands: Vec<Neighbor> = self.links[layer][nb]
                         .iter()
-                        .map(|&x| Neighbor::new(x as usize, l2_sq(&nbv, self.vector(x as usize))))
+                        .map(|&x| Neighbor::new(x as usize, self.dist(&nbv, x as usize)))
                         .collect();
                     self.links[layer][nb] = Self::select_neighbors(cands, max_deg);
                 }
@@ -300,7 +345,7 @@ impl VectorIndex for HnswIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim);
+        assert_eq!(query.len(), self.dim());
         let Some(mut cur) = self.entry else {
             return Vec::new();
         };
@@ -317,15 +362,13 @@ impl VectorIndex for HnswIndex {
         found
     }
 
-    fn encode(&self, buf: &mut BytesMut) {
-        buf.put_u8(codec::TAG_HNSW);
-        buf.put_u32(self.dim as u32);
+    fn encode_with(&self, buf: &mut BytesMut, codec: Codec) {
+        buf.put_u8(codec::TAG_HNSW2);
         buf.put_u64(self.params.m as u64);
         buf.put_u64(self.params.ef_construction as u64);
         buf.put_u64(self.params.ef_search as u64);
         buf.put_u64(self.params.seed);
-        buf.put_u64(self.len() as u64);
-        codec::put_f32s(buf, &self.data);
+        af_store::put_store_as(buf, &self.store, codec);
         for &l in &self.node_layer {
             buf.put_u8(l);
         }

@@ -5,6 +5,7 @@ use crate::codec::{self, CodecError};
 use crate::kmeans::{kmeans, KMeansResult};
 use crate::metric::{l2_sq, Neighbor, TopK};
 use crate::VectorIndex;
+use af_store::{Codec, DenseStore, VectorStore};
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// Build parameters for [`IvfFlatIndex`].
@@ -26,15 +27,22 @@ impl Default for IvfParams {
 
 /// An IVF-Flat index: vectors are bucketed by nearest centroid; queries
 /// probe the `n_probe` closest buckets.
+///
+/// List vectors live in per-list [`af_store::DenseStore`]s (centroids stay
+/// f32 — there are √n of them, they are not worth compressing): `f32` by
+/// default, or a quantized codec after loading a compressed artifact, in
+/// which case probed lists are scanned with the asymmetric kernels.
 #[derive(Clone)]
 pub struct IvfFlatIndex {
     dim: usize,
     n: usize,
     params: IvfParams,
+    /// Storage codec for list vectors (new lists inherit it).
+    codec: Codec,
     quantizer: KMeansResult,
-    /// `lists[c]` holds `(original_id, vector)` rows, vectors concatenated.
+    /// `lists[c]` holds `(original_id, vector)` rows, vectors in a store.
     list_ids: Vec<Vec<usize>>,
-    list_data: Vec<Vec<f32>>,
+    list_data: Vec<DenseStore>,
     /// False for an index born empty and grown purely by `add`: such an
     /// index retrains its quantizer at geometric size milestones (see
     /// [`VectorIndex::add`]) instead of staying pinned to the single
@@ -52,7 +60,18 @@ impl IvfFlatIndex {
     /// valid empty index (searches return nothing; the quantizer is seeded
     /// lazily by the first [`VectorIndex::add`]) so a cold-start corpus
     /// cannot change crash behavior across backends.
-    pub fn build(data: &[f32], dim: usize, mut params: IvfParams) -> IvfFlatIndex {
+    pub fn build(data: &[f32], dim: usize, params: IvfParams) -> IvfFlatIndex {
+        IvfFlatIndex::build_with_codec(data, dim, Codec::F32, params)
+    }
+
+    /// [`IvfFlatIndex::build`] with list vectors stored in `codec` (the
+    /// k-means quantizer always trains on the exact input).
+    pub fn build_with_codec(
+        data: &[f32],
+        dim: usize,
+        codec: Codec,
+        mut params: IvfParams,
+    ) -> IvfFlatIndex {
         assert!(dim > 0);
         assert_eq!(data.len() % dim, 0);
         let n = data.len() / dim;
@@ -68,6 +87,7 @@ impl IvfFlatIndex {
                 dim,
                 n: 0,
                 params,
+                codec,
                 quantizer,
                 list_ids: Vec::new(),
                 list_data: Vec::new(),
@@ -81,13 +101,21 @@ impl IvfFlatIndex {
         let quantizer = kmeans(data, dim, params.n_lists, params.kmeans_iters, params.seed);
         let k = quantizer.k;
         let mut list_ids = vec![Vec::new(); k];
-        let mut list_data = vec![Vec::new(); k];
+        let mut list_data: Vec<DenseStore> = (0..k).map(|_| DenseStore::new(dim, codec)).collect();
         for i in 0..n {
             let c = quantizer.assignments[i];
             list_ids[c].push(i);
-            list_data[c].extend_from_slice(&data[i * dim..(i + 1) * dim]);
+            list_data[c].push(&data[i * dim..(i + 1) * dim]);
         }
-        IvfFlatIndex { dim, n, params, quantizer, list_ids, list_data, trained: true }
+        IvfFlatIndex { dim, n, params, codec, quantizer, list_ids, list_data, trained: true }
+    }
+
+    /// Re-encode every list into `codec` (identity is a cheap clone).
+    pub fn to_codec(&self, codec: Codec) -> IvfFlatIndex {
+        let mut out = self.clone();
+        out.codec = codec;
+        out.list_data = self.list_data.iter().map(|s| s.to_codec(codec)).collect();
+        out
     }
 
     pub fn n_lists(&self) -> usize {
@@ -99,10 +127,10 @@ impl IvfFlatIndex {
     /// the inverted lists. `n_lists` follows the build rule: the configured
     /// value, or `√n` when zero, clamped to `1..=n`.
     fn retrain_quantizer(&mut self) {
-        let mut rows: Vec<(usize, &[f32])> = Vec::with_capacity(self.n);
+        let mut rows: Vec<(usize, Vec<f32>)> = Vec::with_capacity(self.n);
         for (ids, data) in self.list_ids.iter().zip(&self.list_data) {
             for (j, &id) in ids.iter().enumerate() {
-                rows.push((id, &data[j * self.dim..(j + 1) * self.dim]));
+                rows.push((id, data.row_owned(j)));
             }
         }
         rows.sort_unstable_by_key(|(id, _)| *id);
@@ -118,21 +146,24 @@ impl IvfFlatIndex {
         let quantizer = kmeans(&flat, self.dim, k, self.params.kmeans_iters, self.params.seed);
         let k = quantizer.k;
         let mut list_ids = vec![Vec::new(); k];
-        let mut list_data = vec![Vec::new(); k];
+        let mut list_data: Vec<DenseStore> =
+            (0..k).map(|_| DenseStore::new(self.dim, self.codec)).collect();
         for (i, (id, _)) in rows.iter().enumerate() {
             let c = quantizer.assignments[i];
             list_ids[c].push(*id);
-            list_data[c].extend_from_slice(&flat[i * self.dim..(i + 1) * self.dim]);
+            list_data[c].push(&flat[i * self.dim..(i + 1) * self.dim]);
         }
         self.quantizer = quantizer;
         self.list_ids = list_ids;
         self.list_data = list_data;
     }
 
-    /// Rebuild from bytes written by [`VectorIndex::encode`]. Per-point
-    /// assignments are reconstructed from the inverted lists (the lists are
-    /// the ground truth; the assignment table is redundant on the wire).
-    pub(crate) fn decode_state(data: &mut Bytes) -> Result<IvfFlatIndex, CodecError> {
+    /// Rebuild from bytes written by [`VectorIndex::encode_with`]. Per-
+    /// point assignments are reconstructed from the inverted lists (the
+    /// lists are the ground truth; the assignment table is redundant on
+    /// the wire). `v2` selects the store-backed list payload; the legacy
+    /// layout reads raw f32 blocks.
+    pub(crate) fn decode_state(data: &mut Bytes, v2: bool) -> Result<IvfFlatIndex, CodecError> {
         let dim = codec::get_u32(data)? as usize;
         if dim == 0 {
             return Err(CodecError::Invalid("ivf dimension must be positive"));
@@ -149,6 +180,12 @@ impl IvfFlatIndex {
             1 => true,
             _ => return Err(CodecError::Invalid("ivf trained flag must be 0 or 1")),
         };
+        let stored_codec = if v2 {
+            let tag = codec::get_u8(data)?;
+            Codec::from_tag(tag).ok_or(CodecError::Invalid("unknown ivf storage codec tag"))?
+        } else {
+            Codec::F32
+        };
         let inertia = codec::get_u64(data).map(f64::from_bits)? as f32;
         let k = codec::get_count(data, dim.checked_mul(4).ok_or(CodecError::Truncated)?)?;
         if k == 0 && n > 0 {
@@ -156,14 +193,26 @@ impl IvfFlatIndex {
         }
         let centroids = codec::get_f32s_exact(data, k * dim)?;
         let mut list_ids: Vec<Vec<usize>> = Vec::with_capacity(k);
-        let mut list_data: Vec<Vec<f32>> = Vec::with_capacity(k);
+        let mut list_data: Vec<DenseStore> = Vec::with_capacity(k);
         let mut assignments = vec![usize::MAX; n];
         for c in 0..k {
             let ids = codec::get_u64s(data)?;
-            let vecs = codec::get_f32s_exact(
-                data,
-                ids.len().checked_mul(dim).ok_or(CodecError::Truncated)?,
-            )?;
+            let vecs = if v2 {
+                let store = af_store::get_store(data)?;
+                if store.dim() != dim {
+                    return Err(CodecError::Invalid("ivf list dimension disagrees"));
+                }
+                if store.rows() != ids.len() {
+                    return Err(CodecError::Invalid("ivf list row count disagrees with ids"));
+                }
+                store
+            } else {
+                let raw = codec::get_f32s_exact(
+                    data,
+                    ids.len().checked_mul(dim).ok_or(CodecError::Truncated)?,
+                )?;
+                DenseStore::from_f32_rows(dim, raw)
+            };
             for &id in &ids {
                 if id >= n {
                     return Err(CodecError::Invalid("ivf list id out of range"));
@@ -180,7 +229,16 @@ impl IvfFlatIndex {
             return Err(CodecError::Invalid("ivf lists do not cover every id"));
         }
         let quantizer = KMeansResult { k, dim, centroids, assignments, inertia };
-        Ok(IvfFlatIndex { dim, n, params, quantizer, list_ids, list_data, trained })
+        Ok(IvfFlatIndex {
+            dim,
+            n,
+            params,
+            codec: stored_codec,
+            quantizer,
+            list_ids,
+            list_data,
+            trained,
+        })
     }
 }
 
@@ -206,12 +264,12 @@ impl VectorIndex for IvfFlatIndex {
             self.quantizer.k = 1;
             self.quantizer.centroids = v.to_vec();
             self.list_ids.push(Vec::new());
-            self.list_data.push(Vec::new());
+            self.list_data.push(DenseStore::new(self.dim, self.codec));
         }
         let id = self.n;
         let c = self.quantizer.nearest(v);
         self.list_ids[c].push(id);
-        self.list_data[c].extend_from_slice(v);
+        self.list_data[c].push(v);
         self.n += 1;
         if !self.trained && self.n >= COLD_START_RETRAIN_MIN && self.n.is_power_of_two() {
             self.retrain_quantizer();
@@ -233,15 +291,18 @@ impl VectorIndex for IvfFlatIndex {
             let ids = &self.list_ids[c];
             let data = &self.list_data[c];
             for (j, &id) in ids.iter().enumerate() {
-                let v = &data[j * self.dim..(j + 1) * self.dim];
-                top.push(Neighbor::new(id, l2_sq(query, v)));
+                top.push(Neighbor::new(id, data.l2_sq_row(query, j)));
             }
         }
         top.into_sorted()
     }
 
-    fn encode(&self, buf: &mut BytesMut) {
-        buf.put_u8(codec::TAG_IVF);
+    fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    fn encode_with(&self, buf: &mut BytesMut, codec: Codec) {
+        buf.put_u8(codec::TAG_IVF2);
         buf.put_u32(self.dim as u32);
         buf.put_u64(self.n as u64);
         buf.put_u64(self.params.n_lists as u64);
@@ -249,12 +310,16 @@ impl VectorIndex for IvfFlatIndex {
         buf.put_u64(self.params.kmeans_iters as u64);
         buf.put_u64(self.params.seed);
         buf.put_u8(self.trained as u8);
+        // The storage codec, explicitly: an empty index has no list
+        // stores to carry it, and it must survive the round trip so
+        // post-load `add`s quantize as configured.
+        buf.put_u8(codec.tag());
         buf.put_u64((self.quantizer.inertia as f64).to_bits());
         buf.put_u64(self.quantizer.k as u64);
         codec::put_f32s(buf, &self.quantizer.centroids);
         for (ids, data) in self.list_ids.iter().zip(&self.list_data) {
             codec::put_u64s(buf, ids.iter().map(|&id| id as u64));
-            codec::put_f32s(buf, data);
+            af_store::put_store_as(buf, data, codec);
         }
     }
 

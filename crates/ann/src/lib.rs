@@ -39,7 +39,7 @@ pub mod test_util {
     }
 }
 
-pub use codec::{load_index, save_index, CodecError};
+pub use codec::{load_index, save_index, save_index_with, CodecError};
 pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};
 pub use ivf::{IvfFlatIndex, IvfParams};
@@ -52,6 +52,12 @@ pub trait VectorIndex: Send + Sync {
     fn len(&self) -> usize;
     /// Vector dimensionality.
     fn dim(&self) -> usize;
+    /// Storage codec of the indexed vectors ([`af_store::Codec::F32`] for
+    /// an index built in memory; possibly quantized after loading a
+    /// compressed artifact). Searches work identically on any codec —
+    /// quantized backends compare the f32 query against stored rows with
+    /// the asymmetric `af_store` kernels.
+    fn codec(&self) -> af_store::Codec;
     /// The `k` nearest neighbors of `query`, ascending by distance.
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
     /// Incrementally insert a vector, returning its id (ids are assigned
@@ -59,13 +65,19 @@ pub trait VectorIndex: Send + Sync {
     /// production path when a reference corpus grows after the index is
     /// built — no backend requires a rebuild.
     fn add(&mut self, v: &[f32]) -> usize;
-    /// Append the complete index state (backend tag + payload) to `buf`;
+    /// Append the complete index state (backend tag + payload) to `buf`,
+    /// with the vector payload re-encoded into `codec`;
     /// [`codec::load_index`] rebuilds the concrete type from it.
-    fn encode(&self, buf: &mut bytes::BytesMut);
+    fn encode_with(&self, buf: &mut bytes::BytesMut, codec: af_store::Codec);
     /// Deep-copy into a fresh boxed index. This is what lets a serving
     /// snapshot grow a copy of an index while readers keep using the
     /// original.
     fn clone_box(&self) -> Box<dyn VectorIndex>;
+
+    /// [`VectorIndex::encode_with`] in the index's own codec (lossless).
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.encode_with(buf, self.codec());
+    }
 
     fn is_empty(&self) -> bool {
         self.len() == 0

@@ -13,6 +13,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod serve_bench;
+pub mod store_bench;
 pub mod throughput;
 
 pub use metrics::{pr_curve, quality, PrPoint, Quality};

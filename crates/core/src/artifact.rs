@@ -14,31 +14,68 @@
 //! payload. Unknown section ids are skipped on load, so future sections
 //! can be added without breaking old readers.
 //!
-//! [`AutoFormula::save`] / [`AutoFormula::load`] round-trip the whole
-//! serving state: `load` + `predict` reproduces the in-memory pipeline's
-//! predictions bit for bit (asserted across every ANN backend in
-//! `tests/end_to_end.rs`). Decoding is hardened — every length, id, and
-//! dimension is validated, so truncated or bit-flipped artifacts return
+//! **Format v2** puts every embedding table behind an `af_store` block
+//! with a per-section codec tag: exact `f32` (the default — bit-identical
+//! round trips, zero-copy adoption), or `f16`/`int8` scalar quantization
+//! ([`StoreOptions::codec`], 2–4× smaller, served through asymmetric
+//! distance kernels). Independently, [`StoreOptions::compact_fine`] swaps
+//! the fat per-region fine windows for per-sheet cell caches (each cell
+//! vector stored once instead of duplicated into up to `n_cells`
+//! overlapping windows) and re-gathers the windows at load — a further
+//! order-of-magnitude size lever that stays bit-identical under `f32`.
+//! Version-1 artifacts still load; [`AutoFormula::save`] writes v2.
+//!
+//! [`AutoFormula::load`] reads from a byte slice;
+//! [`AutoFormula::load_mmap`] maps the file page-on-demand instead, so
+//! artifacts larger than RAM can serve (zero-copy tables then read
+//! straight from the page cache).
+//!
+//! Decoding is hardened — every length, id, dimension, and quantization
+//! parameter is validated, so truncated or bit-flipped artifacts return
 //! [`ArtifactError`], never panic.
 
 use crate::config::{AnnBackend, AutoFormulaConfig};
-use crate::index::{ReferenceIndex, RegionEntry, SheetKey, SheetMeta, VecTable};
+use crate::index::{
+    FineCache, ReferenceIndex, RegionEntry, SheetFineCells, SheetKey, SheetMeta, VecTable,
+};
 use crate::model::RepresentationModel;
 use crate::pipeline::AutoFormula;
 use af_ann::{CodecError, HnswParams, IvfParams};
 use af_embed::FeaturizerCodecError;
 use af_grid::{CellRef, ViewWindow};
 use af_nn::serialize::SnapshotError;
+use af_nn::tensor::l2_normalize;
+use af_store::{Codec, StoreError, VectorStore};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
+use std::path::Path;
 
 const MAGIC: u32 = 0x4146_4152; // "AFAR"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Versions [`AutoFormula::load`] accepts.
+pub const SUPPORTED_VERSIONS: &[u16] = &[1, 2];
 
 const SEC_CONFIG: u16 = 1;
 const SEC_FEATURIZER: u16 = 2;
 const SEC_MODEL: u16 = 3;
 const SEC_INDEX: u16 = 4;
+
+/// How [`AutoFormula::save_with`] lays out the embedding tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreOptions {
+    /// Storage codec for every embedding table (ANN vectors, region and
+    /// parameter windows, coarse region vectors). [`Codec::F32`] (the
+    /// default) keeps bit-exact round trips; `F16`/`Int8` shrink the
+    /// artifact 2–4× and serve through asymmetric kernels with recall
+    /// measured in `BENCH_store.json`.
+    pub codec: Codec,
+    /// Persist per-sheet fine cell caches instead of per-region windows
+    /// and re-gather the windows at load (~order-of-magnitude smaller
+    /// fine store, bit-identical under `f32`; load pays one
+    /// gather+normalize pass). Requires an index that retains its caches
+    /// — one built in this process or loaded from a compact artifact.
+    pub compact_fine: bool,
+}
 
 /// Why an artifact failed to load. Wraps the layer-specific errors so
 /// callers can `?` straight through and still reach the root cause via
@@ -47,7 +84,8 @@ const SEC_INDEX: u16 = 4;
 pub enum ArtifactError {
     /// Not an artifact at all.
     BadMagic,
-    BadVersion(u16),
+    /// The artifact's format version is not one this build reads.
+    UnsupportedVersion { found: u16, supported: &'static [u16] },
     /// The buffer ended before the structure did (`&'static str` names the
     /// part being read).
     Truncated(&'static str),
@@ -61,19 +99,27 @@ pub enum ArtifactError {
     Index(CodecError),
     /// The featurizer payload failed to decode.
     Featurizer(FeaturizerCodecError),
+    /// An embedding-table store failed to decode.
+    Store(StoreError),
+    /// The artifact file could not be opened or mapped.
+    Io(String),
 }
 
 impl fmt::Display for ArtifactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArtifactError::BadMagic => f.write_str("not an auto-formula artifact"),
-            ArtifactError::BadVersion(v) => write!(f, "unsupported artifact version {v}"),
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported artifact version {found} (this build reads {supported:?})")
+            }
             ArtifactError::Truncated(what) => write!(f, "artifact truncated reading {what}"),
             ArtifactError::MissingSection(name) => write!(f, "artifact missing section {name}"),
             ArtifactError::Invalid(what) => write!(f, "invalid artifact: {what}"),
             ArtifactError::Model(_) => f.write_str("artifact model weights failed to load"),
             ArtifactError::Index(_) => f.write_str("artifact ANN index failed to load"),
             ArtifactError::Featurizer(_) => f.write_str("artifact featurizer failed to load"),
+            ArtifactError::Store(_) => f.write_str("artifact embedding store failed to load"),
+            ArtifactError::Io(e) => write!(f, "artifact file error: {e}"),
         }
     }
 }
@@ -84,6 +130,7 @@ impl std::error::Error for ArtifactError {
             ArtifactError::Model(e) => Some(e),
             ArtifactError::Index(e) => Some(e),
             ArtifactError::Featurizer(e) => Some(e),
+            ArtifactError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -104,6 +151,12 @@ impl From<CodecError> for ArtifactError {
 impl From<FeaturizerCodecError> for ArtifactError {
     fn from(e: FeaturizerCodecError) -> Self {
         ArtifactError::Featurizer(e)
+    }
+}
+
+impl From<StoreError> for ArtifactError {
+    fn from(e: StoreError) -> Self {
+        ArtifactError::Store(e)
     }
 }
 
@@ -163,28 +216,38 @@ fn get_string(data: &mut Bytes, what: &'static str) -> Result<String, ArtifactEr
         .map_err(|_| ArtifactError::Invalid("string is not UTF-8"))
 }
 
-/// Embedding-table block: row count, a pad run that 4-byte-aligns the
-/// payload, then the raw **little-endian** `f32` image of the whole table
-/// (unlike the big-endian scalar fields). Embedding tables are the
-/// overwhelming bulk of an artifact; alignment plus LE is what lets
-/// [`VecTable::from_le_bytes`] adopt the block zero-copy on load, so a
-/// cold start never materializes a second copy of them. Alignment is
-/// section-local: `save` pads every section body to a multiple of 4 and
-/// the fixed header + section table is 84 bytes, so a local offset that is
-/// 0 mod 4 is 0 mod 4 in the final buffer too.
-fn put_vec_table(buf: &mut BytesMut, table: &VecTable) {
-    buf.put_u64(table.rows() as u64);
-    let pad = (4 - (buf.len() + 1) % 4) % 4;
-    buf.put_u8(pad as u8);
-    for _ in 0..pad {
-        buf.put_u8(0);
-    }
-    let mut raw = Vec::new();
-    table.extend_le_bytes(&mut raw);
-    buf.put_slice(&raw);
+/// Embedding-table block, v2: an `af_store` store (codec tag + header +
+/// pad-aligned little-endian payload), re-encoded into `codec` on the
+/// way out. Embedding tables are the overwhelming bulk of an artifact;
+/// alignment plus LE is what lets every codec adopt the block zero-copy
+/// on load, so a cold start never materializes a second copy of them.
+/// Alignment is section-local: `save_with` pads the section table and
+/// every section body to a multiple of 4, so a local offset that is
+/// 0 mod 4 is 0 mod 4 in the final buffer (and in a page-aligned mmap).
+fn put_vec_table(buf: &mut BytesMut, table: &VecTable, codec: Codec) {
+    af_store::put_store_as(buf, table.store(), codec);
 }
 
 fn get_vec_table(
+    data: &mut Bytes,
+    dim: usize,
+    expect_rows: usize,
+    what: &'static str,
+) -> Result<VecTable, ArtifactError> {
+    let store = af_store::get_store(data)?;
+    if store.dim() != dim {
+        return Err(ArtifactError::Invalid("embedding table has the wrong dimension"));
+    }
+    if store.rows() != expect_rows {
+        let _ = what;
+        return Err(ArtifactError::Invalid("embedding table has the wrong row count"));
+    }
+    Ok(VecTable::from_store(store))
+}
+
+/// Embedding-table block, v1: row count, a pad run, then the raw
+/// little-endian `f32` image of the whole table.
+fn get_vec_table_v1(
     data: &mut Bytes,
     dim: usize,
     expect_rows: usize,
@@ -209,7 +272,11 @@ fn get_vec_table(
     if data.remaining() < need {
         return Err(ArtifactError::Truncated(what));
     }
-    Ok(VecTable::from_le_bytes(dim, rows, data.split_to(need)))
+    Ok(VecTable::from_store(af_store::DenseStore::F32(af_store::F32Store::from_le_bytes(
+        dim,
+        rows,
+        data.split_to(need),
+    ))))
 }
 
 fn put_cell(buf: &mut BytesMut, cell: CellRef) {
@@ -338,7 +405,16 @@ fn decode_config(data: &mut Bytes) -> Result<(AutoFormulaConfig, usize), Artifac
 
 // ------------------------------------------------------------ index codec
 
-fn encode_index(buf: &mut BytesMut, index: &ReferenceIndex) {
+/// Fine-table layout flags inside the INDEX section (v2).
+const FINE_FAT: u8 = 0;
+const FINE_COMPACT: u8 = 1;
+
+fn encode_index(
+    buf: &mut BytesMut,
+    index: &ReferenceIndex,
+    opts: StoreOptions,
+    fine_cell_dim: usize,
+) -> Result<(), ArtifactError> {
     buf.put_u64(index.keys.len() as u64);
     for key in &index.keys {
         buf.put_u64(key.workbook as u64);
@@ -349,11 +425,11 @@ fn encode_index(buf: &mut BytesMut, index: &ReferenceIndex) {
         buf.put_u32(meta.rows);
         buf.put_u32(meta.cols);
     }
-    af_ann::codec::append_index(buf, index.coarse.as_ref());
+    index.coarse.encode_with(buf, opts.codec);
     match &index.fine_sheets {
         Some(idx) => {
             buf.put_u8(1);
-            af_ann::codec::append_index(buf, idx.as_ref());
+            idx.encode_with(buf, opts.codec);
         }
         None => buf.put_u8(0),
     }
@@ -367,22 +443,135 @@ fn encode_index(buf: &mut BytesMut, index: &ReferenceIndex) {
             put_cell(buf, param);
         }
     }
-    put_vec_table(buf, &index.region_vecs);
-    put_vec_table(buf, &index.param_vecs);
+    if opts.compact_fine {
+        let Some(cache) = index.fine_cache.as_ref() else {
+            return Err(ArtifactError::Invalid(
+                "compact fine layout requires an index that retains its fine cell caches \
+                 (built in-process or loaded from a compact artifact)",
+            ));
+        };
+        debug_assert_eq!(cache.sheets.len(), index.keys.len());
+        buf.put_u8(FINE_COMPACT);
+        // Shared constant rows, always exact (they are two vectors). An
+        // index with zero sheets never captured them; write zeros — no
+        // region will ever gather them.
+        let mut consts = VecTable::new(fine_cell_dim);
+        if cache.empty.is_empty() {
+            consts.push(&vec![0.0; fine_cell_dim]);
+            consts.push(&vec![0.0; fine_cell_dim]);
+        } else {
+            consts.push(&cache.empty);
+            consts.push(&cache.invalid);
+        }
+        put_vec_table(buf, &consts, Codec::F32);
+        for sheet in &cache.sheets {
+            buf.put_u64(sheet.refs.len() as u64);
+            for &at in &sheet.refs {
+                put_cell(buf, at);
+            }
+            put_vec_table(buf, &sheet.vecs, opts.codec);
+        }
+    } else {
+        buf.put_u8(FINE_FAT);
+        put_vec_table(buf, &index.region_vecs, opts.codec);
+        put_vec_table(buf, &index.param_vecs, opts.codec);
+    }
     match &index.coarse_region_vecs {
         Some(vecs) => {
             buf.put_u8(1);
-            put_vec_table(buf, vecs);
+            put_vec_table(buf, vecs, opts.codec);
         }
         None => buf.put_u8(0),
     }
     buf.put_f64(index.build_seconds);
+    Ok(())
 }
 
-fn decode_index(
+/// Gather the fine window centered at `center` from a sheet's cell cache —
+/// the artifact-side mirror of `SheetEmbedder::fine_window`, byte for
+/// byte: window slots depend only on stored-cell presence and the
+/// top/left sheet edge, so the cache (sorted refs + vectors), the two
+/// constant rows, and the window geometry reproduce the build-time gather
+/// exactly; under the `f32` codec the reconstructed tables are
+/// bit-identical to the fat layout's.
+fn gather_window(
+    window: ViewWindow,
+    fine_cell_dim: usize,
+    sheet: &SheetFineCells,
+    empty: &[f32],
+    invalid: &[f32],
+    center: CellRef,
+    out: &mut [f32],
+) {
+    let (or, oc) = window.centered_origin(center);
+    let mut slot = 0usize;
+    for dr in 0..window.rows as i64 {
+        for dc in 0..window.cols as i64 {
+            let (r, c) = (or + dr, oc + dc);
+            let dst = &mut out[slot * fine_cell_dim..(slot + 1) * fine_cell_dim];
+            if r < 0 || c < 0 {
+                dst.copy_from_slice(invalid);
+            } else {
+                let at = CellRef::new(r as u32, c as u32);
+                match sheet.refs.binary_search(&at) {
+                    Ok(j) => sheet.vecs.store().row_into(j, dst),
+                    Err(_) => dst.copy_from_slice(empty),
+                }
+            }
+            slot += 1;
+        }
+    }
+    l2_normalize(out);
+}
+
+/// Rebuild the fat region/parameter tables from a compact fine cache (one
+/// gather+normalize pass over every region and parameter window).
+fn reconstruct_fine_tables(
+    cfg: &AutoFormulaConfig,
+    regions: &[RegionEntry],
+    cache: &FineCache,
+) -> (VecTable, VecTable) {
+    let fine_dim = cfg.fine_dim();
+    let f8 = cfg.fine_cell_dim;
+    let mut region_vecs = VecTable::new(fine_dim);
+    let mut param_vecs = VecTable::new(fine_dim);
+    let mut scratch = vec![0.0f32; fine_dim];
+    for entry in regions {
+        let sheet = &cache.sheets[entry.sheet_idx];
+        gather_window(
+            cfg.window,
+            f8,
+            sheet,
+            &cache.empty,
+            &cache.invalid,
+            entry.cell,
+            &mut scratch,
+        );
+        region_vecs.push(&scratch);
+        for &param in &entry.params {
+            gather_window(cfg.window, f8, sheet, &cache.empty, &cache.invalid, param, &mut scratch);
+            param_vecs.push(&scratch);
+        }
+    }
+    (region_vecs, param_vecs)
+}
+
+/// The section prefix shared by both format versions: keys, sheet
+/// metadata, ANN indexes, and region provenance entries.
+struct IndexPrefix {
+    keys: Vec<SheetKey>,
+    meta: Vec<SheetMeta>,
+    coarse: Box<dyn af_ann::VectorIndex>,
+    fine_sheets: Option<Box<dyn af_ann::VectorIndex>>,
+    regions: Vec<RegionEntry>,
+    regions_by_sheet: Vec<Vec<usize>>,
+    total_params: usize,
+}
+
+fn decode_index_prefix(
     data: &mut Bytes,
     cfg: &AutoFormulaConfig,
-) -> Result<ReferenceIndex, ArtifactError> {
+) -> Result<IndexPrefix, ArtifactError> {
     let fine_dim = cfg.fine_dim();
     let n_sheets = get_count(data, 16, "index keys")?;
     let mut keys = Vec::with_capacity(n_sheets);
@@ -447,24 +636,89 @@ fn decode_index(
             .checked_add(n_params)
             .ok_or(ArtifactError::Invalid("parameter count overflow"))?;
     }
-    let region_vecs = get_vec_table(data, fine_dim, n_regions, "region vecs")?;
-    let param_vecs = get_vec_table(data, fine_dim, total_params, "param vecs")?;
-    let coarse_region_vecs = match get_u8(data, "coarse region flag")? {
-        0 => None,
-        1 => Some(get_vec_table(data, cfg.coarse_dim, n_regions, "coarse region vecs")?),
-        _ => return Err(ArtifactError::Invalid("coarse region flag must be 0 or 1")),
+    Ok(IndexPrefix { keys, meta, coarse, fine_sheets, regions, regions_by_sheet, total_params })
+}
+
+fn decode_index(
+    data: &mut Bytes,
+    cfg: &AutoFormulaConfig,
+    version: u16,
+) -> Result<ReferenceIndex, ArtifactError> {
+    let fine_dim = cfg.fine_dim();
+    let p = decode_index_prefix(data, cfg)?;
+    let n_sheets = p.keys.len();
+
+    let (region_vecs, param_vecs, fine_cache) = if version == 1 {
+        let region_vecs = get_vec_table_v1(data, fine_dim, p.regions.len(), "region vecs")?;
+        let param_vecs = get_vec_table_v1(data, fine_dim, p.total_params, "param vecs")?;
+        (region_vecs, param_vecs, None)
+    } else {
+        match get_u8(data, "fine layout flag")? {
+            FINE_FAT => {
+                let region_vecs = get_vec_table(data, fine_dim, p.regions.len(), "region vecs")?;
+                let param_vecs = get_vec_table(data, fine_dim, p.total_params, "param vecs")?;
+                (region_vecs, param_vecs, None)
+            }
+            FINE_COMPACT => {
+                let consts = get_vec_table(data, cfg.fine_cell_dim, 2, "fine constants")?;
+                // A zero-sheet artifact wrote placeholder zero constants
+                // (nothing ever captured them). Leave the cache's
+                // constants *empty* in that case so the first
+                // `add_workbook` captures the real model-derived rows —
+                // adopting the zeros would silently poison every later
+                // compact save.
+                let mut cache = if n_sheets == 0 {
+                    FineCache::empty_cache()
+                } else {
+                    FineCache {
+                        empty: consts.row_owned(0),
+                        invalid: consts.row_owned(1),
+                        sheets: Vec::with_capacity(n_sheets),
+                    }
+                };
+                for _ in 0..n_sheets {
+                    let n_cells = get_count(data, 8, "sheet cell refs")?;
+                    let mut refs = Vec::with_capacity(n_cells);
+                    for _ in 0..n_cells {
+                        refs.push(get_cell(data, "sheet cell refs")?);
+                    }
+                    if !refs.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(ArtifactError::Invalid("sheet cell refs not strictly sorted"));
+                    }
+                    let vecs = get_vec_table(data, cfg.fine_cell_dim, n_cells, "sheet cells")?;
+                    cache.sheets.push(SheetFineCells { refs, vecs });
+                }
+                let (region_vecs, param_vecs) = reconstruct_fine_tables(cfg, &p.regions, &cache);
+                (region_vecs, param_vecs, Some(cache))
+            }
+            _ => return Err(ArtifactError::Invalid("fine layout flag must be 0 or 1")),
+        }
     };
-    let build_seconds = get_f64(data, "build seconds")?;
+
+    let (coarse_region_vecs, build_seconds) = {
+        let coarse_region_vecs = match get_u8(data, "coarse region flag")? {
+            0 => None,
+            1 => Some(if version == 1 {
+                get_vec_table_v1(data, cfg.coarse_dim, p.regions.len(), "coarse region vecs")?
+            } else {
+                get_vec_table(data, cfg.coarse_dim, p.regions.len(), "coarse region vecs")?
+            }),
+            _ => return Err(ArtifactError::Invalid("coarse region flag must be 0 or 1")),
+        };
+        (coarse_region_vecs, get_f64(data, "build seconds")?)
+    };
+
     Ok(ReferenceIndex {
-        keys,
-        meta,
-        coarse,
-        fine_sheets,
-        regions,
+        keys: p.keys,
+        meta: p.meta,
+        coarse: p.coarse,
+        fine_sheets: p.fine_sheets,
+        regions: p.regions,
         region_vecs,
         param_vecs,
         coarse_region_vecs,
-        regions_by_sheet,
+        regions_by_sheet: p.regions_by_sheet,
+        fine_cache,
         build_seconds,
     })
 }
@@ -474,8 +728,21 @@ fn decode_index(
 impl AutoFormula {
     /// Serialize the whole serving state — config, featurizer vocabulary,
     /// model weights, and the reference index with all its provenance —
-    /// into one self-contained artifact.
+    /// into one self-contained artifact (format v2, exact `f32`, fat fine
+    /// tables: bit-identical round trips).
     pub fn save(&self, index: &ReferenceIndex) -> Bytes {
+        self.save_with(index, StoreOptions::default()).expect("default layout cannot fail")
+    }
+
+    /// [`AutoFormula::save`] with explicit storage options: a quantized
+    /// [`StoreOptions::codec`] (2–4× smaller tables, recall measured in
+    /// `BENCH_store.json`) and/or the [`StoreOptions::compact_fine`]
+    /// layout (per-sheet cell caches instead of per-region windows).
+    pub fn save_with(
+        &self,
+        index: &ReferenceIndex,
+        opts: StoreOptions,
+    ) -> Result<Bytes, ArtifactError> {
         let mut sections: [(u16, BytesMut); 4] = [
             (SEC_CONFIG, {
                 let mut b = BytesMut::new();
@@ -494,7 +761,7 @@ impl AutoFormula {
             }),
             (SEC_INDEX, {
                 let mut b = BytesMut::new();
-                encode_index(&mut b, index);
+                encode_index(&mut b, index, opts, self.cfg().fine_cell_dim)?;
                 b
             }),
         ];
@@ -507,8 +774,10 @@ impl AutoFormula {
                 body.put_u8(0);
             }
         }
+        let header = 12 + sections.len() * 18;
+        let table_pad = (4 - header % 4) % 4;
         let payload: usize = sections.iter().map(|(_, b)| b.len()).sum();
-        let mut buf = BytesMut::with_capacity(12 + sections.len() * 18 + payload);
+        let mut buf = BytesMut::with_capacity(header + table_pad + payload);
         buf.put_u32(MAGIC);
         buf.put_u16(VERSION);
         buf.put_u16(0); // flags, reserved
@@ -520,22 +789,41 @@ impl AutoFormula {
             buf.put_u64(body.len() as u64);
             offset += body.len() as u64;
         }
+        // v2: pad the section table so the payload base is 4-byte aligned
+        // for any section count (v1 relied on 4 sections × 18 bytes + the
+        // 12-byte header happening to be a multiple of 4).
+        for _ in 0..table_pad {
+            buf.put_u8(0);
+        }
         for (_, body) in &sections {
             buf.put_slice(body);
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Rebuild a complete serving state from an artifact produced by
-    /// [`AutoFormula::save`]. The returned system and index reproduce the
-    /// in-memory pipeline's predictions exactly.
+    /// [`AutoFormula::save`] (either format version). The returned system
+    /// and index reproduce the in-memory pipeline's predictions exactly
+    /// when the artifact was written with the exact codec.
     pub fn load(data: &[u8]) -> Result<(AutoFormula, ReferenceIndex), ArtifactError> {
         AutoFormula::load_bytes_artifact(Bytes::from(data.to_vec()))
     }
 
+    /// [`AutoFormula::load`] via `mmap(2)`: the artifact file is mapped
+    /// page-on-demand instead of read into memory, so the zero-copy
+    /// embedding tables serve straight from the page cache and artifacts
+    /// larger than RAM stay loadable — only the pages queries touch
+    /// become resident, and the kernel evicts cold ones under pressure.
+    /// The mapping lives until the returned index (and every clone of its
+    /// tables) drops. Replace artifact files by rename, never in place.
+    pub fn load_mmap(path: &Path) -> Result<(AutoFormula, ReferenceIndex), ArtifactError> {
+        let bytes = af_store::map_file(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+        AutoFormula::load_bytes_artifact(bytes)
+    }
+
     /// [`AutoFormula::load`] without the input copy: pass an owned
-    /// [`Bytes`] (e.g. `Bytes::from(std::fs::read(path)?)`) and sections
-    /// are sliced out of it zero-copy.
+    /// [`Bytes`] (e.g. `Bytes::from(std::fs::read(path)?)` or an mmap via
+    /// `af_store::map_file`) and sections are sliced out of it zero-copy.
     pub fn load_bytes_artifact(
         data: Bytes,
     ) -> Result<(AutoFormula, ReferenceIndex), ArtifactError> {
@@ -544,8 +832,11 @@ impl AutoFormula {
             return Err(ArtifactError::BadMagic);
         }
         let version = get_u16(&mut head, "version")?;
-        if version != VERSION {
-            return Err(ArtifactError::BadVersion(version));
+        if !SUPPORTED_VERSIONS.contains(&version) {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: SUPPORTED_VERSIONS,
+            });
         }
         let _flags = get_u16(&mut head, "flags")?;
         let n_sections = get_u32(&mut head, "section table")? as usize;
@@ -559,6 +850,13 @@ impl AutoFormula {
             let offset = get_u64(&mut head, "section table")? as usize;
             let len = get_u64(&mut head, "section table")? as usize;
             table.push((id, offset, len));
+        }
+        if version >= 2 {
+            let table_pad = (4 - (12 + n_sections * 18) % 4) % 4;
+            if head.remaining() < table_pad {
+                return Err(ArtifactError::Truncated("section table"));
+            }
+            head.split_to(table_pad);
         }
         let payload = head; // everything after the table
         let section = |id: u16, name: &'static str| -> Result<Bytes, ArtifactError> {
@@ -582,7 +880,7 @@ impl AutoFormula {
         }
         let mut model = RepresentationModel::new(feat_dim, cfg);
         model.load_bytes(section(SEC_MODEL, "MODEL")?)?;
-        let index = decode_index(&mut section(SEC_INDEX, "INDEX")?, &cfg)?;
+        let index = decode_index(&mut section(SEC_INDEX, "INDEX")?, &cfg, version)?;
         Ok((AutoFormula::from_model(model, featurizer), index))
     }
 }
@@ -607,21 +905,20 @@ mod tests {
         (af, index, corpus)
     }
 
-    #[test]
-    fn artifact_round_trips_predictions() {
-        let (af, index, corpus) = small_system();
-        let bytes = af.save(&index);
-        let (loaded, loaded_index) = AutoFormula::load(&bytes).expect("load");
-        assert_eq!(loaded_index.n_sheets(), index.n_sheets());
-        assert_eq!(loaded_index.n_regions(), index.n_regions());
+    fn assert_identical_predictions(
+        a: &AutoFormula,
+        ia: &ReferenceIndex,
+        b: &AutoFormula,
+        ib: &ReferenceIndex,
+        corpus: &af_corpus::OrgCorpus,
+    ) -> usize {
         let mut compared = 0usize;
         for wb in corpus.workbooks.iter().take(4) {
             for sheet in &wb.sheets {
                 for (target, _) in sheet.formulas() {
-                    let a = af.predict_with(&index, sheet, target, PipelineVariant::Full);
-                    let b =
-                        loaded.predict_with(&loaded_index, sheet, target, PipelineVariant::Full);
-                    match (a, b) {
+                    let x = a.predict_with(ia, sheet, target, PipelineVariant::Full);
+                    let y = b.predict_with(ib, sheet, target, PipelineVariant::Full);
+                    match (x, y) {
                         (Some(x), Some(y)) => {
                             assert_eq!(x.formula, y.formula);
                             assert_eq!(x.s2_distance.to_bits(), y.s2_distance.to_bits());
@@ -634,7 +931,142 @@ mod tests {
                 }
             }
         }
+        compared
+    }
+
+    #[test]
+    fn artifact_round_trips_predictions() {
+        let (af, index, corpus) = small_system();
+        let bytes = af.save(&index);
+        let (loaded, loaded_index) = AutoFormula::load(&bytes).expect("load");
+        assert_eq!(loaded_index.n_sheets(), index.n_sheets());
+        assert_eq!(loaded_index.n_regions(), index.n_regions());
+        let compared = assert_identical_predictions(&af, &index, &loaded, &loaded_index, &corpus);
         assert!(compared > 0);
+    }
+
+    #[test]
+    fn compact_layout_is_bit_identical_under_f32() {
+        let (af, index, corpus) = small_system();
+        let fat = af.save(&index);
+        let compact = af
+            .save_with(&index, StoreOptions { codec: Codec::F32, compact_fine: true })
+            .expect("compact save");
+        assert!(
+            compact.len() * 2 < fat.len(),
+            "compact must shrink the artifact substantially ({} vs {})",
+            compact.len(),
+            fat.len()
+        );
+        let (loaded, loaded_index) = AutoFormula::load(&compact).expect("compact load");
+        // Reconstructed tables are bit-identical: same gather, same
+        // normalize, same f32 inputs.
+        for rid in 0..index.n_regions() {
+            assert_eq!(loaded_index.region_vec(rid), index.region_vec(rid), "region {rid}");
+            for pi in 0..index.regions[rid].params.len() {
+                assert_eq!(loaded_index.param_vec(rid, pi), index.param_vec(rid, pi));
+            }
+        }
+        let compared = assert_identical_predictions(&af, &index, &loaded, &loaded_index, &corpus);
+        assert!(compared > 0);
+        // A compact-loaded index retains its cache, so it can re-save
+        // compact (round and round).
+        let again = loaded
+            .save_with(&loaded_index, StoreOptions { codec: Codec::F32, compact_fine: true })
+            .expect("re-save compact");
+        assert_eq!(again.len(), compact.len());
+    }
+
+    #[test]
+    fn quantized_artifacts_load_and_serve() {
+        let (af, index, corpus) = small_system();
+        let fat = af.save(&index);
+        for codec in [Codec::F16, Codec::Int8] {
+            for compact_fine in [false, true] {
+                let opts = StoreOptions { codec, compact_fine };
+                let bytes = af.save_with(&index, opts).expect("save");
+                assert!(bytes.len() < fat.len(), "{opts:?} must shrink the artifact");
+                let (loaded, loaded_index) = AutoFormula::load(&bytes).expect("load");
+                assert_eq!(loaded_index.n_sheets(), index.n_sheets());
+                assert_eq!(loaded_index.n_regions(), index.n_regions());
+                if !compact_fine {
+                    assert_eq!(loaded_index.fine_codec(), codec);
+                }
+                // Quantized serving stays on the rails: predictions exist
+                // and the self-query case still finds itself.
+                let sheet = &corpus.workbooks[0].sheets[0];
+                let (target, _) = sheet.formulas().next().expect("formula cell");
+                let pred = loaded
+                    .predict_with(&loaded_index, sheet, target, PipelineVariant::Full)
+                    .unwrap_or_else(|| panic!("{opts:?} must serve"));
+                assert!(pred.s2_distance < 1e-2, "{opts:?}: self-region distance");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sheet_compact_artifact_grows_without_poisoned_constants() {
+        // Regression: a compact artifact saved over zero sheets wrote
+        // placeholder zero constant rows; loading it left a *non-empty*
+        // all-zero FineCache, so the `is_empty()` capture guard never
+        // fired on later adds and every subsequent compact save persisted
+        // zero blank/out-of-bounds rows — silently wrong reconstructions.
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = AutoFormulaConfig::test_tiny();
+        let af =
+            AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
+        let empty_index = af.build_index(&corpus.workbooks, &[], IndexOptions::default());
+        let opts = StoreOptions { codec: Codec::F32, compact_fine: true };
+        let bytes = af.save_with(&empty_index, opts).expect("zero-sheet compact save");
+        let (loaded, mut grown) = AutoFormula::load(&bytes).expect("zero-sheet compact load");
+
+        // Grow the loaded index, re-save compact, reload: must serve
+        // exactly like an in-memory index grown the same way.
+        grown.add_workbook(&loaded.embedder(), &corpus.workbooks[0], 0);
+        let mut reference = af.build_index(&corpus.workbooks, &[], IndexOptions::default());
+        reference.add_workbook(&af.embedder(), &corpus.workbooks[0], 0);
+        let again = loaded.save_with(&grown, opts).expect("re-save compact");
+        let (af2, idx2) = AutoFormula::load(&again).expect("reload");
+        assert_eq!(idx2.n_regions(), reference.n_regions());
+        for rid in 0..reference.n_regions() {
+            assert_eq!(idx2.region_vec(rid), reference.region_vec(rid), "region {rid}");
+        }
+        let sheet = &corpus.workbooks[0].sheets[0];
+        let (target, _) = sheet.formulas().next().expect("formula cell");
+        let a = af.predict_with(&reference, sheet, target, PipelineVariant::Full);
+        let b = af2.predict_with(&idx2, sheet, target, PipelineVariant::Full);
+        assert_eq!(a.map(|p| p.formula), b.map(|p| p.formula));
+    }
+
+    #[test]
+    fn compact_save_requires_the_cache() {
+        let (af, index, _) = small_system();
+        // A fat artifact does not carry the caches, so its loaded index
+        // cannot re-save compact.
+        let (loaded, loaded_index) = AutoFormula::load(&af.save(&index)).unwrap();
+        let err = loaded
+            .save_with(&loaded_index, StoreOptions { codec: Codec::F32, compact_fine: true })
+            .err();
+        assert!(matches!(err, Some(ArtifactError::Invalid(_))));
+    }
+
+    #[test]
+    fn load_mmap_round_trips_bit_identically() {
+        let (af, index, corpus) = small_system();
+        let bytes = af.save(&index);
+        let mut path = std::env::temp_dir();
+        path.push(format!("af_artifact_mmap_{}.afar", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let (loaded, loaded_index) = AutoFormula::load_mmap(&path).expect("mmap load");
+        let compared = assert_identical_predictions(&af, &index, &loaded, &loaded_index, &corpus);
+        assert!(compared > 0);
+        drop(loaded_index); // release the mapping before unlinking
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            AutoFormula::load_mmap(Path::new("/no/such/artifact.afar")),
+            Err(ArtifactError::Io(_))
+        ));
     }
 
     #[test]
@@ -654,7 +1086,26 @@ mod tests {
         assert_eq!(AutoFormula::load(b"not an artifact").err(), Some(ArtifactError::BadMagic));
         let mut flipped = bytes.to_vec();
         flipped[5] ^= 0xFF; // version byte
-        assert!(matches!(AutoFormula::load(&flipped), Err(ArtifactError::BadVersion(_))));
+        match AutoFormula::load(&flipped).err() {
+            Some(ArtifactError::UnsupportedVersion { found, supported }) => {
+                assert_ne!(found, VERSION);
+                assert_eq!(supported, SUPPORTED_VERSIONS);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_reports_unsupported_not_a_section_error() {
+        // Regression: a future-versioned artifact must name the version
+        // problem directly instead of failing on some section decode.
+        let (af, index, _) = small_system();
+        let mut bytes = af.save(&index).to_vec();
+        bytes[4..6].copy_from_slice(&9u16.to_be_bytes());
+        assert_eq!(
+            AutoFormula::load(&bytes).err(),
+            Some(ArtifactError::UnsupportedVersion { found: 9, supported: SUPPORTED_VERSIONS })
+        );
     }
 
     #[test]
@@ -666,8 +1117,13 @@ mod tests {
         assert!(e.source().is_some());
         let e = ArtifactError::from(FeaturizerCodecError::Truncated);
         assert!(e.source().is_some());
+        let e = ArtifactError::from(StoreError::Truncated("x"));
+        assert!(e.source().is_some());
         assert!(ArtifactError::BadMagic.source().is_none());
         // Display lines are distinct and non-empty all the way down.
         assert!(!ArtifactError::Truncated("x").to_string().is_empty());
+        assert!(!ArtifactError::UnsupportedVersion { found: 9, supported: SUPPORTED_VERSIONS }
+            .to_string()
+            .is_empty());
     }
 }

@@ -32,6 +32,32 @@ impl SheetEmbedding {
     pub fn n_cached_cells(&self) -> usize {
         self.fine_cells.len()
     }
+
+    /// The per-cell fine cache in stable (row-major cell) order, without
+    /// the invalid-slot sentinel — what the compact artifact fine-store
+    /// persists instead of per-region windows.
+    pub(crate) fn fine_cell_entries(&self) -> Vec<(CellRef, &[f32])> {
+        let mut entries: Vec<(CellRef, &[f32])> = self
+            .fine_cells
+            .iter()
+            .filter(|(at, _)| **at != INVALID_KEY)
+            .map(|(at, v)| (*at, v.as_slice()))
+            .collect();
+        entries.sort_unstable_by_key(|(at, _)| *at);
+        entries
+    }
+
+    /// Fine vector of an in-bounds blank cell (constant across sheets —
+    /// the featurizer's empty-cell row through the model).
+    pub(crate) fn fine_empty(&self) -> &[f32] {
+        &self.fine_empty
+    }
+
+    /// Fine vector of an out-of-bounds window slot (constant across
+    /// sheets — the zero feature row through the model).
+    pub(crate) fn fine_invalid(&self) -> &[f32] {
+        &self.fine_cells[&INVALID_KEY]
+    }
 }
 
 /// Stateless embedding engine borrowing the trained model.

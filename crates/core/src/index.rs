@@ -16,6 +16,7 @@ use af_ann::{FlatIndex, HnswIndex, IvfFlatIndex, VectorIndex};
 use af_formula::{parse_formula, Template};
 use af_grid::{CellRef, Sheet, Workbook};
 use af_nn::Tensor;
+use af_store::{Codec, DenseStore, VectorStore};
 use std::time::Instant;
 
 /// Build a sheet-level ANN index over row-major `data` using the backend
@@ -54,117 +55,110 @@ pub struct SheetMeta {
 }
 
 /// Row-major table of fixed-dimension embedding vectors — the bulk of a
-/// reference index. Either **owned** (built in memory) or a **zero-copy
-/// view** into the artifact buffer the index was loaded from: artifacts
-/// store these blocks as 4-byte-aligned little-endian `f32` runs, so on
-/// little-endian hardware a loaded index reads them in place and cold
-/// start never materializes a second copy of hundreds of megabytes of
-/// embeddings. Mutation (incremental `add_workbook`) converts a view to an
-/// owned copy first — the write path pays, readers never do.
+/// reference index, stored in an [`af_store::DenseStore`]. Built in memory
+/// it is exact `f32` (owned); loaded from an artifact it adopts whatever
+/// codec the artifact was written with — exact blocks as **zero-copy
+/// views** into the artifact buffer (possibly an mmap, so cold start never
+/// materializes a second copy of hundreds of megabytes), or `f16`/`int8`
+/// quantized rows served through the asymmetric distance kernels.
+/// Mutation (incremental `add_workbook`) quantizes pushed vectors to the
+/// table's codec and converts views to owned copies first — the write
+/// path pays, readers never do.
 pub(crate) struct VecTable {
-    dim: usize,
-    rows: usize,
-    store: VecStore,
-}
-
-enum VecStore {
-    Owned(Vec<f32>),
-    /// Little-endian `f32` bytes, verified 4-byte aligned and exactly
-    /// `rows * dim * 4` long (see [`VecTable::from_le_bytes`]).
-    View(bytes::Bytes),
+    store: DenseStore,
 }
 
 impl VecTable {
     pub(crate) fn new(dim: usize) -> VecTable {
-        assert!(dim > 0);
-        VecTable { dim, rows: 0, store: VecStore::Owned(Vec::new()) }
+        VecTable { store: DenseStore::new(dim, Codec::F32) }
+    }
+
+    pub(crate) fn from_store(store: DenseStore) -> VecTable {
+        VecTable { store }
+    }
+
+    pub(crate) fn store(&self) -> &DenseStore {
+        &self.store
     }
 
     pub(crate) fn rows(&self) -> usize {
-        self.rows
+        self.store.rows()
     }
 
-    /// Append one vector (converting a view into an owned copy first).
+    pub(crate) fn codec(&self) -> Codec {
+        self.store.codec()
+    }
+
+    /// Append one vector (quantized to the table's codec; converts a view
+    /// into an owned copy first).
     pub(crate) fn push(&mut self, v: &[f32]) {
-        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
-        self.make_owned();
-        let VecStore::Owned(data) = &mut self.store else { unreachable!("just converted") };
-        data.extend_from_slice(v);
-        self.rows += 1;
+        self.store.push(v);
     }
 
-    fn make_owned(&mut self) {
-        if let VecStore::View(bytes) = &self.store {
-            self.store = VecStore::Owned(decode_le_f32s(bytes));
-        }
-    }
-
+    /// Row `i` as a borrowed slice — exact (`f32`) tables only. Quantized
+    /// tables have no f32 image in memory; use [`VecTable::row_owned`] or
+    /// the fused [`VecTable::l2_sq`].
     pub(crate) fn row(&self, i: usize) -> &[f32] {
-        assert!(i < self.rows, "row {i} out of {}", self.rows);
-        let (lo, hi) = (i * self.dim, (i + 1) * self.dim);
-        match &self.store {
-            VecStore::Owned(data) => &data[lo..hi],
-            VecStore::View(bytes) => {
-                // SAFETY: `from_le_bytes` only constructs a `View` on a
-                // little-endian target with a 4-byte-aligned buffer of
-                // exactly `rows * dim * 4` bytes, and the underlying
-                // `Bytes` storage is immutable and pinned for the life of
-                // this table.
-                let all = unsafe {
-                    std::slice::from_raw_parts(bytes.as_ptr() as *const f32, self.rows * self.dim)
-                };
-                &all[lo..hi]
-            }
-        }
+        self.store.row_f32(i).expect("row() requires the exact f32 codec")
     }
 
-    /// Adopt `rows * dim` little-endian `f32`s: zero-copy when the target
-    /// is little-endian and the buffer lands 4-byte aligned, otherwise an
-    /// owned decode. `bytes.len()` must equal `rows * dim * 4`.
-    pub(crate) fn from_le_bytes(dim: usize, rows: usize, bytes: bytes::Bytes) -> VecTable {
-        assert!(dim > 0);
-        assert_eq!(bytes.len(), rows * dim * 4, "byte length mismatch");
-        let store = if cfg!(target_endian = "little") && (bytes.as_ptr() as usize).is_multiple_of(4)
-        {
-            VecStore::View(bytes)
-        } else {
-            VecStore::Owned(decode_le_f32s(&bytes))
-        };
-        VecTable { dim, rows, store }
+    /// Row `i` dequantized into a fresh vector (any codec).
+    pub(crate) fn row_owned(&self, i: usize) -> Vec<f32> {
+        self.store.row_owned(i)
     }
 
-    /// Append the raw little-endian byte image of the whole table to `out`
-    /// (the wire format [`VecTable::from_le_bytes`] adopts).
-    pub(crate) fn extend_le_bytes(&self, out: &mut Vec<u8>) {
-        match &self.store {
-            VecStore::View(bytes) => out.extend_from_slice(bytes),
-            VecStore::Owned(data) => {
-                out.reserve(data.len() * 4);
-                for v in data {
-                    out.extend_from_slice(&v.to_le_bytes());
-                }
-            }
-        }
+    /// Row `i` as a borrowed slice when the table is exact (`None` on
+    /// quantized codecs — the hot path branches instead of allocating).
+    pub(crate) fn row_f32(&self, i: usize) -> Option<&[f32]> {
+        self.store.row_f32(i)
+    }
+
+    /// Asymmetric squared-L2 distance between the f32 `query` and row `i`
+    /// — on exact tables bit-identical to `l2_sq(query, row(i))`, on
+    /// quantized tables computed without materializing the row.
+    #[inline]
+    pub(crate) fn l2_sq(&self, i: usize, query: &[f32]) -> f32 {
+        self.store.l2_sq_row(query, i)
     }
 }
 
 impl Clone for VecTable {
     fn clone(&self) -> VecTable {
-        let store = match &self.store {
-            VecStore::Owned(data) => VecStore::Owned(data.clone()),
-            // O(1): views share the immutable artifact buffer.
-            VecStore::View(bytes) => VecStore::View(bytes.clone()),
-        };
-        VecTable { dim: self.dim, rows: self.rows, store }
+        // O(1) for views: they share the immutable artifact buffer.
+        VecTable { store: self.store.clone() }
     }
 }
 
-fn decode_le_f32s(bytes: &[u8]) -> Vec<f32> {
-    let mut out = vec![0f32; bytes.len() / 4];
-    for (o, chunk) in out.iter_mut().zip(bytes.chunks_exact(4)) {
-        *o = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+/// Per-sheet fine cell caches, retained at build time so the index can be
+/// saved in the *compact* artifact layout: instead of one `fine_dim()`-
+/// wide window per region/parameter (every cell's vector duplicated into
+/// up to `n_cells` overlapping windows), persist each sheet's per-cell
+/// vectors once and re-gather the windows at load. The two constant rows
+/// (in-bounds blank, out-of-bounds) are shared by every sheet.
+#[derive(Clone)]
+pub(crate) struct FineCache {
+    /// Fine vector of an in-bounds blank cell (`fine_cell_dim`).
+    pub(crate) empty: Vec<f32>,
+    /// Fine vector of an out-of-bounds window slot (`fine_cell_dim`).
+    pub(crate) invalid: Vec<f32>,
+    /// One entry per indexed sheet, parallel to [`ReferenceIndex::keys`].
+    pub(crate) sheets: Vec<SheetFineCells>,
+}
+
+/// One sheet's stored cells and their fine vectors, sorted row-major —
+/// everything a window gather needs (window slots depend only on cell
+/// *presence* and the top/left edge, never on cell contents).
+#[derive(Clone)]
+pub(crate) struct SheetFineCells {
+    pub(crate) refs: Vec<CellRef>,
+    /// `refs.len()` rows of `fine_cell_dim`.
+    pub(crate) vecs: VecTable,
+}
+
+impl FineCache {
+    pub(crate) fn empty_cache() -> FineCache {
+        FineCache { empty: Vec::new(), invalid: Vec::new(), sheets: Vec::new() }
     }
-    out
 }
 
 /// A reference formula region, with everything S3 needs to adapt it.
@@ -216,6 +210,11 @@ pub struct ReferenceIndex {
     pub(crate) param_vecs: VecTable,
     pub(crate) coarse_region_vecs: Option<VecTable>,
     pub(crate) regions_by_sheet: Vec<Vec<usize>>,
+    /// Per-sheet fine cell caches (compact-save source). `Some` for
+    /// indexes built or grown in this process and for indexes loaded from
+    /// compact artifacts; `None` after loading a fat artifact (which does
+    /// not carry the caches).
+    pub(crate) fine_cache: Option<FineCache>,
     pub build_seconds: f64,
 }
 
@@ -231,6 +230,7 @@ impl Clone for ReferenceIndex {
             param_vecs: self.param_vecs.clone(),
             coarse_region_vecs: self.coarse_region_vecs.clone(),
             regions_by_sheet: self.regions_by_sheet.clone(),
+            fine_cache: self.fine_cache.clone(),
             build_seconds: self.build_seconds,
         }
     }
@@ -303,6 +303,7 @@ impl ReferenceIndex {
             param_vecs: VecTable::new(cfg.fine_dim()),
             coarse_region_vecs: opts.coarse_regions.then(|| VecTable::new(cfg.coarse_dim)),
             regions_by_sheet: Vec::new(),
+            fine_cache: Some(FineCache::empty_cache()),
             build_seconds: 0.0,
         };
         // Region provenance: every formula cell, with its template
@@ -329,6 +330,22 @@ impl ReferenceIndex {
         sheet: &Sheet,
         sheet_idx: usize,
     ) {
+        if let Some(cache) = self.fine_cache.as_mut() {
+            if cache.empty.is_empty() {
+                // Constant across sheets: captured from the first one.
+                cache.empty = emb.fine_empty().to_vec();
+                cache.invalid = emb.fine_invalid().to_vec();
+            }
+            debug_assert_eq!(cache.sheets.len(), sheet_idx, "cache parallel to keys");
+            let entries = emb.fine_cell_entries();
+            let mut refs = Vec::with_capacity(entries.len());
+            let mut vecs = VecTable::new(embedder.cfg().fine_cell_dim);
+            for (at, v) in entries {
+                refs.push(at);
+                vecs.push(v);
+            }
+            cache.sheets.push(SheetFineCells { refs, vecs });
+        }
         let mut locs: Vec<(CellRef, String)> =
             sheet.formulas().map(|(at, f)| (at, f.to_string())).collect();
         locs.sort_by_key(|(at, _)| *at);
@@ -414,8 +431,18 @@ impl ReferenceIndex {
         &self.regions_by_sheet[sheet_idx]
     }
 
+    /// Fine region embedding — exact (`f32`) indexes only; quantized
+    /// indexes serve through [`ReferenceIndex::region_distance`].
     pub fn region_vec(&self, region_id: usize) -> &[f32] {
         self.region_vecs.row(region_id)
+    }
+
+    /// Squared L2 distance between an f32 query window and region
+    /// `region_id` — the S2 scan primitive. On quantized indexes this is
+    /// the asymmetric kernel (the stored row is never dequantized).
+    #[inline]
+    pub fn region_distance(&self, region_id: usize, query: &[f32]) -> f32 {
+        self.region_vecs.l2_sq(region_id, query)
     }
 
     /// Reference-side fine embedding of parameter `param_idx` of region
@@ -426,8 +453,39 @@ impl ReferenceIndex {
         self.param_vecs.row(entry.param_start + param_idx)
     }
 
+    /// [`ReferenceIndex::param_vec`] dequantized into a fresh vector (any
+    /// codec — the S3 path uses it as a query against candidate windows).
+    pub fn param_vec_owned(&self, region_id: usize, param_idx: usize) -> Vec<f32> {
+        let entry = &self.regions[region_id];
+        assert!(param_idx < entry.params.len());
+        self.param_vecs.row_owned(entry.param_start + param_idx)
+    }
+
+    /// [`ReferenceIndex::param_vec`] as a borrowed slice when the table
+    /// is exact, `None` on quantized codecs — lets the serving hot path
+    /// stay allocation-free in the (default) f32 case.
+    pub fn param_vec_f32(&self, region_id: usize, param_idx: usize) -> Option<&[f32]> {
+        let entry = &self.regions[region_id];
+        assert!(param_idx < entry.params.len());
+        self.param_vecs.row_f32(entry.param_start + param_idx)
+    }
+
     pub fn coarse_region_vec(&self, region_id: usize) -> Option<&[f32]> {
         self.coarse_region_vecs.as_ref().map(|v| v.row(region_id))
+    }
+
+    /// Squared L2 distance between a coarse query window and region
+    /// `region_id`'s coarse embedding, when the coarse-region table was
+    /// built (the coarse-only ablation path).
+    #[inline]
+    pub fn coarse_region_distance(&self, region_id: usize, query: &[f32]) -> Option<f32> {
+        self.coarse_region_vecs.as_ref().map(|v| v.l2_sq(region_id, query))
+    }
+
+    /// Storage codec of the fine region/parameter tables (the serving
+    /// bulk). Exact `f32` unless a quantized artifact was loaded.
+    pub fn fine_codec(&self) -> Codec {
+        self.region_vecs.codec()
     }
 }
 

@@ -150,11 +150,17 @@ impl AutoFormula {
         let mut ranked: Vec<(usize, f32)> = Vec::new();
         for cand in &candidates {
             for &rid in index.regions_of_sheet(cand.id) {
-                let d = match (variant, index.coarse_region_vec(rid)) {
-                    (PipelineVariant::CoarseOnly, Some(cv)) => {
-                        l2_sq(target_coarse_region.as_ref().expect("computed"), cv)
-                    }
-                    _ => l2_sq(&target_fine, index.region_vec(rid)),
+                // Distances go through the index's store so quantized
+                // artifacts scan with the asymmetric kernels (on exact
+                // f32 tables this is bit-identical to borrowing the row).
+                let d = match variant {
+                    PipelineVariant::CoarseOnly => index
+                        .coarse_region_distance(
+                            rid,
+                            target_coarse_region.as_ref().expect("computed"),
+                        )
+                        .unwrap_or_else(|| index.region_distance(rid, &target_fine)),
+                    _ => index.region_distance(rid, &target_fine),
                 };
                 ranked.push((rid, d));
             }
@@ -181,13 +187,23 @@ impl AutoFormula {
             let mut mapped: Vec<CellRef> = Vec::with_capacity(ref_params.len());
             let mut ok = true;
             for (pi, &cr) in ref_params.iter().enumerate() {
+                let owned_ref_vec;
                 let m = match variant {
                     PipelineVariant::CoarseOnly => offset_map(cr, entry.cell, target),
                     _ => search_parameter(
                         &embedder,
                         emb,
                         sheet,
-                        index.param_vec(rid, pi),
+                        // Exact tables lend the row zero-copy (the default
+                        // serving path); quantized tables dequantize once
+                        // per parameter.
+                        match index.param_vec_f32(rid, pi) {
+                            Some(v) => v,
+                            None => {
+                                owned_ref_vec = index.param_vec_owned(rid, pi);
+                                &owned_ref_vec
+                            }
+                        },
                         cr,
                         entry.cell,
                         target,

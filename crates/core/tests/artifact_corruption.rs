@@ -7,12 +7,14 @@ use af_core::config::AutoFormulaConfig;
 use af_core::index::IndexOptions;
 use af_core::model::RepresentationModel;
 use af_core::pipeline::AutoFormula;
+use af_core::{Codec, StoreOptions};
 use af_corpus::organization::{OrgSpec, Scale};
 use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
 use std::sync::Arc;
 
-/// A small but fully-populated artifact (real regions, params, metadata).
-fn small_artifact() -> Vec<u8> {
+/// A small but fully-populated artifact (real regions, params, metadata)
+/// in the given storage layout.
+fn small_artifact_with(opts: StoreOptions) -> Vec<u8> {
     let corpus = OrgSpec::pge(Scale::Tiny).generate();
     let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
     let cfg = AutoFormulaConfig::test_tiny();
@@ -26,7 +28,22 @@ fn small_artifact() -> Vec<u8> {
         IndexOptions { fine_sheet_signatures: true, coarse_regions: true },
     );
     assert!(index.n_regions() > 0, "artifact must contain regions");
-    af.save(&index).to_vec()
+    af.save_with(&index, opts).expect("save").to_vec()
+}
+
+fn small_artifact() -> Vec<u8> {
+    small_artifact_with(StoreOptions::default())
+}
+
+/// Every v2 layout worth corrupting: each codec, fat and compact.
+fn layout_variants() -> Vec<StoreOptions> {
+    let mut out = Vec::new();
+    for codec in Codec::ALL {
+        for compact_fine in [false, true] {
+            out.push(StoreOptions { codec, compact_fine });
+        }
+    }
+    out
 }
 
 /// Parse the header the same way the loader lays it out and return every
@@ -96,6 +113,130 @@ fn bit_flips_never_panic() {
             }
         }
     }
+}
+
+#[test]
+fn truncated_quantized_and_compact_artifacts_never_panic() {
+    // The v2-specific payloads: quantized blocks (f16 images, int8
+    // scale/offset/code runs) and the compact fine cache (cell refs +
+    // per-sheet stores). Truncation anywhere must error cleanly.
+    for opts in layout_variants() {
+        let artifact = small_artifact_with(opts);
+        let mut cuts = interesting_offsets(&artifact);
+        let step = (artifact.len() / 53).max(1);
+        cuts.extend((0..artifact.len()).step_by(step));
+        cuts.sort_unstable();
+        cuts.dedup();
+        for &cut in &cuts {
+            assert!(
+                AutoFormula::load(&artifact[..cut]).is_err(),
+                "{opts:?}: truncation to {cut}/{} bytes must be an error",
+                artifact.len()
+            );
+        }
+        assert!(AutoFormula::load(&artifact).is_ok(), "{opts:?}");
+    }
+}
+
+#[test]
+fn bit_flips_in_quantized_and_compact_artifacts_never_panic() {
+    for opts in layout_variants() {
+        let artifact = small_artifact_with(opts);
+        let mut positions = interesting_offsets(&artifact);
+        let step = (artifact.len() / 31).max(1);
+        positions.extend((0..artifact.len()).step_by(step));
+        positions.sort_unstable();
+        positions.dedup();
+        for &pos in &positions {
+            for bit in [0u8, 7] {
+                let mut corrupt = artifact.clone();
+                corrupt[pos] ^= 1 << bit;
+                if let Ok((af, index)) = AutoFormula::load(&corrupt) {
+                    assert_eq!(index.n_sheets(), index.keys.len(), "{opts:?}");
+                    let _ = af.cfg();
+                }
+            }
+        }
+    }
+}
+
+/// Find the wire offset of the first int8 store whose header names `dim`:
+/// tag byte 3, big-endian u32 dim — a 5-byte pattern that cannot occur
+/// inside the header fields preceding it by construction of this search.
+fn find_int8_store(artifact: &[u8], dim: u32) -> Option<usize> {
+    let mut pat = vec![3u8];
+    pat.extend_from_slice(&dim.to_be_bytes());
+    artifact.windows(pat.len()).position(|w| w == pat)
+}
+
+#[test]
+fn int8_codec_tag_flip_and_poisoned_scales_are_rejected() {
+    let artifact = small_artifact_with(StoreOptions { codec: Codec::Int8, compact_fine: false });
+    let fine_dim = AutoFormulaConfig::test_tiny().fine_dim() as u32;
+    let pos = find_int8_store(&artifact, fine_dim).expect("an int8 fine table on the wire");
+
+    // Codec tag flipped to an unknown value → clean error.
+    let mut bad_tag = artifact.clone();
+    bad_tag[pos] = 99;
+    assert!(AutoFormula::load(&bad_tag).is_err(), "unknown codec tag must be rejected");
+
+    // Scales begin after tag(1) + dim(4) + rows(8) + pad(1 + n). Poison
+    // the first scale with NaN, Inf, and a negative: all must be rejected
+    // before they can leak into a distance computation.
+    let pad = artifact[pos + 13] as usize;
+    let scales_at = pos + 14 + pad;
+    for poison in [f32::NAN, f32::INFINITY, -1.0f32] {
+        let mut bad = artifact.clone();
+        bad[scales_at..scales_at + 4].copy_from_slice(&poison.to_le_bytes());
+        assert!(
+            AutoFormula::load(&bad).is_err(),
+            "scale {poison} must be rejected at the boundary"
+        );
+    }
+    // The offsets block sits right after the scales; a non-finite offset
+    // is rejected too.
+    let rows = u64::from_be_bytes(artifact[pos + 5..pos + 13].try_into().unwrap()) as usize;
+    let offsets_at = scales_at + rows * 4;
+    let mut bad = artifact.clone();
+    bad[offsets_at..offsets_at + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+    assert!(AutoFormula::load(&bad).is_err(), "NaN offset must be rejected");
+
+    // Sanity: the untouched artifact loads.
+    assert!(AutoFormula::load(&artifact).is_ok());
+}
+
+#[test]
+fn compact_cache_with_unsorted_refs_is_rejected() {
+    // The compact reconstruction binary-searches each sheet's cell refs;
+    // a corrupted (unsorted) ref list must be rejected, not silently
+    // mis-gathered. Cell refs are (u32 row, u32 col) big-endian pairs
+    // right after the per-sheet count; swapping the first two refs of a
+    // sheet with ≥ 2 cells breaks strict ordering.
+    let artifact = small_artifact_with(StoreOptions { codec: Codec::F32, compact_fine: true });
+    // Locate the compact consts store (f32 codec tag 1, dim =
+    // fine_cell_dim, rows = 2) — the sheet list follows it.
+    let f8 = AutoFormulaConfig::test_tiny().fine_cell_dim as u32;
+    let mut pat = vec![1u8];
+    pat.extend_from_slice(&f8.to_be_bytes());
+    pat.extend_from_slice(&2u64.to_be_bytes());
+    let pos = artifact
+        .windows(pat.len())
+        .position(|w| w == pat)
+        .expect("compact consts store on the wire");
+    let pad = artifact[pos + 13] as usize;
+    let first_sheet_at = pos + 14 + pad + 2 * f8 as usize * 4;
+    let n_cells =
+        u64::from_be_bytes(artifact[first_sheet_at..first_sheet_at + 8].try_into().unwrap());
+    assert!(n_cells >= 2, "first sheet must store at least two cells");
+    let refs_at = first_sheet_at + 8;
+    let mut bad = artifact.clone();
+    // Swap ref[0] and ref[1] (8 bytes each).
+    let (a, b) = (refs_at, refs_at + 8);
+    for i in 0..8 {
+        bad.swap(a + i, b + i);
+    }
+    assert!(AutoFormula::load(&bad).is_err(), "unsorted cell refs must be rejected");
+    assert!(AutoFormula::load(&artifact).is_ok());
 }
 
 #[test]

@@ -1,0 +1,103 @@
+//! Backward compatibility: version-1 artifacts (written by the pre-
+//! `af-store` code) must keep loading and serving after the v2 format
+//! change.
+//!
+//! The fixtures under `tests/data/` were generated **once** from the PR-4
+//! codebase (commit 4a79415, before the v2 writer landed), one per ANN
+//! backend, over `OrgSpec::pge(Scale::Tiny)` workbooks 0–1 with
+//! `AutoFormulaConfig::test_tiny()` and an untrained (seeded random-init)
+//! model — everything deterministic, so the same system can be rebuilt
+//! in-memory today and compared prediction-for-prediction.
+
+use af_core::config::AnnBackend;
+use af_core::index::IndexOptions;
+use af_core::model::RepresentationModel;
+use af_core::pipeline::{AutoFormula, PipelineVariant};
+use af_core::AutoFormulaConfig;
+use af_corpus::organization::{OrgSpec, Scale};
+use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::sync::Arc;
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("fixture {path}: {e}"))
+}
+
+/// Rebuild the exact system the fixture was saved from.
+fn rebuild(backend: AnnBackend) -> (AutoFormula, af_core::ReferenceIndex, af_corpus::OrgCorpus) {
+    let corpus = OrgSpec::pge(Scale::Tiny).generate();
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig { ann_backend: backend, ..AutoFormulaConfig::test_tiny() };
+    let af = AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
+    let members: Vec<usize> = (0..2).collect();
+    let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+    (af, index, corpus)
+}
+
+fn assert_v1_serves_identically(fixture_name: &str, backend: AnnBackend) {
+    let bytes = fixture(fixture_name);
+    let (loaded, loaded_index) =
+        AutoFormula::load(&bytes).unwrap_or_else(|e| panic!("{fixture_name}: {e}"));
+    let (fresh, fresh_index, corpus) = rebuild(backend);
+    assert_eq!(loaded_index.n_sheets(), fresh_index.n_sheets(), "{fixture_name}");
+    assert_eq!(loaded_index.n_regions(), fresh_index.n_regions(), "{fixture_name}");
+    let mut compared = 0usize;
+    for wb in corpus.workbooks.iter().take(2) {
+        for sheet in &wb.sheets {
+            for (target, _) in sheet.formulas() {
+                let a = fresh.predict_with(&fresh_index, sheet, target, PipelineVariant::Full);
+                let b = loaded.predict_with(&loaded_index, sheet, target, PipelineVariant::Full);
+                match (a, b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.formula, y.formula, "{fixture_name}");
+                        assert_eq!(
+                            x.s2_distance.to_bits(),
+                            y.s2_distance.to_bits(),
+                            "{fixture_name}"
+                        );
+                    }
+                    (None, None) => {}
+                    (x, y) => panic!("{fixture_name}: prediction mismatch {x:?} vs {y:?}"),
+                }
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 0, "{fixture_name}: no formulas compared");
+}
+
+#[test]
+fn v1_flat_artifact_loads_and_serves_bit_identically() {
+    assert_v1_serves_identically("artifact_v1_tiny.afar", AnnBackend::Flat);
+}
+
+#[test]
+fn v1_hnsw_artifact_loads_and_serves_bit_identically() {
+    assert_v1_serves_identically("artifact_v1_hnsw.afar", AnnBackend::Hnsw(Default::default()));
+}
+
+#[test]
+fn v1_ivf_artifact_loads_and_serves_bit_identically() {
+    assert_v1_serves_identically(
+        "artifact_v1_ivf.afar",
+        AnnBackend::Ivf(af_ann::IvfParams { n_lists: 2, ..Default::default() }),
+    );
+}
+
+#[test]
+fn v1_artifact_resaves_as_v2_losslessly() {
+    // Migration path: load v1, save (writes v2), load again — still
+    // bit-identical. A v1-loaded index carries no fine cache, so the fat
+    // layout is used; that is exactly what `save` defaults to.
+    let bytes = fixture("artifact_v1_tiny.afar");
+    let (loaded, index) = AutoFormula::load(&bytes).expect("v1 loads");
+    let v2 = loaded.save(&index);
+    let (again, again_index) = AutoFormula::load(&v2).expect("v2 re-save loads");
+    let corpus = OrgSpec::pge(Scale::Tiny).generate();
+    let sheet = &corpus.workbooks[0].sheets[0];
+    for (target, _) in sheet.formulas() {
+        let a = loaded.predict_with(&index, sheet, target, PipelineVariant::Full);
+        let b = again.predict_with(&again_index, sheet, target, PipelineVariant::Full);
+        assert_eq!(a.map(|p| p.formula), b.map(|p| p.formula));
+    }
+}

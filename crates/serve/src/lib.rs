@@ -30,8 +30,10 @@ use af_core::pipeline::{AutoFormula, PipelineVariant, Prediction};
 use af_grid::{CellRef, Sheet, Workbook};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One immutable serving state: everything needed to answer predictions.
 pub struct Snapshot {
@@ -46,6 +48,9 @@ pub struct Snapshot {
     /// Provenance id the next added workbook will receive in
     /// [`af_core::SheetKey::workbook`].
     next_workbook_id: usize,
+    /// When this snapshot became the active epoch (drives
+    /// [`ServeStats::snapshot_age`]).
+    published_at: Instant,
 }
 
 impl Snapshot {
@@ -113,8 +118,42 @@ impl Slot {
     }
 }
 
+/// Monotonic serving counters, all updated with relaxed atomics — they
+/// are observability, not synchronization.
+#[derive(Default)]
+struct Counters {
+    /// Queries answered through any `predict*` entry point.
+    queries: AtomicU64,
+    /// Snapshot acquisitions (one per `snapshot()` — every predict call
+    /// and every explicit reader pin).
+    snapshots: AtomicU64,
+    /// Successful `add_workbook` publishes.
+    adds: AtomicU64,
+}
+
+/// A point-in-time view of a [`ServeHandle`]'s health: which epoch is
+/// serving, how stale it is, and how much traffic the handle has seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Epoch of the currently-active snapshot.
+    pub epoch: u64,
+    /// Time since that snapshot was published (a freshly-swapped epoch
+    /// resets this; a long age on a write-heavy deployment means the
+    /// writer is starving).
+    pub snapshot_age: Duration,
+    /// Queries served since startup, across every `predict*` entry point
+    /// (batch calls count each query).
+    pub queries_served: u64,
+    /// Reader snapshot acquisitions since startup (includes the one this
+    /// `stats()` call performed).
+    pub snapshots_acquired: u64,
+    /// Workbooks incrementally indexed since startup.
+    pub workbooks_added: u64,
+}
+
 struct Shared {
     slots: [Slot; 2],
+    counters: Counters,
     /// Which slot readers should use. The invariant that makes reads safe:
     /// a slot's pointer is only ever replaced while `active` names the
     /// *other* slot **and** the slot's reader count has been observed at
@@ -190,11 +229,17 @@ impl ServeHandle {
     /// Serve an in-memory system and its built index.
     pub fn new(system: AutoFormula, index: ReferenceIndex) -> ServeHandle {
         let next_workbook_id = index.keys.iter().map(|k| k.workbook + 1).max().unwrap_or(0);
-        let snap =
-            Arc::new(Snapshot { system: Arc::new(system), index, epoch: 0, next_workbook_id });
+        let snap = Arc::new(Snapshot {
+            system: Arc::new(system),
+            index,
+            epoch: 0,
+            next_workbook_id,
+            published_at: Instant::now(),
+        });
         ServeHandle {
             shared: Arc::new(Shared {
                 slots: [Slot::holding(Arc::clone(&snap)), Slot::holding(snap)],
+                counters: Counters::default(),
                 active: AtomicUsize::new(0),
                 writer: Mutex::new(()),
             }),
@@ -204,6 +249,15 @@ impl ServeHandle {
     /// Cold-start a server from artifact bytes (`AutoFormula::save`).
     pub fn from_artifact(data: &[u8]) -> Result<ServeHandle, ArtifactError> {
         let (system, index) = AutoFormula::load(data)?;
+        Ok(ServeHandle::new(system, index))
+    }
+
+    /// Cold-start a server straight from an artifact file via `mmap(2)`
+    /// (`AutoFormula::load_mmap`): embedding tables serve page-on-demand
+    /// from the page cache, so artifacts larger than RAM are servable.
+    /// The mapping lives as long as any snapshot still views it.
+    pub fn from_artifact_path(path: &Path) -> Result<ServeHandle, ArtifactError> {
+        let (system, index) = AutoFormula::load_mmap(path)?;
         Ok(ServeHandle::new(system, index))
     }
 
@@ -219,6 +273,7 @@ impl ServeHandle {
     /// one races past. The returned `Arc` pins the epoch for as long as
     /// the caller holds it — an unbounded read, safely.
     pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
         loop {
             let a = self.shared.active.load(ORD);
             let slot = &self.shared.slots[a];
@@ -248,6 +303,20 @@ impl ServeHandle {
         self.snapshot().epoch
     }
 
+    /// Serving counters and snapshot age — the numbers an operator (or a
+    /// metrics scraper) wants on one line. Cheap: one snapshot
+    /// acquisition plus relaxed counter loads.
+    pub fn stats(&self) -> ServeStats {
+        let snap = self.snapshot();
+        ServeStats {
+            epoch: snap.epoch,
+            snapshot_age: snap.published_at.elapsed(),
+            queries_served: self.shared.counters.queries.load(Ordering::Relaxed),
+            snapshots_acquired: self.shared.counters.snapshots.load(Ordering::Relaxed),
+            workbooks_added: self.shared.counters.adds.load(Ordering::Relaxed),
+        }
+    }
+
     /// Sheets currently indexed.
     pub fn n_sheets(&self) -> usize {
         self.snapshot().index.n_sheets()
@@ -261,6 +330,7 @@ impl ServeHandle {
     /// Predict with the confidence threshold applied (the serving
     /// entry point). Lock-free: runs entirely against one snapshot.
     pub fn predict(&self, sheet: &Sheet, target: CellRef) -> Option<Prediction> {
+        self.shared.counters.queries.fetch_add(1, Ordering::Relaxed);
         self.snapshot().predict(sheet, target)
     }
 
@@ -271,6 +341,7 @@ impl ServeHandle {
         target: CellRef,
         variant: PipelineVariant,
     ) -> Option<Prediction> {
+        self.shared.counters.queries.fetch_add(1, Ordering::Relaxed);
         self.snapshot().predict_with(sheet, target, variant)
     }
 
@@ -284,6 +355,7 @@ impl ServeHandle {
         queries: &[(&Sheet, CellRef)],
         variant: PipelineVariant,
     ) -> Vec<Option<Prediction>> {
+        self.shared.counters.queries.fetch_add(queries.len() as u64, Ordering::Relaxed);
         self.snapshot().predict_batch_with(queries, variant)
     }
 
@@ -292,6 +364,7 @@ impl ServeHandle {
     /// whole call, so the threshold and the predictions always come from
     /// the same epoch.
     pub fn predict_batch(&self, queries: &[(&Sheet, CellRef)]) -> Vec<Option<Prediction>> {
+        self.shared.counters.queries.fetch_add(queries.len() as u64, Ordering::Relaxed);
         let snap = self.snapshot();
         let theta = snap.system.cfg().theta_region;
         snap.predict_batch_with(queries, PipelineVariant::Full)
@@ -316,8 +389,10 @@ impl ServeHandle {
             index,
             epoch,
             next_workbook_id: id + 1,
+            published_at: Instant::now(),
         });
         self.shared.publish(new);
+        self.shared.counters.adds.fetch_add(1, Ordering::Relaxed);
         drop(guard);
         epoch
     }
@@ -456,6 +531,64 @@ mod tests {
             assert_eq!(a.map(|p| p.formula), b.map(|p| p.formula));
         }
         assert!(ServeHandle::from_artifact(b"garbage").is_err());
+    }
+
+    #[test]
+    fn stats_expose_epoch_age_and_traffic_counters() {
+        let (handle, corpus) = handle_over(3);
+        let s0 = handle.stats();
+        assert_eq!(s0.epoch, 0);
+        assert_eq!(s0.queries_served, 0);
+        assert_eq!(s0.workbooks_added, 0);
+        assert!(s0.snapshots_acquired >= 1, "stats itself pins a snapshot");
+
+        // Serve some traffic: singles and a batch, each counted per query.
+        let queries = query_targets(&corpus, 0);
+        assert!(queries.len() >= 2);
+        for &(sheet, at) in queries.iter().take(2) {
+            let _ = handle.predict(sheet, at);
+            let _ = handle.predict_with(sheet, at, PipelineVariant::Full);
+        }
+        let _ = handle.predict_batch(&queries);
+        let s1 = handle.stats();
+        assert_eq!(s1.queries_served, 4 + queries.len() as u64);
+        assert!(s1.snapshots_acquired > s0.snapshots_acquired);
+        assert!(s1.snapshot_age >= s0.snapshot_age, "same epoch only ages");
+
+        // A publish bumps the epoch, the add counter, and resets the age.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let aged = handle.stats().snapshot_age;
+        assert!(aged.as_millis() >= 20);
+        handle.add_workbook(&corpus.workbooks[3]);
+        let s2 = handle.stats();
+        assert_eq!(s2.epoch, 1);
+        assert_eq!(s2.workbooks_added, 1);
+        assert!(s2.snapshot_age < aged, "new epoch must be younger than the old one");
+        // Queries served is monotone across the swap.
+        assert!(s2.queries_served >= s1.queries_served);
+    }
+
+    #[test]
+    fn serves_from_an_artifact_file_via_mmap() {
+        let (handle, corpus) = handle_over(3);
+        let bytes = handle.to_artifact();
+        let mut path = std::env::temp_dir();
+        path.push(format!("af_serve_mmap_{}.afar", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = ServeHandle::from_artifact_path(&path).expect("mmap serve");
+        assert_eq!(mapped.n_sheets(), handle.n_sheets());
+        for (sheet, target) in query_targets(&corpus, 0).into_iter().take(6) {
+            let a = handle.predict_with(sheet, target, PipelineVariant::Full);
+            let b = mapped.predict_with(sheet, target, PipelineVariant::Full);
+            assert_eq!(a.map(|p| p.formula), b.map(|p| p.formula));
+        }
+        // The mapped handle can still grow (tables convert to owned on
+        // write) and re-serialize.
+        mapped.add_workbook(&corpus.workbooks[3]);
+        assert!(mapped.n_sheets() > handle.n_sheets());
+        drop(mapped);
+        std::fs::remove_file(&path).unwrap();
+        assert!(ServeHandle::from_artifact_path(Path::new("/no/such.afar")).is_err());
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! IEEE 754 binary16 ↔ binary32 conversion, implemented on bit level (the
+//! toolchain's `f16` is unstable and no half-float crate is vendored).
+//!
+//! `f32_to_f16` rounds to nearest, ties to even — the same rounding every
+//! hardware F16C/NEON converter uses — and preserves infinities, NaNs
+//! (quieted, payload truncated), signed zeros, and subnormals. For inputs
+//! in the normal binary16 range the round trip error is bounded by half a
+//! ulp: `|x − f16(x)| ≤ 2⁻¹¹·|x|` — plenty below the noise floor of the
+//! embeddings this workspace stores, whose components live in [−1, 1].
+
+/// Convert one `f32` to its nearest `f16` bit pattern (round to nearest,
+/// ties to even).
+#[inline]
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN: keep the class; quiet NaNs so a payload is never lost
+        // into an Inf encoding.
+        return if mant == 0 { sign | 0x7C00 } else { sign | 0x7E00 };
+    }
+    // Unbiased exponent, rebased to f16's bias of 15.
+    let unbiased = exp - 127;
+    if unbiased >= 16 {
+        // Too large for binary16 → ±Inf.
+        return sign | 0x7C00;
+    }
+    if unbiased >= -14 {
+        // Normal range: 10 explicit mantissa bits, round the 13 dropped.
+        let mant16 = mant >> 13;
+        let rest = mant & 0x1FFF;
+        let half = 0x1000;
+        let mut out = ((unbiased + 15) as u32) << 10 | mant16;
+        if rest > half || (rest == half && (mant16 & 1) == 1) {
+            out += 1; // may carry into the exponent — that is correct
+        }
+        return sign | out as u16;
+    }
+    if unbiased >= -25 {
+        // Subnormal range: implicit leading 1 becomes explicit, shifted.
+        let full = mant | 0x0080_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let mant16 = full >> shift;
+        let rest = full & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut out = mant16;
+        if rest > half || (rest == half && (mant16 & 1) == 1) {
+            out += 1;
+        }
+        return sign | out as u16;
+    }
+    // Underflows to ±0.
+    sign
+}
+
+/// Convert one `f16` bit pattern to the exactly-representable `f32`.
+#[inline]
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign, // ±0
+        (0, m) => {
+            // Subnormal (value `m·2⁻²⁴`): normalize into f32, which has
+            // plenty of exponent range — `1.rest · 2^(p−24)` with `p` the
+            // position of `m`'s leading bit.
+            let p = 31 - m.leading_zeros();
+            sign | ((103 + p) << 23) | ((m << (23 - p)) & 0x007F_FFFF)
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,             // ±Inf
+        (0x1F, m) => sign | 0x7FC0_0000 | (m << 13), // NaN (quieted)
+        (e, m) => sign | ((e + 112) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.099975586] {
+            let h = f32_to_f16(v);
+            assert_eq!(f16_to_f32(h), v, "{v} must be exactly representable");
+        }
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(f16_to_f32(f32_to_f16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        // Overflow saturates to Inf, underflow to signed zero.
+        assert_eq!(f16_to_f32(f32_to_f16(1e10)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(-1e10)), f32::NEG_INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(1e-10)), 0.0);
+        assert_eq!(f16_to_f32(f32_to_f16(-1e-10)).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn every_f16_survives_the_full_loop() {
+        // f16 → f32 → f16 must be the identity for every finite pattern
+        // (f32 has strictly more precision and range).
+        for h in 0..=u16::MAX {
+            let exp = (h >> 10) & 0x1F;
+            let mant = h & 0x03FF;
+            if exp == 0x1F && mant != 0 {
+                // NaNs: class preserved, payload may be quieted.
+                assert!(f16_to_f32(h).is_nan());
+                continue;
+            }
+            assert_eq!(f32_to_f16(f16_to_f32(h)), h, "pattern {h:#06x}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 sits exactly between 1.0 and the next f16 (1 + 2^-10):
+        // ties-to-even picks 1.0 (even mantissa).
+        let tie = 1.0 + 2f32.powi(-11);
+        assert_eq!(f16_to_f32(f32_to_f16(tie)), 1.0);
+        // Just above the tie rounds up.
+        let above = 1.0 + 2f32.powi(-11) + 2f32.powi(-20);
+        assert_eq!(f16_to_f32(f32_to_f16(above)), 1.0 + 2f32.powi(-10));
+    }
+
+    #[test]
+    fn normal_range_relative_error_bound() {
+        let mut x = 6.1e-5f32; // just above the subnormal threshold
+        while x < 6.0e4 {
+            for v in [x, -x] {
+                let r = f16_to_f32(f32_to_f16(v));
+                assert!((r - v).abs() <= v.abs() * 4.9e-4, "{v} → {r}");
+            }
+            x *= 1.618;
+        }
+    }
+
+    #[test]
+    fn subnormals_round_trip_within_an_ulp() {
+        let ulp = 2f32.powi(-24); // smallest positive f16 subnormal
+        let mut x = ulp;
+        while x < 6.2e-5 {
+            let r = f16_to_f32(f32_to_f16(x));
+            assert!((r - x).abs() <= ulp * 0.5 + f32::EPSILON, "{x} → {r}");
+            x += ulp * 0.37;
+        }
+    }
+}

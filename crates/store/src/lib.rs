@@ -1,0 +1,35 @@
+//! `af-store` — quantized, mmap-able vector storage.
+//!
+//! Auto-Formula artifacts are dominated by reference-side embedding tables
+//! (region and template-parameter windows): at `AF_SCALE=small` the AFAR
+//! file is already ~175 MiB of raw `f32`, and at the paper's intended
+//! corpus size (millions of enterprise sheets — see SpreadsheetCoder's
+//! scale numbers in PAPERS.md) raw-f32 storage is the scaling wall. This
+//! crate owns how those tables are laid out, compressed, and loaded:
+//!
+//! * **Codecs** — [`Codec::F32`] (exact, the default), [`Codec::F16`]
+//!   (2×), and [`Codec::Int8`] (per-vector affine scalar quantization,
+//!   4×), behind one [`VectorStore`] interface with *asymmetric* distance
+//!   kernels: the f32 query meets the quantized row in the kernel, no
+//!   dequantized copy is ever materialized. The kernels mirror
+//!   `af_nn::kernel`'s lane structure, so a fused asymmetric distance is
+//!   bit-identical to dequantize-then-`l2_sq` — quantization is the only
+//!   error source, and `F32` keeps full bit-exactness.
+//! * **Wire format** — [`put_store`]/[`get_store`]: little-endian bulk
+//!   payloads, 4-byte-aligned via pad runs, adopted zero-copy on load.
+//!   Decoding is hardened (bounded counts, finite scale/offset checks):
+//!   corrupt input errors, never panics.
+//! * **mmap** — [`map_file`] opens a file as page-on-demand [`Bytes`], so
+//!   artifacts larger than RAM serve straight from the page cache.
+
+pub mod dense;
+pub mod f16;
+pub mod kernel;
+pub mod mmap;
+
+pub use dense::{
+    get_store, put_store, put_store_as, Codec, DenseStore, F16Store, F32Store, Int8Store,
+    StoreError, VectorStore,
+};
+pub use f16::{f16_to_f32, f32_to_f16};
+pub use mmap::map_file;

@@ -19,3 +19,4 @@ pub use af_formula as formula;
 pub use af_grid as grid;
 pub use af_nn as nn;
 pub use af_serve as serve;
+pub use af_store as store;

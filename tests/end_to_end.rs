@@ -147,6 +147,58 @@ fn artifact_load_reproduces_in_memory_predictions_on_every_backend() {
 }
 
 #[test]
+fn compact_and_mmap_artifacts_stay_bit_identical_on_every_backend() {
+    // The v2 storage levers must not bend the acceptance bar: the compact
+    // fine layout (per-sheet cell caches, windows re-gathered at load)
+    // and the mmap load path both reproduce in-memory predictions bit for
+    // bit under the exact codec, on every ANN backend.
+    use auto_formula::core::{AnnBackend, Codec, StoreOptions};
+    let universe = OrgSpec::web_crawl(Scale::Tiny).generate();
+    let org = OrgSpec::pge(Scale::Tiny).generate();
+    let mut af = tiny_system(&universe);
+    let sp = split(&org, SplitKind::Random, 0.1, 7);
+    let cases = sample_test_cases(&org, &sp, 3, 6);
+    assert!(!cases.is_empty());
+    for backend in [
+        AnnBackend::Flat,
+        AnnBackend::Hnsw(auto_formula::ann::HnswParams::default()),
+        AnnBackend::Ivf(auto_formula::ann::IvfParams { n_lists: 4, ..Default::default() }),
+    ] {
+        af.model.cfg.ann_backend = backend;
+        let index = af.build_index(&org.workbooks, &sp.reference, IndexOptions::default());
+        let fat = af.save(&index);
+        let compact = af
+            .save_with(&index, StoreOptions { codec: Codec::F32, compact_fine: true })
+            .expect("compact save");
+        assert!(compact.len() < fat.len(), "{backend:?}: compact must shrink");
+        let mut path = std::env::temp_dir();
+        path.push(format!("af_e2e_{}_{}.afar", std::process::id(), backend.label()));
+        std::fs::write(&path, &compact).unwrap();
+        let (loaded, loaded_index) = auto_formula::core::pipeline::AutoFormula::load_mmap(&path)
+            .unwrap_or_else(|e| panic!("{backend:?}: compact artifact must mmap-load: {e}"));
+        let mut predictions = 0usize;
+        for tc in cases.iter().take(10) {
+            let sheet = &org.workbooks[tc.workbook].sheets[tc.sheet];
+            let masked = masked_sheet(sheet, tc.target);
+            let a = af.predict_with(&index, &masked, tc.target, PipelineVariant::Full);
+            let b = loaded.predict_with(&loaded_index, &masked, tc.target, PipelineVariant::Full);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.formula, y.formula, "{backend:?}");
+                    assert_eq!(x.s2_distance.to_bits(), y.s2_distance.to_bits(), "{backend:?}");
+                    predictions += 1;
+                }
+                (None, None) => {}
+                (x, y) => panic!("{backend:?}: prediction mismatch {x:?} vs {y:?}"),
+            }
+        }
+        assert!(predictions > 0, "{backend:?}");
+        drop(loaded_index); // release the mapping before unlinking
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
 fn served_artifact_answers_like_the_library_pipeline() {
     // Facade-level smoke of the full serving story: save → ServeHandle →
     // lock-free predict + incremental add_workbook, no workbook borrows.

@@ -3,20 +3,39 @@
 //! snapshotting code uses (big-endian put/get of fixed-width scalars,
 //! `put_slice`, `freeze`, `slice`, `split_to`).
 //!
-//! `Bytes` is an `Arc<[u8]>` plus a window, so `clone`, `slice`, and
-//! `split_to` are O(1) and allocation-free like upstream. `from_static`
-//! copies (no zero-copy specialization) — irrelevant at snapshot sizes.
+//! `Bytes` is a shared owner plus a window, so `clone`, `slice`, and
+//! `split_to` are O(1) and allocation-free like upstream. The owner is
+//! usually a `Vec<u8>`, but [`Bytes::from_owner`] (mirroring upstream
+//! `bytes` ≥ 1.9) accepts any `AsRef<[u8]> + Send + Sync` value — that is
+//! what lets an mmap-backed region flow through every `Bytes` consumer
+//! zero-copy, with the mapping unmapped when the last clone drops.
+//! `from_static` copies (no zero-copy specialization) — irrelevant at
+//! snapshot sizes.
 
 use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// Cheaply cloneable, immutable byte buffer.
+///
+/// The owner's storage pointer is cached at construction (like upstream
+/// `bytes`), so `deref` is a branch-free `from_raw_parts` — no dynamic
+/// dispatch on the read hot paths — while the `Arc`'d owner keeps the
+/// storage alive and address-stable.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    /// Keeps the storage alive; never accessed on the read path.
+    _owner: Arc<dyn AsRef<[u8]> + Send + Sync>,
+    /// Base of the owner's full slice, captured once at construction.
+    ptr: *const u8,
     start: usize,
     end: usize,
 }
+
+// SAFETY: the raw pointer is derived from (and outlived by) the shared,
+// immutable, `Send + Sync` owner the `Arc` pins; `Bytes` provides only
+// shared read access to it.
+unsafe impl Send for Bytes {}
+unsafe impl Sync for Bytes {}
 
 impl Bytes {
     pub fn new() -> Self {
@@ -25,6 +44,21 @@ impl Bytes {
 
     pub fn from_static(bytes: &'static [u8]) -> Self {
         Bytes::from(bytes.to_vec())
+    }
+
+    /// Wrap any byte owner without copying. The owner is kept alive (and
+    /// its storage address pinned) for as long as any clone or sub-slice
+    /// of the returned `Bytes` exists, then dropped — e.g. a memory map
+    /// is unmapped only after the last view into it is gone. The owner's
+    /// `as_ref()` must be stable: it is called once here and the
+    /// resulting slice is assumed valid for the owner's lifetime (true
+    /// for `Vec`, boxed slices, mmaps — anything that does not reallocate
+    /// under shared access).
+    pub fn from_owner<T: AsRef<[u8]> + Send + Sync + 'static>(owner: T) -> Self {
+        let data: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(owner);
+        let slice = (*data).as_ref();
+        let (ptr, end) = (slice.as_ptr(), slice.len());
+        Bytes { _owner: data, ptr, start: 0, end }
     }
 
     pub fn len(&self) -> usize {
@@ -49,7 +83,12 @@ impl Bytes {
             Bound::Unbounded => self.len(),
         };
         assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of range");
-        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+        Bytes {
+            _owner: Arc::clone(&self._owner),
+            ptr: self.ptr,
+            start: self.start + lo,
+            end: self.start + hi,
+        }
     }
 
     /// Split off and return the first `n` bytes; `self` keeps the rest.
@@ -63,7 +102,7 @@ impl Bytes {
     fn take_array<const N: usize>(&mut self) -> [u8; N] {
         assert!(self.len() >= N, "buffer underflow");
         let mut out = [0u8; N];
-        out.copy_from_slice(&self.data[self.start..self.start + N]);
+        out.copy_from_slice(&self[..N]);
         self.start += N;
         out
     }
@@ -77,9 +116,7 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes::from_owner(v)
     }
 }
 
@@ -93,7 +130,11 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        // SAFETY: `ptr` points at the owner's slice, captured at
+        // construction; the `Arc` keeps the owner (and thus the slice)
+        // alive and immutable, and `start <= end <= slice.len()` is an
+        // invariant maintained by every constructor and `split_to`.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(self.start), self.end - self.start) }
     }
 }
 
@@ -304,5 +345,31 @@ mod tests {
         let mut w = BytesMut::new();
         w.put_u32(1);
         assert_eq!(&*w, &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn from_owner_keeps_owner_alive_and_drops_it_last() {
+        struct Tracked(Vec<u8>, Arc<std::sync::atomic::AtomicBool>);
+        impl AsRef<[u8]> for Tracked {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.1.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut b = Bytes::from_owner(Tracked(b"abcdef".to_vec(), Arc::clone(&dropped)));
+        let head = b.split_to(2);
+        let tail = b.slice(1..4);
+        assert_eq!(&*head, b"ab");
+        assert_eq!(&*tail, b"def");
+        drop(b);
+        drop(head);
+        assert!(!dropped.load(std::sync::atomic::Ordering::SeqCst), "tail still borrows");
+        drop(tail);
+        assert!(dropped.load(std::sync::atomic::Ordering::SeqCst), "owner freed with last view");
     }
 }
