@@ -29,6 +29,7 @@ pub struct FlatIndex {
 }
 
 impl FlatIndex {
+    /// An empty exact (`f32`) index over `dim`-dimensional vectors.
     pub fn new(dim: usize) -> FlatIndex {
         FlatIndex::with_codec(dim, Codec::F32)
     }
@@ -134,6 +135,10 @@ impl VectorIndex for FlatIndex {
 
     fn dim(&self) -> usize {
         self.store.dim()
+    }
+
+    fn vector_owned(&self, id: usize) -> Vec<f32> {
+        FlatIndex::vector_owned(self, id)
     }
 
     fn codec(&self) -> Codec {

@@ -19,6 +19,7 @@ pub struct HnswParams {
     pub ef_construction: usize,
     /// Candidate-list width during search.
     pub ef_search: usize,
+    /// Seed of the level-assignment RNG (construction is deterministic).
     pub seed: u64,
 }
 
@@ -67,6 +68,7 @@ pub struct HnswIndex {
 }
 
 impl HnswIndex {
+    /// An empty graph over `dim`-dimensional `f32` vectors.
     pub fn new(dim: usize, params: HnswParams) -> HnswIndex {
         HnswIndex::with_codec(dim, Codec::F32, params)
     }
@@ -284,6 +286,10 @@ impl VectorIndex for HnswIndex {
 
     fn codec(&self) -> Codec {
         self.store.codec()
+    }
+
+    fn vector_owned(&self, id: usize) -> Vec<f32> {
+        self.store.row_owned(id)
     }
 
     /// Insert a vector (quantized to the store's codec), returning its id.

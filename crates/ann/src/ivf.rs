@@ -15,7 +15,9 @@ pub struct IvfParams {
     pub n_lists: usize,
     /// Number of lists probed per query.
     pub n_probe: usize,
+    /// Lloyd iterations when training the coarse quantizer.
     pub kmeans_iters: usize,
+    /// Seed for k-means++ initialization (builds are deterministic).
     pub seed: u64,
 }
 
@@ -118,6 +120,7 @@ impl IvfFlatIndex {
         out
     }
 
+    /// Number of inverted lists the quantizer currently maintains.
     pub fn n_lists(&self) -> usize {
         self.quantizer.k
     }
@@ -255,7 +258,7 @@ impl VectorIndex for IvfFlatIndex {
     /// a quantizer trained by `build` stays frozen, new vectors join the
     /// list of their closest centroid). An index born empty starts from a
     /// single lazily-seeded list and retrains its quantizer at every
-    /// corpus doubling past [`COLD_START_RETRAIN_MIN`], so the configured
+    /// corpus doubling past `COLD_START_RETRAIN_MIN` (32), so the configured
     /// `n_lists`/`n_probe` behavior materializes as the corpus grows
     /// instead of degenerating into one exhaustive list forever.
     fn add(&mut self, v: &[f32]) -> usize {
@@ -299,6 +302,20 @@ impl VectorIndex for IvfFlatIndex {
 
     fn codec(&self) -> Codec {
         self.codec
+    }
+
+    /// Locate `id` by scanning the inverted lists — the assignment table
+    /// only covers build/retrain-time vectors, so the lists are the ground
+    /// truth. O(n) worst case, fine for the control plane (splitting,
+    /// merging, compaction), wrong for a hot loop.
+    fn vector_owned(&self, id: usize) -> Vec<f32> {
+        assert!(id < self.n, "vector id out of range");
+        for (ids, data) in self.list_ids.iter().zip(&self.list_data) {
+            if let Some(pos) = ids.iter().position(|&x| x == id) {
+                return data.row_owned(pos);
+            }
+        }
+        unreachable!("every id in 0..len lives in exactly one inverted list")
     }
 
     fn encode_with(&self, buf: &mut BytesMut, codec: Codec) {

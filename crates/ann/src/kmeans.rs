@@ -9,14 +9,20 @@ use rand::{RngExt, SeedableRng};
 /// assignments.
 #[derive(Debug, Clone)]
 pub struct KMeansResult {
+    /// Number of clusters.
     pub k: usize,
+    /// Vector dimensionality.
     pub dim: usize,
+    /// Centroid matrix, row-major `k × dim`.
     pub centroids: Vec<f32>,
+    /// Cluster index of each training point.
     pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their assigned centroid.
     pub inertia: f32,
 }
 
 impl KMeansResult {
+    /// Centroid `c` as a borrowed row.
     pub fn centroid(&self, c: usize) -> &[f32] {
         &self.centroids[c * self.dim..(c + 1) * self.dim]
     }

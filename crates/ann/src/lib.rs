@@ -9,11 +9,38 @@
 //! * [`HnswIndex`] — hierarchical navigable small-world graphs;
 //! * [`IvfFlatIndex`] — k-means inverted lists (IVF-Flat, the classic Faiss
 //!   layout);
-//! * [`kmeans`] — seeded Lloyd's algorithm with k-means++ initialization.
+//! * [`kmeans()`] — seeded Lloyd's algorithm with k-means++ initialization.
 //!
 //! All indexes measure **squared Euclidean distance**; the embeddings this
 //! workspace produces are L2-normalized, making squared-L2 ordering
 //! identical to cosine ordering.
+//!
+//! # Examples
+//!
+//! Every backend implements [`VectorIndex`], so building, searching and
+//! growing an index looks the same regardless of layout:
+//!
+//! ```
+//! use af_ann::{FlatIndex, HnswIndex, HnswParams, IvfFlatIndex, IvfParams, VectorIndex};
+//!
+//! let data: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+//! let mut indexes: Vec<Box<dyn VectorIndex>> = vec![
+//!     Box::new(FlatIndex::from_vectors(4, data.chunks(4).map(|c| c.to_vec()))),
+//!     Box::new(HnswIndex::build(&data, 4, HnswParams::default())),
+//!     Box::new(IvfFlatIndex::build(&data, 4, IvfParams::default())),
+//! ];
+//! for idx in &mut indexes {
+//!     assert_eq!(idx.len(), 16);
+//!     // Exact self-query: vector 3 is its own nearest neighbor.
+//!     let hits = idx.search(&idx.vector_owned(3), 1);
+//!     assert_eq!(hits[0].id, 3);
+//!     // Indexes grow incrementally — no rebuild required.
+//!     let id = idx.add(&[9.0, 9.0, 9.0, 9.0]);
+//!     assert_eq!(id, 16);
+//! }
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod codec;
 pub mod flat;
@@ -44,7 +71,7 @@ pub use flat::FlatIndex;
 pub use hnsw::{HnswIndex, HnswParams};
 pub use ivf::{IvfFlatIndex, IvfParams};
 pub use kmeans::{kmeans, KMeansResult};
-pub use metric::{l2_sq, Neighbor};
+pub use metric::{l2_sq, merge_neighbors, Neighbor};
 
 /// Common interface over the index types.
 pub trait VectorIndex: Send + Sync {
@@ -73,12 +100,19 @@ pub trait VectorIndex: Send + Sync {
     /// snapshot grow a copy of an index while readers keep using the
     /// original.
     fn clone_box(&self) -> Box<dyn VectorIndex>;
+    /// Stored vector `id`, dequantized into a fresh `f32` vector (exact on
+    /// [`af_store::Codec::F32`] indexes). This is a control-plane accessor
+    /// — index splitting, merging and compaction extract vectors through
+    /// it — not a search primitive: [`IvfFlatIndex`] locates the row by
+    /// scanning its inverted lists.
+    fn vector_owned(&self, id: usize) -> Vec<f32>;
 
     /// [`VectorIndex::encode_with`] in the index's own codec (lossless).
     fn encode(&self, buf: &mut bytes::BytesMut) {
         self.encode_with(buf, self.codec());
     }
 
+    /// Whether the index holds no vectors.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }

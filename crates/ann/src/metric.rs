@@ -13,14 +13,50 @@ pub use af_nn::kernel::{dot, l2_sq};
 /// A search hit: vector id plus squared-L2 distance to the query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
+    /// Id of the matched vector (dense, in insertion order).
     pub id: usize,
+    /// Squared Euclidean distance to the query.
     pub dist: f32,
 }
 
 impl Neighbor {
+    /// A neighbor record for vector `id` at distance `dist`.
     pub fn new(id: usize, dist: f32) -> Neighbor {
         Neighbor { id, dist }
     }
+}
+
+/// Merge per-shard top-k lists into one global top-k, ordered by
+/// `(dist, id)` — the scatter-gather reduction of a sharded search.
+///
+/// Each input list must already carry **globalized** ids (the caller maps
+/// shard-local ids to corpus-wide ids before merging). Ties on distance
+/// resolve toward the smaller id, which is exactly the order a single
+/// exact [`crate::FlatIndex`] scan over the undivided corpus produces: its
+/// [`TopK`] admits the *first* (lowest-id) candidate at any tied distance
+/// and rejects later ones at the cutoff. Merging exhaustive per-shard
+/// results therefore returns bit-identical ids *and* distances to the
+/// unsharded scan — sharding is invisible to callers on exact backends.
+///
+/// # Examples
+///
+/// ```
+/// use af_ann::{merge_neighbors, Neighbor};
+///
+/// let shard_a = vec![Neighbor::new(0, 0.25), Neighbor::new(4, 0.5)];
+/// let shard_b = vec![Neighbor::new(3, 0.5), Neighbor::new(1, 0.75)];
+/// let merged = merge_neighbors([shard_a, shard_b], 3);
+/// let ids: Vec<usize> = merged.iter().map(|n| n.id).collect();
+/// assert_eq!(ids, vec![0, 3, 4]); // tie at 0.5 resolves to the lower id
+/// ```
+pub fn merge_neighbors<I>(per_shard: I, k: usize) -> Vec<Neighbor>
+where
+    I: IntoIterator<Item = Vec<Neighbor>>,
+{
+    let mut all: Vec<Neighbor> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    all.truncate(k);
+    all
 }
 
 /// Maintain the `k` smallest neighbors seen so far (a bounded max-heap
@@ -33,6 +69,7 @@ pub struct TopK {
 }
 
 impl TopK {
+    /// An empty accumulator keeping at most `k` neighbors.
     pub fn new(k: usize) -> TopK {
         TopK { k, items: Vec::with_capacity(k + 1) }
     }
@@ -60,14 +97,17 @@ impl TopK {
         self.items.truncate(self.k);
     }
 
+    /// The accepted neighbors, ascending by distance.
     pub fn into_sorted(self) -> Vec<Neighbor> {
         self.items
     }
 
+    /// Number of neighbors currently held (≤ `k`).
     pub fn len(&self) -> usize {
         self.items.len()
     }
 
+    /// Whether no neighbor has been accepted yet.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
@@ -134,6 +174,28 @@ mod tests {
         t.push(Neighbor::new(2, 2.0));
         assert_eq!(t.len(), 2);
         assert_eq!(t.worst(), 2.0);
+    }
+
+    #[test]
+    fn merge_matches_unsharded_topk_on_ties() {
+        // Simulate a 2-way shard of ids 0..6 (evens/odds) with tied
+        // distances; the merged result must reproduce the order a single
+        // TopK scan over 0..6 in id order produces.
+        let dists = [0.5f32, 0.25, 0.5, 0.75, 0.25, 0.5];
+        let mut unsharded = TopK::new(4);
+        for (id, &d) in dists.iter().enumerate() {
+            unsharded.push(Neighbor::new(id, d));
+        }
+        let per_shard: Vec<Vec<Neighbor>> = (0..2)
+            .map(|s| {
+                let mut t = TopK::new(4);
+                for (id, &d) in dists.iter().enumerate().filter(|(id, _)| id % 2 == s) {
+                    t.push(Neighbor::new(id, d));
+                }
+                t.into_sorted()
+            })
+            .collect();
+        assert_eq!(merge_neighbors(per_shard, 4), unsharded.into_sorted());
     }
 
     #[test]

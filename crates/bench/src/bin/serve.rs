@@ -50,6 +50,30 @@ fn main() {
                 ],
             ],
         );
+        print_table(
+            "add-while-query (sustained ingest)",
+            &["config", "read p99 (ms)", "add p99 (ms)", "mixed p99 (ms)"],
+            &[
+                vec![
+                    "single index, no deltas".into(),
+                    format!("{:.3}", r.mixed_baseline.read_p99_ms),
+                    format!("{:.3}", r.mixed_baseline.add_p99_ms),
+                    format!("{:.3}", r.mixed_baseline.mixed_p99_ms),
+                ],
+                vec![
+                    format!("{} shards + deltas", r.mixed_shards),
+                    format!("{:.3}", r.mixed_sharded.read_p99_ms),
+                    format!("{:.3}", r.mixed_sharded.add_p99_ms),
+                    format!("{:.3}", r.mixed_sharded.mixed_p99_ms),
+                ],
+                vec![
+                    "p99 speedup".into(),
+                    String::new(),
+                    String::new(),
+                    format!("{:.1}x", r.mixed_p99_speedup),
+                ],
+            ],
+        );
         serve_bench::write_json(&r, std::path::Path::new(&out));
         println!("\nwrote {out}");
     });

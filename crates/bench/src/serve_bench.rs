@@ -35,6 +35,16 @@ const MAX_QUERIES: usize = 60;
 const READER_THREADS: usize = 4;
 /// Rounds each reader replays the query list.
 const READER_ROUNDS: usize = 3;
+/// Worker threads in the mixed read/write probe.
+const MIXED_THREADS: usize = 4;
+/// Operations each mixed worker issues.
+const MIXED_OPS_PER_THREAD: usize = 75;
+/// Every N-th operation is an `add_workbook` (a 4% write mix), so the
+/// pooled p99 sits in the write tail — the latency an operation actually
+/// sees when it lands behind an ingest.
+const MIXED_ADD_EVERY: usize = 25;
+/// Shard count for the sharded side of the mixed probe.
+const MIXED_SHARDS: usize = 4;
 
 /// One measured serving configuration.
 #[derive(Debug, Clone)]
@@ -59,6 +69,92 @@ pub struct ServeBenchReport {
     pub concurrent_queries_per_sec: f64,
     /// Micro-batched `predict_batch` throughput (one embed pass per burst).
     pub batch_queries_per_sec: f64,
+    /// Sustained add-while-query probe, single index (`n_shards = 1`,
+    /// delta segments disabled — every write clones the whole index).
+    pub mixed_baseline: MixedLoadReport,
+    /// Same probe, sharded with delta segments (`n_shards = MIXED_SHARDS`,
+    /// writes clone only the owning shard's delta).
+    pub mixed_sharded: MixedLoadReport,
+    /// Shard count used for `mixed_sharded`.
+    pub mixed_shards: usize,
+    /// `mixed_baseline.mixed_p99_ms / mixed_sharded.mixed_p99_ms` — how
+    /// much the sharded delta write path improves tail latency under
+    /// mixed read/write load.
+    pub mixed_p99_speedup: f64,
+}
+
+/// Latencies from one mixed read/write run: `MIXED_THREADS` closed-loop
+/// workers each issue `MIXED_OPS_PER_THREAD` operations, every
+/// `MIXED_ADD_EVERY`-th an `add_workbook` and the rest predictions.
+#[derive(Debug, Clone)]
+pub struct MixedLoadReport {
+    pub read_p50_ms: f64,
+    pub read_p99_ms: f64,
+    pub add_p50_ms: f64,
+    pub add_p99_ms: f64,
+    /// p99 over every operation in the mix (reads and adds pooled) — the
+    /// tail latency an operation sees under sustained mixed load.
+    pub mixed_p99_ms: f64,
+    pub reads: usize,
+    pub adds: usize,
+}
+
+/// Run the add-while-query probe against one handle configuration.
+fn mixed_load(
+    handle: &af_serve::ServeHandle,
+    org: &af_corpus::OrgCorpus,
+    targets: &[(usize, CellRef)],
+) -> MixedLoadReport {
+    let holdout = org.workbooks.len() - 1;
+    let mut read_ms: Vec<f64> = Vec::new();
+    let mut add_ms: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..MIXED_THREADS)
+            .map(|t| {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let mut reads = Vec::new();
+                    let mut adds = Vec::new();
+                    for op in 0..MIXED_OPS_PER_THREAD {
+                        if op % MIXED_ADD_EVERY == MIXED_ADD_EVERY - 1 {
+                            let wb = &org.workbooks[(t + op) % org.workbooks.len()];
+                            let q = Instant::now();
+                            let epoch = handle.add_workbook(wb);
+                            std::hint::black_box(epoch);
+                            adds.push(q.elapsed().as_secs_f64() * 1e3);
+                        } else {
+                            let (si, at) = targets[(t + op) % targets.len()];
+                            let sheet = &org.workbooks[holdout].sheets[si];
+                            let q = Instant::now();
+                            let pred = handle.predict_with(sheet, at, PipelineVariant::Full);
+                            std::hint::black_box(&pred);
+                            reads.push(q.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                    (reads, adds)
+                })
+            })
+            .collect();
+        for w in workers {
+            let (r, a) = w.join().expect("mixed worker");
+            read_ms.extend(r);
+            add_ms.extend(a);
+        }
+    });
+    read_ms.sort_by(|a, b| a.total_cmp(b));
+    add_ms.sort_by(|a, b| a.total_cmp(b));
+    let mut pooled = read_ms.clone();
+    pooled.extend_from_slice(&add_ms);
+    pooled.sort_by(|a, b| a.total_cmp(b));
+    MixedLoadReport {
+        read_p50_ms: percentile(&read_ms, 0.5),
+        read_p99_ms: percentile(&read_ms, 0.99),
+        add_p50_ms: percentile(&add_ms, 0.5),
+        add_p99_ms: percentile(&add_ms, 0.99),
+        mixed_p99_ms: percentile(&pooled, 0.99),
+        reads: read_ms.len(),
+        adds: add_ms.len(),
+    }
 }
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -179,6 +275,26 @@ pub fn measure() -> ServeBenchReport {
     std::hint::black_box(&batch);
     let batch_seconds = t.elapsed().as_secs_f64();
 
+    // Sustained add-while-query: the same artifact served two ways. The
+    // baseline is the pre-shard architecture (one index, every write
+    // clones all of it); the contender shards the index and absorbs
+    // writes into per-shard delta segments.
+    let (mut base_af, base_index) =
+        AutoFormula::load_bytes_artifact(artifact.clone()).expect("artifact loads");
+    base_af.model.cfg.n_shards = 1;
+    base_af.model.cfg.delta_max_sheets = 0;
+    let baseline_handle = ServeHandle::new(base_af, base_index);
+    let mixed_baseline = mixed_load(&baseline_handle, &org, &targets);
+    drop(baseline_handle);
+
+    let (mut shard_af, shard_index) =
+        AutoFormula::load_bytes_artifact(artifact.clone()).expect("artifact loads");
+    shard_af.model.cfg.n_shards = MIXED_SHARDS;
+    let sharded_handle = ServeHandle::new(shard_af, shard_index);
+    let mixed_sharded = mixed_load(&sharded_handle, &org, &targets);
+    drop(sharded_handle);
+    let mixed_p99_speedup = mixed_baseline.mixed_p99_ms / mixed_sharded.mixed_p99_ms.max(1e-9);
+
     ServeBenchReport {
         scale: scale_name(scale),
         threads,
@@ -196,7 +312,28 @@ pub fn measure() -> ServeBenchReport {
         concurrent_p99_ms: percentile(&all_ms, 0.99),
         concurrent_queries_per_sec: concurrent_queries as f64 / concurrent_seconds.max(1e-9),
         batch_queries_per_sec: batch_queries.len() as f64 / batch_seconds.max(1e-9),
+        mixed_baseline,
+        mixed_sharded,
+        mixed_shards: MIXED_SHARDS,
+        mixed_p99_speedup,
     }
+}
+
+fn mixed_json(r: &MixedLoadReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"read_p50_ms\": {:.3},\n",
+            "    \"read_p99_ms\": {:.3},\n",
+            "    \"add_p50_ms\": {:.3},\n",
+            "    \"add_p99_ms\": {:.3},\n",
+            "    \"mixed_p99_ms\": {:.3},\n",
+            "    \"reads\": {},\n",
+            "    \"adds\": {}\n",
+            "  }}"
+        ),
+        r.read_p50_ms, r.read_p99_ms, r.add_p50_ms, r.add_p99_ms, r.mixed_p99_ms, r.reads, r.adds,
+    )
 }
 
 /// Serialize the report as JSON (hand-rolled; flat schema, no serde in the
@@ -221,7 +358,14 @@ pub fn to_json(r: &ServeBenchReport) -> String {
             "  \"concurrent_p50_ms\": {:.3},\n",
             "  \"concurrent_p99_ms\": {:.3},\n",
             "  \"concurrent_queries_per_sec\": {:.2},\n",
-            "  \"batch_queries_per_sec\": {:.2}\n",
+            "  \"batch_queries_per_sec\": {:.2},\n",
+            "  \"mixed_threads\": {},\n",
+            "  \"mixed_ops_per_thread\": {},\n",
+            "  \"mixed_add_every\": {},\n",
+            "  \"mixed_shards\": {},\n",
+            "  \"mixed_baseline\": {},\n",
+            "  \"mixed_sharded\": {},\n",
+            "  \"mixed_p99_speedup\": {:.2}\n",
             "}}\n"
         ),
         r.scale,
@@ -240,6 +384,13 @@ pub fn to_json(r: &ServeBenchReport) -> String {
         r.concurrent_p99_ms,
         r.concurrent_queries_per_sec,
         r.batch_queries_per_sec,
+        MIXED_THREADS,
+        MIXED_OPS_PER_THREAD,
+        MIXED_ADD_EVERY,
+        r.mixed_shards,
+        mixed_json(&r.mixed_baseline),
+        mixed_json(&r.mixed_sharded),
+        r.mixed_p99_speedup,
     )
 }
 
@@ -279,10 +430,32 @@ mod tests {
             concurrent_p99_ms: 3.0,
             concurrent_queries_per_sec: 500.0,
             batch_queries_per_sec: 900.0,
+            mixed_baseline: MixedLoadReport {
+                read_p50_ms: 1.0,
+                read_p99_ms: 4.0,
+                add_p50_ms: 30.0,
+                add_p99_ms: 60.0,
+                mixed_p99_ms: 40.0,
+                reads: 100,
+                adds: 12,
+            },
+            mixed_sharded: MixedLoadReport {
+                read_p50_ms: 1.0,
+                read_p99_ms: 3.0,
+                add_p50_ms: 5.0,
+                add_p99_ms: 9.0,
+                mixed_p99_ms: 8.0,
+                reads: 120,
+                adds: 12,
+            },
+            mixed_shards: 4,
+            mixed_p99_speedup: 5.0,
         };
         let json = to_json(&r);
         assert!(json.contains("\"artifact_bytes\": 1234"));
         assert!(json.contains("\"load_speedup\": 20.0"));
+        assert!(json.contains("\"mixed_p99_speedup\": 5.00"));
+        assert!(json.contains("\"mixed_shards\": 4"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -268,6 +268,66 @@ pub fn write_json(report: &StoreBenchReport, path: &Path) {
 mod tests {
     use super::*;
 
+    /// The int8 **fat** layout is quantization-lossy at the prediction
+    /// level by design: each fat fine row is a whole window — many
+    /// concatenated per-cell vectors with heterogeneous magnitudes — and
+    /// per-row affine SQ8 gives them all one coarse step, so S2 near-ties
+    /// can flip (≈0.98 agreement at small scale; see the codec section of
+    /// ARCHITECTURE.md and `int8_fat_rows_lose_precision_that_per_cell_
+    /// rows_keep` in af-store). This pins the accepted tolerance so a
+    /// codec regression (agreement collapsing) fails loudly, and pins that
+    /// the **compact** layout — per-cell rows, f32 gather+normalize on
+    /// load — stays at full agreement.
+    #[test]
+    fn int8_fat_agreement_stays_within_the_accepted_tolerance() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+        let cfg = AutoFormulaConfig::test_tiny();
+        let af = AutoFormula::from_model(
+            af_core::RepresentationModel::new(featurizer.dim(), cfg),
+            featurizer,
+        );
+        let n_wb = corpus.workbooks.len();
+        let members: Vec<usize> = (0..n_wb - 1).collect();
+        let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+        let holdout = n_wb - 1;
+        let targets: Vec<(usize, CellRef)> = corpus.workbooks[holdout]
+            .sheets
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| s.formulas().map(move |(at, _)| (si, at)))
+            .collect();
+        assert!(targets.len() >= 8, "need a meaningful query set");
+        let preds = |af: &AutoFormula, index: &af_core::ReferenceIndex| -> Vec<Option<String>> {
+            targets
+                .iter()
+                .map(|&(si, at)| {
+                    af.predict_with(
+                        index,
+                        &corpus.workbooks[holdout].sheets[si],
+                        at,
+                        PipelineVariant::Full,
+                    )
+                    .map(|p| p.formula)
+                })
+                .collect()
+        };
+        let baseline = preds(&af, &index);
+        let agreement = |compact: bool| -> f64 {
+            let bytes = af
+                .save_with(&index, StoreOptions { codec: Codec::Int8, compact_fine: compact })
+                .expect("int8 artifact saves");
+            let (qaf, qindex) = AutoFormula::load_bytes_artifact(bytes).expect("int8 loads");
+            let q = preds(&qaf, &qindex);
+            let agree = baseline.iter().zip(&q).filter(|(a, b)| a == b).count();
+            agree as f64 / targets.len() as f64
+        };
+        let fat = agreement(false);
+        let compact = agreement(true);
+        assert!(fat >= 0.9, "int8 fat agreement regressed below tolerance: {fat}");
+        assert_eq!(compact, 1.0, "int8 compact must stay at full agreement");
+    }
+
     #[test]
     fn json_is_well_formed() {
         let r = StoreBenchReport {

@@ -8,6 +8,7 @@
 //! | `FEATURIZER` | 2 | embedder name, dim, feature mask, trained vocabulary |
 //! | `MODEL` | 3 | representation-model weights (`af_nn` snapshot blocks) |
 //! | `INDEX` | 4 | the full [`ReferenceIndex`]: keys, sheet metadata, region provenance (params + reference-side fine vectors), region embeddings, and the ANN structures of whichever backend built them (flat vectors / HNSW graph / IVF lists + centroids) |
+//! | `SHARDS` | 5 | *(v3, optional)* the serving shard layout: router tag + shard count + per-sheet shard assignment ([`ShardLayout`]) |
 //!
 //! Layout: magic `AFAR`, version, a section table (id, offset, length —
 //! offsets relative to the payload that follows the table), then the
@@ -23,7 +24,13 @@
 //! vector stored once instead of duplicated into up to `n_cells`
 //! overlapping windows) and re-gathers the windows at load — a further
 //! order-of-magnitude size lever that stays bit-identical under `f32`.
-//! Version-1 artifacts still load; [`AutoFormula::save`] writes v2.
+//! **Format v3** extends the CONFIG section with the serving-shard knobs
+//! (`n_shards`, `delta_max_sheets`; older artifacts decode with the
+//! defaults) and adds the optional `SHARDS` section: a sharded server
+//! saves its merged global-order index plus the per-sheet shard
+//! assignment, so a reload re-splits into exactly the shards that were
+//! serving — not merely an equivalent partition. Version-1 and -2
+//! artifacts still load; [`AutoFormula::save`] writes v3.
 //!
 //! [`AutoFormula::load`] reads from a byte slice;
 //! [`AutoFormula::load_mmap`] maps the file page-on-demand instead, so
@@ -51,14 +58,67 @@ use std::fmt;
 use std::path::Path;
 
 const MAGIC: u32 = 0x4146_4152; // "AFAR"
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 /// Versions [`AutoFormula::load`] accepts.
-pub const SUPPORTED_VERSIONS: &[u16] = &[1, 2];
+pub const SUPPORTED_VERSIONS: &[u16] = &[1, 2, 3];
 
 const SEC_CONFIG: u16 = 1;
 const SEC_FEATURIZER: u16 = 2;
 const SEC_MODEL: u16 = 3;
 const SEC_INDEX: u16 = 4;
+const SEC_SHARDS: u16 = 5;
+
+/// Router tag inside the SHARDS section: deterministic hash of the sheet's
+/// provenance key, modulo the shard count (the only router so far).
+const ROUTER_HASH_BY_SHEET: u8 = 0;
+
+/// The serving shard layout a v3 artifact can carry (`SHARDS` section):
+/// how many shards were serving and which shard owned each sheet, in the
+/// merged index's global sheet order. `af-serve` persists this on
+/// `to_artifact` so a reload reproduces the exact partition — sheets added
+/// at runtime were routed by hashing, and re-hashing on load with a
+/// *different* `n_shards` would still work, but round-tripping the
+/// assignment keeps the layout stable across config edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// Number of serving shards (≥ 1).
+    pub n_shards: usize,
+    /// Shard that owns each sheet, indexed by global sheet id.
+    pub assignment: Vec<u32>,
+}
+
+fn encode_shards(buf: &mut BytesMut, layout: &ShardLayout) {
+    buf.put_u8(ROUTER_HASH_BY_SHEET);
+    buf.put_u32(layout.n_shards as u32);
+    buf.put_u64(layout.assignment.len() as u64);
+    for &s in &layout.assignment {
+        buf.put_u32(s);
+    }
+}
+
+fn decode_shards(data: &mut Bytes, n_sheets: usize) -> Result<ShardLayout, ArtifactError> {
+    const W: &str = "shard layout";
+    if get_u8(data, W)? != ROUTER_HASH_BY_SHEET {
+        return Err(ArtifactError::Invalid("unknown shard router tag"));
+    }
+    let n_shards = get_u32(data, W)? as usize;
+    if n_shards == 0 {
+        return Err(ArtifactError::Invalid("shard count must be positive"));
+    }
+    let n = get_count(data, 4, W)?;
+    if n != n_sheets {
+        return Err(ArtifactError::Invalid("shard assignment length disagrees with sheet count"));
+    }
+    let mut assignment = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = get_u32(data, W)?;
+        if s as usize >= n_shards {
+            return Err(ArtifactError::Invalid("shard assignment out of range"));
+        }
+        assignment.push(s);
+    }
+    Ok(ShardLayout { n_shards, assignment })
+}
 
 /// How [`AutoFormula::save_with`] lays out the embedding tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -333,9 +393,17 @@ fn encode_config(buf: &mut BytesMut, cfg: &AutoFormulaConfig, feat_dim: usize) {
             buf.put_u64(p.seed);
         }
     }
+    // v3 tail: serving-shard knobs. Older readers never reach these bytes
+    // (they reject version 3 up front); older *artifacts* decode with the
+    // defaults below.
+    buf.put_u64(cfg.n_shards as u64);
+    buf.put_u64(cfg.delta_max_sheets as u64);
 }
 
-fn decode_config(data: &mut Bytes) -> Result<(AutoFormulaConfig, usize), ArtifactError> {
+fn decode_config(
+    data: &mut Bytes,
+    version: u16,
+) -> Result<(AutoFormulaConfig, usize), ArtifactError> {
     const W: &str = "config";
     let feat_dim = get_u32(data, W)? as usize;
     let window = ViewWindow::new(get_u32(data, W)?, get_u32(data, W)?);
@@ -379,6 +447,8 @@ fn decode_config(data: &mut Bytes) -> Result<(AutoFormulaConfig, usize), Artifac
             }),
             _ => return Err(ArtifactError::Invalid("unknown ANN backend tag")),
         },
+        n_shards: if version >= 3 { get_u64(data, W)? as usize } else { 1 },
+        delta_max_sheets: if version >= 3 { get_u64(data, W)? as usize } else { 64 },
     };
     // Positive and sane: a bit-flipped length field must be rejected here,
     // before the model constructor turns it into a giant allocation.
@@ -399,6 +469,9 @@ fn decode_config(data: &mut Bytes) -> Result<(AutoFormulaConfig, usize), Artifac
     }
     if cfg.n_cells() > MAX_CELLS {
         return Err(ArtifactError::Invalid("config window implausibly large"));
+    }
+    if cfg.n_shards > u32::MAX as usize {
+        return Err(ArtifactError::Invalid("config shard count implausibly large"));
     }
     Ok((cfg, feat_dim))
 }
@@ -743,7 +816,27 @@ impl AutoFormula {
         index: &ReferenceIndex,
         opts: StoreOptions,
     ) -> Result<Bytes, ArtifactError> {
-        let mut sections: [(u16, BytesMut); 4] = [
+        self.save_sharded(index, opts, None)
+    }
+
+    /// [`AutoFormula::save_with`] plus an optional serving [`ShardLayout`]
+    /// persisted in the `SHARDS` section. `index` must be the *merged*
+    /// index in global sheet order (what `af-serve` reconstitutes before
+    /// saving); the layout records which shard owned each of its sheets.
+    pub fn save_sharded(
+        &self,
+        index: &ReferenceIndex,
+        opts: StoreOptions,
+        layout: Option<&ShardLayout>,
+    ) -> Result<Bytes, ArtifactError> {
+        if let Some(layout) = layout {
+            if layout.assignment.len() != index.keys.len() {
+                return Err(ArtifactError::Invalid(
+                    "shard assignment length disagrees with sheet count",
+                ));
+            }
+        }
+        let mut sections: Vec<(u16, BytesMut)> = vec![
             (SEC_CONFIG, {
                 let mut b = BytesMut::new();
                 encode_config(&mut b, self.cfg(), self.model.feat_dim);
@@ -765,6 +858,11 @@ impl AutoFormula {
                 b
             }),
         ];
+        if let Some(layout) = layout {
+            let mut b = BytesMut::new();
+            encode_shards(&mut b, layout);
+            sections.push((SEC_SHARDS, b));
+        }
         // Pad every section body to a multiple of 4 so section offsets stay
         // 4-byte aligned in the final buffer (the embedding-table blocks
         // inside INDEX rely on it for their zero-copy views; decoders of
@@ -821,12 +919,31 @@ impl AutoFormula {
         AutoFormula::load_bytes_artifact(bytes)
     }
 
+    /// [`AutoFormula::load_mmap`] that also surfaces the serving
+    /// [`ShardLayout`] when the artifact carries one (v3 `SHARDS`
+    /// section); `None` for unsharded or pre-v3 artifacts.
+    pub fn load_mmap_sharded(
+        path: &Path,
+    ) -> Result<(AutoFormula, ReferenceIndex, Option<ShardLayout>), ArtifactError> {
+        let bytes = af_store::map_file(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+        AutoFormula::load_bytes_sharded(bytes)
+    }
+
     /// [`AutoFormula::load`] without the input copy: pass an owned
     /// [`Bytes`] (e.g. `Bytes::from(std::fs::read(path)?)` or an mmap via
     /// `af_store::map_file`) and sections are sliced out of it zero-copy.
     pub fn load_bytes_artifact(
         data: Bytes,
     ) -> Result<(AutoFormula, ReferenceIndex), ArtifactError> {
+        AutoFormula::load_bytes_sharded(data).map(|(af, index, _)| (af, index))
+    }
+
+    /// [`AutoFormula::load_bytes_artifact`] that also surfaces the serving
+    /// [`ShardLayout`] when the artifact carries one (v3 `SHARDS`
+    /// section); `None` for unsharded or pre-v3 artifacts.
+    pub fn load_bytes_sharded(
+        data: Bytes,
+    ) -> Result<(AutoFormula, ReferenceIndex, Option<ShardLayout>), ArtifactError> {
         let mut head = data;
         if get_u32(&mut head, "magic")? != MAGIC {
             return Err(ArtifactError::BadMagic);
@@ -871,7 +988,7 @@ impl AutoFormula {
             Ok(payload.slice(offset..end))
         };
 
-        let (cfg, feat_dim) = decode_config(&mut section(SEC_CONFIG, "CONFIG")?)?;
+        let (cfg, feat_dim) = decode_config(&mut section(SEC_CONFIG, "CONFIG")?, version)?;
         let featurizer = af_embed::load_featurizer(&mut section(SEC_FEATURIZER, "FEATURIZER")?)?;
         if featurizer.dim() != feat_dim {
             return Err(ArtifactError::Invalid(
@@ -881,7 +998,12 @@ impl AutoFormula {
         let mut model = RepresentationModel::new(feat_dim, cfg);
         model.load_bytes(section(SEC_MODEL, "MODEL")?)?;
         let index = decode_index(&mut section(SEC_INDEX, "INDEX")?, &cfg, version)?;
-        Ok((AutoFormula::from_model(model, featurizer), index))
+        let layout = if table.iter().any(|&(id, _, _)| id == SEC_SHARDS) {
+            Some(decode_shards(&mut section(SEC_SHARDS, "SHARDS")?, index.keys.len())?)
+        } else {
+            None
+        };
+        Ok((AutoFormula::from_model(model, featurizer), index, layout))
     }
 }
 
@@ -1106,6 +1228,36 @@ mod tests {
             AutoFormula::load(&bytes).err(),
             Some(ArtifactError::UnsupportedVersion { found: 9, supported: SUPPORTED_VERSIONS })
         );
+    }
+
+    #[test]
+    fn shard_layout_round_trips_and_plain_saves_carry_none() {
+        let (af, index, _) = small_system();
+        let n = index.n_sheets();
+        let layout =
+            ShardLayout { n_shards: 3, assignment: (0..n).map(|i| (i % 3) as u32).collect() };
+        let bytes = af.save_sharded(&index, StoreOptions::default(), Some(&layout)).unwrap();
+        let (_, idx2, loaded) = AutoFormula::load_bytes_sharded(bytes).unwrap();
+        assert_eq!(loaded.as_ref(), Some(&layout));
+        assert_eq!(idx2.n_sheets(), n);
+        // A plain save writes no SHARDS section and loads as unsharded.
+        let (_, _, none) = AutoFormula::load_bytes_sharded(af.save(&index)).unwrap();
+        assert!(none.is_none());
+        // A layout that disagrees with the sheet count is rejected up front.
+        let bad = ShardLayout { n_shards: 2, assignment: vec![0; n + 1] };
+        assert!(matches!(
+            af.save_sharded(&index, StoreOptions::default(), Some(&bad)),
+            Err(ArtifactError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn v3_config_fields_survive_the_round_trip() {
+        let (af, index, _) = small_system();
+        let bytes = af.save(&index);
+        let (loaded, _) = AutoFormula::load(&bytes).expect("load");
+        assert_eq!(loaded.cfg().n_shards, af.cfg().n_shards);
+        assert_eq!(loaded.cfg().delta_max_sheets, af.cfg().delta_max_sheets);
     }
 
     #[test]

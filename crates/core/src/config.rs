@@ -92,6 +92,20 @@ pub struct AutoFormulaConfig {
     pub embed_threads: usize,
     /// ANN backend serving the sheet-level indexes (see [`AnnBackend`]).
     pub ann_backend: AnnBackend,
+    /// Serving shards (`af-serve`): the reference index is partitioned
+    /// into this many shards by a deterministic hash of each sheet's
+    /// provenance key, queries scatter-gather across them, and a write
+    /// clones only ~1/N of the corpus. `0` and `1` both mean unsharded.
+    /// Pick roughly `cores / 2` on a write-heavy box; `1` is right for
+    /// read-only serving of small corpora (no scatter overhead).
+    pub n_shards: usize,
+    /// Sheets a serving shard's mutable delta segment may accumulate
+    /// before background compaction folds it into the sealed base.
+    /// Larger values amortize compaction over more writes but lengthen
+    /// the delta scan added to every query on that shard. `0` disables
+    /// delta segments entirely: every `add_workbook` grows the base
+    /// synchronously (the pre-shard behavior — O(shard) per write).
+    pub delta_max_sheets: usize,
 }
 
 impl Default for AutoFormulaConfig {
@@ -118,6 +132,8 @@ impl Default for AutoFormulaConfig {
             search_threads: 0,
             embed_threads: 0,
             ann_backend: AnnBackend::Flat,
+            n_shards: 1,
+            delta_max_sheets: 64,
         }
     }
 }

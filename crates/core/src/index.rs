@@ -73,6 +73,17 @@ impl VecTable {
         VecTable { store: DenseStore::new(dim, Codec::F32) }
     }
 
+    /// An empty table storing rows in `codec` (pushed vectors quantize).
+    /// Index splitting uses it so shards inherit the source's codec
+    /// instead of silently inflating a quantized corpus back to f32.
+    pub(crate) fn with_codec(dim: usize, codec: Codec) -> VecTable {
+        VecTable { store: DenseStore::new(dim, codec) }
+    }
+
+    pub(crate) fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
     pub(crate) fn from_store(store: DenseStore) -> VecTable {
         VecTable { store }
     }
@@ -388,19 +399,176 @@ impl ReferenceIndex {
         workbook: &Workbook,
         workbook_id: usize,
     ) {
-        let fine_signatures = self.fine_sheets.is_some();
         for (si, sheet) in workbook.sheets.iter().enumerate() {
-            let sheet_idx = self.keys.len();
-            self.keys.push(SheetKey { workbook: workbook_id, sheet: si });
-            self.meta.push(sheet_meta(sheet));
-            let emb = embedder.embed_sheet(sheet, fine_signatures);
-            self.coarse.add(&emb.coarse);
-            if let Some(idx) = self.fine_sheets.as_mut() {
-                idx.add(emb.fine_topleft.as_ref().expect("signature computed"));
-            }
-            self.regions_by_sheet.push(Vec::new());
-            self.index_sheet_regions(embedder, &emb, sheet, sheet_idx);
+            self.add_sheet(embedder, sheet, SheetKey { workbook: workbook_id, sheet: si });
         }
+    }
+
+    /// Incrementally index a single sheet under a caller-chosen provenance
+    /// key — the per-sheet granule of [`ReferenceIndex::add_workbook`],
+    /// exposed so the sharded serving layer can route each sheet of a
+    /// workbook to its own shard's delta segment. Options follow the
+    /// structures present on `self`, exactly as in `add_workbook`.
+    pub fn add_sheet(&mut self, embedder: &SheetEmbedder<'_>, sheet: &Sheet, key: SheetKey) {
+        let sheet_idx = self.keys.len();
+        self.keys.push(key);
+        self.meta.push(sheet_meta(sheet));
+        let emb = embedder.embed_sheet(sheet, self.fine_sheets.is_some());
+        self.coarse.add(&emb.coarse);
+        if let Some(idx) = self.fine_sheets.as_mut() {
+            idx.add(emb.fine_topleft.as_ref().expect("signature computed"));
+        }
+        self.regions_by_sheet.push(Vec::new());
+        self.index_sheet_regions(embedder, &emb, sheet, sheet_idx);
+    }
+
+    /// An empty index with the same shape as `self`: same optional
+    /// structures (fine-signature index, coarse-region table, fine cache
+    /// constants), same storage codecs, and a fresh ANN index on the
+    /// backend `cfg` selects. The starting point for shards, delta
+    /// segments, and merges.
+    pub fn empty_like(&self, cfg: &AutoFormulaConfig) -> ReferenceIndex {
+        ReferenceIndex {
+            keys: Vec::new(),
+            meta: Vec::new(),
+            coarse: build_ann_index(cfg, self.coarse.dim(), &[]),
+            fine_sheets: self.fine_sheets.as_ref().map(|fs| build_ann_index(cfg, fs.dim(), &[])),
+            regions: Vec::new(),
+            region_vecs: VecTable::with_codec(self.region_vecs.dim(), self.region_vecs.codec()),
+            param_vecs: VecTable::with_codec(self.param_vecs.dim(), self.param_vecs.codec()),
+            coarse_region_vecs: self
+                .coarse_region_vecs
+                .as_ref()
+                .map(|v| VecTable::with_codec(v.dim(), v.codec())),
+            regions_by_sheet: Vec::new(),
+            fine_cache: self.fine_cache.as_ref().map(|c| FineCache {
+                empty: c.empty.clone(),
+                invalid: c.invalid.clone(),
+                sheets: Vec::new(),
+            }),
+            build_seconds: 0.0,
+        }
+    }
+
+    /// Append sheet `src_sheet_idx` of `src` — key, metadata, ANN vectors,
+    /// regions and their embedding rows — to `self`, re-basing region ids
+    /// and parameter offsets. No re-embedding happens: vectors are copied
+    /// out of `src`'s stores (bit-exact on `f32` tables; quantized rows
+    /// make one dequantize/requantize round trip, which the affine int8
+    /// codec reproduces up to float rounding).
+    ///
+    /// This is the merge primitive: compaction absorbs a delta segment
+    /// into its base shard with it, and a sharded artifact is folded back
+    /// into one index by appending sheets in global order.
+    pub fn append_sheet_from(&mut self, src: &ReferenceIndex, src_sheet_idx: usize) {
+        self.coarse.add(&src.coarse.vector_owned(src_sheet_idx));
+        if let Some(fs) = self.fine_sheets.as_mut() {
+            let sig = src
+                .fine_sheets
+                .as_ref()
+                .expect("source index built with fine signatures")
+                .vector_owned(src_sheet_idx);
+            fs.add(&sig);
+        }
+        self.append_sheet_tables_from(src, src_sheet_idx);
+    }
+
+    /// Everything [`ReferenceIndex::append_sheet_from`] does *except* the
+    /// ANN inserts — [`ReferenceIndex::split`] batch-builds the per-shard
+    /// ANN indexes up front (IVF trains its quantizer on the shard's
+    /// vectors, HNSW gets its deterministic batch construction) and then
+    /// appends only the tables through here.
+    fn append_sheet_tables_from(&mut self, src: &ReferenceIndex, src_sheet_idx: usize) {
+        let new_si = self.keys.len();
+        self.keys.push(src.keys[src_sheet_idx]);
+        self.meta.push(src.meta[src_sheet_idx].clone());
+        self.regions_by_sheet.push(Vec::new());
+        match (&mut self.fine_cache, &src.fine_cache) {
+            (Some(dst), Some(sc)) => {
+                if dst.empty.is_empty() && !sc.empty.is_empty() {
+                    dst.empty = sc.empty.clone();
+                    dst.invalid = sc.invalid.clone();
+                }
+                dst.sheets.push(sc.sheets[src_sheet_idx].clone());
+            }
+            // A source without caches (fat-loaded artifact) poisons the
+            // destination's compact-save ability, nothing else.
+            (dst @ Some(_), None) => *dst = None,
+            _ => {}
+        }
+        for &rid in &src.regions_by_sheet[src_sheet_idx] {
+            let entry = &src.regions[rid];
+            let param_start = self.param_vecs.rows();
+            for pi in 0..entry.params.len() {
+                self.param_vecs.push(&src.param_vecs.row_owned(entry.param_start + pi));
+            }
+            self.regions_by_sheet[new_si].push(self.regions.len());
+            self.regions.push(RegionEntry {
+                sheet_idx: new_si,
+                cell: entry.cell,
+                formula: entry.formula.clone(),
+                params: entry.params.clone(),
+                param_start,
+            });
+            self.region_vecs.push(&src.region_vecs.row_owned(rid));
+            if let Some(dst) = self.coarse_region_vecs.as_mut() {
+                let sv = src
+                    .coarse_region_vecs
+                    .as_ref()
+                    .expect("source index built with coarse region vectors");
+                dst.push(&sv.row_owned(rid));
+            }
+        }
+    }
+
+    /// Fold every sheet of `src` into `self`, in `src`'s sheet order
+    /// (compaction: base shard absorbs its delta segment).
+    pub fn absorb(&mut self, src: &ReferenceIndex) {
+        for si in 0..src.n_sheets() {
+            self.append_sheet_from(src, si);
+        }
+    }
+
+    /// Partition into `n_shards` indexes by the per-sheet `assignment`
+    /// (`assignment[si]` names the shard of sheet `si`; the caller owns
+    /// the routing function). Each shard's ANN indexes are batch-built
+    /// over its vectors, and sheets keep their relative (global) order
+    /// within a shard — the property that makes a sharded Flat
+    /// scatter-gather bit-identical to the unsharded scan.
+    pub fn split(
+        &self,
+        cfg: &AutoFormulaConfig,
+        assignment: &[usize],
+        n_shards: usize,
+    ) -> Vec<ReferenceIndex> {
+        assert_eq!(assignment.len(), self.n_sheets(), "one shard per sheet");
+        assert!(n_shards > 0, "at least one shard");
+        debug_assert!(assignment.iter().all(|&s| s < n_shards));
+        let mut coarse_data: Vec<Vec<f32>> = vec![Vec::new(); n_shards];
+        let mut sig_data: Option<Vec<Vec<f32>>> =
+            self.fine_sheets.as_ref().map(|_| vec![Vec::new(); n_shards]);
+        for (si, &s) in assignment.iter().enumerate() {
+            coarse_data[s].extend(self.coarse.vector_owned(si));
+            if let Some(sd) = sig_data.as_mut() {
+                let fs = self.fine_sheets.as_ref().expect("checked above");
+                sd[s].extend(fs.vector_owned(si));
+            }
+        }
+        let mut parts: Vec<ReferenceIndex> = (0..n_shards)
+            .map(|s| {
+                let mut part = self.empty_like(cfg);
+                part.coarse = build_ann_index(cfg, self.coarse.dim(), &coarse_data[s]);
+                if let Some(sd) = sig_data.as_ref() {
+                    let dim = self.fine_sheets.as_ref().expect("checked above").dim();
+                    part.fine_sheets = Some(build_ann_index(cfg, dim, &sd[s]));
+                }
+                part
+            })
+            .collect();
+        for (si, &s) in assignment.iter().enumerate() {
+            parts[s].append_sheet_tables_from(self, si);
+        }
+        parts
     }
 
     pub fn n_sheets(&self) -> usize {
@@ -766,6 +934,128 @@ mod tests {
             for &rid in idx.regions_of_sheet(si) {
                 assert_eq!(idx.regions[rid].sheet_idx, si);
             }
+        }
+    }
+
+    #[test]
+    fn split_scatter_gather_is_bit_identical_to_the_unsharded_scan() {
+        // The sharding correctness core: per-shard exhaustive top-k over a
+        // Flat backend, globalized and merged by (dist, id), must equal the
+        // unsharded scan exactly — ids AND score bits, ties included.
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..5).collect();
+        let idx =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+        let cfg = &model.cfg;
+        for n_shards in [1usize, 2, 3, 4] {
+            let assignment: Vec<usize> =
+                (0..idx.n_sheets()).map(|si| (idx.keys[si].workbook + si) % n_shards).collect();
+            let shards = idx.split(cfg, &assignment, n_shards);
+            // Per-shard list of global sheet ids, in shard-local order.
+            let mut globals: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+            for (si, &s) in assignment.iter().enumerate() {
+                globals[s].push(si);
+            }
+            for wb in corpus.workbooks.iter().take(5) {
+                let emb = embedder.embed_sheet(&wb.sheets[0], false);
+                let expect = idx.similar_sheets(&emb.coarse, 3);
+                let merged = af_ann::merge_neighbors(
+                    shards.iter().enumerate().map(|(s, shard)| {
+                        shard
+                            .similar_sheets(&emb.coarse, 3)
+                            .into_iter()
+                            .map(|n| af_ann::Neighbor::new(globals[s][n.id], n.dist))
+                            .collect::<Vec<_>>()
+                    }),
+                    3,
+                );
+                assert_eq!(expect.len(), merged.len(), "n_shards={n_shards}");
+                for (a, b) in expect.iter().zip(&merged) {
+                    assert_eq!(a.id, b.id, "n_shards={n_shards}");
+                    assert_eq!(a.dist.to_bits(), b.dist.to_bits(), "n_shards={n_shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_then_absorb_in_global_order_reproduces_the_original() {
+        // Merge primitive round trip: split into shards, fold the sheets
+        // back into one empty_like index in global order, and everything —
+        // keys, metadata, regions, every embedding row — must match.
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..4).collect();
+        let opts = IndexOptions { fine_sheet_signatures: true, coarse_regions: true };
+        let idx = ReferenceIndex::build(&embedder, &corpus.workbooks, &members, opts);
+        let n_shards = 3usize;
+        let assignment: Vec<usize> = (0..idx.n_sheets()).map(|si| si % n_shards).collect();
+        let shards = idx.split(&model.cfg, &assignment, n_shards);
+        assert_eq!(shards.iter().map(|s| s.n_sheets()).sum::<usize>(), idx.n_sheets());
+        assert_eq!(shards.iter().map(|s| s.n_regions()).sum::<usize>(), idx.n_regions());
+
+        let mut merged = idx.empty_like(&model.cfg);
+        let mut cursor = vec![0usize; n_shards];
+        for &s in &assignment {
+            merged.append_sheet_from(&shards[s], cursor[s]);
+            cursor[s] += 1;
+        }
+        assert_eq!(merged.keys, idx.keys);
+        assert_eq!(merged.n_regions(), idx.n_regions());
+        for si in 0..idx.n_sheets() {
+            assert_eq!(merged.sheet_meta(si), idx.sheet_meta(si));
+        }
+        for rid in 0..idx.n_regions() {
+            assert_eq!(merged.regions[rid].formula, idx.regions[rid].formula);
+            assert_eq!(merged.regions[rid].sheet_idx, idx.regions[rid].sheet_idx);
+            assert_eq!(merged.region_vec(rid), idx.region_vec(rid), "region {rid}");
+            for pi in 0..idx.regions[rid].params.len() {
+                assert_eq!(merged.param_vec(rid, pi), idx.param_vec(rid, pi));
+            }
+        }
+        // The rebuilt ANN index answers like the original.
+        let emb = embedder.embed_sheet(&corpus.workbooks[1].sheets[0], true);
+        let a: Vec<usize> = idx.similar_sheets(&emb.coarse, 3).iter().map(|n| n.id).collect();
+        let b: Vec<usize> = merged.similar_sheets(&emb.coarse, 3).iter().map(|n| n.id).collect();
+        assert_eq!(a, b);
+        let sig = emb.fine_topleft.as_ref().unwrap();
+        assert_eq!(
+            idx.similar_sheets_fine(sig, 2).unwrap().iter().map(|n| n.id).collect::<Vec<_>>(),
+            merged.similar_sheets_fine(sig, 2).unwrap().iter().map(|n| n.id).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn absorb_matches_direct_incremental_growth() {
+        // Delta compaction: growing a base by absorbing a delta segment
+        // must serve exactly like having added those sheets directly.
+        let (model, feat, corpus) = setup();
+        let embedder = SheetEmbedder::new(&model, &feat);
+        let members: Vec<usize> = (0..3).collect();
+        let base =
+            ReferenceIndex::build(&embedder, &corpus.workbooks, &members, IndexOptions::default());
+
+        // The delta is an empty_like index grown incrementally.
+        let mut delta = base.empty_like(&model.cfg);
+        delta.add_workbook(&embedder, &corpus.workbooks[3], 3);
+
+        let mut compacted = base.clone();
+        compacted.absorb(&delta);
+        let mut direct = base.clone();
+        direct.add_workbook(&embedder, &corpus.workbooks[3], 3);
+
+        assert_eq!(compacted.keys, direct.keys);
+        assert_eq!(compacted.n_regions(), direct.n_regions());
+        for rid in 0..direct.n_regions() {
+            assert_eq!(compacted.region_vec(rid), direct.region_vec(rid), "region {rid}");
+        }
+        let emb = embedder.embed_sheet(&corpus.workbooks[3].sheets[0], false);
+        let a = compacted.similar_sheets(&emb.coarse, 3);
+        let b = direct.similar_sheets(&emb.coarse, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.dist.to_bits(), y.dist.to_bits());
         }
     }
 

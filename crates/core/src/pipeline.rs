@@ -172,67 +172,90 @@ impl AutoFormula {
 
         // ---- S3: adapt the best parseable reference formula ----
         for &(rid, dist) in ranked.iter().take(8) {
-            let entry = &index.regions[rid];
-            let Ok(expr) = parse_formula(&entry.formula) else { continue };
-            let (template, ref_params) = Template::extract(&expr);
-            // The reference-side region embeddings were precomputed at
-            // index time (same extraction, same embedder); a length
-            // mismatch can only mean a corrupt artifact — skip the entry
-            // rather than guessing.
-            if ref_params.len() != entry.params.len() {
-                continue;
+            if let Some(p) = self.adapt_region(index, emb, sheet, target, rid, dist, variant) {
+                return Some(p);
             }
-            let key = index.keys[entry.sheet_idx];
-
-            let mut mapped: Vec<CellRef> = Vec::with_capacity(ref_params.len());
-            let mut ok = true;
-            for (pi, &cr) in ref_params.iter().enumerate() {
-                let owned_ref_vec;
-                let m = match variant {
-                    PipelineVariant::CoarseOnly => offset_map(cr, entry.cell, target),
-                    _ => search_parameter(
-                        &embedder,
-                        emb,
-                        sheet,
-                        // Exact tables lend the row zero-copy (the default
-                        // serving path); quantized tables dequantize once
-                        // per parameter.
-                        match index.param_vec_f32(rid, pi) {
-                            Some(v) => v,
-                            None => {
-                                owned_ref_vec = index.param_vec_owned(rid, pi);
-                                &owned_ref_vec
-                            }
-                        },
-                        cr,
-                        entry.cell,
-                        target,
-                        cfg.neighborhood_d,
-                        cfg.s3_anchor_lambda,
-                    ),
-                };
-                match m {
-                    Some(c) => mapped.push(c),
-                    None => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if !ok {
-                continue;
-            }
-            let Ok(adapted) = template.instantiate(&mapped) else { continue };
-            return Some(Prediction {
-                formula: adapted.to_string(),
-                s2_distance: dist,
-                reference_sheet: key,
-                reference_sheet_idx: entry.sheet_idx,
-                reference_cell: entry.cell,
-                template_signature: template.signature(),
-            });
         }
         None
+    }
+
+    /// S3 on a single candidate region: parse the reference formula, map
+    /// each template parameter into the query sheet (local fine-embedding
+    /// search, or pure offset mapping under
+    /// [`PipelineVariant::CoarseOnly`]), and instantiate the template.
+    /// Returns `None` when the formula does not parse, a parameter cannot
+    /// be mapped, or the instantiation fails — callers walk their S2
+    /// ranking until a region adapts.
+    ///
+    /// This is the per-region granule of
+    /// [`AutoFormula::predict_prepared`], public so a scatter-gather
+    /// serving layer can rank regions *across* index shards and still run
+    /// the identical adaptation: `rid` is local to `index` (one shard or
+    /// delta segment), and the returned
+    /// [`Prediction::reference_sheet_idx`] is local too — sharded callers
+    /// re-base it to their global sheet numbering.
+    #[allow(clippy::too_many_arguments)]
+    pub fn adapt_region(
+        &self,
+        index: &ReferenceIndex,
+        emb: &SheetEmbedding,
+        sheet: &Sheet,
+        target: CellRef,
+        rid: usize,
+        dist: f32,
+        variant: PipelineVariant,
+    ) -> Option<Prediction> {
+        let cfg = self.cfg();
+        let embedder = self.embedder();
+        let entry = &index.regions[rid];
+        let expr = parse_formula(&entry.formula).ok()?;
+        let (template, ref_params) = Template::extract(&expr);
+        // The reference-side region embeddings were precomputed at
+        // index time (same extraction, same embedder); a length
+        // mismatch can only mean a corrupt artifact — skip the entry
+        // rather than guessing.
+        if ref_params.len() != entry.params.len() {
+            return None;
+        }
+        let key = index.keys[entry.sheet_idx];
+
+        let mut mapped: Vec<CellRef> = Vec::with_capacity(ref_params.len());
+        for (pi, &cr) in ref_params.iter().enumerate() {
+            let owned_ref_vec;
+            let m = match variant {
+                PipelineVariant::CoarseOnly => offset_map(cr, entry.cell, target),
+                _ => search_parameter(
+                    &embedder,
+                    emb,
+                    sheet,
+                    // Exact tables lend the row zero-copy (the default
+                    // serving path); quantized tables dequantize once
+                    // per parameter.
+                    match index.param_vec_f32(rid, pi) {
+                        Some(v) => v,
+                        None => {
+                            owned_ref_vec = index.param_vec_owned(rid, pi);
+                            &owned_ref_vec
+                        }
+                    },
+                    cr,
+                    entry.cell,
+                    target,
+                    cfg.neighborhood_d,
+                    cfg.s3_anchor_lambda,
+                ),
+            };
+            mapped.push(m?);
+        }
+        let adapted = template.instantiate(&mapped).ok()?;
+        Some(Prediction {
+            formula: adapted.to_string(),
+            s2_distance: dist,
+            reference_sheet: key,
+            reference_sheet_idx: entry.sheet_idx,
+            reference_cell: entry.cell,
+            template_signature: template.signature(),
+        })
     }
 }
 

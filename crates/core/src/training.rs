@@ -2,7 +2,7 @@
 //! semi-hard triplet learning over both branches.
 //!
 //! **Data-parallel execution.** Each triplet step cuts its batch into
-//! fixed-size *gradient shards* ([`PAIRS_PER_SHARD`] pairs each). Every
+//! fixed-size *gradient shards* (`PAIRS_PER_SHARD` = 3 pairs each). Every
 //! shard owns a replica model: workers featurize and forward their shards
 //! independently, the main thread mines semi-hard negatives over the full
 //! batch and computes the embedding gradient, workers run the backward

@@ -4,7 +4,7 @@
 
 /// Compute the syntactic pattern of a string: digits become `D`, letters
 /// become `A`, whitespace collapses to a single space, and other characters
-/// pass through. Runs longer than [`MAX_RUN`] are truncated with a `+`
+/// pass through. Runs longer than `MAX_RUN` (6) are truncated with a `+`
 /// marker so arbitrarily long values still map to short patterns.
 pub fn syntactic_pattern(s: &str) -> String {
     const MAX_RUN: usize = 6;

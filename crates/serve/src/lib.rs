@@ -1,62 +1,455 @@
-//! `af-serve` — concurrent serving of self-contained recommendation
-//! artifacts.
+//! `af-serve` — sharded, lock-free concurrent serving of self-contained
+//! recommendation artifacts.
 //!
 //! The paper's online pipeline (Algorithm 2) is train-once / predict-many;
 //! this crate is the predict-many half as a production component:
 //!
-//! * **Immutable snapshots.** A [`Snapshot`] bundles the trained system
-//!   and a self-contained [`ReferenceIndex`] (which, since the provenance
-//!   refactor, answers queries without any borrow of the reference
-//!   workbooks). Snapshots are shared behind `Arc` and never mutated.
-//! * **Lock-free readers, epoch-style writers.** [`ServeHandle`] keeps the
-//!   current snapshot in a two-slot left-right structure: readers acquire
-//!   it with two atomic counter operations and *never block* — not on
-//!   other readers, not on writers. [`ServeHandle::add_workbook`] builds a
-//!   grown copy of the index off to the side, then atomically swaps it in;
-//!   the writer waits for stragglers, readers never wait for the writer.
-//!   Readers holding an old epoch keep serving from it until they drop it.
+//! * **Sharded scatter-gather.** The reference index is partitioned into
+//!   `N` shards ([`AutoFormulaConfig::n_shards`]) by a deterministic hash
+//!   of each sheet's provenance key ([`shard_of`]). A query scatters S1
+//!   across every shard, merges the per-shard top-k by `(distance, global
+//!   sheet id)`, and runs S2/S3 against the owning shards — on the exact
+//!   `Flat` backend the merged result is **bit-identical** to the
+//!   unsharded scan, ties included, because sheets keep their global
+//!   order inside each shard.
+//! * **Delta segments.** Each shard is a sealed *base* plus a small
+//!   mutable *delta* (always `Flat`-backed, so it stays exact).
+//!   [`ServeHandle::add_workbook`] clones and grows only the delta —
+//!   O(delta), not O(corpus/N) — and a background compactor folds deltas
+//!   into their base once they reach
+//!   [`AutoFormulaConfig::delta_max_sheets`]. Queries scan base + delta
+//!   and merge, so writes are cheap and reads never miss fresh sheets.
+//! * **Per-shard left-right epochs, lock-free readers.** Every shard's
+//!   state sits in a two-slot left-right structure: readers acquire it
+//!   with two atomic counter operations and *never block* — not on other
+//!   readers, not on writers, not on the compactor. A write republishes
+//!   one shard; the other `N − 1` are untouched. Readers holding a
+//!   [`Snapshot`] keep serving that exact state until they drop it.
 //! * **Micro-batched embedding.** [`ServeHandle::predict_batch`] embeds a
 //!   burst of concurrent query sheets through the representation model in
-//!   one tensor pass (`SheetEmbedder::embed_sheets`) and then runs S1–S3
-//!   per query — bit-identical to issuing the queries one at a time.
-//! * **Artifacts in, artifacts out.** [`ServeHandle::from_artifact`] cold-
-//!   starts a server from bytes produced by `AutoFormula::save`;
-//!   [`ServeHandle::to_artifact`] snapshots the *current* serving state
-//!   (including workbooks added since load) back into bytes.
+//!   one tensor pass and then runs S1–S3 per query — bit-identical to
+//!   issuing the queries one at a time.
+//! * **Artifacts in, artifacts out.** [`ServeHandle::from_artifact`]
+//!   cold-starts a server from bytes produced by `AutoFormula::save`
+//!   (re-splitting by the artifact's stored shard layout when present);
+//!   [`ServeHandle::to_artifact`] merges the current serving state —
+//!   including workbooks added since load — back into one global-order
+//!   artifact plus its shard layout (format v3).
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full design,
+//! including the epoch-swap protocol and the bit-identity argument.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use af_corpus::organization::{OrgSpec, Scale};
+//! use af_core::index::IndexOptions;
+//! use af_core::{AutoFormula, AutoFormulaConfig, RepresentationModel};
+//! use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+//! use af_serve::ServeHandle;
+//! use std::sync::Arc;
+//!
+//! let corpus = OrgSpec::pge(Scale::Tiny).generate();
+//! let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+//! let cfg = AutoFormulaConfig { n_shards: 4, ..AutoFormulaConfig::test_tiny() };
+//! let af = AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
+//! let index = af.build_index(&corpus.workbooks, &[0, 1, 2], IndexOptions::default());
+//!
+//! let handle = ServeHandle::new(af, index); // 4 shards, hash-routed
+//! let sheet = &corpus.workbooks[3].sheets[0];
+//! let (target, _) = sheet.formulas().next().unwrap();
+//! let prediction = handle.predict(sheet, target); // scatter-gather, lock-free
+//! handle.add_workbook(&corpus.workbooks[3]); // grows one shard's delta
+//! let bytes = handle.to_artifact(); // merged index + shard layout (v3)
+//! # let _ = (prediction, bytes);
+//! ```
+#![warn(missing_docs)]
 
-use af_core::artifact::ArtifactError;
-use af_core::index::ReferenceIndex;
+use af_ann::{merge_neighbors, Neighbor};
+use af_core::artifact::{ArtifactError, ShardLayout, StoreOptions};
+use af_core::config::{AnnBackend, AutoFormulaConfig};
+use af_core::features::WindowOrigin;
+use af_core::index::{coarse_window, ReferenceIndex, SheetKey, SheetMeta};
 use af_core::pipeline::{AutoFormula, PipelineVariant, Prediction};
+use af_core::SheetEmbedding;
 use af_grid::{CellRef, Sheet, Workbook};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::path::Path;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One immutable serving state: everything needed to answer predictions.
+// All state swaps and reader announcements use `SeqCst`: the proof that a
+// writer never frees a state a reader is acquiring needs the writer's
+// `active` store, the reader's counter increment, and both re-checks to sit
+// in one total order. The cost is nanoseconds against a prediction that
+// runs embedding kernels for microseconds to milliseconds.
+const ORD: Ordering = Ordering::SeqCst;
+
+/// Which shard owns a sheet: a deterministic (splitmix64-style) hash of
+/// the sheet's provenance key, modulo the shard count. Part of the
+/// artifact contract — a v3 artifact without a stored layout is re-split
+/// with exactly this function, so routing stays stable across processes.
+pub fn shard_of(key: SheetKey, n_shards: usize) -> usize {
+    if n_shards <= 1 {
+        return 0;
+    }
+    let mut x = (key.workbook as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((key.sheet as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % n_shards as u64) as usize
+}
+
+// ------------------------------------------------------- left-right cell
+
+/// One slot of a left-right pair: a raw `Arc<T>` pointer plus the count of
+/// readers currently dereferencing it.
+struct Slot<T> {
+    ptr: AtomicPtr<T>,
+    readers: AtomicUsize,
+}
+
+impl<T> Slot<T> {
+    fn holding(v: Arc<T>) -> Slot<T> {
+        Slot { ptr: AtomicPtr::new(Arc::into_raw(v) as *mut T), readers: AtomicUsize::new(0) }
+    }
+}
+
+/// A two-slot left-right cell: lock-free wait-free-in-practice reads, and
+/// epoch-style publishes that wait out stragglers instead of blocking
+/// readers. Each serving shard owns one.
+struct LeftRight<T> {
+    slots: [Slot<T>; 2],
+    /// Which slot readers should use. The invariant that makes reads safe:
+    /// a slot's pointer is only ever replaced while `active` names the
+    /// *other* slot **and** the slot's reader count has been observed at
+    /// zero after that — so a reader that announced itself and then
+    /// confirmed the slot is still active holds a pinned pointer.
+    active: AtomicUsize,
+    /// Serializes publishers on this cell (the write path and the
+    /// compactor). Readers never touch it.
+    writer: Mutex<()>,
+}
+
+impl<T> LeftRight<T> {
+    fn new(v: Arc<T>) -> LeftRight<T> {
+        LeftRight {
+            slots: [Slot::holding(Arc::clone(&v)), Slot::holding(v)],
+            active: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Acquire the current value. Lock-free; at most a couple of retries
+    /// when a publish races past.
+    fn read(&self) -> Arc<T> {
+        loop {
+            let a = self.active.load(ORD);
+            let slot = &self.slots[a];
+            // Announce, then confirm the slot is still the active one. If
+            // it is, the writer cannot replace this slot's pointer until
+            // our count drops (it drains inactive slots only, and `active`
+            // can't return to this slot without a full publish that drains
+            // it first).
+            slot.readers.fetch_add(1, ORD);
+            if self.active.load(ORD) == a {
+                let p = slot.ptr.load(ORD);
+                let v = unsafe {
+                    Arc::increment_strong_count(p);
+                    Arc::from_raw(p)
+                };
+                slot.readers.fetch_sub(1, ORD);
+                return v;
+            }
+            // A publish moved `active` between our two loads; retry on the
+            // new slot.
+            slot.readers.fetch_sub(1, ORD);
+        }
+    }
+
+    /// Spin until no reader holds `slot`. Only a publisher calls this, and
+    /// only for the slot `active` does not name — readers drain quickly
+    /// (their critical section is two loads and an `Arc` count bump) and
+    /// new readers cannot enter a non-active slot.
+    fn drain(slot: &Slot<T>) {
+        let mut spins = 0u32;
+        while slot.readers.load(ORD) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Replace both slots with `new`. The caller must hold [`Self::writer`].
+    fn publish(&self, new: Arc<T>) {
+        let a = self.active.load(ORD);
+        let b = 1 - a;
+        // Slot b is inactive: wait out stragglers, install the new value,
+        // then direct readers at it.
+        Self::drain(&self.slots[b]);
+        let old = self.slots[b].ptr.swap(Arc::into_raw(Arc::clone(&new)) as *mut T, ORD);
+        unsafe { drop(Arc::from_raw(old)) };
+        self.active.store(b, ORD);
+        // Now slot a is inactive; once its readers drain, bring it to the
+        // same value so the next publish has a clean inactive slot.
+        Self::drain(&self.slots[a]);
+        let old = self.slots[a].ptr.swap(Arc::into_raw(new) as *mut T, ORD);
+        unsafe { drop(Arc::from_raw(old)) };
+    }
+}
+
+impl<T> Drop for LeftRight<T> {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let p = slot.ptr.load(ORD);
+            unsafe { drop(Arc::from_raw(p)) };
+        }
+    }
+}
+
+// ----------------------------------------------------------- shard state
+
+/// The immutable published state of one shard: a sealed base segment plus
+/// a small delta segment, each paired with the *global* sheet ids its
+/// local ids map to (strictly ascending — the property the bit-identical
+/// merge rests on).
+struct ShardState {
+    /// Sealed segment. `Arc`-shared across publishes: growing the delta or
+    /// compacting a *different* shard never copies it.
+    base: Arc<ReferenceIndex>,
+    /// Global sheet id of each base-local sheet id, strictly ascending.
+    base_globals: Arc<Vec<usize>>,
+    /// Mutable segment, always `Flat`-backed (exact). Cloned — O(delta) —
+    /// on every write to this shard.
+    delta: ReferenceIndex,
+    /// Global sheet id of each delta-local sheet id, strictly ascending,
+    /// every entry greater than every base global.
+    delta_globals: Vec<usize>,
+    /// When this state was published (drives [`ServeStats::snapshot_age`]).
+    published_at: Instant,
+}
+
+impl ShardState {
+    fn sealed(
+        base: ReferenceIndex,
+        base_globals: Vec<usize>,
+        delta_cfg: &AutoFormulaConfig,
+    ) -> ShardState {
+        let delta = base.empty_like(delta_cfg);
+        ShardState {
+            base: Arc::new(base),
+            base_globals: Arc::new(base_globals),
+            delta,
+            delta_globals: Vec::new(),
+            published_at: Instant::now(),
+        }
+    }
+
+    fn n_sheets(&self) -> usize {
+        self.base.n_sheets() + self.delta.n_sheets()
+    }
+
+    fn n_regions(&self) -> usize {
+        self.base.n_regions() + self.delta.n_regions()
+    }
+}
+
+struct Shard {
+    state: LeftRight<ShardState>,
+}
+
+/// Monotonic serving counters, all updated with relaxed atomics — they
+/// are observability, not synchronization.
+#[derive(Default)]
+struct Counters {
+    /// Queries answered through any `predict*` entry point.
+    queries: AtomicU64,
+    /// Snapshot acquisitions (one per `snapshot()` — every predict call
+    /// and every explicit reader pin).
+    snapshots: AtomicU64,
+    /// Successful `add_workbook` publishes.
+    adds: AtomicU64,
+}
+
+/// A point-in-time view of a [`ServeHandle`]'s health: which epoch is
+/// serving, how stale it is, and how much traffic the handle has seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Epoch of the currently-active snapshot (bumped per
+    /// [`ServeHandle::add_workbook`]).
+    pub epoch: u64,
+    /// Time since the youngest shard state was published (a write or a
+    /// compaction resets this; a long age on a write-heavy deployment
+    /// means the writers are starving).
+    pub snapshot_age: Duration,
+    /// Queries served since startup, across every `predict*` entry point
+    /// (batch calls count each query).
+    pub queries_served: u64,
+    /// Reader snapshot acquisitions since startup (includes the one this
+    /// `stats()` call performed).
+    pub snapshots_acquired: u64,
+    /// Workbooks incrementally indexed since startup.
+    pub workbooks_added: u64,
+}
+
+struct Shared {
+    system: Arc<AutoFormula>,
+    shards: Vec<Shard>,
+    /// Monotonic epoch: the number of `add_workbook` publishes. Compaction
+    /// republishes shard states but does not bump the epoch — it changes
+    /// layout, not content.
+    epoch: AtomicU64,
+    /// Provenance id the next added workbook receives.
+    next_workbook_id: AtomicUsize,
+    /// Next global sheet id. Allocated under the owning shard's writer
+    /// lock, so globals are strictly ascending *within* every shard.
+    next_global: AtomicUsize,
+    counters: Counters,
+    /// Delta capacity before compaction is signalled; `0` disables deltas
+    /// (writes grow the base synchronously — the pre-shard behavior).
+    delta_max: usize,
+    /// The config delta segments are built with (`Flat` backend — exact).
+    delta_cfg: AutoFormulaConfig,
+    /// Wakes the compactor with the index of a shard whose delta is full.
+    /// `None` when `delta_max == 0` (no compactor thread).
+    compact_tx: Option<mpsc::Sender<usize>>,
+}
+
+impl Shared {
+    /// Fold `shard`'s delta into its base and publish the compacted state.
+    /// Runs on the compactor thread; holds the shard's writer lock for the
+    /// duration (an `add_workbook` targeting this shard waits, others
+    /// proceed).
+    fn compact(&self, shard: usize) {
+        let cell = &self.shards[shard].state;
+        let guard = cell.writer.lock();
+        let cur = cell.read();
+        // Re-check under the lock: a racing compaction signal may already
+        // have been served.
+        if cur.delta.n_sheets() < self.delta_max.max(1) {
+            return;
+        }
+        let mut base = (*cur.base).clone();
+        base.absorb(&cur.delta);
+        let mut globals = (*cur.base_globals).clone();
+        globals.extend_from_slice(&cur.delta_globals);
+        cell.publish(Arc::new(ShardState::sealed(base, globals, &self.delta_cfg)));
+        drop(guard);
+    }
+}
+
+// ------------------------------------------------------------- snapshot
+
+/// One immutable serving state: the trained system plus a consistent set
+/// of per-shard states. Everything needed to answer predictions; holding
+/// one pins every segment it references for as long as the caller likes.
 pub struct Snapshot {
     /// The trained system (model + featurizer), shared across epochs —
     /// incremental indexing never retrains.
     pub system: Arc<AutoFormula>,
-    /// The self-contained reference index this epoch serves from.
-    pub index: ReferenceIndex,
-    /// Monotonic epoch counter; bumped by every successful
-    /// [`ServeHandle::add_workbook`].
+    /// Epoch at acquisition (the number of `add_workbook` publishes).
     pub epoch: u64,
-    /// Provenance id the next added workbook will receive in
-    /// [`af_core::SheetKey::workbook`].
-    next_workbook_id: usize,
-    /// When this snapshot became the active epoch (drives
-    /// [`ServeStats::snapshot_age`]).
-    published_at: Instant,
+    shards: Vec<Arc<ShardState>>,
+}
+
+/// One scannable segment of a snapshot: a shard's base or delta index,
+/// with the mapping from segment-local sheet ids to global ids.
+struct Segment<'a> {
+    index: &'a ReferenceIndex,
+    globals: &'a [usize],
 }
 
 impl Snapshot {
-    /// Predict with the confidence threshold applied, against this epoch.
+    fn segments(&self) -> Vec<Segment<'_>> {
+        let mut v = Vec::with_capacity(self.shards.len() * 2);
+        for st in self.shards.iter() {
+            if st.base.n_sheets() > 0 {
+                v.push(Segment { index: &st.base, globals: &st.base_globals });
+            }
+            if st.delta.n_sheets() > 0 {
+                v.push(Segment { index: &st.delta, globals: &st.delta_globals });
+            }
+        }
+        v
+    }
+
+    /// The segment owning `global`, plus the segment-local sheet id.
+    fn locate(&self, global: usize) -> Option<(Segment<'_>, usize)> {
+        for st in self.shards.iter() {
+            if let Ok(local) = st.base_globals.binary_search(&global) {
+                return Some((Segment { index: &st.base, globals: &st.base_globals }, local));
+            }
+            if let Ok(local) = st.delta_globals.binary_search(&global) {
+                return Some((Segment { index: &st.delta, globals: &st.delta_globals }, local));
+            }
+        }
+        None
+    }
+
+    /// Sheets indexed in this snapshot, across every shard and segment.
+    pub fn n_sheets(&self) -> usize {
+        self.shards.iter().map(|s| s.n_sheets()).sum()
+    }
+
+    /// Formula regions indexed in this snapshot.
+    pub fn n_regions(&self) -> usize {
+        self.shards.iter().map(|s| s.n_regions()).sum()
+    }
+
+    /// Provenance keys of every indexed sheet, in global sheet-id order.
+    pub fn keys(&self) -> Vec<SheetKey> {
+        let mut pairs: Vec<(usize, SheetKey)> = Vec::with_capacity(self.n_sheets());
+        for seg in self.segments() {
+            for (local, &g) in seg.globals.iter().enumerate() {
+                pairs.push((g, seg.index.keys[local]));
+            }
+        }
+        pairs.sort_by_key(|&(g, _)| g);
+        pairs.into_iter().map(|(_, k)| k).collect()
+    }
+
+    /// Name and dimensions of an indexed sheet, by *global* sheet id (as
+    /// returned in [`Prediction::reference_sheet_idx`] and by
+    /// [`Snapshot::similar_sheets`]).
+    pub fn sheet_meta(&self, global: usize) -> &SheetMeta {
+        let (seg, local) = self.locate(global).expect("global sheet id not in this snapshot");
+        seg.index.sheet_meta(local)
+    }
+
+    /// S1 across every shard: per-segment top-k, globalized and merged by
+    /// `(distance, global id)`. On the exact `Flat` backend this is
+    /// bit-identical — ids and score bits, ties included — to the
+    /// unsharded scan, because every segment scans its sheets in ascending
+    /// global order.
+    pub fn similar_sheets(&self, coarse_query: &[f32], k: usize) -> Vec<Neighbor> {
+        merge_neighbors(
+            self.segments().iter().map(|seg| {
+                seg.index
+                    .similar_sheets(coarse_query, k)
+                    .into_iter()
+                    .map(|n| Neighbor::new(seg.globals[n.id], n.dist))
+                    .collect::<Vec<_>>()
+            }),
+            k,
+        )
+    }
+
+    /// Predict with the confidence threshold applied, against this
+    /// snapshot.
     pub fn predict(&self, sheet: &Sheet, target: CellRef) -> Option<Prediction> {
-        self.system.predict(&self.index, sheet, target)
+        let theta = self.system.cfg().theta_region;
+        self.predict_with(sheet, target, PipelineVariant::Full).filter(|p| p.s2_distance <= theta)
     }
 
     /// Predict without thresholding, any pipeline variant.
@@ -66,14 +459,97 @@ impl Snapshot {
         target: CellRef,
         variant: PipelineVariant,
     ) -> Option<Prediction> {
-        self.system.predict_with(&self.index, sheet, target, variant)
+        let embedder = self.system.embedder();
+        let emb = embedder.embed_sheet(sheet, variant == PipelineVariant::FineOnly);
+        self.predict_prepared(&emb, sheet, target, variant)
     }
 
-    /// Answer a burst of queries against this epoch with one micro-batched
-    /// embedding pass: distinct query sheets (deduplicated by identity —
-    /// a burst is naturally many targets on few sheets) go through the
-    /// representation model in a single tensor, then S1–S3 run per query.
-    /// Bit-identical to calling [`Snapshot::predict_with`] per query.
+    /// The sharded S1→S2→S3 pipeline, mirroring
+    /// `AutoFormula::predict_prepared` exactly (same scan primitives, same
+    /// tie order) with the sheet loop scattered across segments.
+    fn predict_prepared(
+        &self,
+        emb: &SheetEmbedding,
+        sheet: &Sheet,
+        target: CellRef,
+        variant: PipelineVariant,
+    ) -> Option<Prediction> {
+        let cfg = self.system.cfg();
+        let embedder = self.system.embedder();
+        let segments = self.segments();
+
+        // ---- S1: scatter, globalize, merge ----
+        let candidates = merge_neighbors(
+            segments.iter().map(|seg| {
+                let hits = match variant {
+                    PipelineVariant::FineOnly => {
+                        let sig = emb.fine_topleft.as_ref().expect("signature computed");
+                        seg.index
+                            .similar_sheets_fine(sig, cfg.k_sheets)
+                            .unwrap_or_else(|| seg.index.similar_sheets(&emb.coarse, cfg.k_sheets))
+                    }
+                    _ => seg.index.similar_sheets(&emb.coarse, cfg.k_sheets),
+                };
+                hits.into_iter().map(|n| Neighbor::new(seg.globals[n.id], n.dist)).collect()
+            }),
+            cfg.k_sheets,
+        );
+        if candidates.is_empty() {
+            return None;
+        }
+
+        // ---- S2: rank regions of the merged candidates ----
+        // The unsharded pipeline pushes (rid, d) in (S1-rank, region-
+        // ordinal) order and stable-sorts by distance; sorting the explicit
+        // triple reproduces that order exactly, including ties.
+        let target_fine = embedder.fine_window(emb, sheet, WindowOrigin::Centered(target));
+        let target_coarse = (variant == PipelineVariant::CoarseOnly)
+            .then(|| coarse_window(&embedder, sheet, target));
+        let mut ranked: Vec<(f32, usize, usize, usize, usize)> = Vec::new();
+        for (s1_rank, cand) in candidates.iter().enumerate() {
+            let seg_idx = segments
+                .iter()
+                .position(|seg| seg.globals.binary_search(&cand.id).is_ok())
+                .expect("candidate came from a segment");
+            let seg = &segments[seg_idx];
+            let local_sheet = seg.globals.binary_search(&cand.id).expect("checked above");
+            for (ordinal, &rid) in seg.index.regions_of_sheet(local_sheet).iter().enumerate() {
+                let d = match variant {
+                    PipelineVariant::CoarseOnly => seg
+                        .index
+                        .coarse_region_distance(rid, target_coarse.as_ref().expect("computed"))
+                        .unwrap_or_else(|| seg.index.region_distance(rid, &target_fine)),
+                    _ => seg.index.region_distance(rid, &target_fine),
+                };
+                ranked.push((d, s1_rank, ordinal, seg_idx, rid));
+            }
+        }
+        if ranked.is_empty() {
+            return None;
+        }
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+        // ---- S3: adapt the best parseable reference formula ----
+        for &(dist, _, _, seg_idx, rid) in ranked.iter().take(8) {
+            let seg = &segments[seg_idx];
+            if let Some(mut p) =
+                self.system.adapt_region(seg.index, emb, sheet, target, rid, dist, variant)
+            {
+                // `adapt_region` reports the segment-local sheet id;
+                // re-base to the global numbering this snapshot exposes.
+                p.reference_sheet_idx = seg.globals[p.reference_sheet_idx];
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Answer a burst of queries against this snapshot with one
+    /// micro-batched embedding pass: distinct query sheets (deduplicated
+    /// by identity — a burst is naturally many targets on few sheets) go
+    /// through the representation model in a single tensor, then S1–S3 run
+    /// per query. Bit-identical to calling [`Snapshot::predict_with`] per
+    /// query.
     pub fn predict_batch_with(
         &self,
         queries: &[(&Sheet, CellRef)],
@@ -96,160 +572,147 @@ impl Snapshot {
             .iter()
             .enumerate()
             .map(|(qi, &(sheet, target))| {
-                self.system.predict_prepared(&self.index, &embs[slot[qi]], sheet, target, variant)
+                self.predict_prepared(&embs[slot[qi]], sheet, target, variant)
             })
             .collect()
     }
-}
 
-/// One slot of the left-right pair: a raw `Arc<Snapshot>` pointer plus the
-/// count of readers currently dereferencing it.
-struct Slot {
-    ptr: AtomicPtr<Snapshot>,
-    readers: AtomicUsize,
-}
-
-impl Slot {
-    fn holding(snap: Arc<Snapshot>) -> Slot {
-        Slot {
-            ptr: AtomicPtr::new(Arc::into_raw(snap) as *mut Snapshot),
-            readers: AtomicUsize::new(0),
-        }
-    }
-}
-
-/// Monotonic serving counters, all updated with relaxed atomics — they
-/// are observability, not synchronization.
-#[derive(Default)]
-struct Counters {
-    /// Queries answered through any `predict*` entry point.
-    queries: AtomicU64,
-    /// Snapshot acquisitions (one per `snapshot()` — every predict call
-    /// and every explicit reader pin).
-    snapshots: AtomicU64,
-    /// Successful `add_workbook` publishes.
-    adds: AtomicU64,
-}
-
-/// A point-in-time view of a [`ServeHandle`]'s health: which epoch is
-/// serving, how stale it is, and how much traffic the handle has seen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ServeStats {
-    /// Epoch of the currently-active snapshot.
-    pub epoch: u64,
-    /// Time since that snapshot was published (a freshly-swapped epoch
-    /// resets this; a long age on a write-heavy deployment means the
-    /// writer is starving).
-    pub snapshot_age: Duration,
-    /// Queries served since startup, across every `predict*` entry point
-    /// (batch calls count each query).
-    pub queries_served: u64,
-    /// Reader snapshot acquisitions since startup (includes the one this
-    /// `stats()` call performed).
-    pub snapshots_acquired: u64,
-    /// Workbooks incrementally indexed since startup.
-    pub workbooks_added: u64,
-}
-
-struct Shared {
-    slots: [Slot; 2],
-    counters: Counters,
-    /// Which slot readers should use. The invariant that makes reads safe:
-    /// a slot's pointer is only ever replaced while `active` names the
-    /// *other* slot **and** the slot's reader count has been observed at
-    /// zero after that — so a reader that announced itself and then
-    /// confirmed the slot is still active holds a pinned pointer.
-    active: AtomicUsize,
-    /// Serializes writers (snapshot builds + publishes). Readers never
-    /// touch it.
-    writer: Mutex<()>,
-}
-
-// All snapshot swaps and reader announcements use `SeqCst`: the proof that
-// a writer never frees a snapshot a reader is acquiring needs the writer's
-// `active` store, the reader's counter increment, and both re-checks to sit
-// in one total order. The cost is nanoseconds against a prediction that
-// runs embedding kernels for microseconds to milliseconds.
-const ORD: Ordering = Ordering::SeqCst;
-
-impl Shared {
-    /// Spin until no reader holds `slot`. Only the writer calls this, and
-    /// only for the slot `active` does not name — readers drain quickly
-    /// (their critical section is two loads and an `Arc` count bump) and
-    /// new readers cannot enter a non-active slot.
-    fn drain(slot: &Slot) {
-        let mut spins = 0u32;
-        while slot.readers.load(ORD) != 0 {
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
+    /// Merge every segment back into one index in global sheet order,
+    /// together with the per-sheet shard assignment — what
+    /// [`ServeHandle::to_artifact`] persists.
+    fn merged(&self) -> (ReferenceIndex, ShardLayout) {
+        let cfg = self.system.cfg();
+        // (global, shard, segment-ref, local) for every sheet, then sort
+        // by global id so the merged index is the canonical ordering.
+        let mut rows: Vec<(usize, u32, &ReferenceIndex, usize)> =
+            Vec::with_capacity(self.n_sheets());
+        for (shard_idx, st) in self.shards.iter().enumerate() {
+            for (local, &g) in st.base_globals.iter().enumerate() {
+                rows.push((g, shard_idx as u32, &st.base, local));
+            }
+            for (local, &g) in st.delta_globals.iter().enumerate() {
+                rows.push((g, shard_idx as u32, &st.delta, local));
             }
         }
-    }
-
-    /// Replace both slots with `new`. Caller must hold the writer lock.
-    fn publish(&self, new: Arc<Snapshot>) {
-        let a = self.active.load(ORD);
-        let b = 1 - a;
-        // Slot b is inactive: wait out stragglers, install the new
-        // snapshot, then direct readers at it.
-        Self::drain(&self.slots[b]);
-        let old = self.slots[b].ptr.swap(Arc::into_raw(Arc::clone(&new)) as *mut Snapshot, ORD);
-        unsafe { drop(Arc::from_raw(old)) };
-        self.active.store(b, ORD);
-        // Now slot a is inactive; once its readers drain, bring it to the
-        // same epoch so the next publish has a clean inactive slot.
-        Self::drain(&self.slots[a]);
-        let old = self.slots[a].ptr.swap(Arc::into_raw(new) as *mut Snapshot, ORD);
-        unsafe { drop(Arc::from_raw(old)) };
+        rows.sort_by_key(|&(g, _, _, _)| g);
+        let proto = &self.shards[0].base;
+        let mut merged = proto.empty_like(cfg);
+        let mut assignment = Vec::with_capacity(rows.len());
+        for &(_, shard, index, local) in &rows {
+            merged.append_sheet_from(index, local);
+            assignment.push(shard);
+        }
+        (merged, ShardLayout { n_shards: self.shards.len(), assignment })
     }
 }
 
-impl Drop for Shared {
+// --------------------------------------------------------------- handle
+
+/// Joins the background compactor when the last [`ServeHandle`] clone
+/// drops. Declared *after* `shared` in the handle so the channel sender
+/// (owned by `Shared`) is gone before the join — the thread's `recv` then
+/// disconnects and it exits.
+struct CompactorGuard {
+    join: Option<JoinHandle<()>>,
+}
+
+impl Drop for CompactorGuard {
     fn drop(&mut self) {
-        for slot in &self.slots {
-            let p = slot.ptr.load(ORD);
-            unsafe { drop(Arc::from_raw(p)) };
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
         }
     }
 }
 
 /// A cloneable handle to a concurrently-served recommendation artifact.
 ///
-/// Cheap to clone (an `Arc`); hand one to every worker thread. All methods
-/// take `&self`.
+/// Cheap to clone (two `Arc`s); hand one to every worker thread. All
+/// methods take `&self`.
 #[derive(Clone)]
 pub struct ServeHandle {
     shared: Arc<Shared>,
+    _compactor: Arc<CompactorGuard>,
 }
 
 impl ServeHandle {
-    /// Serve an in-memory system and its built index.
+    /// Serve an in-memory system and its built index, sharded per the
+    /// system's [`AutoFormulaConfig::n_shards`] (hash-routed by
+    /// [`shard_of`]).
     pub fn new(system: AutoFormula, index: ReferenceIndex) -> ServeHandle {
-        let next_workbook_id = index.keys.iter().map(|k| k.workbook + 1).max().unwrap_or(0);
-        let snap = Arc::new(Snapshot {
-            system: Arc::new(system),
-            index,
-            epoch: 0,
-            next_workbook_id,
-            published_at: Instant::now(),
-        });
-        ServeHandle {
-            shared: Arc::new(Shared {
-                slots: [Slot::holding(Arc::clone(&snap)), Slot::holding(snap)],
-                counters: Counters::default(),
-                active: AtomicUsize::new(0),
-                writer: Mutex::new(()),
-            }),
-        }
+        let n_shards = system.cfg().n_shards.max(1);
+        let assignment: Vec<u32> =
+            index.keys.iter().map(|&k| shard_of(k, n_shards) as u32).collect();
+        ServeHandle::with_layout(system, index, ShardLayout { n_shards, assignment })
     }
 
-    /// Cold-start a server from artifact bytes (`AutoFormula::save`).
+    fn with_layout(system: AutoFormula, index: ReferenceIndex, layout: ShardLayout) -> ServeHandle {
+        let cfg = *system.cfg();
+        let delta_cfg = AutoFormulaConfig { ann_backend: AnnBackend::Flat, ..cfg };
+        let n_shards = layout.n_shards.max(1);
+        let n_sheets = index.n_sheets();
+        let next_workbook_id = index.keys.iter().map(|k| k.workbook + 1).max().unwrap_or(0);
+
+        let mut globals: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        for (si, &s) in layout.assignment.iter().enumerate() {
+            globals[s as usize].push(si);
+        }
+        let bases: Vec<ReferenceIndex> = if n_shards == 1 {
+            // Unsharded: serve the index exactly as built — no ANN rebuild
+            // (an approximate backend's graph is preserved bit-for-bit).
+            vec![index]
+        } else {
+            let assignment: Vec<usize> = layout.assignment.iter().map(|&s| s as usize).collect();
+            index.split(&cfg, &assignment, n_shards)
+        };
+        let shards: Vec<Shard> = bases
+            .into_iter()
+            .zip(globals)
+            .map(|(base, g)| Shard {
+                state: LeftRight::new(Arc::new(ShardState::sealed(base, g, &delta_cfg))),
+            })
+            .collect();
+
+        let (compact_tx, compact_rx) = if cfg.delta_max_sheets > 0 {
+            let (tx, rx) = mpsc::channel::<usize>();
+            (Some(tx), Some(rx))
+        } else {
+            (None, None)
+        };
+        let shared = Arc::new(Shared {
+            system: Arc::new(system),
+            shards,
+            epoch: AtomicU64::new(0),
+            next_workbook_id: AtomicUsize::new(next_workbook_id),
+            next_global: AtomicUsize::new(n_sheets),
+            counters: Counters::default(),
+            delta_max: cfg.delta_max_sheets,
+            delta_cfg,
+            compact_tx,
+        });
+        let join = compact_rx.map(|rx| {
+            // The thread holds only a weak reference: when the last handle
+            // drops, `Shared` (and its sender) drop, `recv` disconnects,
+            // and the thread exits — joined by the guard.
+            let weak: Weak<Shared> = Arc::downgrade(&shared);
+            std::thread::spawn(move || {
+                while let Ok(shard) = rx.recv() {
+                    let Some(shared) = weak.upgrade() else { break };
+                    shared.compact(shard);
+                }
+            })
+        });
+        ServeHandle { shared, _compactor: Arc::new(CompactorGuard { join }) }
+    }
+
+    /// Cold-start a server from artifact bytes (`AutoFormula::save`). A v3
+    /// artifact carrying a shard layout is re-split into exactly that
+    /// layout; otherwise sheets are hash-routed per the artifact's config.
     pub fn from_artifact(data: &[u8]) -> Result<ServeHandle, ArtifactError> {
-        let (system, index) = AutoFormula::load(data)?;
-        Ok(ServeHandle::new(system, index))
+        let (system, index, layout) = AutoFormula::load_bytes_sharded(Bytes::from(data.to_vec()))?;
+        Ok(match layout {
+            Some(layout) => ServeHandle::with_layout(system, index, layout),
+            None => ServeHandle::new(system, index),
+        })
     }
 
     /// Cold-start a server straight from an artifact file via `mmap(2)`
@@ -257,50 +720,49 @@ impl ServeHandle {
     /// from the page cache, so artifacts larger than RAM are servable.
     /// The mapping lives as long as any snapshot still views it.
     pub fn from_artifact_path(path: &Path) -> Result<ServeHandle, ArtifactError> {
-        let (system, index) = AutoFormula::load_mmap(path)?;
-        Ok(ServeHandle::new(system, index))
+        let (system, index, layout) = AutoFormula::load_mmap_sharded(path)?;
+        Ok(match layout {
+            Some(layout) => ServeHandle::with_layout(system, index, layout),
+            None => ServeHandle::new(system, index),
+        })
     }
 
     /// Serialize the *current* serving state — including workbooks added
-    /// since startup — into a self-contained artifact.
+    /// since startup — into a self-contained artifact: every segment
+    /// merged back into one global-order index, plus the shard layout
+    /// (v3 `SHARDS` section) when serving sharded.
     pub fn to_artifact(&self) -> Bytes {
         let snap = self.snapshot();
-        snap.system.save(&snap.index)
+        // Unsharded with an empty delta: save the base as-is (no merge
+        // copy, and an approximate ANN graph round-trips bit-for-bit).
+        if let [only] = snap.shards.as_slice() {
+            if only.delta.n_sheets() == 0 {
+                return snap.system.save(&only.base);
+            }
+        }
+        let (merged, layout) = snap.merged();
+        let layout = (layout.n_shards > 1).then_some(layout);
+        snap.system
+            .save_sharded(&merged, StoreOptions::default(), layout.as_ref())
+            .expect("default layout cannot fail")
     }
 
-    /// Acquire the current snapshot. Lock-free and wait-free in the
-    /// absence of a concurrent publish; at most a couple of retries when
-    /// one races past. The returned `Arc` pins the epoch for as long as
-    /// the caller holds it — an unbounded read, safely.
-    pub fn snapshot(&self) -> Arc<Snapshot> {
+    /// Acquire the current snapshot: the epoch counter plus every shard's
+    /// current state, each pinned. Lock-free — a couple of atomic ops per
+    /// shard; the returned snapshot stays valid (and immutable) for as
+    /// long as the caller holds it, regardless of concurrent writes.
+    pub fn snapshot(&self) -> Snapshot {
         self.shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
-        loop {
-            let a = self.shared.active.load(ORD);
-            let slot = &self.shared.slots[a];
-            // Announce, then confirm the slot is still the active one. If
-            // it is, the writer cannot replace this slot's pointer until
-            // our count drops (it drains inactive slots only, and `active`
-            // can't return to this slot without a full publish that drains
-            // it first).
-            slot.readers.fetch_add(1, ORD);
-            if self.shared.active.load(ORD) == a {
-                let p = slot.ptr.load(ORD);
-                let snap = unsafe {
-                    Arc::increment_strong_count(p);
-                    Arc::from_raw(p)
-                };
-                slot.readers.fetch_sub(1, ORD);
-                return snap;
-            }
-            // A publish moved `active` between our two loads; retry on the
-            // new slot.
-            slot.readers.fetch_sub(1, ORD);
-        }
+        // Epoch first: concurrent publishes can only make the data *newer*
+        // than the reported epoch, keeping per-reader epochs monotone.
+        let epoch = self.shared.epoch.load(ORD);
+        let shards = self.shared.shards.iter().map(|s| s.state.read()).collect();
+        Snapshot { system: Arc::clone(&self.shared.system), epoch, shards }
     }
 
     /// Current epoch (0 until the first [`ServeHandle::add_workbook`]).
     pub fn epoch(&self) -> u64 {
-        self.snapshot().epoch
+        self.shared.epoch.load(ORD)
     }
 
     /// Serving counters and snapshot age — the numbers an operator (or a
@@ -308,23 +770,25 @@ impl ServeHandle {
     /// acquisition plus relaxed counter loads.
     pub fn stats(&self) -> ServeStats {
         let snap = self.snapshot();
+        let youngest =
+            snap.shards.iter().map(|s| s.published_at.elapsed()).min().unwrap_or_default();
         ServeStats {
             epoch: snap.epoch,
-            snapshot_age: snap.published_at.elapsed(),
+            snapshot_age: youngest,
             queries_served: self.shared.counters.queries.load(Ordering::Relaxed),
             snapshots_acquired: self.shared.counters.snapshots.load(Ordering::Relaxed),
             workbooks_added: self.shared.counters.adds.load(Ordering::Relaxed),
         }
     }
 
-    /// Sheets currently indexed.
+    /// Sheets currently indexed, across every shard.
     pub fn n_sheets(&self) -> usize {
-        self.snapshot().index.n_sheets()
+        self.snapshot().n_sheets()
     }
 
-    /// Formula regions currently indexed.
+    /// Formula regions currently indexed, across every shard.
     pub fn n_regions(&self) -> usize {
-        self.snapshot().index.n_regions()
+        self.snapshot().n_regions()
     }
 
     /// Predict with the confidence threshold applied (the serving
@@ -373,28 +837,61 @@ impl ServeHandle {
             .collect()
     }
 
-    /// Incrementally index one more workbook and atomically swap the grown
-    /// index in. Writers are serialized; readers never block — queries in
-    /// flight keep their epoch, new queries see the new one. Returns the
-    /// new epoch.
+    /// Incrementally index one more workbook: each sheet is hash-routed to
+    /// its shard and appended to that shard's delta segment — the write
+    /// clones O(delta), not O(corpus) — and the shard's new state is
+    /// published left-right. Readers never block; queries in flight keep
+    /// their snapshot, new queries see the new sheets. Full deltas are
+    /// handed to the background compactor. Returns the new epoch.
     pub fn add_workbook(&self, workbook: &Workbook) -> u64 {
-        let guard = self.shared.writer.lock();
-        let cur = self.snapshot();
-        let mut index = cur.index.clone();
-        let id = cur.next_workbook_id;
-        index.add_workbook(&cur.system.embedder(), workbook, id);
-        let epoch = cur.epoch + 1;
-        let new = Arc::new(Snapshot {
-            system: Arc::clone(&cur.system),
-            index,
-            epoch,
-            next_workbook_id: id + 1,
-            published_at: Instant::now(),
-        });
-        self.shared.publish(new);
+        let id = self.shared.next_workbook_id.fetch_add(1, ORD);
+        let embedder = self.shared.system.embedder();
+        let n_shards = self.shared.shards.len();
+        for (si, sheet) in workbook.sheets.iter().enumerate() {
+            let key = SheetKey { workbook: id, sheet: si };
+            let cell = &self.shared.shards[shard_of(key, n_shards)].state;
+            let guard = cell.writer.lock();
+            // Allocate the global id under the shard lock so per-shard
+            // global lists stay strictly ascending.
+            let global = self.shared.next_global.fetch_add(1, ORD);
+            let cur = cell.read();
+            let new = if self.shared.delta_max == 0 {
+                // Deltas disabled: grow the base synchronously (O(shard)).
+                let mut base = (*cur.base).clone();
+                base.add_sheet(&embedder, sheet, key);
+                let mut globals = (*cur.base_globals).clone();
+                globals.push(global);
+                ShardState {
+                    base: Arc::new(base),
+                    base_globals: Arc::new(globals),
+                    delta: cur.delta.clone(),
+                    delta_globals: cur.delta_globals.clone(),
+                    published_at: Instant::now(),
+                }
+            } else {
+                let mut delta = cur.delta.clone();
+                delta.add_sheet(&embedder, sheet, key);
+                let mut delta_globals = cur.delta_globals.clone();
+                delta_globals.push(global);
+                ShardState {
+                    base: Arc::clone(&cur.base),
+                    base_globals: Arc::clone(&cur.base_globals),
+                    delta,
+                    delta_globals,
+                    published_at: Instant::now(),
+                }
+            };
+            let full = new.delta.n_sheets() >= self.shared.delta_max.max(1);
+            cell.publish(Arc::new(new));
+            drop(guard);
+            if self.shared.delta_max > 0 && full {
+                if let Some(tx) = &self.shared.compact_tx {
+                    let _ = tx.send(shard_of(key, n_shards));
+                }
+            }
+        }
         self.shared.counters.adds.fetch_add(1, Ordering::Relaxed);
-        drop(guard);
-        epoch
+        self.shared.epoch.fetch_add(1, ORD) + 1
     }
 }
 
@@ -414,20 +911,29 @@ mod tests {
     use af_corpus::organization::{OrgSpec, Scale};
     use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
 
-    fn system_and_corpus() -> (AutoFormula, af_corpus::OrgCorpus) {
-        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+    fn system_with(cfg: AutoFormulaConfig) -> AutoFormula {
         let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
-        let cfg = AutoFormulaConfig::test_tiny();
-        let af =
-            AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
-        (af, corpus)
+        AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer)
     }
 
-    fn handle_over(n_workbooks: usize) -> (ServeHandle, af_corpus::OrgCorpus) {
-        let (af, corpus) = system_and_corpus();
+    fn system_and_corpus() -> (AutoFormula, af_corpus::OrgCorpus) {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        (system_with(AutoFormulaConfig::test_tiny()), corpus)
+    }
+
+    fn handle_over_with(
+        cfg: AutoFormulaConfig,
+        n_workbooks: usize,
+    ) -> (ServeHandle, af_corpus::OrgCorpus) {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let af = system_with(cfg);
         let members: Vec<usize> = (0..n_workbooks).collect();
         let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
         (ServeHandle::new(af, index), corpus)
+    }
+
+    fn handle_over(n_workbooks: usize) -> (ServeHandle, af_corpus::OrgCorpus) {
+        handle_over_with(AutoFormulaConfig::test_tiny(), n_workbooks)
     }
 
     fn query_targets(corpus: &af_corpus::OrgCorpus, wb: usize) -> Vec<(&Sheet, CellRef)> {
@@ -438,27 +944,137 @@ mod tests {
             .collect()
     }
 
+    /// Every segment's globals strictly ascending and no global id
+    /// appearing in two segments — the invariants the bit-identical merge
+    /// and `locate` rest on, checked on a live snapshot.
+    fn assert_coherent(snap: &Snapshot) {
+        let mut all: Vec<usize> = Vec::new();
+        for seg in snap.segments() {
+            assert_eq!(seg.globals.len(), seg.index.n_sheets(), "globals/sheets out of sync");
+            assert!(seg.globals.windows(2).all(|w| w[0] < w[1]), "globals not ascending");
+            all.extend_from_slice(seg.globals);
+        }
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "global sheet id owned by two segments");
+        assert_eq!(snap.n_sheets(), n);
+        assert_eq!(snap.keys().len(), n);
+    }
+
     #[test]
     fn serves_predictions_matching_the_direct_pipeline() {
         let (af, corpus) = system_and_corpus();
         let members: Vec<usize> = (0..4).collect();
         let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
-        let handle = ServeHandle::new(
-            AutoFormula::from_model(
-                {
-                    // Same weights: rebuild from the snapshot bytes.
-                    let mut m = RepresentationModel::new(af.model.feat_dim, af.model.cfg);
-                    m.load_bytes(af.model.to_bytes()).unwrap();
-                    m
-                },
-                CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL),
-            ),
-            index.clone(),
-        );
+        let handle = ServeHandle::new(system_with(AutoFormulaConfig::test_tiny()), index.clone());
         for (sheet, target) in query_targets(&corpus, 0).into_iter().take(10) {
             let direct = af.predict_with(&index, sheet, target, PipelineVariant::Full);
             let served = handle.predict_with(sheet, target, PipelineVariant::Full);
             assert_eq!(direct.map(|p| p.formula), served.map(|p| p.formula));
+        }
+    }
+
+    #[test]
+    fn sharded_serving_is_bit_identical_to_unsharded() {
+        let corpus = OrgSpec::pge(Scale::Tiny).generate();
+        let base_cfg = AutoFormulaConfig::test_tiny();
+        let af = system_with(base_cfg);
+        let members: Vec<usize> = (0..4).collect();
+        let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+        let queries = query_targets(&corpus, 0);
+        assert!(!queries.is_empty());
+
+        for n_shards in [1usize, 2, 4, 7] {
+            let cfg = AutoFormulaConfig { n_shards, ..base_cfg };
+            let plain = ServeHandle::new(system_with(base_cfg), index.clone());
+            let sharded = ServeHandle::new(system_with(cfg), index.clone());
+            // Twice: once over the sealed bases, once after growth has
+            // populated delta segments on both sides.
+            for round in 0..2 {
+                let (a, b) = (plain.snapshot(), sharded.snapshot());
+                assert_coherent(&b);
+                assert_eq!(a.keys(), b.keys(), "{n_shards} shards, round {round}");
+                for &(sheet, target) in &queries {
+                    let emb = a.system.embedder().embed_sheet(sheet, false);
+                    let ha = a.similar_sheets(&emb.coarse, base_cfg.k_sheets);
+                    let hb = b.similar_sheets(&emb.coarse, base_cfg.k_sheets);
+                    assert_eq!(ha.len(), hb.len(), "{n_shards} shards, round {round}");
+                    for (x, y) in ha.iter().zip(&hb) {
+                        assert_eq!(x.id, y.id, "{n_shards} shards, round {round}");
+                        assert_eq!(
+                            x.dist.to_bits(),
+                            y.dist.to_bits(),
+                            "{n_shards} shards, round {round}"
+                        );
+                    }
+                    let pa = a.predict_with(sheet, target, PipelineVariant::Full);
+                    let pb = b.predict_with(sheet, target, PipelineVariant::Full);
+                    match (pa, pb) {
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.formula, y.formula);
+                            assert_eq!(x.s2_distance.to_bits(), y.s2_distance.to_bits());
+                            assert_eq!(x.reference_sheet, y.reference_sheet);
+                            assert_eq!(x.reference_sheet_idx, y.reference_sheet_idx);
+                            assert_eq!(x.reference_cell, y.reference_cell);
+                        }
+                        (None, None) => {}
+                        (x, y) => panic!("{n_shards} shards, round {round}: {x:?} vs {y:?}"),
+                    }
+                }
+                if round == 0 {
+                    for wb in [4usize, 5] {
+                        plain.add_workbook(&corpus.workbooks[wb]);
+                        sharded.add_workbook(&corpus.workbooks[wb]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn background_compaction_folds_deltas_without_changing_results() {
+        // delta_max_sheets = 1: every added sheet fills its shard's delta,
+        // so the compactor runs after every write.
+        let compacting = AutoFormulaConfig {
+            n_shards: 2,
+            delta_max_sheets: 1,
+            ..AutoFormulaConfig::test_tiny()
+        };
+        // Reference: same shards, deltas disabled (synchronous base growth).
+        let synchronous = AutoFormulaConfig {
+            n_shards: 2,
+            delta_max_sheets: 0,
+            ..AutoFormulaConfig::test_tiny()
+        };
+        let (handle, corpus) = handle_over_with(compacting, 3);
+        let (reference, _) = handle_over_with(synchronous, 3);
+        for wb in 3..6 {
+            handle.add_workbook(&corpus.workbooks[wb]);
+            reference.add_workbook(&corpus.workbooks[wb]);
+        }
+        // Compaction is asynchronous; wait for the deltas to drain.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let snap = handle.snapshot();
+            assert_coherent(&snap);
+            if snap.shards.iter().all(|s| s.delta.n_sheets() == 0) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "compactor never drained the deltas");
+            std::thread::yield_now();
+        }
+        // Compaction republishes shard states but is epoch-neutral.
+        assert_eq!(handle.epoch(), 3);
+        // And content-neutral: the compacted server answers exactly like
+        // the synchronously-grown one.
+        let (a, b) = (handle.snapshot(), reference.snapshot());
+        assert_eq!(a.keys(), b.keys());
+        for (sheet, target) in query_targets(&corpus, 0).into_iter().take(8) {
+            let pa = a.predict_with(sheet, target, PipelineVariant::Full);
+            let pb = b.predict_with(sheet, target, PipelineVariant::Full);
+            assert_eq!(pa.as_ref().map(|p| &p.formula), pb.as_ref().map(|p| &p.formula));
+            assert_eq!(pa.map(|p| p.s2_distance.to_bits()), pb.map(|p| p.s2_distance.to_bits()));
         }
     }
 
@@ -495,7 +1111,7 @@ mod tests {
         let (handle, corpus) = handle_over(3);
         let before = handle.snapshot();
         assert_eq!(before.epoch, 0);
-        let n_before = before.index.n_sheets();
+        let n_before = before.n_sheets();
 
         let epoch = handle.add_workbook(&corpus.workbooks[3]);
         assert_eq!(epoch, 1);
@@ -503,17 +1119,17 @@ mod tests {
         assert!(handle.n_sheets() > n_before);
         // The held snapshot still serves its old epoch, untouched.
         assert_eq!(before.epoch, 0);
-        assert_eq!(before.index.n_sheets(), n_before);
+        assert_eq!(before.n_sheets(), n_before);
 
         // The new epoch finds the new workbook's sheets as references.
         let after = handle.snapshot();
         let sheet = &corpus.workbooks[3].sheets[0];
         let emb = after.system.embedder().embed_sheet(sheet, false);
-        let hit = after.index.similar_sheets(&emb.coarse, 1)[0];
+        let hit = after.similar_sheets(&emb.coarse, 1)[0];
         assert!(hit.dist < 1e-6, "new sheet must be indexed in the new epoch");
         // Provenance ids keep growing.
         assert_eq!(handle.add_workbook(&corpus.workbooks[4]), 2);
-        let keys = &handle.snapshot().index.keys;
+        let keys = handle.snapshot().keys();
         assert!(keys.iter().any(|k| k.workbook == 4));
     }
 
@@ -531,6 +1147,26 @@ mod tests {
             assert_eq!(a.map(|p| p.formula), b.map(|p| p.formula));
         }
         assert!(ServeHandle::from_artifact(b"garbage").is_err());
+    }
+
+    #[test]
+    fn sharded_artifact_round_trip_preserves_the_layout() {
+        let cfg = AutoFormulaConfig { n_shards: 3, ..AutoFormulaConfig::test_tiny() };
+        let (handle, corpus) = handle_over_with(cfg, 3);
+        handle.add_workbook(&corpus.workbooks[3]);
+        let bytes = handle.to_artifact();
+        let reloaded = ServeHandle::from_artifact(&bytes).expect("sharded artifact loads");
+        // The stored layout re-splits into the same shards.
+        assert_eq!(reloaded.shared.shards.len(), 3);
+        let (a, b) = (handle.snapshot(), reloaded.snapshot());
+        assert_coherent(&b);
+        assert_eq!(a.keys(), b.keys());
+        for (sheet, target) in query_targets(&corpus, 0).into_iter().take(8) {
+            let pa = a.predict_with(sheet, target, PipelineVariant::Full);
+            let pb = b.predict_with(sheet, target, PipelineVariant::Full);
+            assert_eq!(pa.as_ref().map(|p| &p.formula), pb.as_ref().map(|p| &p.formula));
+            assert_eq!(pa.map(|p| p.s2_distance.to_bits()), pb.map(|p| p.s2_distance.to_bits()));
+        }
     }
 
     #[test]
@@ -593,7 +1229,14 @@ mod tests {
 
     #[test]
     fn concurrent_readers_and_writer_stress() {
-        let (handle, corpus) = handle_over(2);
+        // Sharded with tiny deltas so the stress run exercises writes,
+        // reads, and background compaction all racing.
+        let cfg = AutoFormulaConfig {
+            n_shards: 3,
+            delta_max_sheets: 2,
+            ..AutoFormulaConfig::test_tiny()
+        };
+        let (handle, corpus) = handle_over_with(cfg, 2);
         let queries: Vec<(usize, usize, CellRef)> = corpus.workbooks[0]
             .sheets
             .iter()
@@ -618,8 +1261,10 @@ mod tests {
                         // Epochs are monotone per reader.
                         assert!(snap.epoch >= last_epoch, "epoch went backwards");
                         last_epoch = snap.epoch;
-                        // Internal consistency of whatever epoch we got.
-                        assert_eq!(snap.index.n_sheets(), snap.index.keys.len());
+                        // Internal consistency of whatever state we got:
+                        // no torn shard — every segment coherent, no
+                        // duplicated or missing sheets.
+                        assert_coherent(&snap);
                         let (wb, si, at) = queries[(served + t) % queries.len()];
                         let sheet = &corpus.workbooks[wb].sheets[si];
                         let _ = snap.predict_with(sheet, at, PipelineVariant::Full);
@@ -628,7 +1273,8 @@ mod tests {
                     assert!(served > 0);
                 });
             }
-            // One writer keeps publishing new epochs.
+            // One writer keeps publishing new epochs while the compactor
+            // folds deltas behind it.
             let writer = handle.clone();
             let corpus_ref = &corpus;
             let stop_ref = &stop;
@@ -640,6 +1286,8 @@ mod tests {
                 stop_ref.store(true, Ordering::Relaxed);
             });
         });
+        // The epoch counts writes alone — compaction publishes don't bump it.
         assert_eq!(handle.epoch(), 6);
+        assert_coherent(&handle.snapshot());
     }
 }

@@ -57,6 +57,7 @@ impl Codec {
         }
     }
 
+    /// Inverse of [`Codec::tag`]; `None` for unknown wire tags.
     pub fn from_tag(tag: u8) -> Option<Codec> {
         match tag {
             1 => Some(Codec::F32),
@@ -101,8 +102,11 @@ impl std::error::Error for StoreError {}
 /// distance between an f32 query and a stored row, computed without
 /// dequantizing the row into memory.
 pub trait VectorStore: Send + Sync {
+    /// Vector dimensionality (fixed at construction).
     fn dim(&self) -> usize;
+    /// Number of stored vectors.
     fn rows(&self) -> usize;
+    /// The codec this store encodes rows with.
     fn codec(&self) -> Codec;
     /// Quantize (if needed) and append one vector.
     fn push(&mut self, v: &[f32]);
@@ -116,6 +120,7 @@ pub trait VectorStore: Send + Sync {
     /// Bytes this store occupies on the wire (and, for views, on disk).
     fn encoded_vector_bytes(&self) -> usize;
 
+    /// `rows() == 0`.
     fn is_empty(&self) -> bool {
         self.rows() == 0
     }
@@ -146,6 +151,7 @@ enum F32Data {
 }
 
 impl F32Store {
+    /// An empty exact-f32 store of `dim`-d vectors.
     pub fn new(dim: usize) -> F32Store {
         assert!(dim > 0);
         F32Store { dim, rows: 0, data: F32Data::Owned(Vec::new()) }
@@ -166,6 +172,7 @@ impl F32Store {
         F32Store { dim, rows, data }
     }
 
+    /// Wrap an owned `rows · dim` flat buffer (no copy, no conversion).
     pub fn from_rows(dim: usize, data: Vec<f32>) -> F32Store {
         assert!(dim > 0);
         assert_eq!(data.len() % dim, 0);
@@ -190,6 +197,7 @@ impl F32Store {
         }
     }
 
+    /// Row `i` as a borrowed slice (exact — no dequantization needed).
     pub fn row(&self, i: usize) -> &[f32] {
         assert!(i < self.rows, "row {i} out of {}", self.rows);
         &self.as_slice()[i * self.dim..(i + 1) * self.dim]
@@ -300,6 +308,7 @@ enum F16Data {
 }
 
 impl F16Store {
+    /// An empty half-precision store of `dim`-d vectors.
     pub fn new(dim: usize) -> F16Store {
         assert!(dim > 0);
         F16Store { dim, rows: 0, data: F16Data::Owned(Vec::new()) }
@@ -334,6 +343,7 @@ impl F16Store {
         }
     }
 
+    /// Row `i` as raw IEEE 754 half-precision bit patterns.
     pub fn row_u16(&self, i: usize) -> &[u16] {
         assert!(i < self.rows, "row {i} out of {}", self.rows);
         &self.as_slice()[i * self.dim..(i + 1) * self.dim]
@@ -426,6 +436,7 @@ enum CodeData {
 }
 
 impl Int8Store {
+    /// An empty int8 store of `dim`-d vectors.
     pub fn new(dim: usize) -> Int8Store {
         assert!(dim > 0);
         Int8Store {
@@ -443,6 +454,8 @@ impl Int8Store {
         }
     }
 
+    /// Row `i` as `(codes, scale, offset)` — element `j` decodes to
+    /// `offset + scale · codes[j]`.
     pub fn row_codes(&self, i: usize) -> (&[u8], f32, f32) {
         assert!(i < self.rows(), "row {i} out of {}", self.rows());
         (&self.codes()[i * self.dim..(i + 1) * self.dim], self.scales[i], self.offsets[i])
@@ -523,8 +536,11 @@ impl VectorStore for Int8Store {
 /// code.
 #[derive(Debug, Clone)]
 pub enum DenseStore {
+    /// Exact 32-bit floats (the default).
     F32(F32Store),
+    /// IEEE 754 half precision, 2× smaller.
     F16(F16Store),
+    /// Per-vector affine int8, 4× smaller.
     Int8(Int8Store),
 }
 
@@ -798,6 +814,46 @@ mod tests {
         for (a, b) in v.iter().zip(&dq) {
             assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
         }
+    }
+
+    #[test]
+    fn int8_fat_rows_lose_precision_that_per_cell_rows_keep() {
+        // Why the fat fine layout agrees with f32 on only ~98% of
+        // predictions while the compact layout agrees on 100%: int8 is
+        // *per-row* affine over the row's min..max. A fat row is a whole
+        // fine window — many concatenated per-cell vectors of very
+        // different magnitudes — so one coarse step serves them all, and
+        // the small-magnitude cells drown in quantization noise. The
+        // compact layout quantizes each cell vector as its own row and
+        // keeps a per-cell step. This pins the mechanism: the identical
+        // payload quantized both ways, with the fat error on the quiet
+        // block orders of magnitude above the per-cell error.
+        let cell = 8;
+        let loud: Vec<f32> = (0..cell).map(|j| (j as f32 * 0.9).sin()).collect(); // ~±1
+        let quiet: Vec<f32> = (0..cell).map(|j| (j as f32 * 0.7).cos() * 1e-3).collect(); // ~±1e-3
+        let window: Vec<f32> = loud.iter().chain(&quiet).copied().collect();
+
+        let mut fat = Int8Store::new(2 * cell);
+        fat.push(&window);
+        let mut compact = Int8Store::new(cell);
+        compact.push(&loud);
+        compact.push(&quiet);
+
+        let fat_dq = fat.row_owned(0);
+        let quiet_dq = compact.row_owned(1);
+        let max_err = |a: &[f32], b: &[f32]| {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max)
+        };
+        let fat_quiet_err = max_err(&quiet, &fat_dq[cell..]);
+        let compact_quiet_err = max_err(&quiet, &quiet_dq);
+        // Per-cell quantization keeps the quiet block within its own
+        // half-level bound; the fat row's step is set by the loud block
+        // and is ~1000× too coarse for the quiet one.
+        assert!(compact_quiet_err <= 2e-3 / 510.0 + 1e-7, "compact err {compact_quiet_err}");
+        assert!(
+            fat_quiet_err > 100.0 * compact_quiet_err.max(1e-9),
+            "fat err {fat_quiet_err} vs compact err {compact_quiet_err}"
+        );
     }
 
     #[test]

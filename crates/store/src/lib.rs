@@ -21,6 +21,35 @@
 //!   corrupt input errors, never panics.
 //! * **mmap** — [`map_file`] opens a file as page-on-demand [`Bytes`], so
 //!   artifacts larger than RAM serve straight from the page cache.
+//!
+//! [`Bytes`]: bytes::Bytes
+//!
+//! # Examples
+//!
+//! ```
+//! use af_store::{get_store, put_store, Codec, DenseStore, VectorStore};
+//!
+//! // Quantize three 4-d vectors to int8 (per-vector affine, 4× smaller).
+//! let mut store = DenseStore::new(4, Codec::Int8);
+//! store.push(&[0.0, 0.5, 1.0, -1.0]);
+//! store.push(&[0.2, 0.1, -0.3, 0.9]);
+//! store.push(&[1.0, 1.0, 1.0, 1.0]); // constant rows stay exact
+//!
+//! // Asymmetric distance: the f32 query meets the codes in the kernel.
+//! let q = [0.1, 0.4, 0.9, -0.8];
+//! let nearest = (0..store.rows())
+//!     .min_by(|&a, &b| store.l2_sq_row(&q, a).total_cmp(&store.l2_sq_row(&q, b)))
+//!     .unwrap();
+//! assert_eq!(nearest, 0);
+//!
+//! // Wire round trip: little-endian, 4-byte aligned, zero-copy on load.
+//! let mut buf = bytes::BytesMut::new();
+//! put_store(&mut buf, &store);
+//! let decoded = get_store(&mut buf.freeze()).unwrap();
+//! assert_eq!(decoded.rows(), 3);
+//! assert_eq!(decoded.codec(), Codec::Int8);
+//! ```
+#![warn(missing_docs)]
 
 pub mod dense;
 pub mod f16;

@@ -57,7 +57,7 @@ fn main() {
                 sheet.name(),
                 p.formula,
                 p.s2_distance,
-                snap.index.sheet_meta(p.reference_sheet_idx).name,
+                snap.sheet_meta(p.reference_sheet_idx).name,
                 p.reference_cell
             ),
             None => println!("  {}!{target} → no confident prediction", sheet.name()),

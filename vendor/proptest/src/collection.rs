@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-/// Length specification accepted by [`vec`]: a `usize`, `lo..hi`, or
+/// Length specification accepted by [`vec()`]: a `usize`, `lo..hi`, or
 /// `lo..=hi`.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
