@@ -74,6 +74,23 @@ fn main() {
                 ],
             ],
         );
+        if let Some(c) = &r.chaos {
+            print_table(
+                "degraded mode (fault-injected closed loop)",
+                &["metric", "value"],
+                &[
+                    vec!["ops".into(), format!("{}", c.ops)],
+                    vec!["degraded outcomes".into(), format!("{}", c.degraded)],
+                    vec!["deadline exceeded".into(), format!("{}", c.deadline_exceeded)],
+                    vec!["quarantined at end".into(), format!("{}", c.quarantined_at_end)],
+                    vec!["compactor restarts".into(), format!("{}", c.compactor_restarts)],
+                    vec!["inline compactions".into(), format!("{}", c.inline_compactions)],
+                    vec!["healthy p99 (ms)".into(), format!("{:.3}", c.healthy_p99_ms)],
+                    vec!["faulted p99 (ms)".into(), format!("{:.3}", c.faulted_p99_ms)],
+                    vec!["recovered p99 (ms)".into(), format!("{:.3}", c.recovered_p99_ms)],
+                ],
+            );
+        }
         serve_bench::write_json(&r, std::path::Path::new(&out));
         println!("\nwrote {out}");
     });

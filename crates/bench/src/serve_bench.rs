@@ -15,6 +15,13 @@
 //! Results are written to `BENCH_serve.json`. The committed file is a
 //! small-scale baseline from the fixed benchmark machine; the CI smoke job
 //! regenerates tiny-scale numbers per PR.
+//!
+//! With `--features failpoints` the report additionally carries a
+//! `chaos` block: a fault-injecting closed loop (probabilistic scan
+//! panics, rank errors, and compaction faults racing concurrent writes)
+//! measuring degraded-mode behavior — how many queries degraded, what
+//! the tail looked like under faults, and whether recovery restored the
+//! healthy tail. Without the feature the block is `null`.
 
 use af_core::pipeline::{AutoFormula, PipelineVariant};
 use af_core::{index::IndexOptions, AutoFormulaConfig};
@@ -81,6 +88,36 @@ pub struct ServeBenchReport {
     /// much the sharded delta write path improves tail latency under
     /// mixed read/write load.
     pub mixed_p99_speedup: f64,
+    /// Degraded-mode probe (`--features failpoints` builds only).
+    pub chaos: Option<ChaosReport>,
+}
+
+/// Numbers from the fault-injecting closed loop: queries served while
+/// probabilistic faults (scan panics, rank errors, compaction failures)
+/// race concurrent writes, then again after faults clear and shards
+/// recover.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Queries issued under fault injection. Every one returned an
+    /// outcome — the loop would have panicked otherwise.
+    pub ops: usize,
+    /// Outcomes flagged degraded (shard skipped, candidate dropped, or
+    /// deadline cut).
+    pub degraded: usize,
+    /// Outcomes whose per-query deadline expired.
+    pub deadline_exceeded: usize,
+    /// Shards quarantined when the storm ended (before recovery).
+    pub quarantined_at_end: usize,
+    /// Compactor supervision incidents during the storm.
+    pub compactor_restarts: u64,
+    /// Writes that fell back to inline compaction during the storm.
+    pub inline_compactions: u64,
+    /// Query p99 before any fault was armed.
+    pub healthy_p99_ms: f64,
+    /// Query p99 while faults were firing (degraded answers included).
+    pub faulted_p99_ms: f64,
+    /// Query p99 after `clear` + `recover_shard` — the recovery check.
+    pub recovered_p99_ms: f64,
 }
 
 /// Latencies from one mixed read/write run: `MIXED_THREADS` closed-loop
@@ -126,8 +163,8 @@ fn mixed_load(
                             let (si, at) = targets[(t + op) % targets.len()];
                             let sheet = &org.workbooks[holdout].sheets[si];
                             let q = Instant::now();
-                            let pred = handle.predict_with(sheet, at, PipelineVariant::Full);
-                            std::hint::black_box(&pred);
+                            let outcome = handle.predict_with(sheet, at, PipelineVariant::Full);
+                            std::hint::black_box(&outcome);
                             reads.push(q.elapsed().as_secs_f64() * 1e3);
                         }
                     }
@@ -155,6 +192,122 @@ fn mixed_load(
         reads: read_ms.len(),
         adds: add_ms.len(),
     }
+}
+
+/// The fault-injecting closed loop (only built with `failpoints`): serve
+/// a sharded handle with small deltas, arm probabilistic faults, run a
+/// multi-threaded read loop against concurrent writes, then clear the
+/// faults, recover every shard, and re-measure.
+#[cfg(feature = "failpoints")]
+fn chaos_probe(
+    artifact: &bytes::Bytes,
+    org: &af_corpus::OrgCorpus,
+    targets: &[(usize, CellRef)],
+) -> Option<ChaosReport> {
+    use af_core::failpoint::{self, FailAction};
+    let holdout = org.workbooks.len() - 1;
+    let (mut af, index) =
+        AutoFormula::load_bytes_artifact(artifact.clone()).expect("artifact loads");
+    af.model.cfg.n_shards = MIXED_SHARDS;
+    af.model.cfg.delta_max_sheets = 2;
+    let handle = ServeHandle::new(af, index);
+
+    let run_queries = |tag: &str| -> Vec<f64> {
+        let mut ms = Vec::new();
+        for round in 0..2 {
+            for &(si, at) in targets {
+                let sheet = &org.workbooks[holdout].sheets[si];
+                let q = Instant::now();
+                let o = handle.predict_with(sheet, at, PipelineVariant::Full);
+                std::hint::black_box(&o);
+                ms.push(q.elapsed().as_secs_f64() * 1e3);
+                std::hint::black_box((tag, round));
+            }
+        }
+        ms.sort_by(|a, b| a.total_cmp(b));
+        ms
+    };
+    let healthy = run_queries("healthy");
+    let stats_before = handle.stats();
+
+    // Injected panics print through the panic hook; silence it while the
+    // storm runs (the hook is process-global — restore on the way out).
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    failpoint::seed(0xBE4C_4A05);
+    failpoint::configure("serve::shard_scan", FailAction::Panic, 0.02);
+    failpoint::configure("serve::region_rank", FailAction::Error, 0.05);
+    failpoint::configure("serve::compact", FailAction::Error, 0.50);
+
+    let mut faulted: Vec<f64> = Vec::new();
+    let mut ops = 0usize;
+    let mut degraded = 0usize;
+    let mut deadline_hit = 0usize;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..MIXED_THREADS)
+            .map(|t| {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let mut ms = Vec::new();
+                    let mut deg = 0usize;
+                    let mut ddl = 0usize;
+                    for op in 0..MIXED_OPS_PER_THREAD {
+                        if op % MIXED_ADD_EVERY == MIXED_ADD_EVERY - 1 {
+                            let wb = &org.workbooks[(t + op) % org.workbooks.len()];
+                            handle.add_workbook(wb);
+                        } else {
+                            let (si, at) = targets[(t + op) % targets.len()];
+                            let sheet = &org.workbooks[holdout].sheets[si];
+                            let q = Instant::now();
+                            let o = handle.predict_with(sheet, at, PipelineVariant::Full);
+                            ms.push(q.elapsed().as_secs_f64() * 1e3);
+                            deg += o.degraded as usize;
+                            ddl += o.deadline_exceeded as usize;
+                        }
+                    }
+                    (ms, deg, ddl)
+                })
+            })
+            .collect();
+        for w in workers {
+            let (ms, deg, ddl) = w.join().expect("chaos worker");
+            ops += ms.len();
+            degraded += deg;
+            deadline_hit += ddl;
+            faulted.extend(ms);
+        }
+    });
+    faulted.sort_by(|a, b| a.total_cmp(b));
+    let quarantined_at_end = handle.quarantined().len();
+
+    failpoint::clear_all();
+    std::panic::set_hook(hook);
+    for shard in 0..handle.n_shards() {
+        handle.recover_shard(shard);
+    }
+    let recovered = run_queries("recovered");
+    let stats_after = handle.stats();
+
+    Some(ChaosReport {
+        ops,
+        degraded,
+        deadline_exceeded: deadline_hit,
+        quarantined_at_end,
+        compactor_restarts: stats_after.compactor_restarts - stats_before.compactor_restarts,
+        inline_compactions: stats_after.inline_compactions - stats_before.inline_compactions,
+        healthy_p99_ms: percentile(&healthy, 0.99),
+        faulted_p99_ms: percentile(&faulted, 0.99),
+        recovered_p99_ms: percentile(&recovered, 0.99),
+    })
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn chaos_probe(
+    _artifact: &bytes::Bytes,
+    _org: &af_corpus::OrgCorpus,
+    _targets: &[(usize, CellRef)],
+) -> Option<ChaosReport> {
+    None
 }
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -225,8 +378,8 @@ pub fn measure() -> ServeBenchReport {
     for &(si, at) in &targets {
         let sheet = &org.workbooks[holdout].sheets[si];
         let t = Instant::now();
-        let pred = handle.predict_with(sheet, at, PipelineVariant::Full);
-        std::hint::black_box(&pred);
+        let outcome = handle.predict_with(sheet, at, PipelineVariant::Full);
+        std::hint::black_box(&outcome);
         seq_ms.push(t.elapsed().as_secs_f64() * 1e3);
     }
     seq_ms.sort_by(|a, b| a.total_cmp(b));
@@ -250,8 +403,8 @@ pub fn measure() -> ServeBenchReport {
                             let (si, at) = targets[(qi + t + round) % targets.len()];
                             let sheet = &org.workbooks[org.workbooks.len() - 1].sheets[si];
                             let q = Instant::now();
-                            let pred = handle.predict_with(sheet, at, PipelineVariant::Full);
-                            std::hint::black_box(&pred);
+                            let outcome = handle.predict_with(sheet, at, PipelineVariant::Full);
+                            std::hint::black_box(&outcome);
                             ms.push(q.elapsed().as_secs_f64() * 1e3);
                         }
                     }
@@ -295,6 +448,9 @@ pub fn measure() -> ServeBenchReport {
     drop(sharded_handle);
     let mixed_p99_speedup = mixed_baseline.mixed_p99_ms / mixed_sharded.mixed_p99_ms.max(1e-9);
 
+    // Degraded-mode probe — a no-op `None` unless built with `failpoints`.
+    let chaos = chaos_probe(&artifact, &org, &targets);
+
     ServeBenchReport {
         scale: scale_name(scale),
         threads,
@@ -316,6 +472,37 @@ pub fn measure() -> ServeBenchReport {
         mixed_sharded,
         mixed_shards: MIXED_SHARDS,
         mixed_p99_speedup,
+        chaos,
+    }
+}
+
+fn chaos_json(c: &Option<ChaosReport>) -> String {
+    match c {
+        None => "null".to_string(),
+        Some(c) => format!(
+            concat!(
+                "{{\n",
+                "    \"ops\": {},\n",
+                "    \"degraded\": {},\n",
+                "    \"deadline_exceeded\": {},\n",
+                "    \"quarantined_at_end\": {},\n",
+                "    \"compactor_restarts\": {},\n",
+                "    \"inline_compactions\": {},\n",
+                "    \"healthy_p99_ms\": {:.3},\n",
+                "    \"faulted_p99_ms\": {:.3},\n",
+                "    \"recovered_p99_ms\": {:.3}\n",
+                "  }}"
+            ),
+            c.ops,
+            c.degraded,
+            c.deadline_exceeded,
+            c.quarantined_at_end,
+            c.compactor_restarts,
+            c.inline_compactions,
+            c.healthy_p99_ms,
+            c.faulted_p99_ms,
+            c.recovered_p99_ms,
+        ),
     }
 }
 
@@ -365,7 +552,8 @@ pub fn to_json(r: &ServeBenchReport) -> String {
             "  \"mixed_shards\": {},\n",
             "  \"mixed_baseline\": {},\n",
             "  \"mixed_sharded\": {},\n",
-            "  \"mixed_p99_speedup\": {:.2}\n",
+            "  \"mixed_p99_speedup\": {:.2},\n",
+            "  \"chaos\": {}\n",
             "}}\n"
         ),
         r.scale,
@@ -391,6 +579,7 @@ pub fn to_json(r: &ServeBenchReport) -> String {
         mixed_json(&r.mixed_baseline),
         mixed_json(&r.mixed_sharded),
         r.mixed_p99_speedup,
+        chaos_json(&r.chaos),
     )
 }
 
@@ -450,12 +639,34 @@ mod tests {
             },
             mixed_shards: 4,
             mixed_p99_speedup: 5.0,
+            chaos: None,
         };
         let json = to_json(&r);
         assert!(json.contains("\"artifact_bytes\": 1234"));
         assert!(json.contains("\"load_speedup\": 20.0"));
         assert!(json.contains("\"mixed_p99_speedup\": 5.00"));
         assert!(json.contains("\"mixed_shards\": 4"));
+        assert!(json.contains("\"chaos\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let with_chaos = ServeBenchReport {
+            chaos: Some(ChaosReport {
+                ops: 640,
+                degraded: 37,
+                deadline_exceeded: 4,
+                quarantined_at_end: 1,
+                compactor_restarts: 6,
+                inline_compactions: 2,
+                healthy_p99_ms: 2.0,
+                faulted_p99_ms: 5.0,
+                recovered_p99_ms: 2.1,
+            }),
+            ..r
+        };
+        let json = to_json(&with_chaos);
+        assert!(json.contains("\"degraded\": 37"));
+        assert!(json.contains("\"compactor_restarts\": 6"));
+        assert!(json.contains("\"recovered_p99_ms\": 2.100"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

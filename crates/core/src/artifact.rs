@@ -449,6 +449,9 @@ fn decode_config(
         },
         n_shards: if version >= 3 { get_u64(data, W)? as usize } else { 1 },
         delta_max_sheets: if version >= 3 { get_u64(data, W)? as usize } else { 64 },
+        // Runtime serving knob, deliberately not on the wire (the v3
+        // layout is pinned by PR-6 artifacts): loads get the default.
+        backpressure_factor: 4,
     };
     // Positive and sane: a bit-flipped length field must be rejected here,
     // before the model constructor turns it into a giant allocation.
@@ -798,6 +801,45 @@ fn decode_index(
 
 // ---------------------------------------------------------- save and load
 
+/// Write `bytes` to `path` atomically: a temporary file in the same
+/// directory (same filesystem, so the final `rename(2)` is atomic) takes
+/// the full write and an `fsync`, then replaces `path` in one step. On any
+/// error the temporary is removed and `path` is left exactly as it was —
+/// a process killed mid-save never publishes a torn artifact.
+///
+/// The `core::artifact_save` failpoint sits between two halves of the
+/// write so the chaos suite can kill a save mid-file and assert the old
+/// artifact still loads.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
+    use std::io::Write;
+    let io_err = |e: std::io::Error| ArtifactError::Io(e.to_string());
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact.afar");
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    // Any failure from here on removes the temporary before returning.
+    let write_all = |tmp: &Path| -> Result<(), ArtifactError> {
+        let mut f = std::fs::File::create(tmp).map_err(io_err)?;
+        let half = bytes.len() / 2;
+        f.write_all(&bytes[..half]).map_err(io_err)?;
+        crate::fail_point!("core::artifact_save", |e: crate::failpoint::Injected| Err(
+            ArtifactError::Io(e.to_string())
+        ));
+        f.write_all(&bytes[half..]).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+        Ok(())
+    };
+    match write_all(&tmp) {
+        Ok(()) => std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            io_err(e)
+        }),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 impl AutoFormula {
     /// Serialize the whole serving state — config, featurizer vocabulary,
     /// model weights, and the reference index with all its provenance —
@@ -899,6 +941,30 @@ impl AutoFormula {
         Ok(buf.freeze())
     }
 
+    /// [`AutoFormula::save`] straight to a file, atomically: bytes are
+    /// written to a temporary file *in the target directory* and renamed
+    /// into place, so a crash (or injected fault) mid-write can never
+    /// leave a torn `.afar` at `path` — readers see the old artifact or
+    /// the new one, nothing in between. This is the write half of the
+    /// "replace artifact files by rename, never in place" contract that
+    /// [`AutoFormula::load_mmap`] relies on.
+    pub fn save_to_path(&self, index: &ReferenceIndex, path: &Path) -> Result<(), ArtifactError> {
+        self.save_to_path_with(index, StoreOptions::default(), None, path)
+    }
+
+    /// [`AutoFormula::save_to_path`] with explicit storage options and an
+    /// optional serving shard layout (see [`AutoFormula::save_sharded`]).
+    pub fn save_to_path_with(
+        &self,
+        index: &ReferenceIndex,
+        opts: StoreOptions,
+        layout: Option<&ShardLayout>,
+        path: &Path,
+    ) -> Result<(), ArtifactError> {
+        let bytes = self.save_sharded(index, opts, layout)?;
+        write_atomic(path, &bytes)
+    }
+
     /// Rebuild a complete serving state from an artifact produced by
     /// [`AutoFormula::save`] (either format version). The returned system
     /// and index reproduce the in-memory pipeline's predictions exactly
@@ -944,6 +1010,9 @@ impl AutoFormula {
     pub fn load_bytes_sharded(
         data: Bytes,
     ) -> Result<(AutoFormula, ReferenceIndex, Option<ShardLayout>), ArtifactError> {
+        crate::fail_point!("core::artifact_load", |e: crate::failpoint::Injected| Err(
+            ArtifactError::Io(e.to_string())
+        ));
         let mut head = data;
         if get_u32(&mut head, "magic")? != MAGIC {
             return Err(ArtifactError::BadMagic);

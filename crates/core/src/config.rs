@@ -106,6 +106,15 @@ pub struct AutoFormulaConfig {
     /// delta segments entirely: every `add_workbook` grows the base
     /// synchronously (the pre-shard behavior — O(shard) per write).
     pub delta_max_sheets: usize,
+    /// Write-path backpressure: when a shard's delta reaches
+    /// `delta_max_sheets * backpressure_factor` sheets — the background
+    /// compactor is wedged or can't keep up — `add_workbook` folds the
+    /// delta into the base *inline* (synchronous O(shard) compaction)
+    /// instead of letting the delta grow without bound and regress every
+    /// query on that shard toward the O(corpus) scan. `0` disables the
+    /// fallback (deltas may grow unboundedly while the compactor is down).
+    /// Not persisted in artifacts — a runtime serving knob.
+    pub backpressure_factor: usize,
 }
 
 impl Default for AutoFormulaConfig {
@@ -134,6 +143,7 @@ impl Default for AutoFormulaConfig {
             ann_backend: AnnBackend::Flat,
             n_shards: 1,
             delta_max_sheets: 64,
+            backpressure_factor: 4,
         }
     }
 }

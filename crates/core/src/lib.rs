@@ -19,6 +19,7 @@
 pub mod artifact;
 pub mod config;
 pub mod embedder;
+pub mod failpoint;
 pub mod features;
 pub mod index;
 pub mod model;
@@ -33,5 +34,5 @@ pub use config::{AnnBackend, AutoFormulaConfig};
 pub use embedder::{SheetEmbedder, SheetEmbedding};
 pub use index::{ReferenceIndex, SheetKey, SheetMeta};
 pub use model::RepresentationModel;
-pub use pipeline::{AutoFormula, Prediction};
+pub use pipeline::{AutoFormula, PredictOptions, Prediction};
 pub use training::{train_model, TrainReport, TrainingOptions};

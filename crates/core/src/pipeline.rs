@@ -13,9 +13,10 @@ use af_formula::{parse_formula, Template};
 use af_grid::{CellRef, Sheet, Workbook};
 
 /// Pipeline ablation variants (Fig. 14).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum PipelineVariant {
     /// Coarse model for S1, fine model for S2/S3 (the full system).
+    #[default]
     Full,
     /// Coarse model everywhere: S1 as usual; S2 compares *coarse* region
     /// embeddings (translation-blurred); S3 degrades to pure offset
@@ -24,6 +25,37 @@ pub enum PipelineVariant {
     /// Fine model everywhere: S1 uses fine top-left signatures (shift-
     /// sensitive and 40× larger vectors); S2/S3 as usual.
     FineOnly,
+}
+
+/// Per-query serving options: which pipeline variant to run and an
+/// optional wall-clock deadline.
+///
+/// The deadline is checked by deadline-aware callers (`af-serve`'s
+/// scatter-gather path) between per-shard scans and between the S1/S2/S3
+/// stages: once it passes, remaining work is skipped and the query returns
+/// a best-effort answer from whatever completed, flagged as degraded. The
+/// direct (unsharded) pipeline entry points ignore it — they have no
+/// between-stage yield points worth the check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PredictOptions {
+    /// Pipeline ablation variant (default: [`PipelineVariant::Full`]).
+    pub variant: PipelineVariant,
+    /// Give up on work not yet started once this instant passes.
+    /// `None` (the default) never expires.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl PredictOptions {
+    /// Options for `variant` with no deadline.
+    pub fn with_variant(variant: PipelineVariant) -> PredictOptions {
+        PredictOptions { variant, deadline: None }
+    }
+
+    /// Set a deadline this many milliseconds from now.
+    pub fn deadline_in_ms(mut self, ms: u64) -> PredictOptions {
+        self.deadline = Some(std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        self
+    }
 }
 
 /// A predicted formula with its provenance and confidence.

@@ -1,0 +1,69 @@
+//! Atomic artifact writes: `write_atomic` / `AutoFormula::save_to_path`
+//! must land complete bytes via temp-file + rename, overwrite cleanly,
+//! and leave no litter. The fault-injected half of this contract (a save
+//! killed halfway leaves the *previous* artifact loadable) lives in the
+//! `af-serve` chaos suite behind `--features failpoints`.
+
+use af_core::artifact::write_atomic;
+use af_core::index::IndexOptions;
+use af_core::model::RepresentationModel;
+use af_core::pipeline::AutoFormula;
+use af_core::AutoFormulaConfig;
+use af_corpus::organization::{OrgSpec, Scale};
+use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("af_atomic_{tag}_{}.afar", std::process::id()));
+    p
+}
+
+fn no_temp_litter(path: &std::path::Path) {
+    let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+    for entry in std::fs::read_dir(path.parent().unwrap()).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(!name.contains(&format!(".{stem}.tmp")), "temp file left behind: {name}");
+    }
+}
+
+#[test]
+fn write_atomic_creates_and_overwrites_exact_bytes() {
+    let path = temp_path("bytes");
+    write_atomic(&path, b"first artifact contents").unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), b"first artifact contents");
+    // Overwrite goes through the same temp + rename and fully replaces.
+    write_atomic(&path, b"second, longer artifact contents entirely").unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), b"second, longer artifact contents entirely");
+    no_temp_litter(&path);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn write_atomic_to_unwritable_directory_reports_io_error() {
+    let err = write_atomic(std::path::Path::new("/no/such/dir/artifact.afar"), b"x");
+    assert!(err.is_err(), "missing directory must surface as a typed error");
+}
+
+#[test]
+fn save_to_path_round_trips_through_mmap_load() {
+    let corpus = OrgSpec::pge(Scale::Tiny).generate();
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+    let cfg = AutoFormulaConfig::test_tiny();
+    let af = AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer);
+    let members: Vec<usize> = (0..2).collect();
+    let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+
+    let path = temp_path("roundtrip");
+    af.save_to_path(&index, &path).unwrap();
+    // The on-disk artifact is byte-identical to the in-memory encoding …
+    assert_eq!(std::fs::read(&path).unwrap(), af.save(&index).to_vec());
+    // … and loads back to the same index shape.
+    let (_, loaded) = AutoFormula::load_mmap(&path).unwrap();
+    assert_eq!(loaded.n_sheets(), index.n_sheets());
+    assert_eq!(loaded.n_regions(), index.n_regions());
+    drop(loaded); // release the mapping before unlinking
+    no_temp_litter(&path);
+    std::fs::remove_file(&path).unwrap();
+}

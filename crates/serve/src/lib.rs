@@ -35,9 +35,28 @@
 //!   [`ServeHandle::to_artifact`] merges the current serving state —
 //!   including workbooks added since load — back into one global-order
 //!   artifact plus its shard layout (format v3).
+//! * **Graceful degradation.** Every per-segment scan runs under
+//!   `catch_unwind`: a shard that panics is quarantined (skipped by
+//!   queries until [`ServeHandle::recover_shard`]) while the healthy
+//!   shards keep answering. [`ServeHandle::predict_with`] returns a
+//!   [`ServeOutcome`] — the prediction plus `degraded` /
+//!   `shards_skipped` / `deadline_exceeded` flags — so callers can tell a
+//!   full answer from a partial one. Per-query deadlines
+//!   ([`PredictOptions::deadline`]) are checked between shard scans and
+//!   between the S1/S2/S3 stages and return best-effort results from
+//!   whatever completed. The background compactor is supervised: after a
+//!   panic or injected error it restarts with capped exponential backoff
+//!   ([`ServeStats::compactor_restarts`] counts incidents), and if a
+//!   wedged compactor lets a delta reach `delta_max_sheets ×
+//!   backpressure_factor`, the write path falls back to synchronous
+//!   inline compaction instead of unbounded delta growth. Fault injection
+//!   for all of this lives behind the `failpoints` cargo feature
+//!   (`af_core::failpoint`).
 //!
 //! See `ARCHITECTURE.md` at the repository root for the full design,
-//! including the epoch-swap protocol and the bit-identity argument.
+//! including the epoch-swap protocol, the bit-identity argument, and the
+//! failure model (quarantine state machine, deadline semantics, compactor
+//! backoff).
 //!
 //! # Examples
 //!
@@ -66,17 +85,19 @@
 #![warn(missing_docs)]
 
 use af_ann::{merge_neighbors, Neighbor};
-use af_core::artifact::{ArtifactError, ShardLayout, StoreOptions};
+use af_core::artifact::{write_atomic, ArtifactError, ShardLayout, StoreOptions};
 use af_core::config::{AnnBackend, AutoFormulaConfig};
+use af_core::fail_point;
 use af_core::features::WindowOrigin;
 use af_core::index::{coarse_window, ReferenceIndex, SheetKey, SheetMeta};
-use af_core::pipeline::{AutoFormula, PipelineVariant, Prediction};
+use af_core::pipeline::{AutoFormula, PipelineVariant, PredictOptions, Prediction};
 use af_core::SheetEmbedding;
 use af_grid::{CellRef, Sheet, Workbook};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -265,8 +286,25 @@ impl ShardState {
     }
 }
 
+/// Mutable health of one serving shard, shared between the handle and
+/// every snapshot that references the shard. The flag is sticky: once a
+/// query (or an operator) quarantines a shard, it stays excluded from the
+/// read path until an explicit [`ServeHandle::recover_shard`] — automatic
+/// un-quarantine would re-expose readers to a shard that just proved it
+/// can panic.
+struct ShardHealth {
+    /// Quarantined shards are skipped by `predict*` (queries report them
+    /// in [`ServeOutcome::shards_skipped`]). Writes and compaction still
+    /// proceed — the data is intact; it is the *scan* that misbehaved.
+    quarantined: AtomicBool,
+    /// Epoch current when the quarantine was imposed (observability: how
+    /// stale is the operator's picture of this shard).
+    since_epoch: AtomicU64,
+}
+
 struct Shard {
     state: LeftRight<ShardState>,
+    health: Arc<ShardHealth>,
 }
 
 /// Monotonic serving counters, all updated with relaxed atomics — they
@@ -280,6 +318,18 @@ struct Counters {
     snapshots: AtomicU64,
     /// Successful `add_workbook` publishes.
     adds: AtomicU64,
+    /// Queries that returned a degraded [`ServeOutcome`].
+    degraded_queries: AtomicU64,
+    /// Queries whose deadline expired before the pipeline finished.
+    deadline_exceeded: AtomicU64,
+    /// Shard quarantine impositions (recoveries do not decrement).
+    quarantine_events: AtomicU64,
+    /// Compactor supervision incidents: each panic or injected error that
+    /// forced a backoff-and-restart of the compaction loop.
+    compactor_restarts: AtomicU64,
+    /// Writes that fell back to synchronous inline compaction because the
+    /// delta hit the backpressure threshold.
+    inline_compactions: AtomicU64,
 }
 
 /// A point-in-time view of a [`ServeHandle`]'s health: which epoch is
@@ -301,6 +351,57 @@ pub struct ServeStats {
     pub snapshots_acquired: u64,
     /// Workbooks incrementally indexed since startup.
     pub workbooks_added: u64,
+    /// Shards currently quarantined (a gauge: [`ServeHandle::recover_shard`]
+    /// brings it back down; every other new counter here is monotonic).
+    pub quarantined_shards: u64,
+    /// Queries answered degraded — a shard skipped, a candidate dropped,
+    /// or a deadline cut the pipeline short.
+    pub degraded_queries: u64,
+    /// Queries whose [`PredictOptions::deadline`] expired mid-pipeline.
+    pub deadline_exceeded: u64,
+    /// Compactor supervision incidents (panic or injected error, each
+    /// followed by a capped-exponential-backoff restart of the loop).
+    pub compactor_restarts: u64,
+    /// Writes that compacted inline because the shard's delta reached the
+    /// backpressure threshold (`delta_max_sheets × backpressure_factor`).
+    pub inline_compactions: u64,
+}
+
+/// A shard currently excluded from the read path, as reported by
+/// [`ServeHandle::quarantined`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedShard {
+    /// Index of the shard (0-based, `< n_shards`).
+    pub shard: usize,
+    /// Epoch at the moment the quarantine was imposed.
+    pub since_epoch: u64,
+}
+
+/// The result of one deadline-aware, degradation-aware prediction: what
+/// [`ServeHandle::predict_with`] and [`ServeHandle::predict_batch_with`]
+/// return. A non-degraded outcome is bit-identical to the PR-6 pipeline;
+/// a degraded one is the best effort of whatever completed — the flags
+/// say what was missing so callers can retry, alert, or serve partial.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The prediction, if any segment produced an adaptable reference.
+    /// `None` on a degraded outcome means "nothing survived", not
+    /// "confidently no recommendation".
+    pub prediction: Option<Prediction>,
+    /// True when anything was skipped: a quarantined shard, a dropped
+    /// candidate, or a deadline cut. `false` guarantees the full
+    /// scatter-gather ran over every shard.
+    pub degraded: bool,
+    /// Shards excluded from this query (already quarantined at the start,
+    /// plus any quarantined mid-query by a caught panic).
+    pub shards_skipped: usize,
+    /// S1 candidates dropped without S2 ranking (their segment vanished
+    /// mid-query or their id failed to resolve — the torn-id path that
+    /// used to panic).
+    pub candidates_dropped: usize,
+    /// The query's deadline expired before the pipeline finished; the
+    /// prediction (if any) came from the stages that completed in time.
+    pub deadline_exceeded: bool,
 }
 
 struct Shared {
@@ -315,10 +416,17 @@ struct Shared {
     /// Next global sheet id. Allocated under the owning shard's writer
     /// lock, so globals are strictly ascending *within* every shard.
     next_global: AtomicUsize,
-    counters: Counters,
+    /// Shared with every snapshot so degradation/deadline accounting
+    /// happens where the outcome is computed.
+    counters: Arc<Counters>,
     /// Delta capacity before compaction is signalled; `0` disables deltas
     /// (writes grow the base synchronously — the pre-shard behavior).
     delta_max: usize,
+    /// Inline-compaction threshold: when a delta reaches
+    /// `delta_max × backpressure_factor` sheets the write path stops
+    /// waiting for the (evidently wedged) compactor and folds the delta
+    /// itself. `None` disables the fallback.
+    backpressure_at: Option<usize>,
     /// The config delta segments are built with (`Flat` backend — exact).
     delta_cfg: AutoFormulaConfig,
     /// Wakes the compactor with the index of a shard whose delta is full.
@@ -330,23 +438,47 @@ impl Shared {
     /// Fold `shard`'s delta into its base and publish the compacted state.
     /// Runs on the compactor thread; holds the shard's writer lock for the
     /// duration (an `add_workbook` targeting this shard waits, others
-    /// proceed).
-    fn compact(&self, shard: usize) {
+    /// proceed). An `Err` is only ever an injected fault (the
+    /// `serve::compact` failpoint); the supervisor treats it like a panic.
+    fn compact(&self, shard: usize) -> Result<(), af_core::failpoint::Injected> {
         let cell = &self.shards[shard].state;
         let guard = cell.writer.lock();
         let cur = cell.read();
         // Re-check under the lock: a racing compaction signal may already
         // have been served.
         if cur.delta.n_sheets() < self.delta_max.max(1) {
-            return;
+            return Ok(());
         }
+        // The failpoint sits before any cloning so an injected panic or
+        // error leaves the published state untouched (the writer lock
+        // unlocks on unwind; parking_lot mutexes do not poison).
+        fail_point!("serve::compact", Err);
         let mut base = (*cur.base).clone();
         base.absorb(&cur.delta);
         let mut globals = (*cur.base_globals).clone();
         globals.extend_from_slice(&cur.delta_globals);
         cell.publish(Arc::new(ShardState::sealed(base, globals, &self.delta_cfg)));
         drop(guard);
+        Ok(())
     }
+
+    fn quarantine(&self, shard: usize) {
+        quarantine(&self.shards[shard].health, self.epoch.load(ORD), &self.counters);
+    }
+}
+
+/// Impose quarantine on one shard (idempotent; only the first imposition
+/// records the epoch and counts an event).
+fn quarantine(health: &ShardHealth, epoch: u64, counters: &Counters) {
+    if !health.quarantined.swap(true, ORD) {
+        health.since_epoch.store(epoch, ORD);
+        counters.quarantine_events.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Has this query's deadline passed?
+fn past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 // ------------------------------------------------------------- snapshot
@@ -361,6 +493,12 @@ pub struct Snapshot {
     /// Epoch at acquisition (the number of `add_workbook` publishes).
     pub epoch: u64,
     shards: Vec<Arc<ShardState>>,
+    /// Live health flags, shared with the handle: a quarantine imposed
+    /// through one snapshot is immediately visible to every other reader.
+    health: Vec<Arc<ShardHealth>>,
+    /// Shared serving counters — query/degradation accounting happens
+    /// where the outcome is computed.
+    counters: Arc<Counters>,
 }
 
 /// One scannable segment of a snapshot: a shard's base or delta index,
@@ -368,17 +506,21 @@ pub struct Snapshot {
 struct Segment<'a> {
     index: &'a ReferenceIndex,
     globals: &'a [usize],
+    shard: usize,
 }
 
 impl Snapshot {
+    /// Every non-empty segment, quarantined shards included — persistence
+    /// ([`Snapshot::keys`], [`Snapshot::merged`]) must never lose a
+    /// quarantined shard's data; only the query path excludes them.
     fn segments(&self) -> Vec<Segment<'_>> {
         let mut v = Vec::with_capacity(self.shards.len() * 2);
-        for st in self.shards.iter() {
+        for (shard, st) in self.shards.iter().enumerate() {
             if st.base.n_sheets() > 0 {
-                v.push(Segment { index: &st.base, globals: &st.base_globals });
+                v.push(Segment { index: &st.base, globals: &st.base_globals, shard });
             }
             if st.delta.n_sheets() > 0 {
-                v.push(Segment { index: &st.delta, globals: &st.delta_globals });
+                v.push(Segment { index: &st.delta, globals: &st.delta_globals, shard });
             }
         }
         v
@@ -386,15 +528,28 @@ impl Snapshot {
 
     /// The segment owning `global`, plus the segment-local sheet id.
     fn locate(&self, global: usize) -> Option<(Segment<'_>, usize)> {
-        for st in self.shards.iter() {
+        for (shard, st) in self.shards.iter().enumerate() {
             if let Ok(local) = st.base_globals.binary_search(&global) {
-                return Some((Segment { index: &st.base, globals: &st.base_globals }, local));
+                return Some((
+                    Segment { index: &st.base, globals: &st.base_globals, shard },
+                    local,
+                ));
             }
             if let Ok(local) = st.delta_globals.binary_search(&global) {
-                return Some((Segment { index: &st.delta, globals: &st.delta_globals }, local));
+                return Some((
+                    Segment { index: &st.delta, globals: &st.delta_globals, shard },
+                    local,
+                ));
             }
         }
         None
+    }
+
+    /// Quarantine `shard` (sticky; cleared only by
+    /// [`ServeHandle::recover_shard`]). Shared with the handle, so every
+    /// subsequent query — through any snapshot — skips the shard.
+    fn quarantine(&self, shard: usize) {
+        quarantine(&self.health[shard], self.epoch, &self.counters);
     }
 
     /// Sheets indexed in this snapshot, across every shard and segment.
@@ -405,6 +560,12 @@ impl Snapshot {
     /// Formula regions indexed in this snapshot.
     pub fn n_regions(&self) -> usize {
         self.shards.iter().map(|s| s.n_regions()).sum()
+    }
+
+    /// Sheets currently sitting in delta segments (not yet compacted),
+    /// across every shard. Observability for the backpressure path.
+    pub fn n_delta_sheets(&self) -> usize {
+        self.shards.iter().map(|s| s.delta.n_sheets()).sum()
     }
 
     /// Provenance keys of every indexed sheet, in global sheet-id order.
@@ -421,10 +582,12 @@ impl Snapshot {
 
     /// Name and dimensions of an indexed sheet, by *global* sheet id (as
     /// returned in [`Prediction::reference_sheet_idx`] and by
-    /// [`Snapshot::similar_sheets`]).
-    pub fn sheet_meta(&self, global: usize) -> &SheetMeta {
-        let (seg, local) = self.locate(global).expect("global sheet id not in this snapshot");
-        seg.index.sheet_meta(local)
+    /// [`Snapshot::similar_sheets`]). `None` when the id is not indexed in
+    /// this snapshot — a stale or corrupt id degrades the caller's one
+    /// lookup, never the whole process.
+    pub fn sheet_meta(&self, global: usize) -> Option<&SheetMeta> {
+        let (seg, local) = self.locate(global)?;
+        Some(seg.index.sheet_meta(local))
     }
 
     /// S1 across every shard: per-segment top-k, globalized and merged by
@@ -452,35 +615,100 @@ impl Snapshot {
         self.predict_with(sheet, target, PipelineVariant::Full).filter(|p| p.s2_distance <= theta)
     }
 
-    /// Predict without thresholding, any pipeline variant.
+    /// Predict without thresholding, any pipeline variant. The prediction
+    /// half of [`Snapshot::predict_outcome`], for callers that don't need
+    /// the degradation flags.
     pub fn predict_with(
         &self,
         sheet: &Sheet,
         target: CellRef,
         variant: PipelineVariant,
     ) -> Option<Prediction> {
+        self.predict_outcome(sheet, target, PredictOptions::with_variant(variant)).prediction
+    }
+
+    /// Predict without thresholding, with full control: pipeline variant
+    /// plus an optional per-query deadline. Returns the prediction and the
+    /// degradation flags ([`ServeOutcome`]).
+    pub fn predict_outcome(
+        &self,
+        sheet: &Sheet,
+        target: CellRef,
+        opts: PredictOptions,
+    ) -> ServeOutcome {
         let embedder = self.system.embedder();
-        let emb = embedder.embed_sheet(sheet, variant == PipelineVariant::FineOnly);
-        self.predict_prepared(&emb, sheet, target, variant)
+        let emb = embedder.embed_sheet(sheet, opts.variant == PipelineVariant::FineOnly);
+        self.predict_prepared(&emb, sheet, target, opts)
+    }
+
+    /// Bookkeeping shared by every exit of `predict_prepared`: count the
+    /// query, fold the skip/drop/deadline tallies into counters, and build
+    /// the outcome.
+    fn outcome(
+        &self,
+        prediction: Option<Prediction>,
+        excluded: &[bool],
+        candidates_dropped: usize,
+        deadline_exceeded: bool,
+    ) -> ServeOutcome {
+        let shards_skipped = excluded.iter().filter(|&&x| x).count();
+        let degraded = shards_skipped > 0 || candidates_dropped > 0 || deadline_exceeded;
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.counters.degraded_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        if deadline_exceeded {
+            self.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        }
+        ServeOutcome { prediction, degraded, shards_skipped, candidates_dropped, deadline_exceeded }
     }
 
     /// The sharded S1→S2→S3 pipeline, mirroring
     /// `AutoFormula::predict_prepared` exactly (same scan primitives, same
     /// tie order) with the sheet loop scattered across segments.
+    ///
+    /// Degradation discipline: every per-segment scan, per-candidate rank,
+    /// and per-region adapt runs under `catch_unwind`. A panic quarantines
+    /// the offending shard (sticky — see [`ShardHealth`]) and the query
+    /// continues over the survivors; the deadline is checked between
+    /// segments, between candidates, and between stages, returning the
+    /// best effort of whatever completed. On the healthy, deadline-free
+    /// path nothing is skipped and the result is bit-identical to the
+    /// unsharded pipeline.
     fn predict_prepared(
         &self,
         emb: &SheetEmbedding,
         sheet: &Sheet,
         target: CellRef,
-        variant: PipelineVariant,
-    ) -> Option<Prediction> {
+        opts: PredictOptions,
+    ) -> ServeOutcome {
+        let variant = opts.variant;
+        let deadline = opts.deadline;
         let cfg = self.system.cfg();
         let embedder = self.system.embedder();
         let segments = self.segments();
+        // Per-query shard exclusion, seeded from the sticky quarantine
+        // flags; a mid-query panic adds to it (and to the shared flags).
+        let mut excluded: Vec<bool> = self.health.iter().map(|h| h.quarantined.load(ORD)).collect();
+        let mut dropped = 0usize;
+        let mut deadline_hit = false;
 
         // ---- S1: scatter, globalize, merge ----
-        let candidates = merge_neighbors(
-            segments.iter().map(|seg| {
+        // Results are collected per segment (tagged with the owning shard)
+        // so a delta-segment panic can still retract its shard's base hits
+        // before the merge — a quarantined shard contributes nothing.
+        let mut per_seg: Vec<(usize, Vec<Neighbor>)> = Vec::with_capacity(segments.len());
+        for seg in &segments {
+            if excluded[seg.shard] {
+                continue;
+            }
+            if past(deadline) {
+                deadline_hit = true;
+                break;
+            }
+            type ScanResult = Result<Vec<Neighbor>, af_core::failpoint::Injected>;
+            let scanned = catch_unwind(AssertUnwindSafe(|| -> ScanResult {
+                fail_point!("serve::shard_scan", Err);
                 let hits = match variant {
                     PipelineVariant::FineOnly => {
                         let sig = emb.fine_topleft.as_ref().expect("signature computed");
@@ -490,12 +718,24 @@ impl Snapshot {
                     }
                     _ => seg.index.similar_sheets(&emb.coarse, cfg.k_sheets),
                 };
-                hits.into_iter().map(|n| Neighbor::new(seg.globals[n.id], n.dist)).collect()
-            }),
-            cfg.k_sheets,
-        );
+                Ok(hits.into_iter().map(|n| Neighbor::new(seg.globals[n.id], n.dist)).collect())
+            }));
+            match scanned {
+                Ok(Ok(hits)) => per_seg.push((seg.shard, hits)),
+                // Injected error: transient — skip the shard this query,
+                // no quarantine.
+                Ok(Err(_)) => excluded[seg.shard] = true,
+                // Panic: quarantine until an operator recovers the shard.
+                Err(_) => {
+                    self.quarantine(seg.shard);
+                    excluded[seg.shard] = true;
+                }
+            }
+        }
+        per_seg.retain(|&(shard, _)| !excluded[shard]);
+        let candidates = merge_neighbors(per_seg.into_iter().map(|(_, hits)| hits), cfg.k_sheets);
         if candidates.is_empty() {
-            return None;
+            return self.outcome(None, &excluded, dropped, deadline_hit);
         }
 
         // ---- S2: rank regions of the merged candidates ----
@@ -507,54 +747,104 @@ impl Snapshot {
             .then(|| coarse_window(&embedder, sheet, target));
         let mut ranked: Vec<(f32, usize, usize, usize, usize)> = Vec::new();
         for (s1_rank, cand) in candidates.iter().enumerate() {
-            let seg_idx = segments
-                .iter()
-                .position(|seg| seg.globals.binary_search(&cand.id).is_ok())
-                .expect("candidate came from a segment");
+            if past(deadline) {
+                deadline_hit = true;
+                break;
+            }
+            // Resolve the candidate's segment without panicking: an id
+            // that fails to resolve (the torn-id path) drops this one
+            // candidate, not the query.
+            let Some((seg_idx, local_sheet)) = segments.iter().enumerate().find_map(|(i, seg)| {
+                seg.globals.binary_search(&cand.id).ok().map(|local| (i, local))
+            }) else {
+                dropped += 1;
+                continue;
+            };
             let seg = &segments[seg_idx];
-            let local_sheet = seg.globals.binary_search(&cand.id).expect("checked above");
-            for (ordinal, &rid) in seg.index.regions_of_sheet(local_sheet).iter().enumerate() {
-                let d = match variant {
-                    PipelineVariant::CoarseOnly => seg
-                        .index
-                        .coarse_region_distance(rid, target_coarse.as_ref().expect("computed"))
-                        .unwrap_or_else(|| seg.index.region_distance(rid, &target_fine)),
-                    _ => seg.index.region_distance(rid, &target_fine),
-                };
-                ranked.push((d, s1_rank, ordinal, seg_idx, rid));
+            if excluded[seg.shard] {
+                dropped += 1;
+                continue;
+            }
+            type RankResult =
+                Result<Vec<(f32, usize, usize, usize, usize)>, af_core::failpoint::Injected>;
+            let rows = catch_unwind(AssertUnwindSafe(|| -> RankResult {
+                fail_point!("serve::region_rank", Err);
+                let mut rows = Vec::new();
+                for (ordinal, &rid) in seg.index.regions_of_sheet(local_sheet).iter().enumerate() {
+                    let d = match variant {
+                        PipelineVariant::CoarseOnly => seg
+                            .index
+                            .coarse_region_distance(rid, target_coarse.as_ref().expect("computed"))
+                            .unwrap_or_else(|| seg.index.region_distance(rid, &target_fine)),
+                        _ => seg.index.region_distance(rid, &target_fine),
+                    };
+                    rows.push((d, s1_rank, ordinal, seg_idx, rid));
+                }
+                Ok(rows)
+            }));
+            match rows {
+                Ok(Ok(rows)) => ranked.extend(rows),
+                Ok(Err(_)) => dropped += 1,
+                Err(_) => {
+                    self.quarantine(seg.shard);
+                    excluded[seg.shard] = true;
+                    dropped += 1;
+                }
             }
         }
+        // A shard quarantined mid-S2 retracts the rows it already ranked.
+        ranked.retain(|&(_, _, _, seg_idx, _)| !excluded[segments[seg_idx].shard]);
         if ranked.is_empty() {
-            return None;
+            return self.outcome(None, &excluded, dropped, deadline_hit);
         }
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
 
         // ---- S3: adapt the best parseable reference formula ----
+        let mut prediction = None;
         for &(dist, _, _, seg_idx, rid) in ranked.iter().take(8) {
             let seg = &segments[seg_idx];
-            if let Some(mut p) =
+            if excluded[seg.shard] {
+                continue;
+            }
+            if past(deadline) {
+                deadline_hit = true;
+                break;
+            }
+            let adapted = catch_unwind(AssertUnwindSafe(|| {
                 self.system.adapt_region(seg.index, emb, sheet, target, rid, dist, variant)
-            {
-                // `adapt_region` reports the segment-local sheet id;
-                // re-base to the global numbering this snapshot exposes.
-                p.reference_sheet_idx = seg.globals[p.reference_sheet_idx];
-                return Some(p);
+            }));
+            match adapted {
+                Ok(Some(mut p)) => {
+                    // `adapt_region` reports the segment-local sheet id;
+                    // re-base to the global numbering this snapshot
+                    // exposes.
+                    p.reference_sheet_idx = seg.globals[p.reference_sheet_idx];
+                    prediction = Some(p);
+                    break;
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    self.quarantine(seg.shard);
+                    excluded[seg.shard] = true;
+                }
             }
         }
-        None
+        self.outcome(prediction, &excluded, dropped, deadline_hit)
     }
 
     /// Answer a burst of queries against this snapshot with one
     /// micro-batched embedding pass: distinct query sheets (deduplicated
     /// by identity — a burst is naturally many targets on few sheets) go
     /// through the representation model in a single tensor, then S1–S3 run
-    /// per query. Bit-identical to calling [`Snapshot::predict_with`] per
-    /// query.
-    pub fn predict_batch_with(
+    /// per query. Bit-identical to calling [`Snapshot::predict_outcome`]
+    /// per query. One deadline ([`PredictOptions::deadline`]) covers the
+    /// whole batch; queries reached after it expires return immediately
+    /// with `deadline_exceeded` set.
+    pub fn predict_batch_outcome(
         &self,
         queries: &[(&Sheet, CellRef)],
-        variant: PipelineVariant,
-    ) -> Vec<Option<Prediction>> {
+        opts: PredictOptions,
+    ) -> Vec<ServeOutcome> {
         let mut unique: Vec<&Sheet> = Vec::new();
         let mut slot: Vec<usize> = Vec::with_capacity(queries.len());
         for &(sheet, _) in queries {
@@ -567,13 +857,26 @@ impl Snapshot {
             }
         }
         let embedder = self.system.embedder();
-        let embs = embedder.embed_sheets(&unique, variant == PipelineVariant::FineOnly);
+        let embs = embedder.embed_sheets(&unique, opts.variant == PipelineVariant::FineOnly);
         queries
             .iter()
             .enumerate()
             .map(|(qi, &(sheet, target))| {
-                self.predict_prepared(&embs[slot[qi]], sheet, target, variant)
+                self.predict_prepared(&embs[slot[qi]], sheet, target, opts)
             })
+            .collect()
+    }
+
+    /// [`Snapshot::predict_batch_outcome`] without the degradation flags —
+    /// just the predictions, one per query.
+    pub fn predict_batch_with(
+        &self,
+        queries: &[(&Sheet, CellRef)],
+        variant: PipelineVariant,
+    ) -> Vec<Option<Prediction>> {
+        self.predict_batch_outcome(queries, PredictOptions::with_variant(variant))
+            .into_iter()
+            .map(|o| o.prediction)
             .collect()
     }
 
@@ -669,6 +972,10 @@ impl ServeHandle {
             .zip(globals)
             .map(|(base, g)| Shard {
                 state: LeftRight::new(Arc::new(ShardState::sealed(base, g, &delta_cfg))),
+                health: Arc::new(ShardHealth {
+                    quarantined: AtomicBool::new(false),
+                    since_epoch: AtomicU64::new(0),
+                }),
             })
             .collect();
 
@@ -684,8 +991,10 @@ impl ServeHandle {
             epoch: AtomicU64::new(0),
             next_workbook_id: AtomicUsize::new(next_workbook_id),
             next_global: AtomicUsize::new(n_sheets),
-            counters: Counters::default(),
+            counters: Arc::new(Counters::default()),
             delta_max: cfg.delta_max_sheets,
+            backpressure_at: (cfg.delta_max_sheets > 0 && cfg.backpressure_factor > 0)
+                .then(|| cfg.delta_max_sheets * cfg.backpressure_factor),
             delta_cfg,
             compact_tx,
         });
@@ -693,11 +1002,33 @@ impl ServeHandle {
             // The thread holds only a weak reference: when the last handle
             // drops, `Shared` (and its sender) drop, `recv` disconnects,
             // and the thread exits — joined by the guard.
+            //
+            // Supervision: a compaction that panics (or returns an
+            // injected error) is retried with capped exponential backoff
+            // instead of killing the thread. The upgraded `Arc` is dropped
+            // before every sleep so a handle dropped mid-backoff can still
+            // tear the channel down and join promptly.
             let weak: Weak<Shared> = Arc::downgrade(&shared);
             std::thread::spawn(move || {
                 while let Ok(shard) = rx.recv() {
-                    let Some(shared) = weak.upgrade() else { break };
-                    shared.compact(shard);
+                    let mut backoff = Duration::from_millis(5);
+                    loop {
+                        let outcome = {
+                            let Some(shared) = weak.upgrade() else { return };
+                            catch_unwind(AssertUnwindSafe(|| shared.compact(shard)))
+                        };
+                        if matches!(outcome, Ok(Ok(()))) {
+                            break;
+                        }
+                        match weak.upgrade() {
+                            Some(shared) => {
+                                shared.counters.compactor_restarts.fetch_add(1, Ordering::Relaxed)
+                            }
+                            None => return,
+                        };
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(500));
+                    }
                 }
             })
         });
@@ -747,6 +1078,14 @@ impl ServeHandle {
             .expect("default layout cannot fail")
     }
 
+    /// [`ServeHandle::to_artifact`] straight to disk, atomically: bytes go
+    /// to a temporary file in the target's directory and are `rename(2)`d
+    /// into place, so a crash (or an injected `core::artifact_save` fault)
+    /// mid-write leaves any previous artifact at `path` intact.
+    pub fn to_artifact_path(&self, path: &Path) -> Result<(), ArtifactError> {
+        write_atomic(path, &self.to_artifact())
+    }
+
     /// Acquire the current snapshot: the epoch counter plus every shard's
     /// current state, each pinned. Lock-free — a couple of atomic ops per
     /// shard; the returned snapshot stays valid (and immutable) for as
@@ -757,7 +1096,13 @@ impl ServeHandle {
         // than the reported epoch, keeping per-reader epochs monotone.
         let epoch = self.shared.epoch.load(ORD);
         let shards = self.shared.shards.iter().map(|s| s.state.read()).collect();
-        Snapshot { system: Arc::clone(&self.shared.system), epoch, shards }
+        Snapshot {
+            system: Arc::clone(&self.shared.system),
+            epoch,
+            shards,
+            health: self.shared.shards.iter().map(|s| Arc::clone(&s.health)).collect(),
+            counters: Arc::clone(&self.shared.counters),
+        }
     }
 
     /// Current epoch (0 until the first [`ServeHandle::add_workbook`]).
@@ -772,13 +1117,66 @@ impl ServeHandle {
         let snap = self.snapshot();
         let youngest =
             snap.shards.iter().map(|s| s.published_at.elapsed()).min().unwrap_or_default();
+        let c = &self.shared.counters;
         ServeStats {
             epoch: snap.epoch,
             snapshot_age: youngest,
-            queries_served: self.shared.counters.queries.load(Ordering::Relaxed),
-            snapshots_acquired: self.shared.counters.snapshots.load(Ordering::Relaxed),
-            workbooks_added: self.shared.counters.adds.load(Ordering::Relaxed),
+            queries_served: c.queries.load(Ordering::Relaxed),
+            snapshots_acquired: c.snapshots.load(Ordering::Relaxed),
+            workbooks_added: c.adds.load(Ordering::Relaxed),
+            quarantined_shards: self
+                .shared
+                .shards
+                .iter()
+                .filter(|s| s.health.quarantined.load(ORD))
+                .count() as u64,
+            degraded_queries: c.degraded_queries.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+            compactor_restarts: c.compactor_restarts.load(Ordering::Relaxed),
+            inline_compactions: c.inline_compactions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of serving shards.
+    pub fn n_shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Manually quarantine `shard`: queries skip it (and report it in
+    /// [`ServeOutcome::shards_skipped`]) until [`ServeHandle::recover_shard`].
+    /// The same imposition a caught panic performs — useful for operator
+    /// drills and for draining a shard suspected of bad data.
+    ///
+    /// # Panics
+    /// If `shard >= n_shards`.
+    pub fn quarantine_shard(&self, shard: usize) {
+        self.shared.quarantine(shard);
+    }
+
+    /// Lift the quarantine on `shard`, returning it to the scatter-gather
+    /// read path. Quarantine is sticky by design — only this explicit call
+    /// (an operator or an orchestrator deciding the shard is trustworthy
+    /// again) clears it; queries never un-quarantine automatically.
+    ///
+    /// # Panics
+    /// If `shard >= n_shards`.
+    pub fn recover_shard(&self, shard: usize) {
+        self.shared.shards[shard].health.quarantined.store(false, ORD);
+    }
+
+    /// Shards currently quarantined, with the epoch each was quarantined
+    /// at. Empty on a healthy server.
+    pub fn quarantined(&self) -> Vec<QuarantinedShard> {
+        self.shared
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.health.quarantined.load(ORD))
+            .map(|(shard, s)| QuarantinedShard {
+                shard,
+                since_epoch: s.health.since_epoch.load(ORD),
+            })
+            .collect()
     }
 
     /// Sheets currently indexed, across every shard.
@@ -794,33 +1192,55 @@ impl ServeHandle {
     /// Predict with the confidence threshold applied (the serving
     /// entry point). Lock-free: runs entirely against one snapshot.
     pub fn predict(&self, sheet: &Sheet, target: CellRef) -> Option<Prediction> {
-        self.shared.counters.queries.fetch_add(1, Ordering::Relaxed);
         self.snapshot().predict(sheet, target)
     }
 
-    /// Predict without thresholding, any pipeline variant.
+    /// Predict without thresholding, with full per-query control: pipeline
+    /// variant plus an optional deadline. The [`ServeOutcome`] carries the
+    /// prediction and what (if anything) was skipped to produce it.
+    pub fn predict_opts(
+        &self,
+        sheet: &Sheet,
+        target: CellRef,
+        opts: PredictOptions,
+    ) -> ServeOutcome {
+        self.snapshot().predict_outcome(sheet, target, opts)
+    }
+
+    /// Predict without thresholding, any pipeline variant, no deadline.
+    /// Returns a [`ServeOutcome`]; a caller that only wants the prediction
+    /// reads `.prediction` (on a healthy server `degraded` is `false` and
+    /// the prediction is bit-identical to the direct pipeline's).
     pub fn predict_with(
         &self,
         sheet: &Sheet,
         target: CellRef,
         variant: PipelineVariant,
-    ) -> Option<Prediction> {
-        self.shared.counters.queries.fetch_add(1, Ordering::Relaxed);
-        self.snapshot().predict_with(sheet, target, variant)
+    ) -> ServeOutcome {
+        self.predict_opts(sheet, target, PredictOptions::with_variant(variant))
     }
 
     /// Answer a burst of queries with one micro-batched embedding pass
     /// against one consistent snapshot (see
-    /// [`Snapshot::predict_batch_with`]). Results are bit-identical to
-    /// calling [`ServeHandle::predict_with`] per query on the same epoch,
-    /// just cheaper.
+    /// [`Snapshot::predict_batch_outcome`]). Results are bit-identical to
+    /// calling [`ServeHandle::predict_opts`] per query on the same epoch,
+    /// just cheaper. One deadline covers the whole batch.
+    pub fn predict_batch_opts(
+        &self,
+        queries: &[(&Sheet, CellRef)],
+        opts: PredictOptions,
+    ) -> Vec<ServeOutcome> {
+        self.snapshot().predict_batch_outcome(queries, opts)
+    }
+
+    /// [`ServeHandle::predict_batch_opts`] without a deadline, one
+    /// [`ServeOutcome`] per query.
     pub fn predict_batch_with(
         &self,
         queries: &[(&Sheet, CellRef)],
         variant: PipelineVariant,
-    ) -> Vec<Option<Prediction>> {
-        self.shared.counters.queries.fetch_add(queries.len() as u64, Ordering::Relaxed);
-        self.snapshot().predict_batch_with(queries, variant)
+    ) -> Vec<ServeOutcome> {
+        self.predict_batch_opts(queries, PredictOptions::with_variant(variant))
     }
 
     /// [`ServeHandle::predict_batch_with`] on the full pipeline, with the
@@ -828,7 +1248,6 @@ impl ServeHandle {
     /// whole call, so the threshold and the predictions always come from
     /// the same epoch.
     pub fn predict_batch(&self, queries: &[(&Sheet, CellRef)]) -> Vec<Option<Prediction>> {
-        self.shared.counters.queries.fetch_add(queries.len() as u64, Ordering::Relaxed);
         let snap = self.snapshot();
         let theta = snap.system.cfg().theta_region;
         snap.predict_batch_with(queries, PipelineVariant::Full)
@@ -873,15 +1292,33 @@ impl ServeHandle {
                 delta.add_sheet(&embedder, sheet, key);
                 let mut delta_globals = cur.delta_globals.clone();
                 delta_globals.push(global);
-                ShardState {
+                let grown = ShardState {
                     base: Arc::clone(&cur.base),
                     base_globals: Arc::clone(&cur.base_globals),
                     delta,
                     delta_globals,
                     published_at: Instant::now(),
+                };
+                if self.shared.backpressure_at.is_some_and(|at| grown.delta.n_sheets() >= at) {
+                    // Backpressure: the delta has outgrown the compactor
+                    // (wedged, or simply outpaced). Fold it into the base
+                    // inline — one synchronous O(shard) write beats every
+                    // query on this shard degrading toward O(corpus).
+                    self.shared.counters.inline_compactions.fetch_add(1, Ordering::Relaxed);
+                    let mut base = (*grown.base).clone();
+                    base.absorb(&grown.delta);
+                    let mut globals = (*grown.base_globals).clone();
+                    globals.extend_from_slice(&grown.delta_globals);
+                    ShardState::sealed(base, globals, &self.shared.delta_cfg)
+                } else {
+                    grown
                 }
             };
             let full = new.delta.n_sheets() >= self.shared.delta_max.max(1);
+            // An injected panic here aborts the write *before* the publish:
+            // the writer lock unwinds clean and readers keep the previous
+            // state — no torn shard.
+            fail_point!("serve::delta_publish");
             cell.publish(Arc::new(new));
             drop(guard);
             if self.shared.delta_max > 0 && full {
@@ -971,7 +1408,8 @@ mod tests {
         for (sheet, target) in query_targets(&corpus, 0).into_iter().take(10) {
             let direct = af.predict_with(&index, sheet, target, PipelineVariant::Full);
             let served = handle.predict_with(sheet, target, PipelineVariant::Full);
-            assert_eq!(direct.map(|p| p.formula), served.map(|p| p.formula));
+            assert!(!served.degraded, "healthy server must not degrade");
+            assert_eq!(direct.map(|p| p.formula), served.prediction.map(|p| p.formula));
         }
     }
 
@@ -1088,8 +1526,9 @@ mod tests {
         {
             let batched = handle.predict_batch_with(&queries, variant);
             for (&(sheet, target), b) in queries.iter().zip(&batched) {
+                assert!(!b.degraded, "{variant:?}: healthy batch must not degrade");
                 let solo = handle.predict_with(sheet, target, variant);
-                match (solo, b) {
+                match (solo.prediction, &b.prediction) {
                     (Some(x), Some(y)) => {
                         assert_eq!(x.formula, y.formula, "{variant:?}");
                         assert_eq!(x.s2_distance.to_bits(), y.s2_distance.to_bits(), "{variant:?}");
@@ -1144,7 +1583,7 @@ mod tests {
         for (sheet, target) in query_targets(&corpus, 0).into_iter().take(8) {
             let a = handle.predict_with(sheet, target, PipelineVariant::Full);
             let b = reloaded.predict_with(sheet, target, PipelineVariant::Full);
-            assert_eq!(a.map(|p| p.formula), b.map(|p| p.formula));
+            assert_eq!(a.prediction.map(|p| p.formula), b.prediction.map(|p| p.formula));
         }
         assert!(ServeHandle::from_artifact(b"garbage").is_err());
     }
@@ -1216,7 +1655,7 @@ mod tests {
         for (sheet, target) in query_targets(&corpus, 0).into_iter().take(6) {
             let a = handle.predict_with(sheet, target, PipelineVariant::Full);
             let b = mapped.predict_with(sheet, target, PipelineVariant::Full);
-            assert_eq!(a.map(|p| p.formula), b.map(|p| p.formula));
+            assert_eq!(a.prediction.map(|p| p.formula), b.prediction.map(|p| p.formula));
         }
         // The mapped handle can still grow (tables convert to owned on
         // write) and re-serialize.
@@ -1289,5 +1728,187 @@ mod tests {
         // The epoch counts writes alone — compaction publishes don't bump it.
         assert_eq!(handle.epoch(), 6);
         assert_coherent(&handle.snapshot());
+    }
+
+    fn assert_bitwise_eq(a: &ServeOutcome, b: &ServeOutcome) {
+        match (&a.prediction, &b.prediction) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.formula, y.formula);
+                assert_eq!(x.s2_distance.to_bits(), y.s2_distance.to_bits());
+                assert_eq!(x.reference_sheet_idx, y.reference_sheet_idx);
+                assert_eq!(x.reference_cell, y.reference_cell);
+            }
+            (None, None) => {}
+            (x, y) => panic!("{x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn manual_quarantine_excludes_shards_until_recovery() {
+        let cfg = AutoFormulaConfig { n_shards: 4, ..AutoFormulaConfig::test_tiny() };
+        let (handle, corpus) = handle_over_with(cfg, 4);
+        let queries: Vec<_> = query_targets(&corpus, 0).into_iter().take(6).collect();
+        assert!(!queries.is_empty());
+        assert!(handle.quarantined().is_empty());
+
+        let baseline: Vec<ServeOutcome> = queries
+            .iter()
+            .map(|&(s, at)| handle.predict_with(s, at, PipelineVariant::Full))
+            .collect();
+        assert!(baseline.iter().all(|o| !o.degraded && o.shards_skipped == 0));
+
+        handle.quarantine_shard(1);
+        assert_eq!(handle.quarantined(), vec![QuarantinedShard { shard: 1, since_epoch: 0 }]);
+        assert_eq!(handle.stats().quarantined_shards, 1);
+        let degraded_before = handle.stats().degraded_queries;
+        for &(sheet, at) in &queries {
+            let o = handle.predict_with(sheet, at, PipelineVariant::Full);
+            assert!(o.degraded, "quarantined shard must mark queries degraded");
+            assert_eq!(o.shards_skipped, 1);
+        }
+        assert_eq!(handle.stats().degraded_queries, degraded_before + queries.len() as u64);
+        // Quarantine is monotone until the explicit recovery below —
+        // serving traffic never clears it.
+        assert_eq!(handle.quarantined().len(), 1);
+
+        // Quarantine excludes the shard from queries but not from
+        // persistence: the artifact still carries every sheet.
+        let reloaded = ServeHandle::from_artifact(&handle.to_artifact()).unwrap();
+        assert_eq!(reloaded.n_sheets(), handle.n_sheets());
+
+        handle.recover_shard(1);
+        assert!(handle.quarantined().is_empty());
+        assert_eq!(handle.stats().quarantined_shards, 0);
+        for (&(sheet, at), before) in queries.iter().zip(&baseline) {
+            let after = handle.predict_with(sheet, at, PipelineVariant::Full);
+            assert!(!after.degraded);
+            assert_bitwise_eq(&after, before);
+        }
+    }
+
+    #[test]
+    fn deadlines_cut_the_pipeline_and_report_it() {
+        let cfg = AutoFormulaConfig { n_shards: 2, ..AutoFormulaConfig::test_tiny() };
+        let (handle, corpus) = handle_over_with(cfg, 3);
+        let (sheet, at) = query_targets(&corpus, 0)[0];
+
+        // An already-expired deadline: nothing completes, the outcome says
+        // so, and nothing panics.
+        let expired = PredictOptions::with_variant(PipelineVariant::Full).deadline_in_ms(0);
+        let o = handle.predict_opts(sheet, at, expired);
+        assert!(o.deadline_exceeded && o.degraded);
+        assert!(o.prediction.is_none(), "no stage ran before the deadline");
+        assert!(handle.stats().deadline_exceeded >= 1);
+
+        // A generous deadline degrades nothing and is bit-identical to the
+        // deadline-free call.
+        let generous = PredictOptions::with_variant(PipelineVariant::Full).deadline_in_ms(60_000);
+        let relaxed = handle.predict_opts(sheet, at, generous);
+        assert!(!relaxed.degraded && !relaxed.deadline_exceeded);
+        assert_bitwise_eq(&relaxed, &handle.predict_with(sheet, at, PipelineVariant::Full));
+
+        // Batch: one expired deadline covers every query in the burst.
+        let queries: Vec<_> = query_targets(&corpus, 0).into_iter().take(3).collect();
+        for o in handle.predict_batch_opts(&queries, expired) {
+            assert!(o.deadline_exceeded && o.prediction.is_none());
+        }
+    }
+
+    #[test]
+    fn single_shard_and_disabled_deltas_degradation_is_noop() {
+        // The PR-6 shapes — one shard, and deltas disabled — must serve
+        // exactly as before: no degradation, bit-identical predictions.
+        let cfg = AutoFormulaConfig {
+            n_shards: 1,
+            delta_max_sheets: 0,
+            ..AutoFormulaConfig::test_tiny()
+        };
+        let (handle, corpus) = handle_over_with(cfg, 3);
+        handle.add_workbook(&corpus.workbooks[3]);
+        let queries: Vec<_> = query_targets(&corpus, 0).into_iter().take(6).collect();
+        let baseline: Vec<ServeOutcome> = queries
+            .iter()
+            .map(|&(s, at)| handle.predict_with(s, at, PipelineVariant::Full))
+            .collect();
+        for o in &baseline {
+            assert!(!o.degraded && o.shards_skipped == 0 && o.candidates_dropped == 0);
+        }
+        // Quarantining the only shard leaves nothing to serve from…
+        handle.quarantine_shard(0);
+        for &(sheet, at) in &queries {
+            let o = handle.predict_with(sheet, at, PipelineVariant::Full);
+            assert!(o.degraded && o.prediction.is_none() && o.shards_skipped == 1);
+        }
+        // …and recovery restores bit-identical service.
+        handle.recover_shard(0);
+        for (&(sheet, at), before) in queries.iter().zip(&baseline) {
+            assert_bitwise_eq(&handle.predict_with(sheet, at, PipelineVariant::Full), before);
+        }
+    }
+
+    #[test]
+    fn backpressure_folds_deltas_inline_when_the_threshold_hits() {
+        // delta_max 1 × factor 1 ⇒ every write reaches the backpressure
+        // threshold immediately and compacts inline — deterministic, no
+        // background-compactor timing in the picture.
+        let pressured = AutoFormulaConfig {
+            n_shards: 2,
+            delta_max_sheets: 1,
+            backpressure_factor: 1,
+            ..AutoFormulaConfig::test_tiny()
+        };
+        let synchronous = AutoFormulaConfig {
+            n_shards: 2,
+            delta_max_sheets: 0,
+            ..AutoFormulaConfig::test_tiny()
+        };
+        let (handle, corpus) = handle_over_with(pressured, 3);
+        let (reference, _) = handle_over_with(synchronous, 3);
+        for wb in 3..6 {
+            handle.add_workbook(&corpus.workbooks[wb]);
+            reference.add_workbook(&corpus.workbooks[wb]);
+        }
+        // Every write folded its delta inline; nothing is left pending.
+        let snap = handle.snapshot();
+        assert_coherent(&snap);
+        assert_eq!(snap.n_delta_sheets(), 0);
+        let stats = handle.stats();
+        assert!(stats.inline_compactions > 0, "threshold of 1 must trigger inline folds");
+        // And the inline-compacted server answers exactly like the
+        // synchronously-grown one.
+        let b = reference.snapshot();
+        assert_eq!(snap.keys(), b.keys());
+        for (sheet, target) in query_targets(&corpus, 0).into_iter().take(8) {
+            let pa = snap.predict_with(sheet, target, PipelineVariant::Full);
+            let pb = b.predict_with(sheet, target, PipelineVariant::Full);
+            assert_eq!(pa.as_ref().map(|p| &p.formula), pb.as_ref().map(|p| &p.formula));
+            assert_eq!(pa.map(|p| p.s2_distance.to_bits()), pb.map(|p| p.s2_distance.to_bits()));
+        }
+    }
+
+    #[test]
+    fn atomic_artifact_save_to_path_round_trips_and_overwrites() {
+        let (handle, corpus) = handle_over(3);
+        let mut path = std::env::temp_dir();
+        path.push(format!("af_serve_atomic_{}.afar", std::process::id()));
+        handle.to_artifact_path(&path).expect("atomic save");
+        let reloaded = ServeHandle::from_artifact_path(&path).expect("load saved artifact");
+        assert_eq!(reloaded.n_sheets(), handle.n_sheets());
+        // Overwriting an existing artifact goes through the same temp +
+        // rename dance and lands the new state.
+        handle.add_workbook(&corpus.workbooks[3]);
+        handle.to_artifact_path(&path).expect("atomic overwrite");
+        let newer = ServeHandle::from_artifact_path(&path).expect("load overwritten artifact");
+        assert_eq!(newer.n_sheets(), handle.n_sheets());
+        assert!(newer.n_sheets() > reloaded.n_sheets());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sheet_meta_returns_none_for_unknown_globals() {
+        let (handle, _) = handle_over(2);
+        let snap = handle.snapshot();
+        assert!(snap.sheet_meta(0).is_some());
+        assert!(snap.sheet_meta(snap.n_sheets() + 100).is_none());
     }
 }

@@ -1,0 +1,411 @@
+//! Chaos suite: drive the serving layer through injected faults (panics,
+//! typed errors, latency) and assert the degradation contract:
+//!
+//! * every query returns a [`ServeOutcome`] or a typed error — a panic
+//!   never propagates to the caller;
+//! * a shard that panics is quarantined and stays quarantined until an
+//!   explicit `recover_shard`;
+//! * snapshots stay coherent (no torn shard states) and epochs monotone
+//!   under faults racing concurrent writes;
+//! * a wedged compactor is restarted with backoff and the write path falls
+//!   back to inline compaction instead of unbounded delta growth;
+//! * artifact saves are atomic — a fault mid-write leaves the previous
+//!   artifact loadable.
+//!
+//! Requires `--features failpoints`; without it this file compiles empty.
+#![cfg(feature = "failpoints")]
+
+use af_core::config::AutoFormulaConfig;
+use af_core::failpoint::{self, FailAction};
+use af_core::index::IndexOptions;
+use af_core::model::RepresentationModel;
+use af_core::pipeline::{AutoFormula, PipelineVariant, PredictOptions};
+use af_corpus::organization::{OrgSpec, Scale};
+use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
+use af_grid::{CellRef, Sheet};
+use af_serve::{ServeHandle, ServeOutcome};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The failpoint registry is process-global and the test harness runs
+/// tests on threads; every test takes this lock for its whole body so
+/// armed sites never leak into a neighbor.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A poisoned lock just means a previous chaos test failed; the guard
+    // below cleared its failpoints on unwind, so continuing is safe.
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// Clears every failpoint and restores the panic hook when dropped — even
+/// when the test itself panics.
+struct ChaosGuard {
+    hook: Option<PanicHook>,
+}
+
+impl ChaosGuard {
+    /// Silence the panic hook for tests that inject panics on purpose
+    /// (otherwise every injected fault prints a backtrace).
+    fn quiet() -> ChaosGuard {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        ChaosGuard { hook: Some(hook) }
+    }
+
+    fn loud() -> ChaosGuard {
+        ChaosGuard { hook: None }
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        failpoint::clear_all();
+        if let Some(hook) = self.hook.take() {
+            std::panic::set_hook(hook);
+        }
+    }
+}
+
+fn system_with(cfg: AutoFormulaConfig) -> AutoFormula {
+    let featurizer = CellFeaturizer::new(Arc::new(SbertSim::new(16)), FeatureMask::FULL);
+    AutoFormula::from_model(RepresentationModel::new(featurizer.dim(), cfg), featurizer)
+}
+
+fn handle_over(cfg: AutoFormulaConfig, n_workbooks: usize) -> (ServeHandle, af_corpus::OrgCorpus) {
+    let corpus = OrgSpec::pge(Scale::Tiny).generate();
+    let af = system_with(cfg);
+    let members: Vec<usize> = (0..n_workbooks).collect();
+    let index = af.build_index(&corpus.workbooks, &members, IndexOptions::default());
+    (ServeHandle::new(af, index), corpus)
+}
+
+fn query_targets(corpus: &af_corpus::OrgCorpus, wb: usize) -> Vec<(&Sheet, CellRef)> {
+    corpus.workbooks[wb]
+        .sheets
+        .iter()
+        .flat_map(|s| s.formulas().map(move |(at, _)| (s, at)))
+        .collect()
+}
+
+fn assert_bitwise_eq(a: &ServeOutcome, b: &ServeOutcome) {
+    match (&a.prediction, &b.prediction) {
+        (Some(x), Some(y)) => {
+            assert_eq!(x.formula, y.formula);
+            assert_eq!(x.s2_distance.to_bits(), y.s2_distance.to_bits());
+            assert_eq!(x.reference_sheet_idx, y.reference_sheet_idx);
+        }
+        (None, None) => {}
+        (x, y) => panic!("{x:?} vs {y:?}"),
+    }
+}
+
+#[test]
+fn scan_panics_quarantine_shards_and_recovery_restores_service() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::quiet();
+    let cfg = AutoFormulaConfig { n_shards: 3, ..AutoFormulaConfig::test_tiny() };
+    let (handle, corpus) = handle_over(cfg, 4);
+    let queries: Vec<_> = query_targets(&corpus, 0).into_iter().take(4).collect();
+    let baseline: Vec<ServeOutcome> =
+        queries.iter().map(|&(s, at)| handle.predict_with(s, at, PipelineVariant::Full)).collect();
+    assert!(baseline.iter().all(|o| !o.degraded));
+
+    // Every segment scan panics: the query must still *return* — all three
+    // shards quarantined, no prediction, no propagated panic.
+    failpoint::arm("serve::shard_scan", FailAction::Panic);
+    let o = handle.predict_with(queries[0].0, queries[0].1, PipelineVariant::Full);
+    assert!(o.degraded && o.prediction.is_none());
+    assert_eq!(o.shards_skipped, 3);
+    assert_eq!(handle.quarantined().len(), 3);
+    assert_eq!(handle.stats().quarantined_shards, 3);
+
+    // Disarming the fault does NOT lift quarantine — it is sticky until an
+    // explicit recovery.
+    failpoint::clear("serve::shard_scan");
+    let still = handle.predict_with(queries[0].0, queries[0].1, PipelineVariant::Full);
+    assert!(still.degraded && still.prediction.is_none());
+    assert_eq!(handle.quarantined().len(), 3);
+
+    for shard in 0..3 {
+        handle.recover_shard(shard);
+    }
+    for (&(sheet, at), before) in queries.iter().zip(&baseline) {
+        let after = handle.predict_with(sheet, at, PipelineVariant::Full);
+        assert!(!after.degraded, "recovered server must serve full fidelity");
+        assert_bitwise_eq(&after, before);
+    }
+}
+
+#[test]
+fn injected_scan_errors_skip_without_quarantine() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::loud();
+    let cfg = AutoFormulaConfig { n_shards: 2, ..AutoFormulaConfig::test_tiny() };
+    let (handle, corpus) = handle_over(cfg, 3);
+    let (sheet, at) = query_targets(&corpus, 0)[0];
+
+    // A typed error is transient: the shard is skipped for this query only
+    // and is NOT quarantined.
+    failpoint::arm("serve::shard_scan", FailAction::Error);
+    let o = handle.predict_with(sheet, at, PipelineVariant::Full);
+    assert!(o.degraded && o.prediction.is_none());
+    assert_eq!(o.shards_skipped, 2);
+    assert!(handle.quarantined().is_empty(), "errors must not quarantine");
+    failpoint::clear("serve::shard_scan");
+    assert!(!handle.predict_with(sheet, at, PipelineVariant::Full).degraded);
+
+    // Same for per-candidate S2 errors: candidates drop, the query lives.
+    failpoint::arm("serve::region_rank", FailAction::Error);
+    let o = handle.predict_with(sheet, at, PipelineVariant::Full);
+    assert!(o.degraded && o.candidates_dropped > 0);
+    assert!(handle.quarantined().is_empty());
+    failpoint::clear("serve::region_rank");
+}
+
+#[test]
+fn injected_latency_trips_deadlines_without_degrading_results_otherwise() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::loud();
+    let cfg = AutoFormulaConfig { n_shards: 2, ..AutoFormulaConfig::test_tiny() };
+    let (handle, corpus) = handle_over(cfg, 3);
+    let (sheet, at) = query_targets(&corpus, 0)[0];
+
+    // 40 ms per segment scan against a 10 ms budget: S1 gets through the
+    // first segment and the deadline check before the next one trips.
+    failpoint::arm("serve::shard_scan", FailAction::Sleep(Duration::from_millis(40)));
+    let opts = PredictOptions::with_variant(PipelineVariant::Full).deadline_in_ms(10);
+    let o = handle.predict_opts(sheet, at, opts);
+    assert!(o.deadline_exceeded && o.degraded, "latency must trip the deadline");
+    assert!(handle.quarantined().is_empty(), "slowness is not a quarantine offense");
+
+    // Without a deadline the same latency just makes the full answer slow.
+    let slow = handle.predict_with(sheet, at, PipelineVariant::Full);
+    assert!(!slow.degraded);
+    failpoint::clear("serve::shard_scan");
+    let fast = handle.predict_with(sheet, at, PipelineVariant::Full);
+    assert_bitwise_eq(&slow, &fast);
+}
+
+#[test]
+fn wedged_compactor_restarts_and_backpressure_bounds_deltas() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::loud();
+    let cfg = AutoFormulaConfig {
+        n_shards: 2,
+        delta_max_sheets: 1,
+        backpressure_factor: 3,
+        ..AutoFormulaConfig::test_tiny()
+    };
+    let (handle, corpus) = handle_over(cfg, 2);
+
+    // Wedge the compactor: every attempt fails with a typed error.
+    failpoint::arm("serve::compact", FailAction::Error);
+    for wb in 2..6 {
+        handle.add_workbook(&corpus.workbooks[wb]);
+    }
+    // Writes kept landing; deltas stayed bounded by the backpressure
+    // threshold (1 × 3) instead of growing with every add.
+    let snap = handle.snapshot();
+    assert_eq!(handle.epoch(), 4);
+    assert!(
+        snap.n_delta_sheets() <= 3 * 2,
+        "deltas must stay under the per-shard backpressure threshold, saw {}",
+        snap.n_delta_sheets()
+    );
+    // The supervisor counted at least one failed attempt (the compactor
+    // may still be inside its first backoff, so don't demand more).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while handle.stats().compactor_restarts == 0 {
+        assert!(Instant::now() < deadline, "supervisor never recorded the wedge");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Un-wedge: the supervised loop's retry (or the next signal) drains
+    // the backlog without any new writes.
+    failpoint::clear("serve::compact");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let snap = handle.snapshot();
+        if snap.n_delta_sheets() == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "compactor never drained after un-wedging");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Served content is intact after the whole ordeal.
+    let queries = query_targets(&corpus, 0);
+    assert!(!queries.is_empty());
+    for &(sheet, at) in queries.iter().take(4) {
+        assert!(!handle.predict_with(sheet, at, PipelineVariant::Full).degraded);
+    }
+}
+
+#[test]
+fn publish_panic_aborts_the_write_without_tearing_state() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::quiet();
+    let cfg = AutoFormulaConfig { n_shards: 2, ..AutoFormulaConfig::test_tiny() };
+    let (handle, corpus) = handle_over(cfg, 2);
+    let sheets_before = handle.n_sheets();
+    let epoch_before = handle.epoch();
+
+    failpoint::arm("serve::delta_publish", FailAction::Panic);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle.add_workbook(&corpus.workbooks[2])
+    }));
+    assert!(r.is_err(), "the injected publish panic surfaces to the writer");
+    failpoint::clear("serve::delta_publish");
+
+    // The failed write published nothing and poisoned nothing: state is
+    // unchanged, and both reads and writes still work.
+    assert_eq!(handle.epoch(), epoch_before);
+    assert_eq!(handle.n_sheets(), sheets_before);
+    let (sheet, at) = query_targets(&corpus, 0)[0];
+    assert!(!handle.predict_with(sheet, at, PipelineVariant::Full).degraded);
+    handle.add_workbook(&corpus.workbooks[2]);
+    assert!(handle.n_sheets() > sheets_before);
+}
+
+#[test]
+fn interrupted_artifact_save_leaves_the_previous_artifact_loadable() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::loud();
+    let cfg = AutoFormulaConfig { n_shards: 2, ..AutoFormulaConfig::test_tiny() };
+    let (handle, corpus) = handle_over(cfg, 2);
+    let mut path = std::env::temp_dir();
+    path.push(format!("af_chaos_atomic_{}.afar", std::process::id()));
+
+    handle.to_artifact_path(&path).expect("initial save");
+    let n_before = ServeHandle::from_artifact_path(&path).expect("loads").n_sheets();
+
+    // Kill the next save halfway: the write to the temp file errors after
+    // the first half of the bytes.
+    handle.add_workbook(&corpus.workbooks[2]);
+    failpoint::arm("core::artifact_save", FailAction::Error);
+    let r = handle.to_artifact_path(&path);
+    assert!(r.is_err(), "interrupted save must report a typed error");
+    failpoint::clear("core::artifact_save");
+
+    // The artifact at `path` is still the previous, complete one.
+    let reloaded = ServeHandle::from_artifact_path(&path).expect("old artifact intact");
+    assert_eq!(reloaded.n_sheets(), n_before);
+    // And no temp litter in the directory.
+    let dir = path.parent().unwrap();
+    let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(!name.contains(&format!(".{stem}.tmp")), "temp file left behind: {name}");
+    }
+
+    // A healthy retry overwrites atomically and lands the new state.
+    handle.to_artifact_path(&path).expect("retry save");
+    assert!(ServeHandle::from_artifact_path(&path).expect("loads").n_sheets() > n_before);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn artifact_load_faults_surface_as_typed_errors() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::loud();
+    let cfg = AutoFormulaConfig { n_shards: 2, ..AutoFormulaConfig::test_tiny() };
+    let (handle, _) = handle_over(cfg, 2);
+    let mut path = std::env::temp_dir();
+    path.push(format!("af_chaos_load_{}.afar", std::process::id()));
+    handle.to_artifact_path(&path).expect("save");
+
+    failpoint::arm("core::artifact_load", FailAction::Error);
+    assert!(ServeHandle::from_artifact_path(&path).is_err(), "typed error, not a panic");
+    failpoint::clear("core::artifact_load");
+    assert!(ServeHandle::from_artifact_path(&path).is_ok());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn randomized_faults_under_concurrent_load_never_break_the_contract() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::quiet();
+    let cfg =
+        AutoFormulaConfig { n_shards: 3, delta_max_sheets: 2, ..AutoFormulaConfig::test_tiny() };
+    let (handle, corpus) = handle_over(cfg, 2);
+    let queries: Vec<(usize, usize, CellRef)> = corpus.workbooks[0]
+        .sheets
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| s.formulas().map(move |(at, _)| (0usize, si, at)))
+        .collect();
+    assert!(!queries.is_empty());
+    let baseline: Vec<ServeOutcome> = queries
+        .iter()
+        .map(|&(wb, si, at)| {
+            handle.predict_with(&corpus.workbooks[wb].sheets[si], at, PipelineVariant::Full)
+        })
+        .collect();
+
+    // A reproducible storm: occasional scan panics, rank errors, and
+    // compaction faults, all while a writer publishes new epochs.
+    failpoint::seed(0xDEAD_BEEF);
+    failpoint::configure("serve::shard_scan", FailAction::Panic, 0.05);
+    failpoint::configure("serve::region_rank", FailAction::Error, 0.10);
+    failpoint::configure("serve::compact", FailAction::Error, 0.25);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for t in 0..3 {
+            let handle = handle.clone();
+            let corpus = &corpus;
+            let queries = &queries;
+            let baseline = &baseline;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut served = 0usize;
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = handle.snapshot();
+                    assert!(snap.epoch >= last_epoch, "epoch went backwards");
+                    last_epoch = snap.epoch;
+                    let (wb, si, at) = queries[(served + t) % queries.len()];
+                    let sheet = &corpus.workbooks[wb].sheets[si];
+                    // The contract: the call RETURNS — a ServeOutcome,
+                    // never an unwind (a panic here would fail the test).
+                    let o = snap.predict_outcome(
+                        sheet,
+                        at,
+                        PredictOptions::with_variant(PipelineVariant::Full),
+                    );
+                    // And a non-degraded outcome on the original epoch is
+                    // the full-fidelity answer, faults notwithstanding.
+                    if !o.degraded && snap.epoch == 0 && served < queries.len() {
+                        assert_bitwise_eq(&o, &baseline[(served + t) % queries.len()]);
+                    }
+                    served += 1;
+                }
+                assert!(served > 0);
+            });
+        }
+        let writer = handle.clone();
+        let corpus_ref = &corpus;
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            for round in 0..4 {
+                writer.add_workbook(&corpus_ref.workbooks[2 + (round % 3)]);
+            }
+            stop_ref.store(true, Ordering::Relaxed);
+        });
+    });
+
+    failpoint::clear_all();
+    assert_eq!(handle.epoch(), 4, "every write landed despite the storm");
+    // Quarantines only ever accumulated; recover whatever tripped and
+    // verify full service resumes.
+    let n_shards = handle.n_shards();
+    for shard in 0..n_shards {
+        handle.recover_shard(shard);
+    }
+    for &(wb, si, at) in queries.iter().take(4) {
+        let o = handle.predict_with(&corpus.workbooks[wb].sheets[si], at, PipelineVariant::Full);
+        assert!(!o.degraded);
+    }
+}

@@ -57,7 +57,7 @@ fn main() {
                 sheet.name(),
                 p.formula,
                 p.s2_distance,
-                snap.sheet_meta(p.reference_sheet_idx).name,
+                snap.sheet_meta(p.reference_sheet_idx).map_or("?", |m| m.name.as_str()),
                 p.reference_cell
             ),
             None => println!("  {}!{target} → no confident prediction", sheet.name()),

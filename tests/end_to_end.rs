@@ -214,7 +214,8 @@ fn served_artifact_answers_like_the_library_pipeline() {
     let (target, _) = sheet.formulas().next().expect("a formula cell");
     let direct = af.predict_with(&index, sheet, target, PipelineVariant::Full);
     let served = handle.predict_with(sheet, target, PipelineVariant::Full);
-    assert_eq!(direct.map(|p| p.formula), served.map(|p| p.formula));
+    assert!(!served.degraded, "healthy server must answer at full fidelity");
+    assert_eq!(direct.map(|p| p.formula), served.prediction.map(|p| p.formula));
 
     // Growth: the last workbook joins the served index epoch-by-epoch.
     let epoch = handle.add_workbook(&org.workbooks[org.workbooks.len() - 1]);
