@@ -1,0 +1,250 @@
+//! `af-check` — a miniature loom-style concurrency model checker for the
+//! hand-rolled lock-free machinery in `af-serve`/`af-store`.
+//!
+//! Stress tests sample thread interleavings; a model checker *enumerates*
+//! them. This crate provides both halves of that bargain:
+//!
+//! * **Shim traits + [`StdFamily`]** (always compiled): the [`Family`]
+//!   trait abstracts the atomic/mutex operations a protocol uses. The
+//!   production instantiation, [`StdFamily`], maps every shim method
+//!   straight onto `std::sync::atomic` / `parking_lot` with
+//!   `#[inline(always)]` passthroughs — a protocol written against
+//!   `Family` compiles to exactly the code it would be with bare `std`
+//!   types. Zero cost, no cfg gymnastics at call sites.
+//! * **Instrumented shims + scheduler** (behind the `check` feature):
+//!   [`CheckFamily`]'s `CheckAtomicUsize`/`CheckMutex`/`CheckArc` route
+//!   every operation through a deterministic [scheduler](model) that
+//!   explores thread interleavings by bounded exhaustive DFS, with a
+//!   seeded-random fallback past the DFS budget. Atomic loads honour a
+//!   vector-clock *visibility model*: a `Relaxed`/`Acquire` load may
+//!   return any store not yet ordered before the load by happens-before,
+//!   so missing-`Acquire` bugs and store-buffering races show up as real,
+//!   replayable interleavings — not just thread schedules.
+//!
+//! The serving protocols this was built for live in
+//! `af_serve::protocol`; their model suites are
+//! `crates/serve/tests/model.rs` and this crate's own tests. See
+//! `ARCHITECTURE.md` § "Verification" for the checker's scope and
+//! its documented limits (what is and is not modeled).
+//!
+//! # Example
+//!
+//! ```
+//! use af_check::{AtomicUsizeShim, Family, StdFamily};
+//! use std::sync::atomic::Ordering;
+//!
+//! // A protocol written once against the shims…
+//! fn bump<F: Family>(counter: &F::AtomicUsize) -> usize {
+//!     // ordering: Relaxed — a pure counter, no data published through it.
+//!     counter.fetch_add(1, Ordering::Relaxed)
+//! }
+//!
+//! // …runs at full speed on StdFamily in production…
+//! let c = <StdFamily as Family>::AtomicUsize::new(41);
+//! assert_eq!(bump::<StdFamily>(&c), 41);
+//! // …and under the model checker on CheckFamily in tests (feature
+//! // `check`), where every operation becomes an interleaving point.
+//! ```
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+
+#[cfg(feature = "check")]
+mod sched;
+#[cfg(feature = "check")]
+mod shim;
+
+#[cfg(feature = "check")]
+pub use sched::{model, model_expect_failure, Model, Report, Violation};
+#[cfg(feature = "check")]
+pub use shim::{
+    thread, CheckArc, CheckAtomicBool, CheckAtomicU64, CheckAtomicUsize, CheckFamily, CheckMutex,
+    CheckMutexGuard,
+};
+
+// ------------------------------------------------------------ shim traits
+
+/// Shim over `AtomicUsize`: the operations the serving protocols use,
+/// each taking an explicit [`Ordering`] so the instrumented implementation
+/// can model exactly the ordering the production code requests.
+pub trait AtomicUsizeShim: Send + Sync {
+    /// A new atomic holding `v`.
+    fn new(v: usize) -> Self;
+    /// Atomic load with the given ordering.
+    fn load(&self, ord: Ordering) -> usize;
+    /// Atomic store with the given ordering.
+    fn store(&self, v: usize, ord: Ordering);
+    /// Atomic swap; returns the previous value.
+    fn swap(&self, v: usize, ord: Ordering) -> usize;
+    /// Atomic add; returns the previous value.
+    fn fetch_add(&self, v: usize, ord: Ordering) -> usize;
+    /// Atomic subtract; returns the previous value.
+    fn fetch_sub(&self, v: usize, ord: Ordering) -> usize;
+}
+
+/// Shim over `AtomicU64` (epoch counters).
+pub trait AtomicU64Shim: Send + Sync {
+    /// A new atomic holding `v`.
+    fn new(v: u64) -> Self;
+    /// Atomic load with the given ordering.
+    fn load(&self, ord: Ordering) -> u64;
+    /// Atomic store with the given ordering.
+    fn store(&self, v: u64, ord: Ordering);
+    /// Atomic add; returns the previous value.
+    fn fetch_add(&self, v: u64, ord: Ordering) -> u64;
+}
+
+/// Shim over `AtomicBool` (quarantine flags).
+pub trait AtomicBoolShim: Send + Sync {
+    /// A new atomic holding `v`.
+    fn new(v: bool) -> Self;
+    /// Atomic load with the given ordering.
+    fn load(&self, ord: Ordering) -> bool;
+    /// Atomic store with the given ordering.
+    fn store(&self, v: bool, ord: Ordering);
+    /// Atomic swap; returns the previous value.
+    fn swap(&self, v: bool, ord: Ordering) -> bool;
+}
+
+/// Shim over a mutex. The production impl is `parking_lot::Mutex`
+/// (unlock-on-unwind, no poisoning — the serving write path relies on
+/// that); the instrumented impl blocks through the model scheduler so
+/// lock-ordering interleavings are explored too.
+pub trait MutexShim<T: Send>: Send + Sync {
+    /// The guard type; unlocks on drop.
+    type Guard<'a>: Deref<Target = T> + DerefMut
+    where
+        Self: 'a,
+        T: 'a;
+    /// A new mutex owning `v`.
+    fn new(v: T) -> Self;
+    /// Acquire the lock, blocking until available.
+    fn lock(&self) -> Self::Guard<'_>;
+}
+
+/// A family of synchronization primitives a protocol is generic over.
+/// [`StdFamily`] is the zero-cost production instantiation;
+/// `CheckFamily` (feature `check`) is the model-checked one.
+pub trait Family: 'static {
+    /// The family's `AtomicUsize`.
+    type AtomicUsize: AtomicUsizeShim;
+    /// The family's `AtomicU64`.
+    type AtomicU64: AtomicU64Shim;
+    /// The family's `AtomicBool`.
+    type AtomicBool: AtomicBoolShim;
+    /// The family's mutex.
+    type Mutex<T: Send>: MutexShim<T>;
+    /// One iteration of a spin-wait loop (`iter` counts consecutive
+    /// spins). Production backs off from `spin_loop` to `yield_now`;
+    /// under the checker this deprioritizes the spinning thread so
+    /// spin-wait loops neither livelock the model nor explode the
+    /// interleaving space.
+    fn spin(iter: u32);
+}
+
+// -------------------------------------------------------------- StdFamily
+
+/// The production family: every shim method is an `#[inline(always)]`
+/// passthrough to `std::sync::atomic` / `parking_lot`, so protocols
+/// parameterized over [`Family`] compile to exactly the code they would
+/// be with bare `std` types.
+pub struct StdFamily;
+
+impl AtomicUsizeShim for std::sync::atomic::AtomicUsize {
+    #[inline(always)]
+    fn new(v: usize) -> Self {
+        std::sync::atomic::AtomicUsize::new(v)
+    }
+    #[inline(always)]
+    fn load(&self, ord: Ordering) -> usize {
+        self.load(ord)
+    }
+    #[inline(always)]
+    fn store(&self, v: usize, ord: Ordering) {
+        self.store(v, ord)
+    }
+    #[inline(always)]
+    fn swap(&self, v: usize, ord: Ordering) -> usize {
+        self.swap(v, ord)
+    }
+    #[inline(always)]
+    fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        self.fetch_add(v, ord)
+    }
+    #[inline(always)]
+    fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+        self.fetch_sub(v, ord)
+    }
+}
+
+impl AtomicU64Shim for std::sync::atomic::AtomicU64 {
+    #[inline(always)]
+    fn new(v: u64) -> Self {
+        std::sync::atomic::AtomicU64::new(v)
+    }
+    #[inline(always)]
+    fn load(&self, ord: Ordering) -> u64 {
+        self.load(ord)
+    }
+    #[inline(always)]
+    fn store(&self, v: u64, ord: Ordering) {
+        self.store(v, ord)
+    }
+    #[inline(always)]
+    fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        self.fetch_add(v, ord)
+    }
+}
+
+impl AtomicBoolShim for std::sync::atomic::AtomicBool {
+    #[inline(always)]
+    fn new(v: bool) -> Self {
+        std::sync::atomic::AtomicBool::new(v)
+    }
+    #[inline(always)]
+    fn load(&self, ord: Ordering) -> bool {
+        self.load(ord)
+    }
+    #[inline(always)]
+    fn store(&self, v: bool, ord: Ordering) {
+        self.store(v, ord)
+    }
+    #[inline(always)]
+    fn swap(&self, v: bool, ord: Ordering) -> bool {
+        self.swap(v, ord)
+    }
+}
+
+impl<T: Send> MutexShim<T> for parking_lot::Mutex<T> {
+    type Guard<'a>
+        = parking_lot::MutexGuard<'a, T>
+    where
+        T: 'a;
+    #[inline(always)]
+    fn new(v: T) -> Self {
+        parking_lot::Mutex::new(v)
+    }
+    #[inline(always)]
+    fn lock(&self) -> Self::Guard<'_> {
+        self.lock()
+    }
+}
+
+impl Family for StdFamily {
+    type AtomicUsize = std::sync::atomic::AtomicUsize;
+    type AtomicU64 = std::sync::atomic::AtomicU64;
+    type AtomicBool = std::sync::atomic::AtomicBool;
+    type Mutex<T: Send> = parking_lot::Mutex<T>;
+
+    #[inline(always)]
+    fn spin(iter: u32) {
+        if iter < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}

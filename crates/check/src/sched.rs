@@ -1,0 +1,677 @@
+//! The deterministic model-checking scheduler.
+//!
+//! One model *execution* runs the user closure with every shim operation
+//! serialized through a token-passing scheduler: exactly one model thread
+//! runs at a time, and before each visible operation (atomic access,
+//! mutex acquire/release, spawn, join, `CheckArc` refcount traffic) the
+//! running thread consults the current *schedule* — a vector of decision
+//! indices — to pick which runnable thread performs the next operation.
+//! Loads with non-`SeqCst` orderings add further decisions: which of the
+//! visible stores the load returns (see the visibility model below).
+//!
+//! Exploration is bounded exhaustive DFS over that decision vector: run,
+//! record `(chosen, alternatives)` at each decision, then backtrack to the
+//! deepest decision with an untried alternative and replay. When the DFS
+//! budget ([`Model::max_interleavings`]) is exhausted before the tree is,
+//! a seeded-random fallback keeps sampling fresh schedules — same
+//! machinery, random choice instead of first-untried.
+//!
+//! # Visibility model (what makes ordering bugs findable)
+//!
+//! Every atomic location keeps its full modification order (all stores,
+//! in order), each store stamped with the writer's vector clock and a
+//! release flag. A load may return any store `S` that is not stale:
+//! `S` must not precede another store that already happens-before the
+//! load, and must not precede a store the thread has already read
+//! (per-location coherence). An `Acquire` load that picks a `Release`
+//! store joins the store's clock into the reader's (that is the
+//! synchronizes-with edge); a `Relaxed` load does not. `SeqCst` accesses
+//! are modeled as reading the newest store — exact when the racing
+//! stores are also `SeqCst` (the single total order is the scheduler's
+//! interleaving), an approximation when `SeqCst` loads race `Relaxed`
+//! stores (documented limit; the serving protocols have no such site).
+//! RMWs always read the newest store (atomicity). Mutexes carry a
+//! release clock: acquire joins it, unlock overwrites it.
+//!
+//! Spin loops: a shim `spin()` marks the thread *yielded*; the scheduler
+//! prefers non-yielded runnable threads, so a spinning thread hands the
+//! token to whoever can unblock it without adding decision branches —
+//! spin-waiting neither livelocks the model nor blows up the DFS.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+// ------------------------------------------------------------ small bits
+
+/// Sentinel panic payload used to unwind model threads when an execution
+/// is aborted (violation found elsewhere, or budget exceeded). Never a
+/// user-visible failure by itself.
+pub(crate) struct Abort;
+
+pub(crate) fn abort_unwind() -> ! {
+    std::panic::panic_any(Abort)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *state;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(digest: u64, byte: u64) -> u64 {
+    (digest ^ byte).wrapping_mul(FNV_PRIME)
+}
+
+/// A vector clock, one component per model thread.
+pub(crate) type VClock = Vec<u64>;
+
+pub(crate) fn vc_join(a: &mut VClock, b: &VClock) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = (*x).max(y);
+    }
+}
+
+// --------------------------------------------------------- model memory
+
+/// One store in a location's modification order.
+pub(crate) struct StoreRec {
+    pub val: u64,
+    /// The writer's vector clock at the store (its own component already
+    /// incremented for this store).
+    pub vc: VClock,
+    /// Whether the store had Release (or stronger) ordering.
+    pub release: bool,
+    /// The thread that performed the store.
+    pub writer: usize,
+}
+
+/// One atomic location: its full modification order.
+pub(crate) struct Loc {
+    pub stores: Vec<StoreRec>,
+}
+
+/// One modeled mutex.
+pub(crate) struct MutexSt {
+    pub owner: Option<usize>,
+    /// Clock of the last unlock (the release the next lock acquires).
+    pub release_vc: VClock,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    Ready,
+    /// Blocked on a mutex or a join; the index is the mutex id or the
+    /// joined thread id (used to wake the right waiters).
+    BlockedOnMutex(usize),
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadSt {
+    pub status: Status,
+    /// Set by `spin()`; makes the scheduler prefer other threads for the
+    /// next decision. Cleared when the thread is next scheduled.
+    pub yielded: bool,
+    pub vc: VClock,
+    /// Per-location index of the newest store this thread has read or
+    /// written (coherence floor).
+    pub read_floor: HashMap<usize, usize>,
+}
+
+impl ThreadSt {
+    pub(crate) fn new_ready(vc: VClock) -> ThreadSt {
+        ThreadSt { status: Status::Ready, yielded: false, vc, read_floor: HashMap::new() }
+    }
+}
+
+pub(crate) struct State {
+    pub threads: Vec<ThreadSt>,
+    pub current: usize,
+    pub locs: Vec<Loc>,
+    pub mutexes: Vec<MutexSt>,
+    /// Decision prefix to replay this execution.
+    planned: Vec<u32>,
+    /// Decisions actually taken: `(chosen, alternatives)`.
+    recorded: Vec<(u32, u32)>,
+    /// Random mode: choices past the planned prefix are drawn from `rng`
+    /// instead of defaulting to 0.
+    random: bool,
+    rng: u64,
+    pub failure: Option<String>,
+    pub aborted: bool,
+    steps: usize,
+    truncated: bool,
+}
+
+impl State {
+    fn new(planned: Vec<u32>, random: bool, rng: u64) -> State {
+        State {
+            threads: Vec::new(),
+            current: 0,
+            locs: Vec::new(),
+            mutexes: Vec::new(),
+            planned,
+            recorded: Vec::new(),
+            random,
+            rng,
+            failure: None,
+            aborted: false,
+            steps: 0,
+            truncated: false,
+        }
+    }
+}
+
+// ------------------------------------------------------------- scheduler
+
+pub(crate) struct Sched {
+    pub m: Mutex<State>,
+    pub cv: Condvar,
+    max_steps: usize,
+    /// OS join handles for threads spawned *inside* the model (the root
+    /// thread is scoped by the controller). Separate lock: pushed while
+    /// not holding `m`.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Sched>, usize)>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with the current model thread's scheduler context. Panics if
+/// the calling thread is not a model thread — the instrumented shims are
+/// only usable inside `af_check::model`.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Sched>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let (sched, me) =
+            b.as_ref().expect("af-check shims must be used inside af_check::model(..)");
+        f(sched, *me)
+    })
+}
+
+impl Sched {
+    fn new(max_steps: usize) -> Sched {
+        Sched {
+            m: Mutex::new(State::new(Vec::new(), false, 0)),
+            cv: Condvar::new(),
+            max_steps,
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take one decision with `alternatives` options. Single-option
+    /// decisions are free (not recorded — they create no branch).
+    pub(crate) fn decide(&self, st: &mut State, alternatives: u32) -> u32 {
+        if alternatives <= 1 || st.aborted {
+            return 0;
+        }
+        let idx = st.recorded.len();
+        let chosen = if idx < st.planned.len() {
+            // Replay: clamp defensively (a nondeterministic closure could
+            // shift alternative counts between runs).
+            st.planned[idx].min(alternatives - 1)
+        } else if st.random {
+            (splitmix(&mut st.rng) % u64::from(alternatives)) as u32
+        } else {
+            0
+        };
+        st.recorded.push((chosen, alternatives));
+        chosen
+    }
+
+    /// Pick the next thread to run among the runnable set (preferring
+    /// non-yielded threads). `None` when nothing is runnable — which is
+    /// normal completion if everything finished, or a deadlock.
+    pub(crate) fn pick_next(&self, st: &mut State) -> Option<usize> {
+        let runnable: Vec<usize> =
+            (0..st.threads.len()).filter(|&i| st.threads[i].status == Status::Ready).collect();
+        if runnable.is_empty() {
+            let live_blocked = st
+                .threads
+                .iter()
+                .any(|t| matches!(t.status, Status::BlockedOnMutex(_) | Status::BlockedOnJoin(_)));
+            if live_blocked && st.failure.is_none() && !st.aborted {
+                st.failure = Some("deadlock: every live thread is blocked".to_string());
+                st.aborted = true;
+            }
+            return None;
+        }
+        let preferred: Vec<usize> =
+            runnable.iter().copied().filter(|&i| !st.threads[i].yielded).collect();
+        let set = if preferred.is_empty() {
+            for &i in &runnable {
+                st.threads[i].yielded = false;
+            }
+            runnable
+        } else {
+            preferred
+        };
+        let choice = self.decide(st, set.len() as u32) as usize;
+        Some(set[choice])
+    }
+
+    /// The yield point executed before every visible operation: possibly
+    /// hand the token to another thread, then return with the token held
+    /// so the caller performs its operation.
+    pub(crate) fn schedule(&self, me: usize) {
+        let mut st = self.m.lock().unwrap();
+        if st.aborted {
+            drop(st);
+            abort_unwind();
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            st.truncated = true;
+            st.aborted = true;
+            self.cv.notify_all();
+            drop(st);
+            abort_unwind();
+        }
+        if let Some(next) = self.pick_next(&mut st) {
+            if next != me {
+                st.current = next;
+                self.cv.notify_all();
+                while st.current != me && !st.aborted {
+                    st = self.cv.wait(st).unwrap();
+                }
+                if st.aborted {
+                    drop(st);
+                    abort_unwind();
+                }
+            }
+        }
+        st.threads[me].yielded = false;
+    }
+
+    /// Block until `ready` returns true (re-evaluated each time this
+    /// thread is rescheduled). `ready` runs with the token held; when it
+    /// returns true the operation may proceed. `blocked` produces the
+    /// blocked-status to park with when `ready` is false.
+    pub(crate) fn block_until(
+        &self,
+        me: usize,
+        blocked: Status,
+        mut ready: impl FnMut(&mut State) -> bool,
+    ) {
+        let mut st = self.m.lock().unwrap();
+        loop {
+            if st.aborted {
+                drop(st);
+                abort_unwind();
+            }
+            if ready(&mut st) {
+                st.threads[me].yielded = false;
+                return;
+            }
+            st.threads[me].status = blocked;
+            if let Some(next) = self.pick_next(&mut st) {
+                st.current = next;
+            }
+            self.cv.notify_all();
+            while !(st.aborted || (st.current == me && st.threads[me].status == Status::Ready)) {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+    }
+
+    /// Record a model violation and abort the execution (unwinding the
+    /// calling thread). The failure and the schedule that produced it are
+    /// reported by [`Model::check`].
+    pub(crate) fn fail(&self, msg: impl Into<String>) -> ! {
+        let mut st = self.m.lock().unwrap();
+        if st.failure.is_none() {
+            st.failure = Some(msg.into());
+        }
+        st.aborted = true;
+        self.cv.notify_all();
+        drop(st);
+        abort_unwind();
+    }
+
+    /// Mark the current thread as spin-yielding (see module docs).
+    pub(crate) fn spin_mark(&self, me: usize) {
+        let mut st = self.m.lock().unwrap();
+        st.threads[me].yielded = true;
+    }
+
+    /// Allocate a new atomic location with an initial store by `me`.
+    pub(crate) fn new_loc(&self, me: usize, init: u64) -> usize {
+        let mut st = self.m.lock().unwrap();
+        let vc = st.threads[me].vc.clone();
+        let id = st.locs.len();
+        // The initial store is release-tagged so any thread that is
+        // (transitively) spawned after creation sees it as its floor.
+        st.locs.push(Loc { stores: vec![StoreRec { val: init, vc, release: true, writer: me }] });
+        st.threads[me].read_floor.insert(id, 0);
+        id
+    }
+
+    /// Allocate a new modeled mutex.
+    pub(crate) fn new_mutex(&self, me: usize) -> usize {
+        let mut st = self.m.lock().unwrap();
+        let vc = st.threads[me].vc.clone();
+        let id = st.mutexes.len();
+        st.mutexes.push(MutexSt { owner: None, release_vc: vc });
+        id
+    }
+
+    fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.handles.lock().unwrap())
+    }
+
+    pub(crate) fn push_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles.lock().unwrap().push(h);
+    }
+}
+
+// ---------------------------------------------------------- thread entry
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Body of every model thread: install the TLS context, wait for the
+/// first schedule, run, then mark finished and pass the token on.
+pub(crate) fn run_thread(sched: Arc<Sched>, me: usize, f: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), me)));
+    {
+        let mut st = sched.m.lock().unwrap();
+        while st.current != me && !st.aborted {
+            st = sched.cv.wait(st).unwrap();
+        }
+    }
+    let r = catch_unwind(AssertUnwindSafe(f));
+    let mut st = sched.m.lock().unwrap();
+    st.threads[me].status = Status::Finished;
+    if let Err(p) = r {
+        if !p.is::<Abort>() {
+            if st.failure.is_none() {
+                st.failure = Some(panic_msg(p));
+            }
+            st.aborted = true;
+        }
+    }
+    // Wake joiners parked on this thread.
+    for t in st.threads.iter_mut() {
+        if t.status == Status::BlockedOnJoin(me) {
+            t.status = Status::Ready;
+        }
+    }
+    if let Some(next) = sched.pick_next(&mut st) {
+        st.current = next;
+    }
+    sched.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+// ------------------------------------------------------------ the runner
+
+struct RunRes {
+    failure: Option<String>,
+    recorded: Vec<(u32, u32)>,
+    truncated: bool,
+}
+
+fn run_one(
+    sched: &Arc<Sched>,
+    f: &(impl Fn() + Sync),
+    planned: Vec<u32>,
+    random: bool,
+    rng: u64,
+) -> RunRes {
+    {
+        let mut st = sched.m.lock().unwrap();
+        *st = State::new(planned, random, rng);
+        let mut vc = vec![0u64; 1];
+        vc[0] = 1;
+        st.threads.push(ThreadSt::new_ready(vc));
+        st.current = 0;
+    }
+    std::thread::scope(|s| {
+        s.spawn(|| run_thread(Arc::clone(sched), 0, f));
+        let mut st = sched.m.lock().unwrap();
+        while !st.threads.iter().all(|t| t.status == Status::Finished) {
+            st = sched.cv.wait(st).unwrap();
+        }
+        drop(st);
+        for h in sched.take_handles() {
+            let _ = h.join();
+        }
+    });
+    let mut st = sched.m.lock().unwrap();
+    RunRes {
+        failure: st.failure.take(),
+        recorded: std::mem::take(&mut st.recorded),
+        truncated: st.truncated,
+    }
+}
+
+/// What a completed (violation-free) check explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct interleavings executed (DFS plus random fallback).
+    pub interleavings: usize,
+    /// The DFS exhausted the whole decision tree — every interleaving
+    /// within the model's bounds was seen.
+    pub exhausted: bool,
+    /// Executions cut off at the per-execution step bound (counted, not
+    /// failed — an unfair schedule spinning forever is not a bug).
+    pub truncated: usize,
+    /// Interleavings explored by the seeded-random fallback (included in
+    /// `interleavings`).
+    pub random_runs: usize,
+    /// FNV digest of every `(chosen, alternatives)` decision across every
+    /// execution, in order — two checks with equal digests explored the
+    /// same schedules in the same order (the determinism contract).
+    pub schedule_digest: u64,
+    /// Deepest decision vector seen.
+    pub max_depth: usize,
+}
+
+/// A failed check: the invariant violation and the schedule that
+/// reproduces it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The failure message (an `assert!`/`fail` inside the model).
+    pub message: String,
+    /// The decision vector of the failing execution — replayable input
+    /// for a fix-verify loop.
+    pub schedule: Vec<u32>,
+    /// Which execution (1-based) hit it.
+    pub interleaving: usize,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model violation on interleaving {}: {}\n  schedule: {:?}",
+            self.interleaving, self.message, self.schedule
+        )
+    }
+}
+
+/// A configured model check. `Default`/[`model`] bounds suit protocol
+/// tests that should finish in seconds in CI.
+#[derive(Debug, Clone, Copy)]
+pub struct Model {
+    /// DFS budget: maximum interleavings explored exhaustively.
+    pub max_interleavings: usize,
+    /// Further seeded-random interleavings after an unexhausted DFS.
+    pub random_fallback: usize,
+    /// Seed for the random fallback (and nothing else — DFS order is
+    /// seed-independent).
+    pub seed: u64,
+    /// Per-execution step bound (livelock backstop).
+    pub max_steps: usize,
+}
+
+impl Default for Model {
+    fn default() -> Model {
+        Model { max_interleavings: 8_000, random_fallback: 0, seed: 0x5EED_0001, max_steps: 20_000 }
+    }
+}
+
+impl Model {
+    /// A model with the default bounds.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Set the DFS interleaving budget.
+    pub fn max_interleavings(mut self, n: usize) -> Model {
+        self.max_interleavings = n;
+        self
+    }
+
+    /// Set the number of seeded-random fallback interleavings run when
+    /// the DFS budget ends before the tree does.
+    pub fn random_fallback(mut self, n: usize) -> Model {
+        self.random_fallback = n;
+        self
+    }
+
+    /// Set the random-fallback seed.
+    pub fn seed(mut self, seed: u64) -> Model {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the per-execution step bound.
+    pub fn max_steps(mut self, n: usize) -> Model {
+        self.max_steps = n;
+        self
+    }
+
+    /// Explore interleavings of `f` until a violation, the DFS tree, or
+    /// the budget is exhausted. `f` is run once per interleaving and must
+    /// be deterministic apart from scheduling (build fresh state each
+    /// call).
+    pub fn check(&self, f: impl Fn() + Sync) -> Result<Report, Violation> {
+        let sched = Arc::new(Sched::new(self.max_steps));
+        let mut planned: Vec<u32> = Vec::new();
+        let mut runs = 0usize;
+        let mut truncated = 0usize;
+        let mut digest = FNV_OFFSET;
+        let mut max_depth = 0usize;
+        let mut exhausted = false;
+        loop {
+            if runs >= self.max_interleavings {
+                break;
+            }
+            let res = run_one(&sched, &f, planned.clone(), false, 0);
+            runs += 1;
+            for &(c, a) in &res.recorded {
+                digest = fnv_fold(digest, u64::from(c));
+                digest = fnv_fold(digest, u64::from(a));
+            }
+            digest = fnv_fold(digest, 0xFF);
+            max_depth = max_depth.max(res.recorded.len());
+            if res.truncated {
+                truncated += 1;
+            }
+            if let Some(message) = res.failure {
+                return Err(Violation {
+                    message,
+                    schedule: res.recorded.iter().map(|&(c, _)| c).collect(),
+                    interleaving: runs,
+                });
+            }
+            // DFS backtrack: deepest decision with an untried alternative.
+            let mut rec = res.recorded;
+            loop {
+                match rec.last_mut() {
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                    Some((chosen, alts)) if *chosen + 1 < *alts => {
+                        *chosen += 1;
+                        planned = rec.iter().map(|&(c, _)| c).collect();
+                        break;
+                    }
+                    Some(_) => {
+                        rec.pop();
+                    }
+                }
+            }
+            if exhausted {
+                break;
+            }
+        }
+        let mut random_runs = 0usize;
+        if !exhausted {
+            let mut rng = self.seed;
+            for _ in 0..self.random_fallback {
+                let run_seed = splitmix(&mut rng);
+                let res = run_one(&sched, &f, Vec::new(), true, run_seed);
+                runs += 1;
+                random_runs += 1;
+                for &(c, a) in &res.recorded {
+                    digest = fnv_fold(digest, u64::from(c));
+                    digest = fnv_fold(digest, u64::from(a));
+                }
+                digest = fnv_fold(digest, 0xFE);
+                max_depth = max_depth.max(res.recorded.len());
+                if res.truncated {
+                    truncated += 1;
+                }
+                if let Some(message) = res.failure {
+                    return Err(Violation {
+                        message,
+                        schedule: res.recorded.iter().map(|&(c, _)| c).collect(),
+                        interleaving: runs,
+                    });
+                }
+            }
+        }
+        Ok(Report {
+            interleavings: runs,
+            exhausted,
+            truncated,
+            random_runs,
+            schedule_digest: digest,
+            max_depth,
+        })
+    }
+}
+
+/// Model-check `f` with default bounds, panicking with the violation and
+/// its reproducing schedule if one is found.
+pub fn model(f: impl Fn() + Sync) {
+    if let Err(v) = Model::new().check(f) {
+        panic!("{v}");
+    }
+}
+
+/// Model-check `f` expecting a violation (negative controls: a mutated
+/// protocol the checker must be able to catch). Panics if the check
+/// passes; returns the violation found.
+pub fn model_expect_failure(f: impl Fn() + Sync) -> Violation {
+    match Model::new().check(f) {
+        Ok(report) => panic!(
+            "negative control passed the checker: {} interleavings (exhausted: {}) found no violation",
+            report.interleavings, report.exhausted
+        ),
+        Err(v) => v,
+    }
+}

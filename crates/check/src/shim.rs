@@ -1,0 +1,488 @@
+//! Instrumented shims: every operation is a scheduler yield point, every
+//! atomic access goes through the vector-clock visibility model in
+//! [`sched`](crate::sched).
+//!
+//! The shims store no values themselves — each owns an index into the
+//! scheduler's per-execution state (`Loc` / `MutexSt`), so shim types are
+//! trivially `Send + Sync` and all interesting state resets between
+//! interleavings. They therefore only work *inside* `af_check::model`;
+//! constructing one outside a model run panics with a clear message.
+//!
+//! Drop paths (`CheckMutexGuard`, `CheckArc`) check
+//! `std::thread::panicking()` and skip scheduler interaction while
+//! unwinding: an aborted execution unwinds every model thread with a
+//! sentinel panic, and re-entering the scheduler from a `Drop` during
+//! that unwind would double-panic straight into `abort(3)`.
+
+use crate::sched::{self, with_ctx, Sched, Status, StoreRec};
+use crate::{AtomicBoolShim, AtomicU64Shim, AtomicUsizeShim, Family, MutexShim};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn acquiring(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releasing(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+// --------------------------------------------------------- atomic modeling
+
+/// Modeled atomic load. `SeqCst` reads the newest store; weaker loads may
+/// read any store in the eligible window (a value-choice decision when
+/// more than one store is visible). An acquiring load of a release store
+/// joins the store's clock into the reader's.
+fn atomic_load(loc: usize, ord: Ordering) -> u64 {
+    with_ctx(|sched, me| {
+        sched.schedule(me);
+        let mut st = sched.m.lock().unwrap();
+        let latest = st.locs[loc].stores.len() - 1;
+        let idx = if ord == Ordering::SeqCst {
+            latest
+        } else {
+            // Happens-before floor: the newest store already ordered
+            // before this load cannot be "skipped over" by reading an
+            // older one.
+            let mut floor = 0;
+            for (i, s) in st.locs[loc].stores.iter().enumerate() {
+                if st.threads[me].vc.get(s.writer).copied().unwrap_or(0) >= s.vc[s.writer] {
+                    floor = i;
+                }
+            }
+            // Per-location coherence: never travel back before a store
+            // this thread has already read (or written).
+            let floor = floor.max(st.threads[me].read_floor.get(&loc).copied().unwrap_or(0));
+            let alts = (latest - floor + 1) as u32;
+            // Choice 0 = newest (the DFS's first pass is the intuitive
+            // sequentially consistent execution); choice k = k-back.
+            let back = sched.decide(&mut st, alts) as usize;
+            latest - back
+        };
+        let rec_vc;
+        let val;
+        {
+            let s = &st.locs[loc].stores[idx];
+            val = s.val;
+            rec_vc = if s.release && acquiring(ord) { Some(s.vc.clone()) } else { None };
+        }
+        if let Some(vc) = rec_vc {
+            sched::vc_join(&mut st.threads[me].vc, &vc);
+        }
+        let f = st.threads[me].read_floor.entry(loc).or_insert(0);
+        *f = (*f).max(idx);
+        val
+    })
+}
+
+/// Modeled atomic store: appends to the location's modification order,
+/// stamped with the writer's clock and the release flag.
+fn atomic_store(loc: usize, val: u64, ord: Ordering) {
+    with_ctx(|sched, me| {
+        sched.schedule(me);
+        let mut st = sched.m.lock().unwrap();
+        let my = me;
+        if st.threads[my].vc.len() <= my {
+            st.threads[my].vc.resize(my + 1, 0);
+        }
+        st.threads[my].vc[my] += 1;
+        let vc = st.threads[my].vc.clone();
+        st.locs[loc].stores.push(StoreRec { val, vc, release: releasing(ord), writer: my });
+        let idx = st.locs[loc].stores.len() - 1;
+        st.threads[my].read_floor.insert(loc, idx);
+    })
+}
+
+/// Modeled read-modify-write: always reads the newest store (atomicity),
+/// applies `f`, appends the result. Continues a release sequence: if the
+/// store it replaced was a release, the new store keeps (and propagates)
+/// that store's clock, so an acquiring load of the RMW still
+/// synchronizes with the original release.
+fn atomic_rmw(loc: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    with_ctx(|sched, me| {
+        sched.schedule(me);
+        let mut st = sched.m.lock().unwrap();
+        let (prev, prev_vc, prev_release) = {
+            let s = st.locs[loc].stores.last().unwrap();
+            (s.val, s.vc.clone(), s.release)
+        };
+        if prev_release && acquiring(ord) {
+            sched::vc_join(&mut st.threads[me].vc, &prev_vc);
+        }
+        if st.threads[me].vc.len() <= me {
+            st.threads[me].vc.resize(me + 1, 0);
+        }
+        st.threads[me].vc[me] += 1;
+        let mut vc = st.threads[me].vc.clone();
+        if prev_release {
+            sched::vc_join(&mut vc, &prev_vc);
+        }
+        let release = releasing(ord) || prev_release;
+        st.locs[loc].stores.push(StoreRec { val: f(prev), vc, release, writer: me });
+        let idx = st.locs[loc].stores.len() - 1;
+        st.threads[me].read_floor.insert(loc, idx);
+        prev
+    })
+}
+
+fn new_loc(init: u64) -> usize {
+    with_ctx(|sched, me| sched.new_loc(me, init))
+}
+
+// ------------------------------------------------------------ atomic shims
+
+/// Instrumented `AtomicUsize`: every access is a model decision point.
+pub struct CheckAtomicUsize {
+    loc: usize,
+}
+
+impl AtomicUsizeShim for CheckAtomicUsize {
+    fn new(v: usize) -> Self {
+        CheckAtomicUsize { loc: new_loc(v as u64) }
+    }
+    fn load(&self, ord: Ordering) -> usize {
+        atomic_load(self.loc, ord) as usize
+    }
+    fn store(&self, v: usize, ord: Ordering) {
+        atomic_store(self.loc, v as u64, ord)
+    }
+    fn swap(&self, v: usize, ord: Ordering) -> usize {
+        atomic_rmw(self.loc, ord, |_| v as u64) as usize
+    }
+    fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        atomic_rmw(self.loc, ord, |p| p.wrapping_add(v as u64)) as usize
+    }
+    fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+        atomic_rmw(self.loc, ord, |p| p.wrapping_sub(v as u64)) as usize
+    }
+}
+
+/// Instrumented `AtomicU64`.
+pub struct CheckAtomicU64 {
+    loc: usize,
+}
+
+impl AtomicU64Shim for CheckAtomicU64 {
+    fn new(v: u64) -> Self {
+        CheckAtomicU64 { loc: new_loc(v) }
+    }
+    fn load(&self, ord: Ordering) -> u64 {
+        atomic_load(self.loc, ord)
+    }
+    fn store(&self, v: u64, ord: Ordering) {
+        atomic_store(self.loc, v, ord)
+    }
+    fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        atomic_rmw(self.loc, ord, |p| p.wrapping_add(v))
+    }
+}
+
+/// Instrumented `AtomicBool`.
+pub struct CheckAtomicBool {
+    loc: usize,
+}
+
+impl AtomicBoolShim for CheckAtomicBool {
+    fn new(v: bool) -> Self {
+        CheckAtomicBool { loc: new_loc(u64::from(v)) }
+    }
+    fn load(&self, ord: Ordering) -> bool {
+        atomic_load(self.loc, ord) != 0
+    }
+    fn store(&self, v: bool, ord: Ordering) {
+        atomic_store(self.loc, u64::from(v), ord)
+    }
+    fn swap(&self, v: bool, ord: Ordering) -> bool {
+        atomic_rmw(self.loc, ord, |_| u64::from(v)) != 0
+    }
+}
+
+// ------------------------------------------------------------------ mutex
+
+/// Instrumented mutex: lock acquisition order among contending threads is
+/// itself an explored scheduling decision, and lock/unlock carry the
+/// release/acquire happens-before edges a real mutex provides.
+pub struct CheckMutex<T> {
+    id: usize,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: access to `cell` is serialized by the model scheduler: a guard
+// exists only while `MutexSt::owner == Some(me)`, the scheduler runs one
+// model thread at a time, and ownership transfers happen under the
+// scheduler's state lock.
+unsafe impl<T: Send> Send for CheckMutex<T> {}
+// SAFETY: as above — the modeled ownership protocol provides the mutual
+// exclusion that makes shared `&CheckMutex<T>` access sound.
+unsafe impl<T: Send> Sync for CheckMutex<T> {}
+
+/// Guard for [`CheckMutex`]; releases the modeled lock on drop.
+pub struct CheckMutexGuard<'a, T: Send> {
+    lock: &'a CheckMutex<T>,
+}
+
+impl<T: Send> Deref for CheckMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: this guard proves the calling thread owns the modeled
+        // lock (see `CheckMutex`'s Sync justification).
+        unsafe { &*self.lock.cell.get() }
+    }
+}
+
+impl<T: Send> DerefMut for CheckMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive modeled ownership.
+        unsafe { &mut *self.lock.cell.get() }
+    }
+}
+
+impl<T: Send> Drop for CheckMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Unwinding (usually the abort sentinel): the execution is
+            // over and per-run mutex state resets; re-entering the
+            // scheduler here would double-panic.
+            return;
+        }
+        with_ctx(|sched, me| {
+            sched.schedule(me);
+            let mut st = sched.m.lock().unwrap();
+            debug_assert_eq!(st.mutexes[self.lock.id].owner, Some(me));
+            st.mutexes[self.lock.id].owner = None;
+            if st.threads[me].vc.len() <= me {
+                st.threads[me].vc.resize(me + 1, 0);
+            }
+            st.threads[me].vc[me] += 1;
+            let vc = st.threads[me].vc.clone();
+            st.mutexes[self.lock.id].release_vc = vc;
+            // Wake every waiter; which one wins the lock is a scheduling
+            // decision.
+            let id = self.lock.id;
+            for t in st.threads.iter_mut() {
+                if t.status == Status::BlockedOnMutex(id) {
+                    t.status = Status::Ready;
+                }
+            }
+        })
+    }
+}
+
+impl<T: Send> MutexShim<T> for CheckMutex<T> {
+    type Guard<'a>
+        = CheckMutexGuard<'a, T>
+    where
+        T: 'a;
+
+    fn new(v: T) -> Self {
+        CheckMutex { id: with_ctx(|sched, me| sched.new_mutex(me)), cell: UnsafeCell::new(v) }
+    }
+
+    fn lock(&self) -> CheckMutexGuard<'_, T> {
+        with_ctx(|sched, me| {
+            sched.schedule(me);
+            let id = self.id;
+            sched.block_until(me, Status::BlockedOnMutex(id), |st| {
+                if st.mutexes[id].owner.is_none() {
+                    st.mutexes[id].owner = Some(me);
+                    let vc = st.mutexes[id].release_vc.clone();
+                    sched::vc_join(&mut st.threads[me].vc, &vc);
+                    true
+                } else {
+                    false
+                }
+            });
+        });
+        CheckMutexGuard { lock: self }
+    }
+}
+
+// ------------------------------------------------------------------- arc
+
+struct ArcShadow {
+    count_loc: usize,
+    freed_loc: usize,
+}
+
+/// Instrumented `Arc`: a real `std::sync::Arc` for memory safety plus a
+/// *shadow* refcount run through the model, mimicking `Arc`'s actual
+/// atomics (`fetch_add(1, Relaxed)` on clone, `fetch_sub(1, Release)` +
+/// acquire on drop). The shadow asserts the two protocol-level crimes a
+/// real `Arc` turns into UB: resurrection (cloning after the count hit
+/// zero — what a lost left-right guard looks like) and use-after-free
+/// (dereferencing after the last drop).
+pub struct CheckArc<T: Send + Sync + 'static> {
+    inner: Arc<T>,
+    shadow: Arc<ArcShadow>,
+}
+
+impl<T: Send + Sync + 'static> CheckArc<T> {
+    /// A new shadow-counted Arc holding `v`.
+    pub fn new(v: T) -> CheckArc<T> {
+        CheckArc {
+            inner: Arc::new(v),
+            shadow: Arc::new(ArcShadow { count_loc: new_loc(1), freed_loc: new_loc(0) }),
+        }
+    }
+
+    /// The current shadow strong count, as a modeled `SeqCst` load (test
+    /// assertions).
+    pub fn shadow_count(&self) -> u64 {
+        atomic_load(self.shadow.count_loc, Ordering::SeqCst)
+    }
+
+    /// Alias this Arc *without* bumping the shadow count — deliberately
+    /// models a protocol bug where a reference escapes refcount
+    /// accounting (a lost left-right guard). For negative controls: once
+    /// every counted handle drops, using the alias is a detected
+    /// use-after-free. Never a production pattern.
+    pub fn leak_alias(&self) -> CheckArc<T> {
+        CheckArc { inner: Arc::clone(&self.inner), shadow: Arc::clone(&self.shadow) }
+    }
+}
+
+impl<T: Send + Sync + 'static> Clone for CheckArc<T> {
+    fn clone(&self) -> CheckArc<T> {
+        // Arc::clone is fetch_add(1, Relaxed) on the strong count.
+        let prev = atomic_rmw(self.shadow.count_loc, Ordering::Relaxed, |p| p + 1);
+        if prev == 0 {
+            with_ctx(|sched, _| {
+                sched.fail("CheckArc resurrected: clone observed strong count 0 (the value was already freed on some interleaving)")
+            });
+        }
+        CheckArc { inner: Arc::clone(&self.inner), shadow: Arc::clone(&self.shadow) }
+    }
+}
+
+impl<T: Send + Sync + 'static> Deref for CheckArc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        if atomic_load(self.shadow.freed_loc, Ordering::SeqCst) != 0 {
+            with_ctx(|sched, _| {
+                sched.fail("CheckArc use-after-free: deref after the shadow count reached 0")
+            });
+        }
+        &self.inner
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for CheckArc<T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        // Arc::drop is fetch_sub(1, Release); the thread that sees
+        // prev == 1 acquires and frees.
+        let prev = atomic_rmw(self.shadow.count_loc, Ordering::Release, |p| p.wrapping_sub(1));
+        if prev == 0 {
+            with_ctx(|sched, _| sched.fail("CheckArc over-release: drop observed strong count 0"));
+        }
+        if prev == 1 {
+            atomic_load(self.shadow.count_loc, Ordering::Acquire);
+            atomic_store(self.shadow.freed_loc, 1, Ordering::SeqCst);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- threads
+
+/// Model-aware `thread::spawn`/`JoinHandle` with the happens-before edges
+/// real spawn/join provide.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a model thread; [`join`](JoinHandle::join) blocks through
+    /// the scheduler.
+    pub struct JoinHandle<T> {
+        id: usize,
+        result: Arc<std::sync::Mutex<Option<T>>>,
+    }
+
+    /// Spawn a model thread. The closure runs under the scheduler: its
+    /// shim operations interleave with every other model thread's.
+    pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+        with_ctx(|sched, me| {
+            let child = {
+                let mut st = sched.m.lock().unwrap();
+                let child = st.threads.len();
+                // Spawn edge: the child starts with (and is ordered
+                // after) everything the parent has done.
+                if st.threads[me].vc.len() <= me {
+                    st.threads[me].vc.resize(me + 1, 0);
+                }
+                st.threads[me].vc[me] += 1;
+                let mut vc = st.threads[me].vc.clone();
+                if vc.len() <= child {
+                    vc.resize(child + 1, 0);
+                }
+                vc[child] = 1;
+                st.threads.push(crate::sched::ThreadSt::new_ready(vc));
+                child
+            };
+            let result = Arc::new(std::sync::Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let sched2 = Arc::clone(sched);
+            let handle = std::thread::Builder::new()
+                .name(format!("af-check-{child}"))
+                .spawn(move || {
+                    crate::sched::run_thread(sched2, child, move || {
+                        let v = f();
+                        *slot.lock().unwrap() = Some(v);
+                    })
+                })
+                .expect("spawn model thread");
+            sched.push_handle(handle);
+            // The spawn itself is a yield point: the child may run first.
+            sched.schedule(me);
+            JoinHandle { id: child, result }
+        })
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait (through the scheduler) for the thread to finish and take
+        /// its result. Joining establishes the usual happens-before edge:
+        /// everything the child did is visible after `join` returns.
+        pub fn join(self) -> T {
+            with_ctx(|sched: &Arc<Sched>, me| {
+                sched.schedule(me);
+                let id = self.id;
+                sched.block_until(me, Status::BlockedOnJoin(id), |st| {
+                    if st.threads[id].status == Status::Finished {
+                        let vc = st.threads[id].vc.clone();
+                        sched::vc_join(&mut st.threads[me].vc, &vc);
+                        true
+                    } else {
+                        false
+                    }
+                });
+            });
+            self.result.lock().unwrap().take().expect("joined model thread returned no value")
+        }
+    }
+}
+
+// ----------------------------------------------------------------- family
+
+/// The model-checked family: protocols instantiated with `CheckFamily`
+/// run under [`model`](crate::model) with every operation explored.
+pub struct CheckFamily;
+
+impl Family for CheckFamily {
+    type AtomicUsize = CheckAtomicUsize;
+    type AtomicU64 = CheckAtomicU64;
+    type AtomicBool = CheckAtomicBool;
+    type Mutex<T: Send> = CheckMutex<T>;
+
+    fn spin(_iter: u32) {
+        // A spin-wait iteration: mark this thread yielded (the scheduler
+        // prefers everyone else, so whoever can unblock the wait runs
+        // next) and yield the token. Keeps spin loops from livelocking
+        // the model or exploding the decision tree.
+        with_ctx(|sched, me| {
+            sched.spin_mark(me);
+            sched.schedule(me);
+        })
+    }
+}

@@ -109,10 +109,14 @@ mod imp {
     /// Re-seed the probabilistic-trigger stream (call once at the start of
     /// a chaos scenario for reproducible fault schedules).
     pub fn seed(seed: u64) {
+        // ordering: Relaxed — the RNG stream is self-contained state; no
+        // other memory is published through it.
         RNG.store(seed, Ordering::Relaxed);
     }
 
     fn next_unit() -> f64 {
+        // ordering: Relaxed — fetch_add's RMW atomicity alone keeps the
+        // stream collision-free across threads; no ordering is needed.
         let mut x = RNG.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         x ^= x >> 30;
         x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -83,8 +83,17 @@
 //! # let _ = (prediction, bytes);
 //! ```
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
+pub mod protocol;
+
+use crate::protocol::{
+    compact_warranted, delta_disposition, should_signal_compactor, DeltaDisposition, EpochCore,
+    HealthCore, LeftRightCore,
+};
 use af_ann::{merge_neighbors, Neighbor};
+use af_check::StdFamily;
 use af_core::artifact::{write_atomic, ArtifactError, ShardLayout, StoreOptions};
 use af_core::config::{AnnBackend, AutoFormulaConfig};
 use af_core::fail_point;
@@ -94,21 +103,20 @@ use af_core::pipeline::{AutoFormula, PipelineVariant, PredictOptions, Prediction
 use af_core::SheetEmbedding;
 use af_grid::{CellRef, Sheet, Workbook};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-// All state swaps and reader announcements use `SeqCst`: the proof that a
-// writer never frees a state a reader is acquiring needs the writer's
-// `active` store, the reader's counter increment, and both re-checks to sit
-// in one total order. The cost is nanoseconds against a prediction that
-// runs embedding kernels for microseconds to milliseconds.
-const ORD: Ordering = Ordering::SeqCst;
+// Memory-ordering discipline: the left-right publish/acquire choreography
+// lives in [`protocol`], model-checked by `af-check` (tests/model.rs) with
+// SeqCst kept only on the four store-buffering-critical operations; see
+// the proof sketch in the module docs and ARCHITECTURE.md §Verification.
+// Every atomic access in this file carries its own `// ordering:` note.
 
 /// Which shard owns a sheet: a deterministic (splitmix64-style) hash of
 /// the sheet's provenance key, modulo the shard count. Part of the
@@ -131,110 +139,75 @@ pub fn shard_of(key: SheetKey, n_shards: usize) -> usize {
 
 // ------------------------------------------------------- left-right cell
 
-/// One slot of a left-right pair: a raw `Arc<T>` pointer plus the count of
-/// readers currently dereferencing it.
-struct Slot<T> {
-    ptr: AtomicPtr<T>,
-    readers: AtomicUsize,
-}
-
-impl<T> Slot<T> {
-    fn holding(v: Arc<T>) -> Slot<T> {
-        Slot { ptr: AtomicPtr::new(Arc::into_raw(v) as *mut T), readers: AtomicUsize::new(0) }
-    }
-}
-
 /// A two-slot left-right cell: lock-free wait-free-in-practice reads, and
 /// epoch-style publishes that wait out stragglers instead of blocking
 /// readers. Each serving shard owns one.
+///
+/// The choreography — slots, announce/confirm, drain-then-swap — lives in
+/// [`protocol::LeftRightCore`], model-checked over `af-check`'s shims;
+/// this wrapper instantiates it with [`StdFamily`] (plain `std` atomics,
+/// zero cost) and raw `Arc<T>` pointers as the payload tokens.
 struct LeftRight<T> {
-    slots: [Slot<T>; 2],
-    /// Which slot readers should use. The invariant that makes reads safe:
-    /// a slot's pointer is only ever replaced while `active` names the
-    /// *other* slot **and** the slot's reader count has been observed at
-    /// zero after that — so a reader that announced itself and then
-    /// confirmed the slot is still active holds a pinned pointer.
-    active: AtomicUsize,
-    /// Serializes publishers on this cell (the write path and the
-    /// compactor). Readers never touch it.
-    writer: Mutex<()>,
+    core: LeftRightCore<StdFamily>,
+    /// The cell owns one `Arc<T>` strong count per slot token.
+    _owns: PhantomData<Arc<T>>,
 }
 
 impl<T> LeftRight<T> {
     fn new(v: Arc<T>) -> LeftRight<T> {
-        LeftRight {
-            slots: [Slot::holding(Arc::clone(&v)), Slot::holding(v)],
-            active: AtomicUsize::new(0),
-            writer: Mutex::new(()),
-        }
+        let slot0 = Arc::into_raw(Arc::clone(&v)) as usize;
+        let slot1 = Arc::into_raw(v) as usize;
+        LeftRight { core: LeftRightCore::new(slot0, slot1), _owns: PhantomData }
     }
 
     /// Acquire the current value. Lock-free; at most a couple of retries
     /// when a publish races past.
     fn read(&self) -> Arc<T> {
-        loop {
-            let a = self.active.load(ORD);
-            let slot = &self.slots[a];
-            // Announce, then confirm the slot is still the active one. If
-            // it is, the writer cannot replace this slot's pointer until
-            // our count drops (it drains inactive slots only, and `active`
-            // can't return to this slot without a full publish that drains
-            // it first).
-            slot.readers.fetch_add(1, ORD);
-            if self.active.load(ORD) == a {
-                let p = slot.ptr.load(ORD);
-                let v = unsafe {
-                    Arc::increment_strong_count(p);
-                    Arc::from_raw(p)
-                };
-                slot.readers.fetch_sub(1, ORD);
-                return v;
+        self.core.read(|token| {
+            let p = token as *const T;
+            // SAFETY: `token` round-trips a pointer minted by
+            // `Arc::into_raw` (in `new` or `publish`), and the core's
+            // announce/confirm protocol pins the slot until the `pin`
+            // closure returns: the publisher drains this slot's reader
+            // count to zero before swapping out and retiring the token,
+            // so the slot's strong count is alive for the whole closure.
+            // Incrementing before `from_raw` keeps the slot's own count
+            // intact while handing the caller an owned clone.
+            unsafe {
+                Arc::increment_strong_count(p);
+                Arc::from_raw(p)
             }
-            // A publish moved `active` between our two loads; retry on the
-            // new slot.
-            slot.readers.fetch_sub(1, ORD);
-        }
+        })
     }
 
-    /// Spin until no reader holds `slot`. Only a publisher calls this, and
-    /// only for the slot `active` does not name — readers drain quickly
-    /// (their critical section is two loads and an `Arc` count bump) and
-    /// new readers cannot enter a non-active slot.
-    fn drain(slot: &Slot<T>) {
-        let mut spins = 0u32;
-        while slot.readers.load(ORD) != 0 {
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
-        }
+    /// Take the publisher lock; `publish` must be called under it.
+    fn write_lock(&self) -> impl Drop + '_ {
+        self.core.write_lock()
     }
 
-    /// Replace both slots with `new`. The caller must hold [`Self::writer`].
+    /// Replace both slots with `new`. The caller must hold
+    /// [`Self::write_lock`].
     fn publish(&self, new: Arc<T>) {
-        let a = self.active.load(ORD);
-        let b = 1 - a;
-        // Slot b is inactive: wait out stragglers, install the new value,
-        // then direct readers at it.
-        Self::drain(&self.slots[b]);
-        let old = self.slots[b].ptr.swap(Arc::into_raw(Arc::clone(&new)) as *mut T, ORD);
-        unsafe { drop(Arc::from_raw(old)) };
-        self.active.store(b, ORD);
-        // Now slot a is inactive; once its readers drain, bring it to the
-        // same value so the next publish has a clean inactive slot.
-        Self::drain(&self.slots[a]);
-        let old = self.slots[a].ptr.swap(Arc::into_raw(new) as *mut T, ORD);
-        unsafe { drop(Arc::from_raw(old)) };
+        self.core.publish(
+            || Arc::into_raw(Arc::clone(&new)) as usize,
+            |old| {
+                // SAFETY: every retired token is a pointer this cell
+                // minted via `Arc::into_raw` with its own strong count,
+                // displaced from its slot after the core drained the
+                // slot's readers — nothing observes it after this drop.
+                unsafe { drop(Arc::from_raw(old as *const T)) }
+            },
+        );
     }
 }
 
 impl<T> Drop for LeftRight<T> {
     fn drop(&mut self) {
-        for slot in &self.slots {
-            let p = slot.ptr.load(ORD);
-            unsafe { drop(Arc::from_raw(p)) };
+        for token in self.core.payloads_mut() {
+            // SAFETY: `&mut self` means no readers or publishers are
+            // live; each slot still owns the strong count its token was
+            // minted with, released exactly once here.
+            unsafe { drop(Arc::from_raw(token as *const T)) };
         }
     }
 }
@@ -291,16 +264,13 @@ impl ShardState {
 /// query (or an operator) quarantines a shard, it stays excluded from the
 /// read path until an explicit [`ServeHandle::recover_shard`] — automatic
 /// un-quarantine would re-expose readers to a shard that just proved it
-/// can panic.
-struct ShardHealth {
-    /// Quarantined shards are skipped by `predict*` (queries report them
-    /// in [`ServeOutcome::shards_skipped`]). Writes and compaction still
-    /// proceed — the data is intact; it is the *scan* that misbehaved.
-    quarantined: AtomicBool,
-    /// Epoch current when the quarantine was imposed (observability: how
-    /// stale is the operator's picture of this shard).
-    since_epoch: AtomicU64,
-}
+/// can panic. Quarantined shards are skipped by `predict*` (reported in
+/// [`ServeOutcome::shards_skipped`]); writes and compaction still proceed
+/// — the data is intact, it is the *scan* that misbehaved.
+///
+/// The flag/epoch choreography lives in [`protocol::HealthCore`]
+/// (model-checked sticky-quarantine invariant).
+type ShardHealth = HealthCore<StdFamily>;
 
 struct Shard {
     state: LeftRight<ShardState>,
@@ -410,7 +380,7 @@ struct Shared {
     /// Monotonic epoch: the number of `add_workbook` publishes. Compaction
     /// republishes shard states but does not bump the epoch — it changes
     /// layout, not content.
-    epoch: AtomicU64,
+    epoch: EpochCore<StdFamily>,
     /// Provenance id the next added workbook receives.
     next_workbook_id: AtomicUsize,
     /// Next global sheet id. Allocated under the owning shard's writer
@@ -442,11 +412,11 @@ impl Shared {
     /// `serve::compact` failpoint); the supervisor treats it like a panic.
     fn compact(&self, shard: usize) -> Result<(), af_core::failpoint::Injected> {
         let cell = &self.shards[shard].state;
-        let guard = cell.writer.lock();
+        let guard = cell.write_lock();
         let cur = cell.read();
         // Re-check under the lock: a racing compaction signal may already
         // have been served.
-        if cur.delta.n_sheets() < self.delta_max.max(1) {
+        if !compact_warranted(cur.delta.n_sheets(), self.delta_max) {
             return Ok(());
         }
         // The failpoint sits before any cloning so an injected panic or
@@ -463,15 +433,15 @@ impl Shared {
     }
 
     fn quarantine(&self, shard: usize) {
-        quarantine(&self.shards[shard].health, self.epoch.load(ORD), &self.counters);
+        quarantine(&self.shards[shard].health, self.epoch.current(), &self.counters);
     }
 }
 
 /// Impose quarantine on one shard (idempotent; only the first imposition
-/// records the epoch and counts an event).
+/// counts an event).
 fn quarantine(health: &ShardHealth, epoch: u64, counters: &Counters) {
-    if !health.quarantined.swap(true, ORD) {
-        health.since_epoch.store(epoch, ORD);
+    if health.quarantine(epoch) {
+        // ordering: Relaxed — observability counter, not synchronization.
         counters.quarantine_events.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -653,6 +623,8 @@ impl Snapshot {
     ) -> ServeOutcome {
         let shards_skipped = excluded.iter().filter(|&&x| x).count();
         let degraded = shards_skipped > 0 || candidates_dropped > 0 || deadline_exceeded;
+        // ordering: Relaxed — independent monotonic counters; stats()
+        // tolerates observing them at slightly different instants.
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         if degraded {
             self.counters.degraded_queries.fetch_add(1, Ordering::Relaxed);
@@ -689,7 +661,7 @@ impl Snapshot {
         let segments = self.segments();
         // Per-query shard exclusion, seeded from the sticky quarantine
         // flags; a mid-query panic adds to it (and to the shared flags).
-        let mut excluded: Vec<bool> = self.health.iter().map(|h| h.quarantined.load(ORD)).collect();
+        let mut excluded: Vec<bool> = self.health.iter().map(|h| h.is_quarantined()).collect();
         let mut dropped = 0usize;
         let mut deadline_hit = false;
 
@@ -709,13 +681,14 @@ impl Snapshot {
             type ScanResult = Result<Vec<Neighbor>, af_core::failpoint::Injected>;
             let scanned = catch_unwind(AssertUnwindSafe(|| -> ScanResult {
                 fail_point!("serve::shard_scan", Err);
-                let hits = match variant {
-                    PipelineVariant::FineOnly => {
-                        let sig = emb.fine_topleft.as_ref().expect("signature computed");
-                        seg.index
-                            .similar_sheets_fine(sig, cfg.k_sheets)
-                            .unwrap_or_else(|| seg.index.similar_sheets(&emb.coarse, cfg.k_sheets))
-                    }
+                // A `FineOnly` plan always computes the signature, but the
+                // read path never panics on that assumption: a missing
+                // signature degrades to the coarse scan instead.
+                let hits = match (variant, emb.fine_topleft.as_ref()) {
+                    (PipelineVariant::FineOnly, Some(sig)) => seg
+                        .index
+                        .similar_sheets_fine(sig, cfg.k_sheets)
+                        .unwrap_or_else(|| seg.index.similar_sheets(&emb.coarse, cfg.k_sheets)),
                     _ => seg.index.similar_sheets(&emb.coarse, cfg.k_sheets),
                 };
                 Ok(hits.into_iter().map(|n| Neighbor::new(seg.globals[n.id], n.dist)).collect())
@@ -771,10 +744,13 @@ impl Snapshot {
                 fail_point!("serve::region_rank", Err);
                 let mut rows = Vec::new();
                 for (ordinal, &rid) in seg.index.regions_of_sheet(local_sheet).iter().enumerate() {
-                    let d = match variant {
-                        PipelineVariant::CoarseOnly => seg
+                    // `target_coarse` is Some exactly when the plan is
+                    // `CoarseOnly`; matching on both keeps the read path
+                    // panic-free if that coupling ever breaks.
+                    let d = match (variant, target_coarse.as_ref()) {
+                        (PipelineVariant::CoarseOnly, Some(tc)) => seg
                             .index
-                            .coarse_region_distance(rid, target_coarse.as_ref().expect("computed"))
+                            .coarse_region_distance(rid, tc)
                             .unwrap_or_else(|| seg.index.region_distance(rid, &target_fine)),
                         _ => seg.index.region_distance(rid, &target_fine),
                     };
@@ -972,10 +948,7 @@ impl ServeHandle {
             .zip(globals)
             .map(|(base, g)| Shard {
                 state: LeftRight::new(Arc::new(ShardState::sealed(base, g, &delta_cfg))),
-                health: Arc::new(ShardHealth {
-                    quarantined: AtomicBool::new(false),
-                    since_epoch: AtomicU64::new(0),
-                }),
+                health: Arc::new(ShardHealth::new()),
             })
             .collect();
 
@@ -988,7 +961,7 @@ impl ServeHandle {
         let shared = Arc::new(Shared {
             system: Arc::new(system),
             shards,
-            epoch: AtomicU64::new(0),
+            epoch: EpochCore::new(0),
             next_workbook_id: AtomicUsize::new(next_workbook_id),
             next_global: AtomicUsize::new(n_sheets),
             counters: Arc::new(Counters::default()),
@@ -1022,6 +995,8 @@ impl ServeHandle {
                         }
                         match weak.upgrade() {
                             Some(shared) => {
+                                // ordering: Relaxed — independent stats
+                                // counter, publishes nothing.
                                 shared.counters.compactor_restarts.fetch_add(1, Ordering::Relaxed)
                             }
                             None => return,
@@ -1075,6 +1050,8 @@ impl ServeHandle {
         let layout = (layout.n_shards > 1).then_some(layout);
         snap.system
             .save_sharded(&merged, StoreOptions::default(), layout.as_ref())
+            // lint: allow(no_panic) — write path (artifact export), not a
+            // serve read; the default layout is statically valid.
             .expect("default layout cannot fail")
     }
 
@@ -1091,10 +1068,11 @@ impl ServeHandle {
     /// shard; the returned snapshot stays valid (and immutable) for as
     /// long as the caller holds it, regardless of concurrent writes.
     pub fn snapshot(&self) -> Snapshot {
+        // ordering: Relaxed — independent stats counter, publishes nothing.
         self.shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
         // Epoch first: concurrent publishes can only make the data *newer*
         // than the reported epoch, keeping per-reader epochs monotone.
-        let epoch = self.shared.epoch.load(ORD);
+        let epoch = self.shared.epoch.current();
         let shards = self.shared.shards.iter().map(|s| s.state.read()).collect();
         Snapshot {
             system: Arc::clone(&self.shared.system),
@@ -1107,7 +1085,7 @@ impl ServeHandle {
 
     /// Current epoch (0 until the first [`ServeHandle::add_workbook`]).
     pub fn epoch(&self) -> u64 {
-        self.shared.epoch.load(ORD)
+        self.shared.epoch.current()
     }
 
     /// Serving counters and snapshot age — the numbers an operator (or a
@@ -1121,6 +1099,8 @@ impl ServeHandle {
         ServeStats {
             epoch: snap.epoch,
             snapshot_age: youngest,
+            // ordering: Relaxed — stats reads are independent monotonic
+            // counters; a snapshot of them need not be mutually consistent.
             queries_served: c.queries.load(Ordering::Relaxed),
             snapshots_acquired: c.snapshots.load(Ordering::Relaxed),
             workbooks_added: c.adds.load(Ordering::Relaxed),
@@ -1128,7 +1108,7 @@ impl ServeHandle {
                 .shared
                 .shards
                 .iter()
-                .filter(|s| s.health.quarantined.load(ORD))
+                .filter(|s| s.health.is_quarantined())
                 .count() as u64,
             degraded_queries: c.degraded_queries.load(Ordering::Relaxed),
             deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
@@ -1161,7 +1141,7 @@ impl ServeHandle {
     /// # Panics
     /// If `shard >= n_shards`.
     pub fn recover_shard(&self, shard: usize) {
-        self.shared.shards[shard].health.quarantined.store(false, ORD);
+        self.shared.shards[shard].health.recover();
     }
 
     /// Shards currently quarantined, with the epoch each was quarantined
@@ -1171,11 +1151,8 @@ impl ServeHandle {
             .shards
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.health.quarantined.load(ORD))
-            .map(|(shard, s)| QuarantinedShard {
-                shard,
-                since_epoch: s.health.since_epoch.load(ORD),
-            })
+            .filter(|(_, s)| s.health.is_quarantined())
+            .map(|(shard, s)| QuarantinedShard { shard, since_epoch: s.health.since_epoch() })
             .collect()
     }
 
@@ -1263,16 +1240,21 @@ impl ServeHandle {
     /// their snapshot, new queries see the new sheets. Full deltas are
     /// handed to the background compactor. Returns the new epoch.
     pub fn add_workbook(&self, workbook: &Workbook) -> u64 {
-        let id = self.shared.next_workbook_id.fetch_add(1, ORD);
+        // ordering: Relaxed — a unique-id allocator; nothing is published
+        // through it (the sheets become visible via the shard publish).
+        let id = self.shared.next_workbook_id.fetch_add(1, Ordering::Relaxed);
         let embedder = self.shared.system.embedder();
         let n_shards = self.shared.shards.len();
         for (si, sheet) in workbook.sheets.iter().enumerate() {
             let key = SheetKey { workbook: id, sheet: si };
             let cell = &self.shared.shards[shard_of(key, n_shards)].state;
-            let guard = cell.writer.lock();
+            let guard = cell.write_lock();
             // Allocate the global id under the shard lock so per-shard
             // global lists stay strictly ascending.
-            let global = self.shared.next_global.fetch_add(1, ORD);
+            // ordering: Relaxed — uniqueness comes from RMW atomicity;
+            // strict per-shard ascent comes from allocating under the
+            // shard's writer lock, whose edges order the allocations.
+            let global = self.shared.next_global.fetch_add(1, Ordering::Relaxed);
             let cur = cell.read();
             let new = if self.shared.delta_max == 0 {
                 // Deltas disabled: grow the base synchronously (O(shard)).
@@ -1299,11 +1281,14 @@ impl ServeHandle {
                     delta_globals,
                     published_at: Instant::now(),
                 };
-                if self.shared.backpressure_at.is_some_and(|at| grown.delta.n_sheets() >= at) {
+                if delta_disposition(grown.delta.n_sheets(), self.shared.backpressure_at)
+                    == DeltaDisposition::CompactInline
+                {
                     // Backpressure: the delta has outgrown the compactor
                     // (wedged, or simply outpaced). Fold it into the base
                     // inline — one synchronous O(shard) write beats every
                     // query on this shard degrading toward O(corpus).
+                    // ordering: Relaxed — observability counter.
                     self.shared.counters.inline_compactions.fetch_add(1, Ordering::Relaxed);
                     let mut base = (*grown.base).clone();
                     base.absorb(&grown.delta);
@@ -1314,21 +1299,22 @@ impl ServeHandle {
                     grown
                 }
             };
-            let full = new.delta.n_sheets() >= self.shared.delta_max.max(1);
+            let signal = should_signal_compactor(new.delta.n_sheets(), self.shared.delta_max);
             // An injected panic here aborts the write *before* the publish:
             // the writer lock unwinds clean and readers keep the previous
             // state — no torn shard.
             fail_point!("serve::delta_publish");
             cell.publish(Arc::new(new));
             drop(guard);
-            if self.shared.delta_max > 0 && full {
+            if signal {
                 if let Some(tx) = &self.shared.compact_tx {
                     let _ = tx.send(shard_of(key, n_shards));
                 }
             }
         }
+        // ordering: Relaxed — independent stats counter, publishes nothing.
         self.shared.counters.adds.fetch_add(1, Ordering::Relaxed);
-        self.shared.epoch.fetch_add(1, ORD) + 1
+        self.shared.epoch.advance()
     }
 }
 

@@ -50,6 +50,8 @@
 //! assert_eq!(decoded.codec(), Codec::Int8);
 //! ```
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod dense;
 pub mod f16;

@@ -9,8 +9,10 @@
 //! unmapped when the last `Bytes` clone referencing it drops (the owner
 //! hook added to the vendored `bytes`).
 //!
-//! On targets without a raw `mmap` binding the function degrades to
-//! `std::fs::read` — same `Bytes` out, just heap-resident.
+//! On targets without a raw `mmap` binding — and under Miri, which
+//! cannot model foreign `mmap` calls — the function degrades to
+//! `std::fs::read`: same `Bytes` out, just heap-resident. That keeps
+//! this module's tests runnable in the Miri CI job.
 //!
 //! The region is mapped `MAP_PRIVATE` + `PROT_READ`. Truncating or
 //! rewriting the file while it is mapped is undefined behavior at the OS
@@ -22,7 +24,7 @@ use std::fs::File;
 use std::io;
 use std::path::Path;
 
-#[cfg(all(unix, any(target_os = "linux", target_os = "android", target_os = "macos")))]
+#[cfg(all(unix, not(miri), any(target_os = "linux", target_os = "android", target_os = "macos")))]
 mod sys {
     use super::*;
     use std::os::raw::{c_int, c_void};
@@ -55,6 +57,7 @@ mod sys {
     // SAFETY: the region is immutable (PROT_READ, private) for its whole
     // lifetime, so shared references from any thread are fine.
     unsafe impl Send for MmapRegion {}
+    // SAFETY: same argument as Send — immutable for its whole lifetime.
     unsafe impl Sync for MmapRegion {}
 
     impl AsRef<[u8]> for MmapRegion {
@@ -98,12 +101,16 @@ pub fn map_file(path: &Path) -> io::Result<Bytes> {
     map_file_impl(&file, len, path)
 }
 
-#[cfg(all(unix, any(target_os = "linux", target_os = "android", target_os = "macos")))]
+#[cfg(all(unix, not(miri), any(target_os = "linux", target_os = "android", target_os = "macos")))]
 fn map_file_impl(file: &File, len: usize, _path: &Path) -> io::Result<Bytes> {
     Ok(Bytes::from_owner(sys::map(file, len)?))
 }
 
-#[cfg(not(all(unix, any(target_os = "linux", target_os = "android", target_os = "macos"))))]
+#[cfg(not(all(
+    unix,
+    not(miri),
+    any(target_os = "linux", target_os = "android", target_os = "macos")
+)))]
 fn map_file_impl(_file: &File, _len: usize, path: &Path) -> io::Result<Bytes> {
     Ok(Bytes::from(std::fs::read(path)?))
 }
@@ -138,7 +145,7 @@ mod tests {
         let p = tmp("aligned", &[1u8; 64]);
         let b = map_file(&p).expect("map");
         assert!(
-            (b.as_ptr() as usize).is_multiple_of(4096) || !cfg!(target_os = "linux"),
+            (b.as_ptr() as usize).is_multiple_of(4096) || !cfg!(target_os = "linux") || cfg!(miri),
             "mmap base must be page-aligned"
         );
         drop(b);
