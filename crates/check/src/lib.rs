@@ -12,8 +12,9 @@
 //!   `Family` compiles to exactly the code it would be with bare `std`
 //!   types. Zero cost, no cfg gymnastics at call sites.
 //! * **Instrumented shims + scheduler** (behind the `check` feature):
-//!   [`CheckFamily`]'s `CheckAtomicUsize`/`CheckMutex`/`CheckArc` route
-//!   every operation through a deterministic [scheduler](model) that
+//!   `CheckFamily`'s `CheckAtomicUsize`/`CheckMutex`/`CheckArc` route
+//!   every operation through a deterministic scheduler (the `model`
+//!   module, compiled with the feature) that
 //!   explores thread interleavings by bounded exhaustive DFS, with a
 //!   seeded-random fallback past the DFS budget. Atomic loads honour a
 //!   vector-clock *visibility model*: a `Relaxed`/`Acquire` load may

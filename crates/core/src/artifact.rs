@@ -52,7 +52,7 @@ use af_embed::FeaturizerCodecError;
 use af_grid::{CellRef, ViewWindow};
 use af_nn::serialize::SnapshotError;
 use af_nn::tensor::l2_normalize;
-use af_store::{Codec, StoreError, VectorStore};
+use af_store::{Codec, StoreError, StoreSink, VectorStore};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 use std::path::Path;
@@ -87,12 +87,12 @@ pub struct ShardLayout {
     pub assignment: Vec<u32>,
 }
 
-fn encode_shards(buf: &mut BytesMut, layout: &ShardLayout) {
-    buf.put_u8(ROUTER_HASH_BY_SHEET);
-    buf.put_u32(layout.n_shards as u32);
-    buf.put_u64(layout.assignment.len() as u64);
+fn encode_shards<S: StoreSink>(buf: &mut S, layout: &ShardLayout) {
+    buf.write_u8(ROUTER_HASH_BY_SHEET);
+    buf.write_u32(layout.n_shards as u32);
+    buf.write_u64(layout.assignment.len() as u64);
     for &s in &layout.assignment {
-        buf.put_u32(s);
+        buf.write_u32(s);
     }
 }
 
@@ -262,9 +262,9 @@ fn get_count(
     Ok(n)
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
-    buf.put_u32(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_string<S: StoreSink>(buf: &mut S, s: &str) {
+    buf.write_u32(s.len() as u32);
+    buf.write_bytes(s.as_bytes());
 }
 
 fn get_string(data: &mut Bytes, what: &'static str) -> Result<String, ArtifactError> {
@@ -284,8 +284,42 @@ fn get_string(data: &mut Bytes, what: &'static str) -> Result<String, ArtifactEr
 /// Alignment is section-local: `save_with` pads the section table and
 /// every section body to a multiple of 4, so a local offset that is
 /// 0 mod 4 is 0 mod 4 in the final buffer (and in a page-aligned mmap).
-fn put_vec_table(buf: &mut BytesMut, table: &VecTable, codec: Codec) {
+fn put_vec_table<S: StoreSink>(buf: &mut S, table: &VecTable, codec: Codec) {
     af_store::put_store_as(buf, table.store(), codec);
+}
+
+/// Resolve an auto PQ codec (`Codec::Pq { m: 0 }`) against a table's
+/// dimension: when the table is a concatenation of fine cell vectors
+/// (`dim` a multiple of `fine_cell_dim`), place one sub-quantizer per
+/// cell slot so subspace boundaries land exactly on cell boundaries.
+/// Window slots have heterogeneous magnitudes (headers vs. data vs.
+/// empties), and a subspace straddling two slots would spend its 256
+/// centroids on the cross product of both distributions — the same
+/// fat-layout trap the per-vector int8 affine dodges with per-row
+/// scales (ARCHITECTURE.md §5). Other tables (coarse embeddings, cell
+/// caches) keep the auto split chosen by the store itself.
+fn table_codec(codec: Codec, dim: usize, fine_cell_dim: usize) -> Codec {
+    match codec {
+        Codec::Pq { m: 0 } if fine_cell_dim > 0 && dim.is_multiple_of(fine_cell_dim) => {
+            Codec::Pq { m: (dim / fine_cell_dim) as u16 }
+        }
+        c => c,
+    }
+}
+
+/// Run a boxed ANN index's `encode_with` (a `BytesMut`-only trait
+/// method) against any sink, byte-identically: the encoder's pad runs
+/// key off `len() % 4`, so staging into a scratch buffer pre-seeded to
+/// the sink's current alignment reproduces the exact bytes an in-place
+/// call would have written, and the seed prefix is dropped on copy-out.
+fn encode_ann_index<S: StoreSink>(buf: &mut S, idx: &dyn af_ann::VectorIndex, codec: Codec) {
+    let seed = buf.written() % 4;
+    let mut staged = BytesMut::new();
+    for _ in 0..seed {
+        staged.put_u8(0);
+    }
+    idx.encode_with(&mut staged, codec);
+    buf.write_bytes(&staged[seed..]);
 }
 
 fn get_vec_table(
@@ -339,9 +373,9 @@ fn get_vec_table_v1(
     ))))
 }
 
-fn put_cell(buf: &mut BytesMut, cell: CellRef) {
-    buf.put_u32(cell.row);
-    buf.put_u32(cell.col);
+fn put_cell<S: StoreSink>(buf: &mut S, cell: CellRef) {
+    buf.write_u32(cell.row);
+    buf.write_u32(cell.col);
 }
 
 fn get_cell(data: &mut Bytes, what: &'static str) -> Result<CellRef, ArtifactError> {
@@ -352,52 +386,52 @@ fn get_cell(data: &mut Bytes, what: &'static str) -> Result<CellRef, ArtifactErr
 
 // ----------------------------------------------------------- config codec
 
-fn encode_config(buf: &mut BytesMut, cfg: &AutoFormulaConfig, feat_dim: usize) {
-    buf.put_u32(feat_dim as u32);
-    buf.put_u32(cfg.window.rows);
-    buf.put_u32(cfg.window.cols);
-    buf.put_u64(cfg.reduce_hidden as u64);
-    buf.put_u64(cfg.cell_dim as u64);
-    buf.put_u64(cfg.fine_cell_dim as u64);
-    buf.put_u64(cfg.coarse_channels.0 as u64);
-    buf.put_u64(cfg.coarse_channels.1 as u64);
-    buf.put_u64(cfg.coarse_dim as u64);
-    buf.put_f32(cfg.margin);
-    buf.put_f32(cfg.lr);
-    buf.put_u64(cfg.episodes as u64);
-    buf.put_u64(cfg.batch_size as u64);
-    buf.put_u64(cfg.k_sheets as u64);
-    buf.put_u64(cfg.neighborhood_d as u64);
-    buf.put_f32(cfg.s3_anchor_lambda);
-    buf.put_f32(cfg.theta_region);
-    buf.put_u8(cfg.coarse_augmentation as u8);
-    buf.put_u8(cfg.fine_augmentation as u8);
-    buf.put_u64(cfg.seed);
-    buf.put_u64(cfg.search_parallel_threshold as u64);
-    buf.put_u64(cfg.search_threads as u64);
-    buf.put_u64(cfg.embed_threads as u64);
+fn encode_config<S: StoreSink>(buf: &mut S, cfg: &AutoFormulaConfig, feat_dim: usize) {
+    buf.write_u32(feat_dim as u32);
+    buf.write_u32(cfg.window.rows);
+    buf.write_u32(cfg.window.cols);
+    buf.write_u64(cfg.reduce_hidden as u64);
+    buf.write_u64(cfg.cell_dim as u64);
+    buf.write_u64(cfg.fine_cell_dim as u64);
+    buf.write_u64(cfg.coarse_channels.0 as u64);
+    buf.write_u64(cfg.coarse_channels.1 as u64);
+    buf.write_u64(cfg.coarse_dim as u64);
+    buf.write_f32(cfg.margin);
+    buf.write_f32(cfg.lr);
+    buf.write_u64(cfg.episodes as u64);
+    buf.write_u64(cfg.batch_size as u64);
+    buf.write_u64(cfg.k_sheets as u64);
+    buf.write_u64(cfg.neighborhood_d as u64);
+    buf.write_f32(cfg.s3_anchor_lambda);
+    buf.write_f32(cfg.theta_region);
+    buf.write_u8(cfg.coarse_augmentation as u8);
+    buf.write_u8(cfg.fine_augmentation as u8);
+    buf.write_u64(cfg.seed);
+    buf.write_u64(cfg.search_parallel_threshold as u64);
+    buf.write_u64(cfg.search_threads as u64);
+    buf.write_u64(cfg.embed_threads as u64);
     match cfg.ann_backend {
-        AnnBackend::Flat => buf.put_u8(0),
+        AnnBackend::Flat => buf.write_u8(0),
         AnnBackend::Hnsw(p) => {
-            buf.put_u8(1);
-            buf.put_u64(p.m as u64);
-            buf.put_u64(p.ef_construction as u64);
-            buf.put_u64(p.ef_search as u64);
-            buf.put_u64(p.seed);
+            buf.write_u8(1);
+            buf.write_u64(p.m as u64);
+            buf.write_u64(p.ef_construction as u64);
+            buf.write_u64(p.ef_search as u64);
+            buf.write_u64(p.seed);
         }
         AnnBackend::Ivf(p) => {
-            buf.put_u8(2);
-            buf.put_u64(p.n_lists as u64);
-            buf.put_u64(p.n_probe as u64);
-            buf.put_u64(p.kmeans_iters as u64);
-            buf.put_u64(p.seed);
+            buf.write_u8(2);
+            buf.write_u64(p.n_lists as u64);
+            buf.write_u64(p.n_probe as u64);
+            buf.write_u64(p.kmeans_iters as u64);
+            buf.write_u64(p.seed);
         }
     }
     // v3 tail: serving-shard knobs. Older readers never reach these bytes
     // (they reject version 3 up front); older *artifacts* decode with the
     // defaults below.
-    buf.put_u64(cfg.n_shards as u64);
-    buf.put_u64(cfg.delta_max_sheets as u64);
+    buf.write_u64(cfg.n_shards as u64);
+    buf.write_u64(cfg.delta_max_sheets as u64);
 }
 
 fn decode_config(
@@ -485,36 +519,38 @@ fn decode_config(
 const FINE_FAT: u8 = 0;
 const FINE_COMPACT: u8 = 1;
 
-fn encode_index(
-    buf: &mut BytesMut,
+fn encode_index<S: StoreSink>(
+    buf: &mut S,
     index: &ReferenceIndex,
     opts: StoreOptions,
     fine_cell_dim: usize,
 ) -> Result<(), ArtifactError> {
-    buf.put_u64(index.keys.len() as u64);
+    buf.write_u64(index.keys.len() as u64);
     for key in &index.keys {
-        buf.put_u64(key.workbook as u64);
-        buf.put_u64(key.sheet as u64);
+        buf.write_u64(key.workbook as u64);
+        buf.write_u64(key.sheet as u64);
     }
     for meta in &index.meta {
         put_string(buf, &meta.name);
-        buf.put_u32(meta.rows);
-        buf.put_u32(meta.cols);
+        buf.write_u32(meta.rows);
+        buf.write_u32(meta.cols);
     }
-    index.coarse.encode_with(buf, opts.codec);
+    encode_ann_index(buf, index.coarse.as_ref(), opts.codec);
     match &index.fine_sheets {
         Some(idx) => {
-            buf.put_u8(1);
-            idx.encode_with(buf, opts.codec);
+            buf.write_u8(1);
+            // Fine-signature vectors are whole windows: resolve an auto
+            // PQ split onto cell boundaries (see `table_codec`).
+            encode_ann_index(buf, idx.as_ref(), table_codec(opts.codec, idx.dim(), fine_cell_dim));
         }
-        None => buf.put_u8(0),
+        None => buf.write_u8(0),
     }
-    buf.put_u64(index.regions.len() as u64);
+    buf.write_u64(index.regions.len() as u64);
     for entry in &index.regions {
-        buf.put_u64(entry.sheet_idx as u64);
+        buf.write_u64(entry.sheet_idx as u64);
         put_cell(buf, entry.cell);
         put_string(buf, &entry.formula);
-        buf.put_u64(entry.params.len() as u64);
+        buf.write_u64(entry.params.len() as u64);
         for &param in &entry.params {
             put_cell(buf, param);
         }
@@ -527,7 +563,7 @@ fn encode_index(
             ));
         };
         debug_assert_eq!(cache.sheets.len(), index.keys.len());
-        buf.put_u8(FINE_COMPACT);
+        buf.write_u8(FINE_COMPACT);
         // Shared constant rows, always exact (they are two vectors). An
         // index with zero sheets never captured them; write zeros — no
         // region will ever gather them.
@@ -541,26 +577,88 @@ fn encode_index(
         }
         put_vec_table(buf, &consts, Codec::F32);
         for sheet in &cache.sheets {
-            buf.put_u64(sheet.refs.len() as u64);
+            buf.write_u64(sheet.refs.len() as u64);
             for &at in &sheet.refs {
                 put_cell(buf, at);
             }
             put_vec_table(buf, &sheet.vecs, opts.codec);
         }
     } else {
-        buf.put_u8(FINE_FAT);
-        put_vec_table(buf, &index.region_vecs, opts.codec);
-        put_vec_table(buf, &index.param_vecs, opts.codec);
+        buf.write_u8(FINE_FAT);
+        let fine = table_codec(opts.codec, index.region_vecs.store().dim(), fine_cell_dim);
+        put_vec_table(buf, &index.region_vecs, fine);
+        put_vec_table(buf, &index.param_vecs, fine);
     }
     match &index.coarse_region_vecs {
         Some(vecs) => {
-            buf.put_u8(1);
+            buf.write_u8(1);
             put_vec_table(buf, vecs, opts.codec);
         }
-        None => buf.put_u8(0),
+        None => buf.write_u8(0),
     }
-    buf.put_f64(index.build_seconds);
+    buf.write_f64(index.build_seconds);
     Ok(())
+}
+
+/// The raw bytes backing a `f32` slice, for page-level `madvise` hints.
+fn as_byte_view(v: &[f32]) -> &[u8] {
+    // SAFETY: `v` is a live, initialized allocation; f32 has no invalid
+    // byte patterns and the length covers exactly the same memory, so
+    // reinterpreting it as bytes for the duration of the borrow is sound.
+    unsafe { std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), std::mem::size_of_val(v)) }
+}
+
+/// Per-sheet gather state, built once per sheet and reused across every
+/// window gathered from it: the sorted cell refs, an optional contiguous
+/// f32 image of the cache rows (exact codec — skips the per-row dynamic
+/// dispatch), and a row → refs-range index so a window row costs one
+/// range lookup plus a short in-row scan instead of a binary search per
+/// slot. This is what makes a compact load cheap on a single core.
+struct SheetGatherCtx<'a> {
+    sheet: &'a SheetFineCells,
+    flat: Option<&'a [f32]>,
+    /// `row_ranges[r]` is the `[start, end)` range of `sheet.refs` lying
+    /// on sheet row `r`. `None` for degenerate layouts whose max row is
+    /// far larger than the cell count (the index would be mostly empty);
+    /// those fall back to binary search per window row.
+    row_ranges: Option<Vec<(u32, u32)>>,
+}
+
+impl<'a> SheetGatherCtx<'a> {
+    fn new(sheet: &'a SheetFineCells) -> SheetGatherCtx<'a> {
+        let refs = &sheet.refs;
+        let flat = sheet.vecs.store().as_f32_slice();
+        let max_row = refs.last().map(|r| r.row as usize).unwrap_or(0);
+        let row_ranges = (max_row <= refs.len() * 16 + 1024).then(|| {
+            let mut ranges = vec![(0u32, 0u32); max_row + 1];
+            let mut i = 0usize;
+            while i < refs.len() {
+                let (row, start) = (refs[i].row, i);
+                while i < refs.len() && refs[i].row == row {
+                    i += 1;
+                }
+                ranges[row as usize] = (start as u32, i as u32);
+            }
+            ranges
+        });
+        SheetGatherCtx { sheet, flat, row_ranges }
+    }
+
+    /// The `[start, end)` range of `sheet.refs` on sheet row `r` (empty
+    /// when the row holds no stored cells).
+    fn row_range(&self, r: u32) -> (usize, usize) {
+        match &self.row_ranges {
+            Some(ranges) => {
+                ranges.get(r as usize).map_or((0, 0), |&(s, e)| (s as usize, e as usize))
+            }
+            None => {
+                let refs = &self.sheet.refs;
+                let lo = refs.partition_point(|x| x.row < r);
+                let hi = lo + refs[lo..].partition_point(|x| x.row == r);
+                (lo, hi)
+            }
+        }
+    }
 }
 
 /// Gather the fine window centered at `center` from a sheet's cell cache —
@@ -570,38 +668,120 @@ fn encode_index(
 /// constant rows, and the window geometry reproduce the build-time gather
 /// exactly; under the `f32` codec the reconstructed tables are
 /// bit-identical to the fat layout's.
+///
+/// Slots past the top/left sheet edge get the `invalid` row; in-bounds
+/// slots default to the `empty` row, and the stored cells on each window
+/// row — found via [`SheetGatherCtx::row_range`] — overwrite their slots.
+/// The final values per slot are exactly the old one-binary-search-per-
+/// slot gather's, just computed row-wise: each window row is at most two
+/// whole-row copies from the pre-tiled blank rows plus one short copy per
+/// stored cell.
 fn gather_window(
     window: ViewWindow,
     fine_cell_dim: usize,
-    sheet: &SheetFineCells,
-    empty: &[f32],
-    invalid: &[f32],
+    ctx: &SheetGatherCtx<'_>,
+    blanks: &BlankRows,
     center: CellRef,
     out: &mut [f32],
 ) {
     let (or, oc) = window.centered_origin(center);
-    let mut slot = 0usize;
+    let f8 = fine_cell_dim;
+    let cols = window.cols as usize;
+    let refs = &ctx.sheet.refs;
+    let interior = or >= 0 && oc >= 0;
+    if interior {
+        // No out-of-bounds slots anywhere: blanket the whole window in
+        // one copy; stored cells overwrite below.
+        out.copy_from_slice(&blanks.empty_window);
+    }
     for dr in 0..window.rows as i64 {
-        for dc in 0..window.cols as i64 {
-            let (r, c) = (or + dr, oc + dc);
-            let dst = &mut out[slot * fine_cell_dim..(slot + 1) * fine_cell_dim];
-            if r < 0 || c < 0 {
-                dst.copy_from_slice(invalid);
-            } else {
-                let at = CellRef::new(r as u32, c as u32);
-                match sheet.refs.binary_search(&at) {
-                    Ok(j) => sheet.vecs.store().row_into(j, dst),
-                    Err(_) => dst.copy_from_slice(empty),
+        let r = or + dr;
+        let row_out = &mut out[dr as usize * cols * f8..][..cols * f8];
+        if r < 0 {
+            row_out.copy_from_slice(&blanks.invalid_row);
+            continue;
+        }
+        let n_invalid = ((-oc).max(0) as usize).min(cols);
+        if !interior {
+            row_out[..n_invalid * f8].copy_from_slice(&blanks.invalid_row[..n_invalid * f8]);
+            row_out[n_invalid * f8..].copy_from_slice(&blanks.empty_row[n_invalid * f8..]);
+        }
+        let (lo, hi) = ctx.row_range(r as u32);
+        let c0 = oc + n_invalid as i64;
+        let start = lo + refs[lo..hi].partition_point(|x| (x.col as i64) < c0);
+        let mut j = start;
+        while j < hi {
+            let col = refs[j].col as i64;
+            if col >= oc + cols as i64 {
+                break;
+            }
+            match ctx.flat {
+                Some(flat) => {
+                    // Consecutive columns are consecutive cache rows, so a
+                    // densely stored stretch of the sheet row lands as one
+                    // copy instead of one per cell.
+                    let max_run = ((oc + cols as i64 - col) as usize).min(hi - j);
+                    let mut run = 1usize;
+                    while run < max_run && refs[j + run].col as i64 == col + run as i64 {
+                        run += 1;
+                    }
+                    row_out[(col - oc) as usize * f8..][..run * f8]
+                        .copy_from_slice(&flat[j * f8..(j + run) * f8]);
+                    j += run;
+                }
+                None => {
+                    let dst = &mut row_out[(col - oc) as usize * f8..][..f8];
+                    ctx.sheet.vecs.store().row_into(j, dst);
+                    j += 1;
                 }
             }
-            slot += 1;
         }
     }
     l2_normalize(out);
 }
 
+/// The constant window rows, pre-tiled to full window width (and the
+/// all-blank window to full window size) so blank stretches are one
+/// `memcpy` instead of one per cell slot.
+struct BlankRows {
+    /// `cols` repetitions of the in-bounds blank-cell vector.
+    empty_row: Vec<f32>,
+    /// `cols` repetitions of the out-of-bounds vector.
+    invalid_row: Vec<f32>,
+    /// `rows × cols` repetitions of the blank-cell vector — the whole
+    /// window image of an interior window before cells are placed.
+    empty_window: Vec<f32>,
+}
+
+impl BlankRows {
+    fn new(rows: usize, cols: usize, empty: &[f32], invalid: &[f32]) -> BlankRows {
+        BlankRows {
+            empty_row: empty.repeat(cols),
+            invalid_row: invalid.repeat(cols),
+            empty_window: empty.repeat(rows * cols),
+        }
+    }
+}
+
 /// Rebuild the fat region/parameter tables from a compact fine cache (one
 /// gather+normalize pass over every region and parameter window).
+///
+/// The gather is the dominant cost of a compact load (historically
+/// ~190 ms at `AF_SCALE=small`), attacked from two directions, both
+/// bit-identical to the original slot-at-a-time pass (pinned by
+/// `compact_layout_is_bit_identical_under_f32`):
+///
+/// * **Cheaper windows** — per-sheet [`SheetGatherCtx`] (row-range index
+///   and contiguous-f32 fast path), whole-row/whole-window blank tiling
+///   ([`BlankRows`]), run-coalesced cell copies, duplicate-center reuse,
+///   and huge-page backing for the output tables.
+/// * **Parallel fill** — every window is independent: region `i` owns
+///   row `i` of the region table and rows `param_start ..
+///   param_start + params.len()` of the parameter table, so workers
+///   (capped by `cfg.embed_threads`) split the region list into
+///   contiguous chunks and write straight into disjoint slices of the
+///   flat output — no locks, no post-hoc reordering. (Window dedup is
+///   per-chunk, so worker count still never changes the output bits.)
 fn reconstruct_fine_tables(
     cfg: &AutoFormulaConfig,
     regions: &[RegionEntry],
@@ -609,27 +789,103 @@ fn reconstruct_fine_tables(
 ) -> (VecTable, VecTable) {
     let fine_dim = cfg.fine_dim();
     let f8 = cfg.fine_cell_dim;
-    let mut region_vecs = VecTable::new(fine_dim);
-    let mut param_vecs = VecTable::new(fine_dim);
-    let mut scratch = vec![0.0f32; fine_dim];
-    for entry in regions {
-        let sheet = &cache.sheets[entry.sheet_idx];
-        gather_window(
-            cfg.window,
-            f8,
-            sheet,
-            &cache.empty,
-            &cache.invalid,
-            entry.cell,
-            &mut scratch,
-        );
-        region_vecs.push(&scratch);
-        for &param in &entry.params {
-            gather_window(cfg.window, f8, sheet, &cache.empty, &cache.invalid, param, &mut scratch);
-            param_vecs.push(&scratch);
+    let total_params = regions.last().map(|e| e.param_start + e.params.len()).unwrap_or(0);
+    let mut region_flat = vec![0.0f32; regions.len() * fine_dim];
+    let mut param_flat = vec![0.0f32; total_params * fine_dim];
+    // The tables are tens of MiB written end to end; huge-page backing
+    // turns the sequential first touch into one soft fault per 2 MiB.
+    af_store::advise(as_byte_view(&region_flat), af_store::Advice::HugePage);
+    af_store::advise(as_byte_view(&param_flat), af_store::Advice::HugePage);
+
+    let blanks = BlankRows::new(
+        cfg.window.rows as usize,
+        cfg.window.cols as usize,
+        &cache.empty,
+        &cache.invalid,
+    );
+    let blanks = &blanks;
+    let fill = |chunk: &[RegionEntry], region_out: &mut [f32], param_out: &mut [f32]| {
+        let param_base = chunk.first().map(|e| e.param_start).unwrap_or(0);
+        // Region entries arrive grouped by sheet, so the per-sheet gather
+        // context (row index + f32 fast path) is rebuilt only on sheet
+        // changes and amortized over every window on that sheet.
+        let mut ctx: Option<(usize, SheetGatherCtx<'_>)> = None;
+        // The same window center recurs across entries (~25% of windows
+        // at small scale are parameter cells shared between regions);
+        // identical inputs gather to identical rows, so later occurrences
+        // are a straight copy of the first one's output. `true` marks a
+        // row in the parameter table, `false` the region table.
+        let mut seen: std::collections::HashMap<(usize, CellRef), (bool, usize)> =
+            std::collections::HashMap::new();
+        let mut place = |target_param: bool,
+                         slot: usize,
+                         center: CellRef,
+                         sheet_idx: usize,
+                         sg: &SheetGatherCtx<'_>,
+                         region_out: &mut [f32],
+                         param_out: &mut [f32]| {
+            let src = seen.get(&(sheet_idx, center)).copied();
+            let (out, other, dst_lo) = if target_param {
+                (&mut *param_out, &*region_out, slot * fine_dim)
+            } else {
+                (&mut *region_out, &*param_out, slot * fine_dim)
+            };
+            match src {
+                Some((src_param, src_slot)) if src_param == target_param => {
+                    out.copy_within(src_slot * fine_dim..(src_slot + 1) * fine_dim, dst_lo);
+                }
+                Some((_, src_slot)) => {
+                    out[dst_lo..dst_lo + fine_dim]
+                        .copy_from_slice(&other[src_slot * fine_dim..(src_slot + 1) * fine_dim]);
+                }
+                None => {
+                    let dst = &mut out[dst_lo..dst_lo + fine_dim];
+                    gather_window(cfg.window, f8, sg, blanks, center, dst);
+                    seen.insert((sheet_idx, center), (target_param, slot));
+                }
+            }
+        };
+        for (i, entry) in chunk.iter().enumerate() {
+            if ctx.as_ref().map(|&(si, _)| si) != Some(entry.sheet_idx) {
+                ctx = Some((entry.sheet_idx, SheetGatherCtx::new(&cache.sheets[entry.sheet_idx])));
+            }
+            let sg = &ctx.as_ref().expect("context just built").1;
+            place(false, i, entry.cell, entry.sheet_idx, sg, region_out, param_out);
+            for (pi, &param) in entry.params.iter().enumerate() {
+                let slot = entry.param_start - param_base + pi;
+                place(true, slot, param, entry.sheet_idx, sg, region_out, param_out);
+            }
         }
+    };
+
+    let workers = crate::config::resolve_threads(cfg.embed_threads).min(regions.len().max(1));
+    if workers <= 1 {
+        fill(regions, &mut region_flat, &mut param_flat);
+    } else {
+        let fill = &fill;
+        std::thread::scope(|s| {
+            let mut region_rest: &mut [f32] = &mut region_flat;
+            let mut param_rest: &mut [f32] = &mut param_flat;
+            let mut start = 0usize;
+            for w in 0..workers {
+                let end = regions.len() * (w + 1) / workers;
+                let chunk = &regions[start..end];
+                let param_hi = regions.get(end).map(|e| e.param_start).unwrap_or(total_params);
+                let param_lo = chunk.first().map(|e| e.param_start).unwrap_or(param_hi);
+                let (region_here, rest) = region_rest.split_at_mut(chunk.len() * fine_dim);
+                region_rest = rest;
+                let (param_here, rest) = param_rest.split_at_mut((param_hi - param_lo) * fine_dim);
+                param_rest = rest;
+                s.spawn(move || fill(chunk, region_here, param_here));
+                start = end;
+            }
+        });
     }
-    (region_vecs, param_vecs)
+
+    (
+        VecTable::from_store(af_store::DenseStore::from_f32_rows(fine_dim, region_flat)),
+        VecTable::from_store(af_store::DenseStore::from_f32_rows(fine_dim, param_flat)),
+    )
 }
 
 /// The section prefix shared by both format versions: keys, sheet
@@ -801,6 +1057,60 @@ fn decode_index(
 
 // ---------------------------------------------------------- save and load
 
+/// A [`StoreSink`] streaming into a buffered temp file. I/O errors are
+/// deferred — the encoders stay infallible, [`StoreSink::write_bytes`]
+/// keeps counting bytes after a failure so pad alignment never skews, and
+/// the save path surfaces the first error once in [`FileSink::finish`].
+struct FileSink {
+    w: std::io::BufWriter<std::fs::File>,
+    written: usize,
+    err: Option<std::io::Error>,
+}
+
+impl FileSink {
+    fn create(path: &Path) -> std::io::Result<FileSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(FileSink { w: std::io::BufWriter::new(f), written: 0, err: None })
+    }
+
+    /// Flush the stream, seek back over the zeroed placeholder at offset
+    /// 12 to write the now-known section table, and `fsync`. The caller
+    /// renames into place afterwards, so readers never observe the
+    /// placeholder.
+    fn finish(mut self, table: &[(u16, u64, u64)]) -> std::io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        self.w.flush()?;
+        let mut f = self.w.into_inner().map_err(|e| e.into_error())?;
+        f.seek(SeekFrom::Start(12))?;
+        let mut entries = BytesMut::with_capacity(table.len() * 18);
+        for &(id, offset, len) in table {
+            entries.put_u16(id);
+            entries.put_u64(offset);
+            entries.put_u64(len);
+        }
+        f.write_all(&entries)?;
+        f.sync_all()
+    }
+}
+
+impl StoreSink for FileSink {
+    fn write_bytes(&mut self, s: &[u8]) {
+        if self.err.is_none() {
+            if let Err(e) = std::io::Write::write_all(&mut self.w, s) {
+                self.err = Some(e);
+            }
+        }
+        self.written += s.len();
+    }
+
+    fn written(&self) -> usize {
+        self.written
+    }
+}
+
 /// Write `bytes` to `path` atomically: a temporary file in the same
 /// directory (same filesystem, so the final `rename(2)` is atomic) takes
 /// the full write and an `fsync`, then replaces `path` in one step. On any
@@ -954,6 +1264,16 @@ impl AutoFormula {
 
     /// [`AutoFormula::save_to_path`] with explicit storage options and an
     /// optional serving shard layout (see [`AutoFormula::save_sharded`]).
+    ///
+    /// Unlike [`AutoFormula::save_sharded`], which concatenates every
+    /// section in memory, this **streams** each section straight into the
+    /// temp file through a [`StoreSink`]: peak save memory stays bounded
+    /// by the largest staged block (the section table and the ANN
+    /// payloads) instead of scaling with the whole artifact. The bytes on
+    /// disk are identical to the in-memory encoding — both paths run the
+    /// same encoders, and pad runs align on the sink position — and the
+    /// temp + `fsync` + rename contract of [`write_atomic`] is preserved,
+    /// including the `core::artifact_save` failpoint mid-stream.
     pub fn save_to_path_with(
         &self,
         index: &ReferenceIndex,
@@ -961,8 +1281,77 @@ impl AutoFormula {
         layout: Option<&ShardLayout>,
         path: &Path,
     ) -> Result<(), ArtifactError> {
-        let bytes = self.save_sharded(index, opts, layout)?;
-        write_atomic(path, &bytes)
+        if let Some(layout) = layout {
+            if layout.assignment.len() != index.keys.len() {
+                return Err(ArtifactError::Invalid(
+                    "shard assignment length disagrees with sheet count",
+                ));
+            }
+        }
+        let io_err = |e: std::io::Error| ArtifactError::Io(e.to_string());
+        let dir = path.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(Path::new("."));
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact.afar");
+        let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+        // Any failure from here on removes the temporary before returning.
+        let stream = |tmp: &Path| -> Result<(), ArtifactError> {
+            let n_sections = 4 + usize::from(layout.is_some());
+            let header = 12 + n_sections * 18;
+            let table_pad = (4 - header % 4) % 4;
+            let mut sink = FileSink::create(tmp).map_err(io_err)?;
+            sink.write_u32(MAGIC);
+            sink.write_u16(VERSION);
+            sink.write_u16(0); // flags, reserved
+            sink.write_u32(n_sections as u32);
+            // Zeroed placeholder for the section table (+ alignment pad):
+            // offsets and lengths are known only after streaming, so
+            // `finish` seeks back and writes the real entries before the
+            // fsync + rename publishes the file.
+            sink.write_bytes(&vec![0u8; n_sections * 18 + table_pad]);
+            let payload_base = sink.written();
+            debug_assert_eq!(payload_base % 4, 0);
+            let mut table: Vec<(u16, u64, u64)> = Vec::with_capacity(n_sections);
+            // Pad the body to a multiple of 4 (the next section and the
+            // embedding-table blocks inside it rely on the alignment) and
+            // record the entry; lengths include the pad, like
+            // `save_sharded`.
+            let mut seal = |sink: &mut FileSink, id: u16, start: usize| {
+                while !sink.written().is_multiple_of(4) {
+                    sink.write_u8(0);
+                }
+                table.push((id, (start - payload_base) as u64, (sink.written() - start) as u64));
+            };
+            let mut start = sink.written();
+            encode_config(&mut sink, self.cfg(), self.model.feat_dim);
+            seal(&mut sink, SEC_CONFIG, start);
+            start = sink.written();
+            sink.write_bytes(&af_embed::save_featurizer(&self.featurizer));
+            seal(&mut sink, SEC_FEATURIZER, start);
+            start = sink.written();
+            sink.write_bytes(&self.model.to_bytes());
+            seal(&mut sink, SEC_MODEL, start);
+            crate::fail_point!("core::artifact_save", |e: crate::failpoint::Injected| Err(
+                ArtifactError::Io(e.to_string())
+            ));
+            start = sink.written();
+            encode_index(&mut sink, index, opts, self.cfg().fine_cell_dim)?;
+            seal(&mut sink, SEC_INDEX, start);
+            if let Some(layout) = layout {
+                start = sink.written();
+                encode_shards(&mut sink, layout);
+                seal(&mut sink, SEC_SHARDS, start);
+            }
+            sink.finish(&table).map_err(io_err)
+        };
+        match stream(&tmp) {
+            Ok(()) => std::fs::rename(&tmp, path).map_err(|e| {
+                let _ = std::fs::remove_file(&tmp);
+                io_err(e)
+            }),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 
     /// Rebuild a complete serving state from an artifact produced by
@@ -1013,6 +1402,10 @@ impl AutoFormula {
         crate::fail_point!("core::artifact_load", |e: crate::failpoint::Injected| Err(
             ArtifactError::Io(e.to_string())
         ));
+        // For an mmap-backed load, prefetch the header + section table
+        // page up front (it is about to be parsed sequentially). On heap
+        // buffers or non-unix targets this is a no-op.
+        af_store::advise(&data[..data.len().min(4096)], af_store::Advice::WillNeed);
         let mut head = data;
         if get_u32(&mut head, "magic")? != MAGIC {
             return Err(ArtifactError::BadMagic);
@@ -1066,7 +1459,11 @@ impl AutoFormula {
         }
         let mut model = RepresentationModel::new(feat_dim, cfg);
         model.load_bytes(section(SEC_MODEL, "MODEL")?)?;
-        let index = decode_index(&mut section(SEC_INDEX, "INDEX")?, &cfg, version)?;
+        let mut index_bytes = section(SEC_INDEX, "INDEX")?;
+        // The INDEX section is served zero-copy and queried at random row
+        // offsets — tell the kernel not to waste read-ahead on it.
+        af_store::advise(&index_bytes, af_store::Advice::Random);
+        let index = decode_index(&mut index_bytes, &cfg, version)?;
         let layout = if table.iter().any(|&(id, _, _)| id == SEC_SHARDS) {
             Some(decode_shards(&mut section(SEC_SHARDS, "SHARDS")?, index.keys.len())?)
         } else {
@@ -1172,16 +1569,24 @@ mod tests {
     fn quantized_artifacts_load_and_serve() {
         let (af, index, corpus) = small_system();
         let fat = af.save(&index);
-        for codec in [Codec::F16, Codec::Int8] {
+        for codec in [Codec::F16, Codec::Int8, Codec::Pq { m: 0 }] {
             for compact_fine in [false, true] {
                 let opts = StoreOptions { codec, compact_fine };
                 let bytes = af.save_with(&index, opts).expect("save");
-                assert!(bytes.len() < fat.len(), "{opts:?} must shrink the artifact");
+                // PQ shrinks only the tables whose row count clears the
+                // training threshold (here the param table trains, the
+                // region tables stay pending as raw f32 + header), so the
+                // size win is partial and corpus-dependent at this scale —
+                // it is benchmarked properly in BENCH_store.json; the
+                // other codecs shrink everywhere.
+                if codec.tag() != 4 {
+                    assert!(bytes.len() < fat.len(), "{opts:?} must shrink the artifact");
+                }
                 let (loaded, loaded_index) = AutoFormula::load(&bytes).expect("load");
                 assert_eq!(loaded_index.n_sheets(), index.n_sheets());
                 assert_eq!(loaded_index.n_regions(), index.n_regions());
                 if !compact_fine {
-                    assert_eq!(loaded_index.fine_codec(), codec);
+                    assert_eq!(loaded_index.fine_codec().tag(), codec.tag());
                 }
                 // Quantized serving stays on the rails: predictions exist
                 // and the self-query case still finds itself.

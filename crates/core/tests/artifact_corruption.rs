@@ -206,6 +206,42 @@ fn int8_codec_tag_flip_and_poisoned_scales_are_rejected() {
 }
 
 #[test]
+fn pq_codec_tag_flip_and_bad_headers_are_rejected() {
+    // The PQ block's own header: tag byte 4, big-endian u32 dim, u64
+    // rows, a pad run, then the u16 subspace count and the trained flag.
+    // (Trained-codebook poisoning — non-finite f16 centroids — is covered
+    // at the store layer in `af_store::pq`; tiny artifacts stay below the
+    // training threshold, so the wire here is a pending block.)
+    let artifact =
+        small_artifact_with(StoreOptions { codec: Codec::Pq { m: 0 }, compact_fine: false });
+    let fine_dim = AutoFormulaConfig::test_tiny().fine_dim() as u32;
+    let mut pat = vec![4u8];
+    pat.extend_from_slice(&fine_dim.to_be_bytes());
+    let pos =
+        artifact.windows(pat.len()).position(|w| w == pat).expect("a pq fine table on the wire");
+
+    // Codec tag flipped to an unknown value → clean error.
+    let mut bad_tag = artifact.clone();
+    bad_tag[pos] = 99;
+    assert!(AutoFormula::load(&bad_tag).is_err(), "unknown codec tag must be rejected");
+
+    let pad = artifact[pos + 13] as usize;
+    let m_at = pos + 14 + pad;
+    // Zeroed subspace count → rejected (m must be 1 ..= dim).
+    let mut bad_m = artifact.clone();
+    bad_m[m_at] = 0;
+    bad_m[m_at + 1] = 0;
+    assert!(AutoFormula::load(&bad_m).is_err(), "zero pq subspace count must be rejected");
+    // Out-of-range trained flag → rejected.
+    let mut bad_flag = artifact.clone();
+    bad_flag[m_at + 2] = 7;
+    assert!(AutoFormula::load(&bad_flag).is_err(), "pq trained flag > 1 must be rejected");
+
+    // Sanity: the untouched artifact loads.
+    assert!(AutoFormula::load(&artifact).is_ok());
+}
+
+#[test]
 fn compact_cache_with_unsorted_refs_is_rejected() {
     // The compact reconstruction binary-searches each sheet's cell refs;
     // a corrupted (unsorted) ref list must be rejected, not silently

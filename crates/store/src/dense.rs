@@ -23,7 +23,7 @@
 
 use crate::f16::f32_to_f16;
 use crate::kernel;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 use std::fmt;
 
 /// Physical layout of a vector table.
@@ -36,6 +36,16 @@ pub enum Codec {
     F16,
     /// Per-vector affine int8 — 4× smaller, error ≤ (max−min)/510.
     Int8,
+    /// Product quantization — `m` sub-quantizers of 256 k-means-trained
+    /// centroids, one code byte per subspace (~32× smaller at the default
+    /// sub-row width of 8, plus a per-table codebook). `m = 0` means
+    /// auto-resolve from the dimension ([`crate::pq::resolve_m`]); callers
+    /// that know the semantic cell width pass `m = dim / cell_dim` so
+    /// subspace boundaries coincide with cell boundaries.
+    Pq {
+        /// Requested subspace count (`0` = auto).
+        m: u16,
+    },
 }
 
 impl Codec {
@@ -45,6 +55,7 @@ impl Codec {
             Codec::F32 => "f32",
             Codec::F16 => "f16",
             Codec::Int8 => "int8",
+            Codec::Pq { .. } => "pq",
         }
     }
 
@@ -54,21 +65,25 @@ impl Codec {
             Codec::F32 => 1,
             Codec::F16 => 2,
             Codec::Int8 => 3,
+            Codec::Pq { .. } => 4,
         }
     }
 
-    /// Inverse of [`Codec::tag`]; `None` for unknown wire tags.
+    /// Inverse of [`Codec::tag`]; `None` for unknown wire tags. The PQ
+    /// tag maps to `m = 0` (auto) — the store payload carries the real
+    /// subspace count.
     pub fn from_tag(tag: u8) -> Option<Codec> {
         match tag {
             1 => Some(Codec::F32),
             2 => Some(Codec::F16),
             3 => Some(Codec::Int8),
+            4 => Some(Codec::Pq { m: 0 }),
             _ => None,
         }
     }
 
-    /// All codecs, for sweeps.
-    pub const ALL: [Codec; 3] = [Codec::F32, Codec::F16, Codec::Int8];
+    /// All codecs, for sweeps (PQ in its auto-`m` form).
+    pub const ALL: [Codec; 4] = [Codec::F32, Codec::F16, Codec::Int8, Codec::Pq { m: 0 }];
 }
 
 /// Why a store failed to decode.
@@ -113,9 +128,12 @@ pub trait VectorStore: Send + Sync {
     /// Dequantize row `i` into `out` (`out.len() == dim`).
     fn row_into(&self, i: usize, out: &mut [f32]);
     /// Asymmetric squared-L2 distance between `query` and row `i`. For
-    /// every codec this equals dequantizing the row and calling
+    /// the scalar codecs this equals dequantizing the row and calling
     /// `af_nn::kernel::l2_sq` — bit for bit (same lanes, same reduction
-    /// tree), so quantization is the *only* error source.
+    /// tree), so quantization is the *only* error source. For PQ it is
+    /// instead *defined* as the ADC sum over subspaces (see
+    /// [`crate::pq`]); the fused table-gather scan is bit-identical to
+    /// that definition, so fusion is never an error source either.
     fn l2_sq_row(&self, query: &[f32], i: usize) -> f32;
     /// Bytes this store occupies on the wire (and, for views, on disk).
     fn encoded_vector_bytes(&self) -> usize;
@@ -223,13 +241,13 @@ impl F32Store {
         }
     }
 
-    /// [`F32Store::extend_le_bytes`] straight into a `BytesMut` — one
-    /// copy, no intermediate buffer (tables are the bulk of an artifact,
-    /// so the save path must not triple-buffer them). On little-endian
-    /// targets the owned table's bytes are its wire image already.
-    fn put_le_bytes(&self, buf: &mut BytesMut) {
+    /// [`F32Store::extend_le_bytes`] straight into a sink — one copy, no
+    /// intermediate buffer (tables are the bulk of an artifact, so the
+    /// save path must not triple-buffer them). On little-endian targets
+    /// the owned table's bytes are its wire image already.
+    fn put_le_bytes<S: crate::StoreSink>(&self, buf: &mut S) {
         match &self.data {
-            F32Data::View(bytes) => buf.put_slice(bytes),
+            F32Data::View(bytes) => buf.write_bytes(bytes),
             F32Data::Owned(data) => {
                 if cfg!(target_endian = "little") {
                     // SAFETY: any initialized &[f32] is valid to view as
@@ -237,10 +255,10 @@ impl F32Store {
                     let raw = unsafe {
                         std::slice::from_raw_parts(data.as_ptr() as *const u8, data.len() * 4)
                     };
-                    buf.put_slice(raw);
+                    buf.write_bytes(raw);
                 } else {
                     for v in data {
-                        buf.put_slice(&v.to_le_bytes());
+                        buf.write_bytes(&v.to_le_bytes());
                     }
                 }
             }
@@ -349,21 +367,21 @@ impl F16Store {
         &self.as_slice()[i * self.dim..(i + 1) * self.dim]
     }
 
-    /// Write the raw little-endian wire image straight into `buf` (see
+    /// Write the raw little-endian wire image straight into the sink (see
     /// [`F32Store::put_le_bytes`]).
-    fn put_le_bytes(&self, buf: &mut BytesMut) {
+    fn put_le_bytes<S: crate::StoreSink>(&self, buf: &mut S) {
         match &self.data {
-            F16Data::View(bytes) => buf.put_slice(bytes),
+            F16Data::View(bytes) => buf.write_bytes(bytes),
             F16Data::Owned(data) => {
                 if cfg!(target_endian = "little") {
                     // SAFETY: initialized &[u16] viewed as bytes.
                     let raw = unsafe {
                         std::slice::from_raw_parts(data.as_ptr() as *const u8, data.len() * 2)
                     };
-                    buf.put_slice(raw);
+                    buf.write_bytes(raw);
                 } else {
                     for v in data {
-                        buf.put_slice(&v.to_le_bytes());
+                        buf.write_bytes(&v.to_le_bytes());
                     }
                 }
             }
@@ -542,6 +560,8 @@ pub enum DenseStore {
     F16(F16Store),
     /// Per-vector affine int8, 4× smaller.
     Int8(Int8Store),
+    /// Product-quantized codes + per-table codebooks, ~32× smaller.
+    Pq(crate::pq::PqStore),
 }
 
 impl DenseStore {
@@ -551,6 +571,7 @@ impl DenseStore {
             Codec::F32 => DenseStore::F32(F32Store::new(dim)),
             Codec::F16 => DenseStore::F16(F16Store::new(dim)),
             Codec::Int8 => DenseStore::Int8(Int8Store::new(dim)),
+            Codec::Pq { m } => DenseStore::Pq(crate::pq::PqStore::new(dim, m as usize)),
         }
     }
 
@@ -564,6 +585,7 @@ impl DenseStore {
             DenseStore::F32(s) => s,
             DenseStore::F16(s) => s,
             DenseStore::Int8(s) => s,
+            DenseStore::Pq(s) => s,
         }
     }
 
@@ -572,6 +594,7 @@ impl DenseStore {
             DenseStore::F32(s) => s,
             DenseStore::F16(s) => s,
             DenseStore::Int8(s) => s,
+            DenseStore::Pq(s) => s,
         }
     }
 
@@ -594,8 +617,18 @@ impl DenseStore {
 
     /// Re-encode every row into `codec` (identity codecs clone — O(1) for
     /// views). Quantized → exact round trips dequantize, so converting
-    /// away from f32 and back is lossy exactly once.
+    /// away from f32 and back is lossy exactly once. Converting to PQ is
+    /// a bulk conversion: codebooks train on the *whole* table (not the
+    /// first rows pushed), then every row encodes in parallel — see
+    /// [`crate::pq::PqStore::encode_all`].
     pub fn to_codec(&self, codec: Codec) -> DenseStore {
+        if let Codec::Pq { m } = codec {
+            let m = crate::pq::resolve_m(self.dim(), m as usize);
+            if self.codec() == (Codec::Pq { m: m as u16 }) {
+                return self.clone();
+            }
+            return DenseStore::Pq(crate::pq::PqStore::encode_all(self, m));
+        }
         if codec == self.codec() {
             return self.clone();
         }
@@ -636,6 +669,7 @@ impl VectorStore for DenseStore {
             DenseStore::F32(s) => s.l2_sq_row(query, i),
             DenseStore::F16(s) => s.l2_sq_row(query, i),
             DenseStore::Int8(s) => s.l2_sq_row(query, i),
+            DenseStore::Pq(s) => s.l2_sq_row(query, i),
         }
     }
 
@@ -650,15 +684,15 @@ impl VectorStore for DenseStore {
 /// byte, then that many zeros. Alignment is buffer-local — callers keep
 /// every enclosing section 4-byte aligned, so a local offset that is
 /// 0 mod 4 is 0 mod 4 in the final artifact (and in a page-aligned mmap).
-fn put_pad(buf: &mut BytesMut) {
-    let pad = (4 - (buf.len() + 1) % 4) % 4;
-    buf.put_u8(pad as u8);
+pub(crate) fn put_pad<S: crate::StoreSink>(buf: &mut S) {
+    let pad = (4 - (buf.written() + 1) % 4) % 4;
+    buf.write_u8(pad as u8);
     for _ in 0..pad {
-        buf.put_u8(0);
+        buf.write_u8(0);
     }
 }
 
-fn get_pad(data: &mut Bytes, what: &'static str) -> Result<(), StoreError> {
+pub(crate) fn get_pad(data: &mut Bytes, what: &'static str) -> Result<(), StoreError> {
     let pad = data.try_get_u8().ok_or(StoreError::Truncated(what))? as usize;
     if pad > 3 {
         return Err(StoreError::Invalid("pad run out of range"));
@@ -671,39 +705,47 @@ fn get_pad(data: &mut Bytes, what: &'static str) -> Result<(), StoreError> {
 }
 
 /// Split a bulk payload of exactly `need` bytes off `data`, bounded.
-fn take_block(data: &mut Bytes, need: usize, what: &'static str) -> Result<Bytes, StoreError> {
+pub(crate) fn take_block(
+    data: &mut Bytes,
+    need: usize,
+    what: &'static str,
+) -> Result<Bytes, StoreError> {
     if data.remaining() < need {
         return Err(StoreError::Truncated(what));
     }
     Ok(data.split_to(need))
 }
 
-/// Append `store` (codec tag + header + aligned payload) to `buf` — one
-/// copy per table, no intermediate buffers.
-pub fn put_store(buf: &mut BytesMut, store: &DenseStore) {
-    buf.put_u8(store.codec().tag());
-    buf.put_u32(store.dim() as u32);
-    buf.put_u64(store.rows() as u64);
+/// Append `store` (codec tag + header + aligned payload) to the sink —
+/// one copy per table, no intermediate buffers. The sink may be an
+/// in-memory [`bytes::BytesMut`] or a streaming file writer; pad runs align on
+/// [`crate::StoreSink::written`], so both produce identical bytes when
+/// they start at the same alignment.
+pub fn put_store<S: crate::StoreSink>(buf: &mut S, store: &DenseStore) {
+    buf.write_u8(store.codec().tag());
+    buf.write_u32(store.dim() as u32);
+    buf.write_u64(store.rows() as u64);
     put_pad(buf);
     match store {
         DenseStore::F32(s) => s.put_le_bytes(buf),
         DenseStore::F16(s) => s.put_le_bytes(buf),
         DenseStore::Int8(s) => {
             for &v in &s.scales {
-                buf.put_slice(&v.to_le_bytes());
+                buf.write_bytes(&v.to_le_bytes());
             }
             for &v in &s.offsets {
-                buf.put_slice(&v.to_le_bytes());
+                buf.write_bytes(&v.to_le_bytes());
             }
-            buf.put_slice(s.codes());
+            buf.write_bytes(s.codes());
         }
+        DenseStore::Pq(s) => crate::pq::put_pq(buf, s),
     }
 }
 
 /// [`put_store`] with the payload re-encoded into `codec` — the identity
 /// case writes the store directly, without the deep clone
 /// [`DenseStore::to_codec`] would make of an owned table.
-pub fn put_store_as(buf: &mut BytesMut, store: &DenseStore, codec: Codec) {
+pub fn put_store_as<S: crate::StoreSink>(buf: &mut S, store: &DenseStore, codec: Codec) {
     if codec == store.codec() {
         put_store(buf, store);
     } else {
@@ -757,12 +799,14 @@ pub fn get_store(data: &mut Bytes) -> Result<DenseStore, StoreError> {
                 if codes.is_empty() { CodeData::Owned(Vec::new()) } else { CodeData::View(codes) };
             Ok(DenseStore::Int8(Int8Store { dim, scales, offsets, codes }))
         }
+        Codec::Pq { .. } => Ok(DenseStore::Pq(crate::pq::get_pq(data, dim, rows)?)),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
 
     fn rows(n: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..n).map(|i| (0..dim).map(|j| ((i * dim + j) as f32 * 0.37).sin()).collect()).collect()
@@ -905,7 +949,10 @@ mod tests {
             let mut data = buf.freeze();
             let loaded = get_store(&mut data).expect("round trip");
             assert_eq!(data.remaining(), 0, "decode must consume exactly what encode wrote");
-            assert_eq!(loaded.codec(), codec);
+            // Compare against the *store's* codec: `Pq { m: 0 }` resolves
+            // its auto subspace count on construction.
+            assert_eq!(loaded.codec(), s.codec());
+            assert_eq!(loaded.codec().tag(), codec.tag());
             assert_eq!(loaded.rows(), 11);
             assert_eq!(loaded.dim(), 17);
             let q: Vec<f32> = (0..17).map(|j| (j as f32 * 0.13).cos()).collect();
@@ -989,7 +1036,9 @@ mod tests {
         let s = filled(Codec::F32, 8, 12);
         for codec in Codec::ALL {
             let c = s.to_codec(codec);
-            assert_eq!(c.codec(), codec);
+            // Tags match exactly; `Pq { m: 0 }` resolves its auto subspace
+            // count during conversion, so compare tags rather than values.
+            assert_eq!(c.codec().tag(), codec.tag());
             assert_eq!(c.rows(), s.rows());
             for i in 0..s.rows() {
                 let (a, b) = (s.row_owned(i), c.row_owned(i));

@@ -57,10 +57,14 @@ pub mod dense;
 pub mod f16;
 pub mod kernel;
 pub mod mmap;
+pub mod pq;
+pub mod sink;
 
 pub use dense::{
     get_store, put_store, put_store_as, Codec, DenseStore, F16Store, F32Store, Int8Store,
     StoreError, VectorStore,
 };
 pub use f16::{f16_to_f32, f32_to_f16};
-pub use mmap::map_file;
+pub use mmap::{advise, map_file, Advice};
+pub use pq::{AdcTable, PqCodebook, PqStore};
+pub use sink::StoreSink;

@@ -43,10 +43,40 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
     }
 
     const PROT_READ: c_int = 1;
     const MAP_PRIVATE: c_int = 2;
+    // Same numeric values on Linux, Android and macOS.
+    const MADV_RANDOM: c_int = 1;
+    const MADV_WILLNEED: c_int = 3;
+    // Linux/Android only; `advise_range` skips it elsewhere.
+    const MADV_HUGEPAGE: c_int = 14;
+
+    /// Best-effort `madvise(2)` over the pages spanning `data`. The range
+    /// is widened to 4 KiB page boundaries (madvise requires a page-
+    /// aligned start); failures are ignored — advice is a hint, and a
+    /// slice that is not mmap-backed (heap `Bytes`) simply gets `EINVAL`
+    /// or advises unrelated heap pages harmlessly.
+    pub fn advise_range(data: &[u8], advice: super::Advice) {
+        if data.is_empty() {
+            return;
+        }
+        const PAGE: usize = 4096;
+        let start = data.as_ptr() as usize & !(PAGE - 1);
+        let end = data.as_ptr() as usize + data.len();
+        let advice = match advice {
+            super::Advice::WillNeed => MADV_WILLNEED,
+            super::Advice::Random => MADV_RANDOM,
+            super::Advice::HugePage if cfg!(target_os = "macos") => return,
+            super::Advice::HugePage => MADV_HUGEPAGE,
+        };
+        // SAFETY: the page range covers `data`, which is live memory for
+        // the duration of the call; madvise only adjusts paging behavior
+        // (PROT/visibility are untouched), and any error is discarded.
+        unsafe { madvise(start as *mut c_void, end - start, advice) };
+    }
 
     /// An owned read-only mapping; unmapped on drop.
     pub struct MmapRegion {
@@ -85,6 +115,45 @@ mod sys {
         }
         Ok(MmapRegion { ptr: ptr as *const u8, len })
     }
+}
+
+/// Paging-pattern hint for [`advise`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// The range will be read soon — prefetch it (`MADV_WILLNEED`).
+    /// Loaders use it on headers and section tables so the first parse
+    /// doesn't fault page by page.
+    WillNeed,
+    /// Accesses will be random — don't read ahead (`MADV_RANDOM`). Scan
+    /// structures touched row-at-a-time (fine tables probed by ANN hits)
+    /// use it so sparse queries don't drag whole neighborhoods in.
+    Random,
+    /// Back the range with transparent huge pages where the kernel
+    /// supports it (`MADV_HUGEPAGE`; Linux/Android, no-op elsewhere).
+    /// Issued over large freshly allocated buffers that are about to be
+    /// written end to end — e.g. the reconstructed fine tables of a
+    /// compact-layout load — so the sequential first touch takes one soft
+    /// fault per 2 MiB instead of one per 4 KiB.
+    HugePage,
+}
+
+/// Best-effort `madvise(2)` hint over the pages backing `data` — a no-op
+/// on targets without the raw syscall layer (and under Miri). Errors are
+/// ignored: advice never affects correctness, only paging behavior, and
+/// heap-backed `Bytes` (the non-mmap load path) simply don't benefit.
+pub fn advise(data: &[u8], advice: Advice) {
+    #[cfg(all(
+        unix,
+        not(miri),
+        any(target_os = "linux", target_os = "android", target_os = "macos")
+    ))]
+    sys::advise_range(data, advice);
+    #[cfg(not(all(
+        unix,
+        not(miri),
+        any(target_os = "linux", target_os = "android", target_os = "macos")
+    )))]
+    let _ = (data, advice);
 }
 
 /// Map `path` read-only and return its contents as zero-copy [`Bytes`].
@@ -148,6 +217,23 @@ mod tests {
             (b.as_ptr() as usize).is_multiple_of(4096) || !cfg!(target_os = "linux") || cfg!(miri),
             "mmap base must be page-aligned"
         );
+        drop(b);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn advise_is_harmless_on_any_slice() {
+        // Mapped pages, heap bytes, interior slices, empty slices: advice
+        // must never fail, panic, or alter contents.
+        let payload: Vec<u8> = (0..50_000u32).map(|i| i as u8).collect();
+        let p = tmp("advised", &payload);
+        let b = map_file(&p).expect("map");
+        advise(&b, Advice::WillNeed);
+        advise(&b[1000..40_000], Advice::Random);
+        advise(&[], Advice::WillNeed);
+        let heap = vec![7u8; 100];
+        advise(&heap, Advice::Random);
+        assert_eq!(&*b, &payload[..]);
         drop(b);
         std::fs::remove_file(&p).unwrap();
     }

@@ -1,0 +1,94 @@
+//! Byte sinks for the store wire format.
+//!
+//! [`put_store`](crate::put_store) and the artifact writers above it are
+//! generic over [`StoreSink`], so the same encoders serve two callers: an
+//! in-memory [`BytesMut`] (tests, wire round trips, small saves) and a
+//! buffered file writer that **streams** an artifact section by section —
+//! peak save memory then stops scaling with the corpus, because the bulk
+//! embedding tables flow straight from their stores to the file instead
+//! of being concatenated in RAM first.
+//!
+//! The multi-byte writers use the same endianness convention as the
+//! existing wire format: scalars big-endian (matching `bytes::BufMut`),
+//! bulk payloads little-endian via [`StoreSink::write_bytes`].
+//! [`StoreSink::written`] reports the bytes emitted so far — pad runs
+//! key 4-byte alignment off it, so a file sink and a `BytesMut` at the
+//! same alignment produce byte-identical output.
+
+use bytes::{BufMut, BytesMut};
+
+/// Destination for wire-format bytes — see the module docs.
+pub trait StoreSink {
+    /// Append raw bytes.
+    fn write_bytes(&mut self, s: &[u8]);
+
+    /// Total bytes written through this sink so far (pad runs align on it).
+    fn written(&self) -> usize;
+
+    /// Append one byte.
+    fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn write_u16(&mut self, v: u16) {
+        self.write_bytes(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `f32`.
+    fn write_f32(&mut self, v: f32) {
+        self.write_bytes(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `f64`.
+    fn write_f64(&mut self, v: f64) {
+        self.write_bytes(&v.to_be_bytes());
+    }
+}
+
+impl StoreSink for BytesMut {
+    fn write_bytes(&mut self, s: &[u8]) {
+        self.put_slice(s);
+    }
+
+    fn written(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytesmut_sink_matches_bufmut_semantics() {
+        let mut a = BytesMut::new();
+        StoreSink::write_u8(&mut a, 7);
+        StoreSink::write_u16(&mut a, 0x0102);
+        StoreSink::write_u32(&mut a, 0x0304_0506);
+        StoreSink::write_u64(&mut a, 0x0708_090A_0B0C_0D0E);
+        StoreSink::write_f32(&mut a, 1.5);
+        StoreSink::write_f64(&mut a, -2.25);
+        StoreSink::write_bytes(&mut a, b"xyz");
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0x0304_0506);
+        b.put_u64(0x0708_090A_0B0C_0D0E);
+        b.put_f32(1.5);
+        b.put_f64(-2.25);
+        b.put_slice(b"xyz");
+        assert_eq!(&a[..], &b[..]);
+        assert_eq!(a.written(), a.len());
+    }
+}

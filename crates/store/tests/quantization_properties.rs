@@ -97,6 +97,45 @@ proptest! {
     }
 
     #[test]
+    fn pq_round_trip_error_stays_inside_the_subspace_spread(
+        dim in 2usize..40,
+        m in 0usize..6,
+        rows in 8usize..40,
+        seed in 0u64..300,
+    ) {
+        // A trained PQ row decodes to per-subspace centroids: each decoded
+        // component must stay within the data's per-component spread (a
+        // centroid is a mean of training sub-rows or an exact sample, and
+        // the f16 rounding adds at most half a ulp). Also: the fused ADC
+        // scan matches the table-free definition bit for bit on arbitrary
+        // shapes.
+        let mut flat = Vec::with_capacity(rows * dim);
+        for r in 0..rows as u64 {
+            flat.extend(vec_of(dim, seed.wrapping_add(r)));
+        }
+        let s = af_store::PqStore::trained_from_rows(dim, m, &flat);
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &x in &flat {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let slack = (hi - lo).abs() * 4.9e-4 + 1e-6; // f16 rounding of a mean
+        for i in 0..s.rows() {
+            for b in s.row_owned(i) {
+                prop_assert!(
+                    b >= lo - slack && b <= hi + slack,
+                    "decoded {} outside [{}, {}]", b, lo, hi
+                );
+            }
+        }
+        let q = vec_of(dim, seed ^ 0xF00D);
+        let table = s.adc_table(&q).unwrap();
+        for i in 0..s.rows() {
+            prop_assert_eq!(s.l2_sq_adc(&table, i).to_bits(), s.l2_sq_row(&q, i).to_bits());
+        }
+    }
+
+    #[test]
     fn wire_round_trip_is_lossless_for_stored_state(
         dim in dims_with_remainders(),
         rows in 0usize..6,
