@@ -118,13 +118,9 @@ fn measure_backend(
     }
     let wall = started.elapsed().as_secs_f64();
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: f64| -> f64 {
-        if latencies_ms.is_empty() {
-            0.0
-        } else {
-            latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize]
-        }
-    };
+    // Shared nearest-rank percentile (af-obs) — this used to floor the
+    // rank; the shared implementation rounds, like every other report.
+    let pct = |p: f64| af_obs::percentile(&latencies_ms, p);
     BackendResult {
         backend,
         params,

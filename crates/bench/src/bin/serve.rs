@@ -3,14 +3,26 @@
 //! index rebuild, and concurrent/micro-batched query latency through the
 //! lock-free `ServeHandle`. Results land in `BENCH_serve.json` (pass an
 //! output path as the first argument to write elsewhere).
+//!
+//! Built with `--features obs`, the run additionally measures the cost of
+//! the af-obs instrumentation on the mixed workload, prints every
+//! histogram site, and writes `BENCH_obs.json` (second argument to write
+//! elsewhere). The process exits non-zero if the obs-on run blows the
+//! overhead gate (pooled mixed p99 and pooled read p99 both more than
+//! 5% + 0.5 ms over obs-off) — CI uses this as the regression tripwire.
 
 use af_bench::report::{print_table, run_experiment};
 use af_bench::serve_bench;
 
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
+    #[cfg(feature = "obs")]
+    let obs_out = std::env::args().nth(2).unwrap_or_else(|| "BENCH_obs.json".to_string());
+    #[cfg(feature = "obs")]
+    let mut gate_ok = true;
     run_experiment("serve", "BENCH_serve.json (artifact + serving latency)", || {
-        let r = serve_bench::measure();
+        let run = serve_bench::measure_full();
+        let r = &run.report;
         println!(
             "\nindex: {} sheets, {} regions → artifact {:.1} KiB",
             r.n_sheets,
@@ -91,7 +103,49 @@ fn main() {
                 ],
             );
         }
-        serve_bench::write_json(&r, std::path::Path::new(&out));
+        serve_bench::write_json(r, std::path::Path::new(&out));
         println!("\nwrote {out}");
+
+        #[cfg(feature = "obs")]
+        {
+            let obs = af_bench::obs_bench::measure(&run);
+            print_table(
+                "obs overhead (mixed workload, runtime toggle)",
+                &["recording", "mixed p99 (ms)", "read p99 (ms)"],
+                &[
+                    vec![
+                        "off".into(),
+                        format!("{:.3}", obs.off.mixed_p99_ms),
+                        format!("{:.3}", obs.off.read_p99_ms),
+                    ],
+                    vec![
+                        "on".into(),
+                        format!("{:.3}", obs.on.mixed_p99_ms),
+                        format!("{:.3}", obs.on.read_p99_ms),
+                    ],
+                    vec![
+                        "ratio".into(),
+                        format!("{:.3}x", obs.overhead_ratio),
+                        format!("{:.3}x", obs.on.read_p99_ms / obs.off.read_p99_ms.max(1e-9)),
+                    ],
+                    vec![
+                        "gate".into(),
+                        if obs.gate_ok { "ok".into() } else { "FAIL".into() },
+                        String::new(),
+                    ],
+                ],
+            );
+            println!("\n{}", obs.snapshot.to_text_table());
+            af_bench::obs_bench::write_json(&obs, r.scale, std::path::Path::new(&obs_out));
+            println!("wrote {obs_out}");
+            gate_ok = obs.gate_ok;
+        }
     });
+    #[cfg(feature = "obs")]
+    if !gate_ok {
+        eprintln!(
+            "obs overhead gate FAILED: obs-on mixed AND read p99 exceed obs-off by more than 5%"
+        );
+        std::process::exit(1);
+    }
 }

@@ -9,6 +9,8 @@
 pub mod ann_bench;
 pub mod experiments;
 pub mod metrics;
+#[cfg(feature = "obs")]
+pub mod obs_bench;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -28,6 +28,9 @@ use af_core::{index::IndexOptions, AutoFormulaConfig};
 use af_corpus::organization::{OrgSpec, Scale};
 use af_embed::{CellFeaturizer, FeatureMask, SbertSim};
 use af_grid::CellRef;
+// The one shared percentile implementation (af-obs) — runtime histogram
+// quantiles and bench reports agree on the same rank convention.
+use af_obs::percentile;
 use af_serve::ServeHandle;
 use std::path::Path;
 use std::sync::Arc;
@@ -50,8 +53,9 @@ const MIXED_OPS_PER_THREAD: usize = 75;
 /// pooled p99 sits in the write tail — the latency an operation actually
 /// sees when it lands behind an ingest.
 const MIXED_ADD_EVERY: usize = 25;
-/// Shard count for the sharded side of the mixed probe.
-const MIXED_SHARDS: usize = 4;
+/// Shard count for the sharded side of the mixed probe (also the shard
+/// count the obs probe serves with).
+pub(crate) const MIXED_SHARDS: usize = 4;
 
 /// One measured serving configuration.
 #[derive(Debug, Clone)]
@@ -137,11 +141,24 @@ pub struct MixedLoadReport {
 }
 
 /// Run the add-while-query probe against one handle configuration.
-fn mixed_load(
+pub(crate) fn mixed_load(
     handle: &af_serve::ServeHandle,
     org: &af_corpus::OrgCorpus,
     targets: &[(usize, CellRef)],
 ) -> MixedLoadReport {
+    let (read_ms, add_ms) = mixed_load_samples(handle, org, targets);
+    mixed_report(read_ms, add_ms)
+}
+
+/// The raw per-operation latencies (ms) behind [`mixed_load`]:
+/// `(reads, adds)`, unsorted. The obs overhead probe pools these across
+/// several runs so its p99 is a deep order statistic instead of the
+/// 3rd-worst op of a single 300-op run.
+pub(crate) fn mixed_load_samples(
+    handle: &af_serve::ServeHandle,
+    org: &af_corpus::OrgCorpus,
+    targets: &[(usize, CellRef)],
+) -> (Vec<f64>, Vec<f64>) {
     let holdout = org.workbooks.len() - 1;
     let mut read_ms: Vec<f64> = Vec::new();
     let mut add_ms: Vec<f64> = Vec::new();
@@ -178,6 +195,11 @@ fn mixed_load(
             add_ms.extend(a);
         }
     });
+    (read_ms, add_ms)
+}
+
+/// Reduce raw mixed-load latencies to the reported percentiles.
+pub(crate) fn mixed_report(mut read_ms: Vec<f64>, mut add_ms: Vec<f64>) -> MixedLoadReport {
     read_ms.sort_by(|a, b| a.total_cmp(b));
     add_ms.sort_by(|a, b| a.total_cmp(b));
     let mut pooled = read_ms.clone();
@@ -318,16 +340,28 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ms[idx.min(sorted_ms.len() - 1)]
-}
-
 /// Run the serving benchmark at the `AF_SCALE` scale.
 pub fn measure() -> ServeBenchReport {
+    measure_full().report
+}
+
+/// Everything `measure()` produced plus the inputs the obs probe reuses:
+/// the saved artifact and the query targets, so the `--features obs`
+/// serve bin can run its overhead measurement against the exact same
+/// trained system without a second training run.
+pub struct ServeBenchRun {
+    /// The regular serve bench report.
+    pub report: ServeBenchReport,
+    /// The saved artifact the probes serve from.
+    pub artifact: bytes::Bytes,
+    /// The generated reference corpus (holdout workbook included).
+    pub org: af_corpus::OrgCorpus,
+    /// Query targets into the holdout workbook.
+    pub targets: Vec<(usize, CellRef)>,
+}
+
+/// Run the serving benchmark and keep the artifact + query set around.
+pub fn measure_full() -> ServeBenchRun {
     let scale = Scale::from_env();
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
 
@@ -451,7 +485,7 @@ pub fn measure() -> ServeBenchReport {
     // Degraded-mode probe — a no-op `None` unless built with `failpoints`.
     let chaos = chaos_probe(&artifact, &org, &targets);
 
-    ServeBenchReport {
+    let report = ServeBenchReport {
         scale: scale_name(scale),
         threads,
         n_sheets,
@@ -473,7 +507,8 @@ pub fn measure() -> ServeBenchReport {
         mixed_shards: MIXED_SHARDS,
         mixed_p99_speedup,
         chaos,
-    }
+    };
+    ServeBenchRun { report, artifact, org, targets }
 }
 
 fn chaos_json(c: &Option<ChaosReport>) -> String {
@@ -592,12 +627,29 @@ pub fn write_json(report: &ServeBenchReport, path: &Path) {
 mod tests {
     use super::*;
 
+    /// Parity with the sort-based percentile this file used to define
+    /// locally: the shared af-obs implementation must reproduce the old
+    /// `round(p·(n-1))` nearest-rank results exactly, so deduplicating
+    /// the math changes no committed bench number.
     #[test]
     fn percentile_bounds() {
         let ms = vec![1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile(&ms, 0.0), 1.0);
         assert_eq!(percentile(&ms, 1.0), 4.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+        let old = |sorted_ms: &[f64], p: f64| -> f64 {
+            if sorted_ms.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+            sorted_ms[idx.min(sorted_ms.len() - 1)]
+        };
+        for n in 1..=40 {
+            let sample: Vec<f64> = (0..n).map(|i| (i * i) as f64 * 0.25).collect();
+            for p in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                assert_eq!(percentile(&sample, p), old(&sample, p), "n={n} p={p}");
+            }
+        }
     }
 
     #[test]

@@ -111,7 +111,9 @@ pub fn measure() -> ThroughputReport {
     }
     let query_seconds = query_started.elapsed().as_secs_f64();
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
-    let p50 = if latencies_ms.is_empty() { 0.0 } else { latencies_ms[latencies_ms.len() / 2] };
+    // Shared nearest-rank percentile (af-obs); for p50 the rounded rank
+    // `round(0.5·(n-1))` equals the old `n/2` index at every n.
+    let p50 = af_obs::percentile(&latencies_ms, 0.5);
 
     ThroughputReport {
         scale: scale_name(scale),

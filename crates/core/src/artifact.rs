@@ -1188,6 +1188,7 @@ impl AutoFormula {
                 ));
             }
         }
+        let _save = af_obs::span!("artifact::save");
         let mut sections: Vec<(u16, BytesMut)> = vec![
             (SEC_CONFIG, {
                 let mut b = BytesMut::new();
@@ -1288,6 +1289,7 @@ impl AutoFormula {
                 ));
             }
         }
+        let _save = af_obs::span!("artifact::save");
         let io_err = |e: std::io::Error| ArtifactError::Io(e.to_string());
         let dir = path.parent().filter(|d| !d.as_os_str().is_empty()).unwrap_or(Path::new("."));
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("artifact.afar");
@@ -1402,6 +1404,7 @@ impl AutoFormula {
         crate::fail_point!("core::artifact_load", |e: crate::failpoint::Injected| Err(
             ArtifactError::Io(e.to_string())
         ));
+        let _load = af_obs::span!("artifact::load");
         // For an mmap-backed load, prefetch the header + section table
         // page up front (it is about to be parsed sequentially). On heap
         // buffers or non-unix targets this is a no-op.
@@ -1463,7 +1466,9 @@ impl AutoFormula {
         // The INDEX section is served zero-copy and queried at random row
         // offsets — tell the kernel not to waste read-ahead on it.
         af_store::advise(&index_bytes, af_store::Advice::Random);
+        let load_index = af_obs::span!("artifact::load_index");
         let index = decode_index(&mut index_bytes, &cfg, version)?;
+        load_index.end();
         let layout = if table.iter().any(|&(id, _, _)| id == SEC_SHARDS) {
             Some(decode_shards(&mut section(SEC_SHARDS, "SHARDS")?, index.keys.len())?)
         } else {

@@ -91,6 +91,7 @@ impl<'a> SheetEmbedder<'a> {
         if sheets.is_empty() {
             return Vec::new();
         }
+        let _batch = af_obs::span!("embed::batch", n = sheets.len());
         let fd = self.featurizer.dim();
         let cd = self.model.cfg.cell_dim;
 

@@ -441,6 +441,7 @@ pub fn train_model(
             row_off += 2 * len;
             used += 1;
         }
+        let step_c = af_obs::span!("train::step");
         let loss_c = run_step(
             Branch::Coarse,
             &mut model,
@@ -450,6 +451,7 @@ pub fn train_model(
             &ctx,
             &mut scratch,
         );
+        step_c.end();
         adam_coarse.step(&mut model.coarse_head);
         adam_reduce.step(&mut model.reduce);
 
@@ -505,6 +507,7 @@ pub fn train_model(
             row_off += 2 * len + n_shift;
             used += 1;
         }
+        let step_f = af_obs::span!("train::step");
         let loss_f = run_step(
             Branch::Fine,
             &mut model,
@@ -514,6 +517,7 @@ pub fn train_model(
             &ctx,
             &mut scratch,
         );
+        step_f.end();
         adam_fine.step(&mut model.fine_head);
         adam_reduce.step(&mut model.reduce);
 

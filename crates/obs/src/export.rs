@@ -1,0 +1,209 @@
+//! Metrics snapshots: a point-in-time copy of every registered site's
+//! histogram, rendered as JSON (for `BENCH_obs.json`) or a text table
+//! (for bench stdout and debugging).
+
+use crate::hist::Unit;
+
+/// Summary statistics for one instrumentation site. Latency sites
+/// ([`Unit::Nanos`]) report milliseconds; count sites report raw values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteMetrics {
+    /// The static site name the histogram was registered under.
+    pub site: &'static str,
+    /// Unit of the rendered statistics (`ms` or `count`).
+    pub unit: Unit,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl SiteMetrics {
+    fn from_snapshot(site: &'static str, s: &crate::hist::HistogramSnapshot) -> SiteMetrics {
+        // Render nanosecond histograms in milliseconds; counts stay raw.
+        let scale = match s.unit {
+            Unit::Nanos => 1e-6,
+            Unit::Count => 1.0,
+        };
+        SiteMetrics {
+            site,
+            unit: s.unit,
+            count: s.count,
+            p50: s.p50() as f64 * scale,
+            p90: s.p90() as f64 * scale,
+            p99: s.p99() as f64 * scale,
+            p999: s.p999() as f64 * scale,
+            max: s.max as f64 * scale,
+            mean: s.mean() * scale,
+        }
+    }
+}
+
+/// A point-in-time copy of every registered site, sorted by site name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Per-site summaries, ascending by site name.
+    pub sites: Vec<SiteMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Snapshot every site currently in the process-global registry.
+    /// With the `obs` feature off no site ever registers, so this is
+    /// empty — callers need no feature gates of their own.
+    pub fn capture() -> MetricsSnapshot {
+        let mut sites: Vec<SiteMetrics> = crate::registry::entries()
+            .into_iter()
+            .map(|(name, hist)| SiteMetrics::from_snapshot(name, &hist.snapshot()))
+            .collect();
+        sites.sort_by_key(|m| m.site);
+        MetricsSnapshot { sites }
+    }
+
+    /// Look up one site's summary by name.
+    pub fn get(&self, site: &str) -> Option<&SiteMetrics> {
+        self.sites.iter().find(|m| m.site == site)
+    }
+
+    /// Render as a JSON object: `{"sites":[{"site":...,"unit":"ms",...}]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"sites\":[");
+        for (i, m) in self.sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"site\":\"{}\",\"unit\":\"{}\",\"count\":{},\
+                 \"p50\":{:.6},\"p90\":{:.6},\"p99\":{:.6},\"p999\":{:.6},\
+                 \"max\":{:.6},\"mean\":{:.6}}}",
+                m.site,
+                m.unit.label(),
+                m.count,
+                m.p50,
+                m.p90,
+                m.p99,
+                m.p999,
+                m.max,
+                m.mean,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render as an aligned human-readable table (one row per site).
+    pub fn to_text_table(&self) -> String {
+        let mut rows: Vec<[String; 9]> = vec![[
+            "site".into(),
+            "unit".into(),
+            "count".into(),
+            "p50".into(),
+            "p90".into(),
+            "p99".into(),
+            "p999".into(),
+            "max".into(),
+            "mean".into(),
+        ]];
+        for m in &self.sites {
+            rows.push([
+                m.site.to_string(),
+                m.unit.label().to_string(),
+                m.count.to_string(),
+                format!("{:.3}", m.p50),
+                format!("{:.3}", m.p90),
+                format!("{:.3}", m.p99),
+                format!("{:.3}", m.p999),
+                format!("{:.3}", m.max),
+                format!("{:.3}", m.mean),
+            ]);
+        }
+        let mut widths = [0usize; 9];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for row in &rows {
+            for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Left-align the site column, right-align the numbers.
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{Histogram, HistogramSnapshot};
+
+    fn sample() -> MetricsSnapshot {
+        let h = Histogram::new(Unit::Nanos);
+        for _ in 0..10 {
+            h.record(2_000_000); // 2 ms
+        }
+        let c = Histogram::new(Unit::Count);
+        c.record(7);
+        MetricsSnapshot {
+            sites: vec![
+                SiteMetrics::from_snapshot("a::lat", &h.snapshot()),
+                SiteMetrics::from_snapshot("b::n", &c.snapshot()),
+            ],
+        }
+    }
+
+    #[test]
+    fn nanos_render_as_ms() {
+        let snap = sample();
+        let m = snap.get("a::lat").expect("site present");
+        assert_eq!(m.count, 10);
+        assert!((1.9..=3.1).contains(&m.p99), "p99={}", m.p99);
+        assert!((m.mean - 2.0).abs() < 0.01, "mean={}", m.mean);
+        assert_eq!(m.max, 2.0);
+        assert!(snap.get("missing").is_none());
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\"sites\":["), "{j}");
+        assert!(j.contains("\"site\":\"a::lat\""), "{j}");
+        assert!(j.contains("\"unit\":\"ms\""), "{j}");
+        assert!(j.contains("\"unit\":\"count\""), "{j}");
+        assert!(j.ends_with("]}"), "{j}");
+        assert_eq!(MetricsSnapshot::default().to_json(), "{\"sites\":[]}");
+    }
+
+    #[test]
+    fn table_has_header_and_rows() {
+        let t = sample().to_text_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("site"));
+        assert!(lines[1].starts_with("a::lat"));
+        assert!(lines[2].starts_with("b::n"));
+        // Empty-snapshot edge: empty count still renders without panic.
+        let empty = SiteMetrics::from_snapshot("e", &HistogramSnapshot::empty(Unit::Count));
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p50, 0.0);
+    }
+}

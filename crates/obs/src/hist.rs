@@ -1,0 +1,403 @@
+//! Lock-free log-bucketed histograms.
+//!
+//! A [`Histogram`] is a fixed array of relaxed `AtomicU64` buckets —
+//! recording is wait-free (four `fetch_add`/`fetch_max` ops, no locks, no
+//! allocation) and safe from any number of threads. Bucket boundaries are
+//! logarithmic at **two buckets per octave**: within the octave
+//! `[b, 2b)` the half-way boundary sits at `1.5 b`, so consecutive
+//! boundaries alternate between ×1.5 and ×1.33 and any quantile estimate
+//! is off by at most one bucket (≤ 50% relative, typically ~25%).
+//!
+//! The default geometry is tuned for latencies: with [`Unit::Nanos`] the
+//! first finite bucket starts at 1 µs and the last at ~100 s (values
+//! below 1 µs land in an underflow bucket, values above in an overflow
+//! bucket), covering the paper pipeline's microsecond scans up to the
+//! 60 s artifact-rebuild scale. [`Unit::Count`] shifts the same geometry
+//! down to start at 1, for size-like series (batch sizes, backlog
+//! depths).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Total bucket count: 1 underflow + 54 finite (27 octaves × 2) +
+/// 1 overflow.
+pub const BUCKETS: usize = 56;
+
+/// Finite half-octave boundaries: `k = 0..=53`, octave `o = k / 2`,
+/// boundary `scale·2^o` (k even) or `1.5·scale·2^o` (k odd).
+const FINITE: usize = 54;
+
+/// What a histogram's values measure — which scale the bucket geometry
+/// starts at and how exporters render the numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Durations in nanoseconds; buckets span 1 µs .. ~100 s and
+    /// exporters render milliseconds.
+    Nanos,
+    /// Dimensionless counts (batch sizes, backlog depths); buckets span
+    /// 1 .. ~134M and exporters render raw values.
+    Count,
+}
+
+impl Unit {
+    /// Lower boundary of the first finite bucket, in raw recorded units.
+    #[inline]
+    pub const fn scale(self) -> u64 {
+        match self {
+            Unit::Nanos => 1_000,
+            Unit::Count => 1,
+        }
+    }
+
+    /// Label exporters attach to this unit's rendered values.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Unit::Nanos => "ms",
+            Unit::Count => "count",
+        }
+    }
+}
+
+/// Bucket index for a raw value under the given first-bucket `scale`.
+#[inline]
+fn bucket_index(scale: u64, v: u64) -> usize {
+    if v < scale {
+        return 0;
+    }
+    // `q >= 2^o  ⇔  v >= scale·2^o` for truncating division, so the
+    // octave of `v` relative to `scale` is `ilog2(v / scale)`.
+    let o = (v / scale).ilog2() as usize;
+    if o >= 27 {
+        return BUCKETS - 1; // overflow
+    }
+    let lower = scale << o;
+    // div_ceil keeps the midpoint strictly above `lower` when the octave
+    // is the degenerate [1, 2) of Unit::Count (where "1.5" truncates to
+    // 1); the odd half-bucket of that octave is simply never populated.
+    let half = lower + lower.div_ceil(2);
+    1 + 2 * o + usize::from(v >= half)
+}
+
+/// Upper (exclusive) boundary of a bucket, in raw units. The underflow
+/// bucket's bound is `scale`; the overflow bucket reports its lower
+/// boundary (`scale·2^27`) — callers clamp quantiles by the observed max.
+#[inline]
+fn bucket_upper(scale: u64, idx: usize) -> u64 {
+    if idx == 0 {
+        return scale;
+    }
+    // Bucket `idx` covers [boundary(idx-1), boundary(idx)); the overflow
+    // bucket (idx 55) reports boundary(54), its lower bound.
+    let k = idx.min(FINITE);
+    let (o, half) = (k / 2, k % 2 == 1);
+    let lower = scale << o;
+    if half {
+        lower + lower.div_ceil(2)
+    } else {
+        lower
+    }
+}
+
+/// A mergeable, wait-free latency/size histogram. See the module docs for
+/// the bucket geometry. All methods take `&self`; recording from many
+/// threads concurrently is the intended use.
+pub struct Histogram {
+    unit: Unit,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given unit's bucket geometry.
+    pub const fn new(unit: Unit) -> Histogram {
+        Histogram {
+            unit,
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The unit this histogram was created with.
+    pub fn unit(&self) -> Unit {
+        self.unit
+    }
+
+    /// Record one raw value (nanoseconds for [`Unit::Nanos`], a plain
+    /// count for [`Unit::Count`]). Wait-free: four relaxed atomic RMWs.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = bucket_index(self.unit.scale(), v);
+        // ordering: Relaxed — every cell is an independent monotonic
+        // statistic; readers take an approximate snapshot and tolerate
+        // observing the four updates at different instants. Nothing is
+        // published through these counters.
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration (nanosecond resolution, saturating at `u64`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Fold another histogram's tallies into this one (units must match;
+    /// mismatched merges are ignored rather than mixing geometries).
+    pub fn merge_from(&self, other: &Histogram) {
+        if self.unit != other.unit {
+            return;
+        }
+        // ordering: Relaxed — same approximate-statistics contract as
+        // `record`; a merge racing recorders folds in a torn but valid
+        // point-in-time view of `other`.
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Zero every cell (test/bench hygiene between measured phases).
+    pub fn reset(&self) {
+        // ordering: Relaxed — stats reset; concurrent recorders may land
+        // on either side of it, which is inherent to resetting live stats.
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the tallies. Concurrent recorders may be
+    /// mid-update, so `count`/`sum` can disagree with the bucket totals
+    /// by in-flight records; quantiles are computed against the bucket
+    /// totals so the snapshot is internally consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            // ordering: Relaxed — approximate stats snapshot (see above).
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            unit: self.unit,
+            buckets,
+            // ordering: Relaxed — approximate stats snapshot (see above).
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s tallies: plain integers, cheap to
+/// merge and query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Unit of the raw values (and the bucket geometry).
+    pub unit: Unit,
+    /// Per-bucket tallies (underflow, 54 finite half-octaves, overflow).
+    pub buckets: [u64; BUCKETS],
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of raw values (mean = `sum / count`).
+    pub sum: u64,
+    /// Largest raw value recorded.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty(unit: Unit) -> HistogramSnapshot {
+        HistogramSnapshot { unit, buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Fold another snapshot into this one (units must match).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.unit != other.unit {
+            return;
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total of the bucket tallies (the count quantiles are computed
+    /// against).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) in raw units, estimated as the
+    /// upper boundary of the bucket holding the rank-`round(q·(n-1))`
+    /// order statistic (the same rank convention as
+    /// [`crate::percentile::percentile`]), clamped by the observed max —
+    /// so the estimate is always within one bucket of the exact value.
+    /// `0` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum > rank {
+                return bucket_upper(self.unit.scale(), idx).min(self.max.max(1));
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Arithmetic mean of the raw values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Bucket index a raw value lands in — exposed for tests asserting the
+/// "within one bucket" quantile contract.
+pub fn bucket_of(unit: Unit, v: u64) -> usize {
+    bucket_index(unit.scale(), v)
+}
+
+/// Upper (exclusive) boundary of `bucket` in raw units — exposed for
+/// tests asserting the "within one bucket" quantile contract.
+pub fn upper_bound_of(unit: Unit, bucket: usize) -> u64 {
+    bucket_upper(unit.scale(), bucket)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_half_octaves() {
+        let s = Unit::Nanos.scale();
+        // Underflow, then [1000, 1500), [1500, 2000), [2000, 3000) ...
+        assert_eq!(bucket_index(s, 0), 0);
+        assert_eq!(bucket_index(s, 999), 0);
+        assert_eq!(bucket_index(s, 1_000), 1);
+        assert_eq!(bucket_index(s, 1_499), 1);
+        assert_eq!(bucket_index(s, 1_500), 2);
+        assert_eq!(bucket_index(s, 1_999), 2);
+        assert_eq!(bucket_index(s, 2_000), 3);
+        assert_eq!(bucket_index(s, 2_999), 3);
+        assert_eq!(bucket_index(s, 3_000), 4);
+        // 60 s sits inside the finite range; the overflow bucket starts
+        // at scale·2^27 ≈ 134 s.
+        assert!(bucket_index(s, 60_000_000_000) < BUCKETS - 1);
+        assert_eq!(bucket_index(s, u64::MAX), BUCKETS - 1);
+        // Every value's bucket has boundaries that bracket it.
+        for v in [0, 1, 999, 1000, 4242, 1_000_000, 7_777_777_777, u64::MAX / 2] {
+            let b = bucket_index(s, v);
+            assert!(v < bucket_upper(s, b) || b == BUCKETS - 1, "v={v} b={b}");
+            if b > 0 {
+                assert!(v >= bucket_upper(s, b - 1), "v={v} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_unit_starts_at_one() {
+        let s = Unit::Count.scale();
+        assert_eq!(bucket_index(s, 0), 0);
+        assert_eq!(bucket_index(s, 1), 1);
+        assert_eq!(bucket_index(s, 2), 3);
+        assert_eq!(bucket_index(s, 3), 4);
+        assert_eq!(bucket_index(s, 4), 5);
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let h = Histogram::new(Unit::Nanos);
+        for _ in 0..99 {
+            h.record(10_000); // 10 µs
+        }
+        h.record(50_000_000); // one 50 ms outlier
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 50_000_000);
+        // p50 lands in the 10 µs bucket; p999 in the outlier's bucket.
+        assert!(s.p50() >= 10_000 && s.p50() <= 15_000, "p50={}", s.p50());
+        assert!(s.p999() >= 50_000_000 && s.p999() <= 75_000_000, "p999={}", s.p999());
+        // The clamped estimate never exceeds the observed max.
+        assert!(s.quantile(1.0) <= s.max);
+        assert_eq!(HistogramSnapshot::empty(Unit::Nanos).p99(), 0);
+    }
+
+    #[test]
+    fn merge_adds_tallies() {
+        let a = Histogram::new(Unit::Count);
+        let b = Histogram::new(Unit::Count);
+        for v in 1..=10 {
+            a.record(v);
+            b.record(v * 100);
+        }
+        a.merge_from(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 20);
+        assert_eq!(s.sum, 55 + 5500);
+        assert_eq!(s.max, 1000);
+        let mut m = HistogramSnapshot::empty(Unit::Count);
+        m.merge(&b.snapshot());
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 20);
+        assert_eq!(m.total(), 20);
+        // Unit mismatch is ignored, not mixed.
+        let ns = Histogram::new(Unit::Nanos);
+        ns.record(5);
+        a.merge_from(&ns);
+        assert_eq!(a.snapshot().count, 20);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let h = Histogram::new(Unit::Nanos);
+        h.record(123_456);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.max, s.total()), (0, 0, 0, 0));
+    }
+}

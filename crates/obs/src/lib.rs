@@ -1,0 +1,398 @@
+//! # af-obs — hand-rolled telemetry for the Auto-Formula pipeline
+//!
+//! Three pieces, all vendored-deps-only, in the style of
+//! `af_core::failpoint`:
+//!
+//! 1. **Scoped tracing spans** — [`span!`] opens a timed scope tied to a
+//!    static site name; dropping the guard records the elapsed time into
+//!    that site's histogram and a thread-local span stack tracks nesting
+//!    (see [`current_span`]).
+//! 2. **Lock-free log-bucketed histograms** — [`hist::Histogram`] is an
+//!    array of relaxed atomic buckets at ~2 buckets/octave from 1 µs to
+//!    60 s; recording is wait-free and histograms live in a
+//!    process-global registry keyed by site name.
+//! 3. **Exporters** — [`MetricsSnapshot::capture`] copies every site's
+//!    stats and renders them as JSON or a text table; structured
+//!    [`Event`]s (quarantines, deadline trips) land in a bounded ring
+//!    buffer readable via [`events_since`].
+//!
+//! ## Zero-cost by default
+//!
+//! Everything the macros expand to is compiled out unless the `obs`
+//! cargo feature is enabled: [`SiteHandle`] and [`SpanGuard`] become
+//! zero-sized types, the free functions become empty `#[inline(always)]`
+//! bodies, and no histogram is ever registered (so snapshots are empty).
+//! The serve bench's overhead gate in CI pins this. With the feature on,
+//! a runtime kill-switch ([`set_enabled`]) additionally lets one process
+//! compare instrumented vs. uninstrumented runs.
+//!
+//! ```
+//! let guard = af_obs::span!("doc::stage", shard = 3);
+//! af_obs::observe!("doc::batch_size", 42);
+//! af_obs::event!("doc::fault", "injected", 7);
+//! guard.end();
+//! let snapshot = af_obs::MetricsSnapshot::capture();
+//! println!("{}", snapshot.to_text_table());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod percentile;
+mod registry;
+
+pub use export::{MetricsSnapshot, SiteMetrics};
+pub use hist::{Histogram, HistogramSnapshot, Unit};
+pub use percentile::{p50_p99, percentile};
+pub use registry::histogram;
+
+/// A structured telemetry event (quarantine imposed, deadline tripped).
+/// Events carry static strings and one numeric payload so emitting never
+/// allocates; they land in a bounded process-global ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Site name, e.g. `serve::quarantine`.
+    pub site: &'static str,
+    /// What happened at the site, e.g. `imposed` or the tripped stage.
+    pub detail: &'static str,
+    /// Numeric payload (shard id, epoch, ...).
+    pub value: u64,
+    /// Monotonic sequence number, 0-based across the process lifetime.
+    pub seq: u64,
+    /// Nanoseconds since the first event-related call in this process.
+    pub at_ns: u64,
+}
+
+/// Open a timed span for a static site name; returns a [`SpanGuard`]
+/// that records the elapsed time when dropped (or via
+/// [`SpanGuard::end`]). The optional `key = value` argument attaches a
+/// numeric label (e.g. a shard id) visible through [`current_span`].
+///
+/// ```
+/// let _span = af_obs::span!("doc::scan", shard = 2);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($site:literal) => {{
+        static __OBS_SITE: $crate::SiteHandle = $crate::SiteHandle::new($site, $crate::Unit::Nanos);
+        $crate::SpanGuard::enter(&__OBS_SITE, 0)
+    }};
+    ($site:literal, $key:ident = $val:expr) => {{
+        static __OBS_SITE: $crate::SiteHandle = $crate::SiteHandle::new($site, $crate::Unit::Nanos);
+        $crate::SpanGuard::enter(&__OBS_SITE, ($val) as u64)
+    }};
+}
+
+/// Record one value into a count-unit histogram site (batch sizes,
+/// backlog depths).
+///
+/// ```
+/// af_obs::observe!("doc::backlog", 3);
+/// ```
+#[macro_export]
+macro_rules! observe {
+    ($site:literal, $val:expr) => {{
+        static __OBS_SITE: $crate::SiteHandle = $crate::SiteHandle::new($site, $crate::Unit::Count);
+        $crate::record_site(&__OBS_SITE, ($val) as u64);
+    }};
+}
+
+/// Emit a structured [`Event`] into the process-global ring buffer.
+///
+/// ```
+/// af_obs::event!("doc::quarantine", "imposed", 1);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($site:literal, $detail:expr, $val:expr) => {
+        $crate::emit_event($site, $detail, ($val) as u64);
+    };
+}
+
+/// Zero every registered histogram and drop all buffered events (the
+/// sequence counter keeps advancing so old watermarks stay valid).
+pub fn reset() {
+    registry::reset_all();
+    imp::clear_events();
+}
+
+#[cfg(feature = "obs")]
+mod imp {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::time::Instant;
+
+    use crate::hist::{Histogram, Unit};
+    use crate::Event;
+
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    /// Runtime kill-switch: with `false`, spans/observations/events
+    /// become cheap branches instead of records. Lets an `obs` build
+    /// self-measure its own overhead in-process (the serve bench gate).
+    pub fn set_enabled(on: bool) {
+        // ordering: Relaxed — a stand-alone flag; instrumentation that
+        // races the flip lands on either side, which is fine for a
+        // measurement toggle.
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether instrumentation currently records (`obs` builds start
+    /// enabled; no-op builds always report `false`).
+    #[inline]
+    pub fn enabled() -> bool {
+        // ordering: Relaxed — see `set_enabled`.
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// A static instrumentation site: a name plus a lazily-registered
+    /// pointer to its process-global histogram. Created by the macros
+    /// via `static` items so each call site pays registration once.
+    pub struct SiteHandle {
+        name: &'static str,
+        unit: Unit,
+        slot: OnceLock<&'static Histogram>,
+    }
+
+    impl SiteHandle {
+        /// A handle for `name` with the given histogram unit.
+        pub const fn new(name: &'static str, unit: Unit) -> SiteHandle {
+            SiteHandle { name, unit, slot: OnceLock::new() }
+        }
+
+        #[inline]
+        fn histogram(&self) -> &'static Histogram {
+            self.slot.get_or_init(|| crate::registry::histogram(self.name, self.unit))
+        }
+    }
+
+    struct Frame {
+        site: &'static str,
+        arg: u64,
+    }
+
+    thread_local! {
+        static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Times a scope for one site. Dropping (or [`SpanGuard::end`])
+    /// records the elapsed nanoseconds into the site's histogram and
+    /// pops the thread-local span stack. Unwind-safe: a panic inside the
+    /// span runs this Drop during unwinding, and the stack is truncated
+    /// to this guard's depth so inner guards leaked by the panic cannot
+    /// leave stale frames behind.
+    #[must_use = "dropping immediately times nothing; bind it with `let`"]
+    pub struct SpanGuard {
+        inner: Option<(&'static SiteHandle, Instant, usize)>,
+    }
+
+    impl SpanGuard {
+        /// Open a span (push a stack frame, start the clock). Inert when
+        /// [`enabled`] is off.
+        pub fn enter(site: &'static SiteHandle, arg: u64) -> SpanGuard {
+            if !enabled() {
+                return SpanGuard { inner: None };
+            }
+            // try_with: recording during thread-local teardown (e.g. a
+            // span in a Drop of another TLS value) silently skips the
+            // stack rather than aborting.
+            let depth = STACK
+                .try_with(|s| {
+                    let mut s = s.borrow_mut();
+                    s.push(Frame { site: site.name, arg });
+                    s.len()
+                })
+                .unwrap_or(0);
+            SpanGuard { inner: Some((site, Instant::now(), depth)) }
+        }
+
+        /// Close the span now (equivalent to dropping it; reads better
+        /// than `drop(guard)` and stays warning-free when the guard is a
+        /// no-op ZST).
+        pub fn end(self) {}
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some((site, start, depth)) = self.inner.take() {
+                site.histogram().record_duration(start.elapsed());
+                if depth > 0 {
+                    let _ = STACK.try_with(|s| s.borrow_mut().truncate(depth - 1));
+                }
+            }
+        }
+    }
+
+    /// The innermost open span on this thread: `(site, arg)`.
+    pub fn current_span() -> Option<(&'static str, u64)> {
+        STACK.try_with(|s| s.borrow().last().map(|f| (f.site, f.arg))).ok().flatten()
+    }
+
+    /// Record a value into a site's histogram (the `observe!` back-end).
+    #[inline]
+    pub fn record_site(site: &'static SiteHandle, v: u64) {
+        if enabled() {
+            site.histogram().record(v);
+        }
+    }
+
+    const RING_CAP: usize = 1024;
+
+    struct RingState {
+        buf: Vec<Event>,
+        next_seq: u64,
+    }
+
+    static RING: OnceLock<Mutex<RingState>> = OnceLock::new();
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+    fn ring() -> MutexGuard<'static, RingState> {
+        RING.get_or_init(|| Mutex::new(RingState { buf: Vec::new(), next_seq: 0 }))
+            .lock()
+            // Push/drain never panic mid-update, so a poisoned ring is
+            // still structurally sound.
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Append an event to the ring buffer (the `event!` back-end). The
+    /// ring holds the most recent 1024 events; older ones are dropped.
+    pub fn emit_event(site: &'static str, detail: &'static str, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let at_ns = u64::try_from(ANCHOR.get_or_init(Instant::now).elapsed().as_nanos())
+            .unwrap_or(u64::MAX);
+        let mut r = ring();
+        let seq = r.next_seq;
+        r.next_seq += 1;
+        r.buf.push(Event { site, detail, value, seq, at_ns });
+        if r.buf.len() > RING_CAP {
+            r.buf.remove(0);
+        }
+    }
+
+    /// Events with `seq >= since` still held in the ring, oldest first.
+    /// Pair with [`event_watermark`] to read only what happened after a
+    /// known point.
+    pub fn events_since(since: u64) -> Vec<Event> {
+        ring().buf.iter().filter(|e| e.seq >= since).copied().collect()
+    }
+
+    /// The sequence number the next emitted event will get.
+    pub fn event_watermark() -> u64 {
+        ring().next_seq
+    }
+
+    pub(crate) fn clear_events() {
+        ring().buf.clear();
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod imp {
+    //! No-op fallback: every item below is a zero-sized type or an empty
+    //! `#[inline(always)]` body, so instrumented code compiles to
+    //! exactly what it would without the macros. Argument expressions
+    //! are still evaluated (they must stay cheap at call sites).
+
+    use crate::hist::Unit;
+    use crate::Event;
+
+    /// No-op build: the runtime switch does not exist.
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    /// No-op build: never recording.
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// Zero-sized stand-in for the real site handle.
+    pub struct SiteHandle;
+
+    impl SiteHandle {
+        /// Accepts and discards the site name and unit.
+        #[inline(always)]
+        pub const fn new(_name: &'static str, _unit: Unit) -> SiteHandle {
+            SiteHandle
+        }
+    }
+
+    /// Zero-sized stand-in for the real span guard; carries no timer and
+    /// has no `Drop`.
+    #[must_use = "dropping immediately times nothing; bind it with `let`"]
+    pub struct SpanGuard;
+
+    impl SpanGuard {
+        /// No-op: returns the zero-sized guard.
+        #[inline(always)]
+        pub fn enter(_site: &'static SiteHandle, _arg: u64) -> SpanGuard {
+            SpanGuard
+        }
+
+        /// No-op: consumes the zero-sized guard.
+        #[inline(always)]
+        pub fn end(self) {}
+    }
+
+    /// No-op build: there is never an open span.
+    #[inline(always)]
+    pub fn current_span() -> Option<(&'static str, u64)> {
+        None
+    }
+
+    /// No-op: discards the value.
+    #[inline(always)]
+    pub fn record_site(_site: &'static SiteHandle, _v: u64) {}
+
+    /// No-op: discards the event.
+    #[inline(always)]
+    pub fn emit_event(_site: &'static str, _detail: &'static str, _value: u64) {}
+
+    /// No-op build: the ring is always empty.
+    #[inline(always)]
+    pub fn events_since(_since: u64) -> Vec<Event> {
+        Vec::new()
+    }
+
+    /// No-op build: the sequence counter never advances.
+    #[inline(always)]
+    pub fn event_watermark() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn clear_events() {}
+}
+
+pub use imp::{
+    current_span, emit_event, enabled, event_watermark, events_since, record_site, set_enabled,
+    SiteHandle, SpanGuard,
+};
+
+// Pin the zero-cost contract: without the feature the macro-facing types
+// are zero-sized and nothing ever registers or buffers.
+#[cfg(all(test, not(feature = "obs")))]
+mod noop_tests {
+    #[test]
+    fn noop_types_are_zero_sized_and_inert() {
+        assert_eq!(std::mem::size_of::<crate::SiteHandle>(), 0);
+        assert_eq!(std::mem::size_of::<crate::SpanGuard>(), 0);
+        assert!(!crate::enabled());
+        crate::set_enabled(true);
+        assert!(!crate::enabled(), "no-op build has no runtime switch");
+
+        let guard = crate::span!("noop::span", shard = 9);
+        crate::observe!("noop::count", 5);
+        crate::event!("noop::event", "detail", 1);
+        guard.end();
+        assert!(crate::current_span().is_none());
+        assert_eq!(crate::event_watermark(), 0);
+        assert!(crate::events_since(0).is_empty());
+        assert!(crate::MetricsSnapshot::capture().sites.is_empty());
+        crate::reset();
+    }
+}

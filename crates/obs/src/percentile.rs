@@ -1,0 +1,53 @@
+//! Exact sort-based percentiles — the single shared implementation the
+//! bench harness and the histogram parity tests agree on.
+//!
+//! Rank convention: the `p`-percentile of `n` sorted samples is the
+//! order statistic at index `round(p · (n-1))`. The same convention
+//! drives [`crate::hist::HistogramSnapshot::quantile`], which is what
+//! makes "histogram estimate within one bucket of exact" a meaningful,
+//! testable contract.
+
+/// The `p` (0.0 ..= 1.0) percentile of an ascending-sorted slice, by the
+/// nearest-rank convention above. `0.0` on an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Sort a sample in place and return its `(p50, p99)` — the pair every
+/// bench report wants. `(0.0, 0.0)` on an empty sample.
+pub fn p50_p99(samples: &mut [f64]) -> (f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    (percentile(samples, 0.50), percentile(samples, 0.99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_convention() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        // round(0.5 · 99) = 50 → the 51st sample.
+        assert_eq!(percentile(&v, 0.5), 51.0);
+        // round(0.99 · 99) = 98 → the 99th sample.
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.999), 7.0);
+        // Out-of-range p clamps instead of indexing out of bounds.
+        assert_eq!(percentile(&v, 1.5), 100.0);
+        assert_eq!(percentile(&v, -0.5), 1.0);
+    }
+
+    #[test]
+    fn p50_p99_sorts_first() {
+        let mut v = vec![3.0, 1.0, 2.0];
+        assert_eq!(p50_p99(&mut v), (2.0, 3.0));
+        assert_eq!(p50_p99(&mut []), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Process-global histogram registry keyed by static site names.
+//!
+//! Always compiled — with the `obs` feature off no instrumentation macro
+//! ever registers a site, so the registry just stays empty and
+//! [`crate::MetricsSnapshot::capture`] returns nothing. Registration
+//! takes a mutex, but each instrumentation site pays it once (the first
+//! time it fires); the hot path caches the `&'static Histogram`.
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::hist::{Histogram, Unit};
+
+static REGISTRY: OnceLock<Mutex<Vec<(&'static str, &'static Histogram)>>> = OnceLock::new();
+
+fn table() -> std::sync::MutexGuard<'static, Vec<(&'static str, &'static Histogram)>> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        // A panic while holding the lock leaves only a fully-pushed or
+        // untouched Vec, so the poisoned state is still consistent.
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The process-wide histogram for `site`, registering it on first use.
+/// Re-registering an existing name returns the original histogram (its
+/// unit wins; site names are expected to be globally unique).
+pub fn histogram(site: &'static str, unit: Unit) -> &'static Histogram {
+    let mut t = table();
+    if let Some(&(_, h)) = t.iter().find(|&&(n, _)| n == site) {
+        return h;
+    }
+    // Sites are static program locations; one leaked allocation per site
+    // for the life of the process is the intended ownership model.
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new(unit)));
+    t.push((site, h));
+    h
+}
+
+/// Every registered site, in registration order.
+pub(crate) fn entries() -> Vec<(&'static str, &'static Histogram)> {
+    table().clone()
+}
+
+/// Zero every registered histogram (sites stay registered).
+pub(crate) fn reset_all() {
+    for (_, h) in entries() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_once_per_name() {
+        let a = histogram("registry::test_site", Unit::Nanos);
+        let b = histogram("registry::test_site", Unit::Count);
+        assert!(std::ptr::eq(a, b), "same name must yield the same histogram");
+        assert_eq!(b.unit(), Unit::Nanos, "first registration's unit wins");
+        a.record(5_000);
+        assert_eq!(
+            entries()
+                .iter()
+                .find(|(n, _)| *n == "registry::test_site")
+                .map(|(_, h)| h.snapshot().count),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Histogram contracts under concurrency and against exact percentiles.
+//! These run with or without the `obs` feature — the histogram types are
+//! a plain library either way.
+
+use af_obs::hist::{bucket_of, upper_bound_of, Histogram, HistogramSnapshot, Unit};
+use af_obs::percentile::percentile;
+use proptest::prelude::*;
+
+const THREADS: u64 = 8;
+const RECORDS: u64 = 10_000;
+
+/// N threads hammering ONE shared histogram: every record lands, totals
+/// are exact (wait-free recording loses nothing).
+#[test]
+fn concurrent_records_into_shared_histogram_are_exact() {
+    let h = Histogram::new(Unit::Count);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..RECORDS {
+                    h.record(t * RECORDS + i + 1);
+                }
+            });
+        }
+    });
+    let s = h.snapshot();
+    let n = THREADS * RECORDS;
+    assert_eq!(s.count, n);
+    assert_eq!(s.total(), n);
+    assert_eq!(s.sum, n * (n + 1) / 2);
+    assert_eq!(s.max, n);
+}
+
+/// N threads each with a private histogram, merged at the end: the merge
+/// is exact too (the per-thread-then-merge pattern bench code uses).
+#[test]
+fn per_thread_histograms_merge_exactly() {
+    let parts: Vec<Histogram> = (0..THREADS).map(|_| Histogram::new(Unit::Nanos)).collect();
+    std::thread::scope(|scope| {
+        for (t, h) in parts.iter().enumerate() {
+            scope.spawn(move || {
+                for i in 0..RECORDS {
+                    h.record((t as u64 + 1) * 1_000 + i);
+                }
+            });
+        }
+    });
+    let merged = Histogram::new(Unit::Nanos);
+    let mut merged_snaps = HistogramSnapshot::empty(Unit::Nanos);
+    for h in &parts {
+        merged.merge_from(h);
+        merged_snaps.merge(&h.snapshot());
+    }
+    let s = merged.snapshot();
+    assert_eq!(s.count, THREADS * RECORDS);
+    assert_eq!(s.total(), THREADS * RECORDS);
+    assert_eq!(s, merged_snaps, "merge_from and snapshot-merge agree");
+    let expected_sum: u64 =
+        (0..THREADS).flat_map(|t| (0..RECORDS).map(move |i| (t + 1) * 1_000 + i)).sum();
+    assert_eq!(s.sum, expected_sum);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The log-bucket p99 estimate is within one bucket of the exact
+    /// sort-based p99: it never under-reports the exact value and never
+    /// exceeds the upper boundary of the exact value's bucket. Values
+    /// stay inside the finite bucket range (no overflow bucket), which
+    /// is where the contract holds.
+    fn p99_within_one_bucket_of_exact(
+        values in prop::collection::vec(1u64..100_000_000_000u64, 1..300)
+    ) {
+        let h = Histogram::new(Unit::Nanos);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = percentile(&sorted, q) as u64;
+            let est = h.snapshot().quantile(q);
+            prop_assert!(
+                est >= exact,
+                "q={q}: estimate {est} under-reports exact {exact}"
+            );
+            let upper = upper_bound_of(Unit::Nanos, bucket_of(Unit::Nanos, exact));
+            prop_assert!(
+                est <= upper,
+                "q={q}: estimate {est} beyond exact value's bucket (exact {exact}, upper {upper})"
+            );
+        }
+    }
+
+    /// Bucket index and boundaries are mutually consistent for any value
+    /// in the finite range.
+    fn buckets_bracket_their_values(v in 1u64..130_000_000_000u64) {
+        let b = bucket_of(Unit::Nanos, v);
+        prop_assert!(v < upper_bound_of(Unit::Nanos, b));
+        if b > 0 {
+            prop_assert!(v >= upper_bound_of(Unit::Nanos, b - 1));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Span-stack and event-ring behavior — only meaningful with the `obs`
+//! feature on (the crate manifest gates this file via
+//! `required-features`).
+//!
+//! The enabled flag, registry, and event ring are process-global and the
+//! test harness runs tests on parallel threads, so every test serializes
+//! on one mutex and uses site names unique to this file.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn spans_nest_and_unwind_on_drop() {
+    let _l = obs_lock();
+    af_obs::set_enabled(true);
+    assert!(af_obs::current_span().is_none());
+    {
+        let outer = af_obs::span!("spans::outer", shard = 1);
+        assert_eq!(af_obs::current_span(), Some(("spans::outer", 1)));
+        {
+            let _inner = af_obs::span!("spans::inner", shard = 2);
+            assert_eq!(af_obs::current_span(), Some(("spans::inner", 2)));
+        }
+        assert_eq!(af_obs::current_span(), Some(("spans::outer", 1)));
+        outer.end();
+    }
+    assert!(af_obs::current_span().is_none());
+    let snap = af_obs::MetricsSnapshot::capture();
+    assert!(snap.get("spans::outer").is_some_and(|m| m.count >= 1));
+    assert!(snap.get("spans::inner").is_some_and(|m| m.count >= 1));
+}
+
+#[test]
+fn panicking_span_body_does_not_corrupt_the_stack() {
+    let _l = obs_lock();
+    af_obs::set_enabled(true);
+    let outer = af_obs::span!("spans::panic_outer");
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _mid = af_obs::span!("spans::panic_mid");
+        // This guard is leaked by the unwind before `_mid` drops; the
+        // mid guard's Drop must still truncate it away.
+        std::mem::forget(af_obs::span!("spans::panic_leaked"));
+        panic!("boom");
+    }));
+    assert!(result.is_err());
+    // The unwind dropped `_mid`, which truncated both itself and the
+    // leaked inner frame — only the outer span remains.
+    assert_eq!(af_obs::current_span(), Some(("spans::panic_outer", 0)));
+    outer.end();
+    assert!(af_obs::current_span().is_none());
+}
+
+#[test]
+fn leaked_guard_is_truncated_by_enclosing_span() {
+    let _l = obs_lock();
+    af_obs::set_enabled(true);
+    {
+        let outer = af_obs::span!("spans::leak_outer");
+        std::mem::forget(af_obs::span!("spans::leak_inner"));
+        assert_eq!(af_obs::current_span(), Some(("spans::leak_inner", 0)));
+        outer.end();
+    }
+    assert!(af_obs::current_span().is_none(), "outer drop cleans leaked frames");
+}
+
+#[test]
+fn events_ring_orders_and_watermarks() {
+    let _l = obs_lock();
+    af_obs::set_enabled(true);
+    let mark = af_obs::event_watermark();
+    af_obs::event!("spans::ev", "first", 10);
+    af_obs::event!("spans::ev", "second", 20);
+    let evs: Vec<af_obs::Event> =
+        af_obs::events_since(mark).into_iter().filter(|e| e.site == "spans::ev").collect();
+    assert_eq!(evs.len(), 2);
+    assert_eq!((evs[0].detail, evs[0].value), ("first", 10));
+    assert_eq!((evs[1].detail, evs[1].value), ("second", 20));
+    assert!(evs[0].seq < evs[1].seq);
+    assert!(evs[0].at_ns <= evs[1].at_ns);
+    assert!(af_obs::event_watermark() >= mark + 2);
+    // A fresh watermark sees neither event.
+    assert!(af_obs::events_since(af_obs::event_watermark()).iter().all(|e| e.site != "spans::ev"));
+}
+
+#[test]
+fn disabling_stops_recording() {
+    let _l = obs_lock();
+    af_obs::set_enabled(true);
+    // Register the sites while enabled so the histograms exist.
+    af_obs::span!("spans::toggle", shard = 0).end();
+    af_obs::observe!("spans::toggle_count", 1);
+    let before = af_obs::MetricsSnapshot::capture();
+    let mark = af_obs::event_watermark();
+
+    af_obs::set_enabled(false);
+    assert!(!af_obs::enabled());
+    let guard = af_obs::span!("spans::toggle", shard = 9);
+    assert!(af_obs::current_span().is_none(), "disabled spans push no frame");
+    guard.end();
+    af_obs::observe!("spans::toggle_count", 1);
+    af_obs::event!("spans::toggle_ev", "dropped", 1);
+    af_obs::set_enabled(true);
+
+    let after = af_obs::MetricsSnapshot::capture();
+    for site in ["spans::toggle", "spans::toggle_count"] {
+        assert_eq!(
+            before.get(site).map(|m| m.count),
+            after.get(site).map(|m| m.count),
+            "{site} recorded while disabled"
+        );
+    }
+    assert_eq!(af_obs::event_watermark(), mark, "disabled events still sequenced");
+}
+
+#[test]
+fn observe_and_registry_dedup() {
+    let _l = obs_lock();
+    af_obs::set_enabled(true);
+    for v in [1u64, 10, 100] {
+        af_obs::observe!("spans::batch", v);
+    }
+    let snap = af_obs::MetricsSnapshot::capture();
+    let m = snap.get("spans::batch").expect("registered once");
+    assert!(m.count >= 3);
+    assert_eq!(m.unit, af_obs::Unit::Count);
+    // The same site name appears exactly once even after many macro hits.
+    assert_eq!(snap.sites.iter().filter(|s| s.site == "spans::batch").count(), 1);
+    // Snapshot ordering is by name.
+    let names: Vec<&str> = snap.sites.iter().map(|s| s.site).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+}

@@ -230,7 +230,9 @@ struct ShardState {
     /// Global sheet id of each delta-local sheet id, strictly ascending,
     /// every entry greater than every base global.
     delta_globals: Vec<usize>,
-    /// When this state was published (drives [`ServeStats::snapshot_age`]).
+    /// When this state was published (drives the
+    /// [`ServeStats::youngest_snapshot_age`] /
+    /// [`ServeStats::oldest_snapshot_age`] pair).
     published_at: Instant,
 }
 
@@ -300,19 +302,38 @@ struct Counters {
     /// Writes that fell back to synchronous inline compaction because the
     /// delta hit the backpressure threshold.
     inline_compactions: AtomicU64,
+    /// Per-shard queries that actually scanned the shard (sized to
+    /// `n_shards` at construction; quarantined/skipped shards don't
+    /// count).
+    shard_queries: Vec<AtomicU64>,
+}
+
+impl Counters {
+    fn new(n_shards: usize) -> Counters {
+        Counters {
+            shard_queries: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            ..Counters::default()
+        }
+    }
 }
 
 /// A point-in-time view of a [`ServeHandle`]'s health: which epoch is
 /// serving, how stale it is, and how much traffic the handle has seen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
     /// Epoch of the currently-active snapshot (bumped per
     /// [`ServeHandle::add_workbook`]).
     pub epoch: u64,
-    /// Time since the youngest shard state was published (a write or a
-    /// compaction resets this; a long age on a write-heavy deployment
-    /// means the writers are starving).
-    pub snapshot_age: Duration,
+    /// Time since the youngest (most recently published) shard state —
+    /// the **min** of `published_at.elapsed()` across shards. A write or
+    /// a compaction resets one shard's age, so a large value here on a
+    /// write-heavy deployment means the writers are starving.
+    pub youngest_snapshot_age: Duration,
+    /// Time since the oldest (least recently published) shard state —
+    /// the **max** across shards. The gap to
+    /// [`ServeStats::youngest_snapshot_age`] shows how unevenly writes
+    /// are landing across shards.
+    pub oldest_snapshot_age: Duration,
     /// Queries served since startup, across every `predict*` entry point
     /// (batch calls count each query).
     pub queries_served: u64,
@@ -335,6 +356,25 @@ pub struct ServeStats {
     /// Writes that compacted inline because the shard's delta reached the
     /// backpressure threshold (`delta_max_sheets × backpressure_factor`).
     pub inline_compactions: u64,
+    /// Per-shard detail, indexed by shard id (`len() == n_shards`).
+    pub shards: Vec<ShardStats>,
+}
+
+/// Per-shard detail inside [`ServeStats`]: layout, staleness, and traffic
+/// for one serving shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index (0-based, `< n_shards`).
+    pub shard: usize,
+    /// Sheets in the compacted base segment.
+    pub base_sheets: usize,
+    /// Sheets waiting in the delta segment (not yet compacted).
+    pub delta_sheets: usize,
+    /// Epoch at which the shard was quarantined; `None` when healthy.
+    pub quarantined_since: Option<u64>,
+    /// Queries that scanned this shard (skipped/quarantined queries
+    /// don't count).
+    pub queries_served: u64,
 }
 
 /// A shard currently excluded from the read path, as reported by
@@ -423,26 +463,32 @@ impl Shared {
         // error leaves the published state untouched (the writer lock
         // unlocks on unwind; parking_lot mutexes do not poison).
         fail_point!("serve::compact", Err);
+        // How deep the delta got before this compaction drained it — the
+        // backlog gauge a wedged compactor shows up in first.
+        af_obs::observe!("serve::compact_backlog", cur.delta.n_sheets());
+        let compacting = af_obs::span!("serve::compact", shard = shard);
         let mut base = (*cur.base).clone();
         base.absorb(&cur.delta);
         let mut globals = (*cur.base_globals).clone();
         globals.extend_from_slice(&cur.delta_globals);
         cell.publish(Arc::new(ShardState::sealed(base, globals, &self.delta_cfg)));
+        compacting.end();
         drop(guard);
         Ok(())
     }
 
     fn quarantine(&self, shard: usize) {
-        quarantine(&self.shards[shard].health, self.epoch.current(), &self.counters);
+        quarantine(&self.shards[shard].health, self.epoch.current(), &self.counters, shard);
     }
 }
 
 /// Impose quarantine on one shard (idempotent; only the first imposition
 /// counts an event).
-fn quarantine(health: &ShardHealth, epoch: u64, counters: &Counters) {
+fn quarantine(health: &ShardHealth, epoch: u64, counters: &Counters, shard: usize) {
     if health.quarantine(epoch) {
         // ordering: Relaxed — observability counter, not synchronization.
         counters.quarantine_events.fetch_add(1, Ordering::Relaxed);
+        af_obs::event!("serve::quarantine", "imposed", shard);
     }
 }
 
@@ -519,7 +565,7 @@ impl Snapshot {
     /// [`ServeHandle::recover_shard`]). Shared with the handle, so every
     /// subsequent query — through any snapshot — skips the shard.
     fn quarantine(&self, shard: usize) {
-        quarantine(&self.health[shard], self.epoch, &self.counters);
+        quarantine(&self.health[shard], self.epoch, &self.counters, shard);
     }
 
     /// Sheets indexed in this snapshot, across every shard and segment.
@@ -626,6 +672,11 @@ impl Snapshot {
         // ordering: Relaxed — independent monotonic counters; stats()
         // tolerates observing them at slightly different instants.
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        for (shard, _) in excluded.iter().enumerate().filter(|&(_, &x)| !x) {
+            if let Some(c) = self.counters.shard_queries.get(shard) {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         if degraded {
             self.counters.degraded_queries.fetch_add(1, Ordering::Relaxed);
         }
@@ -658,6 +709,8 @@ impl Snapshot {
         let deadline = opts.deadline;
         let cfg = self.system.cfg();
         let embedder = self.system.embedder();
+        // Declared before the stage spans so it drops (and records) last.
+        let _query = af_obs::span!("serve::predict");
         let segments = self.segments();
         // Per-query shard exclusion, seeded from the sticky quarantine
         // flags; a mid-query panic adds to it (and to the shared flags).
@@ -670,14 +723,17 @@ impl Snapshot {
         // so a delta-segment panic can still retract its shard's base hits
         // before the merge — a quarantined shard contributes nothing.
         let mut per_seg: Vec<(usize, Vec<Neighbor>)> = Vec::with_capacity(segments.len());
+        let s1 = af_obs::span!("serve::s1_scan");
         for seg in &segments {
             if excluded[seg.shard] {
                 continue;
             }
             if past(deadline) {
                 deadline_hit = true;
+                af_obs::event!("serve::deadline", "s1_scan", seg.shard);
                 break;
             }
+            let _scan = af_obs::span!("serve::shard_scan", shard = seg.shard);
             type ScanResult = Result<Vec<Neighbor>, af_core::failpoint::Injected>;
             let scanned = catch_unwind(AssertUnwindSafe(|| -> ScanResult {
                 fail_point!("serve::shard_scan", Err);
@@ -707,6 +763,7 @@ impl Snapshot {
         }
         per_seg.retain(|&(shard, _)| !excluded[shard]);
         let candidates = merge_neighbors(per_seg.into_iter().map(|(_, hits)| hits), cfg.k_sheets);
+        s1.end();
         if candidates.is_empty() {
             return self.outcome(None, &excluded, dropped, deadline_hit);
         }
@@ -719,9 +776,11 @@ impl Snapshot {
         let target_coarse = (variant == PipelineVariant::CoarseOnly)
             .then(|| coarse_window(&embedder, sheet, target));
         let mut ranked: Vec<(f32, usize, usize, usize, usize)> = Vec::new();
+        let s2 = af_obs::span!("serve::s2_rank");
         for (s1_rank, cand) in candidates.iter().enumerate() {
             if past(deadline) {
                 deadline_hit = true;
+                af_obs::event!("serve::deadline", "s2_rank", s1_rank);
                 break;
             }
             // Resolve the candidate's segment without panicking: an id
@@ -770,6 +829,7 @@ impl Snapshot {
         }
         // A shard quarantined mid-S2 retracts the rows it already ranked.
         ranked.retain(|&(_, _, _, seg_idx, _)| !excluded[segments[seg_idx].shard]);
+        s2.end();
         if ranked.is_empty() {
             return self.outcome(None, &excluded, dropped, deadline_hit);
         }
@@ -777,6 +837,7 @@ impl Snapshot {
 
         // ---- S3: adapt the best parseable reference formula ----
         let mut prediction = None;
+        let s3 = af_obs::span!("serve::s3_adapt");
         for &(dist, _, _, seg_idx, rid) in ranked.iter().take(8) {
             let seg = &segments[seg_idx];
             if excluded[seg.shard] {
@@ -784,6 +845,7 @@ impl Snapshot {
             }
             if past(deadline) {
                 deadline_hit = true;
+                af_obs::event!("serve::deadline", "s3_adapt", seg.shard);
                 break;
             }
             let adapted = catch_unwind(AssertUnwindSafe(|| {
@@ -805,6 +867,7 @@ impl Snapshot {
                 }
             }
         }
+        s3.end();
         self.outcome(prediction, &excluded, dropped, deadline_hit)
     }
 
@@ -964,7 +1027,7 @@ impl ServeHandle {
             epoch: EpochCore::new(0),
             next_workbook_id: AtomicUsize::new(next_workbook_id),
             next_global: AtomicUsize::new(n_sheets),
-            counters: Arc::new(Counters::default()),
+            counters: Arc::new(Counters::new(n_shards)),
             delta_max: cfg.delta_max_sheets,
             backpressure_at: (cfg.delta_max_sheets > 0 && cfg.backpressure_factor > 0)
                 .then(|| cfg.delta_max_sheets * cfg.backpressure_factor),
@@ -1093,12 +1156,33 @@ impl ServeHandle {
     /// acquisition plus relaxed counter loads.
     pub fn stats(&self) -> ServeStats {
         let snap = self.snapshot();
-        let youngest =
-            snap.shards.iter().map(|s| s.published_at.elapsed()).min().unwrap_or_default();
+        let ages: Vec<Duration> = snap.shards.iter().map(|s| s.published_at.elapsed()).collect();
         let c = &self.shared.counters;
+        let shards = snap
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, st)| {
+                let health = &self.shared.shards[shard].health;
+                ShardStats {
+                    shard,
+                    base_sheets: st.base.n_sheets(),
+                    delta_sheets: st.delta.n_sheets(),
+                    quarantined_since: health.is_quarantined().then(|| health.since_epoch()),
+                    // ordering: Relaxed — stats reads are independent
+                    // monotonic counters (see below).
+                    queries_served: c
+                        .shard_queries
+                        .get(shard)
+                        .map(|q| q.load(Ordering::Relaxed))
+                        .unwrap_or_default(),
+                }
+            })
+            .collect();
         ServeStats {
             epoch: snap.epoch,
-            snapshot_age: youngest,
+            youngest_snapshot_age: ages.iter().min().copied().unwrap_or_default(),
+            oldest_snapshot_age: ages.iter().max().copied().unwrap_or_default(),
             // ordering: Relaxed — stats reads are independent monotonic
             // counters; a snapshot of them need not be mutually consistent.
             queries_served: c.queries.load(Ordering::Relaxed),
@@ -1114,7 +1198,17 @@ impl ServeHandle {
             deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
             compactor_restarts: c.compactor_restarts.load(Ordering::Relaxed),
             inline_compactions: c.inline_compactions.load(Ordering::Relaxed),
+            shards,
         }
+    }
+
+    /// A point-in-time [`af_obs::MetricsSnapshot`] of every histogram
+    /// site in the process (the `serve::*` stage timings plus whatever
+    /// else — training, artifact I/O — has recorded). Empty unless the
+    /// workspace was built with the `obs` feature; see
+    /// ARCHITECTURE.md §8 for the site table.
+    pub fn metrics(&self) -> af_obs::MetricsSnapshot {
+        af_obs::MetricsSnapshot::capture()
     }
 
     /// Number of serving shards.
@@ -1247,6 +1341,7 @@ impl ServeHandle {
         let n_shards = self.shared.shards.len();
         for (si, sheet) in workbook.sheets.iter().enumerate() {
             let key = SheetKey { workbook: id, sheet: si };
+            let publish = af_obs::span!("serve::delta_publish", shard = shard_of(key, n_shards));
             let cell = &self.shared.shards[shard_of(key, n_shards)].state;
             let guard = cell.write_lock();
             // Allocate the global id under the shard lock so per-shard
@@ -1290,11 +1385,15 @@ impl ServeHandle {
                     // query on this shard degrading toward O(corpus).
                     // ordering: Relaxed — observability counter.
                     self.shared.counters.inline_compactions.fetch_add(1, Ordering::Relaxed);
+                    let stall =
+                        af_obs::span!("serve::inline_compact", shard = shard_of(key, n_shards));
                     let mut base = (*grown.base).clone();
                     base.absorb(&grown.delta);
                     let mut globals = (*grown.base_globals).clone();
                     globals.extend_from_slice(&grown.delta_globals);
-                    ShardState::sealed(base, globals, &self.shared.delta_cfg)
+                    let sealed = ShardState::sealed(base, globals, &self.shared.delta_cfg);
+                    stall.end();
+                    sealed
                 } else {
                     grown
                 }
@@ -1306,6 +1405,7 @@ impl ServeHandle {
             fail_point!("serve::delta_publish");
             cell.publish(Arc::new(new));
             drop(guard);
+            publish.end();
             if signal {
                 if let Some(tx) = &self.shared.compact_tx {
                     let _ = tx.send(shard_of(key, n_shards));
@@ -1614,19 +1714,84 @@ mod tests {
         let s1 = handle.stats();
         assert_eq!(s1.queries_served, 4 + queries.len() as u64);
         assert!(s1.snapshots_acquired > s0.snapshots_acquired);
-        assert!(s1.snapshot_age >= s0.snapshot_age, "same epoch only ages");
+        assert!(s1.youngest_snapshot_age >= s0.youngest_snapshot_age, "same epoch only ages");
 
         // A publish bumps the epoch, the add counter, and resets the age.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let aged = handle.stats().snapshot_age;
+        let aged = handle.stats().youngest_snapshot_age;
         assert!(aged.as_millis() >= 20);
         handle.add_workbook(&corpus.workbooks[3]);
         let s2 = handle.stats();
         assert_eq!(s2.epoch, 1);
         assert_eq!(s2.workbooks_added, 1);
-        assert!(s2.snapshot_age < aged, "new epoch must be younger than the old one");
+        assert!(s2.youngest_snapshot_age < aged, "new epoch must be younger than the old one");
         // Queries served is monotone across the swap.
         assert!(s2.queries_served >= s1.queries_served);
+    }
+
+    /// Regression for the `snapshot_age` rename: with several shards the
+    /// youngest age is the min and the oldest the max of the per-shard
+    /// publish times — a write to one shard rejuvenates `youngest` while
+    /// `oldest` keeps aging.
+    #[test]
+    fn stats_report_youngest_and_oldest_ages_and_per_shard_detail() {
+        let mut cfg = AutoFormulaConfig::test_tiny();
+        cfg.n_shards = 3;
+        let (handle, corpus) = handle_over_with(cfg, 3);
+        let s0 = handle.stats();
+        assert_eq!(s0.shards.len(), 3);
+        assert!(s0.youngest_snapshot_age <= s0.oldest_snapshot_age);
+        // Per-shard layout covers every indexed sheet, no traffic yet.
+        assert_eq!(
+            s0.shards.iter().map(|s| s.base_sheets + s.delta_sheets).sum::<usize>(),
+            handle.n_sheets()
+        );
+        for (i, sh) in s0.shards.iter().enumerate() {
+            assert_eq!(sh.shard, i);
+            assert_eq!(sh.queries_served, 0);
+            assert_eq!(sh.quarantined_since, None);
+        }
+
+        // One write lands on one shard: youngest resets, oldest keeps its
+        // age (the other two shards were not republished).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let aged = handle.stats();
+        assert!(aged.oldest_snapshot_age.as_millis() >= 20);
+        let single = Workbook {
+            name: "one-sheet".into(),
+            sheets: vec![corpus.workbooks[3].sheets[0].clone()],
+            timestamp: 0,
+        };
+        handle.add_workbook(&single);
+        let s1 = handle.stats();
+        assert!(
+            s1.youngest_snapshot_age < s1.oldest_snapshot_age,
+            "one-shard write must split youngest ({:?}) from oldest ({:?})",
+            s1.youngest_snapshot_age,
+            s1.oldest_snapshot_age,
+        );
+        assert!(s1.oldest_snapshot_age >= aged.oldest_snapshot_age);
+        assert_eq!(
+            s1.shards.iter().map(|s| s.delta_sheets).sum::<usize>(),
+            1,
+            "the new sheet sits in exactly one shard's delta"
+        );
+
+        // A healthy query scans every shard; a quarantined shard is
+        // excluded from the count and reports its epoch.
+        let (sheet, at) = query_targets(&corpus, 0)[0];
+        let _ = handle.predict(sheet, at);
+        let s2 = handle.stats();
+        assert!(s2.shards.iter().all(|sh| sh.queries_served == 1));
+        handle.quarantine_shard(1);
+        let _ = handle.predict(sheet, at);
+        let s3 = handle.stats();
+        assert_eq!(s3.shards[1].quarantined_since, Some(s3.epoch));
+        assert_eq!(s3.shards[1].queries_served, 1, "quarantined shard not scanned");
+        assert_eq!(s3.shards[0].queries_served, 2);
+        assert_eq!(s3.shards[2].queries_served, 2);
+        handle.recover_shard(1);
+        assert_eq!(handle.stats().shards[1].quarantined_since, None);
     }
 
     #[test]

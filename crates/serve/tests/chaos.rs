@@ -323,6 +323,81 @@ fn artifact_load_faults_surface_as_typed_errors() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// With `--features "failpoints obs"`, faults must leave a structured
+/// trace: a panicking scan's quarantine emits a `serve::quarantine`
+/// event naming the tripped shard.
+#[cfg(feature = "obs")]
+#[test]
+fn quarantine_events_name_the_tripped_shards() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::quiet();
+    let cfg = AutoFormulaConfig { n_shards: 3, ..AutoFormulaConfig::test_tiny() };
+    let (handle, corpus) = handle_over(cfg, 4);
+    let (sheet, at) = query_targets(&corpus, 0)[0];
+
+    let mark = af_obs::event_watermark();
+    failpoint::arm("serve::shard_scan", FailAction::Panic);
+    let o = handle.predict_with(sheet, at, PipelineVariant::Full);
+    failpoint::clear("serve::shard_scan");
+    assert!(o.degraded);
+
+    let mut tripped: Vec<usize> = af_obs::events_since(mark)
+        .into_iter()
+        .filter(|e| e.site == "serve::quarantine")
+        .map(|e| {
+            assert_eq!(e.detail, "imposed");
+            e.value as usize
+        })
+        .collect();
+    tripped.sort_unstable();
+    let mut quarantined: Vec<usize> = handle.quarantined().iter().map(|q| q.shard).collect();
+    quarantined.sort_unstable();
+    assert_eq!(tripped, quarantined, "one event per quarantined shard, naming it");
+    assert_eq!(tripped.len(), 3);
+
+    // Repeated degraded queries against already-quarantined shards must
+    // NOT re-emit: the event marks the transition, not the state.
+    let mark = af_obs::event_watermark();
+    let _ = handle.predict_with(sheet, at, PipelineVariant::Full);
+    assert!(af_obs::events_since(mark).iter().all(|e| e.site != "serve::quarantine"));
+}
+
+/// A deadline-exceeded query emits a `serve::deadline` event whose
+/// detail names the stage that tripped.
+#[cfg(feature = "obs")]
+#[test]
+fn deadline_trips_emit_an_event_naming_the_stage() {
+    let _l = chaos_lock();
+    let _g = ChaosGuard::loud();
+    let cfg = AutoFormulaConfig { n_shards: 2, ..AutoFormulaConfig::test_tiny() };
+    let (handle, corpus) = handle_over(cfg, 3);
+    let (sheet, at) = query_targets(&corpus, 0)[0];
+
+    // Same recipe as the latency test above: 40 ms per segment scan
+    // against a 10 ms budget trips the S1 deadline check.
+    let mark = af_obs::event_watermark();
+    failpoint::arm("serve::shard_scan", FailAction::Sleep(Duration::from_millis(40)));
+    let opts = PredictOptions::with_variant(PipelineVariant::Full).deadline_in_ms(10);
+    let o = handle.predict_opts(sheet, at, opts);
+    failpoint::clear("serve::shard_scan");
+    assert!(o.deadline_exceeded);
+
+    let trips: Vec<_> =
+        af_obs::events_since(mark).into_iter().filter(|e| e.site == "serve::deadline").collect();
+    assert!(!trips.is_empty(), "a deadline-exceeded query must leave a trace");
+    assert_eq!(trips[0].detail, "s1_scan", "the event names the stage that tripped");
+
+    // A comfortably-met deadline emits nothing.
+    let mark = af_obs::event_watermark();
+    let o = handle.predict_opts(
+        sheet,
+        at,
+        PredictOptions::with_variant(PipelineVariant::Full).deadline_in_ms(60_000),
+    );
+    assert!(!o.deadline_exceeded);
+    assert!(af_obs::events_since(mark).iter().all(|e| e.site != "serve::deadline"));
+}
+
 #[test]
 fn randomized_faults_under_concurrent_load_never_break_the_contract() {
     let _l = chaos_lock();

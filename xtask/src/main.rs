@@ -27,6 +27,12 @@
 //! * `failpoint_documented` — every `fail_point!("name")` site must
 //!   appear in ARCHITECTURE.md's fail-point table (§3.7), so the chaos
 //!   surface is always documented.
+//! * `obs_site_documented` — every af-obs instrumentation site
+//!   (`span!("name")`, `observe!("name")`, `event!("name")`) must
+//!   appear in ARCHITECTURE.md's observability site table (§8), so the
+//!   telemetry surface is always documented. `crates/obs/src` is
+//!   exempt: it defines the macros, and its docs/tests use sample
+//!   names.
 //!
 //! The scanner is line-based: trailing `//` comments are stripped before
 //! code matching, doc/comment-only lines are skipped, `#[cfg(test)]`
@@ -140,6 +146,7 @@ fn lint_file(file: &Path, src: &str, arch: &str, out: &mut Vec<Violation>) {
     let path_str = file.to_string_lossy().replace('\\', "/");
     let in_serve = path_str.contains("crates/serve/src");
     let in_check = path_str.contains("crates/check/src");
+    let in_obs = path_str.contains("crates/obs/src");
 
     let mut lines: Vec<Line<'_>> = Vec::new();
     let mut in_block_comment = false;
@@ -221,6 +228,28 @@ fn lint_file(file: &Path, src: &str, arch: &str, out: &mut Vec<Violation>) {
                         file: file.to_path_buf(),
                         line: lineno,
                         rule: "failpoint_documented",
+                        message,
+                    });
+                }
+            }
+        }
+
+        // R5 obs_site_documented: instrumentation sites must be in
+        // ARCHITECTURE.md's observability site table (§8).
+        if !in_test && !in_obs {
+            if let Some(name) = obs_site_name(code) {
+                let documented =
+                    arch.contains(&format!("`{name}`")) || waived(&lines, i, "obs_site_documented");
+                if !documented {
+                    let mut message = String::new();
+                    let _ = write!(
+                        message,
+                        "obs site `{name}` is not in ARCHITECTURE.md's observability site table"
+                    );
+                    out.push(Violation {
+                        file: file.to_path_buf(),
+                        line: lineno,
+                        rule: "obs_site_documented",
                         message,
                     });
                 }
@@ -316,6 +345,24 @@ fn failpoint_name(code: &str) -> Option<&str> {
     if code.contains("macro_rules!") {
         return None;
     }
+    let rest = &code[at..];
+    let open = rest.find('"')? + 1;
+    let close = open + rest[open..].find('"')?;
+    Some(&rest[open..close])
+}
+
+/// The site literal of an af-obs instrumentation macro invocation
+/// (`span!("name", ...)`, `observe!("name", ...)`, `event!("name", ...)`),
+/// skipping macro definitions. The literal is the macro's first argument,
+/// so the first `"..."` after the earliest matching macro is the site.
+fn obs_site_name(code: &str) -> Option<&str> {
+    if code.contains("macro_rules!") {
+        return None;
+    }
+    let at = ["span!(", "observe!(", "event!("]
+        .iter()
+        .filter_map(|m| code.find(m).map(|i| i + m.len()))
+        .min()?;
     let rest = &code[at..];
     let open = rest.find('"')? + 1;
     let close = open + rest[open..].find('"')?;
@@ -442,6 +489,24 @@ mod tests {
         );
         assert_eq!(failpoint_name("macro_rules! fail_point {"), None);
         assert_eq!(failpoint_name("let x = 1;"), None);
+    }
+
+    #[test]
+    fn obs_site_name_extracts_site_not_macro_def() {
+        assert_eq!(
+            obs_site_name("    let s1 = af_obs::span!(\"serve::s1_scan\");"),
+            Some("serve::s1_scan")
+        );
+        assert_eq!(
+            obs_site_name("af_obs::observe!(\"serve::compact_backlog\", n);"),
+            Some("serve::compact_backlog")
+        );
+        assert_eq!(
+            obs_site_name("af_obs::event!(\"serve::quarantine\", \"imposed\", shard);"),
+            Some("serve::quarantine")
+        );
+        assert_eq!(obs_site_name("macro_rules! span {"), None);
+        assert_eq!(obs_site_name("let x = 1;"), None);
     }
 
     #[test]
